@@ -1,0 +1,28 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-verbose figures dataset examples all
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-verbose:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+figures:
+	$(PYTHON) -m repro render all figures/
+
+dataset:
+	$(PYTHON) examples/export_dataset.py dataset_export
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f > /dev/null && echo OK; done
+
+all: test bench

@@ -1,0 +1,16 @@
+"""Benchmark harness configuration.
+
+Every ``benchmarks/test_bench_*`` module regenerates one of the paper's
+tables or figures at meaningful scale, prints the regenerated rows (run
+with ``-s`` to see them), records headline numbers in
+``benchmark.extra_info``, and asserts the paper's qualitative shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated artifact with a recognisable banner."""
+    banner = "=" * max(len(title), 20)
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")

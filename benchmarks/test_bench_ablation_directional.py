@@ -1,0 +1,78 @@
+"""Ablation: directional (DL, UL, RSRP) vs summed-throughput power
+features on mixed-direction workloads.
+
+The paper models each direction with its own sweep; a deployed model
+sees mixed traffic. Uplink costs 2.2-5.9x more per Mbps (Table 8), so
+a summed-throughput feature is systematically confused on mixed
+workloads while the directional variant is not — and on pure-downlink
+workloads the two should tie.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.powermodel import (
+    DirectionalPowerModel,
+    FeatureSet,
+    train_from_walking_traces,
+)
+from repro.core.powermodel import _stack_traces
+from repro.experiments import format_table
+from repro.power.device import get_device
+from repro.radio.carriers import get_network
+from repro.traces.walking import WalkingTraceGenerator
+
+
+def _evaluate(uplink_fraction: float, seed: int):
+    generator = WalkingTraceGenerator(
+        network=get_network("verizon-nsa-mmwave"),
+        device=get_device("S20U"),
+        uplink_fraction=uplink_fraction,
+        seed=seed,
+    )
+    traces = generator.generate_many(8)
+    train, test = traces[:6], traces[6:]
+    directional = DirectionalPowerModel.from_walking_traces("x", train)
+    summed = train_from_walking_traces("x", train, features=FeatureSet.TH_SS)
+    throughput, rsrp, power = _stack_traces(test)
+    dl = np.concatenate([t.dl_mbps for t in test])
+    ul = np.concatenate([t.ul_mbps for t in test])
+    return {
+        "uplink_fraction": uplink_fraction,
+        "directional_mape": directional.mape(dl, ul, rsrp, power),
+        "summed_mape": summed.mape(throughput, rsrp, power),
+    }
+
+
+def test_ablation_directional_features(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_evaluate(f, seed=31) for f in (0.0, 0.2, 0.5)],
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Ablation: directional vs summed power-model features",
+        format_table(
+            ["UL burst fraction", "directional MAPE %", "summed TH+SS MAPE %"],
+            [
+                (
+                    r["uplink_fraction"],
+                    round(r["directional_mape"], 2),
+                    round(r["summed_mape"], 2),
+                )
+                for r in rows
+            ],
+        ),
+    )
+    by_fraction = {r["uplink_fraction"]: r for r in rows}
+    # Pure downlink: the variants tie (within noise).
+    pure = by_fraction[0.0]
+    assert abs(pure["directional_mape"] - pure["summed_mape"]) < 1.0
+    # Mixed traffic: directional wins, and the gap grows with UL share.
+    for fraction in (0.2, 0.5):
+        row = by_fraction[fraction]
+        assert row["directional_mape"] < row["summed_mape"], fraction
+    gap_02 = by_fraction[0.2]["summed_mape"] - by_fraction[0.2]["directional_mape"]
+    gap_05 = by_fraction[0.5]["summed_mape"] - by_fraction[0.5]["directional_mape"]
+    benchmark.extra_info["gap_at_50pct_ul"] = round(gap_05, 2)
+    assert gap_05 > 0.5

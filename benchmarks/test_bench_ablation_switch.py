@@ -1,0 +1,85 @@
+"""Ablation: interface-watchdog thresholds for 5G-aware streaming.
+
+DESIGN.md calls out the switching policy's thresholds as the design
+choice to ablate: too eager (bail on brief dips) wastes switch
+overhead and parks the stream on slow 4G; too lazy never escapes a
+crater. This sweep shows the interior optimum the defaults sit near.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.traces.lumos import LumosConfig, generate_lumos_corpus
+from repro.video.encoding import VideoManifest, build_ladder
+from repro.video.selection import (
+    StreamingInterfaceSelector,
+    _SelectorABR,
+    _SwitchingBandwidth,
+)
+from repro.video.abr.mpc import FastMPC
+from repro.video.player import Player
+from repro.video.qoe import stall_percent
+
+
+def _run_policy(pairs, manifest, bail_after_s):
+    player = Player(manifest)
+    stalls = []
+    for trace_5g, trace_4g in pairs:
+        bandwidth = _SwitchingBandwidth(
+            trace_5g, trace_4g, switch_overhead_s=1.5, bail_after_s=bail_after_s
+        )
+        selector = _SelectorABR(
+            inner=FastMPC(),
+            bandwidth=bandwidth,
+            avg_4g_mbps=trace_4g.mean_mbps,
+            buffer_return_s=10.0,
+        )
+        result = player.play(selector, bandwidth)
+        stalls.append(stall_percent(result.stall_s, result.playback_s))
+    return float(np.mean(stalls))
+
+
+def test_ablation_switch_thresholds(benchmark):
+    def run():
+        traces_5g, traces_4g = generate_lumos_corpus(
+            LumosConfig(n_5g=12, n_4g=12, duration_s=260, seed=6)
+        )
+        pairs = list(zip(traces_5g, traces_4g))
+        manifest = VideoManifest(
+            ladder=build_ladder(160.0), chunk_s=4.0, n_chunks=50
+        )
+        sweep = {}
+        for bail_after_s in (0.5, 3.0, 12.0):
+            sweep[bail_after_s] = _run_policy(pairs, manifest, bail_after_s)
+        baseline_player = Player(manifest)
+        baseline = float(
+            np.mean(
+                [
+                    stall_percent(
+                        baseline_player.play(FastMPC(), t.throughput_at).stall_s,
+                        manifest.duration_s,
+                    )
+                    for t, _ in pairs
+                ]
+            )
+        )
+        return sweep, baseline
+
+    sweep, baseline = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Ablation: watchdog bail-delay sweep (mean stall %)",
+        format_table(
+            ["bail_after_s", "stall %"],
+            [("5G-only baseline", round(baseline, 2))]
+            + [(k, round(v, 2)) for k, v in sweep.items()],
+        ),
+    )
+    benchmark.extra_info.update({str(k): round(v, 2) for k, v in sweep.items()})
+
+    # The default (3 s) should not be worse than both extremes — the
+    # interior optimum the design chose.
+    default = sweep[3.0]
+    assert default <= max(sweep[0.5], sweep[12.0]) + 0.2
+    # A far-too-lazy watchdog approaches the 5G-only baseline.
+    assert abs(sweep[12.0] - baseline) < max(3.0, 0.5 * baseline)

@@ -1,0 +1,59 @@
+"""Fig. 11/26: throughput vs power for 4G and 5G, with crossovers.
+
+Paper shape: power linear in throughput for every radio; mmWave's line
+is flattest but starts highest; crossovers vs 4G at ~187 Mbps DL /
+~40 Mbps UL and vs low-band 5G at ~189 / ~123 Mbps (S20U).
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table, run_throughput_power
+
+
+def test_fig11_throughput_power(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_throughput_power(
+            device_name="S20U", n_points=10, duration_s=6.0, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    sweeps = result["sweeps"]
+    rows = []
+    for key, sweep in sweeps.items():
+        rows.append(
+            (
+                key,
+                round(sweep["dl"]["slope"], 2),
+                round(sweep["dl"]["intercept"], 0),
+                round(sweep["ul"]["slope"], 2),
+                round(sweep["ul"]["intercept"], 0),
+            )
+        )
+    emit(
+        "Fig. 11: fitted throughput-power lines (S20U)",
+        format_table(["network", "DL slope", "DL intercept", "UL slope", "UL intercept"], rows),
+    )
+
+    crossings = result["crossovers"]
+    cross_rows = [
+        (f"{a} vs {b} ({d})", round(v, 1) if v else "none")
+        for (a, b, d), v in crossings.items()
+    ]
+    emit("Fig. 11: crossover points", format_table(["pair", "Mbps"], cross_rows))
+
+    dl_vs_lte = crossings[("verizon-nsa-mmwave", "verizon-lte", "dl")]
+    dl_vs_lb = crossings[("verizon-nsa-mmwave", "verizon-nsa-lowband", "dl")]
+    ul_vs_lte = crossings[("verizon-nsa-mmwave", "verizon-lte", "ul")]
+    ul_vs_lb = crossings[("verizon-nsa-mmwave", "verizon-nsa-lowband", "ul")]
+    benchmark.extra_info["dl_crossover_vs_4g"] = round(dl_vs_lte, 1)
+    benchmark.extra_info["ul_crossover_vs_4g"] = round(ul_vs_lte, 1)
+
+    # Paper: 187 / 189 Mbps DL, 40 / 123 Mbps UL.
+    assert abs(dl_vs_lte - 187.0) < 25.0
+    assert abs(dl_vs_lb - 189.0) < 25.0
+    assert abs(ul_vs_lte - 40.0) < 10.0
+    assert abs(ul_vs_lb - 123.0) < 25.0
+    # mmWave has the flattest slope, LTE UL the steepest.
+    assert sweeps["verizon-nsa-mmwave"]["dl"]["slope"] < sweeps["verizon-nsa-lowband"]["dl"]["slope"]
+    assert sweeps["verizon-lte"]["ul"]["slope"] > sweeps["verizon-lte"]["dl"]["slope"]

@@ -1,0 +1,50 @@
+"""Fig. 12/27: throughput vs energy efficiency (log-log).
+
+Paper shape: energy-per-bit falls with throughput for every radio; 5G
+is far less efficient than 4G at low rates but up to several times
+more efficient at rates only 5G can reach.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import format_table, run_energy_efficiency, run_throughput_power
+
+
+def test_fig12_energy_efficiency(benchmark):
+    def run():
+        sweep = run_throughput_power(
+            device_name="S20U", n_points=10, duration_s=6.0, seed=0
+        )
+        return sweep, run_energy_efficiency(throughput_power=sweep)
+
+    sweep, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    curves = result["curves"]
+
+    mm = curves[("verizon-nsa-mmwave", "dl")]
+    lte = curves[("verizon-lte", "dl")]
+    emit(
+        "Fig. 12: mmWave DL energy efficiency",
+        format_table(
+            ["throughput Mbps", "efficiency (mW/Mbps)"],
+            [(round(t, 1), round(e, 1)) for t, e in zip(mm["throughput"], mm["efficiency"])],
+        ),
+    )
+
+    # Efficiency improves (number drops) with throughput for each radio.
+    for curve in curves.values():
+        assert curve["efficiency"][0] > curve["efficiency"][-1]
+
+    # At comparable low throughput, 5G is less efficient than 4G...
+    mm_low = mm["efficiency"][0]
+    lte_low = np.interp(mm["throughput"][0], lte["throughput"], lte["efficiency"])
+    assert mm_low > lte_low
+    benchmark.extra_info["mm_low_penalty"] = round(float(mm_low / lte_low), 2)
+
+    # ...but at its top rates mmWave beats 4G's *best* efficiency.
+    mm_high = mm["efficiency"][-1]
+    lte_best = lte["efficiency"][-1]
+    assert mm_high < lte_best
+    benchmark.extra_info["mm_high_gain"] = round(float(lte_best / mm_high), 2)
+    # Paper: up to ~5x more efficient; allow 2-8x.
+    assert 2.0 <= lte_best / mm_high <= 8.0

@@ -1,0 +1,78 @@
+"""Fig. 13: power-RSRP-throughput relationship in walking traces.
+
+Paper shape: higher throughput -> higher power; worse RSRP -> higher
+power at the same throughput; in Minneapolis the low-band and mmWave
+points separate into two clusters.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import format_table, run_walking_power
+
+
+def test_fig13_power_rsrp_throughput(benchmark):
+    def run():
+        ann_arbor = run_walking_power(
+            device_name="S10",
+            network_key="verizon-nsa-mmwave",
+            city="Ann Arbor",
+            n_traces=4,
+            seed=5,
+        )
+        minneapolis_lb = run_walking_power(
+            device_name="S20U",
+            network_key="verizon-nsa-lowband",
+            city="Minneapolis",
+            n_traces=2,
+            seed=6,
+        )
+        minneapolis_mm = run_walking_power(
+            device_name="S20U",
+            network_key="verizon-nsa-mmwave",
+            city="Minneapolis",
+            n_traces=2,
+            seed=7,
+        )
+        return ann_arbor, minneapolis_lb, minneapolis_mm
+
+    ann_arbor, mlb, mmm = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    scatter = ann_arbor["scatter"]
+    rsrp, tput, power = (
+        scatter["rsrp_dbm"],
+        scatter["throughput_mbps"],
+        scatter["power_mw"],
+    )
+    active = tput > 1.0
+
+    # Throughput effect at fixed-ish signal.
+    good_signal = active & (rsrp > -85.0)
+    hi = good_signal & (tput > np.percentile(tput[good_signal], 75))
+    lo = good_signal & (tput < np.percentile(tput[good_signal], 25))
+    emit(
+        "Fig. 13 (Ann Arbor, S10): power by throughput quartile at good RSRP",
+        format_table(
+            ["group", "mean power W"],
+            [
+                ("high throughput", round(power[hi].mean() / 1000.0, 2)),
+                ("low throughput", round(power[lo].mean() / 1000.0, 2)),
+            ],
+        ),
+    )
+    assert power[hi].mean() > power[lo].mean()
+
+    # Signal effect at matched throughput band.
+    mid_tput = active & (tput > 200.0) & (tput < 900.0)
+    weak = mid_tput & (rsrp < -95.0)
+    strong = mid_tput & (rsrp > -85.0)
+    if weak.sum() > 20 and strong.sum() > 20:
+        assert power[weak].mean() > power[strong].mean()
+
+    # Minneapolis two-cluster structure: low-band cluster sits at lower
+    # throughput than the mmWave cluster (the Fig. 13 right panel).
+    lb_tput = mlb["scatter"]["throughput_mbps"]
+    mm_tput = mmm["scatter"]["throughput_mbps"]
+    benchmark.extra_info["lb_cluster_mbps"] = round(float(np.median(lb_tput[lb_tput > 1])), 0)
+    benchmark.extra_info["mm_cluster_mbps"] = round(float(np.median(mm_tput[mm_tput > 1])), 0)
+    assert np.median(mm_tput[mm_tput > 1]) > 3.0 * np.median(lb_tput[lb_tput > 1])

@@ -1,0 +1,47 @@
+"""Fig. 14: energy efficiency vs RSRP bins on mmWave walking traces.
+
+Paper shape: as NR-SS-RSRP improves from -110 toward -75 dBm, the
+energy per bit falls monotonically (modulo bin noise).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import format_table, run_walking_power
+
+
+def test_fig14_efficiency_by_rsrp(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_walking_power(
+            device_name="S10",
+            network_key="verizon-nsa-mmwave",
+            city="Ann Arbor",
+            n_traces=6,
+            seed=9,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    bins = [b for b in result["bins"] if b["n"] > 20]
+    emit(
+        "Fig. 14: energy efficiency by RSRP bin (Ann Arbor, S10)",
+        format_table(
+            ["RSRP bin (dBm)", "n", "median efficiency (mW/Mbps)"],
+            [
+                (f"[{int(b['bin'][0])},{int(b['bin'][1])})", b["n"], round(b["efficiency"], 1))
+                for b in bins
+            ],
+        ),
+    )
+    assert len(bins) >= 4, "need several populated RSRP bins"
+    efficiencies = [b["efficiency"] for b in bins]
+    benchmark.extra_info["worst_bin"] = round(efficiencies[0], 1)
+    benchmark.extra_info["best_bin"] = round(efficiencies[-1], 1)
+
+    # Broad trend: worst (lowest-RSRP) bin much less efficient than the
+    # best; mostly monotone along the way.
+    assert efficiencies[0] > 2.0 * efficiencies[-1]
+    decreasing_pairs = sum(
+        1 for a, b in zip(efficiencies, efficiencies[1:]) if a >= b
+    )
+    assert decreasing_pairs >= len(efficiencies) - 2

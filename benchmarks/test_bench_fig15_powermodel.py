@@ -1,0 +1,73 @@
+"""Fig. 15: power-model MAPE comparison across the five settings.
+
+Paper shape: TH+SS (the paper's model) always wins; SS-only is far
+worse, especially on mmWave (high-band); TH-only sits between; and the
+software monitor, after DTR calibration, reaches comparable MAPE with
+10 Hz beating 1 Hz.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table, run_power_models, run_software_monitor
+
+
+def test_fig15_power_models(benchmark):
+    def run():
+        models = run_power_models(n_train=6, n_test=2, seed=5)
+        software = run_software_monitor(duration_s=15.0, calibration_duration_s=150.0)
+        return models, software
+
+    models, software = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = models["rows"]
+    emit(
+        "Fig. 15 (left): MAPE by model and setting",
+        format_table(
+            ["setting", "TH+SS", "TH", "SS", "linear TH+SS"],
+            [
+                (
+                    r["setting"],
+                    round(r["TH+SS"], 2),
+                    round(r["TH"], 2),
+                    round(r["SS"], 2),
+                    round(r["linear TH+SS"], 2),
+                )
+                for r in rows
+            ],
+        ),
+    )
+    calibration = software["calibration"]
+    emit(
+        "Fig. 15 (right) / Fig. 16: software monitor calibration",
+        format_table(
+            ["rate", "MAPE before", "MAPE after"],
+            [
+                (k, round(v["mape_before"], 2), round(v["mape_after"], 2))
+                for k, v in calibration.items()
+            ],
+        ),
+    )
+
+    for row in rows:
+        # TH+SS never loses to TH or SS.
+        assert row["TH+SS"] <= row["TH"] + 0.3, row["setting"]
+        assert row["TH+SS"] < row["SS"], row["setting"]
+        # All models stay in the paper's sub-15% MAPE regime.
+        assert row["TH+SS"] < 8.0
+
+    # SS is especially bad on mmWave (high-band) settings.
+    hb = [r for r in rows if "HB" in r["setting"]]
+    lb = [r for r in rows if "LB" in r["setting"]]
+    assert all(r["SS"] > 1.4 * r["TH+SS"] for r in hb)
+
+    # DTR beats the linear multi-factor model on mmWave settings.
+    assert all(r["linear TH+SS"] > r["TH+SS"] for r in hb)
+
+    # Calibrated software monitor reaches comparable (few-%) MAPE at
+    # both rates; the paper's 10Hz-vs-1Hz edge is within run-to-run
+    # noise here, so only comparability is asserted.
+    assert calibration["SW-10Hz"]["mape_after"] < 5.0
+    assert calibration["SW-1Hz"]["mape_after"] < 5.0
+    for v in calibration.values():
+        assert v["mape_after"] < v["mape_before"]
+
+    benchmark.extra_info["thss_mape_hb"] = round(hb[0]["TH+SS"], 2)

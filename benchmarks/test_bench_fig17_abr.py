@@ -1,0 +1,63 @@
+"""Fig. 17: QoE of the seven ABR algorithms on 5G vs 4G.
+
+Paper shape: normalized bitrates stay comparable across networks (mean
+drop ~3.5%), but stalls blow up on 5G for everything except BBA;
+Pensieve has the best 4G QoE yet the worst 5G stall time; robustMPC is
+the one algorithm that keeps good QoE on 5G.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import format_table, run_abr_comparison
+
+
+def test_fig17_abr_comparison(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_abr_comparison(n_traces=20, n_chunks=50, duration_s=260, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    rows = result["rows"]
+    emit(
+        "Fig. 17: ABR QoE on 5G vs 4G",
+        format_table(
+            ["ABR", "5G stall %", "5G bitrate", "4G stall %", "4G bitrate"],
+            [
+                (
+                    r["abr"],
+                    round(r["stall_5G"], 2),
+                    round(r["bitrate_5G"], 3),
+                    round(r["stall_4G"], 2),
+                    round(r["bitrate_4G"], 3),
+                )
+                for r in rows
+            ],
+        ),
+    )
+    by_abr = {r["abr"]: r for r in rows}
+
+    # Stall inflation on 5G for at least 5 of 7 algorithms.
+    worse = sum(1 for r in rows if r["stall_5G"] > r["stall_4G"])
+    assert worse >= 5
+    benchmark.extra_info["abrs_with_worse_5g_stall"] = worse
+
+    # Pensieve: worst 5G stall, top-tier bitrate.
+    stalls_5g = {r["abr"]: r["stall_5G"] for r in rows}
+    assert stalls_5g["pensieve"] == max(stalls_5g.values())
+    assert by_abr["pensieve"]["bitrate_5G"] >= max(r["bitrate_5G"] for r in rows) - 0.05
+
+    # BBA: low stall on both networks (the conservative outlier).
+    assert by_abr["bba"]["stall_5G"] <= np.median(list(stalls_5g.values()))
+
+    # robustMPC in/near the better-QoE region on 5G.
+    assert by_abr["robustmpc"]["stall_5G"] < 6.0
+    assert by_abr["robustmpc"]["bitrate_5G"] > 0.7
+
+    # fastMPC and Pensieve outside the region on 5G (stall >= 5%).
+    assert by_abr["fastmpc"]["stall_5G"] > by_abr["robustmpc"]["stall_5G"]
+
+    # Normalized bitrate drop 5G vs 4G stays small on average.
+    drops = [r["bitrate_4G"] - r["bitrate_5G"] for r in rows]
+    assert np.mean(drops) < 0.15
+    benchmark.extra_info["mean_bitrate_drop"] = round(float(np.mean(drops)), 3)

@@ -1,0 +1,105 @@
+"""Fig. 18: throughput predictors, chunk lengths, interface selection.
+
+Paper shape: (a) better predictors -> better QoE, with the ground-truth
+oracle bounding the GBDT predictor from above and harmonic mean last;
+(b) shorter chunks buy higher bitrate and better adaptation;
+(c) 5G-aware interface selection cuts stalls vs 5G-only while the
+no-overhead variant bounds it.
+"""
+
+from conftest import emit
+
+from repro.experiments import (
+    format_table,
+    run_chunk_lengths,
+    run_video_interface_selection,
+    run_video_predictors,
+)
+
+
+def test_fig18a_predictors(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_video_predictors(n_traces=16, n_chunks=50, duration_s=260, seed=4),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Fig. 18a: fastMPC QoE by throughput predictor",
+        format_table(
+            ["predictor", "QoE", "normalized"],
+            [
+                (name, round(result["qoe"][name], 0), round(result["normalized_qoe"][name], 3))
+                for name in ("hmMPC", "MPC_GDBT", "truthMPC")
+            ],
+        ),
+    )
+    qoe = result["qoe"]
+    benchmark.extra_info.update({k: round(v, 0) for k, v in qoe.items()})
+    assert qoe["truthMPC"] >= qoe["MPC_GDBT"]
+    assert qoe["MPC_GDBT"] > qoe["hmMPC"]
+
+
+def test_fig18b_chunk_lengths(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_chunk_lengths(n_traces=14, duration_s=260, seed=5),
+        rounds=1,
+        iterations=1,
+    )
+    rows = result["rows"]
+    emit(
+        "Fig. 18b: fastMPC QoE by chunk length",
+        format_table(
+            ["chunk s", "stall %", "normalized bitrate"],
+            [
+                (r["chunk_s"], round(r["stall_percent"], 2), round(r["normalized_bitrate"], 3))
+                for r in rows
+            ],
+        ),
+    )
+    by_len = {r["chunk_s"]: r for r in rows}
+    # Paper: 1 s chunks give ~21-36% higher bitrate than 2/4 s.
+    assert by_len[1.0]["normalized_bitrate"] > by_len[2.0]["normalized_bitrate"]
+    assert by_len[2.0]["normalized_bitrate"] > by_len[4.0]["normalized_bitrate"]
+    benchmark.extra_info["bitrate_gain_1s_vs_4s"] = round(
+        by_len[1.0]["normalized_bitrate"] / by_len[4.0]["normalized_bitrate"] - 1.0, 3
+    )
+
+
+def test_fig18c_interface_selection(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_video_interface_selection(
+            n_pairs=16, n_chunks=50, duration_s=260, seed=6
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    summary = result["summary"]
+    emit(
+        "Fig. 18c: interface selection schemes",
+        format_table(
+            ["scheme", "stall %", "bitrate", "energy J", "switches"],
+            [
+                (
+                    name,
+                    round(stats["stall_percent"], 2),
+                    round(stats["normalized_bitrate"], 3),
+                    round(stats["energy_j"], 1),
+                    round(stats["switches"], 2),
+                )
+                for name, stats in summary.items()
+            ],
+        ),
+    )
+    only = summary["5G-only MPC"]
+    aware = summary["5G-aware MPC"]
+    no_overhead = summary["5G-aware MPC NO"]
+
+    # The switching scheme reduces stalls vs always-5G (paper: 26.9%);
+    # the no-overhead variant shows the mechanism's clean effect, and
+    # the realistic variant pays a small overhead premium over it
+    # (paper: ~4% more stall than the NO variant).
+    assert no_overhead["stall_percent"] < only["stall_percent"]
+    assert aware["stall_percent"] <= no_overhead["stall_percent"] * 1.15
+    benchmark.extra_info["stall_reduction_pct"] = round(
+        100.0 * (1.0 - no_overhead["stall_percent"] / only["stall_percent"]), 1
+    )

@@ -1,0 +1,70 @@
+"""Fig. 19/20/21: web PLT and energy over mmWave 5G vs 4G.
+
+Paper shape: 5G always loads faster, but 4G always consumes less
+energy; the PLT gap grows with object count and page size while the
+energy gap moves the other way; accepting even a small PLT penalty by
+choosing 4G yields large (~70% at <=10% penalty) energy savings.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import format_table, run_web_factors
+
+
+def test_fig19_21_web_factors(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_web_factors(n_sites=600, seed=1), rounds=1, iterations=1
+    )
+    dataset = result["dataset"]
+
+    emit(
+        "Fig. 19a: impact of object count",
+        format_table(
+            ["bucket", "n", "4G PLT", "5G PLT", "4G E(J)", "5G E(J)"],
+            [
+                (
+                    r["bucket"],
+                    r["n"],
+                    round(r["plt_4g"], 2),
+                    round(r["plt_5g"], 2),
+                    round(r["energy_4g"], 2),
+                    round(r["energy_5g"], 2),
+                )
+                for r in result["fig19_objects"]
+                if r["n"] > 0
+            ],
+        ),
+    )
+    emit(
+        "Fig. 21: energy saving vs PLT penalty of choosing 4G",
+        format_table(
+            ["penalty bucket %", "n", "energy saving %"],
+            [
+                (r["penalty_bucket"], r["n"], round(r["energy_saving_percent"], 1))
+                for r in result["fig21"]
+            ],
+        ),
+    )
+
+    # Fig. 20 CDF relationships (rare tiny-page jitter exceptions allowed).
+    assert (dataset.plt_5g < dataset.plt_4g).mean() > 0.99
+    assert (dataset.energy_4g < dataset.energy_5g).mean() > 0.99
+    benchmark.extra_info["median_plt_4g"] = round(float(np.median(dataset.plt_4g)), 2)
+    benchmark.extra_info["median_plt_5g"] = round(float(np.median(dataset.plt_5g)), 2)
+
+    # Fig. 19: the 4G-5G PLT gap grows with object count and page size.
+    for key in ("fig19_objects", "fig19_size"):
+        rows = [r for r in result[key] if r["n"] > 5]
+        gaps = [r["plt_4g"] - r["plt_5g"] for r in rows]
+        assert gaps[-1] > gaps[0], key
+        # Energy points the other way in every bucket.
+        assert all(r["energy_5g"] > r["energy_4g"] for r in rows), key
+
+    # Fig. 21: small penalty, large saving; savings shrink with penalty.
+    buckets = [r for r in result["fig21"] if r["n"] > 3]
+    assert buckets[0]["energy_saving_percent"] > 50.0
+    assert buckets[0]["energy_saving_percent"] >= buckets[-1]["energy_saving_percent"]
+    benchmark.extra_info["saving_at_small_penalty"] = round(
+        buckets[0]["energy_saving_percent"], 1
+    )

@@ -1,0 +1,50 @@
+"""Fig. 23 (Appendix A.1): carrier aggregation boosts peak throughput.
+
+Paper shape: the S20U (X55 modem, 8CC downlink / 2CC uplink) clears
+~3 Gbps down while the PX5 (X52, 4CC/1CC) tops out near 2.2 Gbps, a
+50-60% improvement from the newer modem.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table, run_carrier_aggregation
+
+
+def test_fig23_carrier_aggregation(benchmark):
+    result = benchmark.pedantic(run_carrier_aggregation, rounds=1, iterations=1)
+    rows = result["rows"]
+    emit(
+        "Fig. 23: 4CC (PX5) vs 8CC (S20U) peak throughput",
+        format_table(
+            ["device", "modem", "DL CC", "DL cap", "DL single", "DL multi", "UL multi"],
+            [
+                (
+                    r["device"],
+                    r["modem"],
+                    r["dl_cc"],
+                    round(r["dl_mbps"], 0),
+                    round(r["dl_single_mbps"], 0),
+                    round(r["dl_multi_mbps"], 0),
+                    round(r["ul_multi_mbps"], 0),
+                )
+                for r in rows
+            ],
+        ),
+    )
+    by_device = {r["device"]: r for r in rows}
+    px5 = by_device["PX5"]
+    s20u = by_device["S20U"]
+    benchmark.extra_info["px5_dl"] = round(px5["dl_mbps"], 0)
+    benchmark.extra_info["s20u_dl"] = round(s20u["dl_mbps"], 0)
+
+    assert s20u["dl_mbps"] > 3000.0
+    assert 1900.0 < px5["dl_mbps"] < 2400.0
+    # 30-60% improvement from 8CC (paper: 50-60%).
+    gain = s20u["dl_mbps"] / px5["dl_mbps"] - 1.0
+    assert 0.3 <= gain <= 0.7
+    assert s20u["ul_mbps"] > px5["ul_mbps"]
+    # The connection-mode dimension: multi >= single on each device, and
+    # the modem gap shows in both modes.
+    for row in rows:
+        assert row["dl_multi_mbps"] >= row["dl_single_mbps"] * 0.95
+    assert s20u["dl_multi_mbps"] > px5["dl_multi_mbps"]

@@ -1,0 +1,51 @@
+"""Fig. 24 (Appendix A.2): Minnesota Speedtest-server survey.
+
+Paper shape: the carrier's own Minneapolis server delivers the best
+throughput (>3 Gbps); most third-party servers land ~10% lower; a
+band of servers is pinned near 2 Gbps and another near 1 Gbps by
+NIC/switch-port limits.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import format_table, run_server_survey
+
+
+def test_fig24_server_survey(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_server_survey(seed=0, repetitions=6), rounds=1, iterations=1
+    )
+    rows = result["rows"]
+    emit(
+        "Fig. 24: downlink throughput across Minnesota servers",
+        format_table(
+            ["server", "hosted by", "cap", "DL Mbps"],
+            [
+                (
+                    r["server"],
+                    r["hosted_by"],
+                    r["cap_mbps"] if r["cap_mbps"] else "-",
+                    round(r["dl_mbps"], 0),
+                )
+                for r in rows
+            ],
+        ),
+    )
+    assert len(rows) == 37
+    carrier = next(r for r in rows if r["hosted_by"] == "carrier")
+    benchmark.extra_info["carrier_dl"] = round(carrier["dl_mbps"], 0)
+
+    # Carrier-hosted server is the best performer.
+    assert carrier["dl_mbps"] == max(r["dl_mbps"] for r in rows)
+    assert carrier["dl_mbps"] > 2900.0
+
+    # Uncapped third-party servers: ~10% haircut, still far above caps.
+    uncapped = [r["dl_mbps"] for r in rows if r["cap_mbps"] is None and r["hosted_by"] != "carrier"]
+    assert 0.8 * carrier["dl_mbps"] < np.mean(uncapped) < carrier["dl_mbps"]
+
+    # The 2 Gbps and 1 Gbps bands are visible.
+    capped_2g = [r["dl_mbps"] for r in rows if r["cap_mbps"] == 2000.0]
+    capped_1g = [r["dl_mbps"] for r in rows if r["cap_mbps"] == 1000.0]
+    assert all(1700.0 < v <= 2000.0 for v in capped_2g)
+    assert all(800.0 < v <= 1000.0 for v in capped_1g)

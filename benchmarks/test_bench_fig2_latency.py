@@ -1,0 +1,47 @@
+"""Fig. 1/2/5: RTT vs UE-server distance per radio technology.
+
+Paper shape: ~6 ms floor on mmWave near the UE's city, roughly doubling
+by ~320 km; low-band sits 6-8 ms above mmWave everywhere; LTE another
+6-15 ms above 5G; T-Mobile SA and NSA are indistinguishable.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table, run_latency_vs_distance
+
+
+def test_fig2_latency_vs_distance(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_latency_vs_distance(n_servers=20, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    series = result["series"]
+    mm = dict(series["verizon-nsa-mmwave"])
+    lb = dict(series["verizon-nsa-lowband"])
+    lte = dict(series["verizon-lte"])
+    sa = dict(series["tmobile-sa-lowband"])
+    nsa = dict(series["tmobile-nsa-lowband"])
+
+    rows = [
+        (round(d, 0), round(mm[d], 1), round(lb[d], 1), round(lte[d], 1))
+        for d in sorted(mm)
+    ]
+    emit(
+        "Fig. 2: [Verizon] RTT vs UE-server distance",
+        format_table(["distance_km", "mmWave", "low-band", "LTE"], rows),
+    )
+
+    distances = sorted(mm)
+    benchmark.extra_info["rtt_floor_ms"] = round(mm[distances[0]], 1)
+
+    # Floor ~6 ms; doubling by a few hundred km.
+    assert mm[distances[0]] < 10.0
+    beyond_320 = [d for d in distances if d > 320.0]
+    assert mm[beyond_320[0]] > 2.0 * 6.0 * 0.8
+    # Band ordering holds at every distance.
+    for d in distances:
+        assert mm[d] < lb[d] < lte[d]
+    # SA ~ NSA (Fig. 5 finding).
+    for d in distances:
+        assert abs(sa[d] - nsa[d]) < 5.0

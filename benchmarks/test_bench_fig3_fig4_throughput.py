@@ -1,0 +1,53 @@
+"""Fig. 3/4: Verizon mmWave downlink/uplink vs UE-server distance.
+
+Paper shape: multi-connection downlink stays >3 Gbps across all US
+servers; single-connection decays with distance; uplink ~220 Mbps in
+both modes.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table, run_throughput_vs_distance
+
+
+def test_fig3_fig4_verizon_throughput(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_throughput_vs_distance(
+            network_key="verizon-nsa-mmwave",
+            device_name="S20U",
+            n_servers=10,
+            repetitions=8,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = result["rows"]
+    emit(
+        "Fig. 3/4: [Verizon mmWave] p95 throughput vs distance",
+        format_table(
+            ["server", "km", "rtt", "DL multi", "DL single", "UL multi", "UL single"],
+            [
+                (
+                    r["server"],
+                    round(r["distance_km"], 0),
+                    round(r["rtt_ms"], 1),
+                    round(r["dl_multi_mbps"], 0),
+                    round(r["dl_single_mbps"], 0),
+                    round(r["ul_multi_mbps"], 0),
+                    round(r["ul_single_mbps"], 0),
+                )
+                for r in rows
+            ],
+        ),
+    )
+    benchmark.extra_info["dl_multi_home"] = round(rows[0]["dl_multi_mbps"], 0)
+
+    # Multi-connection >2.8 Gbps at every distance (paper: >3 Gbps).
+    assert all(r["dl_multi_mbps"] > 2800.0 for r in rows)
+    # Single connection decays: far < near.
+    near = rows[0]["dl_single_mbps"]
+    far = rows[-1]["dl_single_mbps"]
+    assert far < near
+    # Uplink ~220 Mbps in both modes.
+    assert all(180.0 < r["ul_multi_mbps"] <= 225.0 for r in rows)

@@ -1,0 +1,52 @@
+"""Fig. 6/7: T-Mobile SA vs NSA low-band throughput vs distance.
+
+Paper shape: SA downlink and uplink achieve roughly *half* of NSA
+(carrier aggregation not yet supported on SA).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import format_table, run_throughput_vs_distance
+
+
+def test_fig6_fig7_tmobile_sa_vs_nsa(benchmark):
+    def run():
+        return {
+            "sa": run_throughput_vs_distance(
+                network_key="tmobile-sa-lowband", n_servers=8, repetitions=6, seed=1
+            ),
+            "nsa": run_throughput_vs_distance(
+                network_key="tmobile-nsa-lowband", n_servers=8, repetitions=6, seed=1
+            ),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    sa_rows = result["sa"]["rows"]
+    nsa_rows = result["nsa"]["rows"]
+    emit(
+        "Fig. 6/7: [T-Mobile] SA vs NSA low-band (multi-conn p95)",
+        format_table(
+            ["km", "SA DL", "NSA DL", "SA UL", "NSA UL"],
+            [
+                (
+                    round(s["distance_km"], 0),
+                    round(s["dl_multi_mbps"], 1),
+                    round(n["dl_multi_mbps"], 1),
+                    round(s["ul_multi_mbps"], 1),
+                    round(n["ul_multi_mbps"], 1),
+                )
+                for s, n in zip(sa_rows, nsa_rows)
+            ],
+        ),
+    )
+
+    sa_dl = np.mean([r["dl_multi_mbps"] for r in sa_rows])
+    nsa_dl = np.mean([r["dl_multi_mbps"] for r in nsa_rows])
+    sa_ul = np.mean([r["ul_multi_mbps"] for r in sa_rows])
+    nsa_ul = np.mean([r["ul_multi_mbps"] for r in nsa_rows])
+    benchmark.extra_info["sa_over_nsa_dl"] = round(sa_dl / nsa_dl, 3)
+
+    # SA at roughly half of NSA, both directions.
+    assert 0.35 <= sa_dl / nsa_dl <= 0.65
+    assert 0.35 <= sa_ul / nsa_ul <= 0.65

@@ -1,0 +1,39 @@
+"""Fig. 9: handoff counts while driving, per band configuration.
+
+Paper shape: SA-only 13 handoffs; NSA+LTE 110 (mostly vertical);
+LTE-only 30; SA+LTE 38; All Bands 64.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table, run_handoff_drive
+
+
+def test_fig9_handoffs(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_handoff_drive(dt_s=0.5, seed=3), rounds=1, iterations=1
+    )
+    rows = result["rows"]
+    emit(
+        "Fig. 9: handoffs while driving (10 km)",
+        format_table(
+            ["configuration", "total", "horizontal", "vertical"],
+            [(r["configuration"], r["total"], r["horizontal"], r["vertical"]) for r in rows],
+        ),
+    )
+    totals = {r["configuration"]: r["total"] for r in rows}
+    for name, total in totals.items():
+        benchmark.extra_info[name] = total
+
+    # Paper ordering.
+    assert totals["NSA-5G + LTE"] > totals["All Bands"]
+    assert totals["All Bands"] > totals["SA-5G + LTE"]
+    assert totals["SA-5G + LTE"] >= totals["LTE only"]
+    assert totals["LTE only"] > totals["SA-5G only"]
+    # Rough magnitudes (paper: 13 / 110 / 30 / 38 / 64).
+    assert 8 <= totals["SA-5G only"] <= 25
+    assert 80 <= totals["NSA-5G + LTE"] <= 150
+    assert 20 <= totals["LTE only"] <= 45
+    # NSA's excess is vertical (paper: ~90 vertical handoffs).
+    nsa = next(r for r in rows if r["configuration"] == "NSA-5G + LTE")
+    assert nsa["vertical"] > 60

@@ -1,0 +1,26 @@
+"""Table 1: dataset statistics of a miniature measurement campaign."""
+
+from conftest import emit
+
+from repro.experiments import format_table, run_table1_campaign
+
+
+def test_table1_campaign(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table1_campaign(
+            speedtest_repetitions=2, walking_traces_per_setting=1, web_loads=600
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = result["rows"]
+    emit("Table 1: dataset statistics", format_table(["Statistic", "Value"], rows))
+    stats = result["stats"]
+    benchmark.extra_info["speedtests"] = stats.speedtest_count
+    benchmark.extra_info["km_walked"] = stats.km_walked
+
+    assert stats.speedtest_count > 0
+    assert stats.unique_servers > 1
+    assert stats.km_walked > 0
+    assert stats.web_page_loads == 600
+    assert stats.devices == 3

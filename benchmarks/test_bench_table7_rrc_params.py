@@ -1,0 +1,62 @@
+"""Table 7: full RRC parameter recovery by RRC-Probe.
+
+Checks every timer column the probe can observe: UE-inactivity, Long
+DRX, idle DRX, and promotion delay, for all six configurations.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.rrc.parameters import RRC_PARAMETERS
+from repro.rrc.probe import RRCProbe
+
+
+def test_table7_parameters(benchmark):
+    def run():
+        results = {}
+        for key, params in RRC_PARAMETERS.items():
+            probe = RRCProbe(params, seed=5)
+            sweep = probe.sweep(np.arange(1.0, 25.0, 1.0), packets_per_interval=30)
+            results[key] = sweep.inferred
+        return results
+
+    inferred = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for key, params in RRC_PARAMETERS.items():
+        inf = inferred[key]
+        rows.append(
+            (
+                key,
+                params.secondary_tail_ms or params.inactivity_ms,
+                round(inf["inactivity_ms"], 0),
+                params.long_drx_ms,
+                round(inf["long_drx_ms"], 0),
+                params.idle_drx_ms,
+                round(inf["idle_drx_ms"], 0),
+            )
+        )
+    emit(
+        "Table 7: RRC parameters (true vs inferred)",
+        format_table(
+            ["network", "tail", "tail^", "longDRX", "longDRX^", "idleDRX", "idleDRX^"],
+            rows,
+        ),
+    )
+
+    for key, params in RRC_PARAMETERS.items():
+        inf = inferred[key]
+        apparent = params.secondary_tail_ms or params.inactivity_ms
+        assert abs(inf["inactivity_ms"] - apparent) <= 1100.0, key
+        assert inf["long_drx_ms"] == np.clip(
+            inf["long_drx_ms"], params.long_drx_ms * 0.6, params.long_drx_ms * 1.5
+        ), key
+        assert inf["idle_drx_ms"] == np.clip(
+            inf["idle_drx_ms"], params.idle_drx_ms * 0.6, params.idle_drx_ms * 1.4
+        ), key
+        assert inf["promotion_ms"] == np.clip(
+            inf["promotion_ms"],
+            params.promotion_delay_ms * 0.7,
+            params.promotion_delay_ms * 1.3,
+        ), key

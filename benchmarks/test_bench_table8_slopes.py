@@ -1,0 +1,58 @@
+"""Table 8: slopes of the throughput-power curves.
+
+Paper values (mW/Mbps): S10 4G 13.38/57.99, S10 mmWave 2.06/5.27,
+S20U 4G 14.55/80.21, S20U LB-5G 13.52/29.15, S20U mmWave 1.81/9.42;
+uplink slopes 2.2-5.9x the downlink slopes.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table, run_throughput_power
+
+PAPER_SLOPES = {
+    ("S20U", "verizon-lte"): (14.55, 80.21),
+    ("S20U", "verizon-nsa-lowband"): (13.52, 29.15),
+    ("S20U", "verizon-nsa-mmwave"): (1.81, 9.42),
+    ("S10", "verizon-lte"): (13.38, 57.99),
+    ("S10", "verizon-nsa-mmwave"): (2.06, 5.27),
+}
+
+
+def test_table8_slopes(benchmark):
+    def run():
+        out = {}
+        for device in ("S20U", "S10"):
+            keys = [k for (d, k) in PAPER_SLOPES if d == device]
+            out[device] = run_throughput_power(
+                device_name=device, network_keys=keys, n_points=10, duration_s=5.0, seed=1
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for (device, key), (paper_dl, paper_ul) in PAPER_SLOPES.items():
+        sweep = results[device]["sweeps"][key]
+        rows.append(
+            (
+                device,
+                key,
+                paper_dl,
+                round(sweep["dl"]["slope"], 2),
+                paper_ul,
+                round(sweep["ul"]["slope"], 2),
+            )
+        )
+    emit(
+        "Table 8: throughput-power slopes (paper vs measured)",
+        format_table(["device", "network", "DL paper", "DL meas", "UL paper", "UL meas"], rows),
+    )
+
+    for (device, key), (paper_dl, paper_ul) in PAPER_SLOPES.items():
+        sweep = results[device]["sweeps"][key]
+        measured_dl = sweep["dl"]["slope"]
+        measured_ul = sweep["ul"]["slope"]
+        assert abs(measured_dl - paper_dl) / paper_dl < 0.35, (device, key)
+        assert abs(measured_ul - paper_ul) / paper_ul < 0.35, (device, key)
+        # Uplink steeper than downlink (Appendix A.4: 2.2-5.9x).
+        assert measured_ul > 1.5 * measured_dl, (device, key)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Battery drain for a day of app usage, per radio.
+
+Composes the paper's whole power thread: RRC tails and 4G->5G switch
+bursts (section 4.2), throughput/signal-aware transfer power (section
+4.5), and the radio-choice trade-off (sections 5.4/6.2) into one
+battery estimate — and quantifies the paper's headline advice that
+periodic background traffic should be batched under 5G.
+
+Run: ``python examples/battery_day.py``
+"""
+
+from repro.core import (
+    Activity,
+    UsageSession,
+    batched_sync_timeline,
+    periodic_sync_timeline,
+)
+from repro.experiments import format_table
+
+RADIOS = ("verizon-nsa-mmwave", "verizon-nsa-lowband", "verizon-lte")
+
+
+def typical_day() -> list:
+    """A compressed 'day': browsing bursts, two video sessions, a big
+    download, and background syncs."""
+    timeline = []
+    for _ in range(12):  # morning browsing
+        timeline.append(Activity("web", demand_mbps=25.0, transfer_s=4.0, gap_s=45.0))
+    timeline.append(Activity("video", demand_mbps=8.0, transfer_s=1200.0, gap_s=300.0))
+    for _ in range(8):
+        timeline.append(Activity("web", demand_mbps=25.0, transfer_s=4.0, gap_s=60.0))
+    timeline.append(Activity("download", demand_mbps=2000.0, transfer_s=45.0, gap_s=120.0))
+    timeline.append(Activity("video", demand_mbps=120.0, transfer_s=900.0, gap_s=600.0))
+    return timeline
+
+
+def main() -> None:
+    timeline = typical_day()
+    print("== A day of usage, per radio ==")
+    rows = []
+    for key in RADIOS:
+        result = UsageSession(key).simulate(timeline)
+        rows.append(
+            (
+                key.replace("verizon-", ""),
+                round(result.total_energy_j, 0),
+                round(result.transfer_energy_j, 0),
+                round(result.tail_energy_j, 0),
+                round(result.switch_energy_j, 1),
+                round(result.duration_s / 60.0, 1),
+                f"{result.battery_drain_percent:.1f}%",
+            )
+        )
+    print(
+        format_table(
+            ["radio", "total J", "transfer J", "tails J", "switches J", "minutes", "battery"],
+            rows,
+        )
+    )
+
+    print("\n== Section 4.2's advice, quantified: batch background syncs ==")
+    rows = []
+    for key in RADIOS:
+        session = UsageSession(key)
+        periodic = session.simulate(periodic_sync_timeline())
+        batched = session.simulate(batched_sync_timeline())
+        saving = 100.0 * (1.0 - batched.total_energy_j / periodic.total_energy_j)
+        rows.append(
+            (
+                key.replace("verizon-", ""),
+                round(periodic.total_energy_j, 1),
+                round(batched.total_energy_j, 1),
+                f"{saving:.0f}%",
+            )
+        )
+    print(format_table(["radio", "periodic sync J", "batched sync J", "saving"], rows))
+    print(
+        "\nReading: every radio benefits from batching, and mmWave "
+        "benefits the most — its tail\nburns ~1.1 W for ~10.5 s after "
+        "every little transfer (Table 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Export a released-artifact-style dataset.
+
+The paper ships its dataset as per-experiment folders of CSVs plus
+processed results (Appendix A.6). This example regenerates a miniature
+equivalent from the simulation:
+
+* ``throughput_traces/`` — Lumos5G-like 5G/4G CSV traces,
+* ``walking_traces/`` — 10 Hz network+power walking CSVs,
+* ``results/`` — per-figure processed JSON (same content as
+  ``python -m repro run <artifact> --json``),
+* ``figures/`` — rendered SVGs.
+
+Run: ``python examples/export_dataset.py [outdir]``
+"""
+
+import sys
+from pathlib import Path
+
+from repro.experiments import (
+    run_handoff_drive,
+    run_tail_power,
+    run_throughput_power,
+)
+from repro.experiments.export import export_json
+from repro.power.device import get_device
+from repro.radio.carriers import get_network
+from repro.traces.io import save_throughput_trace, save_walking_trace
+from repro.traces.lumos import LumosConfig, generate_lumos_corpus
+from repro.traces.walking import WalkingTraceGenerator
+from repro.viz.figures import render_figure
+
+
+def main(outdir: Path) -> None:
+    print(f"Exporting dataset to {outdir}/ ...")
+
+    # Throughput traces (a small sample, like the paper's repo).
+    traces_5g, traces_4g = generate_lumos_corpus(
+        LumosConfig(n_5g=8, n_4g=8, duration_s=300, seed=42)
+    )
+    for trace in traces_5g + traces_4g:
+        save_throughput_trace(
+            trace, outdir / "throughput_traces" / f"{trace.name}.csv"
+        )
+    print(f"  wrote {len(traces_5g) + len(traces_4g)} throughput traces")
+
+    # Walking traces for two settings.
+    for network_key, device_name, city in (
+        ("verizon-nsa-mmwave", "S20U", "Minneapolis"),
+        ("tmobile-sa-lowband", "S20U", "Minneapolis"),
+    ):
+        generator = WalkingTraceGenerator(
+            network=get_network(network_key),
+            device=get_device(device_name),
+            city=city,
+            seed=7,
+        )
+        for trace in generator.generate_many(2, prefix=network_key):
+            save_walking_trace(
+                trace, outdir / "walking_traces" / f"{trace.name}.csv"
+            )
+    print("  wrote 4 walking traces")
+
+    # Processed per-figure results.
+    results = {
+        "fig9_handoffs": run_handoff_drive(),
+        "table2_tail_power": run_tail_power(),
+        "fig11_throughput_power": run_throughput_power(n_points=6, duration_s=3.0),
+    }
+    for name, result in results.items():
+        result.pop("summaries", None)  # bulky object graphs
+        result.pop("sweeps", None)
+        export_json(result, outdir / "results" / f"{name}.json")
+    print(f"  wrote {len(results)} processed result files")
+
+    # Figures.
+    paths = []
+    for figure in ("fig9", "fig11", "fig12"):
+        paths.extend(render_figure(figure, outdir / "figures", scale=0.5))
+    print(f"  rendered {len(paths)} SVG figures")
+    print("Done.")
+
+
+if __name__ == "__main__":
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("dataset_export")
+    main(target)

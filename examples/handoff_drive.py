@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fig. 9: the handoff driving experiment with an ASCII timeline.
+
+Replays the 10 km drive under all five radio-band configurations and
+renders each configuration's active-radio timeline the way Fig. 9
+draws its horizontal bars (4 = LTE, N = NSA-5G, S = SA-5G).
+
+Run: ``python examples/handoff_drive.py``
+"""
+
+from repro.experiments import format_table, run_handoff_drive
+from repro.mobility.handoff import RadioTech
+
+_GLYPH = {
+    RadioTech.LTE: "4",
+    RadioTech.NSA_5G: "N",
+    RadioTech.SA_5G: "S",
+    RadioTech.NONE: ".",
+}
+
+
+def render_timeline(summary, width: int = 96) -> str:
+    """One character per timeline slice, like Fig. 9's colored bars."""
+    if not summary.segments:
+        return ""
+    end = max(seg_end for _s, seg_end, _t in summary.segments)
+    step = end / width
+    chars = []
+    for i in range(width):
+        t = i * step
+        tech = RadioTech.NONE
+        for start, seg_end, seg_tech in summary.segments:
+            if start <= t < seg_end:
+                tech = seg_tech
+                break
+        chars.append(_GLYPH[tech])
+    return "".join(chars)
+
+
+def main() -> None:
+    result = run_handoff_drive(dt_s=0.5, seed=3)
+    print(
+        f"Route: {result['route_km']:.1f} km, "
+        f"{result['duration_s'] / 60.0:.1f} minutes of driving\n"
+    )
+    print(
+        format_table(
+            ["configuration", "total", "horizontal", "vertical"],
+            [
+                (r["configuration"], r["total"], r["horizontal"], r["vertical"])
+                for r in result["rows"]
+            ],
+            title="Fig. 9: handoff counts",
+        )
+    )
+    print("\nActive-radio timelines (4 = LTE, N = NSA-5G, S = SA-5G):\n")
+    for name, summary in result["summaries"].items():
+        print(f"  {name:14s} |{render_timeline(summary)}|")
+    print(
+        "\nReading: SA needs no 4G anchor, so its bar is solid and its "
+        "handoff count minimal;\nNSA flaps between the LTE anchor and "
+        "the 5G leg on every data-activity cycle."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Power characterisation and modeling (paper section 4).
+
+* controlled iPerf + Monsoon throughput-power sweeps and the Fig. 11
+  crossover points,
+* energy efficiency (Fig. 12),
+* RRC tail/switch power (Table 2) with the demotion staircase,
+* the TH+SS power model and its TH / SS / linear baselines (Fig. 15),
+* software-monitor calibration (Fig. 16, Tables 3/9).
+
+Run: ``python examples/power_model_study.py``
+"""
+
+from repro.experiments import (
+    format_table,
+    run_energy_efficiency,
+    run_power_models,
+    run_software_monitor,
+    run_tail_power,
+    run_throughput_power,
+)
+
+
+def main() -> None:
+    print("== Fig. 11: throughput vs power (S20U, controlled sweeps) ==")
+    sweep = run_throughput_power(n_points=8, duration_s=4.0, seed=0)
+    rows = []
+    for key, data in sweep["sweeps"].items():
+        rows.append(
+            (
+                key,
+                round(data["dl"]["slope"], 2),
+                round(data["dl"]["intercept"], 0),
+                round(data["ul"]["slope"], 2),
+            )
+        )
+    print(format_table(["network", "DL slope mW/Mbps", "DL intercept mW", "UL slope"], rows))
+
+    print("\nCrossover points (paper: DL 187/189, UL 40/123 Mbps):")
+    for (a, b, direction), value in sweep["crossovers"].items():
+        if value is not None:
+            print(f"  {a} vs {b} [{direction}]: {value:6.1f} Mbps")
+
+    print("\n== Fig. 12: energy efficiency (mW/Mbps, falls with rate) ==")
+    efficiency = run_energy_efficiency(throughput_power=sweep)
+    curve = efficiency["curves"][("verizon-nsa-mmwave", "dl")]
+    for t, e in list(zip(curve["throughput"], curve["efficiency"]))[::2]:
+        print(f"  {t:7.1f} Mbps -> {e:7.1f}")
+
+    print("\n== Table 2: RRC tail & switch power ==")
+    tail = run_tail_power()
+    print(
+        format_table(
+            ["network", "tail mW", "switch mW", "tail energy J"],
+            [
+                (
+                    r["network"],
+                    r["tail_mw"],
+                    r["switch_mw"] if r["switch_mw"] is not None else "N/A",
+                    round(r["tail_energy_j"], 2),
+                )
+                for r in tail["rows"]
+            ],
+        )
+    )
+
+    print("\n== Fig. 15: power-model MAPE by feature set ==")
+    models = run_power_models(n_train=4, n_test=1, seed=5)
+    print(
+        format_table(
+            ["setting", "TH+SS", "TH", "SS", "linear"],
+            [
+                (
+                    r["setting"],
+                    round(r["TH+SS"], 2),
+                    round(r["TH"], 2),
+                    round(r["SS"], 2),
+                    round(r["linear TH+SS"], 2),
+                )
+                for r in models["rows"]
+            ],
+        )
+    )
+
+    print("\n== Fig. 16 / Tables 3, 9: software power monitor ==")
+    software = run_software_monitor(duration_s=12.0, calibration_duration_s=90.0)
+    for rate, calib in software["calibration"].items():
+        print(
+            f"  {rate}: MAPE {calib['mape_before']:.1f}% -> "
+            f"{calib['mape_after']:.1f}% after DTR calibration"
+        )
+
+
+if __name__ == "__main__":
+    main()

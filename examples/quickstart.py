@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Quickstart: a ten-minute tour of the library.
+
+Walks through the paper's main threads end to end:
+
+1. carrier networks and their radio link budgets,
+2. a miniature Speedtest campaign (Fig. 2/3 methodology),
+3. RRC-Probe inference of the Table 7 timers,
+4. the throughput/signal-aware power model (section 4.5),
+5. a single ABR video playback over a synthetic mmWave trace.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import numpy as np
+
+from repro.core.powermodel import train_from_walking_traces
+from repro.experiments import format_table
+from repro.net.servers import carrier_server_pool
+from repro.net.speedtest import ConnectionMode, SpeedtestHarness
+from repro.power.device import get_device
+from repro.radio.carriers import NETWORKS, get_network
+from repro.radio.link import LinkBudget
+from repro.rrc.parameters import get_parameters
+from repro.rrc.probe import RRCProbe
+from repro.traces.lumos import LumosConfig, generate_lumos_corpus
+from repro.traces.walking import WalkingTraceGenerator
+from repro.video.abr import make_abr
+from repro.video.encoding import VideoManifest, build_ladder
+from repro.video.player import Player
+from repro.video.qoe import normalized_bitrate, stall_percent
+
+
+def tour_networks() -> None:
+    print("== 1. Carrier networks (section 2) ==")
+    rows = []
+    for network in NETWORKS.values():
+        rows.append(
+            (
+                network.label,
+                network.band.name,
+                network.peak_dl_mbps,
+                network.peak_ul_mbps,
+                network.rtt_floor_ms,
+            )
+        )
+    print(format_table(["network", "band", "peak DL", "peak UL", "RTT floor"], rows))
+
+    link = LinkBudget(get_network("verizon-nsa-mmwave"), get_device("S20U").modem)
+    print("\nmmWave capacity vs RSRP (S20U):")
+    for rsrp in (-75, -90, -105):
+        print(f"  RSRP {rsrp:4d} dBm -> {link.capacity_mbps(rsrp):7.0f} Mbps down")
+
+
+def tour_speedtest() -> None:
+    print("\n== 2. Speedtest (Fig. 2/3 methodology) ==")
+    harness = SpeedtestHarness(
+        network=get_network("verizon-nsa-mmwave"), device=get_device("S20U"), seed=0
+    )
+    for server in carrier_server_pool("Verizon")[:3]:
+        peak = harness.peak(harness.run_setting(server, ConnectionMode.MULTIPLE, 5))
+        print(
+            f"  {server.city:12s} {peak.distance_km:7.0f} km  "
+            f"RTT {peak.rtt_ms:5.1f} ms  DL {peak.downlink_mbps:6.0f} Mbps"
+        )
+
+
+def tour_rrc() -> None:
+    print("\n== 3. RRC-Probe (Table 7) ==")
+    for key in ("tmobile-sa-lowband", "verizon-nsa-mmwave"):
+        probe = RRCProbe(get_parameters(key), seed=1)
+        result = probe.sweep(np.arange(1.0, 19.0, 1.0), packets_per_interval=15)
+        inferred = result.inferred
+        print(
+            f"  {key:22s} tail {inferred['inactivity_ms']:7.0f} ms  "
+            f"promotion {inferred['promotion_ms']:6.0f} ms  "
+            f"intermediate={'yes' if inferred['has_intermediate'] else 'no'}"
+        )
+
+
+def tour_power_model() -> None:
+    print("\n== 4. Power model (section 4.5) ==")
+    generator = WalkingTraceGenerator(
+        network=get_network("verizon-nsa-mmwave"), device=get_device("S20U"), seed=2
+    )
+    traces = generator.generate_many(4)
+    model = train_from_walking_traces("S20U/VZ/NSA-HB", traces[:3])
+    test = traces[3]
+    mape = model.mape(test.dl_mbps, test.rsrp_dbm, test.power_mw)
+    print(f"  TH+SS model MAPE on held-out walk: {mape:.2f}%")
+    for dl, rsrp in ((0.0, -80.0), (500.0, -80.0), (500.0, -100.0)):
+        power = model.predict_mw([dl], [rsrp])[0]
+        print(f"  predict({dl:6.0f} Mbps, {rsrp:4.0f} dBm) = {power:6.0f} mW")
+
+
+def tour_video() -> None:
+    print("\n== 5. ABR playback over a mmWave trace (section 5) ==")
+    traces_5g, _ = generate_lumos_corpus(
+        LumosConfig(n_5g=1, n_4g=0, duration_s=240, seed=5)
+    )
+    manifest = VideoManifest(ladder=build_ladder(160.0), chunk_s=4.0, n_chunks=40)
+    player = Player(manifest)
+    for name in ("robustmpc", "pensieve"):
+        result = player.play(make_abr(name), traces_5g[0].throughput_at)
+        print(
+            f"  {name:10s} stall {stall_percent(result.stall_s, result.playback_s):5.2f}%  "
+            f"bitrate {normalized_bitrate(result.chunk_bitrates_mbps, 160.0):.3f}"
+        )
+
+
+if __name__ == "__main__":
+    tour_networks()
+    tour_speedtest()
+    tour_rrc()
+    tour_power_model()
+    tour_video()
+    print("\nDone. See benchmarks/ for full per-figure reproductions.")

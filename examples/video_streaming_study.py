@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Video streaming over mmWave 5G (paper section 5).
+
+Reproduces the section-5 study at example scale:
+
+* evaluates all seven ABR algorithms on synthetic Lumos5G-like 5G and
+  4G corpora (Fig. 17),
+* swaps throughput predictors into fastMPC (Fig. 18a),
+* compares chunk lengths (Fig. 18b),
+* runs the 5G-aware interface-selection scheme with energy accounting
+  (Fig. 18c / Table 4).
+
+Run: ``python examples/video_streaming_study.py``
+"""
+
+from repro.experiments import (
+    format_table,
+    run_abr_comparison,
+    run_chunk_lengths,
+    run_video_interface_selection,
+    run_video_predictors,
+)
+
+
+def fig17() -> None:
+    print("== Fig. 17: seven ABRs on 5G vs 4G ==")
+    result = run_abr_comparison(n_traces=10, n_chunks=40, duration_s=220, seed=3)
+    print(
+        format_table(
+            ["ABR", "5G stall %", "5G bitrate", "4G stall %", "4G bitrate"],
+            [
+                (
+                    r["abr"],
+                    round(r["stall_5G"], 2),
+                    round(r["bitrate_5G"], 3),
+                    round(r["stall_4G"], 2),
+                    round(r["bitrate_4G"], 3),
+                )
+                for r in result["rows"]
+            ],
+        )
+    )
+    print(
+        "\nReading: stalls inflate on 5G for nearly every ABR; Pensieve "
+        "(trained on 4G-like dynamics)\nhas the best 4G numbers and the "
+        "worst 5G stalls; robustMPC balances both axes.\n"
+    )
+
+
+def fig18a() -> None:
+    print("== Fig. 18a: throughput predictors inside fastMPC ==")
+    result = run_video_predictors(n_traces=12, n_chunks=40, duration_s=220, seed=4)
+    print(
+        format_table(
+            ["predictor", "mean QoE"],
+            [(k, round(v, 0)) for k, v in result["qoe"].items()],
+        )
+    )
+    print(
+        "\nReading: the PHY-aware GBDT predictor beats harmonic mean; the "
+        "ground-truth oracle bounds both.\n"
+    )
+
+
+def fig18b() -> None:
+    print("== Fig. 18b: chunk length ==")
+    result = run_chunk_lengths(n_traces=10, duration_s=220, seed=5)
+    print(
+        format_table(
+            ["chunk s", "stall %", "normalized bitrate"],
+            [
+                (r["chunk_s"], round(r["stall_percent"], 2), round(r["normalized_bitrate"], 3))
+                for r in result["rows"]
+            ],
+        )
+    )
+    print("\nReading: finer chunks adapt faster and buy higher bitrate.\n")
+
+
+def fig18c() -> None:
+    print("== Fig. 18c / Table 4: 5G-aware interface selection ==")
+    result = run_video_interface_selection(n_pairs=12, n_chunks=40, duration_s=220, seed=6)
+    print(
+        format_table(
+            ["scheme", "stall %", "bitrate", "energy J", "switches/session"],
+            [
+                (
+                    name,
+                    round(stats["stall_percent"], 2),
+                    round(stats["normalized_bitrate"], 3),
+                    round(stats["energy_j"], 1),
+                    round(stats["switches"], 2),
+                )
+                for name, stats in result["summary"].items()
+            ],
+        )
+    )
+    print(
+        "\nReading: escaping mmWave craters onto stable-but-slow 4G cuts "
+        "both stalls and radio energy;\nthe realistic scheme pays a small "
+        "switching-overhead premium over the idealised one.\n"
+    )
+
+
+if __name__ == "__main__":
+    fig17()
+    fig18a()
+    fig18b()
+    fig18c()

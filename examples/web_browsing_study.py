@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Web browsing QoE over mmWave 5G vs 4G (paper section 6).
+
+Builds a synthetic Alexa-style catalog, loads every page over both
+radios, and reproduces:
+
+* Fig. 19: how object count and page size drive the 4G/5G PLT and
+  energy gaps,
+* Fig. 20: PLT and energy CDFs,
+* Fig. 21: the energy saving bought by accepting a PLT penalty,
+* Table 6 / Fig. 22: the M1-M5 decision trees.
+
+Run: ``python examples/web_browsing_study.py``
+"""
+
+import numpy as np
+
+from repro.experiments import format_table, run_web_factors, run_web_selection
+
+
+def main() -> None:
+    print("Building catalog and loading pages over 4G and 5G...")
+    factors = run_web_factors(n_sites=400, seed=1)
+    dataset = factors["dataset"]
+
+    print("\n== Fig. 19a: impact of object count ==")
+    print(
+        format_table(
+            ["bucket", "n", "4G PLT s", "5G PLT s", "4G E J", "5G E J"],
+            [
+                (
+                    r["bucket"],
+                    r["n"],
+                    round(r["plt_4g"], 2),
+                    round(r["plt_5g"], 2),
+                    round(r["energy_4g"], 2),
+                    round(r["energy_5g"], 2),
+                )
+                for r in factors["fig19_objects"]
+                if r["n"] > 0
+            ],
+        )
+    )
+
+    print("\n== Fig. 20: medians of the CDFs ==")
+    print(
+        f"  PLT   : 4G {np.median(dataset.plt_4g):5.2f} s   5G {np.median(dataset.plt_5g):5.2f} s"
+    )
+    print(
+        f"  Energy: 4G {np.median(dataset.energy_4g):5.2f} J   5G {np.median(dataset.energy_5g):5.2f} J"
+    )
+
+    print("\n== Fig. 21: saving vs penalty ==")
+    print(
+        format_table(
+            ["PLT penalty %", "n sites", "energy saving %"],
+            [
+                (r["penalty_bucket"], r["n"], round(r["energy_saving_percent"], 1))
+                for r in factors["fig21"]
+                if r["n"] > 0
+            ],
+        )
+    )
+
+    print("\n== Table 6: decision-tree interface selection ==")
+    selection = run_web_selection(dataset=dataset, seed=1)
+    print(
+        format_table(
+            ["#ID", "Desired QoE", "alpha", "beta", "Use 4G", "Use 5G"],
+            selection["rows"],
+        )
+    )
+
+    print("\n== Fig. 22: the M1 (high-performance) tree ==")
+    print(selection["trees"]["M1"])
+    print("\n== Fig. 22: the M4 (energy-saving) tree ==")
+    print(selection["trees"]["M4"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro: reproduction of "A Variegated Look at 5G in the Wild" (SIGCOMM 2021).
+
+A simulation and analysis library covering the paper's full scope:
+commercial 5G network performance (mmWave + low-band, NSA + SA), RRC
+state machines, radio power characteristics and power modeling, and
+application QoE (ABR video streaming, web browsing) with 4G/5G
+interface selection.
+
+Subpackages
+-----------
+- ``repro.ml`` — decision trees, gradient boosting, linear models.
+- ``repro.radio`` — bands, carriers, propagation, RSRP, towers, link rates.
+- ``repro.rrc`` — RRC states, Table-7 timers, state machine, RRC-Probe.
+- ``repro.power`` — device power curves, Monsoon/software monitors, tails.
+- ``repro.transport`` — fluid CUBIC/UDP flows, kernel buffer tuning.
+- ``repro.mobility`` — routes, trajectories, handoffs.
+- ``repro.net`` — latency model, server pools, Speedtest/iPerf harnesses.
+- ``repro.traces`` — synthetic Lumos5G-like corpora and walking traces.
+- ``repro.core`` — power-model construction, energy analysis, campaigns.
+- ``repro.video`` — DASH player, seven ABR algorithms, 5G-aware streaming.
+- ``repro.web`` — website catalog, page-load model, DT interface selection.
+- ``repro.experiments`` — one runner per paper table/figure.
+"""
+
+__version__ = "1.0.0"

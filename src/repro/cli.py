@@ -1,0 +1,185 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro list                      # what can be regenerated
+    python -m repro run fig9                  # print Fig. 9's rows
+    python -m repro run table6 --json out.json
+    python -m repro run fig17 --scale 0.5     # cheaper/faster variant
+
+Each artifact id maps to one :mod:`repro.experiments` runner; ``--scale``
+multiplies the workload knobs (trace counts, repetitions) so quick looks
+and full-scale reproductions share one entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro import experiments as ex
+from repro.experiments.export import export_json, to_jsonable
+
+
+def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+def _run_fig2(scale):
+    return ex.run_latency_vs_distance(n_servers=_scaled(20, scale, 3))
+
+
+def _run_fig3(scale):
+    return ex.run_throughput_vs_distance(
+        n_servers=_scaled(10, scale, 2), repetitions=_scaled(8, scale, 2)
+    )
+
+
+def _run_fig6(scale):
+    return {
+        "sa": ex.run_throughput_vs_distance(
+            network_key="tmobile-sa-lowband",
+            n_servers=_scaled(8, scale, 2),
+            repetitions=_scaled(6, scale, 2),
+        ),
+        "nsa": ex.run_throughput_vs_distance(
+            network_key="tmobile-nsa-lowband",
+            n_servers=_scaled(8, scale, 2),
+            repetitions=_scaled(6, scale, 2),
+        ),
+    }
+
+
+def _run_fig17(scale):
+    return ex.run_abr_comparison(
+        n_traces=_scaled(20, scale, 4), n_chunks=50, duration_s=260
+    )
+
+
+def _run_fig18(scale):
+    return {
+        "predictors": ex.run_video_predictors(n_traces=_scaled(14, scale, 4)),
+        "chunk_lengths": ex.run_chunk_lengths(n_traces=_scaled(14, scale, 4)),
+        "interface_selection": ex.run_video_interface_selection(
+            n_pairs=_scaled(16, scale, 4)
+        ),
+    }
+
+
+def _run_fig19(scale):
+    result = ex.run_web_factors(n_sites=_scaled(600, scale, 50))
+    result.pop("dataset", None)  # raw arrays are bulky; keep the summaries
+    result.pop("cdfs", None)
+    return result
+
+
+def _run_table6(scale):
+    result = ex.run_web_selection(n_sites=_scaled(600, scale, 50))
+    result.pop("reports", None)
+    return result
+
+
+ARTIFACTS: Dict[str, Dict] = {
+    "table1": {"runner": lambda s: ex.run_table1_campaign(), "desc": "dataset statistics"},
+    "fig2": {"runner": _run_fig2, "desc": "RTT vs UE-server distance (also fig1/fig5)"},
+    "fig3": {"runner": _run_fig3, "desc": "Verizon mmWave DL/UL vs distance (also fig4)"},
+    "fig6": {"runner": _run_fig6, "desc": "T-Mobile SA vs NSA throughput (also fig7)"},
+    "fig8": {"runner": lambda s: ex.run_azure_transport(), "desc": "Azure transport settings"},
+    "fig9": {"runner": lambda s: ex.run_handoff_drive(), "desc": "handoffs while driving"},
+    "fig10": {"runner": lambda s: ex.run_rrc_inference(), "desc": "RRC-Probe sweeps (also fig25)"},
+    "table2": {"runner": lambda s: ex.run_tail_power(), "desc": "tail/switch power"},
+    "fig11": {"runner": lambda s: ex.run_throughput_power(), "desc": "throughput vs power (also fig26, table8)"},
+    "fig12": {"runner": lambda s: ex.run_energy_efficiency(), "desc": "energy efficiency (also fig27)"},
+    "fig13": {"runner": lambda s: ex.run_walking_power(), "desc": "power-RSRP-throughput walking data (also fig14)"},
+    "fig15": {"runner": lambda s: ex.run_power_models(), "desc": "power-model MAPE comparison"},
+    "table9": {"runner": lambda s: ex.run_software_monitor(), "desc": "software monitor benchmark (also table3, fig16)"},
+    "fig17": {"runner": _run_fig17, "desc": "seven ABRs on 5G vs 4G"},
+    "fig18": {"runner": _run_fig18, "desc": "predictors / chunk length / interface selection (also table4)"},
+    "fig19": {"runner": _run_fig19, "desc": "web PLT & energy factors (also fig20, fig21)"},
+    "table6": {"runner": _run_table6, "desc": "DT radio interface selection (also fig22)"},
+    "fig23": {"runner": lambda s: ex.run_carrier_aggregation(), "desc": "4CC vs 8CC carrier aggregation"},
+    "fig24": {"runner": lambda s: ex.run_server_survey(), "desc": "Minnesota server survey"},
+}
+
+
+def _render(result) -> str:
+    """Best-effort plain-text rendering of a runner result."""
+    import json
+
+    if isinstance(result, dict) and "rows" in result and result["rows"]:
+        rows = result["rows"]
+        if isinstance(rows[0], dict):
+            headers = list(rows[0].keys())
+            table_rows = [[row.get(h) for h in headers] for row in rows]
+        else:
+            headers = [f"col{i}" for i in range(len(rows[0]))]
+            table_rows = rows
+        safe_rows = [
+            ["" if cell is None else cell for cell in row] for row in table_rows
+        ]
+        return ex.format_table(headers, safe_rows)
+    return json.dumps(to_jsonable(result), indent=1)[:8000]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts of 'A Variegated Look at 5G in the Wild'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list regenerable artifacts")
+    run = sub.add_parser("run", help="regenerate one artifact")
+    run.add_argument("artifact", choices=sorted(ARTIFACTS))
+    run.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload multiplier (0.25 = quick look, 1.0 = bench scale)",
+    )
+    run.add_argument("--json", metavar="PATH", help="write the result as JSON")
+    render = sub.add_parser("render", help="render a figure as SVG")
+    from repro.viz.figures import FIGURES
+
+    render.add_argument("figure", choices=sorted(FIGURES) + ["all"])
+    render.add_argument("outdir", help="directory for the SVG files")
+    render.add_argument("--scale", type=float, default=0.5)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(k) for k in ARTIFACTS)
+        for key in sorted(ARTIFACTS):
+            print(f"{key.ljust(width)}  {ARTIFACTS[key]['desc']}")
+        return 0
+    if args.scale <= 0:
+        print("--scale must be positive", file=sys.stderr)
+        return 2
+    if args.command == "render":
+        from repro.viz.figures import render_figure
+
+        paths = render_figure(args.figure, args.outdir, args.scale)
+        for path in paths:
+            print(f"wrote {path}")
+        return 0
+    runner: Callable = ARTIFACTS[args.artifact]["runner"]
+    result = runner(args.scale)
+    try:
+        if args.json:
+            path = export_json(result, args.json)
+            print(f"wrote {path}")
+        else:
+            print(_render(result))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

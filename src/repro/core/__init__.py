@@ -1,0 +1,63 @@
+"""Core analysis layer: power models, energy analysis, campaigns.
+
+The paper's primary modeling contribution (section 4.5) is a
+throughput- *and* signal-strength-aware radio power model per
+(device, carrier, radio technology), built with Decision Tree
+Regression and evaluated by MAPE. This package implements that model,
+its TH-only / SS-only baselines, the linear-multifactor ablation, the
+energy-efficiency analytics (crossovers, uJ/bit), and the measurement
+campaign orchestration that produces Table 1's dataset statistics.
+"""
+
+from repro.core.advisor import AppProfile, PROFILES, RadioAdvisor, RadioEstimate
+from repro.core.powermodel import (
+    DirectionalPowerModel,
+    FeatureSet,
+    LinearPowerModel,
+    PowerModel,
+    PowerModelRegistry,
+    train_from_walking_traces,
+)
+from repro.core.energy import (
+    energy_efficiency_uj_per_bit,
+    efficiency_curve,
+    find_crossover,
+    fit_power_slope,
+    transfer_power_fraction,
+)
+from repro.core.campaign import Campaign, CampaignStats
+from repro.core.session import (
+    Activity,
+    SessionResult,
+    UsageSession,
+    batched_sync_timeline,
+    periodic_sync_timeline,
+)
+from repro.core.metrics import cdf_points, percentile, summarize
+
+__all__ = [
+    "Activity",
+    "AppProfile",
+    "Campaign",
+    "CampaignStats",
+    "PROFILES",
+    "RadioAdvisor",
+    "RadioEstimate",
+    "SessionResult",
+    "UsageSession",
+    "batched_sync_timeline",
+    "periodic_sync_timeline",
+    "DirectionalPowerModel",
+    "FeatureSet",
+    "LinearPowerModel",
+    "PowerModel",
+    "PowerModelRegistry",
+    "cdf_points",
+    "efficiency_curve",
+    "energy_efficiency_uj_per_bit",
+    "find_crossover",
+    "fit_power_slope",
+    "percentile",
+    "summarize",
+    "train_from_walking_traces",
+]

@@ -1,0 +1,101 @@
+"""Energy-efficiency analytics (paper sections 4.3-4.4).
+
+Energy per bit, throughput-power slope fitting (Table 8), crossover
+location between two power curves (Fig. 11's 187/189 Mbps downlink and
+40/123 Mbps uplink points), and the fraction of device power
+attributable to data transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ml.linear import LinearRegression
+
+
+def energy_efficiency_uj_per_bit(power_mw: float, throughput_mbps: float) -> float:
+    """Per-bit energy, numerically ``power_mw / throughput_mbps``.
+
+    This ratio is what the paper plots on Fig. 12/14/27's "uJ/bit" axes
+    (e.g. a ~3 W mmWave radio at 1 Mbps lands at ~10^3 on their log
+    scale, which is 3000 mW / 1 Mbps). Strictly the ratio's SI unit is
+    nJ/bit; we keep the paper's axis convention so values are directly
+    comparable.
+    """
+    if throughput_mbps <= 0:
+        raise ValueError("throughput must be positive for per-bit energy")
+    if power_mw < 0:
+        raise ValueError("power must be non-negative")
+    return power_mw / throughput_mbps
+
+
+def efficiency_curve(
+    throughputs_mbps, powers_mw
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(throughput, uJ/bit) pairs for the log-log efficiency plot."""
+    throughputs = np.asarray(throughputs_mbps, dtype=float)
+    powers = np.asarray(powers_mw, dtype=float)
+    if throughputs.shape != powers.shape:
+        raise ValueError("throughput and power arrays must align")
+    mask = throughputs > 0
+    t = throughputs[mask]
+    efficiency = np.array(
+        [energy_efficiency_uj_per_bit(p, x) for p, x in zip(powers[mask], t)]
+    )
+    return t, efficiency
+
+
+def fit_power_slope(throughputs_mbps, powers_mw) -> Tuple[float, float]:
+    """OLS (slope mW/Mbps, intercept mW) of a throughput-power sweep.
+
+    This is how Table 8's slopes are extracted from the Fig. 11/26
+    controlled sweeps.
+    """
+    throughputs = np.asarray(throughputs_mbps, dtype=float).reshape(-1, 1)
+    powers = np.asarray(powers_mw, dtype=float).ravel()
+    if throughputs.shape[0] != powers.shape[0]:
+        raise ValueError("throughput and power arrays must align")
+    if throughputs.shape[0] < 2:
+        raise ValueError("need at least 2 points to fit a slope")
+    model = LinearRegression().fit(throughputs, powers)
+    return model.slope_, model.intercept_
+
+
+def find_crossover(
+    throughputs_mbps,
+    powers_a_mw,
+    powers_b_mw,
+) -> Optional[float]:
+    """Throughput where measured curve A becomes cheaper than curve B.
+
+    Fits both sweeps linearly and intersects the fits; returns None if
+    the fitted lines do not cross at a positive throughput.
+    """
+    slope_a, intercept_a = fit_power_slope(throughputs_mbps, powers_a_mw)
+    slope_b, intercept_b = fit_power_slope(throughputs_mbps, powers_b_mw)
+    denominator = slope_b - slope_a
+    if abs(denominator) < 1e-12:
+        return None
+    crossing = (intercept_a - intercept_b) / denominator
+    if crossing <= 0 or not np.isfinite(crossing):
+        return None
+    return float(crossing)
+
+
+def transfer_power_fraction(
+    total_power_mw, idle_power_mw: float
+) -> np.ndarray:
+    """Fraction of total power attributable to the data transfer.
+
+    The paper reports mmWave downlink transfers consuming 48-76% of
+    total device power vs 21-53% on 4G (section 4.3).
+    """
+    total = np.asarray(total_power_mw, dtype=float)
+    if idle_power_mw < 0:
+        raise ValueError("idle_power_mw must be non-negative")
+    if np.any(total <= 0):
+        raise ValueError("total power must be positive")
+    fraction = (total - idle_power_mw) / total
+    return np.clip(fraction, 0.0, 1.0)

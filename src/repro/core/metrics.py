@@ -1,0 +1,43 @@
+"""Small statistics helpers shared by experiments and benches."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def percentile(values, q: float) -> float:
+    """q-th percentile of a sequence (q in [0, 100])."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("percentile of empty input")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    return float(np.percentile(values, q))
+
+
+def cdf_points(values) -> Tuple[np.ndarray, np.ndarray]:
+    """(sorted values, cumulative fractions) for CDF plots (Fig. 20)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cdf of empty input")
+    xs = np.sort(values)
+    ys = np.arange(1, xs.size + 1) / xs.size
+    return xs, ys
+
+
+def summarize(values) -> Dict[str, float]:
+    """Mean/median/p5/p95/min/max summary of a sequence."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("summary of empty input")
+    return {
+        "mean": float(np.mean(values)),
+        "median": float(np.median(values)),
+        "p5": float(np.percentile(values, 5)),
+        "p95": float(np.percentile(values, 95)),
+        "min": float(np.min(values)),
+        "max": float(np.max(values)),
+        "count": int(values.size),
+    }

@@ -1,0 +1,268 @@
+"""5G radio power models (paper section 4.5).
+
+Three data-driven variants, all Decision Tree Regression:
+
+* ``TH+SS`` — features are throughput *and* RSRP (the paper's model);
+* ``TH`` — throughput only (the Huang et al. style baseline);
+* ``SS`` — signal strength only (the Ding/Nika et al. style baseline);
+
+plus a multi-factor *linear* model used to reproduce the paper's
+negative result that linear regression over both factors does worse
+than throughput-only linear fitting (hence the move to DTR).
+
+Models are built per (device, carrier, radio technology) setting rather
+than pooling settings as features, exactly as in the paper. MAPE is the
+evaluation metric (Fig. 15).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.linear import LinearRegression
+from repro.ml.metrics import mean_absolute_percentage_error
+from repro.ml.tree import DecisionTreeRegressor
+from repro.traces.schema import WalkingTrace
+
+
+class FeatureSet(enum.Enum):
+    """Which inputs the model sees (Fig. 15's TH+SS / TH / SS bars)."""
+
+    TH_SS = "TH+SS"
+    TH = "TH"
+    SS = "SS"
+
+    def select(self, throughput: np.ndarray, rsrp: np.ndarray) -> np.ndarray:
+        if self is FeatureSet.TH_SS:
+            return np.column_stack([throughput, rsrp])
+        if self is FeatureSet.TH:
+            return throughput.reshape(-1, 1)
+        return rsrp.reshape(-1, 1)
+
+
+@dataclass
+class PowerModel:
+    """A per-setting DTR radio power model.
+
+    Attributes:
+        setting: label, e.g. ``"S20U/VZ/NSA-HB"`` (device/carrier/tech).
+        features: which inputs the model uses.
+        max_depth, min_samples_leaf: tree hyperparameters.
+    """
+
+    setting: str
+    features: FeatureSet = FeatureSet.TH_SS
+    max_depth: int = 10
+    min_samples_leaf: int = 8
+    _tree: Optional[DecisionTreeRegressor] = field(init=False, default=None)
+
+    def fit(self, throughput_mbps, rsrp_dbm, power_mw) -> "PowerModel":
+        """Train on aligned throughput/RSRP/power samples."""
+        throughput = np.asarray(throughput_mbps, dtype=float).ravel()
+        rsrp = np.asarray(rsrp_dbm, dtype=float).ravel()
+        power = np.asarray(power_mw, dtype=float).ravel()
+        if not throughput.shape == rsrp.shape == power.shape:
+            raise ValueError("feature and target arrays must align")
+        if throughput.shape[0] < 10:
+            raise ValueError("need at least 10 samples to fit a power model")
+        tree = DecisionTreeRegressor(
+            max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+        )
+        tree.fit(self.features.select(throughput, rsrp), power)
+        self._tree = tree
+        return self
+
+    def predict_mw(self, throughput_mbps, rsrp_dbm) -> np.ndarray:
+        """Predicted radio power for aligned feature series."""
+        if self._tree is None:
+            raise RuntimeError("power model is not fitted; call fit() first")
+        throughput = np.asarray(throughput_mbps, dtype=float).ravel()
+        rsrp = np.asarray(rsrp_dbm, dtype=float).ravel()
+        if throughput.shape != rsrp.shape:
+            raise ValueError("throughput and rsrp must align")
+        return self._tree.predict(self.features.select(throughput, rsrp))
+
+    def mape(self, throughput_mbps, rsrp_dbm, power_mw) -> float:
+        """MAPE (%) against ground-truth power."""
+        predicted = self.predict_mw(throughput_mbps, rsrp_dbm)
+        return mean_absolute_percentage_error(power_mw, predicted)
+
+    def estimate_energy_j(
+        self, throughput_mbps, rsrp_dbm, dt_s: float
+    ) -> float:
+        """Integrate predicted power over a trace -> joules.
+
+        This is how the paper estimates application network energy: feed
+        the packet-derived per-interval throughput into the model
+        (sections 4.5 validation, 5.4, 6).
+        """
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        power = self.predict_mw(throughput_mbps, rsrp_dbm)
+        return float(np.sum(power) * dt_s / 1000.0)
+
+
+@dataclass
+class DirectionalPowerModel:
+    """DTR power model with *directional* throughput features.
+
+    The summed-throughput TH+SS model cannot tell 100 Mbps uplink from
+    100 Mbps downlink, yet uplink costs 2.2-5.9x more per Mbps
+    (Table 8). When the workload mixes directions, feeding (DL, UL,
+    RSRP) separately removes that confusion — the natural extension the
+    paper's per-direction sweeps suggest.
+    """
+
+    setting: str
+    max_depth: int = 10
+    min_samples_leaf: int = 8
+    _tree: Optional[DecisionTreeRegressor] = field(init=False, default=None)
+
+    @staticmethod
+    def _features(dl, ul, rsrp) -> np.ndarray:
+        dl = np.asarray(dl, dtype=float).ravel()
+        ul = np.asarray(ul, dtype=float).ravel()
+        rsrp = np.asarray(rsrp, dtype=float).ravel()
+        if not dl.shape == ul.shape == rsrp.shape:
+            raise ValueError("dl, ul, and rsrp must align")
+        return np.column_stack([dl, ul, rsrp])
+
+    def fit(self, dl_mbps, ul_mbps, rsrp_dbm, power_mw) -> "DirectionalPowerModel":
+        features = self._features(dl_mbps, ul_mbps, rsrp_dbm)
+        power = np.asarray(power_mw, dtype=float).ravel()
+        if features.shape[0] != power.shape[0]:
+            raise ValueError("features and power must align")
+        if features.shape[0] < 10:
+            raise ValueError("need at least 10 samples to fit a power model")
+        tree = DecisionTreeRegressor(
+            max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+        )
+        tree.fit(features, power, feature_names=["DL", "UL", "RSRP"])
+        self._tree = tree
+        return self
+
+    def predict_mw(self, dl_mbps, ul_mbps, rsrp_dbm) -> np.ndarray:
+        if self._tree is None:
+            raise RuntimeError("power model is not fitted; call fit() first")
+        return self._tree.predict(self._features(dl_mbps, ul_mbps, rsrp_dbm))
+
+    def mape(self, dl_mbps, ul_mbps, rsrp_dbm, power_mw) -> float:
+        predicted = self.predict_mw(dl_mbps, ul_mbps, rsrp_dbm)
+        return mean_absolute_percentage_error(power_mw, predicted)
+
+    @classmethod
+    def from_walking_traces(
+        cls, setting: str, traces: Iterable[WalkingTrace], **kwargs
+    ) -> "DirectionalPowerModel":
+        dls, uls, rsrps, powers = [], [], [], []
+        for trace in traces:
+            dls.append(trace.dl_mbps)
+            uls.append(trace.ul_mbps)
+            rsrps.append(trace.rsrp_dbm)
+            powers.append(trace.power_mw)
+        if not dls:
+            raise ValueError("no traces provided")
+        return cls(setting=setting, **kwargs).fit(
+            np.concatenate(dls),
+            np.concatenate(uls),
+            np.concatenate(rsrps),
+            np.concatenate(powers),
+        )
+
+
+@dataclass
+class LinearPowerModel:
+    """Multi-factor linear baseline (the paper's rejected approach)."""
+
+    setting: str
+    features: FeatureSet = FeatureSet.TH_SS
+    _model: Optional[LinearRegression] = field(init=False, default=None)
+
+    def fit(self, throughput_mbps, rsrp_dbm, power_mw) -> "LinearPowerModel":
+        throughput = np.asarray(throughput_mbps, dtype=float).ravel()
+        rsrp = np.asarray(rsrp_dbm, dtype=float).ravel()
+        power = np.asarray(power_mw, dtype=float).ravel()
+        model = LinearRegression()
+        model.fit(self.features.select(throughput, rsrp), power)
+        self._model = model
+        return self
+
+    def predict_mw(self, throughput_mbps, rsrp_dbm) -> np.ndarray:
+        if self._model is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        throughput = np.asarray(throughput_mbps, dtype=float).ravel()
+        rsrp = np.asarray(rsrp_dbm, dtype=float).ravel()
+        return self._model.predict(self.features.select(throughput, rsrp))
+
+    def mape(self, throughput_mbps, rsrp_dbm, power_mw) -> float:
+        predicted = self.predict_mw(throughput_mbps, rsrp_dbm)
+        return mean_absolute_percentage_error(power_mw, predicted)
+
+
+def _stack_traces(
+    traces: Iterable[WalkingTrace],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    throughput: List[np.ndarray] = []
+    rsrp: List[np.ndarray] = []
+    power: List[np.ndarray] = []
+    for trace in traces:
+        throughput.append(trace.dl_mbps + trace.ul_mbps)
+        rsrp.append(trace.rsrp_dbm)
+        power.append(trace.power_mw)
+    if not throughput:
+        raise ValueError("no traces provided")
+    return (
+        np.concatenate(throughput),
+        np.concatenate(rsrp),
+        np.concatenate(power),
+    )
+
+
+def train_from_walking_traces(
+    setting: str,
+    train_traces: Iterable[WalkingTrace],
+    features: FeatureSet = FeatureSet.TH_SS,
+    **tree_kwargs,
+) -> PowerModel:
+    """Build a :class:`PowerModel` from walking traces of one setting."""
+    throughput, rsrp, power = _stack_traces(train_traces)
+    model = PowerModel(setting=setting, features=features, **tree_kwargs)
+    return model.fit(throughput, rsrp, power)
+
+
+@dataclass
+class PowerModelRegistry:
+    """Per-setting model store (the paper builds one model per
+    device/carrier/technology combination, Fig. 15's x-axis)."""
+
+    _models: Dict[str, PowerModel] = field(default_factory=dict)
+
+    def add(self, model: PowerModel) -> None:
+        if model.setting in self._models:
+            raise ValueError(f"duplicate model for setting {model.setting!r}")
+        self._models[model.setting] = model
+
+    def get(self, setting: str) -> PowerModel:
+        try:
+            return self._models[setting]
+        except KeyError:
+            raise KeyError(
+                f"no model for {setting!r}; known: {sorted(self._models)}"
+            ) from None
+
+    def settings(self) -> List[str]:
+        return sorted(self._models)
+
+    def evaluate_all(
+        self, test_traces_by_setting: Dict[str, List[WalkingTrace]]
+    ) -> Dict[str, float]:
+        """MAPE per setting against held-out traces."""
+        results = {}
+        for setting, traces in test_traces_by_setting.items():
+            throughput, rsrp, power = _stack_traces(traces)
+            results[setting] = self.get(setting).mape(throughput, rsrp, power)
+        return results

@@ -1,0 +1,80 @@
+"""Experiment runners: one per paper table/figure.
+
+Each ``run_*`` function reproduces one artifact of the paper's
+evaluation and returns a plain dict of rows/series (no plotting
+dependency); ``format_table`` renders any runner output for terminals.
+The benchmarks in ``benchmarks/`` call these runners and assert the
+paper's qualitative shape (who wins, where crossovers fall).
+
+| Runner | Paper artifact |
+|---|---|
+| ``run_table1_campaign`` | Table 1 |
+| ``run_latency_vs_distance`` | Fig. 1, 2, 5 |
+| ``run_throughput_vs_distance`` | Fig. 3, 4, 6, 7 |
+| ``run_azure_transport`` | Fig. 8 |
+| ``run_server_survey`` | Fig. 24 |
+| ``run_carrier_aggregation`` | Fig. 23 |
+| ``run_handoff_drive`` | Fig. 9 |
+| ``run_rrc_inference`` | Fig. 10, 25; Table 7 |
+| ``run_tail_power`` | Table 2 |
+| ``run_throughput_power`` | Fig. 11, 26; Table 8 |
+| ``run_energy_efficiency`` | Fig. 12, 27 |
+| ``run_walking_power`` | Fig. 13, 14 |
+| ``run_power_models`` | Fig. 15 |
+| ``run_software_monitor`` | Fig. 16; Tables 3, 9 |
+| ``run_abr_comparison`` | Fig. 17 |
+| ``run_video_predictors`` | Fig. 18a |
+| ``run_chunk_lengths`` | Fig. 18b |
+| ``run_video_interface_selection`` | Fig. 18c; Table 4 |
+| ``run_web_factors`` | Fig. 19, 20, 21 |
+| ``run_web_selection`` | Fig. 22; Table 6 |
+"""
+
+from repro.experiments.tables import format_table
+from repro.experiments.campaign import run_table1_campaign
+from repro.experiments.perf import (
+    run_azure_transport,
+    run_carrier_aggregation,
+    run_latency_vs_distance,
+    run_server_survey,
+    run_throughput_vs_distance,
+)
+from repro.experiments.handoff import run_handoff_drive
+from repro.experiments.rrc import run_rrc_inference, run_tail_power
+from repro.experiments.power import (
+    run_energy_efficiency,
+    run_throughput_power,
+    run_walking_power,
+)
+from repro.experiments.powermodel import run_power_models, run_software_monitor
+from repro.experiments.video import (
+    run_abr_comparison,
+    run_chunk_lengths,
+    run_video_interface_selection,
+    run_video_predictors,
+)
+from repro.experiments.web import run_web_factors, run_web_selection
+
+__all__ = [
+    "format_table",
+    "run_abr_comparison",
+    "run_azure_transport",
+    "run_carrier_aggregation",
+    "run_chunk_lengths",
+    "run_energy_efficiency",
+    "run_handoff_drive",
+    "run_latency_vs_distance",
+    "run_power_models",
+    "run_rrc_inference",
+    "run_server_survey",
+    "run_software_monitor",
+    "run_table1_campaign",
+    "run_tail_power",
+    "run_throughput_power",
+    "run_throughput_vs_distance",
+    "run_video_interface_selection",
+    "run_video_predictors",
+    "run_walking_power",
+    "run_web_factors",
+    "run_web_selection",
+]

@@ -1,0 +1,26 @@
+"""Table 1: run a scaled-down campaign and report dataset statistics."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.campaign import Campaign
+
+
+def run_table1_campaign(
+    speedtest_repetitions: int = 3,
+    walking_traces_per_setting: int = 2,
+    web_loads: int = 600,
+    seed: int = 0,
+) -> Dict:
+    """A miniature end-to-end campaign (raise the knobs for scale)."""
+    campaign = Campaign(seed=seed)
+    campaign.run_speedtests(repetitions=speedtest_repetitions)
+    campaign.run_walking(
+        network_keys=["verizon-nsa-mmwave", "tmobile-sa-lowband"],
+        traces_per_setting=walking_traces_per_setting,
+    )
+    campaign.run_probes(network_keys=["tmobile-sa-lowband", "verizon-nsa-mmwave"])
+    campaign.record_web_loads(web_loads)
+    stats = campaign.stats()
+    return {"stats": stats, "rows": stats.as_rows(), "campaign": campaign}

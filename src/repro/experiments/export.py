@@ -1,0 +1,81 @@
+"""Export experiment results to JSON (artifact-parity with the paper's
+released data files).
+
+Runner outputs mix dataclasses, numpy arrays, and plain dicts;
+:func:`to_jsonable` normalises all of that, and :func:`export_json`
+writes one experiment's regenerated artifact to disk the way the
+paper's repository ships per-figure processed results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+_MAX_ARRAY_EXPORT = 100_000
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert runner output into JSON-serialisable data.
+
+    numpy scalars/arrays become Python numbers/lists, dataclasses become
+    dicts, enums become their values, tuples of non-string keys are
+    joined with ``|``. Objects with no natural representation fall back
+    to ``repr`` so exports never crash mid-campaign.
+    """
+    if isinstance(value, float):
+        return value if np.isfinite(value) else None
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        out = float(value)
+        return out if np.isfinite(out) else None
+    if isinstance(value, np.ndarray):
+        if value.size > _MAX_ARRAY_EXPORT:
+            raise ValueError(
+                f"array of {value.size} elements exceeds the export cap"
+            )
+        return [to_jsonable(v) for v in value.tolist()]
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+            if not field.name.startswith("_")
+        }
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if isinstance(key, tuple):
+                key = "|".join(str(k) for k in key)
+            elif not isinstance(key, str):
+                key = str(key)
+            out[key] = to_jsonable(item)
+        return out
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, float):
+        return value if np.isfinite(value) else None
+    return repr(value)
+
+
+def export_json(result: Any, path: PathLike, indent: int = 1) -> Path:
+    """Write a runner result as JSON; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(to_jsonable(result), handle, indent=indent)
+        handle.write("\n")
+    return path

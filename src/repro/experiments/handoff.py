@@ -1,0 +1,46 @@
+"""Fig. 9: handoff counts while driving, per band configuration."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.mobility.handoff import (
+    FIG9_CONFIGURATIONS,
+    HandoffSimulator,
+    default_grids,
+)
+from repro.mobility.routes import driving_route
+from repro.mobility.trajectory import Trajectory
+
+
+def run_handoff_drive(
+    dt_s: float = 0.5,
+    seed: int = 3,
+    route_km: float = 10.0,
+) -> Dict:
+    """Replay the five Fig. 9 configurations over the driving route."""
+    route = driving_route(length_km=route_km)
+    trajectory = Trajectory.from_route(route, dt_s=dt_s)
+    grids = default_grids(route.waypoints, seed=7)
+    simulator = HandoffSimulator(
+        n71_grid=grids["n71"], lte_grid=grids["lte"], seed=seed
+    )
+    rows = []
+    summaries = {}
+    for configuration in FIG9_CONFIGURATIONS:
+        summary = simulator.run(trajectory, configuration)
+        summaries[configuration.name] = summary
+        rows.append(
+            {
+                "configuration": configuration.name,
+                "total": summary.total_count,
+                "horizontal": summary.horizontal_count,
+                "vertical": summary.vertical_count,
+            }
+        )
+    return {
+        "rows": rows,
+        "summaries": summaries,
+        "route_km": route.length_m / 1000.0,
+        "duration_s": trajectory.duration_s,
+    }

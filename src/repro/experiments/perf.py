@@ -1,0 +1,169 @@
+"""Network performance experiments (Figs. 1-8, 23, 24)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.latency import LatencyModel
+from repro.net.servers import AZURE_REGIONS, carrier_server_pool, minnesota_server_pool
+from repro.net.speedtest import ConnectionMode, SpeedtestHarness
+from repro.power.device import get_device
+from repro.radio.carriers import get_network
+from repro.radio.link import LinkBudget, MODEMS
+from repro.transport.aggregate import MultiConnection
+from repro.transport.flow import TcpFlow, UdpFlow
+from repro.transport.tuning import DEFAULT_KERNEL, TUNED_KERNEL
+
+
+def run_latency_vs_distance(
+    network_keys: Optional[List[str]] = None,
+    n_servers: int = 10,
+    seed: int = 0,
+) -> Dict:
+    """Fig. 1/2/5: min RTT per network vs UE-server distance."""
+    network_keys = network_keys or [
+        "verizon-nsa-mmwave",
+        "verizon-nsa-lowband",
+        "verizon-lte",
+        "tmobile-sa-lowband",
+        "tmobile-nsa-lowband",
+    ]
+    servers = carrier_server_pool("carrier")[:n_servers]
+    ue_lat, ue_lon = 44.9778, -93.2650
+    series: Dict[str, List[tuple]] = {}
+    for key in network_keys:
+        network = get_network(key)
+        model = LatencyModel(network, seed=seed)
+        points = []
+        for server in servers:
+            distance = server.distance_km_from(ue_lat, ue_lon)
+            points.append((distance, model.min_rtt_ms(distance)))
+        series[key] = sorted(points)
+    return {"series": series, "ue": (ue_lat, ue_lon)}
+
+
+def run_throughput_vs_distance(
+    network_key: str = "verizon-nsa-mmwave",
+    device_name: str = "S20U",
+    n_servers: int = 8,
+    repetitions: int = 6,
+    seed: int = 0,
+) -> Dict:
+    """Fig. 3/4 (and 6/7 with T-Mobile keys): p95 DL/UL vs distance."""
+    network = get_network(network_key)
+    device = get_device(device_name)
+    harness = SpeedtestHarness(network=network, device=device, seed=seed)
+    servers = carrier_server_pool(network.carrier.value)[:n_servers]
+    rows = []
+    for server in servers:
+        peak_multi = harness.peak(
+            harness.run_setting(server, ConnectionMode.MULTIPLE, repetitions)
+        )
+        peak_single = harness.peak(
+            harness.run_setting(server, ConnectionMode.SINGLE, repetitions)
+        )
+        rows.append(
+            {
+                "server": server.name,
+                "distance_km": peak_multi.distance_km,
+                "rtt_ms": peak_multi.rtt_ms,
+                "dl_multi_mbps": peak_multi.downlink_mbps,
+                "dl_single_mbps": peak_single.downlink_mbps,
+                "ul_multi_mbps": peak_multi.uplink_mbps,
+                "ul_single_mbps": peak_single.uplink_mbps,
+            }
+        )
+    rows.sort(key=lambda r: r["distance_km"])
+    return {"network": network_key, "device": device_name, "rows": rows}
+
+
+def run_azure_transport(
+    capacity_mbps: float = 2200.0,  # PX5's observable ceiling
+    duration_s: float = 12.0,
+    seed: int = 0,
+) -> Dict:
+    """Fig. 8: UDP / 8-TCP / tuned 1-TCP / default 1-TCP per region."""
+    base_rtt = get_network("verizon-nsa-mmwave").rtt_floor_ms
+    rows = []
+    for region in AZURE_REGIONS:
+        rtt = base_rtt + 0.021 * region.distance_km
+        udp = UdpFlow().run(capacity_mbps, duration_s=duration_s)
+        tcp8 = MultiConnection(
+            n_connections=8, rtt_ms=rtt, kernel=TUNED_KERNEL, seed=seed
+        ).run(capacity_mbps, duration_s=duration_s)
+        tcp1_tuned = TcpFlow(
+            rtt_ms=rtt, kernel=TUNED_KERNEL, seed=seed
+        ).steady_state_mbps(capacity_mbps, duration_s=duration_s)
+        tcp1_default = TcpFlow(
+            rtt_ms=rtt, kernel=DEFAULT_KERNEL, seed=seed
+        ).steady_state_mbps(capacity_mbps, duration_s=duration_s)
+        rows.append(
+            {
+                "region": region.name,
+                "distance_km": region.distance_km,
+                "rtt_ms": rtt,
+                "udp_mbps": udp.throughput_mbps,
+                "tcp8_mbps": tcp8.throughput_mbps,
+                "tcp1_tuned_mbps": tcp1_tuned,
+                "tcp1_default_mbps": tcp1_default,
+            }
+        )
+    return {"rows": rows}
+
+
+def run_server_survey(seed: int = 0, repetitions: int = 5) -> Dict:
+    """Fig. 24: multi-conn downlink across the Minnesota server pool."""
+    network = get_network("verizon-nsa-mmwave")
+    device = get_device("S20U")
+    harness = SpeedtestHarness(network=network, device=device, seed=seed)
+    rows = []
+    for server in minnesota_server_pool():
+        peak = harness.peak(
+            harness.run_setting(server, ConnectionMode.MULTIPLE, repetitions)
+        )
+        rows.append(
+            {
+                "server": server.name,
+                "hosted_by": server.hosted_by,
+                "cap_mbps": server.capacity_cap_mbps,
+                "dl_mbps": peak.downlink_mbps,
+            }
+        )
+    return {"rows": rows}
+
+
+def run_carrier_aggregation(
+    rsrp_dbm: float = -74.0, repetitions: int = 5, seed: int = 2
+) -> Dict:
+    """Fig. 23: PX5 (4CC/X52) vs S20U (8CC/X55) peak throughput.
+
+    The figure's bars carry a second dimension — single vs multiple
+    connections — so besides the raw link capacities we also run the
+    Speedtest harness in both modes against the home-city server.
+    """
+    network = get_network("verizon-nsa-mmwave")
+    home = carrier_server_pool(network.carrier.value)[0]
+    rows = []
+    for device_name, modem_name in (("PX5", "X52"), ("S20U", "X55")):
+        link = LinkBudget(network, MODEMS[modem_name])
+        device = get_device(device_name)
+        harness = SpeedtestHarness(network=network, device=device, seed=seed)
+        single = harness.peak(
+            harness.run_setting(home, ConnectionMode.SINGLE, repetitions)
+        )
+        multi = harness.peak(
+            harness.run_setting(home, ConnectionMode.MULTIPLE, repetitions)
+        )
+        rows.append(
+            {
+                "device": device_name,
+                "modem": modem_name,
+                "dl_cc": MODEMS[modem_name].dl_carriers,
+                "dl_mbps": link.capacity_mbps(rsrp_dbm, downlink=True),
+                "ul_mbps": link.capacity_mbps(rsrp_dbm, downlink=False),
+                "dl_single_mbps": single.downlink_mbps,
+                "dl_multi_mbps": multi.downlink_mbps,
+                "ul_multi_mbps": multi.uplink_mbps,
+            }
+        )
+    return {"rows": rows}

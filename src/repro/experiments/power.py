@@ -1,0 +1,173 @@
+"""Power experiments: Fig. 11/12/13/14/26/27, Table 8."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.energy import (
+    efficiency_curve,
+    find_crossover,
+    fit_power_slope,
+)
+from repro.net.iperf import IperfUdp
+from repro.power.device import get_device
+from repro.power.monsoon import MonsoonMonitor
+from repro.radio.carriers import get_network
+from repro.traces.walking import WalkingTraceGenerator
+
+
+def _controlled_sweep(
+    device_name: str,
+    network_key: str,
+    targets_mbps: List[float],
+    downlink: bool,
+    duration_s: float,
+    seed: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """iPerf + Monsoon: (achieved throughput, radio power) per target."""
+    device = get_device(device_name)
+    network = get_network(network_key)
+    iperf = IperfUdp(network=network, device=device, seed=seed)
+    monsoon = MonsoonMonitor(rate_hz=500.0, noise_mw=2.0, seed=seed)
+    curve = device.curve(network_key)
+    throughputs = []
+    powers = []
+    for target in targets_mbps:
+        result = iperf.run(target, duration_s=duration_s, downlink=downlink)
+        rates = result.achieved_mbps
+        rsrps = result.rsrp_dbm
+
+        def power_fn(t: float) -> float:
+            index = min(int(t / result.interval_s), rates.shape[0] - 1)
+            if downlink:
+                return curve.power_mw(dl_mbps=rates[index], rsrp_dbm=rsrps[index])
+            return curve.power_mw(ul_mbps=rates[index], rsrp_dbm=rsrps[index])
+
+        trace = monsoon.measure(power_fn, duration_s=duration_s)
+        throughputs.append(result.mean_mbps)
+        powers.append(trace.average_mw())
+    return np.array(throughputs), np.array(powers)
+
+
+def run_throughput_power(
+    device_name: str = "S20U",
+    network_keys: Optional[List[str]] = None,
+    n_points: int = 8,
+    duration_s: float = 5.0,
+    seed: int = 0,
+) -> Dict:
+    """Fig. 11/26 + Table 8: controlled throughput-power sweeps.
+
+    Returns per-network sweep series, fitted slopes, and pairwise
+    crossover points.
+    """
+    network_keys = network_keys or [
+        "verizon-nsa-mmwave",
+        "verizon-nsa-lowband",
+        "verizon-lte",
+    ]
+    device = get_device(device_name)
+    sweeps: Dict[str, Dict] = {}
+    for key in network_keys:
+        network = get_network(key)
+        dl_targets = list(np.linspace(10.0, network.peak_dl_mbps * 0.75, n_points))
+        ul_targets = list(np.linspace(5.0, network.peak_ul_mbps * 0.85, n_points))
+        dl_t, dl_p = _controlled_sweep(
+            device_name, key, dl_targets, True, duration_s, seed
+        )
+        ul_t, ul_p = _controlled_sweep(
+            device_name, key, ul_targets, False, duration_s, seed + 1
+        )
+        dl_slope, dl_intercept = fit_power_slope(dl_t, dl_p)
+        ul_slope, ul_intercept = fit_power_slope(ul_t, ul_p)
+        sweeps[key] = {
+            "dl": {"throughput": dl_t, "power_mw": dl_p, "slope": dl_slope, "intercept": dl_intercept},
+            "ul": {"throughput": ul_t, "power_mw": ul_p, "slope": ul_slope, "intercept": ul_intercept},
+        }
+
+    crossovers = {}
+    keys = list(network_keys)
+    for i, a in enumerate(keys):
+        for b in keys[i + 1 :]:
+            for direction in ("dl", "ul"):
+                sa = sweeps[a][direction]
+                sb = sweeps[b][direction]
+                # Intersect the two fitted lines.
+                denom = sb["slope"] - sa["slope"]
+                if abs(denom) < 1e-12:
+                    crossovers[(a, b, direction)] = None
+                    continue
+                crossing = (sa["intercept"] - sb["intercept"]) / denom
+                crossovers[(a, b, direction)] = (
+                    float(crossing) if crossing > 0 else None
+                )
+    return {"device": device_name, "sweeps": sweeps, "crossovers": crossovers}
+
+
+def run_energy_efficiency(
+    throughput_power: Optional[Dict] = None, **kwargs
+) -> Dict:
+    """Fig. 12/27: per-bit energy curves derived from the Fig. 11 data."""
+    data = throughput_power or run_throughput_power(**kwargs)
+    curves = {}
+    for key, sweep in data["sweeps"].items():
+        for direction in ("dl", "ul"):
+            t, e = efficiency_curve(
+                sweep[direction]["throughput"], sweep[direction]["power_mw"]
+            )
+            curves[(key, direction)] = {"throughput": t, "efficiency": e}
+    return {"device": data["device"], "curves": curves}
+
+
+def run_walking_power(
+    device_name: str = "S10",
+    network_key: str = "verizon-nsa-mmwave",
+    city: str = "Ann Arbor",
+    n_traces: int = 4,
+    seed: int = 5,
+    rsrp_bins: Optional[List[Tuple[float, float]]] = None,
+) -> Dict:
+    """Fig. 13/14: power-RSRP-throughput scatter + efficiency by RSRP bin."""
+    generator = WalkingTraceGenerator(
+        network=get_network(network_key),
+        device=get_device(device_name),
+        city=city,
+        seed=seed,
+    )
+    traces = generator.generate_many(n_traces)
+    rsrp = np.concatenate([t.rsrp_dbm for t in traces])
+    throughput = np.concatenate([t.dl_mbps for t in traces])
+    power = np.concatenate([t.power_mw for t in traces])
+
+    rsrp_bins = rsrp_bins or [
+        (-110.0, -105.0),
+        (-105.0, -100.0),
+        (-100.0, -95.0),
+        (-95.0, -90.0),
+        (-90.0, -85.0),
+        (-85.0, -80.0),
+        (-80.0, -75.0),
+    ]
+    bins = []
+    for low, high in rsrp_bins:
+        mask = (rsrp >= low) & (rsrp < high) & (throughput > 1.0)
+        if not np.any(mask):
+            bins.append({"bin": (low, high), "n": 0, "efficiency": float("nan")})
+            continue
+        efficiency = power[mask] / throughput[mask]
+        bins.append(
+            {
+                "bin": (low, high),
+                "n": int(mask.sum()),
+                "efficiency": float(np.median(efficiency)),
+            }
+        )
+    return {
+        "scatter": {"rsrp_dbm": rsrp, "throughput_mbps": throughput, "power_mw": power},
+        "bins": bins,
+        "device": device_name,
+        "network": network_key,
+        "city": city,
+    }

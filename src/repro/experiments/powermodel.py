@@ -1,0 +1,159 @@
+"""Power-model experiments: Fig. 15/16, Tables 3 and 9."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.powermodel import (
+    FeatureSet,
+    LinearPowerModel,
+    train_from_walking_traces,
+)
+from repro.core.powermodel import _stack_traces
+from repro.power.calibration import SoftwareCalibrator
+from repro.power.device import get_device
+from repro.power.monsoon import MonsoonMonitor
+from repro.power.software import SoftwareMonitor, monitoring_overhead_mw
+from repro.radio.carriers import get_network
+from repro.traces.walking import WalkingTraceGenerator
+
+# Fig. 15's x-axis settings: device / carrier / network shorthand.
+DEFAULT_SETTINGS: Tuple[Tuple[str, str, str], ...] = (
+    ("S10", "verizon-nsa-mmwave", "S10/VZ/NSA-HB"),
+    ("S20U", "verizon-nsa-mmwave", "S20/VZ/NSA-HB"),
+    ("S20U", "verizon-nsa-lowband", "S20/VZ/NSA-LB"),
+    ("S20U", "tmobile-nsa-lowband", "S20/TM/NSA-LB"),
+    ("S20U", "tmobile-sa-lowband", "S20/TM/SA-LB"),
+)
+
+
+def run_power_models(
+    settings: Optional[List[Tuple[str, str, str]]] = None,
+    n_train: int = 6,
+    n_test: int = 2,
+    seed: int = 5,
+    include_linear: bool = True,
+) -> Dict:
+    """Fig. 15: MAPE of TH+SS vs TH vs SS per setting (+ linear ablation)."""
+    settings = settings or list(DEFAULT_SETTINGS)
+    rows = []
+    for device_name, network_key, label in settings:
+        generator = WalkingTraceGenerator(
+            network=get_network(network_key),
+            device=get_device(device_name),
+            seed=seed,
+        )
+        traces = generator.generate_many(n_train + n_test)
+        train, test = traces[:n_train], traces[n_train:]
+        throughput, rsrp, power = _stack_traces(test)
+        row = {"setting": label}
+        for features in FeatureSet:
+            model = train_from_walking_traces(label, train, features=features)
+            row[features.value] = model.mape(throughput, rsrp, power)
+        if include_linear:
+            linear = LinearPowerModel(label)
+            tr_t, tr_r, tr_p = _stack_traces(train)
+            linear.fit(tr_t, tr_r, tr_p)
+            row["linear TH+SS"] = linear.mape(throughput, rsrp, power)
+        rows.append(row)
+    return {"rows": rows}
+
+
+def _activity_power_fns(device_name: str = "S20U") -> Dict[str, callable]:
+    """True power functions for the Table 9 benchmark activities."""
+    device = get_device(device_name)
+    curve = device.curve("verizon-nsa-mmwave")
+    idle_screen_on = device.system_base_mw + device.screen_max_mw
+
+    def make_udp(rate_mbps: float):
+        def fn(t: float) -> float:
+            return idle_screen_on + curve.power_mw(dl_mbps=rate_mbps)
+
+        return fn
+
+    rng = np.random.default_rng(0)
+    tap_profile = rng.uniform(0.8, 2.2, size=600)
+
+    def random_activities(t: float) -> float:
+        return idle_screen_on * float(tap_profile[int(t * 10) % 600])
+
+    def idle_on(t: float) -> float:
+        return idle_screen_on
+
+    def idle_off(t: float) -> float:
+        return device.system_base_mw * 0.35
+
+    def video(t: float) -> float:
+        return idle_screen_on + 900.0 + curve.power_mw(dl_mbps=40.0)
+
+    return {
+        "Random activities": random_activities,
+        "Idle (screen on)": idle_on,
+        "Idle (screen off)": idle_off,
+        "UDP DL 50Mbps": make_udp(50.0),
+        "UDP DL 400Mbps": make_udp(400.0),
+        "UDP DL 800Mbps": make_udp(800.0),
+        "UDP DL 1200Mbps": make_udp(1200.0),
+        "Video streaming": video,
+    }
+
+
+def run_software_monitor(
+    duration_s: float = 20.0,
+    seed: int = 0,
+    calibration_duration_s: float = 120.0,
+) -> Dict:
+    """Tables 3/9 + Fig. 16: SW/HW ratios, overhead, DTR calibration."""
+    fns = _activity_power_fns()
+
+    # Table 9: SW/HW ratio per activity and sampling rate.
+    ratio_rows = []
+    for name, fn in fns.items():
+        hw = MonsoonMonitor(rate_hz=1000.0, seed=seed).measure(fn, duration_s)
+        row = {"activity": name}
+        for rate in (1.0, 10.0):
+            sw = SoftwareMonitor(rate_hz=rate, seed=seed)
+            readings = sw.measure(fn, duration_s)
+            truth = hw.average_mw() + sw.overhead_mw
+            row[f"ratio_{int(rate)}hz"] = SoftwareMonitor.average_mw(readings) / truth
+        ratio_rows.append(row)
+
+    # Table 3: monitoring overhead on an idle device.
+    idle = fns["Idle (screen on)"](0.0)
+    overhead_rows = [
+        {"activity": "Idle", "power_mw": idle},
+        {"activity": "Monitor on (1Hz)", "power_mw": idle + monitoring_overhead_mw(1.0)},
+        {"activity": "Monitor on (10Hz)", "power_mw": idle + monitoring_overhead_mw(10.0)},
+    ]
+
+    # Fig. 15/16 SW bars: calibrate on a mixed workload.
+    device = get_device("S20U")
+    curve = device.curve("verizon-nsa-mmwave")
+    rng = np.random.default_rng(seed)
+    rates = np.abs(rng.normal(300.0, 400.0, size=int(calibration_duration_s)))
+
+    def mixed(t: float) -> float:
+        index = min(int(t), rates.shape[0] - 1)
+        return device.system_base_mw + curve.power_mw(dl_mbps=float(rates[index]))
+
+    calibration = {}
+    for rate in (1.0, 10.0):
+        sw = SoftwareMonitor(rate_hz=rate, seed=seed)
+        readings = sw.measure(mixed, calibration_duration_s)
+        raw = np.array([r.power_mw for r in readings])
+        truth = np.array(
+            [mixed(r.t_s) + sw.overhead_mw for r in readings]
+        )
+        split = int(0.7 * raw.shape[0])
+        calibrator = SoftwareCalibrator()
+        calibrator.fit(raw[:split], truth[:split])
+        before, after = calibrator.evaluate(raw[split:], truth[split:])
+        calibration[f"SW-{int(rate)}Hz"] = {"mape_before": before, "mape_after": after}
+
+    return {
+        "table9_rows": ratio_rows,
+        "table3_rows": overhead_rows,
+        "calibration": calibration,
+    }

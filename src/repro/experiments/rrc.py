@@ -1,0 +1,74 @@
+"""RRC experiments: Fig. 10/25 inference sweeps, Tables 2 and 7."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.power.tail import TAIL_POWER, tail_energy_j
+from repro.rrc.parameters import RRC_PARAMETERS
+from repro.rrc.probe import RRCProbe
+
+
+def run_rrc_inference(
+    network_keys: Optional[List[str]] = None,
+    max_interval_s: float = 25.0,
+    packets_per_interval: int = 15,
+    seed: int = 1,
+) -> Dict:
+    """Fig. 10/25 + Table 7: probe every network, compare inferred vs
+    configured timers."""
+    network_keys = network_keys or list(RRC_PARAMETERS)
+    results = {}
+    rows = []
+    for key in network_keys:
+        params = RRC_PARAMETERS[key]
+        probe = RRCProbe(params, seed=seed)
+        sweep = probe.sweep(
+            np.arange(1.0, max_interval_s, 1.0),
+            packets_per_interval=packets_per_interval,
+        )
+        results[key] = sweep
+        inferred = sweep.inferred
+        # On NSA low-band the LTE anchor leg lingers past the 5G tail at
+        # connected-level RTTs, so the *apparent* tail the probe sees is
+        # the secondary timer — the paper reports exactly this ambiguity
+        # as the bracketed values in Table 7.
+        apparent_tail = params.secondary_tail_ms or params.inactivity_ms
+        has_intermediate = bool(inferred.get("has_intermediate", 0.0))
+        rows.append(
+            {
+                "network": key,
+                "true_inactivity_ms": params.inactivity_ms,
+                "apparent_tail_ms": apparent_tail,
+                "inferred_inactivity_ms": inferred.get("inactivity_ms", float("nan")),
+                "true_long_drx_ms": params.long_drx_ms,
+                "inferred_long_drx_ms": inferred.get("long_drx_ms", float("nan")),
+                "true_idle_drx_ms": params.idle_drx_ms,
+                "inferred_idle_drx_ms": inferred.get("idle_drx_ms", float("nan")),
+                "true_promotion_ms": params.promotion_delay_ms,
+                "inferred_promotion_ms": inferred.get("promotion_ms", float("nan")),
+                # RRC_INACTIVE exists only on SA; an intermediate plateau
+                # on an SA deployment is that state.
+                "inactive_detected": has_intermediate and params.has_inactive_state,
+                "intermediate_detected": has_intermediate,
+            }
+        )
+    return {"rows": rows, "sweeps": results}
+
+
+def run_tail_power() -> Dict:
+    """Table 2 + per-network tail energy integration."""
+    rows = []
+    for key, tail in TAIL_POWER.items():
+        rows.append(
+            {
+                "network": key,
+                "tail_mw": tail.tail_mw,
+                "switch_mw": tail.switch_mw,
+                "tail_energy_j": tail_energy_j(key),
+            }
+        )
+    rows.sort(key=lambda r: r["network"])
+    return {"rows": rows}

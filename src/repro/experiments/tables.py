@@ -1,0 +1,38 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    if not headers:
+        raise ValueError("headers must not be empty")
+    string_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        string_rows.append(
+            [f"{c:.3f}" if isinstance(c, float) else str(c) for c in row]
+        )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in string_rows))
+        if string_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in string_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

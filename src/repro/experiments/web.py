@@ -1,0 +1,105 @@
+"""Web experiments: Fig. 19/20/21/22, Table 6."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.metrics import cdf_points
+from repro.web.browser import Browser
+from repro.web.catalog import WebsiteCatalog, generate_catalog
+from repro.web.selection import InterfaceSelector, build_dataset
+
+
+def run_web_factors(
+    n_sites: int = 300,
+    seed: int = 1,
+    catalog: Optional[WebsiteCatalog] = None,
+) -> Dict:
+    """Fig. 19/20/21: PLT and energy by page factors, CDFs, and the
+    penalty-vs-saving trade-off."""
+    catalog = catalog or generate_catalog(n_sites=n_sites, seed=seed)
+    dataset = build_dataset(catalog, Browser(seed=seed + 1))
+
+    # Fig. 19a buckets: number of objects.
+    object_buckets = [("0-10", 0, 11), ("11-100", 11, 101), ("100-1000", 101, 10_000)]
+    size_buckets = [
+        ("<1MB", 0, 1_000_000),
+        ("1-10MB", 1_000_000, 10_000_000),
+        (">10MB", 10_000_000, 10**12),
+    ]
+
+    def bucket_rows(key_index: int, buckets) -> list:
+        rows = []
+        values = dataset.features[:, key_index]
+        for label, low, high in buckets:
+            mask = (values >= low) & (values < high)
+            if not np.any(mask):
+                rows.append({"bucket": label, "n": 0})
+                continue
+            rows.append(
+                {
+                    "bucket": label,
+                    "n": int(mask.sum()),
+                    "plt_4g": float(np.mean(dataset.plt_4g[mask])),
+                    "plt_5g": float(np.mean(dataset.plt_5g[mask])),
+                    "energy_4g": float(np.mean(dataset.energy_4g[mask])),
+                    "energy_5g": float(np.mean(dataset.energy_5g[mask])),
+                }
+            )
+        return rows
+
+    # Feature indices: 0 = NO, 5 = PS (see catalog.FEATURE_NAMES).
+    fig19a = bucket_rows(0, object_buckets)
+    fig19b = bucket_rows(5, size_buckets)
+
+    # Fig. 20: CDFs.
+    cdfs = {
+        "plt_4g": cdf_points(dataset.plt_4g),
+        "plt_5g": cdf_points(dataset.plt_5g),
+        "energy_4g": cdf_points(dataset.energy_4g),
+        "energy_5g": cdf_points(dataset.energy_5g),
+    }
+
+    # Fig. 21: energy saving vs PLT penalty buckets.
+    penalty = (dataset.plt_4g - dataset.plt_5g) / dataset.plt_5g * 100.0
+    saving = (dataset.energy_5g - dataset.energy_4g) / dataset.energy_5g * 100.0
+    fig21 = []
+    for low, high in [(0, 10), (10, 20), (20, 30), (30, 40), (40, 50), (50, 60)]:
+        mask = (penalty > low) & (penalty <= high)
+        fig21.append(
+            {
+                "penalty_bucket": f"{low}-{high}",
+                "n": int(mask.sum()),
+                "energy_saving_percent": float(np.mean(saving[mask]))
+                if np.any(mask)
+                else float("nan"),
+            }
+        )
+    return {
+        "dataset": dataset,
+        "fig19_objects": fig19a,
+        "fig19_size": fig19b,
+        "cdfs": cdfs,
+        "fig21": fig21,
+    }
+
+
+def run_web_selection(
+    n_sites: int = 300,
+    seed: int = 1,
+    dataset=None,
+) -> Dict:
+    """Table 6 + Fig. 22: M1-M5 decision trees and their structure."""
+    if dataset is None:
+        catalog = generate_catalog(n_sites=n_sites, seed=seed)
+        dataset = build_dataset(catalog, Browser(seed=seed + 1))
+    selector = InterfaceSelector(seed=seed)
+    reports = selector.evaluate(dataset)
+    rows = InterfaceSelector.table_rows(reports)
+    trees = {
+        model_id: report.tree.describe(max_depth=2)
+        for model_id, report in reports.items()
+    }
+    return {"rows": rows, "reports": reports, "trees": trees}

@@ -1,0 +1,39 @@
+"""Machine-learning substrate used throughout the reproduction.
+
+The paper relies on three families of models:
+
+* Decision Tree Regression (DTR) for the throughput+signal-strength
+  power model (paper section 4.5) and for software power-monitor
+  calibration (section 4.6).
+* Decision Tree classification for radio-interface selection in web
+  browsing (section 6.2, models M1-M5).
+* Gradient Boosted Decision Trees (GBDT) for mmWave throughput
+  prediction (section 5.3, the ``MPC_GDBT`` predictor from Lumos5G).
+
+No third-party ML library is assumed; everything here is implemented on
+top of numpy with an sklearn-like ``fit``/``predict`` interface.
+"""
+
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    r2_score,
+    root_mean_squared_error,
+)
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml.boosting import GradientBoostedRegressor
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold, train_test_split
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GradientBoostedRegressor",
+    "KFold",
+    "LinearRegression",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "r2_score",
+    "root_mean_squared_error",
+    "train_test_split",
+]

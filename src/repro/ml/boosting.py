@@ -1,0 +1,115 @@
+"""Gradient boosted regression trees (squared loss).
+
+Backs the ``MPC_GDBT`` throughput predictor from the paper's section 5.3
+(the Lumos5G-style Gradient Boosted Decision Tree predictor).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class GradientBoostedRegressor:
+    """Least-squares gradient boosting over shallow CART trees.
+
+    Standard Friedman-style boosting: start from the target mean and
+    repeatedly fit a shallow regression tree to the current residuals,
+    shrinking each tree's contribution by ``learning_rate``.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        subsample: float = 1.0,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.random_state = random_state
+        self._trees: List[DecisionTreeRegressor] = []
+        self._baseline: float = 0.0
+        self.n_features_: int = 0
+
+    def fit(self, X, y) -> "GradientBoostedRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have different numbers of samples")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        rng = np.random.default_rng(self.random_state)
+        self.n_features_ = X.shape[1]
+        self._baseline = float(np.mean(y))
+        self._trees = []
+        prediction = np.full(y.shape, self._baseline)
+        n = y.shape[0]
+        for _ in range(self.n_estimators):
+            residual = y - prediction
+            if self.subsample < 1.0:
+                size = max(1, int(round(self.subsample * n)))
+                idx = rng.choice(n, size=size, replace=False)
+            else:
+                idx = slice(None)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+            )
+            tree.fit(X[idx], residual[idx])
+            self._trees.append(tree)
+            prediction += self.learning_rate * tree.predict(X)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("model is not fitted; call fit() first")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fit on {self.n_features_}"
+            )
+        prediction = np.full(X.shape[0], self._baseline)
+        for tree in self._trees:
+            prediction += self.learning_rate * tree.predict(X)
+        return prediction
+
+    def staged_predict(self, X):
+        """Yield predictions after each boosting stage (for diagnostics)."""
+        if not self._trees:
+            raise RuntimeError("model is not fitted; call fit() first")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        prediction = np.full(X.shape[0], self._baseline)
+        for tree in self._trees:
+            prediction = prediction + self.learning_rate * tree.predict(X)
+            yield prediction.copy()
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("model is not fitted; call fit() first")
+        total = np.zeros(self.n_features_)
+        for tree in self._trees:
+            total += tree.feature_importances_
+        norm = total.sum()
+        return total / norm if norm > 0 else total

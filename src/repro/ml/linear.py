@@ -1,0 +1,70 @@
+"""Ordinary least squares linear regression.
+
+Used for:
+
+* fitting the throughput-power lines of Fig. 11/26 and the slopes of
+  Table 8,
+* the paper's negative result that a *multi-factor linear* power model
+  underperforms the DTR model (section 4.5), reproduced by the linear
+  ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class LinearRegression:
+    """OLS fit via ``numpy.linalg.lstsq`` with an optional intercept."""
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+        self.n_features_: int = 0
+
+    def fit(self, X, y) -> "LinearRegression":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have different numbers of samples")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        self.n_features_ = X.shape[1]
+        if self.fit_intercept:
+            design = np.hstack([X, np.ones((X.shape[0], 1))])
+        else:
+            design = X
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        if self.fit_intercept:
+            self.coef_ = solution[:-1]
+            self.intercept_ = float(solution[-1])
+        else:
+            self.coef_ = solution
+            self.intercept_ = 0.0
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fit on {self.n_features_}"
+            )
+        return X @ self.coef_ + self.intercept_
+
+    @property
+    def slope_(self) -> float:
+        """Convenience accessor for single-feature fits (Table 8 slopes)."""
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        if self.n_features_ != 1:
+            raise ValueError("slope_ is only defined for single-feature fits")
+        return float(self.coef_[0])

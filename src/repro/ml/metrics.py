@@ -1,0 +1,86 @@
+"""Regression and classification quality metrics.
+
+The paper's headline model-evaluation metric is Mean Absolute Percentage
+Error (MAPE), used in Fig. 15 and 16 to compare power models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_1d(values) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        array = array.ravel()
+    return array
+
+
+def _check_lengths(y_true: np.ndarray, y_pred: np.ndarray) -> None:
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise ValueError(
+            f"length mismatch: y_true has {y_true.shape[0]} samples, "
+            f"y_pred has {y_pred.shape[0]}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValueError("metrics are undefined for empty inputs")
+
+
+def mean_absolute_percentage_error(y_true, y_pred) -> float:
+    """MAPE in percent, the paper's power-model accuracy metric.
+
+    Targets equal to zero are excluded from the average (relative error
+    is undefined there); if every target is zero a ``ValueError`` is
+    raised.
+    """
+    y_true = _as_1d(y_true)
+    y_pred = _as_1d(y_pred)
+    _check_lengths(y_true, y_pred)
+    nonzero = y_true != 0.0
+    if not np.any(nonzero):
+        raise ValueError("MAPE undefined: all targets are zero")
+    relative = np.abs((y_true[nonzero] - y_pred[nonzero]) / y_true[nonzero])
+    return float(np.mean(relative) * 100.0)
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error in the units of the target."""
+    y_true = _as_1d(y_true)
+    y_pred = _as_1d(y_pred)
+    _check_lengths(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Root mean squared error in the units of the target."""
+    y_true = _as_1d(y_true)
+    y_pred = _as_1d(y_pred)
+    _check_lengths(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination.
+
+    Returns 0.0 for a constant target predicted exactly, and can be
+    negative when the model is worse than predicting the mean.
+    """
+    y_true = _as_1d(y_true)
+    y_pred = _as_1d(y_pred)
+    _check_lengths(y_true, y_pred)
+    total = np.sum((y_true - np.mean(y_true)) ** 2)
+    residual = np.sum((y_true - y_pred) ** 2)
+    if total == 0.0:
+        return 0.0 if residual > 0 else 1.0
+    return float(1.0 - residual / total)
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly-matching labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise ValueError("length mismatch between y_true and y_pred")
+    if y_true.shape[0] == 0:
+        raise ValueError("accuracy undefined for empty inputs")
+    return float(np.mean(y_true == y_pred))

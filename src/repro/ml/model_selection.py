@@ -1,0 +1,81 @@
+"""Dataset splitting utilities (train/test split, k-fold).
+
+The paper splits its 30k-point web dataset 7:3 for training/testing the
+interface-selection decision trees (section 6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+def train_test_split(
+    *arrays,
+    test_size: float = 0.3,
+    random_state: Optional[int] = None,
+    shuffle: bool = True,
+):
+    """Split each array into a train part and a test part.
+
+    Returns ``train_a, test_a, train_b, test_b, ...`` in the same order
+    as the inputs, mirroring sklearn's convention.
+    """
+    if not arrays:
+        raise ValueError("at least one array is required")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    n = np.asarray(arrays[0]).shape[0]
+    for array in arrays[1:]:
+        if np.asarray(array).shape[0] != n:
+            raise ValueError("all arrays must have the same number of samples")
+    if n < 2:
+        raise ValueError("need at least 2 samples to split")
+    n_test = int(round(n * test_size))
+    n_test = min(max(n_test, 1), n - 1)
+    indices = np.arange(n)
+    if shuffle:
+        rng = np.random.default_rng(random_state)
+        rng.shuffle(indices)
+    test_idx = indices[:n_test]
+    train_idx = indices[n_test:]
+    out = []
+    for array in arrays:
+        array = np.asarray(array)
+        out.append(array[train_idx])
+        out.append(array[test_idx])
+    return tuple(out)
+
+
+class KFold:
+    """Deterministic k-fold cross-validation index generator."""
+
+    def __init__(
+        self,
+        n_splits: int = 5,
+        shuffle: bool = False,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = np.asarray(X).shape[0]
+        if n < self.n_splits:
+            raise ValueError("cannot have more folds than samples")
+        indices = np.arange(n)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            rng.shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits)
+        fold_sizes[: n % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test_idx = indices[start : start + size]
+            train_idx = np.concatenate([indices[:start], indices[start + size :]])
+            yield train_idx, test_idx
+            start += size

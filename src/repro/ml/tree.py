@@ -1,0 +1,390 @@
+"""CART decision trees (regression and Gini classification).
+
+These back three pieces of the paper:
+
+* the TH+SS power model (Decision Tree Regression, section 4.5),
+* software power-monitor calibration (section 4.6),
+* the web radio-interface selector (section 6.2), whose interpretability
+  the paper leans on — hence ``feature_importances_`` (Gini importance)
+  and a ``describe()`` dump of the learned splits (used for Fig. 22).
+
+The implementation is plain CART with exact splits over sorted feature
+columns, vectorised with numpy prefix sums so that fitting the ~30k-row
+web dataset stays fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """A single tree node; leaves have ``feature`` set to -1."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    value: float = 0.0
+    n_samples: int = 0
+    impurity: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    class_counts: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+@dataclass
+class _Split:
+    feature: int
+    threshold: float
+    gain: float
+    left_mask: np.ndarray = field(repr=False, default=None)
+
+
+class _BaseDecisionTree:
+    """Shared CART machinery; subclasses define the impurity criterion."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        min_impurity_decrease: float = 0.0,
+        max_features: Optional[int] = None,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be >= 1 or None")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: Optional[_Node] = None
+        self.n_features_: int = 0
+        self.feature_names_: Optional[List[str]] = None
+
+    # -- subclass hooks ------------------------------------------------
+    def _leaf_value(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _impurity(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _best_split_for_feature(
+        self, column: np.ndarray, y: np.ndarray
+    ) -> Optional[tuple]:
+        raise NotImplementedError
+
+    # -- public API ----------------------------------------------------
+    def fit(self, X, y, feature_names: Optional[Sequence[str]] = None):
+        """Grow the tree on ``X`` (n_samples, n_features) and ``y``."""
+        X = np.asarray(X, dtype=float)
+        y = self._validate_targets(y)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if X.ndim != 2:
+            raise ValueError("X must be a 2-D array")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have different numbers of samples")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        self.n_features_ = X.shape[1]
+        if feature_names is not None:
+            if len(feature_names) != self.n_features_:
+                raise ValueError("feature_names length does not match X")
+            self.feature_names_ = list(feature_names)
+        self._rng = np.random.default_rng(self.random_state)
+        self._importance = np.zeros(self.n_features_)
+        self._n_total = X.shape[0]
+        self._root = self._grow(X, y, depth=0)
+        total = self._importance.sum()
+        if total > 0:
+            self._importance /= total
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted; call fit() first")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, tree was fit on {self.n_features_}"
+            )
+        return np.array([self._predict_one(row) for row in X])
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted; call fit() first")
+        return self._importance.copy()
+
+    @property
+    def depth_(self) -> int:
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted; call fit() first")
+        return walk(self._root)
+
+    @property
+    def n_leaves_(self) -> int:
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted; call fit() first")
+        return walk(self._root)
+
+    def describe(self, max_depth: Optional[int] = None) -> str:
+        """Human-readable dump of the splits (used to read M1/M4 trees)."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted; call fit() first")
+        lines: List[str] = []
+
+        def name(index: int) -> str:
+            if self.feature_names_ is not None:
+                return self.feature_names_[index]
+            return f"x[{index}]"
+
+        def walk(node: _Node, depth: int) -> None:
+            pad = "  " * depth
+            if node.is_leaf or (max_depth is not None and depth >= max_depth):
+                lines.append(f"{pad}leaf value={node.value:.4g} n={node.n_samples}")
+                return
+            lines.append(
+                f"{pad}if {name(node.feature)} <= {node.threshold:.4g} "
+                f"(n={node.n_samples}):"
+            )
+            walk(node.left, depth + 1)
+            lines.append(f"{pad}else:")
+            walk(node.right, depth + 1)
+
+        walk(self._root, 0)
+        return "\n".join(lines)
+
+    # -- internals -----------------------------------------------------
+    def _validate_targets(self, y) -> np.ndarray:
+        return np.asarray(y, dtype=float).ravel()
+
+    def _make_leaf(self, y: np.ndarray) -> _Node:
+        return _Node(
+            value=self._leaf_value(y),
+            n_samples=y.shape[0],
+            impurity=self._impurity(y),
+        )
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        n = y.shape[0]
+        impurity = self._impurity(y)
+        if (
+            n < self.min_samples_split
+            or impurity <= 1e-12
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return self._make_leaf(y)
+
+        split = self._find_best_split(X, y, impurity)
+        if split is None:
+            return self._make_leaf(y)
+
+        # Weighted impurity decrease, normalised by the training-set size
+        # so min_impurity_decrease behaves like sklearn's.
+        decrease = (n / self._n_total) * split.gain
+        if decrease < self.min_impurity_decrease:
+            return self._make_leaf(y)
+
+        self._importance[split.feature] += n * split.gain
+        left_mask = split.left_mask
+        node = _Node(
+            feature=split.feature,
+            threshold=split.threshold,
+            value=self._leaf_value(y),
+            n_samples=n,
+            impurity=impurity,
+        )
+        node.left = self._grow(X[left_mask], y[left_mask], depth + 1)
+        node.right = self._grow(X[~left_mask], y[~left_mask], depth + 1)
+        return node
+
+    def _candidate_features(self) -> np.ndarray:
+        if self.max_features is None or self.max_features >= self.n_features_:
+            return np.arange(self.n_features_)
+        return self._rng.choice(
+            self.n_features_, size=self.max_features, replace=False
+        )
+
+    def _find_best_split(
+        self, X: np.ndarray, y: np.ndarray, parent_impurity: float
+    ) -> Optional[_Split]:
+        best: Optional[_Split] = None
+        for feature in self._candidate_features():
+            column = X[:, feature]
+            result = self._best_split_for_feature(column, y)
+            if result is None:
+                continue
+            threshold, child_impurity = result
+            gain = parent_impurity - child_impurity
+            if gain <= 1e-12:
+                continue
+            if best is None or gain > best.gain:
+                best = _Split(
+                    feature=int(feature),
+                    threshold=float(threshold),
+                    gain=float(gain),
+                    left_mask=column <= threshold,
+                )
+        return best
+
+    def _predict_one(self, row: np.ndarray):
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+
+class DecisionTreeRegressor(_BaseDecisionTree):
+    """CART regression tree minimising within-node variance (MSE)."""
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        return float(np.mean(y))
+
+    def _impurity(self, y: np.ndarray) -> float:
+        return float(np.var(y))
+
+    def _best_split_for_feature(self, column, y):
+        order = np.argsort(column, kind="mergesort")
+        xs = column[order]
+        ys = y[order]
+        n = ys.shape[0]
+        min_leaf = self.min_samples_leaf
+        if n < 2 * min_leaf:
+            return None
+
+        # prefix sums for O(n) evaluation of all split positions
+        csum = np.cumsum(ys)
+        csum_sq = np.cumsum(ys**2)
+        total = csum[-1]
+        total_sq = csum_sq[-1]
+
+        counts = np.arange(1, n)  # size of the left child at each boundary
+        left_sum = csum[:-1]
+        left_sq = csum_sq[:-1]
+        right_counts = n - counts
+        right_sum = total - left_sum
+        right_sq = total_sq - left_sq
+
+        left_var = left_sq / counts - (left_sum / counts) ** 2
+        right_var = right_sq / right_counts - (right_sum / right_counts) ** 2
+        weighted = (counts * left_var + right_counts * right_var) / n
+
+        valid = (
+            (xs[1:] > xs[:-1])
+            & (counts >= min_leaf)
+            & (right_counts >= min_leaf)
+        )
+        if not np.any(valid):
+            return None
+        weighted = np.where(valid, weighted, np.inf)
+        best = int(np.argmin(weighted))
+        threshold = (xs[best] + xs[best + 1]) / 2.0
+        return threshold, float(weighted[best])
+
+
+class DecisionTreeClassifier(_BaseDecisionTree):
+    """CART classification tree using Gini impurity.
+
+    ``predict`` returns integer class labels; ``predict_proba`` returns
+    per-class frequencies of the reached leaf.
+    """
+
+    def fit(self, X, y, feature_names=None):
+        labels = np.asarray(y)
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        self._n_classes = self.classes_.shape[0]
+        return super().fit(X, encoded, feature_names=feature_names)
+
+    def _validate_targets(self, y) -> np.ndarray:
+        return np.asarray(y, dtype=int).ravel()
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        counts = np.bincount(y, minlength=self._n_classes)
+        return int(np.argmax(counts))
+
+    def _impurity(self, y: np.ndarray) -> float:
+        counts = np.bincount(y, minlength=self._n_classes)
+        p = counts / y.shape[0]
+        return float(1.0 - np.sum(p**2))
+
+    def _best_split_for_feature(self, column, y):
+        order = np.argsort(column, kind="mergesort")
+        xs = column[order]
+        ys = y[order]
+        n = ys.shape[0]
+        min_leaf = self.min_samples_leaf
+        if n < 2 * min_leaf:
+            return None
+
+        onehot = np.zeros((n, self._n_classes))
+        onehot[np.arange(n), ys] = 1.0
+        csum = np.cumsum(onehot, axis=0)
+        total = csum[-1]
+
+        counts = np.arange(1, n, dtype=float)
+        left = csum[:-1]
+        right = total - left
+        right_counts = n - counts
+
+        left_gini = 1.0 - np.sum((left / counts[:, None]) ** 2, axis=1)
+        right_gini = 1.0 - np.sum((right / right_counts[:, None]) ** 2, axis=1)
+        weighted = (counts * left_gini + right_counts * right_gini) / n
+
+        valid = (
+            (xs[1:] > xs[:-1])
+            & (counts >= min_leaf)
+            & (right_counts >= min_leaf)
+        )
+        if not np.any(valid):
+            return None
+        weighted = np.where(valid, weighted, np.inf)
+        best = int(np.argmin(weighted))
+        threshold = (xs[best] + xs[best + 1]) / 2.0
+        return threshold, float(weighted[best])
+
+    def predict(self, X) -> np.ndarray:
+        encoded = super().predict(X).astype(int)
+        return self.classes_[encoded]
+
+    def predict_proba(self, X) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted; call fit() first")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        out = np.zeros((X.shape[0], self._n_classes))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = (
+                    node.left if row[node.feature] <= node.threshold else node.right
+                )
+            out[i, int(node.value)] = 1.0
+        return out

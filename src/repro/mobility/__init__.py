@@ -1,0 +1,34 @@
+"""Mobility substrate: geometry, routes, trajectories, handoffs.
+
+Provides the movement patterns of the paper's experiments — stationary
+holds, the 20-minute / ~1.6 km walking loop (section 4.1), and the
+10 km driving route through downtown and freeway segments (section 3.3)
+— plus the handoff engine that replays Fig. 9's five radio-band
+configurations and counts horizontal (tower) and vertical (technology)
+handoffs.
+"""
+
+from repro.mobility.geo import haversine_km, path_length_m
+from repro.mobility.routes import Route, driving_route, walking_loop
+from repro.mobility.trajectory import Trajectory
+from repro.mobility.handoff import (
+    BandConfiguration,
+    HandoffEvent,
+    HandoffSimulator,
+    HandoffSummary,
+    RadioTech,
+)
+
+__all__ = [
+    "BandConfiguration",
+    "HandoffEvent",
+    "HandoffSimulator",
+    "HandoffSummary",
+    "RadioTech",
+    "Route",
+    "Trajectory",
+    "driving_route",
+    "haversine_km",
+    "path_length_m",
+    "walking_loop",
+]

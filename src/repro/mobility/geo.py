@@ -1,0 +1,38 @@
+"""Geographic helpers: great-circle distance and planar path length."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+def haversine_km(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> float:
+    """Great-circle distance between two WGS-84 points in km.
+
+    Used for UE-server distances in the Speedtest experiments (Fig. 1-8),
+    where servers are placed at real metro coordinates.
+    """
+    for value, name in ((lat1, "lat1"), (lat2, "lat2")):
+        if not -90.0 <= value <= 90.0:
+            raise ValueError(f"{name} out of range: {value}")
+    for value, name in ((lon1, "lon1"), (lon2, "lon2")):
+        if not -180.0 <= value <= 180.0:
+            raise ValueError(f"{name} out of range: {value}")
+    phi1, phi2 = np.radians(lat1), np.radians(lat2)
+    dphi = np.radians(lat2 - lat1)
+    dlam = np.radians(lon2 - lon1)
+    a = np.sin(dphi / 2.0) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(dlam / 2.0) ** 2
+    return float(2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(a)))
+
+
+def path_length_m(waypoints: Sequence[Tuple[float, float]]) -> float:
+    """Total length of a planar polyline (meters)."""
+    if len(waypoints) < 2:
+        raise ValueError("need at least two waypoints")
+    points = np.asarray(waypoints, dtype=float)
+    return float(np.sum(np.hypot(*(np.diff(points, axis=0).T))))

@@ -1,0 +1,71 @@
+"""Sampled trajectories: route -> time series of positions and speeds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mobility.routes import Route
+
+
+@dataclass
+class Trajectory:
+    """A route sampled at a fixed rate.
+
+    Attributes:
+        times_s: sample timestamps.
+        x_m, y_m: planar positions.
+        speed_mps: instantaneous speed.
+    """
+
+    times_s: np.ndarray
+    x_m: np.ndarray
+    y_m: np.ndarray
+    speed_mps: np.ndarray
+
+    def __post_init__(self) -> None:
+        arrays = (self.times_s, self.x_m, self.y_m, self.speed_mps)
+        lengths = {a.shape[0] for a in arrays}
+        if len(lengths) != 1:
+            raise ValueError("all trajectory arrays must have equal length")
+        if next(iter(lengths)) == 0:
+            raise ValueError("trajectory must not be empty")
+
+    def __len__(self) -> int:
+        return self.times_s.shape[0]
+
+    @property
+    def dt_s(self) -> float:
+        if len(self) < 2:
+            return 0.0
+        return float(self.times_s[1] - self.times_s[0])
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.times_s[-1] - self.times_s[0])
+
+    def distances_to(self, x_m: float, y_m: float) -> np.ndarray:
+        """Distance from each sample to a fixed point (e.g. a tower)."""
+        return np.hypot(self.x_m - x_m, self.y_m - y_m)
+
+    @staticmethod
+    def from_route(
+        route: Route, dt_s: float = 0.5, repeats: int = 1
+    ) -> "Trajectory":
+        """Sample a route at ``dt_s``; ``repeats`` re-runs it end-to-end
+        (the paper drove the handoff route twice per direction)."""
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        single = route.duration_s
+        total = single * repeats
+        times = np.arange(0.0, total, dt_s)
+        xs = np.empty_like(times)
+        ys = np.empty_like(times)
+        speeds = np.empty_like(times)
+        for i, t in enumerate(times):
+            x, y, speed = route.position_at(float(t % single))
+            xs[i], ys[i], speeds[i] = x, y, speed
+        return Trajectory(times_s=times, x_m=xs, y_m=ys, speed_mps=speeds)

@@ -1,0 +1,32 @@
+"""Network measurement substrate: latency, servers, Speedtest, iPerf.
+
+Models the paper's end-to-end measurement methodology (section 3.1):
+Ookla-style Speedtest against carrier-hosted and third-party servers,
+controlled Azure VM experiments with tunable transport settings, and
+iPerf3-style controlled-rate UDP for the power experiments.
+"""
+
+from repro.net.latency import LatencyModel
+from repro.net.servers import (
+    AZURE_REGIONS,
+    AzureRegion,
+    SpeedtestServer,
+    carrier_server_pool,
+    minnesota_server_pool,
+)
+from repro.net.speedtest import ConnectionMode, SpeedtestHarness, SpeedtestResult
+from repro.net.iperf import IperfResult, IperfUdp
+
+__all__ = [
+    "AZURE_REGIONS",
+    "AzureRegion",
+    "ConnectionMode",
+    "IperfResult",
+    "IperfUdp",
+    "LatencyModel",
+    "SpeedtestHarness",
+    "SpeedtestResult",
+    "SpeedtestServer",
+    "carrier_server_pool",
+    "minnesota_server_pool",
+]

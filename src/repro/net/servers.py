@@ -1,0 +1,233 @@
+"""Server pools: carrier-hosted Speedtest servers, the Minnesota
+third-party survey set (Fig. 24), and Azure US regions (Fig. 8).
+
+Both carriers host Speedtest servers in major metros (Verizon 48,
+T-Mobile 47 in the paper); we model a representative metro subset with
+real coordinates so UE-server great-circle distances are faithful. The
+Minnesota pool reproduces Fig. 24's finding that many third-party
+servers are capped near 1 or 2 Gbps by NIC/switch-port limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.mobility.geo import haversine_km
+
+# (city, state, lat, lon)
+_METROS: Tuple[Tuple[str, str, float, float], ...] = (
+    ("Minneapolis", "MN", 44.9778, -93.2650),
+    ("Chicago", "IL", 41.8781, -87.6298),
+    ("Detroit", "MI", 42.3314, -83.0458),
+    ("St. Louis", "MO", 38.6270, -90.1994),
+    ("Kansas City", "MO", 39.0997, -94.5786),
+    ("Denver", "CO", 39.7392, -104.9903),
+    ("Dallas", "TX", 32.7767, -96.7970),
+    ("Houston", "TX", 29.7604, -95.3698),
+    ("Atlanta", "GA", 33.7490, -84.3880),
+    ("Miami", "FL", 25.7617, -80.1918),
+    ("New York", "NY", 40.7128, -74.0060),
+    ("Boston", "MA", 42.3601, -71.0589),
+    ("Philadelphia", "PA", 39.9526, -75.1652),
+    ("Washington", "DC", 38.9072, -77.0369),
+    ("Phoenix", "AZ", 33.4484, -112.0740),
+    ("Salt Lake City", "UT", 40.7608, -111.8910),
+    ("Seattle", "WA", 47.6062, -122.3321),
+    ("Portland", "OR", 45.5152, -122.6784),
+    ("San Francisco", "CA", 37.7749, -122.4194),
+    ("Los Angeles", "CA", 34.0522, -118.2437),
+)
+
+# Minneapolis is the UE's home city in the Verizon experiments.
+UE_HOME = ("Minneapolis", 44.9778, -93.2650)
+
+
+@dataclass(frozen=True)
+class SpeedtestServer:
+    """One Speedtest server.
+
+    Attributes:
+        name: provider label, e.g. ``"Verizon, Minneapolis"``.
+        city, state: location labels.
+        lat, lon: coordinates for distance computation.
+        hosted_by: ``"carrier"`` or a third-party provider class.
+        capacity_cap_mbps: server-side throughput bound (NIC/switch
+            port, Fig. 24); None means effectively unlimited.
+    """
+
+    name: str
+    city: str
+    state: str
+    lat: float
+    lon: float
+    hosted_by: str = "carrier"
+    capacity_cap_mbps: Optional[float] = None
+
+    def distance_km_from(self, lat: float, lon: float) -> float:
+        return haversine_km(lat, lon, self.lat, self.lon)
+
+
+def carrier_server_pool(carrier_name: str) -> List[SpeedtestServer]:
+    """Carrier-hosted servers across major US metros."""
+    return [
+        SpeedtestServer(
+            name=f"{carrier_name}, {city}",
+            city=city,
+            state=state,
+            lat=lat,
+            lon=lon,
+            hosted_by="carrier",
+        )
+        for city, state, lat, lon in _METROS
+    ]
+
+
+def minnesota_server_pool() -> List[SpeedtestServer]:
+    """The Fig. 24 survey: 37 Speedtest servers in Minnesota.
+
+    The carrier's own Minneapolis server is uncapped (>3 Gbps); most
+    ISP/organisation servers reach ~2.8 Gbps (extra routing), several
+    are bound near 2 Gbps, and a handful near 1 Gbps.
+    """
+    servers: List[SpeedtestServer] = [
+        SpeedtestServer(
+            name="Verizon, Minneapolis",
+            city="Minneapolis",
+            state="MN",
+            lat=44.9778,
+            lon=-93.2650,
+            hosted_by="carrier",
+        )
+    ]
+    # 23 well-provisioned third-party servers (servers 2-24 in Fig. 24).
+    third_party_cities = [
+        ("Hennepin H., Minneapolis", 44.973, -93.262),
+        ("Sprint, St. Paul", 44.9537, -93.0900),
+        ("Carleton C., Northfield", 44.4583, -93.1616),
+        ("CenturyLink, St. Paul", 44.9504, -93.0930),
+        ("Midco, Cambridge", 45.5727, -93.2244),
+        ("NetINS, Minneapolis", 44.98, -93.27),
+        ("Fibernet M., Monticello", 45.3055, -93.7941),
+        ("US Internet, Minneapolis", 44.96, -93.27),
+        ("Paul Bunyan, Minneapolis", 44.97, -93.26),
+        ("Metronet, Rochester", 44.0121, -92.4802),
+        ("Gigabit Mi., Rosemount", 44.7394, -93.1258),
+        ("Arvig, Perham", 46.5944, -95.5728),
+        ("West Central, Sebeka", 46.6280, -95.0892),
+        ("Spectrum, St Cloud", 45.5579, -94.1632),
+        ("CTC, Brainerd", 46.3580, -94.2008),
+        ("Hiawatha B., Winona", 44.0499, -91.6393),
+        ("CenturyLink, Rochester", 44.0121, -92.4802),
+        ("Midco, Bemidji", 47.4716, -94.8827),
+        ("Midco, Fairmont", 43.6522, -94.4611),
+        ("Midco, St. Joseph", 45.5641, -94.3183),
+        ("Paul Bunyan, Bemidji", 47.4716, -94.8827),
+        ("702 Comm., Moorhead", 46.8738, -96.7678),
+        ("fdcservers, Minneapolis", 44.9778, -93.2650),
+    ]
+    for name, lat, lon in third_party_cities:
+        servers.append(
+            SpeedtestServer(
+                name=name,
+                city=name.split(", ")[-1],
+                state="MN",
+                lat=lat,
+                lon=lon,
+                hosted_by="third-party",
+            )
+        )
+    # Servers bound near 2 Gbps (25-28 in Fig. 24).
+    capped_2g = [
+        ("Vibrant Br., Litchfield", 45.1272, -94.5283),
+        ("Midco, International Falls", 48.6023, -93.4040),
+        ("Gustavus A., Saint Peter", 44.3236, -93.9711),
+        ("AcenTek, Houston", 43.7633, -91.5682),
+    ]
+    for name, lat, lon in capped_2g:
+        servers.append(
+            SpeedtestServer(
+                name=name,
+                city=name.split(", ")[-1],
+                state="MN",
+                lat=lat,
+                lon=lon,
+                hosted_by="third-party",
+                capacity_cap_mbps=2000.0,
+            )
+        )
+    # Servers bound near 1 Gbps (29-33).
+    capped_1g = [
+        ("Radio Link, Ellendale", 43.8730, -93.3008),
+        ("Albany Mut., Albany", 45.6297, -94.5700),
+        ("Paul Bunyan, Duluth", 46.7867, -92.1005),
+        ("Stellar As., Brandon", 45.9652, -95.5989),
+        ("Nuvera, New Ulm", 44.3125, -94.4605),
+    ]
+    for name, lat, lon in capped_1g:
+        servers.append(
+            SpeedtestServer(
+                name=name,
+                city=name.split(", ")[-1],
+                state="MN",
+                lat=lat,
+                lon=lon,
+                hosted_by="third-party",
+                capacity_cap_mbps=1000.0,
+            )
+        )
+    # Remaining smaller sites (34-37) with sub-gigabit provisioning.
+    small = [
+        ("Halstad Te., Halstad", 47.3514, -96.8284, 900.0),
+        ("vRad, Eden Prairie", 44.8547, -93.4708, 850.0),
+        ("Northeast, Mountain Iron", 47.5324, -92.6238, 800.0),
+        ("Midco, Ely", 47.9032, -91.8671, 750.0),
+    ]
+    for name, lat, lon, cap in small:
+        servers.append(
+            SpeedtestServer(
+                name=name,
+                city=name.split(", ")[-1],
+                state="MN",
+                lat=lat,
+                lon=lon,
+                hosted_by="third-party",
+                capacity_cap_mbps=cap,
+            )
+        )
+    return servers
+
+
+@dataclass(frozen=True)
+class AzureRegion:
+    """An Azure US region with its distance from the Minneapolis UE
+    (Fig. 8's x-axis labels)."""
+
+    name: str
+    distance_km: float
+
+
+AZURE_REGIONS: Tuple[AzureRegion, ...] = (
+    AzureRegion("Central", 374.0),
+    AzureRegion("North Central", 563.0),
+    AzureRegion("East", 1393.0),
+    AzureRegion("West Central", 1444.0),
+    AzureRegion("East2", 1539.0),
+    AzureRegion("South Central", 1779.0),
+    AzureRegion("West2", 2044.0),
+    AzureRegion("West", 2532.0),
+)
+
+
+def choose_default_server(
+    servers: List[SpeedtestServer], ue_lat: float, ue_lon: float
+) -> SpeedtestServer:
+    """Speedtest's default server-selection policy (section 3.1).
+
+    The client picks a geographically nearby server with the least
+    round-trip latency; with our distance-dominated latency model that
+    reduces to the nearest server.
+    """
+    if not servers:
+        raise ValueError("server pool is empty")
+    return min(servers, key=lambda s: s.distance_km_from(ue_lat, ue_lon))

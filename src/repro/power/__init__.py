@@ -1,0 +1,36 @@
+"""Power substrate: device power curves, monitors, tail/switch power.
+
+Stands in for the paper's power instrumentation (section 4.1): a
+Monsoon hardware monitor sampling at 5 kHz, the Android battery-status
+software monitor at 1/10 Hz, and the device-level ground-truth power
+behaviour that both observe. The ground truth embeds the paper's
+measured linear throughput-power curves (Table 8 slopes, Fig. 11
+crossovers), the RSRP sensitivity of section 4.4, and the RRC
+tail/switch powers of Table 2.
+"""
+
+from repro.power.device import (
+    DEVICES,
+    DeviceProfile,
+    RadioPowerCurve,
+    get_device,
+)
+from repro.power.tail import TAIL_POWER, TailPower, get_tail_power
+from repro.power.monsoon import MonsoonMonitor, PowerTrace
+from repro.power.software import SoftwareMonitor, SoftwareReading
+from repro.power.calibration import SoftwareCalibrator
+
+__all__ = [
+    "DEVICES",
+    "DeviceProfile",
+    "MonsoonMonitor",
+    "PowerTrace",
+    "RadioPowerCurve",
+    "SoftwareCalibrator",
+    "SoftwareMonitor",
+    "SoftwareReading",
+    "TAIL_POWER",
+    "TailPower",
+    "get_device",
+    "get_tail_power",
+]

@@ -1,0 +1,77 @@
+"""DTR calibration of the software power monitor (section 4.6).
+
+The software monitor systematically under-reports power; the paper
+shows a Decision Tree Regression trained on paired (software reading,
+Monsoon reading) samples closes the gap to within a few percent MAPE,
+with 10 Hz sampling calibrating slightly better than 1 Hz (Fig. 15,
+"SW-1Hz"/"SW-10Hz" bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ml.metrics import mean_absolute_percentage_error
+from repro.ml.tree import DecisionTreeRegressor
+
+
+@dataclass
+class SoftwareCalibrator:
+    """Maps raw software power readings to calibrated (hardware-like)
+    power using a regression tree.
+
+    Features are the raw reading and its short-horizon local statistics
+    (rolling mean/std over ``window`` samples), which let the tree
+    correct rate-dependent bias and smooth sampling noise.
+    """
+
+    window: int = 5
+    max_depth: int = 8
+    min_samples_leaf: int = 5
+    _tree: Optional[DecisionTreeRegressor] = field(init=False, default=None)
+
+    def _features(self, raw_mw: np.ndarray) -> np.ndarray:
+        n = raw_mw.shape[0]
+        means = np.empty(n)
+        stds = np.empty(n)
+        half = self.window // 2
+        for i in range(n):
+            lo = max(0, i - half)
+            hi = min(n, i + half + 1)
+            segment = raw_mw[lo:hi]
+            means[i] = segment.mean()
+            stds[i] = segment.std()
+        return np.column_stack([raw_mw, means, stds])
+
+    def fit(self, raw_mw, true_mw) -> "SoftwareCalibrator":
+        """Train on paired software/hardware samples (same timestamps)."""
+        raw_mw = np.asarray(raw_mw, dtype=float).ravel()
+        true_mw = np.asarray(true_mw, dtype=float).ravel()
+        if raw_mw.shape[0] != true_mw.shape[0]:
+            raise ValueError("raw and true series must align")
+        if raw_mw.shape[0] < self.window:
+            raise ValueError("not enough samples to calibrate")
+        tree = DecisionTreeRegressor(
+            max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+        )
+        tree.fit(self._features(raw_mw), true_mw)
+        self._tree = tree
+        return self
+
+    def predict(self, raw_mw) -> np.ndarray:
+        """Calibrated power for raw software readings."""
+        if self._tree is None:
+            raise RuntimeError("calibrator is not fitted; call fit() first")
+        raw_mw = np.asarray(raw_mw, dtype=float).ravel()
+        return self._tree.predict(self._features(raw_mw))
+
+    def evaluate(self, raw_mw, true_mw) -> Tuple[float, float]:
+        """(MAPE before calibration, MAPE after calibration), percent."""
+        raw_mw = np.asarray(raw_mw, dtype=float).ravel()
+        true_mw = np.asarray(true_mw, dtype=float).ravel()
+        before = mean_absolute_percentage_error(true_mw, raw_mw)
+        after = mean_absolute_percentage_error(true_mw, self.predict(raw_mw))
+        return before, after

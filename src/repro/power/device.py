@@ -1,0 +1,286 @@
+"""Device power profiles: the ground truth both monitors observe.
+
+Radio power during data transfer is linear in throughput (paper
+section 4.3, Fig. 11/26): ``P = intercept + slope_dl * T_dl +
+slope_ul * T_ul``, with slopes taken verbatim from Table 8 and
+intercepts back-solved from the crossover points the paper reports
+(DL: mmWave crosses 4G at ~187 Mbps and low-band at ~189 Mbps on the
+S20U; UL: 40 and 123 Mbps). Poor signal adds power (section 4.4):
+below a per-band reference RSRP each lost dB costs a fixed number of
+milliwatts (transmit power control, retransmissions, extra beam
+management on mmWave).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.radio.link import MODEMS, Modem
+
+
+@dataclass(frozen=True)
+class RadioPowerCurve:
+    """Linear throughput-power curve plus RSRP sensitivity.
+
+    Attributes:
+        intercept_dl_mw: radio power at zero downlink throughput.
+        slope_dl: mW per downlink Mbps (Table 8).
+        intercept_ul_mw: radio power at zero uplink throughput.
+        slope_ul: mW per uplink Mbps (Table 8).
+        rsrp_ref_dbm: RSRP at/above which no signal penalty applies.
+        rsrp_coeff_mw_per_db: extra mW per dB below the reference.
+    """
+
+    intercept_dl_mw: float
+    slope_dl: float
+    intercept_ul_mw: float
+    slope_ul: float
+    rsrp_ref_dbm: float = -80.0
+    rsrp_coeff_mw_per_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.intercept_dl_mw < 0 or self.intercept_ul_mw < 0:
+            raise ValueError("intercepts must be non-negative")
+        if self.slope_dl < 0 or self.slope_ul < 0:
+            raise ValueError("slopes must be non-negative")
+
+    def power_mw(
+        self,
+        dl_mbps: float = 0.0,
+        ul_mbps: float = 0.0,
+        rsrp_dbm: Optional[float] = None,
+    ) -> float:
+        """Radio power in mW for the given transfer rates and signal."""
+        if dl_mbps < 0 or ul_mbps < 0:
+            raise ValueError("throughput must be non-negative")
+        # The two intercepts describe the same connected radio measured
+        # in separate directional sweeps; with any uplink activity the
+        # costlier uplink chain is powered, so take the max of the
+        # active directions (keeps power monotone in both rates).
+        power = self.intercept_dl_mw
+        if ul_mbps > 0:
+            power = max(power, self.intercept_ul_mw)
+        power += self.slope_dl * dl_mbps + self.slope_ul * ul_mbps
+        if rsrp_dbm is not None and rsrp_dbm < self.rsrp_ref_dbm:
+            deficit = self.rsrp_ref_dbm - rsrp_dbm
+            # Transmit power control and retransmissions grow super-
+            # linearly as the link degrades; the quadratic term is why
+            # multi-factor *linear* power models underfit (section 4.5).
+            power += self.rsrp_coeff_mw_per_db * (deficit + 0.02 * deficit**2)
+        return float(power)
+
+
+def _curves_s20u() -> Dict[str, RadioPowerCurve]:
+    """S20U curves (Fig. 11): slopes from Table 8, intercepts from the
+    187/189 Mbps DL and 40/123 Mbps UL crossovers."""
+    base_4g = 800.0
+    mm_dl_intercept = base_4g + (14.55 - 1.81) * 187.0  # ~3182 mW
+    lb_dl_intercept = mm_dl_intercept - (13.52 - 1.81) * 189.0  # ~969 mW
+    mm_ul_intercept = base_4g + (80.21 - 9.42) * 40.0  # ~3632 mW
+    lb_ul_intercept = mm_ul_intercept - (29.15 - 9.42) * 123.0  # ~1205 mW
+    lte = RadioPowerCurve(
+        intercept_dl_mw=base_4g,
+        slope_dl=14.55,
+        intercept_ul_mw=base_4g,
+        slope_ul=80.21,
+        rsrp_ref_dbm=-85.0,
+        rsrp_coeff_mw_per_db=10.0,
+    )
+    lowband = RadioPowerCurve(
+        intercept_dl_mw=lb_dl_intercept,
+        slope_dl=13.52,
+        intercept_ul_mw=lb_ul_intercept,
+        slope_ul=29.15,
+        rsrp_ref_dbm=-85.0,
+        rsrp_coeff_mw_per_db=14.0,
+    )
+    mmwave = RadioPowerCurve(
+        intercept_dl_mw=mm_dl_intercept,
+        slope_dl=1.81,
+        intercept_ul_mw=mm_ul_intercept,
+        slope_ul=9.42,
+        rsrp_ref_dbm=-80.0,
+        rsrp_coeff_mw_per_db=28.0,
+    )
+    sa_lowband = RadioPowerCurve(
+        intercept_dl_mw=lb_dl_intercept * 0.92,  # SA skips the LTE anchor leg
+        slope_dl=13.0,
+        intercept_ul_mw=lb_ul_intercept * 0.92,
+        slope_ul=28.0,
+        rsrp_ref_dbm=-85.0,
+        rsrp_coeff_mw_per_db=14.0,
+    )
+    return {
+        "verizon-nsa-mmwave": mmwave,
+        "verizon-nsa-lowband": lowband,
+        "verizon-lte": lte,
+        "tmobile-nsa-lowband": lowband,
+        "tmobile-sa-lowband": sa_lowband,
+        "tmobile-lte": lte,
+    }
+
+
+def _curves_s10() -> Dict[str, RadioPowerCurve]:
+    """S10 curves (Fig. 26): older modem, crossovers at 213/44 Mbps."""
+    base_4g = 700.0
+    mm_dl_intercept = base_4g + (13.38 - 2.06) * 213.0  # ~3111 mW
+    mm_ul_intercept = base_4g + (57.99 - 5.27) * 44.0  # ~3020 mW
+    lte = RadioPowerCurve(
+        intercept_dl_mw=base_4g,
+        slope_dl=13.38,
+        intercept_ul_mw=base_4g,
+        slope_ul=57.99,
+        rsrp_ref_dbm=-85.0,
+        rsrp_coeff_mw_per_db=10.0,
+    )
+    mmwave = RadioPowerCurve(
+        intercept_dl_mw=mm_dl_intercept,
+        slope_dl=2.06,
+        intercept_ul_mw=mm_ul_intercept,
+        slope_ul=5.27,
+        rsrp_ref_dbm=-80.0,
+        rsrp_coeff_mw_per_db=30.0,
+    )
+    return {
+        "verizon-nsa-mmwave": mmwave,
+        "verizon-lte": lte,
+        "tmobile-nsa-lowband": RadioPowerCurve(
+            intercept_dl_mw=950.0,
+            slope_dl=13.0,
+            intercept_ul_mw=1150.0,
+            slope_ul=28.0,
+            rsrp_ref_dbm=-85.0,
+            rsrp_coeff_mw_per_db=14.0,
+        ),
+        "tmobile-lte": lte,
+    }
+
+
+def _curves_px5() -> Dict[str, RadioPowerCurve]:
+    """PX5 (X52 modem): close to S10-era efficiency."""
+    curves = dict(_curves_s10())
+    return curves
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A 5G smartphone model used in the study.
+
+    Attributes:
+        name: short model name (``"S20U"``, ``"S10"``, ``"PX5"``).
+        modem: the device's 5G modem (drives carrier aggregation).
+        system_base_mw: SoC + memory baseline with the screen off.
+        screen_max_mw: display power at maximum brightness (the paper
+            pins brightness to max and subtracts this, section 4.1).
+        curves: per-network radio power curves.
+        rooted: whether the unit is rooted (packet capture etc.).
+    """
+
+    name: str
+    modem: Modem
+    system_base_mw: float
+    screen_max_mw: float
+    curves: Dict[str, RadioPowerCurve] = field(default_factory=dict)
+    rooted: bool = False
+
+    def curve(self, network_key: str) -> RadioPowerCurve:
+        try:
+            return self.curves[network_key]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no power curve for {network_key!r}; "
+                f"known: {sorted(self.curves)}"
+            ) from None
+
+    def radio_power_mw(
+        self,
+        network_key: str,
+        dl_mbps: float = 0.0,
+        ul_mbps: float = 0.0,
+        rsrp_dbm: Optional[float] = None,
+    ) -> float:
+        """Radio-only power (screen/system excluded)."""
+        return self.curve(network_key).power_mw(dl_mbps, ul_mbps, rsrp_dbm)
+
+    def total_power_mw(
+        self,
+        network_key: str,
+        dl_mbps: float = 0.0,
+        ul_mbps: float = 0.0,
+        rsrp_dbm: Optional[float] = None,
+        screen_on: bool = True,
+    ) -> float:
+        """Whole-device power the Monsoon would read."""
+        power = self.system_base_mw + self.radio_power_mw(
+            network_key, dl_mbps, ul_mbps, rsrp_dbm
+        )
+        if screen_on:
+            power += self.screen_max_mw
+        return float(power)
+
+
+S20U = DeviceProfile(
+    name="S20U",
+    modem=MODEMS["X55"],
+    system_base_mw=750.0,
+    screen_max_mw=1100.0,
+    curves=_curves_s20u(),
+)
+
+S10 = DeviceProfile(
+    name="S10",
+    modem=MODEMS["X50"],
+    system_base_mw=700.0,
+    screen_max_mw=1000.0,
+    curves=_curves_s10(),
+)
+
+PX5 = DeviceProfile(
+    name="PX5",
+    modem=MODEMS["X52"],
+    system_base_mw=650.0,
+    screen_max_mw=900.0,
+    curves=_curves_px5(),
+    rooted=True,
+)
+
+DEVICES: Dict[str, DeviceProfile] = {d.name: d for d in (S20U, S10, PX5)}
+
+
+def get_device(name: str) -> DeviceProfile:
+    """Look a device profile up by model name (case-insensitive)."""
+    for key, device in DEVICES.items():
+        if key.lower() == name.lower():
+            return device
+    raise KeyError(f"unknown device {name!r}; known: {sorted(DEVICES)}")
+
+
+def crossover_mbps(
+    device: DeviceProfile,
+    network_a: str,
+    network_b: str,
+    downlink: bool = True,
+) -> Optional[float]:
+    """Throughput where network A's power curve crosses network B's.
+
+    Returns None when the curves never cross for positive throughput
+    (parallel or ordered the same everywhere). Used to re-derive the
+    paper's 187/189 Mbps (DL) and 40/123 Mbps (UL) crossovers.
+    """
+    curve_a = device.curve(network_a)
+    curve_b = device.curve(network_b)
+    if downlink:
+        slope_delta = curve_a.slope_dl - curve_b.slope_dl
+        intercept_delta = curve_b.intercept_dl_mw - curve_a.intercept_dl_mw
+    else:
+        slope_delta = curve_a.slope_ul - curve_b.slope_ul
+        intercept_delta = curve_b.intercept_ul_mw - curve_a.intercept_ul_mw
+    if abs(slope_delta) < 1e-12:
+        return None
+    crossing = intercept_delta / slope_delta
+    if crossing <= 0 or not np.isfinite(crossing):
+        return None
+    return float(crossing)

@@ -1,0 +1,147 @@
+"""Monsoon hardware power monitor simulator (5 kHz sampling).
+
+The paper powers phones directly from a Monsoon monitor and records at
+5000 Hz (section 4.1). :class:`MonsoonMonitor` samples an arbitrary
+ground-truth power function at that rate with a small, unbiased sensor
+noise, producing :class:`PowerTrace` objects that downstream analyses
+(tail-power extraction, model validation, trace synchronisation)
+consume exactly as they would consume the real monitor's CSV export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+DEFAULT_RATE_HZ = 5000.0
+
+
+@dataclass
+class PowerTrace:
+    """A sampled power waveform.
+
+    Attributes:
+        samples_mw: power samples in milliwatts.
+        rate_hz: sampling rate.
+        start_s: absolute start time (for synchronising with 10 Hz
+            network logs, as the paper does by starting loggers
+            together).
+    """
+
+    samples_mw: np.ndarray
+    rate_hz: float
+    start_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.samples_mw = np.asarray(self.samples_mw, dtype=float)
+        if self.samples_mw.ndim != 1:
+            raise ValueError("samples_mw must be 1-D")
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+
+    @property
+    def duration_s(self) -> float:
+        return self.samples_mw.shape[0] / self.rate_hz
+
+    @property
+    def times_s(self) -> np.ndarray:
+        return self.start_s + np.arange(self.samples_mw.shape[0]) / self.rate_hz
+
+    def average_mw(self) -> float:
+        if self.samples_mw.shape[0] == 0:
+            raise ValueError("empty trace")
+        return float(np.mean(self.samples_mw))
+
+    def energy_j(self) -> float:
+        """Total energy in joules (mean power x duration)."""
+        if self.samples_mw.shape[0] == 0:
+            return 0.0
+        return float(np.sum(self.samples_mw) / self.rate_hz / 1000.0)
+
+    def window(self, t0_s: float, t1_s: float) -> "PowerTrace":
+        """Sub-trace between two absolute times."""
+        if t1_s <= t0_s:
+            raise ValueError("t1_s must exceed t0_s")
+        i0 = max(0, int(round((t0_s - self.start_s) * self.rate_hz)))
+        i1 = min(
+            self.samples_mw.shape[0],
+            int(round((t1_s - self.start_s) * self.rate_hz)),
+        )
+        return PowerTrace(
+            samples_mw=self.samples_mw[i0:i1],
+            rate_hz=self.rate_hz,
+            start_s=self.start_s + i0 / self.rate_hz,
+        )
+
+    def downsample(self, rate_hz: float) -> "PowerTrace":
+        """Block-average down to a lower rate (e.g. 10 Hz for aligning
+        with network logs)."""
+        if rate_hz <= 0 or rate_hz > self.rate_hz:
+            raise ValueError("target rate must be in (0, source rate]")
+        block = int(round(self.rate_hz / rate_hz))
+        n = (self.samples_mw.shape[0] // block) * block
+        if n == 0:
+            raise ValueError("trace too short for the requested rate")
+        reshaped = self.samples_mw[:n].reshape(-1, block)
+        return PowerTrace(
+            samples_mw=reshaped.mean(axis=1), rate_hz=rate_hz, start_s=self.start_s
+        )
+
+
+@dataclass
+class MonsoonMonitor:
+    """High-rate sampler over a ground-truth power function.
+
+    Attributes:
+        rate_hz: sampling rate (5000 Hz in the paper).
+        noise_mw: std-dev of additive Gaussian sensor noise.
+        seed: RNG seed.
+    """
+
+    rate_hz: float = DEFAULT_RATE_HZ
+    noise_mw: float = 2.0
+    seed: Optional[int] = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if self.noise_mw < 0:
+            raise ValueError("noise_mw must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def measure(
+        self,
+        power_fn: Callable[[float], float],
+        duration_s: float,
+        start_s: float = 0.0,
+    ) -> PowerTrace:
+        """Sample ``power_fn(t_seconds) -> mW`` for ``duration_s``."""
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        n = int(round(duration_s * self.rate_hz))
+        times = start_s + np.arange(n) / self.rate_hz
+        truth = np.array([power_fn(float(t)) for t in times])
+        noise = self._rng.normal(0.0, self.noise_mw, size=n)
+        samples = np.maximum(truth + noise, 0.0)
+        return PowerTrace(samples_mw=samples, rate_hz=self.rate_hz, start_s=start_s)
+
+    def measure_series(
+        self,
+        power_series_mw,
+        series_rate_hz: float,
+        start_s: float = 0.0,
+    ) -> PowerTrace:
+        """Sample a pre-computed power series (zero-order hold upsample)."""
+        series = np.asarray(power_series_mw, dtype=float)
+        if series.ndim != 1 or series.shape[0] == 0:
+            raise ValueError("power_series_mw must be a non-empty 1-D array")
+        if series_rate_hz <= 0:
+            raise ValueError("series_rate_hz must be positive")
+        repeat = max(1, int(round(self.rate_hz / series_rate_hz)))
+        truth = np.repeat(series, repeat)
+        noise = self._rng.normal(0.0, self.noise_mw, size=truth.shape[0])
+        samples = np.maximum(truth + noise, 0.0)
+        return PowerTrace(samples_mw=samples, rate_hz=self.rate_hz, start_s=start_s)

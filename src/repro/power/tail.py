@@ -1,0 +1,141 @@
+"""RRC tail and 4G->5G switch power (paper Table 2).
+
+The tail power is the average power over the whole RRC_CONNECTED tail
+(DRX ON windows plus sleep), measured by leaving the UE idle, poking it
+with a single packet, and watching the Monsoon trace until demotion
+(section 4.1). 5G tails are costlier than 4G — dramatically so on
+mmWave — and NSA additionally pays a 4G->5G switch power whenever data
+arrives on the LTE anchor and the UE upgrades (very common, Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.rrc.machine import RRCStateMachine
+from repro.rrc.parameters import get_parameters
+from repro.rrc.states import RRCState
+
+
+@dataclass(frozen=True)
+class TailPower:
+    """Table 2 row: average tail power and 4G->5G switch power (mW)."""
+
+    network_key: str
+    tail_mw: float
+    switch_mw: Optional[float] = None  # None for LTE and SA-from-idle
+    switch_duration_ms: float = 1000.0
+    idle_mw: float = 25.0  # paging-only floor in RRC_IDLE
+    inactive_mw: Optional[float] = None  # RRC_INACTIVE floor (SA)
+
+    def __post_init__(self) -> None:
+        if self.tail_mw <= 0:
+            raise ValueError("tail_mw must be positive")
+
+    @property
+    def switch_energy_j(self) -> float:
+        """Energy of one 4G->5G switch event in joules."""
+        if self.switch_mw is None:
+            return 0.0
+        return self.switch_mw * self.switch_duration_ms / 1e6
+
+
+# Table 2, verbatim (switch power applies to NSA; the T-Mobile SA value
+# is the IDLE->NR promotion burst the paper lists in the same column).
+TAIL_POWER: Dict[str, TailPower] = {
+    "verizon-lte": TailPower(network_key="verizon-lte", tail_mw=178.0),
+    "tmobile-lte": TailPower(network_key="tmobile-lte", tail_mw=66.0),
+    "verizon-nsa-lowband": TailPower(
+        network_key="verizon-nsa-lowband", tail_mw=249.0, switch_mw=799.0
+    ),
+    "verizon-nsa-mmwave": TailPower(
+        network_key="verizon-nsa-mmwave", tail_mw=1092.0, switch_mw=1494.0
+    ),
+    "tmobile-nsa-lowband": TailPower(
+        network_key="tmobile-nsa-lowband", tail_mw=260.0, switch_mw=699.0
+    ),
+    "tmobile-sa-lowband": TailPower(
+        network_key="tmobile-sa-lowband",
+        tail_mw=593.0,
+        switch_mw=245.0,
+        inactive_mw=80.0,
+    ),
+}
+
+
+def get_tail_power(network_key: str) -> TailPower:
+    """Tail/switch power entry for a network (Table 2)."""
+    try:
+        return TAIL_POWER[network_key]
+    except KeyError:
+        raise KeyError(
+            f"no tail power for {network_key!r}; known: {sorted(TAIL_POWER)}"
+        ) from None
+
+
+def tail_energy_j(network_key: str, horizon_s: Optional[float] = None) -> float:
+    """Energy burned from last packet until RRC_IDLE (or ``horizon_s``).
+
+    Integrates the RRC schedule against the Table 2 powers; used to
+    compare state-transition efficiency across deployments (the paper's
+    finding that the carriers studied demote ~2x more efficiently than
+    the deployment measured in Xu et al.).
+    """
+    params = get_parameters(network_key)
+    tail = get_tail_power(network_key)
+    machine = RRCStateMachine(params, seed=0)
+    full_ms = params.inactivity_ms + (params.inactive_duration_ms or 0.0)
+    horizon_ms = full_ms if horizon_s is None else horizon_s * 1000.0
+    energy_mj = 0.0
+    for start, end, state in machine.schedule(horizon_ms):
+        duration_ms = end - start
+        if state.is_connected:
+            power = tail.tail_mw
+        elif state is RRCState.INACTIVE:
+            power = tail.inactive_mw if tail.inactive_mw is not None else tail.idle_mw
+        else:
+            power = tail.idle_mw
+        energy_mj += power * duration_ms / 1000.0
+    return energy_mj / 1000.0
+
+
+def power_timeline_mw(
+    network_key: str,
+    horizon_s: float,
+    resolution_s: float = 0.01,
+) -> Tuple[List[float], List[float]]:
+    """(times_s, power_mw) staircase of the post-transfer tail.
+
+    Convenient for feeding the Monsoon simulator and for plotting the
+    demotion staircase the paper verifies against the power monitor.
+    """
+    if horizon_s <= 0 or resolution_s <= 0:
+        raise ValueError("horizon and resolution must be positive")
+    params = get_parameters(network_key)
+    tail = get_tail_power(network_key)
+    machine = RRCStateMachine(params, seed=0)
+    intervals = machine.schedule(horizon_s * 1000.0)
+    times: List[float] = []
+    powers: List[float] = []
+    t = 0.0
+    while t < horizon_s:
+        t_ms = t * 1000.0
+        power = tail.idle_mw
+        for start, end, state in intervals:
+            if start <= t_ms < end:
+                if state.is_connected:
+                    power = tail.tail_mw
+                elif state is RRCState.INACTIVE:
+                    power = (
+                        tail.inactive_mw
+                        if tail.inactive_mw is not None
+                        else tail.idle_mw
+                    )
+                else:
+                    power = tail.idle_mw
+                break
+        times.append(t)
+        powers.append(power)
+        t += resolution_s
+    return times, powers

@@ -1,0 +1,71 @@
+"""Radio substrate: bands, carriers, propagation, signal, towers, link.
+
+This package stands in for the commercial 5G/4G radio networks the paper
+measured (Verizon NSA mmWave + low-band DSS, T-Mobile NSA/SA low-band,
+and 4G/LTE on both carriers). It provides:
+
+* frequency-band physics (:mod:`repro.radio.bands`),
+* carrier/deployment configurations calibrated to the paper's measured
+  peaks and latency floors (:mod:`repro.radio.carriers`),
+* path-loss and blockage models (:mod:`repro.radio.propagation`),
+* RSRP time-series generation (:mod:`repro.radio.signal`),
+* tower layouts and cell selection (:mod:`repro.radio.towers`),
+* PHY-rate estimation with carrier aggregation and modem caps
+  (:mod:`repro.radio.link`).
+"""
+
+from repro.radio.bands import (
+    Band,
+    BandClass,
+    LTE_1900,
+    NR_N5,
+    NR_N41,
+    NR_N71,
+    NR_N260,
+    NR_N261,
+    Technology,
+)
+from repro.radio.carriers import (
+    Carrier,
+    CarrierNetwork,
+    DeploymentMode,
+    NETWORKS,
+    get_network,
+    list_networks,
+)
+from repro.radio.propagation import (
+    BlockageModel,
+    PathLossModel,
+    los_probability,
+)
+from repro.radio.signal import RsrpProcess, rsrp_at_distance
+from repro.radio.towers import Tower, TowerGrid
+from repro.radio.link import LinkBudget, Modem, MODEMS
+
+__all__ = [
+    "Band",
+    "BandClass",
+    "BlockageModel",
+    "Carrier",
+    "CarrierNetwork",
+    "DeploymentMode",
+    "LinkBudget",
+    "LTE_1900",
+    "Modem",
+    "MODEMS",
+    "NETWORKS",
+    "NR_N5",
+    "NR_N41",
+    "NR_N71",
+    "NR_N260",
+    "NR_N261",
+    "PathLossModel",
+    "RsrpProcess",
+    "Technology",
+    "Tower",
+    "TowerGrid",
+    "get_network",
+    "list_networks",
+    "los_probability",
+    "rsrp_at_distance",
+]

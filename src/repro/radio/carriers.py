@@ -1,0 +1,200 @@
+"""Carrier and deployment configurations calibrated to the paper.
+
+Two US carriers are modeled exactly as in section 2:
+
+* **Verizon** — NSA mmWave (n261/n260) plus NSA low-band (n5, via
+  dynamic spectrum sharing), and 4G/LTE.
+* **T-Mobile** — low-band (n71) 5G in both NSA and SA modes, and 4G/LTE.
+
+Each :class:`CarrierNetwork` carries the calibrated performance envelope
+of that deployment: peak downlink/uplink throughput (the 95th-percentile
+"peak metric" methodology of section 3.1), the RTT floor near a
+co-located server, and whether carrier aggregation is available (the
+paper attributes SA's halved throughput to CA not yet being supported,
+section 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.radio.bands import (
+    Band,
+    LTE_1900,
+    NR_N5,
+    NR_N71,
+    NR_N261,
+    Technology,
+)
+
+
+class Carrier(enum.Enum):
+    """Mobile network operator."""
+
+    VERIZON = "Verizon"
+    TMOBILE = "T-Mobile"
+
+
+class DeploymentMode(enum.Enum):
+    """5G deployment architecture (plus plain LTE as a baseline)."""
+
+    NSA = "NSA"  # 5G data plane, 4G control plane (EN-DC)
+    SA = "SA"  # standalone 5G core
+    LTE = "LTE"  # 4G only
+
+
+@dataclass(frozen=True)
+class CarrierNetwork:
+    """One (carrier, deployment, band) combination from the study.
+
+    Attributes:
+        key: stable identifier used throughout the library, e.g.
+            ``"verizon-nsa-mmwave"``.
+        carrier: operating carrier.
+        mode: deployment mode.
+        band: primary radio band.
+        peak_dl_mbps: peak (95th percentile) downlink throughput with
+            multiple connections and a nearby carrier-hosted server.
+        peak_ul_mbps: peak uplink throughput under the same conditions.
+        rtt_floor_ms: minimum observed RTT against the closest
+            carrier-hosted server (~3 km in the paper; ~6 ms on mmWave).
+        supports_ca: whether carrier aggregation is available. SA n71
+            lacked CA during the study, halving throughput vs NSA.
+        dss: whether the 5G carrier shares spectrum with LTE (Verizon
+            low-band).
+    """
+
+    key: str
+    carrier: Carrier
+    mode: DeploymentMode
+    band: Band
+    peak_dl_mbps: float
+    peak_ul_mbps: float
+    rtt_floor_ms: float
+    supports_ca: bool = True
+    dss: bool = False
+
+    def __post_init__(self) -> None:
+        if self.peak_dl_mbps <= 0 or self.peak_ul_mbps <= 0:
+            raise ValueError("peak throughput must be positive")
+        if self.rtt_floor_ms <= 0:
+            raise ValueError("rtt_floor_ms must be positive")
+        if self.mode is DeploymentMode.LTE and self.band.technology is not Technology.LTE:
+            raise ValueError("LTE deployment must use an LTE band")
+
+    @property
+    def is_5g(self) -> bool:
+        return self.mode is not DeploymentMode.LTE
+
+    @property
+    def is_mmwave(self) -> bool:
+        return self.band.is_mmwave
+
+    @property
+    def label(self) -> str:
+        """Display label used in figures, e.g. ``"Verizon NSA mmWave"``."""
+        if self.mode is DeploymentMode.LTE:
+            return f"{self.carrier.value} 4G"
+        return f"{self.carrier.value} {self.mode.value} {self.band.band_class.value}"
+
+
+# Calibration: peak rates and RTT floors from section 3.2 (S20U, 8CC for
+# mmWave ~3 Gbps DL / ~220 Mbps UL; T-Mobile NSA n71 ~200/100; SA at
+# roughly half of NSA; LTE baselines from Fig. 2's LTE curve).
+VERIZON_NSA_MMWAVE = CarrierNetwork(
+    key="verizon-nsa-mmwave",
+    carrier=Carrier.VERIZON,
+    mode=DeploymentMode.NSA,
+    band=NR_N261,
+    peak_dl_mbps=3100.0,
+    peak_ul_mbps=220.0,
+    rtt_floor_ms=6.0,
+)
+
+VERIZON_NSA_LOWBAND = CarrierNetwork(
+    key="verizon-nsa-lowband",
+    carrier=Carrier.VERIZON,
+    mode=DeploymentMode.NSA,
+    band=NR_N5,
+    peak_dl_mbps=220.0,
+    peak_ul_mbps=60.0,
+    rtt_floor_ms=13.0,
+    dss=True,
+)
+
+VERIZON_LTE = CarrierNetwork(
+    key="verizon-lte",
+    carrier=Carrier.VERIZON,
+    mode=DeploymentMode.LTE,
+    band=LTE_1900,
+    peak_dl_mbps=180.0,
+    peak_ul_mbps=50.0,
+    rtt_floor_ms=21.0,
+)
+
+TMOBILE_NSA_LOWBAND = CarrierNetwork(
+    key="tmobile-nsa-lowband",
+    carrier=Carrier.TMOBILE,
+    mode=DeploymentMode.NSA,
+    band=NR_N71,
+    peak_dl_mbps=210.0,
+    peak_ul_mbps=100.0,
+    rtt_floor_ms=13.0,
+)
+
+TMOBILE_SA_LOWBAND = CarrierNetwork(
+    key="tmobile-sa-lowband",
+    carrier=Carrier.TMOBILE,
+    mode=DeploymentMode.SA,
+    band=NR_N71,
+    peak_dl_mbps=105.0,
+    peak_ul_mbps=50.0,
+    rtt_floor_ms=13.0,
+    supports_ca=False,
+)
+
+TMOBILE_LTE = CarrierNetwork(
+    key="tmobile-lte",
+    carrier=Carrier.TMOBILE,
+    mode=DeploymentMode.LTE,
+    band=LTE_1900,
+    peak_dl_mbps=150.0,
+    peak_ul_mbps=45.0,
+    rtt_floor_ms=21.0,
+)
+
+NETWORKS: Dict[str, CarrierNetwork] = {
+    network.key: network
+    for network in (
+        VERIZON_NSA_MMWAVE,
+        VERIZON_NSA_LOWBAND,
+        VERIZON_LTE,
+        TMOBILE_NSA_LOWBAND,
+        TMOBILE_SA_LOWBAND,
+        TMOBILE_LTE,
+    )
+}
+
+
+def get_network(key: str) -> CarrierNetwork:
+    """Look a carrier network up by key, e.g. ``"verizon-nsa-mmwave"``."""
+    try:
+        return NETWORKS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown network {key!r}; known: {sorted(NETWORKS)}"
+        ) from None
+
+
+def list_networks(carrier: Carrier = None, mode: DeploymentMode = None) -> List[CarrierNetwork]:
+    """List configured networks, optionally filtered by carrier/mode."""
+    result = []
+    for network in NETWORKS.values():
+        if carrier is not None and network.carrier is not carrier:
+            continue
+        if mode is not None and network.mode is not mode:
+            continue
+        result.append(network)
+    return result

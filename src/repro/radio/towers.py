@@ -1,0 +1,134 @@
+"""Tower layouts, coverage, and serving-cell selection.
+
+The paper's walking loop contained three mmWave towers, each with three
+directional panels, while low-band coverage was omnipresent (section
+4.1). :class:`TowerGrid` models a deployment as a set of towers on a
+plane with per-band coverage radii, and answers "which tower serves the
+UE here, and at what distance" — the primitive behind handoff counting
+(Fig. 9) and walking-trace RSRP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.radio.bands import Band
+
+
+@dataclass(frozen=True)
+class Tower:
+    """A cell tower at planar coordinates (meters), serving one band."""
+
+    tower_id: str
+    x_m: float
+    y_m: float
+    band: Band
+
+    def distance_to(self, x_m: float, y_m: float) -> float:
+        """Euclidean distance in meters to a UE position."""
+        return float(np.hypot(self.x_m - x_m, self.y_m - y_m))
+
+    @property
+    def coverage_m(self) -> float:
+        return self.band.coverage_km * 1000.0
+
+
+@dataclass
+class TowerGrid:
+    """A set of towers with nearest-in-coverage serving-cell selection."""
+
+    towers: List[Tower] = field(default_factory=list)
+
+    def add(self, tower: Tower) -> None:
+        if any(existing.tower_id == tower.tower_id for existing in self.towers):
+            raise ValueError(f"duplicate tower id {tower.tower_id!r}")
+        self.towers.append(tower)
+
+    def towers_for_band(self, band: Band) -> List[Tower]:
+        return [tower for tower in self.towers if tower.band == band]
+
+    def serving_tower(
+        self, x_m: float, y_m: float, band: Band
+    ) -> Optional[Tuple[Tower, float]]:
+        """Closest in-coverage tower of ``band``; None if out of coverage.
+
+        Returns ``(tower, distance_m)``.
+        """
+        best: Optional[Tuple[Tower, float]] = None
+        for tower in self.towers_for_band(band):
+            distance = tower.distance_to(x_m, y_m)
+            if distance > tower.coverage_m:
+                continue
+            if best is None or distance < best[1]:
+                best = (tower, distance)
+        return best
+
+    @staticmethod
+    def uniform_grid(
+        band: Band,
+        extent_m: float,
+        spacing_m: float,
+        prefix: str = "tower",
+    ) -> "TowerGrid":
+        """Square grid of towers covering ``[0, extent_m]^2``."""
+        if extent_m <= 0 or spacing_m <= 0:
+            raise ValueError("extent_m and spacing_m must be positive")
+        grid = TowerGrid()
+        index = 0
+        positions = np.arange(spacing_m / 2.0, extent_m, spacing_m)
+        for x in positions:
+            for y in positions:
+                grid.add(
+                    Tower(
+                        tower_id=f"{prefix}-{band.name}-{index}",
+                        x_m=float(x),
+                        y_m=float(y),
+                        band=band,
+                    )
+                )
+                index += 1
+        return grid
+
+    @staticmethod
+    def along_route(
+        band: Band,
+        waypoints: Sequence[Tuple[float, float]],
+        count: int,
+        jitter_m: float = 0.0,
+        seed: Optional[int] = None,
+        prefix: str = "tower",
+    ) -> "TowerGrid":
+        """Place ``count`` towers evenly along a polyline route.
+
+        Mirrors the paper's walking loop with its three mmWave towers.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if len(waypoints) < 2:
+            raise ValueError("need at least two waypoints")
+        rng = np.random.default_rng(seed)
+        points = np.asarray(waypoints, dtype=float)
+        seglens = np.hypot(*(np.diff(points, axis=0).T))
+        cumulative = np.concatenate([[0.0], np.cumsum(seglens)])
+        total = cumulative[-1]
+        grid = TowerGrid()
+        for index in range(count):
+            target = total * (index + 0.5) / count
+            seg = int(np.searchsorted(cumulative, target, side="right") - 1)
+            seg = min(seg, len(seglens) - 1)
+            frac = (target - cumulative[seg]) / max(seglens[seg], 1e-9)
+            position = points[seg] + frac * (points[seg + 1] - points[seg])
+            if jitter_m > 0:
+                position = position + rng.normal(0.0, jitter_m, size=2)
+            grid.add(
+                Tower(
+                    tower_id=f"{prefix}-{band.name}-{index}",
+                    x_m=float(position[0]),
+                    y_m=float(position[1]),
+                    band=band,
+                )
+            )
+        return grid

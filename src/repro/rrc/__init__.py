@@ -1,0 +1,24 @@
+"""RRC substrate: states, carrier parameters, state machine, RRC-Probe.
+
+Models the Radio Resource Control behaviour the paper infers in
+sections 4.1-4.2 and Appendix A.3: RRC_CONNECTED / RRC_INACTIVE (SA
+only) / RRC_IDLE states, UE-inactivity (tail) timers, connected- and
+idle-mode DRX cycles, and 4G/5G promotion delays (Table 7). The
+:class:`~repro.rrc.probe.RRCProbe` tool reproduces the paper's
+unrooted, network-based inference methodology (Fig. 10/25).
+"""
+
+from repro.rrc.states import RRCState
+from repro.rrc.parameters import RRC_PARAMETERS, RRCParameters, get_parameters
+from repro.rrc.machine import RRCStateMachine
+from repro.rrc.probe import ProbeResult, RRCProbe
+
+__all__ = [
+    "ProbeResult",
+    "RRCParameters",
+    "RRCProbe",
+    "RRCState",
+    "RRCStateMachine",
+    "RRC_PARAMETERS",
+    "get_parameters",
+]

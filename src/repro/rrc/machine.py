@@ -1,0 +1,169 @@
+"""Timed RRC state machine.
+
+Implements the state/timer semantics the paper infers (section 4.2,
+Appendix A.3):
+
+* after the last packet, the UE holds RRC_CONNECTED for the
+  UE-inactivity (tail) timer; a short continuous-reception window is
+  followed by connected-mode DRX cycles,
+* SA 5G then dwells in RRC_INACTIVE for ~5 s before RRC_IDLE,
+* NSA/LTE drop straight to RRC_IDLE,
+* a packet arriving in RRC_IDLE pays an idle-DRX paging wait plus the
+  promotion delay (for NSA: via the LTE anchor, hence the large 5G
+  promotion values in Table 7); in RRC_INACTIVE it pays only the
+  lightweight resume.
+
+Time is a float in milliseconds. The machine is deterministic except for
+the DRX paging-wait draws, which use an injected ``numpy`` generator so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.rrc.parameters import RRCParameters
+from repro.rrc.states import RRCState
+
+# Continuous-reception window after a transfer before DRX kicks in.
+_CR_WINDOW_MS = 100.0
+# Short DRX phase after CR: cycles too fast (tens of ms) for RRC-Probe
+# to observe (the paper could not infer them either, Appendix A.3).
+_SHORT_DRX_WINDOW_MS = 500.0
+_SHORT_DRX_CYCLE_MS = 40.0
+
+
+@dataclass
+class RRCStateMachine:
+    """Event-driven RRC state tracker for a single UE.
+
+    The machine tracks the time of the last data activity and derives
+    the current state lazily; :meth:`deliver_packet` returns the extra
+    radio-side latency a downlink packet experiences when it arrives at
+    a given absolute time, and promotes the machine to CONNECTED.
+    """
+
+    params: RRCParameters
+    seed: Optional[int] = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _last_activity_ms: float = field(init=False, default=float("-inf"))
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    # -- state queries ---------------------------------------------------
+    def state_at(self, t_ms: float) -> RRCState:
+        """RRC state at absolute time ``t_ms`` (before any new packet)."""
+        elapsed = t_ms - self._last_activity_ms
+        if elapsed < 0:
+            raise ValueError("time moved backwards")
+        if elapsed <= _CR_WINDOW_MS:
+            return RRCState.CONNECTED
+        if elapsed <= self.params.inactivity_ms:
+            return RRCState.CONNECTED_TAIL
+        if self.params.has_inactive_state:
+            inactive_end = (
+                self.params.inactivity_ms + self.params.inactive_duration_ms
+            )
+            if elapsed <= inactive_end:
+                return RRCState.INACTIVE
+        if (
+            self.params.secondary_tail_ms is not None
+            and elapsed <= self.params.secondary_tail_ms
+        ):
+            # NSA: the 5G leg released, but the LTE anchor connection
+            # lingers until the secondary tail (Table 7's bracketed
+            # timers); packets arrive over 4G with anchor-leg latency.
+            return RRCState.CONNECTED_4G_LEG
+        return RRCState.IDLE
+
+    def schedule(self, horizon_ms: float) -> List[Tuple[float, float, RRCState]]:
+        """State intervals from the last activity out to ``horizon_ms``.
+
+        Returns ``(start_ms, end_ms, state)`` tuples relative to the last
+        activity; used by the power simulator to integrate tail energy.
+        """
+        if horizon_ms <= 0:
+            raise ValueError("horizon_ms must be positive")
+        boundaries: List[Tuple[float, RRCState]] = [
+            (0.0, RRCState.CONNECTED),
+            (_CR_WINDOW_MS, RRCState.CONNECTED_TAIL),
+        ]
+        tail_end = self.params.inactivity_ms
+        if self.params.has_inactive_state:
+            boundaries.append((tail_end, RRCState.INACTIVE))
+            boundaries.append(
+                (tail_end + self.params.inactive_duration_ms, RRCState.IDLE)
+            )
+        elif self.params.secondary_tail_ms is not None:
+            boundaries.append((tail_end, RRCState.CONNECTED_4G_LEG))
+            boundaries.append((self.params.secondary_tail_ms, RRCState.IDLE))
+        else:
+            boundaries.append((tail_end, RRCState.IDLE))
+        intervals = []
+        for (start, state), (end, _unused) in zip(boundaries, boundaries[1:]):
+            if start >= horizon_ms:
+                break
+            intervals.append((start, min(end, horizon_ms), state))
+        last_start, last_state = boundaries[-1]
+        if last_start < horizon_ms:
+            intervals.append((last_start, horizon_ms, last_state))
+        return intervals
+
+    # -- packet handling ---------------------------------------------------
+    def deliver_packet(self, t_ms: float, transfer_ms: float = 0.0) -> float:
+        """Deliver a downlink packet at ``t_ms``; return radio delay (ms).
+
+        The returned delay is the RRC-induced component only (DRX paging
+        wait + promotion); propagation/queueing delay belongs to the
+        network latency model. The machine transitions to CONNECTED and
+        records activity until ``t_ms + delay + transfer_ms``.
+        """
+        state = self.state_at(t_ms)
+        elapsed = t_ms - self._last_activity_ms
+        if (
+            state is RRCState.CONNECTED_TAIL
+            and elapsed <= _CR_WINDOW_MS + _SHORT_DRX_WINDOW_MS
+        ):
+            # Short DRX phase: sub-probe-resolution wake-up delays.
+            delay = float(self._rng.uniform(0.0, _SHORT_DRX_CYCLE_MS))
+        else:
+            delay = self._radio_delay_ms(state)
+        self._last_activity_ms = t_ms + delay + transfer_ms
+        return delay
+
+    def _radio_delay_ms(self, state: RRCState) -> float:
+        params = self.params
+        if state is RRCState.CONNECTED:
+            return 0.0
+        if state is RRCState.CONNECTED_TAIL:
+            # Early in the tail the UE cycles Short DRX (delays of tens
+            # of ms, invisible to second-scale probing); afterwards it
+            # waits for the next Long DRX ON window.
+            return float(self._rng.uniform(0.0, params.long_drx_ms))
+        if state is RRCState.CONNECTED_4G_LEG:
+            # Packet rides the LTE anchor: Long-DRX wait plus the extra
+            # anchor-leg latency, no idle promotion.
+            anchor_extra = 30.0
+            return float(
+                anchor_extra + self._rng.uniform(0.0, params.long_drx_ms)
+            )
+        if state is RRCState.INACTIVE:
+            resume = params.inactive_resume_ms or 0.0
+            return float(
+                resume + self._rng.uniform(0.0, params.long_drx_ms)
+            )
+        # RRC_IDLE: paging wait + full promotion.
+        paging = float(self._rng.uniform(0.0, params.idle_drx_ms))
+        return paging + params.promotion_delay_ms
+
+    def reset(self) -> None:
+        """Forget all activity (UE returns to a long-idle state)."""
+        self._last_activity_ms = float("-inf")
+
+    @property
+    def last_activity_ms(self) -> float:
+        return self._last_activity_ms

@@ -1,0 +1,138 @@
+"""RRC timer configurations per carrier/deployment (paper Table 7).
+
+All times are in milliseconds, exactly as reported by RRC-Probe in
+Appendix A.3. The bracketed secondary tail timers in the paper (NSA
+low-band settings where packets sometimes arrive over the 4G leg) are
+kept as ``secondary_tail_ms``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class RRCParameters:
+    """RRC state-machine timer set for one carrier network.
+
+    Attributes:
+        network_key: key into :data:`repro.radio.carriers.NETWORKS`.
+        inactivity_ms: UE-inactivity (tail) timer; time spent in
+            RRC_CONNECTED after the last packet before demotion.
+        secondary_tail_ms: alternate tail observed when NSA traffic rides
+            the 4G anchor leg (None when not applicable).
+        long_drx_ms: connected-mode Long DRX cycle period.
+        idle_drx_ms: idle-mode DRX (paging) cycle period.
+        promo_4g_ms: RRC_IDLE -> LTE_RRC_CONNECTED promotion delay
+            (None for SA, which has no 4G anchor).
+        promo_5g_ms: RRC_IDLE -> NR_RRC_CONNECTED promotion delay (None
+            for LTE-only and for Verizon low-band DSS where the paper
+            could not measure it).
+        inactive_duration_ms: time spent in RRC_INACTIVE before falling
+            to RRC_IDLE (SA only; the paper observes ~5 s).
+        inactive_resume_ms: lightweight RRC_INACTIVE -> CONNECTED resume
+            delay (SA only; a fraction of the full promotion delay).
+    """
+
+    network_key: str
+    inactivity_ms: float
+    long_drx_ms: float
+    idle_drx_ms: float
+    promo_4g_ms: Optional[float] = None
+    promo_5g_ms: Optional[float] = None
+    secondary_tail_ms: Optional[float] = None
+    inactive_duration_ms: Optional[float] = None
+    inactive_resume_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.inactivity_ms <= 0:
+            raise ValueError("inactivity_ms must be positive")
+        if self.long_drx_ms <= 0 or self.idle_drx_ms <= 0:
+            raise ValueError("DRX cycles must be positive")
+        if self.promo_4g_ms is None and self.promo_5g_ms is None:
+            raise ValueError("at least one promotion delay is required")
+
+    @property
+    def has_inactive_state(self) -> bool:
+        return self.inactive_duration_ms is not None
+
+    @property
+    def promotion_delay_ms(self) -> float:
+        """Full RRC_IDLE -> data-plane-CONNECTED promotion delay.
+
+        For NSA this is the 5G promotion (which already includes the
+        intermediate LTE connection step); for LTE-only, the 4G
+        promotion; for SA, the direct NR promotion.
+        """
+        if self.promo_5g_ms is not None:
+            return self.promo_5g_ms
+        return self.promo_4g_ms
+
+
+# Table 7, verbatim.
+RRC_PARAMETERS: Dict[str, RRCParameters] = {
+    "tmobile-sa-lowband": RRCParameters(
+        network_key="tmobile-sa-lowband",
+        inactivity_ms=10400.0,
+        long_drx_ms=40.0,
+        idle_drx_ms=1250.0,
+        promo_4g_ms=None,
+        promo_5g_ms=341.0,
+        inactive_duration_ms=5000.0,
+        inactive_resume_ms=120.0,
+    ),
+    "tmobile-nsa-lowband": RRCParameters(
+        network_key="tmobile-nsa-lowband",
+        inactivity_ms=10400.0,
+        secondary_tail_ms=12120.0,
+        long_drx_ms=320.0,
+        idle_drx_ms=1200.0,
+        promo_4g_ms=210.0,
+        promo_5g_ms=1440.0,
+    ),
+    "verizon-nsa-mmwave": RRCParameters(
+        network_key="verizon-nsa-mmwave",
+        inactivity_ms=10500.0,
+        long_drx_ms=320.0,
+        idle_drx_ms=1280.0,
+        promo_4g_ms=396.0,
+        promo_5g_ms=1907.0,
+    ),
+    "verizon-nsa-lowband": RRCParameters(
+        network_key="verizon-nsa-lowband",
+        inactivity_ms=10200.0,
+        secondary_tail_ms=18800.0,
+        long_drx_ms=400.0,
+        idle_drx_ms=1100.0,
+        promo_4g_ms=288.0,
+        promo_5g_ms=None,
+    ),
+    "tmobile-lte": RRCParameters(
+        network_key="tmobile-lte",
+        inactivity_ms=5000.0,
+        long_drx_ms=400.0,
+        idle_drx_ms=1300.0,
+        promo_4g_ms=190.0,
+        promo_5g_ms=None,
+    ),
+    "verizon-lte": RRCParameters(
+        network_key="verizon-lte",
+        inactivity_ms=10200.0,
+        long_drx_ms=300.0,
+        idle_drx_ms=1280.0,
+        promo_4g_ms=265.0,
+        promo_5g_ms=None,
+    ),
+}
+
+
+def get_parameters(network_key: str) -> RRCParameters:
+    """RRC parameters for a network key (see Table 7)."""
+    try:
+        return RRC_PARAMETERS[network_key]
+    except KeyError:
+        raise KeyError(
+            f"no RRC parameters for {network_key!r}; "
+            f"known: {sorted(RRC_PARAMETERS)}"
+        ) from None

@@ -1,0 +1,226 @@
+"""RRC-Probe: unrooted, network-based RRC parameter inference.
+
+Reproduces the paper's tool (section 4.1): a server sends UDP packets to
+the UE at a controlled inter-packet idle interval and measures the RTT
+of each ACK. Because a packet that lands in a deeper RRC state pays a
+longer radio wake-up delay, sweeping the idle interval traces out the
+state machine (Fig. 10/25), and change-point analysis over the sweep
+recovers the Table 7 timers:
+
+* the *UE-inactivity timer* is where RTT first jumps off the connected
+  plateau,
+* an intermediate plateau between connected and idle levels reveals
+  RRC_INACTIVE (SA 5G) and its dwell time,
+* on the idle plateau, ``min(RTT) - base`` estimates the promotion
+  delay and ``max(RTT) - min(RTT)`` the idle DRX (paging) cycle,
+* on the connected plateau the same spread estimates the Long DRX cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.rrc.machine import RRCStateMachine
+from repro.rrc.parameters import RRCParameters
+from repro.rrc.states import RRCState
+
+
+@dataclass
+class ProbeSample:
+    """One probe packet: idle interval used, RTT observed, true state."""
+
+    interval_s: float
+    rtt_ms: float
+    state: RRCState
+
+
+@dataclass
+class ProbeResult:
+    """Sweep data plus inferred RRC parameters."""
+
+    samples: List[ProbeSample]
+    inferred: Dict[str, float]
+
+    def rtts_for_interval(self, interval_s: float) -> np.ndarray:
+        return np.array(
+            [s.rtt_ms for s in self.samples if s.interval_s == interval_s]
+        )
+
+    @property
+    def intervals(self) -> np.ndarray:
+        return np.unique([s.interval_s for s in self.samples])
+
+    def median_rtt_by_interval(self) -> Dict[float, float]:
+        return {
+            float(i): float(np.median(self.rtts_for_interval(i)))
+            for i in self.intervals
+        }
+
+
+@dataclass
+class RRCProbe:
+    """Probe driver around a simulated UE RRC machine.
+
+    Attributes:
+        params: ground-truth RRC parameters of the network under test
+            (the probe only *observes* RTTs; the inference never reads
+            these directly).
+        base_rtt_ms: network round-trip baseline to the probing server.
+        jitter_ms: std-dev of Gaussian RTT noise.
+        seed: RNG seed for reproducible sweeps.
+    """
+
+    params: RRCParameters
+    base_rtt_ms: float = 30.0
+    jitter_ms: float = 3.0
+    seed: Optional[int] = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.base_rtt_ms <= 0:
+            raise ValueError("base_rtt_ms must be positive")
+        if self.jitter_ms < 0:
+            raise ValueError("jitter_ms must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def sweep(
+        self,
+        intervals_s: Sequence[float],
+        packets_per_interval: int = 20,
+    ) -> ProbeResult:
+        """Run the probe at each idle interval and infer parameters."""
+        if packets_per_interval < 3:
+            raise ValueError("need at least 3 packets per interval")
+        samples: List[ProbeSample] = []
+        for interval_s in intervals_s:
+            if interval_s <= 0:
+                raise ValueError("intervals must be positive")
+            machine = RRCStateMachine(
+                self.params, seed=int(self._rng.integers(0, 2**31))
+            )
+            t_ms = 0.0
+            # Warm-up packet promotes the UE out of deep idle; discarded.
+            machine.deliver_packet(t_ms)
+            for _ in range(packets_per_interval):
+                t_ms = machine.last_activity_ms + interval_s * 1000.0
+                state = machine.state_at(t_ms)
+                radio_delay = machine.deliver_packet(t_ms)
+                rtt = (
+                    self.base_rtt_ms
+                    + radio_delay
+                    + abs(self._rng.normal(0.0, self.jitter_ms))
+                )
+                samples.append(
+                    ProbeSample(
+                        interval_s=float(interval_s),
+                        rtt_ms=float(rtt),
+                        state=state,
+                    )
+                )
+        inferred = self._infer(samples)
+        return ProbeResult(samples=samples, inferred=inferred)
+
+    # -- inference -------------------------------------------------------
+    @staticmethod
+    def _segment_plateaus(rtts_by_interval: List[np.ndarray]) -> List[slice]:
+        """Split the sweep into plateaus where the RTT *distribution*
+        shifts.
+
+        A boundary is declared between consecutive intervals when the
+        next interval's median falls outside the [p5, p95] envelope of
+        the current one (with a small jitter guard). This is robust to
+        the huge within-plateau spread the idle paging wait induces,
+        while still catching the small CONNECTED->INACTIVE step on SA.
+        """
+        guard_ms = 25.0
+        boundaries = [0]
+        for i in range(len(rtts_by_interval) - 1):
+            current = rtts_by_interval[i]
+            next_median = float(np.median(rtts_by_interval[i + 1]))
+            low = float(np.percentile(current, 5)) - guard_ms
+            high = float(np.percentile(current, 95)) + guard_ms
+            if next_median > high or next_median < low:
+                boundaries.append(i + 1)
+        boundaries.append(len(rtts_by_interval))
+        return [
+            slice(start, end)
+            for start, end in zip(boundaries, boundaries[1:])
+            if end > start
+        ]
+
+    def _infer(self, samples: List[ProbeSample]) -> Dict[str, float]:
+        intervals = np.unique([s.interval_s for s in samples])
+        by_interval = {
+            float(i): np.array([s.rtt_ms for s in samples if s.interval_s == i])
+            for i in intervals
+        }
+
+        inferred: Dict[str, float] = {}
+        plateaus = self._segment_plateaus(
+            [by_interval[float(i)] for i in intervals]
+        )
+        if len(plateaus) == 1:
+            # Never left CONNECTED within the sweep range.
+            inferred["inactivity_ms"] = float("nan")
+            return inferred
+
+        def plateau_rtts(p: slice) -> np.ndarray:
+            return np.concatenate(
+                [by_interval[float(i)] for i in intervals[p]]
+            )
+
+        connected = plateaus[0]
+        idle = plateaus[-1]
+
+        connected_rtts = plateau_rtts(connected)
+        base_estimate = float(np.min(connected_rtts))
+        inferred["base_rtt_ms"] = base_estimate
+        inferred["long_drx_ms"] = float(
+            np.percentile(connected_rtts, 98) - base_estimate
+        )
+
+        # Inactivity timer: midpoint between the last connected interval
+        # and the first interval of the next plateau.
+        last_connected = intervals[connected][-1]
+        first_departed = intervals[plateaus[1]][0]
+        inferred["inactivity_ms"] = float(
+            (last_connected + first_departed) / 2.0 * 1000.0
+        )
+
+        # A middle plateau between the connected and idle levels is an
+        # *intermediate* low-cost state. On SA 5G it is RRC_INACTIVE; on
+        # NSA low-band it is the lingering LTE anchor leg whose end is
+        # the secondary tail (Table 7's bracketed timers). The probe
+        # cannot tell which without knowing the deployment mode, so it
+        # reports the raw observation and leaves interpretation to the
+        # caller.
+        middle = plateaus[1:-1]
+        if middle and len(plateaus) >= 3:
+            intermediate = middle[0]
+            first_idle = intervals[idle][0]
+            inferred["has_intermediate"] = 1.0
+            inferred["intermediate_duration_ms"] = float(
+                (first_idle - intervals[intermediate][0]) * 1000.0
+            )
+            intermediate_rtts = plateau_rtts(intermediate)
+            inferred["intermediate_resume_ms"] = float(
+                np.median(intermediate_rtts)
+                - base_estimate
+                - inferred["long_drx_ms"] / 2.0
+            )
+            # End of the intermediate plateau = the secondary tail.
+            inferred["secondary_tail_ms"] = float(
+                (intervals[intermediate][-1] + first_idle) / 2.0 * 1000.0
+            )
+        else:
+            inferred["has_intermediate"] = 0.0
+
+        idle_rtts = plateau_rtts(idle)
+        inferred["promotion_ms"] = float(np.min(idle_rtts) - base_estimate)
+        inferred["idle_drx_ms"] = float(
+            np.percentile(idle_rtts, 98) - np.min(idle_rtts)
+        )
+        return inferred

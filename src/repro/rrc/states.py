@@ -1,0 +1,36 @@
+"""RRC state definitions.
+
+NSA 5G inherits the 4G-like two-state machine (CONNECTED/IDLE); SA 5G
+adds RRC_INACTIVE, a low-power state with a lightweight resume path
+(paper section 4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RRCState(enum.Enum):
+    """Radio Resource Control state of the UE.
+
+    ``CONNECTED_4G_LEG`` models the NSA dual-connectivity quirk from
+    Appendix A.3: after the 5G leg's tail expires, the UE can linger in
+    LTE_RRC_CONNECTED (packets then arrive over the anchor with higher
+    latency) until the *secondary* tail timer — the bracketed values in
+    Table 7 — finally demotes it to idle.
+    """
+
+    CONNECTED = "RRC_CONNECTED"
+    CONNECTED_TAIL = "RRC_CONNECTED (tail/DRX)"
+    CONNECTED_4G_LEG = "LTE_RRC_CONNECTED (NSA anchor leg)"
+    INACTIVE = "RRC_INACTIVE"
+    IDLE = "RRC_IDLE"
+
+    @property
+    def is_connected(self) -> bool:
+        """True for every sub-state with an active RRC connection."""
+        return self in (
+            RRCState.CONNECTED,
+            RRCState.CONNECTED_TAIL,
+            RRCState.CONNECTED_4G_LEG,
+        )

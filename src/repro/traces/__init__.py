@@ -1,0 +1,26 @@
+"""Synthetic trace corpora standing in for the released datasets.
+
+* :mod:`repro.traces.lumos` — a Lumos5G-like throughput corpus (121
+  mmWave-5G + 175 4G traces at 1 s granularity, means ~10x apart) that
+  drives the ABR video evaluation of section 5.
+* :mod:`repro.traces.walking` — 10 Hz network + power walking traces
+  (the section 4.4 in-the-wild campaign in Minneapolis and Ann Arbor)
+  that train and evaluate the power models.
+* :mod:`repro.traces.io` — CSV round-tripping so traces can be shipped
+  like the paper's released artifact.
+"""
+
+from repro.traces.schema import ThroughputTrace, WalkingTrace
+from repro.traces.lumos import LumosConfig, generate_lumos_corpus
+from repro.traces.walking import WalkingTraceGenerator
+from repro.traces.io import load_throughput_trace, save_throughput_trace
+
+__all__ = [
+    "LumosConfig",
+    "ThroughputTrace",
+    "WalkingTrace",
+    "WalkingTraceGenerator",
+    "generate_lumos_corpus",
+    "load_throughput_trace",
+    "save_throughput_trace",
+]

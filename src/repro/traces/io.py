@@ -1,0 +1,117 @@
+"""Trace persistence: CSV round-tripping for released-artifact parity.
+
+The paper ships its dataset as per-experiment folders of small CSVs;
+these helpers read/write the same shape so the examples can persist and
+reload corpora.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.traces.schema import ThroughputTrace, WalkingTrace
+
+PathLike = Union[str, Path]
+
+
+def save_throughput_trace(trace: ThroughputTrace, path: PathLike) -> None:
+    """Write a throughput trace as CSV with a JSON header comment."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {"name": trace.name, "tech": trace.tech, "dt_s": trace.dt_s}
+    with path.open("w", newline="") as handle:
+        handle.write(f"# {json.dumps(meta)}\n")
+        writer = csv.writer(handle)
+        header = ["t_s", "throughput_mbps"]
+        has_rsrp = trace.rsrp_dbm is not None
+        if has_rsrp:
+            header.append("rsrp_dbm")
+        writer.writerow(header)
+        for i in range(len(trace)):
+            row = [f"{i * trace.dt_s:.3f}", f"{trace.throughput_mbps[i]:.4f}"]
+            if has_rsrp:
+                row.append(f"{trace.rsrp_dbm[i]:.2f}")
+            writer.writerow(row)
+
+
+def load_throughput_trace(path: PathLike) -> ThroughputTrace:
+    """Read a trace written by :func:`save_throughput_trace`."""
+    path = Path(path)
+    with path.open() as handle:
+        first = handle.readline()
+        if not first.startswith("# "):
+            raise ValueError(f"{path}: missing metadata header")
+        meta = json.loads(first[2:])
+        reader = csv.DictReader(handle)
+        throughput = []
+        rsrp = []
+        for row in reader:
+            throughput.append(float(row["throughput_mbps"]))
+            if "rsrp_dbm" in row and row["rsrp_dbm"] is not None:
+                rsrp.append(float(row["rsrp_dbm"]))
+    return ThroughputTrace(
+        name=meta["name"],
+        tech=meta["tech"],
+        throughput_mbps=np.array(throughput),
+        dt_s=float(meta["dt_s"]),
+        rsrp_dbm=np.array(rsrp) if rsrp else None,
+    )
+
+
+def save_walking_trace(trace: WalkingTrace, path: PathLike) -> None:
+    """Write a walking trace as CSV with a JSON header comment."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "name": trace.name,
+        "network_key": trace.network_key,
+        "device_name": trace.device_name,
+        "city": trace.city,
+        "band_class": trace.band_class,
+    }
+    with path.open("w", newline="") as handle:
+        handle.write(f"# {json.dumps(meta)}\n")
+        writer = csv.writer(handle)
+        writer.writerow(["t_s", "dl_mbps", "ul_mbps", "rsrp_dbm", "power_mw"])
+        for i in range(len(trace)):
+            writer.writerow(
+                [
+                    f"{trace.times_s[i]:.3f}",
+                    f"{trace.dl_mbps[i]:.4f}",
+                    f"{trace.ul_mbps[i]:.4f}",
+                    f"{trace.rsrp_dbm[i]:.2f}",
+                    f"{trace.power_mw[i]:.2f}",
+                ]
+            )
+
+
+def load_walking_trace(path: PathLike) -> WalkingTrace:
+    """Read a trace written by :func:`save_walking_trace`."""
+    path = Path(path)
+    with path.open() as handle:
+        first = handle.readline()
+        if not first.startswith("# "):
+            raise ValueError(f"{path}: missing metadata header")
+        meta = json.loads(first[2:])
+        reader = csv.DictReader(handle)
+        columns = {key: [] for key in ("t_s", "dl_mbps", "ul_mbps", "rsrp_dbm", "power_mw")}
+        for row in reader:
+            for key in columns:
+                columns[key].append(float(row[key]))
+    return WalkingTrace(
+        name=meta["name"],
+        network_key=meta["network_key"],
+        device_name=meta["device_name"],
+        city=meta["city"],
+        band_class=meta.get("band_class", ""),
+        times_s=np.array(columns["t_s"]),
+        dl_mbps=np.array(columns["dl_mbps"]),
+        ul_mbps=np.array(columns["ul_mbps"]),
+        rsrp_dbm=np.array(columns["rsrp_dbm"]),
+        power_mw=np.array(columns["power_mw"]),
+    )

@@ -1,0 +1,112 @@
+"""Trace dataclasses shared across the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class ThroughputTrace:
+    """A 1-D throughput time series (Lumos5G-style, 1 s granularity).
+
+    Attributes:
+        name: trace identifier.
+        tech: ``"5G"`` or ``"4G"``.
+        throughput_mbps: per-interval achievable throughput.
+        dt_s: sampling interval (1.0 s in the Lumos5G dataset).
+        rsrp_dbm: optional co-recorded signal strength.
+    """
+
+    name: str
+    tech: str
+    throughput_mbps: np.ndarray
+    dt_s: float = 1.0
+    rsrp_dbm: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.throughput_mbps = np.asarray(self.throughput_mbps, dtype=float)
+        if self.throughput_mbps.ndim != 1 or self.throughput_mbps.shape[0] == 0:
+            raise ValueError("throughput_mbps must be a non-empty 1-D array")
+        if np.any(self.throughput_mbps < 0):
+            raise ValueError("throughput must be non-negative")
+        if self.dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        if self.rsrp_dbm is not None:
+            self.rsrp_dbm = np.asarray(self.rsrp_dbm, dtype=float)
+            if self.rsrp_dbm.shape != self.throughput_mbps.shape:
+                raise ValueError("rsrp series must align with throughput")
+
+    def __len__(self) -> int:
+        return self.throughput_mbps.shape[0]
+
+    @property
+    def duration_s(self) -> float:
+        return len(self) * self.dt_s
+
+    @property
+    def mean_mbps(self) -> float:
+        return float(np.mean(self.throughput_mbps))
+
+    @property
+    def median_mbps(self) -> float:
+        return float(np.median(self.throughput_mbps))
+
+    def throughput_at(self, t_s: float) -> float:
+        """Zero-order-hold lookup (wraps around for long playbacks)."""
+        if t_s < 0:
+            raise ValueError("t_s must be non-negative")
+        index = int(t_s / self.dt_s) % len(self)
+        return float(self.throughput_mbps[index])
+
+
+@dataclass
+class WalkingTrace:
+    """A synchronised 10 Hz walking trace: network + signal + power.
+
+    Mirrors the paper's section 4.4 data collection: 5G Tracker logs at
+    10 Hz while the Monsoon samples at 5 kHz (here already aligned and
+    downsampled to the network rate).
+    """
+
+    name: str
+    network_key: str
+    device_name: str
+    city: str
+    times_s: np.ndarray
+    dl_mbps: np.ndarray
+    ul_mbps: np.ndarray
+    rsrp_dbm: np.ndarray
+    power_mw: np.ndarray
+    band_class: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        arrays = {
+            "times_s": self.times_s,
+            "dl_mbps": self.dl_mbps,
+            "ul_mbps": self.ul_mbps,
+            "rsrp_dbm": self.rsrp_dbm,
+            "power_mw": self.power_mw,
+        }
+        for key, value in arrays.items():
+            setattr(self, key, np.asarray(value, dtype=float))
+        lengths = {getattr(self, k).shape[0] for k in arrays}
+        if len(lengths) != 1:
+            raise ValueError("all walking-trace arrays must align")
+        if next(iter(lengths)) == 0:
+            raise ValueError("walking trace must not be empty")
+
+    def __len__(self) -> int:
+        return self.times_s.shape[0]
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.times_s[-1] - self.times_s[0])
+
+    def features(self) -> np.ndarray:
+        """(n, 2) [throughput, rsrp] feature matrix for power modeling."""
+        throughput = self.dl_mbps + self.ul_mbps
+        return np.column_stack([throughput, self.rsrp_dbm])

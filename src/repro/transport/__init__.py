@@ -1,0 +1,33 @@
+"""Transport substrate: fluid TCP (CUBIC) and UDP flow models.
+
+Reproduces the transport-layer phenomena of paper sections 3.2 and
+Appendix A.2 without a packet-level simulator: a fluid-model CUBIC flow
+whose achievable rate is limited by (a) the radio/link capacity, (b)
+the sender's socket buffer over the path RTT (the ``tcp_wmem`` effect —
+default Linux buffers cap a single connection near 500 Mbps and tuning
+recovers 2.1-3x), (c) loss-induced window cuts, and an aggregate of
+many such flows for the Speedtest-style multi-connection tests (15-25
+parallel connections in the paper's packet dumps).
+"""
+
+from repro.transport.cubic import CubicState
+from repro.transport.flow import (
+    FlowResult,
+    TcpFlow,
+    UdpFlow,
+    bandwidth_delay_product_bytes,
+)
+from repro.transport.aggregate import MultiConnection
+from repro.transport.tuning import KernelConfig, DEFAULT_KERNEL, TUNED_KERNEL
+
+__all__ = [
+    "CubicState",
+    "DEFAULT_KERNEL",
+    "FlowResult",
+    "KernelConfig",
+    "MultiConnection",
+    "TUNED_KERNEL",
+    "TcpFlow",
+    "UdpFlow",
+    "bandwidth_delay_product_bytes",
+]

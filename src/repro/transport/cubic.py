@@ -1,0 +1,77 @@
+"""Fluid-model CUBIC congestion control (RFC 8312 window growth).
+
+Used by :class:`repro.transport.flow.TcpFlow`. The window grows as
+
+``W(t) = C * (t - K)^3 + W_max``  with  ``K = cbrt(W_max * beta / C)``
+
+after each loss event, where ``t`` is the time since the loss and
+``W_max`` the window at the loss. Slow start doubles the window each
+RTT until the first loss or until reaching the slow-start threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# RFC 8312 constants.
+CUBIC_C = 0.4  # scaling constant (segments/s^3)
+CUBIC_BETA = 0.7  # multiplicative decrease factor
+
+MSS_BYTES = 1460.0
+
+
+@dataclass
+class CubicState:
+    """CUBIC window state, in segments.
+
+    Attributes:
+        cwnd_segments: current congestion window.
+        w_max_segments: window at the last loss event.
+        ssthresh_segments: slow-start threshold.
+    """
+
+    cwnd_segments: float = 10.0
+    w_max_segments: float = 0.0
+    ssthresh_segments: float = float("inf")
+    _t_since_loss_s: float = field(default=0.0)
+    _in_slow_start: bool = field(default=True)
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self._in_slow_start
+
+    def k_seconds(self) -> float:
+        """Time for the cubic curve to return to ``w_max``."""
+        if self.w_max_segments <= 0:
+            return 0.0
+        return (self.w_max_segments * (1.0 - CUBIC_BETA) / CUBIC_C) ** (1.0 / 3.0)
+
+    def on_ack_interval(self, dt_s: float) -> None:
+        """Advance the window by ``dt_s`` of loss-free transmission."""
+        if dt_s < 0:
+            raise ValueError("dt_s must be non-negative")
+        if self._in_slow_start:
+            # Exponential growth: double per RTT ~= grow by factor
+            # 2^(dt/rtt); approximate with a fixed nominal 25 ms RTT
+            # slice handled by the caller stepping per-RTT.
+            self.cwnd_segments *= 2.0
+            if self.cwnd_segments >= self.ssthresh_segments:
+                self.cwnd_segments = self.ssthresh_segments
+                self._in_slow_start = False
+            return
+        self._t_since_loss_s += dt_s
+        t = self._t_since_loss_s
+        k = self.k_seconds()
+        target = CUBIC_C * (t - k) ** 3 + self.w_max_segments
+        self.cwnd_segments = max(target, 2.0)
+
+    def on_loss(self) -> None:
+        """Multiplicative decrease and cubic epoch reset."""
+        self.w_max_segments = max(self.cwnd_segments, 2.0)
+        self.cwnd_segments = max(self.cwnd_segments * CUBIC_BETA, 2.0)
+        self.ssthresh_segments = self.cwnd_segments
+        self._t_since_loss_s = 0.0
+        self._in_slow_start = False
+
+    def cwnd_bytes(self) -> float:
+        return self.cwnd_segments * MSS_BYTES

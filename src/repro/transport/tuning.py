@@ -1,0 +1,55 @@
+"""Kernel transport configuration (the ``tcp_wmem`` experiment).
+
+Section 3.2 / Appendix A.2: with the default Linux (v4.18) kernel the
+single-connection TCP throughput is capped near 500 Mbps regardless of
+the radio capacity; raising the maximum TCP write buffer
+(``net.ipv4.tcp_wmem``) recovers 2.1-3x. The sender's socket buffer
+must cover at least the bandwidth-delay product of the path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Transport-relevant kernel parameters.
+
+    Attributes:
+        name: label used in figures ("default", "tuned").
+        tcp_wmem_max_bytes: max sender socket buffer (auto-tuning cap).
+        usable_fraction: fraction of the buffer available to in-flight
+            payload; Linux charges sk_buff bookkeeping against the
+            budget, so roughly half the nominal buffer carries data.
+        congestion_control: congestion control algorithm name.
+    """
+
+    name: str
+    tcp_wmem_max_bytes: int
+    usable_fraction: float = 0.5
+    congestion_control: str = "cubic"
+
+    def __post_init__(self) -> None:
+        if self.tcp_wmem_max_bytes <= 0:
+            raise ValueError("tcp_wmem_max_bytes must be positive")
+        if not 0.0 < self.usable_fraction <= 1.0:
+            raise ValueError("usable_fraction must be in (0, 1]")
+
+    @property
+    def effective_window_bytes(self) -> float:
+        """Maximum in-flight payload a single connection can sustain."""
+        return self.tcp_wmem_max_bytes * self.usable_fraction
+
+    def max_rate_mbps(self, rtt_ms: float) -> float:
+        """Buffer-limited ceiling: window / RTT, in Mbps."""
+        if rtt_ms <= 0:
+            raise ValueError("rtt_ms must be positive")
+        return self.effective_window_bytes * 8.0 / (rtt_ms / 1000.0) / 1e6
+
+
+# Linux 4.18 default: tcp_wmem = 4096 16384 4194304.
+DEFAULT_KERNEL = KernelConfig(name="default", tcp_wmem_max_bytes=4 * 1024 * 1024)
+
+# The paper's tuned configuration (large enough to cover mmWave BDPs).
+TUNED_KERNEL = KernelConfig(name="tuned", tcp_wmem_max_bytes=32 * 1024 * 1024)

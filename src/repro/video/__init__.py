@@ -1,0 +1,57 @@
+"""Video streaming over 5G (paper section 5).
+
+A chunk-level DASH playback simulator plus the seven ABR algorithms the
+paper evaluates (BBA, BOLA, rate-based, FESTIVE, fastMPC, robustMPC,
+Pensieve), pluggable throughput predictors (harmonic mean, GBDT,
+ground truth), and the proposed 5G-aware interface-selection streaming
+scheme of section 5.4.
+"""
+
+from repro.video.encoding import BitrateLadder, VideoManifest, build_ladder
+from repro.video.player import PlaybackResult, Player
+from repro.video.qoe import QoEWeights, mpc_qoe, normalized_bitrate, stall_percent
+from repro.video.predictors import (
+    GBDTPredictor,
+    HarmonicMeanPredictor,
+    ThroughputPredictor,
+    TruthPredictor,
+)
+from repro.video.abr import (
+    ABRAlgorithm,
+    BBA,
+    BOLA,
+    FESTIVE,
+    FastMPC,
+    Pensieve,
+    RateBased,
+    RobustMPC,
+    make_abr,
+)
+from repro.video.selection import InterfaceSelectionResult, StreamingInterfaceSelector
+
+__all__ = [
+    "ABRAlgorithm",
+    "BBA",
+    "BOLA",
+    "BitrateLadder",
+    "FESTIVE",
+    "FastMPC",
+    "GBDTPredictor",
+    "HarmonicMeanPredictor",
+    "InterfaceSelectionResult",
+    "Pensieve",
+    "PlaybackResult",
+    "Player",
+    "QoEWeights",
+    "RateBased",
+    "RobustMPC",
+    "StreamingInterfaceSelector",
+    "ThroughputPredictor",
+    "TruthPredictor",
+    "VideoManifest",
+    "build_ladder",
+    "make_abr",
+    "mpc_qoe",
+    "normalized_bitrate",
+    "stall_percent",
+]

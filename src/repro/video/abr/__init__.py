@@ -1,0 +1,51 @@
+"""The seven ABR algorithms of the paper's section 5 study.
+
+Four families (section 5.1): buffer-based (BBA, BOLA),
+throughput-based (rate-based RB, FESTIVE), control-theoretic (fastMPC,
+robustMPC), and learning-based (Pensieve).
+"""
+
+from repro.video.abr.base import ABRAlgorithm, ABRContext
+from repro.video.abr.bba import BBA
+from repro.video.abr.bola import BOLA
+from repro.video.abr.rate import RateBased
+from repro.video.abr.festive import FESTIVE
+from repro.video.abr.mpc import FastMPC, RobustMPC
+from repro.video.abr.pensieve import Pensieve
+
+
+def make_abr(name: str, **kwargs) -> ABRAlgorithm:
+    """ABR factory by paper name (case-insensitive)."""
+    registry = {
+        "bba": BBA,
+        "bola": BOLA,
+        "rb": RateBased,
+        "festive": FESTIVE,
+        "fastmpc": FastMPC,
+        "robustmpc": RobustMPC,
+        "pensieve": Pensieve,
+    }
+    try:
+        cls = registry[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown ABR {name!r}; known: {sorted(registry)}"
+        ) from None
+    return cls(**kwargs)
+
+
+ALL_ABR_NAMES = ("BBA", "RB", "BOLA", "fastMPC", "Pensieve", "robustMPC", "FESTIVE")
+
+__all__ = [
+    "ABRAlgorithm",
+    "ABRContext",
+    "ALL_ABR_NAMES",
+    "BBA",
+    "BOLA",
+    "FESTIVE",
+    "FastMPC",
+    "Pensieve",
+    "RateBased",
+    "RobustMPC",
+    "make_abr",
+]

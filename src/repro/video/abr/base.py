@@ -1,0 +1,67 @@
+"""ABR algorithm interface.
+
+An ABR sees, per chunk boundary, the playout buffer level, its previous
+track, the observed per-chunk throughput history, and the manifest
+(ladder + upcoming chunk sizes) — the same observation space dash.js
+exposes and the paper's testbed uses.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.video.encoding import VideoManifest
+
+
+@dataclass
+class ABRContext:
+    """Observation handed to the ABR at a chunk boundary."""
+
+    manifest: VideoManifest
+    chunk_index: int
+    buffer_s: float
+    last_track: int
+    throughput_history: List[float] = field(default_factory=list)
+    rtt_s: float = 0.03
+    wall_clock_s: float = 0.0
+
+    @property
+    def ladder(self):
+        return self.manifest.ladder
+
+    @property
+    def n_tracks(self) -> int:
+        return len(self.manifest.ladder)
+
+    @property
+    def chunks_remaining(self) -> int:
+        return self.manifest.n_chunks - self.chunk_index
+
+    def recent_throughput(self, window: int = 5) -> List[float]:
+        """The last ``window`` per-chunk throughput samples (Mbps)."""
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        return self.throughput_history[-window:]
+
+
+class ABRAlgorithm(abc.ABC):
+    """Base class: stateless between sessions via :meth:`reset`."""
+
+    name: str = "abr"
+
+    @abc.abstractmethod
+    def select(self, context: ABRContext) -> int:
+        """Return the track index to download for the current chunk."""
+
+    def reset(self) -> None:
+        """Clear any cross-chunk state before a new playback session."""
+
+
+def harmonic_mean(values: List[float]) -> float:
+    """Harmonic mean of positive samples (throughput estimation)."""
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    return len(positives) / sum(1.0 / v for v in positives)

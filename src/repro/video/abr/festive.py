@@ -1,0 +1,85 @@
+"""FESTIVE (Jiang et al., CoNEXT 2012): fairness/efficiency/stability.
+
+The pieces the paper's evaluation exercises: a harmonic-mean bandwidth
+estimate over a long window, *gradual* switching (at most one ladder
+step per chunk, and upswitches only after ``k`` consecutive chunks
+supporting the higher rate), and a stability-vs-efficiency score when
+deciding whether to act on a candidate switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.video.abr.base import ABRAlgorithm, ABRContext, harmonic_mean
+
+
+@dataclass
+class FESTIVE(ABRAlgorithm):
+    """FESTIVE rate selection.
+
+    Attributes:
+        window: samples in the harmonic-mean bandwidth estimate.
+        upswitch_patience: consecutive chunks a higher rate must be
+            sustainable before switching up (FESTIVE's k = target level).
+        alpha: stability weight in the score function.
+    """
+
+    window: int = 8
+    upswitch_patience: int = 2
+    alpha: float = 12.0
+    stability_window: int = 10
+    name: str = "FESTIVE"
+    _pending_up: int = field(init=False, default=0)
+    _switch_log: list = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.window < 1 or self.upswitch_patience < 1:
+            raise ValueError("window and patience must be >= 1")
+
+    def reset(self) -> None:
+        self._pending_up = 0
+        self._switch_log = []
+
+    def _recent_switches(self) -> int:
+        return sum(self._switch_log[-self.stability_window :])
+
+    def select(self, context: ABRContext) -> int:
+        history = context.recent_throughput(self.window)
+        if not history:
+            return 0
+        estimate = harmonic_mean(history)
+        ladder = context.ladder
+        current = context.last_track
+        reference = ladder.index_for_rate(estimate)
+
+        if reference > current:
+            self._pending_up += 1
+            if self._pending_up >= self.upswitch_patience:
+                candidate = current + 1  # gradual: one step at a time
+            else:
+                candidate = current
+        elif reference < current:
+            self._pending_up = 0
+            candidate = current - 1
+        else:
+            self._pending_up = 0
+            candidate = current
+
+        if candidate == current:
+            self._switch_log.append(0)
+            return current
+        # Stability score over a sliding window of recent switches
+        # (FESTIVE's 2^k cost); efficiency score: how far the candidate
+        # still is from the bandwidth-matched reference level.
+        stability_cost = 2.0 ** self._recent_switches() + 1.0
+        efficiency_gain = abs(
+            ladder[reference] - ladder[current]
+        ) / max(ladder[current], 1e-9)
+        if self.alpha * efficiency_gain >= stability_cost or candidate < current:
+            self._switch_log.append(1)
+            if candidate > current:
+                self._pending_up = 0
+            return candidate
+        self._switch_log.append(0)
+        return current

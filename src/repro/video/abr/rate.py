@@ -1,0 +1,39 @@
+"""RB: simple rate-based adaptation.
+
+Estimates future throughput as the harmonic mean of the last few chunk
+throughputs and picks the highest track that fits under a safety
+factor — the classic throughput-rule baseline of section 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.video.abr.base import ABRAlgorithm, ABRContext, harmonic_mean
+
+
+@dataclass
+class RateBased(ABRAlgorithm):
+    """Harmonic-mean rate rule.
+
+    Attributes:
+        window: throughput samples in the harmonic mean.
+        safety: fraction of the estimate considered usable.
+    """
+
+    window: int = 5
+    safety: float = 1.0
+    name: str = "RB"
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0 < self.safety <= 1:
+            raise ValueError("safety must be in (0, 1]")
+
+    def select(self, context: ABRContext) -> int:
+        history = context.recent_throughput(self.window)
+        if not history:
+            return 0
+        estimate = harmonic_mean(history) * self.safety
+        return context.ladder.index_for_rate(estimate)

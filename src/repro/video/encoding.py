@@ -1,0 +1,127 @@
+"""Bitrate ladders and video manifests (paper section 5.1).
+
+The paper encodes a 4K video into 6 tracks with an encoded-bitrate
+ratio of ~1.5 between adjacent tracks, setting the *top* track to the
+median network throughput (160 Mbps for the 5G corpus, 20 Mbps for 4G)
+so that rate selection is never trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+ADJACENT_TRACK_RATIO = 1.5
+
+
+@dataclass(frozen=True)
+class BitrateLadder:
+    """An ascending list of track bitrates in Mbps."""
+
+    bitrates_mbps: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.bitrates_mbps) < 2:
+            raise ValueError("a ladder needs at least 2 tracks")
+        if any(b <= 0 for b in self.bitrates_mbps):
+            raise ValueError("bitrates must be positive")
+        if list(self.bitrates_mbps) != sorted(self.bitrates_mbps):
+            raise ValueError("bitrates must ascend")
+
+    def __len__(self) -> int:
+        return len(self.bitrates_mbps)
+
+    def __getitem__(self, index: int) -> float:
+        return self.bitrates_mbps[index]
+
+    @property
+    def top_mbps(self) -> float:
+        return self.bitrates_mbps[-1]
+
+    @property
+    def bottom_mbps(self) -> float:
+        return self.bitrates_mbps[0]
+
+    def index_for_rate(self, rate_mbps: float) -> int:
+        """Highest track whose bitrate fits within ``rate_mbps``
+        (track 0 if none fits)."""
+        best = 0
+        for i, bitrate in enumerate(self.bitrates_mbps):
+            if bitrate <= rate_mbps:
+                best = i
+        return best
+
+    def normalize(self, bitrate_mbps: float) -> float:
+        return bitrate_mbps / self.top_mbps
+
+
+def build_ladder(
+    top_mbps: float, n_tracks: int = 6, ratio: float = ADJACENT_TRACK_RATIO
+) -> BitrateLadder:
+    """The paper's ladder: top track anchored at the corpus median
+    throughput, adjacent tracks ~1.5x apart."""
+    if top_mbps <= 0:
+        raise ValueError("top_mbps must be positive")
+    if n_tracks < 2:
+        raise ValueError("n_tracks must be >= 2")
+    if ratio <= 1.0:
+        raise ValueError("ratio must exceed 1")
+    bitrates = [top_mbps / ratio**i for i in range(n_tracks)]
+    return BitrateLadder(bitrates_mbps=tuple(sorted(bitrates)))
+
+
+# The paper's two ladders.
+LADDER_5G = build_ladder(160.0)
+LADDER_4G = build_ladder(20.0)
+
+
+@dataclass
+class VideoManifest:
+    """A DASH manifest: ladder + chunking + per-chunk size variation.
+
+    Attributes:
+        ladder: bitrate ladder.
+        chunk_s: chunk length in seconds (4 s default; section 5.3
+            studies 1/2/4 s).
+        n_chunks: total chunks.
+        vbr_sigma: log-normal chunk-size variability around the nominal
+            ``bitrate * chunk_s`` (real encoders are VBR within a track).
+        seed: RNG seed for the fixed per-chunk size table.
+    """
+
+    ladder: BitrateLadder
+    chunk_s: float = 4.0
+    n_chunks: int = 75
+    vbr_sigma: float = 0.12
+    seed: int = 20210823
+    _sizes_mbit: Optional[np.ndarray] = field(init=False, default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.chunk_s <= 0:
+            raise ValueError("chunk_s must be positive")
+        if self.n_chunks < 1:
+            raise ValueError("n_chunks must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        factors = np.exp(rng.normal(0.0, self.vbr_sigma, size=(self.n_chunks, len(self.ladder))))
+        nominal = np.array(
+            [[b * self.chunk_s for b in self.ladder.bitrates_mbps]] * self.n_chunks
+        )
+        self._sizes_mbit = nominal * factors
+
+    @property
+    def duration_s(self) -> float:
+        return self.n_chunks * self.chunk_s
+
+    def chunk_size_mbit(self, chunk_index: int, track: int) -> float:
+        """Size of one encoded chunk in megabits."""
+        if not 0 <= chunk_index < self.n_chunks:
+            raise IndexError(f"chunk_index {chunk_index} out of range")
+        if not 0 <= track < len(self.ladder):
+            raise IndexError(f"track {track} out of range")
+        return float(self._sizes_mbit[chunk_index, track])
+
+    def track_sizes_mbit(self, chunk_index: int) -> List[float]:
+        """Sizes of every track of one chunk (what ABRs see)."""
+        return [self.chunk_size_mbit(chunk_index, t) for t in range(len(self.ladder))]

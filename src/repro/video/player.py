@@ -1,0 +1,210 @@
+"""Chunk-level DASH playback simulator (the section 5.1 testbed).
+
+Replaces the paper's Apache + dash.js + ``tc`` trace-driven emulation
+with the standard chunk-level abstraction used by the MPC and Pensieve
+papers: chunks download sequentially against the trace bandwidth, the
+playout buffer drains in real time, and rebuffering occurs whenever it
+empties. The player records a fine-grained download-rate timeline so
+network energy can be estimated by the section 4.5 power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.video.abr.base import ABRAlgorithm, ABRContext
+from repro.video.encoding import VideoManifest
+from repro.video.qoe import (
+    QoEWeights,
+    default_weights,
+    mpc_qoe,
+    normalized_bitrate,
+    stall_percent,
+)
+
+BandwidthFn = Callable[[float], float]
+
+
+@dataclass
+class PlaybackResult:
+    """Everything the section 5 analyses need from one playback."""
+
+    chunk_tracks: List[int]
+    chunk_bitrates_mbps: List[float]
+    stall_s: float
+    startup_s: float
+    playback_s: float
+    wall_clock_s: float
+    download_rate_timeline: np.ndarray  # Mbps at DOWNLOAD_TICK_S steps
+    rebuffer_events: int
+
+    @property
+    def normalized_bitrate(self) -> float:
+        top = max(self.chunk_bitrates_mbps) if self.chunk_bitrates_mbps else 1.0
+        # Normalisation against the *ladder* top happens in the caller;
+        # this property is a fallback for quick inspection.
+        return normalized_bitrate(self.chunk_bitrates_mbps, top)
+
+    @property
+    def stall_percent(self) -> float:
+        return stall_percent(self.stall_s, self.playback_s)
+
+    def qoe(self, weights: Optional[QoEWeights] = None) -> float:
+        weights = weights or default_weights(max(self.chunk_bitrates_mbps))
+        return mpc_qoe(self.chunk_bitrates_mbps, self.stall_s, weights)
+
+
+DOWNLOAD_TICK_S = 0.1
+
+
+@dataclass
+class Player:
+    """Sequential chunk downloader with a real-time playout buffer.
+
+    Attributes:
+        manifest: video manifest.
+        max_buffer_s: buffer cap; the player idles once reached (dash.js
+            default behaviour).
+        startup_buffer_s: playback begins after this much video is
+            buffered.
+    """
+
+    manifest: VideoManifest
+    max_buffer_s: float = 12.0  # dash.js stableBufferTime default
+    startup_buffer_s: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.max_buffer_s <= 0:
+            raise ValueError("max_buffer_s must be positive")
+        if self.startup_buffer_s <= 0:
+            raise ValueError("startup_buffer_s must be positive")
+
+    def play(
+        self,
+        abr: ABRAlgorithm,
+        bandwidth: BandwidthFn,
+        rtt_s: float = 0.03,
+    ) -> PlaybackResult:
+        """Play the whole manifest against ``bandwidth(t) -> Mbps``."""
+        manifest = self.manifest
+        abr.reset()
+        buffer_s = 0.0
+        t = 0.0
+        started = False
+        startup_s = 0.0
+        stall_s = 0.0
+        rebuffer_events = 0
+        stalled = False
+        tracks: List[int] = []
+        bitrates: List[float] = []
+        throughput_history: List[float] = []
+        download_timeline: List[float] = []
+        last_track = 0
+
+        for chunk_index in range(manifest.n_chunks):
+            context = ABRContext(
+                manifest=manifest,
+                chunk_index=chunk_index,
+                buffer_s=buffer_s,
+                last_track=last_track,
+                throughput_history=list(throughput_history),
+                rtt_s=rtt_s,
+                wall_clock_s=t,
+            )
+            track = abr.select(context)
+            if not 0 <= track < len(manifest.ladder):
+                raise ValueError(
+                    f"{type(abr).__name__} chose invalid track {track}"
+                )
+            size_mbit = manifest.chunk_size_mbit(chunk_index, track)
+
+            # Download loop: drain bandwidth, play out the buffer.
+            remaining_mbit = size_mbit
+            download_time = rtt_s  # request latency
+            buffer_s, t, stall_add, stalled, events = self._advance(
+                rtt_s, buffer_s, t, started, stalled
+            )
+            stall_s += stall_add
+            rebuffer_events += events
+            while remaining_mbit > 1e-9:
+                rate = max(bandwidth(t), 1e-3)
+                step_mbit = rate * DOWNLOAD_TICK_S
+                consumed = min(step_mbit, remaining_mbit)
+                tick = DOWNLOAD_TICK_S * (consumed / step_mbit)
+                remaining_mbit -= consumed
+                # Normalise by the nominal tick so that
+                # sum(timeline) * DOWNLOAD_TICK_S == total megabits.
+                download_timeline.append(consumed / DOWNLOAD_TICK_S)
+                buffer_s, t, stall_add, stalled, events = self._advance(
+                    tick, buffer_s, t, started, stalled
+                )
+                stall_s += stall_add
+                rebuffer_events += events
+                download_time += tick
+
+            throughput = size_mbit / max(download_time, 1e-9)
+            throughput_history.append(throughput)
+            buffer_s += manifest.chunk_s
+            tracks.append(track)
+            bitrates.append(manifest.ladder[track])
+            last_track = track
+
+            if not started and buffer_s >= self.startup_buffer_s:
+                started = True
+                startup_s = t
+
+            # Respect the buffer cap: idle until there is room.
+            if buffer_s > self.max_buffer_s:
+                idle = buffer_s - self.max_buffer_s
+                buffer_s, t, stall_add, stalled, events = self._advance(
+                    idle, buffer_s, t, started, stalled
+                )
+                stall_s += stall_add
+                rebuffer_events += events
+                download_timeline.extend([0.0] * int(idle / DOWNLOAD_TICK_S))
+
+        # Drain the remaining buffer to finish playback.
+        playback_s = manifest.duration_s
+        wall_clock = t + buffer_s
+        return PlaybackResult(
+            chunk_tracks=tracks,
+            chunk_bitrates_mbps=bitrates,
+            stall_s=stall_s,
+            startup_s=startup_s,
+            playback_s=playback_s,
+            wall_clock_s=wall_clock,
+            download_rate_timeline=np.asarray(download_timeline),
+            rebuffer_events=rebuffer_events,
+        )
+
+    @staticmethod
+    def _advance(
+        dt: float,
+        buffer_s: float,
+        t: float,
+        started: bool,
+        stalled: bool,
+    ):
+        """Advance wall-clock by ``dt``; drain the buffer if playing.
+
+        Returns (buffer, t, stall_added, stalled, rebuffer_events).
+        """
+        stall_added = 0.0
+        events = 0
+        if started:
+            if buffer_s >= dt:
+                buffer_s -= dt
+                if stalled:
+                    stalled = False
+            else:
+                # Buffer empties partway through the step -> stall.
+                stall_added = dt - buffer_s
+                buffer_s = 0.0
+                if not stalled and stall_added > 0:
+                    events = 1
+                    stalled = True
+        t += dt
+        return buffer_s, t, stall_added, stalled, events

@@ -1,0 +1,233 @@
+"""Pluggable throughput predictors for MPC (paper section 5.3).
+
+Three predictors are compared in Fig. 18a:
+
+* ``hmMPC`` — the original harmonic-mean-of-past-chunks predictor;
+* ``MPC_GDBT`` — a Lumos5G-style gradient-boosted-tree predictor
+  trained on mmWave traces (features: recent throughput window plus
+  simple trend statistics);
+* ``truthMPC`` — an oracle that reads the ground-truth trace, bounding
+  what better prediction could buy (the paper: GDBT gets within 1.3%
+  of the oracle's QoE, 32% above harmonic mean).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol
+
+import numpy as np
+
+from repro.ml.boosting import GradientBoostedRegressor
+from repro.traces.schema import ThroughputTrace
+from repro.video.abr.base import ABRContext, harmonic_mean
+
+_WINDOW = 5
+
+
+class ThroughputPredictor(Protocol):
+    """Predictor protocol consumed by the MPC family."""
+
+    def predict(self, context: ABRContext) -> float:
+        """Predicted next-chunk throughput in Mbps."""
+        ...
+
+    def reset(self) -> None:
+        ...
+
+
+@dataclass
+class HarmonicMeanPredictor:
+    """hmMPC: harmonic mean of the last ``window`` chunk throughputs."""
+
+    window: int = _WINDOW
+
+    def predict(self, context: ABRContext) -> float:
+        history = context.recent_throughput(self.window)
+        if not history:
+            return context.ladder.bottom_mbps
+        return harmonic_mean(history)
+
+    def reset(self) -> None:
+        pass
+
+
+def _window_features(history: List[float]) -> np.ndarray:
+    """Feature vector from a length-_WINDOW throughput window."""
+    window = np.asarray(history[-_WINDOW:], dtype=float)
+    if window.shape[0] < _WINDOW:
+        window = np.concatenate(
+            [np.full(_WINDOW - window.shape[0], window[0] if window.size else 0.0), window]
+        )
+    trend = window[-1] - window[0]
+    return np.concatenate(
+        [window, [window.mean(), window.std(), window.min(), trend]]
+    )
+
+
+def _rsrp_features(
+    trace: ThroughputTrace, t_s: float, chunk_s: float
+) -> List[float]:
+    """UE-observable PHY features at time ``t_s``: current RSRP, its
+    short-horizon mean, and trend. Only past samples are read."""
+    if trace.rsrp_dbm is None:
+        return [0.0, 0.0, 0.0]
+    index = min(int(t_s / trace.dt_s), len(trace) - 1)
+    lookback = max(0, index - int(chunk_s / trace.dt_s))
+    window = trace.rsrp_dbm[lookback : index + 1]
+    now = float(trace.rsrp_dbm[index])
+    return [now, float(np.mean(window)), now - float(window[0])]
+
+
+@dataclass
+class GBDTPredictor:
+    """MPC_GDBT: gradient-boosted trees over throughput windows plus
+    UE-observable PHY state (Lumos5G's recipe).
+
+    Lumos5G's predictive power comes from combining recent throughput
+    with lower-layer features the UE sees in real time (RSRP and its
+    dynamics track mmWave beam/blockage state before the throughput
+    collapse fully registers in chunk history). Train with
+    :meth:`fit_corpus`; before each playback, :meth:`attach_trace`
+    points the predictor at the live session so it can read the current
+    (never future) RSRP.
+    """
+
+    n_estimators: int = 60
+    max_depth: int = 4
+    seed: int = 0
+    # Operating point below the conditional mean: chunk decisions are
+    # asymmetric (over-prediction stalls, under-prediction just lowers
+    # one chunk's quality), so the predictor serves a lower quantile of
+    # its predictive distribution, estimated from training residuals.
+    conservatism_quantile: float = 0.35
+    _model: Optional[GradientBoostedRegressor] = field(init=False, default=None)
+    _trace: Optional[ThroughputTrace] = field(init=False, default=None)
+    _residual_ratio: float = field(init=False, default=1.0)
+
+    def fit_corpus(self, traces: List[ThroughputTrace], chunk_s: float = 4.0) -> "GBDTPredictor":
+        """Build (window + PHY) features at chunk-paced boundaries."""
+        if not traces:
+            raise ValueError("need at least one training trace")
+        features: List[np.ndarray] = []
+        targets: List[float] = []
+        stride = max(1, int(round(chunk_s)))
+        for trace in traces:
+            series = trace.throughput_mbps
+            n = (series.shape[0] // stride) * stride
+            if n == 0:
+                continue
+            chunked = series[:n].reshape(-1, stride).mean(axis=1)
+            for i in range(_WINDOW, chunked.shape[0]):
+                boundary_t = i * chunk_s
+                row = np.concatenate(
+                    [
+                        _window_features(list(chunked[:i])),
+                        _rsrp_features(trace, boundary_t, chunk_s),
+                    ]
+                )
+                features.append(row)
+                targets.append(float(chunked[i]))
+        if not features:
+            raise ValueError("traces too short to build training windows")
+        model = GradientBoostedRegressor(
+            n_estimators=self.n_estimators,
+            max_depth=self.max_depth,
+            learning_rate=0.1,
+            random_state=self.seed,
+        )
+        X = np.array(features)
+        y = np.array(targets)
+        # Residual-based quantile shift, estimated OUT-OF-FOLD (in-sample
+        # residuals understate the predictive spread): fit on 80%, read
+        # the actual/predicted ratio quantile on the held-out 20%, then
+        # refit on everything.
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(X.shape[0])
+        split = max(1, int(0.8 * X.shape[0]))
+        fold = GradientBoostedRegressor(
+            n_estimators=self.n_estimators,
+            max_depth=self.max_depth,
+            learning_rate=0.1,
+            random_state=self.seed,
+        )
+        fold.fit(X[order[:split]], y[order[:split]])
+        held_pred = np.maximum(fold.predict(X[order[split:]]), 1e-3)
+        ratios = y[order[split:]] / held_pred
+        self._residual_ratio = float(
+            np.clip(np.quantile(ratios, self.conservatism_quantile), 0.2, 1.0)
+        )
+        model.fit(X, y)
+        self._model = model
+        return self
+
+    def attach_trace(self, trace: ThroughputTrace) -> None:
+        """Point the predictor at the live session's trace (PHY feed)."""
+        self._trace = trace
+
+    def predict(self, context: ABRContext) -> float:
+        if self._model is None:
+            raise RuntimeError("GBDTPredictor is not fitted; call fit_corpus()")
+        history = context.throughput_history
+        if not history:
+            return context.ladder.bottom_mbps
+        if self._trace is not None:
+            phy = _rsrp_features(
+                self._trace, context.wall_clock_s, context.manifest.chunk_s
+            )
+        else:
+            phy = [0.0, 0.0, 0.0]
+        row = np.concatenate([_window_features(history), phy])
+        prediction = float(self._model.predict(row.reshape(1, -1))[0])
+        return max(prediction * self._residual_ratio, 0.1)
+
+    def reset(self) -> None:
+        pass
+
+
+@dataclass
+class TruthPredictor:
+    """truthMPC: oracle reading the ground-truth trace.
+
+    Predicts the actual mean throughput over the next chunk's expected
+    download window.
+    """
+
+    trace: ThroughputTrace
+    chunk_s: float = 4.0
+    _clock_s: float = field(init=False, default=0.0)
+
+    def attach_clock(self, t_s: float) -> None:
+        """The player's wall clock, advanced externally per chunk."""
+        if t_s < 0:
+            raise ValueError("t_s must be non-negative")
+        self._clock_s = t_s
+
+    def predict(self, context: ABRContext) -> float:
+        t0 = max(self._clock_s, context.wall_clock_s)
+        horizon = np.arange(t0, t0 + self.chunk_s, self.trace.dt_s)
+        values = [self.trace.throughput_at(float(t)) for t in horizon]
+        return float(max(np.mean(values), 0.1))
+
+    def predict_horizon(self, context: ABRContext, n: int) -> List[float]:
+        """True per-step throughput over the next ``n`` chunk slots.
+
+        Assumes real-time pacing (each slot spans ``chunk_s``), which is
+        exact whenever playback keeps up — the regime where planning
+        matters.
+        """
+        t0 = max(self._clock_s, context.wall_clock_s)
+        out = []
+        for k in range(n):
+            # Two-slot windows smooth re-planning flicker: successive
+            # decisions then see consistent forecasts, avoiding the
+            # oscillation (smoothness) penalty a per-slot oracle incurs.
+            window = np.arange(
+                t0 + k * self.chunk_s, t0 + (k + 2) * self.chunk_s, self.trace.dt_s
+            )
+            values = [self.trace.throughput_at(float(t)) for t in window]
+            out.append(float(max(np.mean(values), 0.1)))
+        return out
+
+    def reset(self) -> None:
+        self._clock_s = 0.0

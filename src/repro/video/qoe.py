@@ -1,0 +1,81 @@
+"""QoE metrics for ABR streaming (section 5's evaluation axes).
+
+Fig. 17 plots two dimensions — normalized bitrate and percentage of
+playback time spent stalled — with the "better QoE" region at >= 0.8
+normalized bitrate and < 5% stall. The MPC family additionally
+optimises the linear QoE function of Yin et al. (bitrate utility minus
+rebuffering penalty minus switching penalty), implemented here as
+:func:`mpc_qoe`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class QoEWeights:
+    """Weights of the linear MPC QoE function.
+
+    ``QoE = sum q(R_k) - rebuffer_penalty * total_stall
+          - smoothness_penalty * sum |q(R_{k+1}) - q(R_k)|``
+
+    with ``q`` the identity on bitrate in Mbps (the linear-QoE variant
+    of the MPC paper).
+    """
+
+    rebuffer_penalty: float
+    smoothness_penalty: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rebuffer_penalty < 0 or self.smoothness_penalty < 0:
+            raise ValueError("penalties must be non-negative")
+
+
+def default_weights(top_bitrate_mbps: float) -> QoEWeights:
+    """The MPC-paper convention: rebuffer penalty equals the top
+    bitrate, so one second of stall cancels one top-quality second."""
+    if top_bitrate_mbps <= 0:
+        raise ValueError("top_bitrate_mbps must be positive")
+    return QoEWeights(rebuffer_penalty=top_bitrate_mbps)
+
+
+def mpc_qoe(
+    bitrates_mbps: Sequence[float],
+    stall_s: float,
+    weights: QoEWeights,
+    first_chunk_prev_mbps: float = 0.0,
+) -> float:
+    """Linear QoE of a chunk sequence."""
+    if stall_s < 0:
+        raise ValueError("stall_s must be non-negative")
+    if not bitrates_mbps:
+        raise ValueError("need at least one chunk bitrate")
+    utility = float(sum(bitrates_mbps))
+    smoothness = 0.0
+    previous = first_chunk_prev_mbps
+    for bitrate in bitrates_mbps:
+        smoothness += abs(bitrate - previous)
+        previous = bitrate
+    return (
+        utility
+        - weights.rebuffer_penalty * stall_s
+        - weights.smoothness_penalty * smoothness
+    )
+
+
+def normalized_bitrate(bitrates_mbps: Sequence[float], top_mbps: float) -> float:
+    """Mean selected bitrate over the top track's bitrate (Fig. 17 y)."""
+    if not bitrates_mbps:
+        raise ValueError("need at least one chunk bitrate")
+    if top_mbps <= 0:
+        raise ValueError("top_mbps must be positive")
+    return float(sum(bitrates_mbps) / len(bitrates_mbps) / top_mbps)
+
+
+def stall_percent(stall_s: float, playback_s: float) -> float:
+    """Stall time as % of wall-clock playback session (Fig. 17 x)."""
+    if stall_s < 0 or playback_s <= 0:
+        raise ValueError("invalid stall/playback durations")
+    return 100.0 * stall_s / (stall_s + playback_s)

@@ -1,0 +1,319 @@
+"""5G-aware video streaming: 4G/5G interface selection (section 5.4).
+
+The proposed scheme: stream on 5G, but when the ABR's throughput
+predictor says 5G is about to deliver *less than the 4G average* —
+given 4G's relative stability — switch the radio to 4G; switch back to
+5G once the playout buffer recovers past a threshold (10 s in the
+paper). Switching pays the 4G<->5G transition overhead of section 4
+(emulated by the paper with ``tc``; here a dead-air window at the
+switch instant).
+
+Energy accounting feeds the per-tick download rates into the device's
+per-network power curves (the section 4.5 power model's role), which
+yields Table 4's ordering: 5G-aware < 5G-aware-no-overhead < 5G-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.power.device import DeviceProfile, get_device
+from repro.traces.schema import ThroughputTrace
+from repro.video.abr.base import ABRAlgorithm, ABRContext
+from repro.video.abr.mpc import FastMPC
+from repro.video.encoding import VideoManifest
+from repro.video.player import DOWNLOAD_TICK_S, PlaybackResult, Player
+
+
+@dataclass
+class InterfaceSelectionResult:
+    """Playback outcome plus interface/energy accounting."""
+
+    playback: PlaybackResult
+    interface_per_chunk: List[str]  # "5G" | "4G"
+    switches: int
+    energy_j: float
+
+    @property
+    def time_on_4g_fraction(self) -> float:
+        if not self.interface_per_chunk:
+            return 0.0
+        on_4g = sum(1 for i in self.interface_per_chunk if i == "4G")
+        return on_4g / len(self.interface_per_chunk)
+
+
+class _SwitchingBandwidth:
+    """Bandwidth source with a connectivity-manager watchdog.
+
+    Interface selection is not bound to chunk boundaries: the paper's
+    scheme lives beside the ABR, and a radio switch mid-download speeds
+    up the in-flight transfer too. The watchdog monitors the measured
+    5G delivery rate (EN-DC UEs continuously measure the NR leg even
+    while data rides LTE) and
+
+    * bails to 4G once 5G has delivered less than the 4G average for
+      ``bail_after_s`` consecutive seconds (5G is currently the worse
+      radio), and
+    * returns to 5G once the NR leg has measured clearly healthy
+      (> ``return_factor`` x the 4G average) for ``return_after_s``.
+
+    Each transition pays ``switch_overhead_s`` of dead air.
+    """
+
+    def __init__(
+        self,
+        trace_5g: ThroughputTrace,
+        trace_4g: ThroughputTrace,
+        switch_overhead_s: float,
+        watchdog: bool = True,
+        bail_after_s: float = 3.0,
+        return_after_s: float = 3.0,
+        return_factor: float = 1.5,
+    ) -> None:
+        self.trace_5g = trace_5g
+        self.trace_4g = trace_4g
+        self.switch_overhead_s = switch_overhead_s
+        self.watchdog = watchdog
+        self.bail_after_s = bail_after_s
+        self.return_after_s = return_after_s
+        self.return_factor = return_factor
+        self.avg_4g_mbps = trace_4g.mean_mbps
+        self.active = "5G"
+        self.dead_until_s = 0.0
+        self.switch_count = 0
+        self._low_since: Optional[float] = None
+        self._high_since: Optional[float] = None
+
+    def rsrp_5g_at(self, t_s: float) -> Optional[float]:
+        """Current 5G RSRP (UE-observable even while camped on 4G)."""
+        if self.trace_5g.rsrp_dbm is None:
+            return None
+        index = int(t_s / self.trace_5g.dt_s) % len(self.trace_5g)
+        return float(self.trace_5g.rsrp_dbm[index])
+
+    def probe_5g_mbps(self, t_s: float) -> float:
+        """Measured NR-leg quality (B1 measurement events)."""
+        return self.trace_5g.throughput_at(t_s)
+
+    def switch_to(self, interface: str, t_s: float) -> None:
+        if interface not in ("5G", "4G"):
+            raise ValueError(f"unknown interface {interface!r}")
+        if interface == self.active:
+            return
+        self.active = interface
+        self.switch_count += 1
+        self._low_since = None
+        self._high_since = None
+        if self.switch_overhead_s > 0:
+            # Under EN-DC the LTE anchor stays connected, so falling
+            # back to 4G is nearly instant; only re-activating the NR
+            # leg pays the full promotion-scale gap (Table 7).
+            overhead = (
+                self.switch_overhead_s
+                if interface == "5G"
+                else 0.2 * self.switch_overhead_s
+            )
+            self.dead_until_s = t_s + overhead
+
+    def _run_watchdog(self, t_s: float) -> None:
+        rate_5g = self.trace_5g.throughput_at(t_s)
+        if self.active == "5G":
+            if rate_5g < self.avg_4g_mbps:
+                if self._low_since is None:
+                    self._low_since = t_s
+                elif t_s - self._low_since >= self.bail_after_s:
+                    self.switch_to("4G", t_s)
+            else:
+                self._low_since = None
+        else:
+            if rate_5g > self.return_factor * self.avg_4g_mbps:
+                if self._high_since is None:
+                    self._high_since = t_s
+                elif t_s - self._high_since >= self.return_after_s:
+                    self.switch_to("5G", t_s)
+            else:
+                self._high_since = None
+
+    def __call__(self, t_s: float) -> float:
+        if self.watchdog and t_s >= self.dead_until_s:
+            self._run_watchdog(t_s)
+        if t_s < self.dead_until_s:
+            return 0.05  # radio switching: essentially dead air
+        trace = self.trace_5g if self.active == "5G" else self.trace_4g
+        return trace.throughput_at(t_s)
+
+
+@dataclass
+class _SelectorABR(ABRAlgorithm):
+    """Wraps an inner ABR, logging the interface serving each chunk.
+
+    The interface policy itself runs in the bandwidth watchdog; this
+    wrapper only records which radio each chunk rode (for the energy
+    accounting) and exposes the inner ABR unchanged.
+    """
+
+    inner: ABRAlgorithm
+    bandwidth: _SwitchingBandwidth
+    avg_4g_mbps: float
+    buffer_return_s: float
+    interface_log: List[str] = field(default_factory=list)
+    name: str = "5G-aware"
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.interface_log.clear()
+
+    def select(self, context: ABRContext) -> int:
+        self.interface_log.append(self.bandwidth.active)
+        return self.inner.select(context)
+
+
+@dataclass
+class StreamingInterfaceSelector:
+    """Runs 5G-only and 5G-aware playbacks over paired traces.
+
+    Attributes:
+        manifest: video manifest (the 5G ladder).
+        buffer_return_s: buffer threshold to return to 5G (paper: 10 s).
+        switch_overhead_s: dead-air duration per interface switch,
+            matching the section 4.2 promotion delays (~1.5 s).
+        device: UE whose power curves price the energy (S20U).
+        network_5g, network_4g: power-curve keys for the two interfaces.
+    """
+
+    manifest: VideoManifest
+    buffer_return_s: float = 10.0
+    switch_overhead_s: float = 1.5
+    device: Optional[DeviceProfile] = None
+    network_5g: str = "verizon-nsa-mmwave"
+    network_4g: str = "verizon-lte"
+
+    def __post_init__(self) -> None:
+        if self.buffer_return_s <= 0:
+            raise ValueError("buffer_return_s must be positive")
+        if self.switch_overhead_s < 0:
+            raise ValueError("switch_overhead_s must be non-negative")
+        if self.device is None:
+            self.device = get_device("S20U")
+
+    # -- schemes -----------------------------------------------------------
+    def play_5g_only(
+        self, trace_5g: ThroughputTrace, abr: Optional[ABRAlgorithm] = None
+    ) -> InterfaceSelectionResult:
+        """Baseline: the whole stream rides the 5G interface."""
+        abr = abr or FastMPC()
+        player = Player(self.manifest)
+        playback = player.play(abr, trace_5g.throughput_at)
+        interfaces = ["5G"] * len(playback.chunk_tracks)
+        energy = self._energy_j(playback, interfaces)
+        return InterfaceSelectionResult(
+            playback=playback,
+            interface_per_chunk=interfaces,
+            switches=0,
+            energy_j=energy,
+        )
+
+    def play_5g_aware(
+        self,
+        trace_5g: ThroughputTrace,
+        trace_4g: ThroughputTrace,
+        abr: Optional[ABRAlgorithm] = None,
+        with_overhead: bool = True,
+    ) -> InterfaceSelectionResult:
+        """The proposed scheme (optionally zero-overhead, Fig. 18c's
+        "5G-aware MPC NO" variant)."""
+        abr = abr or FastMPC()
+        overhead = self.switch_overhead_s if with_overhead else 0.0
+        bandwidth = _SwitchingBandwidth(trace_5g, trace_4g, overhead)
+        selector = _SelectorABR(
+            inner=abr,
+            bandwidth=bandwidth,
+            avg_4g_mbps=trace_4g.mean_mbps,
+            buffer_return_s=self.buffer_return_s,
+        )
+        player = Player(self.manifest)
+        playback = player.play(selector, bandwidth)
+        energy = self._energy_j(playback, selector.interface_log)
+        return InterfaceSelectionResult(
+            playback=playback,
+            interface_per_chunk=list(selector.interface_log),
+            switches=bandwidth.switch_count,
+            energy_j=energy,
+        )
+
+    # -- energy ------------------------------------------------------------
+    def _energy_j(
+        self, playback: PlaybackResult, interface_per_chunk: List[str]
+    ) -> float:
+        """Price the download timeline with the device power curves.
+
+        The per-tick download rates are attributed to interfaces in
+        chunk order (ticks between chunk boundaries inherit the chunk's
+        interface); idle/stall ticks still pay the connected-radio
+        intercept, which is what makes needless 5G time expensive.
+        """
+        curve_5g = self.device.curve(self.network_5g)
+        curve_4g = self.device.curve(self.network_4g)
+        timeline = playback.download_rate_timeline
+        if timeline.size == 0:
+            return 0.0
+        # Map ticks to chunks proportionally (download ticks dominate).
+        n_chunks = max(len(interface_per_chunk), 1)
+        ticks_per_chunk = max(1, timeline.size // n_chunks)
+        energy_mj = 0.0  # mW * s
+        for i, rate in enumerate(timeline):
+            chunk = min(i // ticks_per_chunk, n_chunks - 1)
+            on_5g = interface_per_chunk[chunk] == "5G" if interface_per_chunk else True
+            curve = curve_5g if on_5g else curve_4g
+            power_mw = curve.power_mw(dl_mbps=float(rate))
+            energy_mj += power_mw * DOWNLOAD_TICK_S
+        return energy_mj / 1000.0
+
+
+def evaluate_pairs(
+    selector: StreamingInterfaceSelector,
+    pairs: List[Tuple[ThroughputTrace, ThroughputTrace]],
+    abr_factory=FastMPC,
+) -> dict:
+    """Run the three schemes over paired (5G, 4G) traces.
+
+    Returns per-scheme mean stall %, normalized bitrate, and energy —
+    the Fig. 18c / Table 4 summary.
+    """
+    from repro.video.qoe import normalized_bitrate, stall_percent
+
+    schemes = {
+        "5G-only MPC": [],
+        "5G-aware MPC": [],
+        "5G-aware MPC NO": [],
+    }
+    for trace_5g, trace_4g in pairs:
+        schemes["5G-only MPC"].append(selector.play_5g_only(trace_5g, abr_factory()))
+        schemes["5G-aware MPC"].append(
+            selector.play_5g_aware(trace_5g, trace_4g, abr_factory(), with_overhead=True)
+        )
+        schemes["5G-aware MPC NO"].append(
+            selector.play_5g_aware(trace_5g, trace_4g, abr_factory(), with_overhead=False)
+        )
+    top = selector.manifest.ladder.top_mbps
+    summary = {}
+    for name, results in schemes.items():
+        summary[name] = {
+            "stall_percent": float(
+                np.mean(
+                    [stall_percent(r.playback.stall_s, r.playback.playback_s) for r in results]
+                )
+            ),
+            "normalized_bitrate": float(
+                np.mean(
+                    [normalized_bitrate(r.playback.chunk_bitrates_mbps, top) for r in results]
+                )
+            ),
+            "energy_j": float(np.mean([r.energy_j for r in results])),
+            "energy_std": float(np.std([r.energy_j for r in results])),
+            "switches": float(np.mean([r.switches for r in results])),
+        }
+    return summary

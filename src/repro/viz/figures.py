@@ -1,0 +1,681 @@
+"""Per-figure SVG renderers over the experiment runners.
+
+Each ``render_*`` function runs the corresponding experiment (at a
+configurable scale) and writes one or more SVG files shaped like the
+paper's figures. ``python -m repro render <figure> <outdir>`` is the
+CLI entry point.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from repro import experiments as ex
+from repro.viz.svg import BarChart, Chart, Series, render_svg
+
+
+def render_fig1(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 1: per-city RTT on a (schematic) US map.
+
+    Carrier-hosted Speedtest servers at real metro coordinates, colored
+    and labeled by the measured RTT from the Minneapolis UE — the
+    paper's map figure, minus the basemap.
+    """
+    from repro.net.latency import LatencyModel
+    from repro.net.servers import carrier_server_pool
+    from repro.radio.carriers import get_network
+
+    model = LatencyModel(get_network("verizon-nsa-mmwave"), seed=0)
+    ue_lat, ue_lon = 44.9778, -93.2650
+    servers = carrier_server_pool("Verizon")
+    points = []
+    for server in servers:
+        rtt = model.min_rtt_ms(server.distance_km_from(ue_lat, ue_lon))
+        points.append((server.city, server.lat, server.lon, rtt))
+
+    width, height = 760, 480
+    lat_lo, lat_hi = 24.0, 50.0
+    lon_lo, lon_hi = -126.0, -66.0
+
+    def px(lon: float) -> float:
+        return 30 + (lon - lon_lo) / (lon_hi - lon_lo) * (width - 60)
+
+    def py(lat: float) -> float:
+        return height - 40 - (lat - lat_lo) / (lat_hi - lat_lo) * (height - 90)
+
+    max_rtt = max(p[3] for p in points)
+
+    def color(rtt: float) -> str:
+        frac = min(rtt / max_rtt, 1.0)
+        red = int(40 + 215 * frac)
+        green = int(160 * (1 - frac) + 40)
+        return f"rgb({red},{green},60)"
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'font-family="Helvetica,Arial,sans-serif">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="22" text-anchor="middle" font-size="14" '
+        f'font-weight="bold">Fig. 1: RTT (ms) from Minneapolis to carrier-hosted servers</text>',
+        f'<rect x="30" y="40" width="{width - 60}" height="{height - 90}" '
+        f'fill="#f4f7fa" stroke="#bbb"/>',
+    ]
+    for city, lat, lon, rtt in points:
+        x, y = px(lon), py(lat)
+        radius = 6 if city == "Minneapolis" else 5
+        parts.append(
+            f'<circle cx="{x:.0f}" cy="{y:.0f}" r="{radius}" fill="{color(rtt)}" '
+            f'stroke="#333" stroke-width="0.6"/>'
+        )
+        parts.append(
+            f'<text x="{x:.0f}" y="{y - 8:.0f}" text-anchor="middle" '
+            f'font-size="10">{rtt:.0f}</text>'
+        )
+        parts.append(
+            f'<text x="{x:.0f}" y="{y + 16:.0f}" text-anchor="middle" '
+            f'font-size="8" fill="#555">{city}</text>'
+        )
+    parts.append(
+        f'<text x="{width / 2}" y="{height - 12}" text-anchor="middle" '
+        f'font-size="11">green = low RTT, red = high; UE in Minneapolis</text>'
+    )
+    parts.append("</svg>")
+    path = Path(outdir) / "fig1_rtt_map.svg"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(parts))
+    return [path]
+
+
+def render_fig2(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 2: RTT vs UE-server distance per radio technology."""
+    result = ex.run_latency_vs_distance(n_servers=max(6, int(20 * scale)))
+    chart = Chart(
+        title="Fig. 2: [Verizon] latency vs UE-server distance",
+        x_label="UE-Server distance (km)",
+        y_label="RTT (ms)",
+    )
+    labels = {
+        "verizon-nsa-mmwave": "mmWave",
+        "verizon-nsa-lowband": "Low-Band",
+        "verizon-lte": "LTE/4G",
+    }
+    for key, label in labels.items():
+        points = result["series"][key]
+        chart.add(Series(label, [p[0] for p in points], [p[1] for p in points]))
+    path = outdir / "fig2_latency.svg"
+    render_svg(chart, path)
+    return [path]
+
+
+def render_fig3(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 3/4: Verizon mmWave throughput vs distance."""
+    result = ex.run_throughput_vs_distance(
+        n_servers=max(4, int(10 * scale)), repetitions=max(3, int(8 * scale))
+    )
+    rows = result["rows"]
+    xs = [r["distance_km"] for r in rows]
+    downlink = Chart(
+        title="Fig. 3: [Verizon mmWave] downlink vs distance",
+        x_label="UE-Server distance (km)",
+        y_label="Downlink throughput (Mbps)",
+    )
+    downlink.add(Series("multiple conn.", xs, [r["dl_multi_mbps"] for r in rows]))
+    downlink.add(Series("single conn.", xs, [r["dl_single_mbps"] for r in rows]))
+    uplink = Chart(
+        title="Fig. 4: [Verizon mmWave] uplink vs distance",
+        x_label="UE-Server distance (km)",
+        y_label="Uplink throughput (Mbps)",
+    )
+    uplink.add(Series("multiple conn.", xs, [r["ul_multi_mbps"] for r in rows]))
+    uplink.add(Series("single conn.", xs, [r["ul_single_mbps"] for r in rows]))
+    paths = [outdir / "fig3_downlink.svg", outdir / "fig4_uplink.svg"]
+    render_svg(downlink, paths[0])
+    render_svg(uplink, paths[1])
+    return paths
+
+
+def render_fig8(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 8: transport settings across Azure regions."""
+    result = ex.run_azure_transport()
+    rows = result["rows"]
+    chart = BarChart(
+        title="Fig. 8: single-conn throughput across Azure regions",
+        x_label="Azure region (by UE distance)",
+        y_label="Throughput (Mbps)",
+        categories=[f"{r['region']} {r['distance_km']:.0f}km" for r in rows],
+    )
+    chart.add_group("UDP", [r["udp_mbps"] for r in rows])
+    chart.add_group("TCP-8", [r["tcp8_mbps"] for r in rows])
+    chart.add_group("TCP-1 tuned", [r["tcp1_tuned_mbps"] for r in rows])
+    chart.add_group("TCP-1 default", [r["tcp1_default_mbps"] for r in rows])
+    path = outdir / "fig8_transport.svg"
+    render_svg(chart, path)
+    return [path]
+
+
+def render_fig9(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 9: handoff counts per band configuration."""
+    result = ex.run_handoff_drive()
+    rows = result["rows"]
+    chart = BarChart(
+        title="Fig. 9: handoffs while driving (10 km)",
+        x_label="Band configuration",
+        y_label="Handoff count",
+        categories=[r["configuration"] for r in rows],
+    )
+    chart.add_group("horizontal", [r["horizontal"] for r in rows])
+    chart.add_group("vertical", [r["vertical"] for r in rows])
+    path = outdir / "fig9_handoffs.svg"
+    render_svg(chart, path)
+    return [path]
+
+
+def render_fig10(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 10: RRC-Probe RTT vs idle interval, four panels."""
+    result = ex.run_rrc_inference(
+        network_keys=[
+            "tmobile-sa-lowband",
+            "tmobile-nsa-lowband",
+            "verizon-nsa-mmwave",
+            "tmobile-lte",
+        ]
+    )
+    paths = []
+    for key, sweep in result["sweeps"].items():
+        chart = Chart(
+            title=f"Fig. 10: RRC-Probe — {key}",
+            x_label="Idle time between packets (s)",
+            y_label="RTT (ms)",
+        )
+        xs, ys = [], []
+        for sample in sweep.samples:
+            xs.append(sample.interval_s)
+            ys.append(sample.rtt_ms)
+        chart.add(Series("probe RTT", xs, ys, kind="scatter"))
+        path = outdir / f"fig10_{key}.svg"
+        render_svg(chart, path)
+        paths.append(path)
+    return paths
+
+
+def render_fig11(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 11: throughput vs power, downlink and uplink panels."""
+    result = ex.run_throughput_power(n_points=max(5, int(10 * scale)))
+    labels = {
+        "verizon-nsa-mmwave": "5G NSA mmWave",
+        "verizon-nsa-lowband": "5G NSA Low-Band",
+        "verizon-lte": "4G/LTE",
+    }
+    paths = []
+    for direction, xlabel in (("dl", "Downlink"), ("ul", "Uplink")):
+        chart = Chart(
+            title=f"Fig. 11: throughput vs power ({xlabel.lower()}, S20U)",
+            x_label=f"{xlabel} throughput (Mbps)",
+            y_label="Power (W)",
+        )
+        for key, label in labels.items():
+            sweep = result["sweeps"][key][direction]
+            chart.add(
+                Series(
+                    label,
+                    list(sweep["throughput"]),
+                    [p / 1000.0 for p in sweep["power_mw"]],
+                )
+            )
+        path = outdir / f"fig11_{direction}.svg"
+        render_svg(chart, path)
+        paths.append(path)
+    return paths
+
+
+def render_fig12(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 12: energy efficiency, log-log."""
+    sweep = ex.run_throughput_power(n_points=max(5, int(10 * scale)))
+    result = ex.run_energy_efficiency(throughput_power=sweep)
+    labels = {
+        "verizon-nsa-mmwave": "5G NSA mmWave",
+        "verizon-nsa-lowband": "5G NSA Low-Band",
+        "verizon-lte": "4G/LTE",
+    }
+    chart = Chart(
+        title="Fig. 12: downlink energy efficiency (log-log)",
+        x_label="Downlink throughput (Mbps)",
+        y_label="Energy efficiency (mW/Mbps)",
+        x_log=True,
+        y_log=True,
+        y_min=1.0,
+    )
+    for key, label in labels.items():
+        curve = result["curves"][(key, "dl")]
+        chart.add(Series(label, list(curve["throughput"]), list(curve["efficiency"])))
+    path = outdir / "fig12_efficiency.svg"
+    render_svg(chart, path)
+    return [path]
+
+
+def render_fig17(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 17: two-dimensional ABR QoE scatter, 5G and 4G panels."""
+    result = ex.run_abr_comparison(n_traces=max(6, int(20 * scale)))
+    paths = []
+    for tech in ("5G", "4G"):
+        chart = Chart(
+            title=f"Fig. 17: ABR QoE on {tech}",
+            x_label="Playback time spent on stall (%)",
+            y_label="Normalized bitrate",
+            y_min=0.0,
+            y_max=1.0,
+        )
+        for row in result["rows"]:
+            chart.add(
+                Series(
+                    row["abr"],
+                    [row[f"stall_{tech}"]],
+                    [row[f"bitrate_{tech}"]],
+                    kind="scatter",
+                )
+            )
+        path = outdir / f"fig17_{tech.lower()}.svg"
+        render_svg(chart, path)
+        paths.append(path)
+    return paths
+
+
+def render_fig20(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 20: PLT and energy CDFs."""
+    result = ex.run_web_factors(n_sites=max(100, int(600 * scale)))
+    paths = []
+    for metric, xlabel in (("plt", "PLT (s)"), ("energy", "Energy (J)")):
+        chart = Chart(
+            title=f"Fig. 20: CDF of {xlabel}",
+            x_label=xlabel,
+            y_label="CDF",
+            y_min=0.0,
+            y_max=1.0,
+        )
+        for radio in ("5g", "4g"):
+            xs, ys = result["cdfs"][f"{metric}_{radio}"]
+            chart.add(
+                Series(radio.upper(), list(xs), list(ys), kind="line-only")
+            )
+        path = outdir / f"fig20_{metric}.svg"
+        render_svg(chart, path)
+        paths.append(path)
+    return paths
+
+
+def render_fig21(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 21: energy saving vs PLT penalty."""
+    result = ex.run_web_factors(n_sites=max(100, int(600 * scale)))
+    rows = [r for r in result["fig21"] if r["n"] > 0]
+    chart = BarChart(
+        title="Fig. 21: 4G's PLT penalty vs energy saving over 5G",
+        x_label="Penalty of additional PLT (%)",
+        y_label="Energy saving (%)",
+        categories=[r["penalty_bucket"] for r in rows],
+    )
+    chart.add_group("energy saving", [r["energy_saving_percent"] for r in rows])
+    path = outdir / "fig21_penalty.svg"
+    render_svg(chart, path)
+    return [path]
+
+
+
+
+def render_fig13(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 13: power vs RSRP, colored by throughput band."""
+    result = ex.run_walking_power(n_traces=max(2, int(4 * scale)), seed=5)
+    scatter = result["scatter"]
+    rsrp = scatter["rsrp_dbm"]
+    tput = scatter["throughput_mbps"]
+    power = scatter["power_mw"]
+    chart = Chart(
+        title=f"Fig. 13: power-RSRP-throughput ({result['city']}, {result['device']})",
+        x_label="Power (W)",
+        y_label="NR-SS-RSRP (dBm)",
+        y_min=-125.0,
+        y_max=-55.0,
+    )
+    buckets = (
+        ("<100 Mbps", tput < 100.0),
+        ("100-800 Mbps", (tput >= 100.0) & (tput < 800.0)),
+        (">800 Mbps", tput >= 800.0),
+    )
+    stride = max(1, int(rsrp.shape[0] / 400))
+    for label, mask in buckets:
+        xs = (power[mask] / 1000.0)[::stride]
+        ys = rsrp[mask][::stride]
+        if xs.shape[0]:
+            chart.add(Series(label, list(xs), list(ys), kind="scatter"))
+    path = outdir / "fig13_power_rsrp.svg"
+    render_svg(chart, path)
+    return [path]
+
+
+def render_fig14(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 14: energy efficiency by RSRP bin."""
+    result = ex.run_walking_power(n_traces=max(2, int(6 * scale)), seed=9)
+    bins = [b for b in result["bins"] if b["n"] > 10]
+    chart = BarChart(
+        title="Fig. 14: energy efficiency vs RSRP (mmWave)",
+        x_label="NR-SS-RSRP bin (dBm)",
+        y_label="Energy efficiency (mW/Mbps)",
+        categories=[f"[{int(b['bin'][0])},{int(b['bin'][1])})" for b in bins],
+    )
+    chart.add_group("median efficiency", [b["efficiency"] for b in bins])
+    path = outdir / "fig14_efficiency_bins.svg"
+    render_svg(chart, path)
+    return [path]
+
+
+def render_fig15(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 15: power-model MAPE by feature set and setting."""
+    result = ex.run_power_models(
+        n_train=max(3, int(6 * scale)), n_test=max(1, int(2 * scale)), seed=5
+    )
+    rows = result["rows"]
+    chart = BarChart(
+        title="Fig. 15: power-model MAPE by setting",
+        x_label="Device/Carrier/Network",
+        y_label="MAPE (%)",
+        categories=[r["setting"] for r in rows],
+    )
+    for key in ("TH+SS", "TH", "SS"):
+        chart.add_group(key, [r[key] for r in rows])
+    path = outdir / "fig15_mape.svg"
+    render_svg(chart, path)
+    return [path]
+
+
+def render_fig18(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 18: predictors, chunk lengths, and interface selection."""
+    paths = []
+    predictors = ex.run_video_predictors(n_traces=max(6, int(14 * scale)))
+    chart = BarChart(
+        title="Fig. 18a: fastMPC QoE by throughput predictor",
+        x_label="Predictor",
+        y_label="Normalized QoE",
+        categories=list(predictors["normalized_qoe"]),
+    )
+    chart.add_group("QoE", list(predictors["normalized_qoe"].values()))
+    path = outdir / "fig18a_predictors.svg"
+    render_svg(chart, path)
+    paths.append(path)
+
+    chunks = ex.run_chunk_lengths(n_traces=max(6, int(14 * scale)))
+    chart = BarChart(
+        title="Fig. 18b: QoE by chunk length",
+        x_label="Chunk length (s)",
+        y_label="value",
+        categories=[f"{r['chunk_s']:g}s" for r in chunks["rows"]],
+    )
+    chart.add_group("normalized bitrate", [r["normalized_bitrate"] for r in chunks["rows"]])
+    chart.add_group("stall fraction", [r["stall_percent"] / 100.0 for r in chunks["rows"]])
+    path = outdir / "fig18b_chunks.svg"
+    render_svg(chart, path)
+    paths.append(path)
+
+    selection = ex.run_video_interface_selection(n_pairs=max(4, int(16 * scale)))
+    chart = BarChart(
+        title="Fig. 18c: interface selection schemes",
+        x_label="Scheme",
+        y_label="value",
+        categories=list(selection["summary"]),
+    )
+    chart.add_group(
+        "normalized bitrate",
+        [s["normalized_bitrate"] for s in selection["summary"].values()],
+    )
+    chart.add_group(
+        "stall fraction",
+        [s["stall_percent"] / 100.0 for s in selection["summary"].values()],
+    )
+    path = outdir / "fig18c_selection.svg"
+    render_svg(chart, path)
+    paths.append(path)
+    return paths
+
+
+def render_fig19(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 19: PLT and energy by page factors."""
+    result = ex.run_web_factors(n_sites=max(100, int(600 * scale)))
+    paths = []
+    for key, xlabel, stem in (
+        ("fig19_objects", "Number of objects", "fig19a_objects"),
+        ("fig19_size", "Total page size", "fig19b_size"),
+    ):
+        rows = [r for r in result[key] if r["n"] > 0]
+        chart = BarChart(
+            title=f"Fig. 19: impact of {xlabel.lower()}",
+            x_label=xlabel,
+            y_label="PLT (s) / Energy (J)",
+            categories=[r["bucket"] for r in rows],
+        )
+        chart.add_group("4G PLT", [r["plt_4g"] for r in rows])
+        chart.add_group("5G PLT", [r["plt_5g"] for r in rows])
+        chart.add_group("4G Energy", [r["energy_4g"] for r in rows])
+        chart.add_group("5G Energy", [r["energy_5g"] for r in rows])
+        path = outdir / f"{stem}.svg"
+        render_svg(chart, path)
+        paths.append(path)
+    return paths
+
+
+def render_fig23(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 23: carrier-aggregation throughput by device."""
+    result = ex.run_carrier_aggregation(repetitions=max(3, int(5 * scale)))
+    rows = result["rows"]
+    chart = BarChart(
+        title="Fig. 23: 4CC (PX5) vs 8CC (S20U)",
+        x_label="Device",
+        y_label="Downlink throughput (Mbps)",
+        categories=[f"{r['device']} ({r['dl_cc']}CC)" for r in rows],
+    )
+    chart.add_group("single conn.", [r["dl_single_mbps"] for r in rows])
+    chart.add_group("multiple conn.", [r["dl_multi_mbps"] for r in rows])
+    path = outdir / "fig23_carrier_agg.svg"
+    render_svg(chart, path)
+    return [path]
+
+
+def render_fig24(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 24: Minnesota Speedtest-server survey."""
+    result = ex.run_server_survey(repetitions=max(3, int(6 * scale)))
+    rows = result["rows"]
+    chart = BarChart(
+        title="Fig. 24: downlink across Minnesota servers",
+        x_label="Speedtest server",
+        y_label="Downlink throughput (Gbps)",
+        categories=[f"{i + 1}" for i in range(len(rows))],
+        width=900,
+    )
+    chart.add_group("DL", [r["dl_mbps"] / 1000.0 for r in rows])
+    path = outdir / "fig24_servers.svg"
+    render_svg(chart, path)
+    return [path]
+
+
+
+
+def render_fig6(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 5/6/7: T-Mobile SA vs NSA latency and throughput."""
+    n_servers = max(4, int(8 * scale))
+    reps = max(3, int(6 * scale))
+    sa = ex.run_throughput_vs_distance(
+        network_key="tmobile-sa-lowband", n_servers=n_servers, repetitions=reps, seed=1
+    )["rows"]
+    nsa = ex.run_throughput_vs_distance(
+        network_key="tmobile-nsa-lowband", n_servers=n_servers, repetitions=reps, seed=1
+    )["rows"]
+    xs = [r["distance_km"] for r in sa]
+    paths = []
+
+    latency = Chart(
+        title="Fig. 5: [T-Mobile] SA vs NSA latency",
+        x_label="UE-Server distance (km)",
+        y_label="RTT (ms)",
+    )
+    latency.add(Series("SA Low-Band", xs, [r["rtt_ms"] for r in sa]))
+    latency.add(Series("NSA Low-Band", xs, [r["rtt_ms"] for r in nsa]))
+    path = outdir / "fig5_tmobile_latency.svg"
+    render_svg(latency, path)
+    paths.append(path)
+
+    downlink = Chart(
+        title="Fig. 6: [T-Mobile] SA vs NSA downlink",
+        x_label="UE-Server distance (km)",
+        y_label="Downlink throughput (Mbps)",
+    )
+    downlink.add(Series("SA multi", xs, [r["dl_multi_mbps"] for r in sa]))
+    downlink.add(Series("NSA multi", xs, [r["dl_multi_mbps"] for r in nsa]))
+    downlink.add(Series("SA single", xs, [r["dl_single_mbps"] for r in sa]))
+    downlink.add(Series("NSA single", xs, [r["dl_single_mbps"] for r in nsa]))
+    path = outdir / "fig6_tmobile_downlink.svg"
+    render_svg(downlink, path)
+    paths.append(path)
+
+    uplink = Chart(
+        title="Fig. 7: [T-Mobile] SA vs NSA uplink",
+        x_label="UE-Server distance (km)",
+        y_label="Uplink throughput (Mbps)",
+    )
+    uplink.add(Series("SA multi", xs, [r["ul_multi_mbps"] for r in sa]))
+    uplink.add(Series("NSA multi", xs, [r["ul_multi_mbps"] for r in nsa]))
+    path = outdir / "fig7_tmobile_uplink.svg"
+    render_svg(uplink, path)
+    paths.append(path)
+    return paths
+
+
+
+
+def _tree_svg(tree, title: str, max_depth: int = 2) -> str:
+    """Draw the top of a fitted decision tree as boxes and edges."""
+    width, height = 720, 360
+    levels: List[List] = [[] for _ in range(max_depth + 1)]
+
+    def place(node, depth, lo, hi):
+        if node is None or depth > max_depth:
+            return
+        x = (lo + hi) / 2.0
+        levels[depth].append((node, x))
+        if not node.is_leaf and depth < max_depth:
+            mid = (lo + hi) / 2.0
+            place(node.left, depth + 1, lo, mid)
+            place(node.right, depth + 1, mid, hi)
+
+    place(tree._root, 0, 0.06, 0.94)
+    names = tree.feature_names_ or []
+
+    def label(node, depth):
+        if node.is_leaf or depth == max_depth:
+            try:
+                cls = tree.classes_[int(node.value)]
+            except AttributeError:
+                cls = f"{node.value:.3g}"
+            verdict = "Use 5G" if str(cls) == "1" else "Use 4G" if str(cls) == "0" else str(cls)
+            return f"{verdict} (n={node.n_samples})"
+        feature = names[node.feature] if node.feature < len(names) else f"x[{node.feature}]"
+        return f"{feature} &lt;= {node.threshold:.3g}"
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'font-family="Helvetica,Arial,sans-serif">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="24" text-anchor="middle" font-size="14" '
+        f'font-weight="bold">{title}</text>',
+    ]
+    y_for = lambda depth: 70 + depth * 100
+    positions = {}
+    for depth, row in enumerate(levels):
+        for node, fx in row:
+            positions[id(node)] = (fx * width, y_for(depth))
+    for depth, row in enumerate(levels[:-1]):
+        for node, _fx in row:
+            if node.is_leaf or depth >= max_depth:
+                continue
+            x0, y0 = positions[id(node)]
+            for child, tag in ((node.left, "True"), (node.right, "False")):
+                if id(child) not in positions:
+                    continue
+                x1, y1 = positions[id(child)]
+                parts.append(
+                    f'<line x1="{x0:.0f}" y1="{y0 + 18:.0f}" x2="{x1:.0f}" '
+                    f'y2="{y1 - 18:.0f}" stroke="#888"/>'
+                )
+                parts.append(
+                    f'<text x="{(x0 + x1) / 2:.0f}" y="{(y0 + y1) / 2:.0f}" '
+                    f'text-anchor="middle" font-size="10" fill="#555">{tag}</text>'
+                )
+    for depth, row in enumerate(levels):
+        for node, _fx in row:
+            x, y = positions[id(node)]
+            text = label(node, depth)
+            box_w = max(120, 7 * len(text))
+            fill = "#eef4ff" if not (node.is_leaf or depth == max_depth) else "#eaffea"
+            parts.append(
+                f'<rect x="{x - box_w / 2:.0f}" y="{y - 18:.0f}" width="{box_w}" '
+                f'height="36" rx="6" fill="{fill}" stroke="#666"/>'
+            )
+            parts.append(
+                f'<text x="{x:.0f}" y="{y + 4:.0f}" text-anchor="middle" '
+                f'font-size="11">{text}</text>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_fig22(outdir: Path, scale: float = 1.0) -> List[Path]:
+    """Fig. 22: the M1 and M4 radio-selection decision trees."""
+    factors = ex.run_web_factors(n_sites=max(150, int(600 * scale)))
+    selection = ex.run_web_selection(dataset=factors["dataset"], seed=1)
+    paths = []
+    for model_id, subtitle in (("M1", "High Performance"), ("M4", "Better Energy Saving")):
+        tree = selection["reports"][model_id].tree
+        svg = _tree_svg(tree, f"Fig. 22: {model_id} ({subtitle})")
+        path = Path(outdir) / f"fig22_{model_id.lower()}.svg"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(svg)
+        paths.append(path)
+    return paths
+
+
+FIGURES: Dict[str, Callable] = {
+    "fig1": render_fig1,
+    "fig2": render_fig2,
+    "fig3": render_fig3,
+    "fig6": render_fig6,
+    "fig8": render_fig8,
+    "fig9": render_fig9,
+    "fig10": render_fig10,
+    "fig11": render_fig11,
+    "fig12": render_fig12,
+    "fig13": render_fig13,
+    "fig14": render_fig14,
+    "fig15": render_fig15,
+    "fig17": render_fig17,
+    "fig18": render_fig18,
+    "fig19": render_fig19,
+    "fig20": render_fig20,
+    "fig21": render_fig21,
+    "fig22": render_fig22,
+    "fig23": render_fig23,
+    "fig24": render_fig24,
+}
+
+
+def render_figure(name: str, outdir, scale: float = 1.0) -> List[Path]:
+    """Render one figure (or ``"all"``) into ``outdir``."""
+    outdir = Path(outdir)
+    if name == "all":
+        paths: List[Path] = []
+        for renderer in FIGURES.values():
+            paths.extend(renderer(outdir, scale))
+        return paths
+    try:
+        renderer = FIGURES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {name!r}; known: {sorted(FIGURES)} or 'all'"
+        ) from None
+    return renderer(outdir, scale)

@@ -1,0 +1,374 @@
+"""A compact, dependency-free SVG chart toolkit.
+
+Supports the chart forms the paper's figures need: line charts with
+markers, scatter plots, grouped bar charts, linear and log axes, and a
+simple legend. The output is a standalone ``<svg>`` document.
+
+This is intentionally a *small* toolkit: fixed margins, automatic
+"nice" tick selection, one plot area per chart.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+# A color cycle with decent print/screen contrast.
+PALETTE = (
+    "#1f77b4",  # blue
+    "#ff7f0e",  # orange
+    "#2ca02c",  # green
+    "#d62728",  # red
+    "#9467bd",  # purple
+    "#8c564b",  # brown
+    "#e377c2",  # pink
+    "#7f7f7f",  # gray
+)
+
+_MARKERS = ("circle", "square", "triangle", "diamond")
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 5) -> List[float]:
+    """Pick ~target round tick values covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw_step = span / max(target, 1)
+    magnitude = 10.0 ** math.floor(math.log10(raw_step))
+    for multiple in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = multiple * magnitude
+        if span / step <= target + 1:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + 1e-9 * span:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    """Decade ticks for a log axis."""
+    lo = max(lo, 1e-12)
+    start = math.floor(math.log10(lo))
+    end = math.ceil(math.log10(max(hi, lo * 10)))
+    return [10.0**e for e in range(start, end + 1)]
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+@dataclass
+class Series:
+    """One plotted series.
+
+    Attributes:
+        label: legend label.
+        x, y: data points (equal length).
+        kind: ``"line"`` (polyline + markers), ``"scatter"`` (markers
+            only), or ``"line-only"``.
+        color: CSS color; defaults to the palette slot.
+    """
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[float]
+    kind: str = "line"
+    color: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.label!r}: x and y lengths differ")
+        if self.kind not in ("line", "scatter", "line-only"):
+            raise ValueError(f"unknown series kind {self.kind!r}")
+
+
+@dataclass
+class Chart:
+    """A single-axes chart (line and/or scatter series)."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    width: int = 640
+    height: int = 420
+    x_log: bool = False
+    y_log: bool = False
+    y_min: Optional[float] = None
+    y_max: Optional[float] = None
+
+    _MARGIN = (60, 20, 46, 44)  # left, right, bottom, top
+
+    def add(self, series: Series) -> "Chart":
+        self.series.append(series)
+        return self
+
+    # -- scaling -----------------------------------------------------------
+    def _data_bounds(self) -> Tuple[float, float, float, float]:
+        xs = [v for s in self.series for v in s.x]
+        ys = [v for s in self.series for v in s.y]
+        if not xs:
+            raise ValueError("chart has no data")
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if self.y_min is not None:
+            y_lo = self.y_min
+        if self.y_max is not None:
+            y_hi = self.y_max
+        if not self.y_log and self.y_min is None:
+            y_lo = min(y_lo, 0.0)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        return x_lo, x_hi, y_lo, y_hi
+
+    def _scale(self):
+        left, right, bottom, top = self._MARGIN
+        x_lo, x_hi, y_lo, y_hi = self._data_bounds()
+        plot_w = self.width - left - right
+        plot_h = self.height - top - bottom
+
+        def tx(v: float) -> float:
+            if self.x_log:
+                v, lo, hi = (
+                    math.log10(max(v, 1e-12)),
+                    math.log10(max(x_lo, 1e-12)),
+                    math.log10(max(x_hi, 1e-12)),
+                )
+            else:
+                lo, hi = x_lo, x_hi
+            return left + (v - lo) / (hi - lo) * plot_w
+
+        def ty(v: float) -> float:
+            if self.y_log:
+                v, lo, hi = (
+                    math.log10(max(v, 1e-12)),
+                    math.log10(max(y_lo, 1e-12)),
+                    math.log10(max(y_hi, 1e-12)),
+                )
+            else:
+                lo, hi = y_lo, y_hi
+            return top + plot_h - (v - lo) / (hi - lo) * plot_h
+
+        return tx, ty, (x_lo, x_hi, y_lo, y_hi)
+
+    # -- rendering -----------------------------------------------------------
+    def _marker_svg(self, shape: str, x: float, y: float, color: str) -> str:
+        r = 3.4
+        if shape == "circle":
+            return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" fill="{color}"/>'
+        if shape == "square":
+            return (
+                f'<rect x="{x - r:.1f}" y="{y - r:.1f}" width="{2 * r:.1f}" '
+                f'height="{2 * r:.1f}" fill="{color}"/>'
+            )
+        if shape == "triangle":
+            points = f"{x:.1f},{y - r:.1f} {x - r:.1f},{y + r:.1f} {x + r:.1f},{y + r:.1f}"
+            return f'<polygon points="{points}" fill="{color}"/>'
+        points = f"{x:.1f},{y - r:.1f} {x + r:.1f},{y:.1f} {x:.1f},{y + r:.1f} {x - r:.1f},{y:.1f}"
+        return f'<polygon points="{points}" fill="{color}"/>'
+
+    def to_svg(self) -> str:
+        if not self.series:
+            raise ValueError("chart has no series")
+        tx, ty, (x_lo, x_hi, y_lo, y_hi) = self._scale()
+        left, right, bottom, top = self._MARGIN
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="Helvetica,Arial,sans-serif">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2:.0f}" y="{top - 18}" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_escape(self.title)}</text>',
+        ]
+        # Axes frame.
+        plot_right = self.width - right
+        plot_bottom = self.height - bottom
+        parts.append(
+            f'<rect x="{left}" y="{top}" width="{plot_right - left}" '
+            f'height="{plot_bottom - top}" fill="none" stroke="#333"/>'
+        )
+        # Ticks + grid.
+        x_ticks = _log_ticks(x_lo, x_hi) if self.x_log else _nice_ticks(x_lo, x_hi)
+        y_ticks = _log_ticks(y_lo, y_hi) if self.y_log else _nice_ticks(y_lo, y_hi)
+        for tick in x_ticks:
+            if not x_lo <= tick <= x_hi * (1 + 1e-9):
+                continue
+            px = tx(tick)
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{top}" x2="{px:.1f}" y2="{plot_bottom}" '
+                f'stroke="#ddd" stroke-width="0.6"/>'
+            )
+            label = f"{tick:g}"
+            parts.append(
+                f'<text x="{px:.1f}" y="{plot_bottom + 16}" text-anchor="middle" '
+                f'font-size="11">{label}</text>'
+            )
+        for tick in y_ticks:
+            if not y_lo <= tick <= y_hi * (1 + 1e-9):
+                continue
+            py = ty(tick)
+            parts.append(
+                f'<line x1="{left}" y1="{py:.1f}" x2="{plot_right}" y2="{py:.1f}" '
+                f'stroke="#ddd" stroke-width="0.6"/>'
+            )
+            parts.append(
+                f'<text x="{left - 6}" y="{py + 4:.1f}" text-anchor="end" '
+                f'font-size="11">{tick:g}</text>'
+            )
+        # Axis labels.
+        parts.append(
+            f'<text x="{(left + plot_right) / 2:.0f}" y="{self.height - 10}" '
+            f'text-anchor="middle" font-size="12">{_escape(self.x_label)}</text>'
+        )
+        parts.append(
+            f'<text x="16" y="{(top + plot_bottom) / 2:.0f}" text-anchor="middle" '
+            f'font-size="12" transform="rotate(-90 16 {(top + plot_bottom) / 2:.0f})">'
+            f"{_escape(self.y_label)}</text>"
+        )
+        # Series.
+        for index, series in enumerate(self.series):
+            color = series.color or PALETTE[index % len(PALETTE)]
+            marker = _MARKERS[index % len(_MARKERS)]
+            points = [(tx(x), ty(y)) for x, y in zip(series.x, series.y)]
+            if series.kind in ("line", "line-only") and len(points) > 1:
+                path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+                parts.append(
+                    f'<polyline points="{path}" fill="none" stroke="{color}" '
+                    f'stroke-width="1.8"/>'
+                )
+            if series.kind in ("line", "scatter"):
+                for x, y in points:
+                    parts.append(self._marker_svg(marker, x, y, color))
+        # Legend.
+        legend_y = top + 8
+        for index, series in enumerate(self.series):
+            color = series.color or PALETTE[index % len(PALETTE)]
+            y = legend_y + index * 16
+            parts.append(
+                f'<rect x="{plot_right - 150}" y="{y - 8}" width="10" height="10" '
+                f'fill="{color}"/>'
+            )
+            parts.append(
+                f'<text x="{plot_right - 136}" y="{y + 1}" font-size="11">'
+                f"{_escape(series.label)}</text>"
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+@dataclass
+class BarChart:
+    """Grouped vertical bar chart."""
+
+    title: str
+    x_label: str
+    y_label: str
+    categories: List[str]
+    groups: List[Tuple[str, Sequence[float]]] = field(default_factory=list)
+    width: int = 640
+    height: int = 420
+
+    _MARGIN = (60, 20, 70, 44)
+
+    def add_group(self, label: str, values: Sequence[float]) -> "BarChart":
+        if len(values) != len(self.categories):
+            raise ValueError(
+                f"group {label!r} has {len(values)} values for "
+                f"{len(self.categories)} categories"
+            )
+        self.groups.append((label, list(values)))
+        return self
+
+    def to_svg(self) -> str:
+        if not self.groups:
+            raise ValueError("bar chart has no groups")
+        left, right, bottom, top = self._MARGIN
+        plot_right = self.width - right
+        plot_bottom = self.height - bottom
+        plot_w = plot_right - left
+        plot_h = plot_bottom - top
+        y_hi = max(max(values) for _l, values in self.groups)
+        y_hi = y_hi if y_hi > 0 else 1.0
+        ticks = _nice_ticks(0.0, y_hi)
+        y_hi = max(y_hi, ticks[-1])
+
+        n_cat = len(self.categories)
+        n_grp = len(self.groups)
+        slot_w = plot_w / n_cat
+        bar_w = slot_w * 0.7 / n_grp
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="Helvetica,Arial,sans-serif">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2:.0f}" y="{top - 18}" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_escape(self.title)}</text>',
+            f'<rect x="{left}" y="{top}" width="{plot_w}" height="{plot_h}" '
+            f'fill="none" stroke="#333"/>',
+        ]
+        for tick in ticks:
+            py = plot_bottom - tick / y_hi * plot_h
+            parts.append(
+                f'<line x1="{left}" y1="{py:.1f}" x2="{plot_right}" y2="{py:.1f}" '
+                f'stroke="#ddd" stroke-width="0.6"/>'
+            )
+            parts.append(
+                f'<text x="{left - 6}" y="{py + 4:.1f}" text-anchor="end" '
+                f'font-size="11">{tick:g}</text>'
+            )
+        for c_index, category in enumerate(self.categories):
+            cx = left + (c_index + 0.5) * slot_w
+            parts.append(
+                f'<text x="{cx:.1f}" y="{plot_bottom + 16}" text-anchor="middle" '
+                f'font-size="10" transform="rotate(20 {cx:.1f} {plot_bottom + 16})">'
+                f"{_escape(str(category))}</text>"
+            )
+            for g_index, (_label, values) in enumerate(self.groups):
+                value = values[c_index]
+                height = max(value, 0.0) / y_hi * plot_h
+                x = cx - (n_grp * bar_w) / 2 + g_index * bar_w
+                color = PALETTE[g_index % len(PALETTE)]
+                parts.append(
+                    f'<rect x="{x:.1f}" y="{plot_bottom - height:.1f}" '
+                    f'width="{bar_w:.1f}" height="{height:.1f}" fill="{color}"/>'
+                )
+        for g_index, (label, _values) in enumerate(self.groups):
+            color = PALETTE[g_index % len(PALETTE)]
+            y = top + 8 + g_index * 16
+            parts.append(
+                f'<rect x="{plot_right - 150}" y="{y - 8}" width="10" height="10" '
+                f'fill="{color}"/>'
+            )
+            parts.append(
+                f'<text x="{plot_right - 136}" y="{y + 1}" font-size="11">'
+                f"{_escape(label)}</text>"
+            )
+        parts.append(
+            f'<text x="{(left + plot_right) / 2:.0f}" y="{self.height - 8}" '
+            f'text-anchor="middle" font-size="12">{_escape(self.x_label)}</text>'
+        )
+        parts.append(
+            f'<text x="16" y="{(top + plot_bottom) / 2:.0f}" text-anchor="middle" '
+            f'font-size="12" transform="rotate(-90 16 {(top + plot_bottom) / 2:.0f})">'
+            f"{_escape(self.y_label)}</text>"
+        )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+def render_svg(chart, path) -> str:
+    """Write a chart to ``path`` and return the SVG text."""
+    from pathlib import Path
+
+    svg = chart.to_svg()
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(svg)
+    return svg

@@ -1,0 +1,34 @@
+"""Web browsing QoE over mmWave 5G vs 4G (paper section 6).
+
+A synthetic Alexa-style website catalog with the Table 5 factor
+distributions, a page-load-time + energy model for loading each site
+over 4G or mmWave 5G, HAR-like per-object records, and the decision-
+tree radio-interface selector with the tunable
+``QoE = alpha * EC + beta * PLT`` utility (models M1-M5, Table 6).
+"""
+
+from repro.web.catalog import Website, WebsiteCatalog, generate_catalog
+from repro.web.browser import Browser, PageLoadResult
+from repro.web.har import HarEntry, HarRecord
+from repro.web.selection import (
+    InterfaceDataset,
+    InterfaceSelector,
+    QOE_MODELS,
+    QoEModelSpec,
+    build_dataset,
+)
+
+__all__ = [
+    "Browser",
+    "HarEntry",
+    "HarRecord",
+    "InterfaceDataset",
+    "InterfaceSelector",
+    "PageLoadResult",
+    "QOE_MODELS",
+    "QoEModelSpec",
+    "Website",
+    "WebsiteCatalog",
+    "build_dataset",
+    "generate_catalog",
+]

@@ -1,0 +1,86 @@
+"""HAR-like page-load records (the chrome-har-capturer output shape).
+
+The paper's pipeline collects an HTTP Archive per page load; downstream
+analyses only need per-object timings and sizes plus the total PLT, so
+:class:`HarRecord` keeps exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class HarEntry:
+    """One fetched object."""
+
+    url: str
+    start_ms: float
+    duration_ms: float
+    size_bytes: int
+    dynamic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.start_ms < 0 or self.duration_ms < 0:
+            raise ValueError("timings must be non-negative")
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+
+    @property
+    def end_ms(self) -> float:
+        return self.start_ms + self.duration_ms
+
+
+@dataclass
+class HarRecord:
+    """A page load: entries + summary timings."""
+
+    page_url: str
+    radio: str  # "4G" | "5G"
+    entries: List[HarEntry] = field(default_factory=list)
+
+    def add(self, entry: HarEntry) -> None:
+        self.entries.append(entry)
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.entries)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.size_bytes for e in self.entries)
+
+    @property
+    def on_load_ms(self) -> float:
+        """PLT: the last object's completion time."""
+        if not self.entries:
+            return 0.0
+        return max(e.end_ms for e in self.entries)
+
+    def throughput_timeline_mbps(self, dt_s: float = 1.0) -> List[float]:
+        """Per-interval delivered throughput, for power-model input.
+
+        This is the "extract the per-second throughput trace from the
+        packet dumps and feed it to the power model" step of section 6.
+        """
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        if not self.entries:
+            return []
+        horizon_ms = self.on_load_ms
+        n = max(1, int(horizon_ms / (dt_s * 1000.0)) + 1)
+        bits = [0.0] * n
+        for entry in self.entries:
+            if entry.duration_ms <= 0:
+                index = min(int(entry.start_ms / (dt_s * 1000.0)), n - 1)
+                bits[index] += entry.size_bytes * 8.0
+                continue
+            # Spread the object's bits uniformly over its transfer.
+            start_bin = int(entry.start_ms / (dt_s * 1000.0))
+            end_bin = min(int(entry.end_ms / (dt_s * 1000.0)), n - 1)
+            span = max(end_bin - start_bin + 1, 1)
+            per_bin = entry.size_bytes * 8.0 / span
+            for b in range(start_bin, start_bin + span):
+                bits[min(b, n - 1)] += per_bin
+        return [b / dt_s / 1e6 for b in bits]

@@ -1,0 +1,210 @@
+"""Decision-tree radio-interface selection for web browsing (§6.2).
+
+Per page the utility is ``QoE = alpha * EC + beta * PLT`` over
+dataset-normalised energy consumption and page load time; the radio
+minimising the utility is the label. A Gini decision tree trained on
+the Table 5 page factors then predicts the label for unseen pages —
+interpretable via its split dump (Fig. 22) and Gini importances.
+
+Five (alpha, beta) operating points form models M1-M5 (Table 6), from
+High Performance (0.2/0.8, almost everything on 5G) to High Energy
+Saving (0.8/0.2, everything on 4G).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.model_selection import train_test_split
+from repro.ml.tree import DecisionTreeClassifier
+from repro.web.browser import Browser
+from repro.web.catalog import FEATURE_NAMES, WebsiteCatalog
+
+
+@dataclass(frozen=True)
+class QoEModelSpec:
+    """One Table 6 row: a named (alpha, beta) trade-off."""
+
+    model_id: str
+    description: str
+    alpha: float  # energy weight
+    beta: float  # PLT weight
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0 or not 0.0 <= self.beta <= 1.0:
+            raise ValueError("weights must be in [0, 1]")
+        if abs(self.alpha + self.beta - 1.0) > 1e-9:
+            raise ValueError("alpha + beta must equal 1")
+
+
+QOE_MODELS: Tuple[QoEModelSpec, ...] = (
+    QoEModelSpec("M1", "High Performance", alpha=0.2, beta=0.8),
+    QoEModelSpec("M2", "Performance Oriented", alpha=0.4, beta=0.6),
+    QoEModelSpec("M3", "Balanced", alpha=0.5, beta=0.5),
+    QoEModelSpec("M4", "Better Energy Saving", alpha=0.6, beta=0.4),
+    QoEModelSpec("M5", "High Energy Saving", alpha=0.8, beta=0.2),
+)
+
+
+@dataclass
+class InterfaceDataset:
+    """Per-site loads over both radios, plus the Table 5 features."""
+
+    features: np.ndarray  # (n_sites, n_features)
+    plt_4g: np.ndarray
+    plt_5g: np.ndarray
+    energy_4g: np.ndarray
+    energy_5g: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.features.shape[0]
+        for name in ("plt_4g", "plt_5g", "energy_4g", "energy_5g"):
+            if getattr(self, name).shape[0] != n:
+                raise ValueError(f"{name} does not align with features")
+
+    def __len__(self) -> int:
+        return self.features.shape[0]
+
+    def labels_for(self, spec: QoEModelSpec) -> np.ndarray:
+        """0 = use 4G, 1 = use 5G, minimising the weighted utility."""
+        plt_scale = max(self.plt_4g.max(), self.plt_5g.max())
+        energy_scale = max(self.energy_4g.max(), self.energy_5g.max())
+        qoe_4g = (
+            spec.alpha * self.energy_4g / energy_scale
+            + spec.beta * self.plt_4g / plt_scale
+        )
+        qoe_5g = (
+            spec.alpha * self.energy_5g / energy_scale
+            + spec.beta * self.plt_5g / plt_scale
+        )
+        return (qoe_5g < qoe_4g).astype(int)
+
+
+def build_dataset(
+    catalog: WebsiteCatalog,
+    browser: Optional[Browser] = None,
+) -> InterfaceDataset:
+    """Load every catalog page over both radios."""
+    browser = browser or Browser(seed=0)
+    features = catalog.feature_matrix()
+    plt_4g = np.empty(len(catalog))
+    plt_5g = np.empty(len(catalog))
+    energy_4g = np.empty(len(catalog))
+    energy_5g = np.empty(len(catalog))
+    for i, site in enumerate(catalog):
+        r4, r5 = browser.load_both(site)
+        plt_4g[i], plt_5g[i] = r4.plt_s, r5.plt_s
+        energy_4g[i], energy_5g[i] = r4.energy_j, r5.energy_j
+    return InterfaceDataset(
+        features=features,
+        plt_4g=plt_4g,
+        plt_5g=plt_5g,
+        energy_4g=energy_4g,
+        energy_5g=energy_5g,
+    )
+
+
+@dataclass
+class SelectionReport:
+    """Table 6 row outcome for one QoE model."""
+
+    spec: QoEModelSpec
+    use_4g: int
+    use_5g: int
+    accuracy: float
+    energy_saving_percent: float
+    tree: DecisionTreeClassifier
+
+    @property
+    def n_test(self) -> int:
+        return self.use_4g + self.use_5g
+
+
+@dataclass
+class InterfaceSelector:
+    """Trains and evaluates the M1-M5 decision trees.
+
+    Attributes:
+        max_depth: post-pruning proxy — the paper shows 2-level trees
+            (Fig. 22), but deeper trees are allowed and then summarised.
+        test_size: the paper's 7:3 split.
+        seed: split/tree RNG seed.
+    """
+
+    max_depth: int = 4
+    min_samples_leaf: int = 10
+    test_size: float = 0.3
+    seed: int = 0
+
+    def evaluate(self, dataset: InterfaceDataset) -> Dict[str, SelectionReport]:
+        """Train one tree per QoE model and report Table 6's columns."""
+        reports: Dict[str, SelectionReport] = {}
+        for spec in QOE_MODELS:
+            labels = dataset.labels_for(spec)
+            (
+                X_train,
+                X_test,
+                y_train,
+                y_test,
+                e4_train,
+                e4_test,
+                e5_train,
+                e5_test,
+            ) = train_test_split(
+                dataset.features,
+                labels,
+                dataset.energy_4g,
+                dataset.energy_5g,
+                test_size=self.test_size,
+                random_state=self.seed,
+            )
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+            )
+            if np.unique(y_train).shape[0] == 1:
+                # Degenerate split (e.g. M5: everything 4G) still trains.
+                pass
+            tree.fit(X_train, y_train, feature_names=FEATURE_NAMES)
+            predictions = tree.predict(X_test)
+            accuracy = float(np.mean(predictions == y_test))
+            use_5g = int(np.sum(predictions == 1))
+            use_4g = int(np.sum(predictions == 0))
+            # Energy saving of following the tree vs always-5G.
+            chosen_energy = np.where(predictions == 1, e5_test, e4_test)
+            always_5g = e5_test.sum()
+            saving = (
+                100.0 * (always_5g - chosen_energy.sum()) / always_5g
+                if always_5g > 0
+                else 0.0
+            )
+            reports[spec.model_id] = SelectionReport(
+                spec=spec,
+                use_4g=use_4g,
+                use_5g=use_5g,
+                accuracy=accuracy,
+                energy_saving_percent=float(saving),
+                tree=tree,
+            )
+        return reports
+
+    @staticmethod
+    def table_rows(reports: Dict[str, SelectionReport]) -> List[tuple]:
+        """Rows shaped like Table 6."""
+        rows = []
+        for model_id in sorted(reports):
+            report = reports[model_id]
+            rows.append(
+                (
+                    model_id,
+                    report.spec.description,
+                    report.spec.alpha,
+                    report.spec.beta,
+                    report.use_4g,
+                    report.use_5g,
+                )
+            )
+        return rows

@@ -1,0 +1,40 @@
+"""Shared fixtures: small corpora and manifests reused across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.power.device import get_device
+from repro.radio.carriers import get_network
+from repro.traces.lumos import LumosConfig, generate_lumos_corpus
+from repro.traces.walking import WalkingTraceGenerator
+from repro.video.encoding import VideoManifest, build_ladder
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A small (5G, 4G) Lumos-like corpus shared by video tests."""
+    return generate_lumos_corpus(
+        LumosConfig(n_5g=6, n_4g=6, duration_s=150, seed=123)
+    )
+
+
+@pytest.fixture(scope="session")
+def manifest_5g():
+    return VideoManifest(ladder=build_ladder(160.0), chunk_s=4.0, n_chunks=30)
+
+
+@pytest.fixture(scope="session")
+def manifest_4g():
+    return VideoManifest(ladder=build_ladder(20.0), chunk_s=4.0, n_chunks=30)
+
+
+@pytest.fixture(scope="session")
+def walking_traces_mmwave():
+    """Four mmWave walking traces on the S20U (shared, read-only)."""
+    generator = WalkingTraceGenerator(
+        network=get_network("verizon-nsa-mmwave"),
+        device=get_device("S20U"),
+        seed=99,
+    )
+    return generator.generate_many(4)

@@ -1,0 +1,88 @@
+"""Tests for repro.core.advisor."""
+
+import pytest
+
+from repro.core.advisor import PROFILES, AppProfile, RadioAdvisor
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return RadioAdvisor()
+
+
+class TestAppProfile:
+    def test_canonical_profiles_exist(self):
+        assert {"web-browsing", "uhd-video", "bulk-download", "messaging"} <= set(PROFILES)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AppProfile("x", demand_mbps=-1.0)
+        with pytest.raises(ValueError):
+            AppProfile("x", demand_mbps=1.0, active_fraction=0.0)
+        with pytest.raises(ValueError):
+            AppProfile("x", demand_mbps=1.0, session_s=0.0)
+
+
+class TestEstimates:
+    def test_bulk_download_only_mmwave_completes(self, advisor):
+        profile = PROFILES["bulk-download"]
+        mm = advisor.estimate(profile, "verizon-nsa-mmwave")
+        lte = advisor.estimate(profile, "verizon-lte")
+        assert mm.completion_factor > 3 * lte.completion_factor
+
+    def test_messaging_cheaper_on_lte(self, advisor):
+        profile = PROFILES["messaging"]
+        mm = advisor.estimate(profile, "verizon-nsa-mmwave")
+        lte = advisor.estimate(profile, "verizon-lte")
+        assert lte.energy_j < mm.energy_j
+
+    def test_energy_scales_with_session(self, advisor):
+        short = advisor.estimate(
+            AppProfile("x", demand_mbps=10.0, session_s=10.0), "verizon-lte"
+        )
+        long = advisor.estimate(
+            AppProfile("x", demand_mbps=10.0, session_s=100.0), "verizon-lte"
+        )
+        assert long.energy_j == pytest.approx(10.0 * short.energy_j, rel=0.01)
+
+    def test_unmet_demand_stretches_active_time(self, advisor):
+        light = advisor.estimate(
+            AppProfile("x", demand_mbps=10.0, active_fraction=0.3), "verizon-lte"
+        )
+        heavy = advisor.estimate(
+            AppProfile("x", demand_mbps=2000.0, active_fraction=0.3), "verizon-lte"
+        )
+        assert heavy.mean_power_mw > light.mean_power_mw
+
+
+class TestRecommendations:
+    def test_bulk_download_prefers_5g(self, advisor):
+        result = advisor.recommend(PROFILES["bulk-download"], alpha=0.3)
+        assert result["recommended"] == "verizon-nsa-mmwave"
+
+    def test_messaging_prefers_cheap_radio(self, advisor):
+        result = advisor.recommend(PROFILES["messaging"], alpha=0.8)
+        assert result["recommended"] != "verizon-nsa-mmwave"
+
+    def test_alpha_flips_web_browsing(self, advisor):
+        # The Table 6 pattern: performance weight sends pages to 5G,
+        # energy weight pulls them to 4G.
+        perf = advisor.recommend(PROFILES["web-browsing"], alpha=0.0)
+        energy = advisor.recommend(PROFILES["web-browsing"], alpha=1.0)
+        assert perf["recommended"] != energy["recommended"] or (
+            perf["recommended"] != "verizon-nsa-mmwave"
+        )
+
+    def test_estimates_cover_candidates(self, advisor):
+        result = advisor.recommend(PROFILES["hd-video"])
+        assert set(result["estimates"]) == set(advisor.candidates)
+
+    def test_invalid_alpha(self, advisor):
+        with pytest.raises(ValueError):
+            advisor.recommend(PROFILES["hd-video"], alpha=1.5)
+
+    def test_missing_curve_rejected_early(self):
+        from repro.power.device import get_device
+
+        with pytest.raises(KeyError):
+            RadioAdvisor(device=get_device("S10"), candidates=("tmobile-sa-lowband",))

@@ -1,0 +1,62 @@
+"""Tests for repro.core.campaign (Table 1 statistics)."""
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.net.servers import carrier_server_pool
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    c = Campaign(seed=1)
+    c.run_speedtests(
+        network_keys=["verizon-nsa-mmwave"],
+        device_names=["S20U"],
+        servers=carrier_server_pool("Verizon")[:2],
+        repetitions=2,
+    )
+    c.run_walking(
+        network_keys=["tmobile-sa-lowband"], traces_per_setting=1
+    )
+    c.run_probes(network_keys=["tmobile-sa-lowband"])
+    c.record_web_loads(100)
+    return c
+
+
+class TestCampaign:
+    def test_speedtest_counts(self, campaign):
+        # 1 network x 1 device x 2 servers x 2 modes x 2 reps = 8.
+        assert len(campaign.speedtest_results) == 8
+
+    def test_stats_rows_shape(self, campaign):
+        rows = campaign.stats().as_rows()
+        labels = [r[0] for r in rows]
+        assert "5G Network Performance Tests" in labels
+        assert "Total kilometers walked" in labels
+        assert len(rows) == 7
+
+    def test_km_walked(self, campaign):
+        # One 1.6 km walking trace.
+        assert campaign.stats().km_walked == pytest.approx(1.6, abs=0.1)
+
+    def test_unique_servers(self, campaign):
+        assert campaign.stats().unique_servers == 2
+
+    def test_web_loads_counted(self, campaign):
+        assert campaign.stats().web_page_loads == 100
+
+    def test_probe_results_stored(self, campaign):
+        assert "tmobile-sa-lowband" in campaign.probe_results
+        inferred = campaign.probe_results["tmobile-sa-lowband"].inferred
+        assert inferred["has_intermediate"] == 1.0
+
+    def test_power_minutes_positive(self, campaign):
+        assert campaign.stats().power_minutes > 10.0
+
+    def test_negative_web_loads_rejected(self):
+        with pytest.raises(ValueError):
+            Campaign().record_web_loads(-1)
+
+    def test_inventory_accessors(self, campaign):
+        assert len(campaign.networks()) == 6
+        assert len(campaign.devices()) == 3

@@ -1,0 +1,79 @@
+"""Tests for DirectionalPowerModel on mixed UL/DL workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.powermodel import (
+    DirectionalPowerModel,
+    FeatureSet,
+    train_from_walking_traces,
+)
+from repro.core.powermodel import _stack_traces
+from repro.power.device import get_device
+from repro.radio.carriers import get_network
+from repro.traces.walking import WalkingTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def mixed_traces():
+    """Walking traces whose bursts are ~40% uplink."""
+    generator = WalkingTraceGenerator(
+        network=get_network("verizon-nsa-mmwave"),
+        device=get_device("S20U"),
+        uplink_fraction=0.4,
+        seed=21,
+    )
+    return generator.generate_many(6)
+
+
+class TestMixedWorkloads:
+    def test_uplink_bursts_present(self, mixed_traces):
+        total_ul = sum(float(t.ul_mbps.sum()) for t in mixed_traces)
+        total_dl = sum(float(t.dl_mbps.sum()) for t in mixed_traces)
+        assert total_ul > 0
+        assert total_dl > 0
+
+    def test_directions_never_simultaneous(self, mixed_traces):
+        for trace in mixed_traces:
+            assert not np.any((trace.dl_mbps > 0) & (trace.ul_mbps > 0))
+
+    def test_directional_beats_summed_on_mixed_traffic(self, mixed_traces):
+        """The headline: summed-throughput features confuse cheap DL
+        Mbps with expensive UL Mbps; directional features do not."""
+        train, test = mixed_traces[:4], mixed_traces[4:]
+        directional = DirectionalPowerModel.from_walking_traces("x", train)
+        summed = train_from_walking_traces("x", train, features=FeatureSet.TH_SS)
+
+        throughput, rsrp, power = _stack_traces(test)
+        dl = np.concatenate([t.dl_mbps for t in test])
+        ul = np.concatenate([t.ul_mbps for t in test])
+        directional_mape = directional.mape(dl, ul, rsrp, power)
+        summed_mape = summed.mape(throughput, rsrp, power)
+        assert directional_mape < summed_mape
+
+    def test_directional_predictions_reflect_ul_premium(self, mixed_traces):
+        model = DirectionalPowerModel.from_walking_traces("x", mixed_traces)
+        dl_only = model.predict_mw([150.0], [0.0], [-80.0])[0]
+        ul_only = model.predict_mw([0.0], [150.0], [-80.0])[0]
+        assert ul_only > dl_only
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DirectionalPowerModel("x").predict_mw([1.0], [0.0], [-80.0])
+
+    def test_misaligned_raises(self, mixed_traces):
+        model = DirectionalPowerModel.from_walking_traces("x", mixed_traces)
+        with pytest.raises(ValueError):
+            model.predict_mw([1.0, 2.0], [0.0], [-80.0, -80.0])
+
+    def test_empty_traces_raise(self):
+        with pytest.raises(ValueError):
+            DirectionalPowerModel.from_walking_traces("x", [])
+
+    def test_uplink_fraction_validated(self):
+        with pytest.raises(ValueError):
+            WalkingTraceGenerator(
+                network=get_network("verizon-lte"),
+                device=get_device("S20U"),
+                uplink_fraction=1.5,
+            )

@@ -1,0 +1,93 @@
+"""Tests for repro.core.energy."""
+
+import numpy as np
+import pytest
+
+from repro.core.energy import (
+    efficiency_curve,
+    energy_efficiency_uj_per_bit,
+    find_crossover,
+    fit_power_slope,
+    transfer_power_fraction,
+)
+
+
+class TestEfficiency:
+    def test_ratio_definition(self):
+        # 3 W at 1 Mbps lands at 3000 on the paper's Fig. 12 axis.
+        assert energy_efficiency_uj_per_bit(3000.0, 1.0) == pytest.approx(3000.0)
+
+    def test_decreases_with_throughput(self):
+        # P = a + b*T -> efficiency strictly decreasing.
+        t = np.array([1.0, 10.0, 100.0, 1000.0])
+        p = 3000.0 + 1.81 * t
+        _xs, eff = efficiency_curve(t, p)
+        assert np.all(np.diff(eff) < 0)
+
+    def test_loglog_linearity(self):
+        # Paper's derivation: log E ~ c3 log T + c4 at low throughput.
+        t = np.logspace(0, 1.5, 20)
+        p = 3000.0 + 1.81 * t
+        _xs, eff = efficiency_curve(t, p)
+        slope = np.polyfit(np.log(t), np.log(eff), 1)[0]
+        assert slope == pytest.approx(-1.0, abs=0.05)
+
+    def test_zero_throughput_excluded(self):
+        xs, eff = efficiency_curve([0.0, 10.0], [100.0, 200.0])
+        assert xs.shape[0] == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            energy_efficiency_uj_per_bit(100.0, 0.0)
+        with pytest.raises(ValueError):
+            energy_efficiency_uj_per_bit(-1.0, 1.0)
+
+
+class TestSlopeFitting:
+    def test_recovers_table8_slope(self):
+        rng = np.random.default_rng(0)
+        t = np.linspace(10, 1800, 30)
+        p = 3182.0 + 1.81 * t + rng.normal(0, 20, size=30)
+        slope, intercept = fit_power_slope(t, p)
+        assert slope == pytest.approx(1.81, rel=0.05)
+        assert intercept == pytest.approx(3182.0, rel=0.05)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_power_slope([1.0], [2.0])
+
+
+class TestCrossover:
+    def test_finds_187mbps(self):
+        t = np.linspace(10, 1000, 25)
+        mmwave = 3182.0 + 1.81 * t
+        lte = 800.0 + 14.55 * t
+        crossing = find_crossover(t, mmwave, lte)
+        assert crossing == pytest.approx(187.0, rel=0.02)
+
+    def test_parallel_lines_none(self):
+        t = np.linspace(1, 10, 5)
+        assert find_crossover(t, 2.0 * t + 1.0, 2.0 * t + 5.0) is None
+
+    def test_negative_crossing_none(self):
+        t = np.linspace(1, 10, 5)
+        # Lines crossing at negative throughput.
+        assert find_crossover(t, 1.0 + 2.0 * t, 2.0 + 3.0 * t) is None
+
+
+class TestTransferFraction:
+    def test_paper_range(self):
+        # mmWave downlink: data transfer is 48-76% of total power.
+        total = np.array([6000.0])
+        fraction = transfer_power_fraction(total, idle_power_mw=1800.0)
+        assert 0.48 <= fraction[0] <= 0.76
+
+    def test_clipped_to_unit(self):
+        fraction = transfer_power_fraction(np.array([100.0]), idle_power_mw=200.0)
+        assert fraction[0] == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            transfer_power_fraction(np.array([0.0]), 10.0)
+        with pytest.raises(ValueError):
+            transfer_power_fraction(np.array([10.0]), -1.0)

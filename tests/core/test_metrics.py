@@ -1,0 +1,52 @@
+"""Tests for repro.core.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import cdf_points, percentile, summarize
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_p95_is_peak_metric(self):
+        values = list(range(100))
+        assert percentile(values, 95) == pytest.approx(94.05)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestCdf:
+    def test_shape(self):
+        xs, ys = cdf_points([3.0, 1.0, 2.0])
+        assert np.array_equal(xs, [1.0, 2.0, 3.0])
+        assert np.allclose(ys, [1 / 3, 2 / 3, 1.0])
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        xs, ys = cdf_points(rng.normal(size=100))
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(ys) > 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["median"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["count"] == 4
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,115 @@
+"""Tests for repro.core.powermodel (the section 4.5 contribution)."""
+
+import numpy as np
+import pytest
+
+from repro.core.powermodel import (
+    FeatureSet,
+    LinearPowerModel,
+    PowerModel,
+    PowerModelRegistry,
+    train_from_walking_traces,
+)
+from repro.core.powermodel import _stack_traces
+
+
+@pytest.fixture(scope="module")
+def split_traces(walking_traces_mmwave):
+    return walking_traces_mmwave[:3], walking_traces_mmwave[3:]
+
+
+class TestPowerModel:
+    def test_thss_accurate(self, split_traces):
+        train, test = split_traces
+        model = train_from_walking_traces("S20U/VZ/NSA-HB", train)
+        throughput, rsrp, power = _stack_traces(test)
+        assert model.mape(throughput, rsrp, power) < 6.0
+
+    def test_thss_beats_ss(self, split_traces):
+        # Fig. 15: SS-only models have much larger errors on mmWave.
+        train, test = split_traces
+        throughput, rsrp, power = _stack_traces(test)
+        thss = train_from_walking_traces("x", train, features=FeatureSet.TH_SS)
+        ss = train_from_walking_traces("x", train, features=FeatureSet.SS)
+        assert thss.mape(throughput, rsrp, power) < ss.mape(throughput, rsrp, power)
+
+    def test_thss_beats_th(self, split_traces):
+        train, test = split_traces
+        throughput, rsrp, power = _stack_traces(test)
+        thss = train_from_walking_traces("x", train, features=FeatureSet.TH_SS)
+        th = train_from_walking_traces("x", train, features=FeatureSet.TH)
+        assert thss.mape(throughput, rsrp, power) <= th.mape(throughput, rsrp, power) + 0.3
+
+    def test_dtr_beats_linear_multifactor(self, split_traces):
+        # Section 4.5's negative result for linear multi-factor fitting.
+        train, test = split_traces
+        throughput, rsrp, power = _stack_traces(test)
+        dtr = train_from_walking_traces("x", train, features=FeatureSet.TH_SS)
+        linear = LinearPowerModel("x", features=FeatureSet.TH_SS)
+        tr_t, tr_r, tr_p = _stack_traces(train)
+        linear.fit(tr_t, tr_r, tr_p)
+        assert dtr.mape(throughput, rsrp, power) < linear.mape(throughput, rsrp, power)
+
+    def test_energy_estimation(self, split_traces):
+        train, test = split_traces
+        model = train_from_walking_traces("x", train)
+        trace = test[0]
+        energy = model.estimate_energy_j(
+            trace.dl_mbps, trace.rsrp_dbm, dt_s=0.1
+        )
+        true_energy = float(np.sum(trace.power_mw) * 0.1 / 1000.0)
+        assert energy == pytest.approx(true_energy, rel=0.05)
+
+    def test_predictions_positive(self, split_traces):
+        train, _ = split_traces
+        model = train_from_walking_traces("x", train)
+        predictions = model.predict_mw([0.0, 500.0, 1500.0], [-80.0, -95.0, -75.0])
+        assert np.all(predictions > 0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PowerModel("x").predict_mw([1.0], [-80.0])
+
+    def test_misaligned_raises(self, split_traces):
+        train, _ = split_traces
+        model = train_from_walking_traces("x", train)
+        with pytest.raises(ValueError):
+            model.predict_mw([1.0, 2.0], [-80.0])
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            PowerModel("x").fit([1.0] * 5, [-80.0] * 5, [100.0] * 5)
+
+    def test_energy_invalid_dt(self, split_traces):
+        train, _ = split_traces
+        model = train_from_walking_traces("x", train)
+        with pytest.raises(ValueError):
+            model.estimate_energy_j([1.0], [-80.0], dt_s=0.0)
+
+
+class TestRegistry:
+    def test_add_get(self, split_traces):
+        train, test = split_traces
+        registry = PowerModelRegistry()
+        registry.add(train_from_walking_traces("A", train))
+        assert registry.get("A").setting == "A"
+        assert registry.settings() == ["A"]
+
+    def test_duplicate_rejected(self, split_traces):
+        train, _ = split_traces
+        registry = PowerModelRegistry()
+        registry.add(train_from_walking_traces("A", train))
+        with pytest.raises(ValueError):
+            registry.add(train_from_walking_traces("A", train))
+
+    def test_evaluate_all(self, split_traces):
+        train, test = split_traces
+        registry = PowerModelRegistry()
+        registry.add(train_from_walking_traces("A", train))
+        results = registry.evaluate_all({"A": list(test)})
+        assert "A" in results
+        assert results["A"] < 10.0
+
+    def test_unknown_setting_raises(self):
+        with pytest.raises(KeyError):
+            PowerModelRegistry().get("missing")

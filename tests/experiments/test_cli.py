@@ -1,0 +1,56 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import ARTIFACTS, build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses(self):
+        args = build_parser().parse_args(["run", "fig9", "--scale", "0.5"])
+        assert args.artifact == "fig9"
+        assert args.scale == 0.5
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig999"])
+
+    def test_every_paper_artifact_reachable(self):
+        # Every evaluation table/figure maps to some CLI id (several ids
+        # cover multiple artifacts; the docstrings say which).
+        assert {"table1", "table2", "table6", "table9"} <= set(ARTIFACTS)
+        assert {"fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig17", "fig19"} <= set(ARTIFACTS)
+
+
+class TestMain:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ARTIFACTS:
+            assert key in out
+
+    def test_run_fig9_prints_table(self, capsys):
+        assert main(["run", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "SA-5G only" in out
+        assert "NSA-5G + LTE" in out
+
+    def test_run_table2_json(self, tmp_path, capsys):
+        target = tmp_path / "t2.json"
+        assert main(["run", "table2", "--json", str(target)]) == 0
+        data = json.loads(target.read_text())
+        networks = {r["network"] for r in data["rows"]}
+        assert "verizon-nsa-mmwave" in networks
+
+    def test_scale_validation(self, capsys):
+        assert main(["run", "fig9", "--scale", "0"]) == 2
+
+    def test_scaled_run_smaller(self, capsys):
+        assert main(["run", "fig24", "--scale", "0.25"]) == 0
+        assert "Verizon, Minneapolis" in capsys.readouterr().out

@@ -1,0 +1,22 @@
+"""Tests for the CLI render subcommand."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRender:
+    def test_render_single_figure(self, tmp_path, capsys):
+        assert main(["render", "fig9", str(tmp_path), "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9_handoffs.svg" in out
+        ET.parse(tmp_path / "fig9_handoffs.svg")
+
+    def test_render_unknown_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["render", "fig999", str(tmp_path)])
+
+    def test_render_scale_validated(self, tmp_path):
+        assert main(["render", "fig9", str(tmp_path), "--scale", "-1"]) == 2

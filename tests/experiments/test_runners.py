@@ -1,0 +1,158 @@
+"""Smoke + shape tests for the per-figure experiment runners.
+
+Each runner gets exercised at reduced scale; assertions check the
+paper's qualitative findings (who wins, orderings, crossovers), not
+absolute numbers. The full-scale versions live in ``benchmarks/``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.experiments as ex
+
+
+class TestPerfRunners:
+    def test_latency_vs_distance_shape(self):
+        result = ex.run_latency_vs_distance(n_servers=6, seed=0)
+        series = result["series"]
+        mm = series["verizon-nsa-mmwave"]
+        # RTT grows with distance.
+        assert mm[0][1] < mm[-1][1]
+        # mmWave beats low-band beats LTE at every common distance.
+        for (d1, mm_rtt), (_d2, lb_rtt), (_d3, lte_rtt) in zip(
+            mm, series["verizon-nsa-lowband"], series["verizon-lte"]
+        ):
+            assert mm_rtt < lb_rtt < lte_rtt
+
+    def test_throughput_vs_distance_shape(self):
+        result = ex.run_throughput_vs_distance(n_servers=4, repetitions=4, seed=1)
+        rows = result["rows"]
+        # Multi-connection stays near peak; single decays with distance.
+        assert rows[0]["dl_multi_mbps"] > 2500.0
+        assert rows[-1]["dl_multi_mbps"] > 2500.0
+        assert rows[-1]["dl_single_mbps"] < rows[0]["dl_single_mbps"]
+
+    def test_azure_transport_ordering(self):
+        result = ex.run_azure_transport(seed=0)
+        for row in result["rows"]:
+            assert row["udp_mbps"] >= row["tcp8_mbps"] * 0.95
+            assert row["tcp8_mbps"] > row["tcp1_tuned_mbps"] * 0.9
+            assert row["tcp1_tuned_mbps"] > row["tcp1_default_mbps"]
+        # Default 1-TCP bound near 500 Mbps at metro distances.
+        first = result["rows"][0]
+        assert first["tcp1_default_mbps"] < 1400.0
+
+    def test_azure_tuning_gain_2_to_3x(self):
+        result = ex.run_azure_transport(seed=0)
+        gains = [r["tcp1_tuned_mbps"] / r["tcp1_default_mbps"] for r in result["rows"]]
+        assert 1.5 <= np.mean(gains) <= 3.5
+
+    def test_server_survey_caps_visible(self):
+        result = ex.run_server_survey(seed=0, repetitions=3)
+        rows = {r["server"]: r for r in result["rows"]}
+        carrier = rows["Verizon, Minneapolis"]
+        assert carrier["dl_mbps"] > 2700.0
+        capped = [r for r in result["rows"] if r["cap_mbps"] == 1000.0]
+        assert all(r["dl_mbps"] <= 1000.0 for r in capped)
+
+    def test_carrier_aggregation_fig23(self):
+        result = ex.run_carrier_aggregation()
+        rows = {r["device"]: r for r in result["rows"]}
+        assert rows["S20U"]["dl_mbps"] > rows["PX5"]["dl_mbps"]
+        assert rows["PX5"]["dl_mbps"] == pytest.approx(2200.0, rel=0.15)
+
+
+class TestHandoffRunner:
+    def test_fig9_ordering(self):
+        result = ex.run_handoff_drive()
+        totals = {r["configuration"]: r["total"] for r in result["rows"]}
+        assert totals["NSA-5G + LTE"] > totals["All Bands"] > totals["SA-5G + LTE"]
+        assert totals["SA-5G only"] == min(totals.values())
+
+
+class TestRrcRunners:
+    def test_inference_matches_table7(self):
+        result = ex.run_rrc_inference(
+            network_keys=["tmobile-sa-lowband", "verizon-nsa-mmwave"], seed=1
+        )
+        rows = {r["network"]: r for r in result["rows"]}
+        sa = rows["tmobile-sa-lowband"]
+        assert sa["inactive_detected"]
+        assert sa["inferred_inactivity_ms"] == pytest.approx(10400.0, abs=1100.0)
+        mm = rows["verizon-nsa-mmwave"]
+        assert not mm["inactive_detected"]
+        assert mm["inferred_promotion_ms"] == pytest.approx(1907.0, rel=0.25)
+
+    def test_tail_power_table2(self):
+        result = ex.run_tail_power()
+        rows = {r["network"]: r for r in result["rows"]}
+        assert rows["verizon-nsa-mmwave"]["tail_mw"] == 1092.0
+        assert rows["verizon-nsa-mmwave"]["tail_energy_j"] > rows["verizon-lte"]["tail_energy_j"]
+
+
+class TestPowerRunners:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return ex.run_throughput_power(n_points=5, duration_s=3.0, seed=0)
+
+    def test_crossovers_near_paper(self, sweep):
+        crossings = sweep["crossovers"]
+        dl = crossings[("verizon-nsa-mmwave", "verizon-lte", "dl")]
+        ul = crossings[("verizon-nsa-mmwave", "verizon-lte", "ul")]
+        assert dl == pytest.approx(187.0, rel=0.1)
+        assert ul == pytest.approx(40.0, rel=0.15)
+
+    def test_slopes_near_table8(self, sweep):
+        mm = sweep["sweeps"]["verizon-nsa-mmwave"]
+        assert mm["dl"]["slope"] == pytest.approx(1.81, rel=0.25)
+        lte = sweep["sweeps"]["verizon-lte"]
+        assert lte["ul"]["slope"] == pytest.approx(80.21, rel=0.25)
+
+    def test_efficiency_log_log_decreasing(self, sweep):
+        eff = ex.run_energy_efficiency(throughput_power=sweep)
+        curve = eff["curves"][("verizon-nsa-mmwave", "dl")]
+        assert curve["efficiency"][0] > curve["efficiency"][-1]
+
+    def test_walking_power_fig14_trend(self):
+        result = ex.run_walking_power(n_traces=2, seed=5)
+        bins = [b for b in result["bins"] if b["n"] > 10]
+        assert len(bins) >= 3
+        # Better signal (later bins) -> lower energy per bit.
+        assert bins[0]["efficiency"] > bins[-1]["efficiency"]
+
+
+class TestPowerModelRunners:
+    def test_fig15_ordering(self):
+        result = ex.run_power_models(
+            settings=[("S20U", "verizon-nsa-mmwave", "S20/VZ/NSA-HB")],
+            n_train=3,
+            n_test=1,
+            seed=5,
+        )
+        row = result["rows"][0]
+        assert row["TH+SS"] <= row["TH"] + 0.3
+        assert row["TH+SS"] < row["SS"]
+        assert row["TH+SS"] < row["linear TH+SS"]
+
+    def test_software_monitor_tables(self):
+        result = ex.run_software_monitor(duration_s=8.0, calibration_duration_s=60.0)
+        for row in result["table9_rows"]:
+            assert row["ratio_1hz"] < 1.0
+            assert row["ratio_10hz"] < 1.02
+        t3 = {r["activity"]: r["power_mw"] for r in result["table3_rows"]}
+        assert t3["Monitor on (10Hz)"] > t3["Monitor on (1Hz)"] > t3["Idle"]
+        for rate_key, calib in result["calibration"].items():
+            assert calib["mape_after"] < calib["mape_before"]
+
+
+class TestCampaignRunner:
+    def test_table1_rows(self):
+        result = ex.run_table1_campaign(
+            speedtest_repetitions=1, walking_traces_per_setting=1, web_loads=50
+        )
+        labels = [r[0] for r in result["rows"]]
+        assert len(labels) == 7
+        assert result["stats"].speedtest_count > 0
+        assert result["stats"].km_walked > 0

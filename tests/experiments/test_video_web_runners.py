@@ -1,0 +1,132 @@
+"""Shape tests for the video and web experiment runners (Figs. 17-22)."""
+
+import numpy as np
+import pytest
+
+import repro.experiments as ex
+
+
+@pytest.fixture(scope="module")
+def abr_result():
+    return ex.run_abr_comparison(n_traces=8, n_chunks=40, duration_s=200, seed=3)
+
+
+class TestFig17:
+    def test_all_seven_abrs_ran(self, abr_result):
+        assert len(abr_result["rows"]) == 7
+
+    def test_stalls_worse_on_5g_for_most(self, abr_result):
+        worse = sum(
+            1 for row in abr_result["rows"] if row["stall_5G"] > row["stall_4G"]
+        )
+        assert worse >= 5
+
+    def test_pensieve_worst_5g_stall(self, abr_result):
+        stalls = {row["abr"]: row["stall_5G"] for row in abr_result["rows"]}
+        assert stalls["pensieve"] == max(stalls.values())
+
+    def test_pensieve_top_bitrate(self, abr_result):
+        bitrates = {row["abr"]: row["bitrate_5G"] for row in abr_result["rows"]}
+        assert bitrates["pensieve"] >= max(bitrates.values()) - 0.05
+
+    def test_bba_low_stall_both_networks(self, abr_result):
+        rows = {row["abr"]: row for row in abr_result["rows"]}
+        stalls = sorted(r["stall_5G"] for r in abr_result["rows"])
+        # BBA stays in the lower half of the 5G stall ranking.
+        assert rows["bba"]["stall_5G"] <= stalls[len(stalls) // 2]
+
+    def test_robustmpc_better_qoe_region_5g(self, abr_result):
+        rows = {row["abr"]: row for row in abr_result["rows"]}
+        robust = rows["robustmpc"]
+        # robustMPC balances both axes: fewer stalls than fastMPC at a
+        # still-high bitrate (the paper's lone better-QoE survivor).
+        assert robust["stall_5G"] < rows["fastmpc"]["stall_5G"]
+        assert robust["stall_5G"] < 8.0
+        assert robust["bitrate_5G"] > 0.7
+
+    def test_bitrate_drop_5g_vs_4g_small(self, abr_result):
+        # Paper: average normalized-bitrate drop is only ~3.5%.
+        drops = [row["bitrate_4G"] - row["bitrate_5G"] for row in abr_result["rows"]]
+        assert np.mean(drops) < 0.15
+
+
+class TestFig18:
+    def test_predictor_ordering(self):
+        result = ex.run_video_predictors(n_traces=12, n_chunks=40, duration_s=200, seed=4)
+        qoe = result["qoe"]
+        assert qoe["truthMPC"] >= qoe["MPC_GDBT"]
+        assert qoe["MPC_GDBT"] > qoe["hmMPC"]
+
+    def test_chunk_length_bitrate_trend(self):
+        result = ex.run_chunk_lengths(n_traces=8, duration_s=200, seed=5)
+        rows = {row["chunk_s"]: row for row in result["rows"]}
+        # Fig. 18b: shorter chunks buy higher bitrate.
+        assert rows[1.0]["normalized_bitrate"] > rows[4.0]["normalized_bitrate"]
+
+    def test_interface_selection_saves_energy(self):
+        result = ex.run_video_interface_selection(
+            n_pairs=8, n_chunks=40, duration_s=200, seed=6
+        )
+        summary = result["summary"]
+        assert summary["5G-aware MPC"]["energy_j"] < summary["5G-only MPC"]["energy_j"]
+        # Stalls should not get dramatically worse (paper: 26.9% better).
+        assert (
+            summary["5G-aware MPC"]["stall_percent"]
+            <= summary["5G-only MPC"]["stall_percent"] * 1.3
+        )
+
+
+@pytest.fixture(scope="module")
+def web_result():
+    return ex.run_web_factors(n_sites=200, seed=1)
+
+
+class TestFig19to21:
+    def test_5g_faster_4g_cheaper(self, web_result):
+        dataset = web_result["dataset"]
+        assert (dataset.plt_5g < dataset.plt_4g).all()
+        assert (dataset.energy_4g < dataset.energy_5g).all()
+
+    def test_plt_gap_grows_with_objects(self, web_result):
+        rows = [r for r in web_result["fig19_objects"] if r["n"] > 3]
+        gaps = [r["plt_4g"] - r["plt_5g"] for r in rows]
+        assert gaps[-1] > gaps[0]
+
+    def test_energy_gap_opposite_direction(self, web_result):
+        rows = [r for r in web_result["fig19_size"] if r["n"] > 3]
+        for row in rows:
+            assert row["energy_5g"] > row["energy_4g"]
+
+    def test_cdfs_monotone(self, web_result):
+        xs, ys = web_result["cdfs"]["plt_4g"]
+        assert np.all(np.diff(ys) > 0)
+
+    def test_fig21_small_penalty_big_saving(self, web_result):
+        buckets = [b for b in web_result["fig21"] if b["n"] > 0]
+        assert buckets, "no penalty buckets populated"
+        assert buckets[0]["energy_saving_percent"] > 40.0
+
+
+class TestTable6:
+    def test_flip_pattern(self, web_result):
+        result = ex.run_web_selection(dataset=web_result["dataset"], seed=1)
+        reports = result["reports"]
+        assert reports["M1"].use_5g > reports["M1"].use_4g
+        assert reports["M4"].use_4g > reports["M4"].use_5g
+        assert reports["M5"].use_5g <= reports["M4"].use_5g
+
+    def test_trees_described(self, web_result):
+        result = ex.run_web_selection(dataset=web_result["dataset"], seed=1)
+        assert "M1" in result["trees"]
+        assert isinstance(result["trees"]["M1"], str)
+
+
+class TestFormatTable:
+    def test_renders(self):
+        text = ex.format_table(["a", "b"], [[1, 2.5], ["x", 3]], title="T")
+        assert "T" in text
+        assert "2.500" in text
+
+    def test_mismatched_rows_raise(self):
+        with pytest.raises(ValueError):
+            ex.format_table(["a"], [[1, 2]])

@@ -1,0 +1,108 @@
+"""Integration tests across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.powermodel import FeatureSet, train_from_walking_traces
+from repro.power.device import get_device
+from repro.power.monsoon import MonsoonMonitor
+from repro.radio.carriers import get_network
+from repro.traces.walking import WalkingTraceGenerator
+from repro.video.abr.mpc import FastMPC
+from repro.video.encoding import VideoManifest, build_ladder
+from repro.video.player import Player
+from repro.web.browser import Browser
+from repro.web.catalog import generate_catalog
+
+
+class TestPowerModelValidation:
+    """Section 4.5's 'validation on real applications': the trained
+    power model estimates application energy within a few percent of
+    the (simulated) hardware monitor."""
+
+    @pytest.fixture(scope="class")
+    def model(self, walking_traces_mmwave):
+        return train_from_walking_traces(
+            "S20U/VZ/NSA-HB", walking_traces_mmwave[:3], features=FeatureSet.TH_SS
+        )
+
+    def test_video_streaming_energy_error_small(self, model, small_corpus):
+        traces_5g, _ = small_corpus
+        manifest = VideoManifest(ladder=build_ladder(160.0), chunk_s=4.0, n_chunks=20)
+        player = Player(manifest)
+        curve = get_device("S20U").curve("verizon-nsa-mmwave")
+        errors = []
+        for trace in traces_5g[:3]:
+            result = player.play(FastMPC(), trace.throughput_at)
+            timeline = result.download_rate_timeline
+            rsrp = np.full(timeline.shape[0], -80.0)
+            estimated = model.estimate_energy_j(timeline, rsrp, dt_s=0.1)
+            truth = sum(curve.power_mw(dl_mbps=r, rsrp_dbm=-80.0) * 0.1 for r in timeline) / 1000.0
+            errors.append(abs(estimated - truth) / truth)
+        # Paper reports ~3.7% average error for video streaming.
+        assert np.mean(errors) < 0.10
+
+    def test_web_browsing_energy_error_small(self, model):
+        catalog = generate_catalog(n_sites=10, seed=4)
+        browser = Browser(device=get_device("S20U"), seed=5)
+        curve = get_device("S20U").curve("verizon-nsa-mmwave")
+        errors = []
+        for site in catalog:
+            result = browser.load(site, "5G")
+            timeline = result.har.throughput_timeline_mbps(dt_s=0.5)
+            rsrp = np.full(len(timeline), -80.0)
+            estimated = model.estimate_energy_j(timeline, rsrp, dt_s=0.5)
+            truth = sum(
+                curve.power_mw(dl_mbps=min(r, 2000.0), rsrp_dbm=-80.0) * 0.5
+                for r in timeline
+            ) / 1000.0
+            errors.append(abs(estimated - truth) / truth)
+        assert np.mean(errors) < 0.10
+
+
+class TestMonsoonOnWalkingTraces:
+    def test_monitor_reproduces_trace_energy(self, walking_traces_mmwave):
+        trace = walking_traces_mmwave[0]
+        monitor = MonsoonMonitor(rate_hz=100.0, seed=0)
+        captured = monitor.measure_series(trace.power_mw, series_rate_hz=10.0)
+        trace_energy = float(np.sum(trace.power_mw) * 0.1 / 1000.0)
+        assert captured.energy_j() == pytest.approx(trace_energy, rel=0.02)
+
+
+class TestCrossSubsystemConsistency:
+    def test_network_peaks_consistent_with_link_budget(self):
+        """Every configured network's peak is achievable by its best
+        modem at excellent signal."""
+        from repro.radio.link import LinkBudget, MODEMS
+
+        for key in ("verizon-nsa-mmwave", "tmobile-nsa-lowband", "verizon-lte"):
+            network = get_network(key)
+            link = LinkBudget(network, MODEMS["X55"])
+            assert link.capacity_mbps(-65.0) == pytest.approx(
+                network.peak_dl_mbps, rel=0.01
+            )
+
+    def test_walking_trace_power_matches_device_curve(self, walking_traces_mmwave):
+        """Walking-trace power is the device curve plus bounded noise."""
+        trace = walking_traces_mmwave[0]
+        curve = get_device("S20U").curve("verizon-nsa-mmwave")
+        expected = np.array(
+            [
+                curve.power_mw(dl_mbps=d, rsrp_dbm=r)
+                for d, r in zip(trace.dl_mbps, trace.rsrp_dbm)
+            ]
+        )
+        ratio = trace.power_mw / np.maximum(expected, 1.0)
+        assert 0.85 < np.median(ratio) < 1.15
+
+    def test_rrc_tail_consistent_with_table2_power(self):
+        """Integrating the Table 2 tail power over the Table 7 tail
+        duration reproduces tail_energy_j."""
+        from repro.power.tail import get_tail_power, tail_energy_j
+        from repro.rrc.parameters import get_parameters
+
+        key = "verizon-lte"
+        params = get_parameters(key)
+        tail = get_tail_power(key)
+        approx = tail.tail_mw * params.inactivity_ms / 1e6
+        assert tail_energy_j(key) == pytest.approx(approx, rel=0.05)

@@ -1,0 +1,58 @@
+"""Golden-value regression pins.
+
+Every stochastic generator in the library is seeded, so a handful of
+exact outputs act as drift detectors: if a refactor changes any of
+these values, it has changed simulated *behaviour* (seed plumbing, RNG
+consumption order, or model math) and every calibrated figure needs
+re-checking. Update the pins only deliberately, alongside a re-run of
+the benchmark suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.radio.bands import NR_N261
+from repro.radio.signal import RsrpProcess, rsrp_at_distance
+from repro.rrc.machine import RRCStateMachine
+from repro.rrc.parameters import get_parameters
+from repro.traces.lumos import LumosConfig, generate_lumos_corpus
+from repro.web.catalog import generate_catalog
+
+
+class TestGoldenValues:
+    def test_lumos_corpus_first_samples(self):
+        traces_5g, traces_4g = generate_lumos_corpus(
+            LumosConfig(n_5g=1, n_4g=1, duration_s=50, seed=77)
+        )
+        assert np.round(traces_5g[0].throughput_mbps[:3], 4).tolist() == [
+            1696.1234,
+            2020.7543,
+            2202.5685,
+        ]
+        assert np.round(traces_4g[0].throughput_mbps[:3], 4).tolist() == [
+            20.5677,
+            23.015,
+            24.6711,
+        ]
+
+    def test_rsrp_process_stream(self):
+        process = RsrpProcess(NR_N261, seed=5)
+        samples = [round(process.step(100.0, 1.0), 4) for _ in range(3)]
+        assert samples == [-84.4887, -83.6845, -83.4261]
+
+    def test_static_rsrp(self):
+        assert rsrp_at_distance(NR_N261, 100.0) == pytest.approx(-82.3832, abs=1e-4)
+
+    def test_rrc_idle_delay(self):
+        machine = RRCStateMachine(get_parameters("verizon-nsa-mmwave"), seed=9)
+        machine.deliver_packet(0.0)
+        delay = machine.deliver_packet(machine.last_activity_ms + 20000.0)
+        assert delay == pytest.approx(2274.126, abs=1e-3)
+
+    def test_catalog_first_sites(self):
+        catalog = generate_catalog(n_sites=3, seed=8)
+        assert [(s.n_objects, s.total_bytes) for s in catalog] == [
+            (14, 750319),
+            (245, 19248548),
+            (53, 1363079),
+        ]

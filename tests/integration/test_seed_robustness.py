@@ -1,0 +1,79 @@
+"""Seed-robustness checks for the headline qualitative claims.
+
+The benchmarks pin seeds for reproducibility; these tests verify the
+claims are properties of the *model*, not of a lucky seed, by sweeping
+a few seeds at reduced scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.energy import find_crossover
+from repro.experiments import run_handoff_drive
+from repro.experiments.power import _controlled_sweep
+from repro.traces.lumos import LumosConfig, generate_lumos_corpus
+from repro.video.abr import make_abr
+from repro.video.encoding import VideoManifest, build_ladder
+from repro.video.player import Player
+from repro.video.qoe import stall_percent
+
+
+class TestHandoffOrderingAcrossSeeds:
+    @pytest.mark.parametrize("seed", [1, 9, 17])
+    def test_fig9_ordering(self, seed):
+        result = run_handoff_drive(dt_s=1.0, seed=seed)
+        totals = {r["configuration"]: r["total"] for r in result["rows"]}
+        assert totals["SA-5G only"] == min(totals.values())
+        assert totals["NSA-5G + LTE"] == max(totals.values())
+        assert totals["All Bands"] > totals["SA-5G + LTE"]
+
+
+class TestCrossoverAcrossSeeds:
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_fig11_dl_crossover_stable(self, seed):
+        targets = list(np.linspace(10.0, 1800.0, 6))
+        mm_t, mm_p = _controlled_sweep(
+            "S20U", "verizon-nsa-mmwave", targets, True, 3.0, seed
+        )
+        lte_targets = list(np.linspace(5.0, 150.0, 6))
+        lte_t, lte_p = _controlled_sweep(
+            "S20U", "verizon-lte", lte_targets, True, 3.0, seed
+        )
+        # Fit both sweeps on their own ranges and intersect.
+        from repro.core.energy import fit_power_slope
+
+        slope_mm, icpt_mm = fit_power_slope(mm_t, mm_p)
+        slope_lte, icpt_lte = fit_power_slope(lte_t, lte_p)
+        crossing = (icpt_mm - icpt_lte) / (slope_lte - slope_mm)
+        assert crossing == pytest.approx(187.0, rel=0.15)
+
+
+class TestPensieveAcrossSeeds:
+    @pytest.mark.parametrize("seed", [5, 13])
+    def test_pensieve_worst_5g_stall(self, seed):
+        traces_5g, _ = generate_lumos_corpus(
+            LumosConfig(n_5g=8, n_4g=0, duration_s=200, seed=seed)
+        )
+        manifest = VideoManifest(ladder=build_ladder(160.0), chunk_s=4.0, n_chunks=35)
+        player = Player(manifest)
+        stalls = {}
+        for name in ("bba", "robustmpc", "pensieve"):
+            values = []
+            for trace in traces_5g:
+                result = player.play(make_abr(name), trace.throughput_at)
+                values.append(stall_percent(result.stall_s, result.playback_s))
+            stalls[name] = float(np.mean(values))
+        assert stalls["pensieve"] >= stalls["robustmpc"]
+        assert stalls["pensieve"] >= stalls["bba"]
+
+
+class TestCorpusAnchorsAcrossSeeds:
+    @pytest.mark.parametrize("seed", [2, 19, 23])
+    def test_medians_pinned(self, seed):
+        traces_5g, traces_4g = generate_lumos_corpus(
+            LumosConfig(n_5g=6, n_4g=6, duration_s=150, seed=seed)
+        )
+        pooled_5g = np.concatenate([t.throughput_mbps for t in traces_5g])
+        pooled_4g = np.concatenate([t.throughput_mbps for t in traces_4g])
+        assert np.median(pooled_5g) == pytest.approx(160.0, rel=0.02)
+        assert np.median(pooled_4g) == pytest.approx(20.0, rel=0.02)

@@ -1,0 +1,74 @@
+"""Tests for repro.ml.boosting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import GradientBoostedRegressor
+
+
+def _smooth_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-3.0, 3.0, size=(n, 1))
+    y = np.sin(X[:, 0]) * 5.0 + 0.1 * rng.normal(size=n)
+    return X, y
+
+
+class TestGradientBoosting:
+    def test_fits_nonlinear_function(self):
+        X, y = _smooth_data()
+        model = GradientBoostedRegressor(n_estimators=80, max_depth=3).fit(X, y)
+        residual = np.abs(model.predict(X) - y).mean()
+        assert residual < 0.5
+
+    def test_more_estimators_reduce_training_error(self):
+        X, y = _smooth_data()
+        few = GradientBoostedRegressor(n_estimators=5, max_depth=2).fit(X, y)
+        many = GradientBoostedRegressor(n_estimators=60, max_depth=2).fit(X, y)
+        err_few = np.abs(few.predict(X) - y).mean()
+        err_many = np.abs(many.predict(X) - y).mean()
+        assert err_many < err_few
+
+    def test_staged_predict_converges_to_final(self):
+        X, y = _smooth_data(n=100)
+        model = GradientBoostedRegressor(n_estimators=10, max_depth=2).fit(X, y)
+        stages = list(model.staged_predict(X))
+        assert len(stages) == 10
+        assert np.allclose(stages[-1], model.predict(X))
+
+    def test_baseline_is_mean_for_constant_model(self):
+        X = np.zeros((20, 1))
+        y = np.full(20, 4.2)
+        model = GradientBoostedRegressor(n_estimators=3).fit(X, y)
+        assert model.predict([[0.0]])[0] == pytest.approx(4.2, abs=1e-6)
+
+    def test_subsample_deterministic_with_seed(self):
+        X, y = _smooth_data(n=150)
+        a = GradientBoostedRegressor(n_estimators=15, subsample=0.6, random_state=5).fit(X, y)
+        b = GradientBoostedRegressor(n_estimators=15, subsample=0.6, random_state=5).fit(X, y)
+        assert np.allclose(a.predict(X), b.predict(X))
+
+    def test_feature_importances_normalised(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(size=(200, 3))
+        y = X[:, 1] * 10.0
+        model = GradientBoostedRegressor(n_estimators=20, max_depth=2).fit(X, y)
+        assert model.feature_importances_.sum() == pytest.approx(1.0)
+        assert np.argmax(model.feature_importances_) == 1
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedRegressor().predict([[1.0]])
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            GradientBoostedRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostedRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostedRegressor(subsample=1.5)
+
+    def test_feature_mismatch_raises(self):
+        X, y = _smooth_data(n=50)
+        model = GradientBoostedRegressor(n_estimators=3).fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 4)))

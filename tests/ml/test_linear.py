@@ -1,0 +1,57 @@
+"""Tests for repro.ml.linear."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression
+
+
+class TestLinearRegression:
+    def test_exact_line_recovered(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        y = 3.0 * X[:, 0] + 2.0
+        model = LinearRegression().fit(X, y)
+        assert model.slope_ == pytest.approx(3.0)
+        assert model.intercept_ == pytest.approx(2.0)
+
+    def test_table8_style_fit(self):
+        # mmWave S20U: slope 1.81 mW/Mbps, intercept ~3182 mW.
+        rng = np.random.default_rng(0)
+        t = np.linspace(0, 2000, 50)
+        p = 3182.0 + 1.81 * t + rng.normal(0, 5.0, size=50)
+        model = LinearRegression().fit(t.reshape(-1, 1), p)
+        assert model.slope_ == pytest.approx(1.81, rel=0.02)
+        assert model.intercept_ == pytest.approx(3182.0, rel=0.02)
+
+    def test_multifeature(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = 2.0 * X[:, 0] - 1.0 * X[:, 1] + 0.5
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, [2.0, -1.0], atol=1e-8)
+
+    def test_no_intercept(self):
+        X = np.arange(1.0, 6.0).reshape(-1, 1)
+        y = 4.0 * X[:, 0]
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        assert model.slope_ == pytest.approx(4.0)
+
+    def test_predict_shape(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        model = LinearRegression().fit(X, X[:, 0])
+        assert model.predict(X).shape == (10,)
+
+    def test_slope_property_multifeature_raises(self):
+        X = np.ones((5, 2))
+        model = LinearRegression().fit(X, np.ones(5))
+        with pytest.raises(ValueError):
+            _ = model.slope_
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict([[1.0]])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.zeros((0, 1)), [])

@@ -1,0 +1,77 @@
+"""Tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    r2_score,
+    root_mean_squared_error,
+)
+
+
+class TestMape:
+    def test_perfect_prediction_is_zero(self):
+        y = [1.0, 2.0, 3.0]
+        assert mean_absolute_percentage_error(y, y) == 0.0
+
+    def test_known_value(self):
+        # errors: 10% and 20% -> mean 15%
+        assert mean_absolute_percentage_error([10.0, 10.0], [11.0, 12.0]) == pytest.approx(15.0)
+
+    def test_zero_targets_excluded(self):
+        value = mean_absolute_percentage_error([0.0, 10.0], [5.0, 11.0])
+        assert value == pytest.approx(10.0)
+
+    def test_all_zero_targets_raises(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([0.0, 0.0], [1.0, 2.0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([], [])
+
+    def test_symmetric_in_error_sign(self):
+        up = mean_absolute_percentage_error([10.0], [12.0])
+        down = mean_absolute_percentage_error([10.0], [8.0])
+        assert up == pytest.approx(down)
+
+
+class TestOtherMetrics:
+    def test_mae(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_rmse(self):
+        assert root_mean_squared_error([0.0, 0.0], [3.0, 4.0]) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_rmse_geq_mae(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=50)
+        p = y + rng.normal(size=50)
+        assert root_mean_squared_error(y, p) >= mean_absolute_error(y, p)
+
+    def test_r2_perfect(self):
+        y = [1.0, 2.0, 3.0]
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_r2_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_r2_can_be_negative(self):
+        assert r2_score([1.0, 2.0, 3.0], [3.0, 3.0, 0.0]) < 0.0
+
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1, 1], [1, 1, 1, 0]) == pytest.approx(0.5)
+
+    def test_accuracy_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])

@@ -1,0 +1,78 @@
+"""Tests for repro.ml.model_selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model_selection import KFold, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100)
+        train, test = train_test_split(X, test_size=0.3, random_state=0)
+        assert train.shape[0] == 70
+        assert test.shape[0] == 30
+
+    def test_disjoint_and_complete(self):
+        X = np.arange(50)
+        train, test = train_test_split(X, test_size=0.2, random_state=1)
+        assert set(train) | set(test) == set(range(50))
+        assert set(train) & set(test) == set()
+
+    def test_multiple_arrays_aligned(self):
+        X = np.arange(40)
+        y = X * 2
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.25, random_state=2)
+        assert np.array_equal(y_tr, X_tr * 2)
+        assert np.array_equal(y_te, X_te * 2)
+
+    def test_reproducible(self):
+        X = np.arange(30)
+        a = train_test_split(X, random_state=7)
+        b = train_test_split(X, random_state=7)
+        assert np.array_equal(a[0], b[0])
+
+    def test_no_shuffle_keeps_order(self):
+        X = np.arange(10)
+        train, test = train_test_split(X, test_size=0.3, shuffle=False)
+        assert np.array_equal(test, [0, 1, 2])
+        assert np.array_equal(train, np.arange(3, 10))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(5), np.arange(6))
+
+    def test_bad_test_size_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(5), test_size=1.5)
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(1))
+
+
+class TestKFold:
+    def test_covers_all_indices_once(self):
+        kf = KFold(n_splits=5)
+        seen = []
+        for _train, test in kf.split(np.arange(23)):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(n_splits=4).split(np.arange(20)):
+            assert set(train) & set(test) == set()
+            assert len(train) + len(test) == 20
+
+    def test_shuffle_reproducible(self):
+        a = [t.tolist() for _tr, t in KFold(3, shuffle=True, random_state=1).split(np.arange(9))]
+        b = [t.tolist() for _tr, t in KFold(3, shuffle=True, random_state=1).split(np.arange(9))]
+        assert a == b
+
+    def test_more_folds_than_samples_raises(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(np.arange(3)))
+
+    def test_min_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)

@@ -1,0 +1,139 @@
+"""Tests for repro.ml.tree (CART regressor and classifier)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+def _step_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0.0, 10.0, size=(n, 2))
+    y = np.where(X[:, 0] > 5.0, 10.0, 1.0)
+    return X, y
+
+
+class TestRegressor:
+    def test_fits_step_function_exactly(self):
+        X, y = _step_data()
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert np.abs(tree.predict(X) - y).max() < 1e-9
+
+    def test_split_threshold_near_true_boundary(self):
+        X, y = _step_data()
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        assert tree._root.feature == 0
+        assert 4.5 < tree._root.threshold < 5.5
+
+    def test_single_value_target_gives_leaf(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        tree = DecisionTreeRegressor().fit(X, np.full(10, 7.0))
+        assert tree.n_leaves_ == 1
+        assert tree.predict([[3.0]])[0] == pytest.approx(7.0)
+
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 3))
+        y = rng.normal(size=300)
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        assert tree.depth_ <= 4
+
+    def test_min_samples_leaf_respected(self):
+        X, y = _step_data(n=60)
+        tree = DecisionTreeRegressor(min_samples_leaf=10).fit(X, y)
+
+        def leaves(node):
+            if node.is_leaf:
+                return [node.n_samples]
+            return leaves(node.left) + leaves(node.right)
+
+        assert min(leaves(tree._root)) >= 10
+
+    def test_prediction_mean_of_training(self):
+        X = np.zeros((5, 1))
+        y = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.predict([[0.0]])[0] == pytest.approx(3.0)
+
+    def test_feature_importances_sum_to_one(self):
+        X, y = _step_data()
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+        assert tree.feature_importances_[0] > tree.feature_importances_[1]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict([[1.0]])
+
+    def test_feature_count_mismatch_raises(self):
+        X, y = _step_data()
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((3, 5)))
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), [])
+
+    def test_1d_x_reshaped(self):
+        X = np.arange(20.0)
+        y = np.where(X > 10, 5.0, 1.0)
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert tree.predict([15.0])[0] == pytest.approx(5.0)
+
+    def test_describe_contains_feature_names(self):
+        X, y = _step_data()
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y, feature_names=["TH", "SS"])
+        assert "TH" in tree.describe()
+
+    def test_min_impurity_decrease_prunes(self):
+        X, y = _step_data()
+        shallow = DecisionTreeRegressor(min_impurity_decrease=1e9).fit(X, y)
+        assert shallow.n_leaves_ == 1
+
+    def test_bad_hyperparameters_raise(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+
+class TestClassifier:
+    def test_separable_classes_learned(self):
+        X, y = _step_data()
+        labels = (y > 5.0).astype(int)
+        clf = DecisionTreeClassifier(max_depth=2).fit(X, labels)
+        assert (clf.predict(X) == labels).all()
+
+    def test_string_labels_roundtrip(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array(["lte", "lte", "nr", "nr"])
+        clf = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        assert list(clf.predict([[0.5], [10.5]])) == ["lte", "nr"]
+
+    def test_predict_proba_rows_sum_to_one(self):
+        X, y = _step_data()
+        labels = (y > 5.0).astype(int)
+        clf = DecisionTreeClassifier(max_depth=3).fit(X, labels)
+        probs = clf.predict_proba(X[:10])
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_single_class_degenerate(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        clf = DecisionTreeClassifier().fit(X, np.zeros(10, dtype=int))
+        assert (clf.predict(X) == 0).all()
+
+    def test_gini_importance_prefers_informative_feature(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(size=(500, 3))
+        y = (X[:, 2] > 0.5).astype(int)
+        clf = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert np.argmax(clf.feature_importances_) == 2
+
+    def test_three_classes(self):
+        X = np.array([[v] for v in np.linspace(0, 30, 90)])
+        y = (X[:, 0] // 10).astype(int)
+        clf = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.95

@@ -1,0 +1,42 @@
+"""Tests for repro.mobility.geo."""
+
+import pytest
+
+from repro.mobility.geo import haversine_km, path_length_m
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(44.98, -93.27, 44.98, -93.27) == 0.0
+
+    def test_minneapolis_chicago(self):
+        # Known great-circle distance: ~570 km.
+        d = haversine_km(44.9778, -93.2650, 41.8781, -87.6298)
+        assert d == pytest.approx(570.0, rel=0.02)
+
+    def test_minneapolis_la(self):
+        d = haversine_km(44.9778, -93.2650, 34.0522, -118.2437)
+        assert d == pytest.approx(2450.0, rel=0.02)
+
+    def test_symmetric(self):
+        a = haversine_km(10.0, 20.0, 30.0, 40.0)
+        b = haversine_km(30.0, 40.0, 10.0, 20.0)
+        assert a == pytest.approx(b)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            haversine_km(91.0, 0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            haversine_km(0.0, 181.0, 0.0, 0.0)
+
+
+class TestPathLength:
+    def test_straight_line(self):
+        assert path_length_m([(0.0, 0.0), (3.0, 4.0)]) == pytest.approx(5.0)
+
+    def test_polyline(self):
+        assert path_length_m([(0, 0), (100, 0), (100, 100)]) == pytest.approx(200.0)
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            path_length_m([(0, 0)])

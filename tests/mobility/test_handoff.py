@@ -1,0 +1,79 @@
+"""Tests for repro.mobility.handoff (Fig. 9 behaviour)."""
+
+import pytest
+
+from repro.mobility.handoff import (
+    BandConfiguration,
+    FIG9_CONFIGURATIONS,
+    HandoffSimulator,
+    RadioTech,
+    default_grids,
+)
+from repro.mobility.routes import driving_route
+from repro.mobility.trajectory import Trajectory
+
+
+@pytest.fixture(scope="module")
+def drive():
+    route = driving_route()
+    trajectory = Trajectory.from_route(route, dt_s=0.5)
+    grids = default_grids(route.waypoints, seed=7)
+    simulator = HandoffSimulator(n71_grid=grids["n71"], lte_grid=grids["lte"], seed=3)
+    return {
+        cfg.name: simulator.run(trajectory, cfg) for cfg in FIG9_CONFIGURATIONS
+    }
+
+
+class TestFig9Shape:
+    def test_sa_fewest_handoffs(self, drive):
+        sa = drive["SA-5G only"].total_count
+        assert all(
+            sa <= summary.total_count for summary in drive.values()
+        )
+
+    def test_nsa_most_handoffs(self, drive):
+        nsa = drive["NSA-5G + LTE"].total_count
+        assert all(nsa >= s.total_count for s in drive.values())
+
+    def test_paper_ordering(self, drive):
+        # NSA+LTE (110) > All (64) > SA+LTE (38) > LTE (30) > SA (13).
+        totals = {name: s.total_count for name, s in drive.items()}
+        assert totals["NSA-5G + LTE"] > totals["All Bands"]
+        assert totals["All Bands"] > totals["SA-5G + LTE"]
+        assert totals["SA-5G + LTE"] >= totals["LTE only"]
+        assert totals["LTE only"] > totals["SA-5G only"]
+
+    def test_sa_has_no_vertical_handoffs(self, drive):
+        assert drive["SA-5G only"].vertical_count == 0
+
+    def test_nsa_vertical_dominates(self, drive):
+        # Paper: ~90 of NSA's 110 handoffs are vertical.
+        summary = drive["NSA-5G + LTE"]
+        assert summary.vertical_count > 3 * summary.horizontal_count
+
+    def test_n71_horizontal_count_low(self, drive):
+        # Paper: 13-20 horizontal handoffs on n71.
+        assert 8 <= drive["SA-5G only"].horizontal_count <= 25
+
+    def test_lte_horizontal_about_30(self, drive):
+        assert 20 <= drive["LTE only"].horizontal_count <= 40
+
+    def test_segments_cover_timeline(self, drive):
+        summary = drive["NSA-5G + LTE"]
+        total = sum(end - start for start, end, _tech in summary.segments)
+        assert total > 0
+        assert summary.time_in_tech_s(RadioTech.NSA_5G) > 0
+        assert summary.time_in_tech_s(RadioTech.LTE) > 0
+
+
+class TestConfiguration:
+    def test_nsa_requires_lte(self):
+        with pytest.raises(ValueError):
+            BandConfiguration("bad", sa_enabled=False, nsa_enabled=True, lte_enabled=False)
+
+    def test_at_least_one_radio(self):
+        with pytest.raises(ValueError):
+            BandConfiguration("bad", sa_enabled=False, nsa_enabled=False, lte_enabled=False)
+
+    def test_five_fig9_configurations(self):
+        assert len(FIG9_CONFIGURATIONS) == 5

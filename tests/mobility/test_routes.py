@@ -1,0 +1,74 @@
+"""Tests for repro.mobility.routes."""
+
+import pytest
+
+from repro.mobility.routes import Route, driving_route, walking_loop
+
+
+class TestWalkingLoop:
+    def test_length_matches_paper(self):
+        # ~1.6 km loop (section 4.1).
+        assert walking_loop().length_m == pytest.approx(1600.0)
+
+    def test_duration_about_20_minutes(self):
+        # 1.6 km at 1.4 m/s ~ 19 minutes.
+        assert walking_loop().duration_s == pytest.approx(1143.0, rel=0.05)
+
+    def test_closed_loop(self):
+        loop = walking_loop()
+        assert loop.waypoints[0] == loop.waypoints[-1]
+
+
+class TestDrivingRoute:
+    def test_length_10km(self):
+        assert driving_route().length_m == pytest.approx(10000.0, rel=0.01)
+
+    def test_speed_range_matches_paper(self):
+        # 0 to 100 kph (section 3.3); our slowest segment is 5 kph.
+        route = driving_route()
+        speeds_kph = [s * 3.6 for s in route.segment_speeds_mps]
+        assert min(speeds_kph) < 10.0
+        assert max(speeds_kph) == pytest.approx(100.0)
+
+    def test_freeway_faster_than_downtown(self):
+        route = driving_route()
+        downtown = route.segment_speeds_mps[: len(route.segment_speeds_mps) // 2]
+        freeway = route.segment_speeds_mps[-4:]
+        assert min(freeway) > max(downtown)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            driving_route(length_km=0.0)
+
+
+class TestRoute:
+    def test_position_at_start(self):
+        route = Route("r", [(0.0, 0.0), (100.0, 0.0)], [10.0])
+        x, y, speed = route.position_at(0.0)
+        assert (x, y) == (0.0, 0.0)
+        assert speed == 10.0
+
+    def test_position_interpolates(self):
+        route = Route("r", [(0.0, 0.0), (100.0, 0.0)], [10.0])
+        x, _, _ = route.position_at(5.0)
+        assert x == pytest.approx(50.0)
+
+    def test_position_clamps_at_end(self):
+        route = Route("r", [(0.0, 0.0), (100.0, 0.0)], [10.0])
+        x, _, speed = route.position_at(1000.0)
+        assert x == 100.0
+        assert speed == 0.0
+
+    def test_default_walking_speed(self):
+        route = Route("r", [(0.0, 0.0), (14.0, 0.0)])
+        assert route.duration_s == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Route("r", [(0.0, 0.0)])
+        with pytest.raises(ValueError):
+            Route("r", [(0, 0), (1, 1)], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            Route("r", [(0, 0), (1, 1)], [-1.0])
+        with pytest.raises(ValueError):
+            Route("r", [(0, 0), (1, 1)], [1.0]).position_at(-1.0)

@@ -1,0 +1,49 @@
+"""Tests for repro.mobility.trajectory."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.routes import Route, walking_loop
+from repro.mobility.trajectory import Trajectory
+
+
+class TestTrajectory:
+    def test_sampling_rate(self):
+        traj = Trajectory.from_route(walking_loop(), dt_s=0.5)
+        assert traj.dt_s == pytest.approx(0.5)
+        assert len(traj) == pytest.approx(walking_loop().duration_s / 0.5, abs=2)
+
+    def test_positions_on_route(self):
+        route = Route("r", [(0.0, 0.0), (100.0, 0.0)], [10.0])
+        traj = Trajectory.from_route(route, dt_s=1.0)
+        assert traj.y_m.max() == 0.0
+        assert traj.x_m.min() >= 0.0
+        assert traj.x_m.max() <= 100.0
+
+    def test_repeats_wrap_around(self):
+        route = Route("r", [(0.0, 0.0), (100.0, 0.0)], [10.0])
+        once = Trajectory.from_route(route, dt_s=1.0, repeats=1)
+        twice = Trajectory.from_route(route, dt_s=1.0, repeats=2)
+        assert twice.duration_s == pytest.approx(2 * once.duration_s, rel=0.1)
+        # Position wraps back to the start after the first lap.
+        mid = len(twice) // 2
+        assert twice.x_m[mid] < 50.0
+
+    def test_distances_to(self):
+        route = Route("r", [(0.0, 0.0), (100.0, 0.0)], [10.0])
+        traj = Trajectory.from_route(route, dt_s=1.0)
+        distances = traj.distances_to(0.0, 30.0)
+        assert distances[0] == pytest.approx(30.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trajectory.from_route(walking_loop(), dt_s=0.0)
+        with pytest.raises(ValueError):
+            Trajectory.from_route(walking_loop(), repeats=0)
+        with pytest.raises(ValueError):
+            Trajectory(
+                times_s=np.array([0.0]),
+                x_m=np.array([0.0, 1.0]),
+                y_m=np.array([0.0]),
+                speed_mps=np.array([0.0]),
+            )

@@ -1,0 +1,56 @@
+"""Tests for repro.net.iperf."""
+
+import pytest
+
+from repro.net.iperf import IperfUdp
+from repro.power.device import get_device
+from repro.radio.carriers import get_network
+
+
+@pytest.fixture
+def iperf():
+    return IperfUdp(
+        network=get_network("verizon-nsa-mmwave"),
+        device=get_device("S20U"),
+        seed=5,
+    )
+
+
+class TestIperf:
+    def test_target_achieved_when_capacity_allows(self, iperf):
+        result = iperf.run(100.0, duration_s=20.0)
+        assert result.mean_mbps == pytest.approx(100.0, rel=0.05)
+
+    def test_capacity_caps_excessive_target(self, iperf):
+        result = iperf.run(50000.0, duration_s=20.0)
+        assert result.mean_mbps < 4000.0
+
+    def test_zero_target(self, iperf):
+        result = iperf.run(0.0, duration_s=5.0)
+        assert result.mean_mbps == 0.0
+
+    def test_rsrp_recorded(self, iperf):
+        result = iperf.run(100.0, duration_s=10.0)
+        assert result.rsrp_dbm.shape == result.achieved_mbps.shape
+        assert result.rsrp_dbm.max() < -50.0
+
+    def test_duration(self, iperf):
+        result = iperf.run(10.0, duration_s=7.0)
+        assert result.duration_s == pytest.approx(7.0)
+
+    def test_uplink_lower_capacity(self, iperf):
+        dl = iperf.run(10000.0, duration_s=10.0, downlink=True).mean_mbps
+        ul = iperf.run(10000.0, duration_s=10.0, downlink=False).mean_mbps
+        assert ul < dl
+
+    def test_invalid_args(self, iperf):
+        with pytest.raises(ValueError):
+            iperf.run(-1.0)
+        with pytest.raises(ValueError):
+            iperf.run(10.0, duration_s=0.0)
+        with pytest.raises(ValueError):
+            IperfUdp(
+                network=get_network("verizon-lte"),
+                device=get_device("S20U"),
+                tower_distance_m=0.0,
+            )

@@ -1,0 +1,60 @@
+"""Tests for repro.net.latency (Fig. 1/2/5 behaviour)."""
+
+import pytest
+
+from repro.net.latency import LatencyModel, WIRED_MS_PER_KM
+from repro.radio.carriers import get_network
+
+
+class TestLatencyModel:
+    def test_floor_at_zero_distance(self):
+        model = LatencyModel(get_network("verizon-nsa-mmwave"), seed=0)
+        assert model.base_rtt_ms(0.0) == pytest.approx(6.0)
+
+    def test_rtt_doubles_near_320km(self):
+        # Fig. 2: RTT doubles as distance reaches ~320 km.
+        model = LatencyModel(get_network("verizon-nsa-mmwave"), seed=0)
+        floor = model.base_rtt_ms(0.0)
+        doubling_km = floor / WIRED_MS_PER_KM
+        assert doubling_km == pytest.approx(320.0, rel=0.15)
+
+    def test_coast_to_coast_about_60ms(self):
+        model = LatencyModel(get_network("verizon-nsa-mmwave"), seed=0)
+        assert model.base_rtt_ms(2500.0) == pytest.approx(58.5, rel=0.1)
+
+    def test_lowband_adds_6_to_8ms(self):
+        mm = LatencyModel(get_network("verizon-nsa-mmwave"), seed=0)
+        lb = LatencyModel(get_network("verizon-nsa-lowband"), seed=0)
+        gap = lb.base_rtt_ms(500.0) - mm.base_rtt_ms(500.0)
+        assert 6.0 <= gap <= 8.0
+
+    def test_lte_slowest(self):
+        lte = LatencyModel(get_network("verizon-lte"), seed=0)
+        lb = LatencyModel(get_network("verizon-nsa-lowband"), seed=0)
+        assert lte.base_rtt_ms(100.0) > lb.base_rtt_ms(100.0)
+
+    def test_sa_nsa_parity(self):
+        # Paper: no significant SA-vs-NSA RTT difference (section 3.2).
+        sa = LatencyModel(get_network("tmobile-sa-lowband"), seed=0)
+        nsa = LatencyModel(get_network("tmobile-nsa-lowband"), seed=0)
+        assert sa.base_rtt_ms(800.0) == pytest.approx(nsa.base_rtt_ms(800.0))
+
+    def test_samples_at_least_base(self):
+        model = LatencyModel(get_network("verizon-lte"), seed=1)
+        samples = model.sample_rtt_ms(200.0, n=50)
+        assert samples.min() >= model.base_rtt_ms(200.0)
+
+    def test_min_rtt_close_to_base(self):
+        model = LatencyModel(get_network("verizon-nsa-mmwave"), seed=2)
+        assert model.min_rtt_ms(100.0, n=20) == pytest.approx(
+            model.base_rtt_ms(100.0), abs=2.0
+        )
+
+    def test_invalid_args(self):
+        model = LatencyModel(get_network("verizon-lte"))
+        with pytest.raises(ValueError):
+            model.base_rtt_ms(-1.0)
+        with pytest.raises(ValueError):
+            model.sample_rtt_ms(10.0, n=0)
+        with pytest.raises(ValueError):
+            LatencyModel(get_network("verizon-lte"), jitter_ms=-1.0)

@@ -1,0 +1,85 @@
+"""Tests for repro.net.servers."""
+
+import pytest
+
+from repro.net.servers import (
+    AZURE_REGIONS,
+    SpeedtestServer,
+    carrier_server_pool,
+    minnesota_server_pool,
+)
+
+
+class TestCarrierPool:
+    def test_metro_coverage(self):
+        pool = carrier_server_pool("Verizon")
+        assert len(pool) == 20
+        assert all(s.hosted_by == "carrier" for s in pool)
+
+    def test_home_server_is_minneapolis(self):
+        pool = carrier_server_pool("Verizon")
+        home = pool[0]
+        assert home.city == "Minneapolis"
+        assert home.distance_km_from(44.9778, -93.2650) == pytest.approx(0.0, abs=1.0)
+
+    def test_distances_span_coasts(self):
+        pool = carrier_server_pool("T-Mobile")
+        distances = [s.distance_km_from(44.9778, -93.2650) for s in pool]
+        assert max(distances) > 2000.0
+
+
+class TestMinnesotaPool:
+    def test_37_servers_like_fig24(self):
+        assert len(minnesota_server_pool()) == 37
+
+    def test_carrier_server_uncapped(self):
+        pool = minnesota_server_pool()
+        assert pool[0].hosted_by == "carrier"
+        assert pool[0].capacity_cap_mbps is None
+
+    def test_capacity_tiers_exist(self):
+        caps = [s.capacity_cap_mbps for s in minnesota_server_pool()]
+        assert caps.count(2000.0) == 4
+        assert caps.count(1000.0) == 5
+        assert sum(1 for c in caps if c is None) == 24
+
+    def test_all_in_minnesota(self):
+        assert all(s.state == "MN" for s in minnesota_server_pool())
+
+
+class TestAzureRegions:
+    def test_eight_us_regions(self):
+        assert len(AZURE_REGIONS) == 8
+
+    def test_fig8_distances(self):
+        by_name = {r.name: r.distance_km for r in AZURE_REGIONS}
+        assert by_name["Central"] == 374.0
+        assert by_name["West"] == 2532.0
+
+    def test_sorted_by_distance(self):
+        distances = [r.distance_km for r in AZURE_REGIONS]
+        assert distances == sorted(distances)
+
+
+class TestDefaultSelection:
+    def test_picks_home_city_server(self):
+        from repro.net.servers import choose_default_server
+
+        pool = carrier_server_pool("Verizon")
+        chosen = choose_default_server(pool, 44.9778, -93.2650)
+        assert chosen.city == "Minneapolis"
+
+    def test_picks_nearest_elsewhere(self):
+        from repro.net.servers import choose_default_server
+
+        pool = carrier_server_pool("Verizon")
+        chosen = choose_default_server(pool, 34.05, -118.24)  # LA UE
+        assert chosen.city == "Los Angeles"
+
+    def test_empty_pool_raises(self):
+        import pytest as _pytest
+
+        from repro.net.servers import choose_default_server
+
+        with _pytest.raises(ValueError):
+            choose_default_server([], 0.0, 0.0)

@@ -1,0 +1,76 @@
+"""Tests for repro.net.speedtest."""
+
+import pytest
+
+from repro.net.servers import carrier_server_pool
+from repro.net.speedtest import ConnectionMode, SpeedtestHarness
+from repro.power.device import get_device
+from repro.radio.carriers import get_network
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return SpeedtestHarness(
+        network=get_network("verizon-nsa-mmwave"),
+        device=get_device("S20U"),
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return carrier_server_pool("Verizon")
+
+
+class TestSessions:
+    def test_multi_conn_near_peak_at_home(self, harness, pool):
+        results = harness.run_setting(pool[0], ConnectionMode.MULTIPLE, repetitions=5)
+        peak = harness.peak(results)
+        assert peak.downlink_mbps > 2700.0
+        assert peak.uplink_mbps > 180.0
+
+    def test_multi_conn_flat_across_distance(self, harness, pool):
+        near = harness.peak(harness.run_setting(pool[0], ConnectionMode.MULTIPLE, 5))
+        far = harness.peak(harness.run_setting(pool[-1], ConnectionMode.MULTIPLE, 5))
+        assert far.downlink_mbps > 0.85 * near.downlink_mbps
+
+    def test_single_conn_decays_with_distance(self, harness, pool):
+        near = harness.peak(harness.run_setting(pool[0], ConnectionMode.SINGLE, 8))
+        far = harness.peak(harness.run_setting(pool[-1], ConnectionMode.SINGLE, 8))
+        assert far.downlink_mbps < near.downlink_mbps
+
+    def test_rtt_grows_with_distance(self, harness, pool):
+        near = harness.run_session(pool[0], ConnectionMode.SINGLE)
+        far = harness.run_session(pool[-1], ConnectionMode.SINGLE)
+        assert far.rtt_ms > near.rtt_ms + 20.0
+
+    def test_multi_uses_15_to_25_connections(self, harness, pool):
+        result = harness.run_session(pool[0], ConnectionMode.MULTIPLE)
+        assert 15 <= result.n_connections <= 25
+
+    def test_server_capacity_cap_respected(self, harness):
+        from repro.net.servers import SpeedtestServer
+
+        capped = SpeedtestServer(
+            name="capped", city="X", state="MN", lat=44.98, lon=-93.27,
+            hosted_by="third-party", capacity_cap_mbps=1000.0,
+        )
+        peak = harness.peak(harness.run_setting(capped, ConnectionMode.MULTIPLE, 5))
+        assert peak.downlink_mbps <= 1000.0
+
+    def test_sa_half_of_nsa_throughput(self):
+        device = get_device("S20U")
+        pool = carrier_server_pool("T-Mobile")
+        sa = SpeedtestHarness(network=get_network("tmobile-sa-lowband"), device=device, seed=2)
+        nsa = SpeedtestHarness(network=get_network("tmobile-nsa-lowband"), device=device, seed=2)
+        sa_peak = sa.peak(sa.run_setting(pool[0], ConnectionMode.MULTIPLE, 5))
+        nsa_peak = nsa.peak(nsa.run_setting(pool[0], ConnectionMode.MULTIPLE, 5))
+        assert sa_peak.downlink_mbps < 0.7 * nsa_peak.downlink_mbps
+
+    def test_peak_requires_results(self, harness):
+        with pytest.raises(ValueError):
+            harness.peak([])
+
+    def test_repetitions_validated(self, harness, pool):
+        with pytest.raises(ValueError):
+            harness.run_setting(pool[0], ConnectionMode.SINGLE, repetitions=0)

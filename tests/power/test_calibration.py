@@ -1,0 +1,51 @@
+"""Tests for repro.power.calibration."""
+
+import numpy as np
+import pytest
+
+from repro.power.calibration import SoftwareCalibrator
+from repro.power.software import SoftwareMonitor
+
+
+def _paired_series(rate_hz=10.0, duration_s=120.0, seed=0):
+    """Software readings paired with the true power they observed."""
+    rng = np.random.default_rng(seed)
+    levels = rng.uniform(1000.0, 6000.0, size=int(duration_s) + 1)
+
+    def truth_fn(t):
+        return float(levels[int(t)])
+
+    monitor = SoftwareMonitor(rate_hz=rate_hz, seed=seed)
+    readings = monitor.measure(truth_fn, duration_s=duration_s)
+    raw = np.array([r.power_mw for r in readings])
+    truth = np.array([truth_fn(r.t_s) + monitor.overhead_mw for r in readings])
+    return raw, truth
+
+
+class TestCalibration:
+    def test_calibration_reduces_mape(self):
+        raw, truth = _paired_series()
+        split = int(0.7 * raw.shape[0])
+        calibrator = SoftwareCalibrator().fit(raw[:split], truth[:split])
+        before, after = calibrator.evaluate(raw[split:], truth[split:])
+        assert after < before
+        assert after < 6.0
+
+    def test_predictions_move_toward_truth(self):
+        raw, truth = _paired_series(seed=1)
+        calibrator = SoftwareCalibrator().fit(raw, truth)
+        corrected = calibrator.predict(raw)
+        # Software under-reads; calibration must shift upward on average.
+        assert corrected.mean() > raw.mean()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftwareCalibrator().predict([1000.0] * 10)
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            SoftwareCalibrator().fit([1.0, 2.0], [1.0])
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            SoftwareCalibrator(window=10).fit([1.0] * 5, [1.0] * 5)

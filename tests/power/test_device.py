@@ -1,0 +1,125 @@
+"""Tests for repro.power.device (Table 8 slopes, Fig. 11 crossovers)."""
+
+import pytest
+
+from repro.power.device import (
+    DEVICES,
+    RadioPowerCurve,
+    crossover_mbps,
+    get_device,
+)
+
+
+class TestCurveCalibration:
+    def test_table8_slopes_s20u(self):
+        s20u = get_device("S20U")
+        assert s20u.curve("verizon-nsa-mmwave").slope_dl == pytest.approx(1.81)
+        assert s20u.curve("verizon-nsa-mmwave").slope_ul == pytest.approx(9.42)
+        assert s20u.curve("verizon-lte").slope_dl == pytest.approx(14.55)
+        assert s20u.curve("verizon-lte").slope_ul == pytest.approx(80.21)
+        assert s20u.curve("verizon-nsa-lowband").slope_dl == pytest.approx(13.52)
+
+    def test_table8_slopes_s10(self):
+        s10 = get_device("S10")
+        assert s10.curve("verizon-nsa-mmwave").slope_dl == pytest.approx(2.06)
+        assert s10.curve("verizon-lte").slope_ul == pytest.approx(57.99)
+
+    def test_fig11_crossovers_s20u(self):
+        # Paper: DL 187 (vs 4G) and 189 (vs LB); UL 40 and 123 Mbps.
+        s20u = get_device("S20U")
+        assert crossover_mbps(s20u, "verizon-nsa-mmwave", "verizon-lte") == pytest.approx(187.0, abs=1.0)
+        assert crossover_mbps(s20u, "verizon-nsa-mmwave", "verizon-nsa-lowband") == pytest.approx(189.0, abs=1.0)
+        assert crossover_mbps(s20u, "verizon-nsa-mmwave", "verizon-lte", downlink=False) == pytest.approx(40.0, abs=1.0)
+        assert crossover_mbps(s20u, "verizon-nsa-mmwave", "verizon-nsa-lowband", downlink=False) == pytest.approx(123.0, abs=1.0)
+
+    def test_s10_crossovers_near_s20u(self):
+        # Appendix A.4: S10 crossovers "reasonably close" to S20U's.
+        s10 = get_device("S10")
+        dl = crossover_mbps(s10, "verizon-nsa-mmwave", "verizon-lte")
+        assert 150.0 < dl < 260.0
+
+    def test_mmwave_costs_more_at_idle(self):
+        s20u = get_device("S20U")
+        mm = s20u.radio_power_mw("verizon-nsa-mmwave", 0.0, 0.0)
+        lte = s20u.radio_power_mw("verizon-lte", 0.0, 0.0)
+        assert mm > 3.0 * lte
+
+    def test_mmwave_cheaper_at_high_throughput(self):
+        s20u = get_device("S20U")
+        mm = s20u.radio_power_mw("verizon-nsa-mmwave", dl_mbps=1500.0)
+        # What LTE would burn if it could do 1500 Mbps.
+        lte = s20u.radio_power_mw("verizon-lte", dl_mbps=1500.0)
+        assert mm < lte
+
+    def test_uplink_slope_steeper_than_downlink(self):
+        # Appendix A.4: uplink power rises 2.2-5.9x faster.
+        for device_name in ("S10", "S20U"):
+            device = get_device(device_name)
+            for key in device.curves:
+                curve = device.curve(key)
+                ratio = curve.slope_ul / curve.slope_dl
+                assert 1.5 <= ratio <= 6.5, (device_name, key, ratio)
+
+
+class TestCurveBehaviour:
+    def test_power_linear_in_throughput_at_fixed_rsrp(self):
+        curve = get_device("S20U").curve("verizon-nsa-mmwave")
+        p0 = curve.power_mw(dl_mbps=0.0, rsrp_dbm=-75.0)
+        p1 = curve.power_mw(dl_mbps=100.0, rsrp_dbm=-75.0)
+        p2 = curve.power_mw(dl_mbps=200.0, rsrp_dbm=-75.0)
+        assert p2 - p1 == pytest.approx(p1 - p0)
+
+    def test_poor_signal_costs_power(self):
+        curve = get_device("S20U").curve("verizon-nsa-mmwave")
+        good = curve.power_mw(dl_mbps=100.0, rsrp_dbm=-75.0)
+        bad = curve.power_mw(dl_mbps=100.0, rsrp_dbm=-105.0)
+        assert bad > good + 500.0
+
+    def test_rsrp_penalty_superlinear(self):
+        curve = get_device("S20U").curve("verizon-nsa-mmwave")
+        base = curve.power_mw(dl_mbps=0.0, rsrp_dbm=-80.0)
+        p10 = curve.power_mw(dl_mbps=0.0, rsrp_dbm=-90.0) - base
+        p20 = curve.power_mw(dl_mbps=0.0, rsrp_dbm=-100.0) - base
+        assert p20 > 2.0 * p10
+
+    def test_no_penalty_above_reference(self):
+        curve = get_device("S20U").curve("verizon-nsa-mmwave")
+        assert curve.power_mw(dl_mbps=50.0, rsrp_dbm=-60.0) == curve.power_mw(
+            dl_mbps=50.0, rsrp_dbm=-79.0
+        )
+
+    def test_negative_throughput_raises(self):
+        curve = get_device("S20U").curve("verizon-lte")
+        with pytest.raises(ValueError):
+            curve.power_mw(dl_mbps=-1.0)
+
+    def test_invalid_curve_rejected(self):
+        with pytest.raises(ValueError):
+            RadioPowerCurve(intercept_dl_mw=-1.0, slope_dl=1.0, intercept_ul_mw=1.0, slope_ul=1.0)
+
+
+class TestDeviceProfiles:
+    def test_three_devices(self):
+        assert set(DEVICES) == {"S20U", "S10", "PX5"}
+
+    def test_modems_match_appendix(self):
+        assert get_device("S20U").modem.name == "X55"
+        assert get_device("PX5").modem.name == "X52"
+        assert get_device("S10").modem.name == "X50"
+
+    def test_total_power_includes_screen(self):
+        device = get_device("S20U")
+        on = device.total_power_mw("verizon-lte", screen_on=True)
+        off = device.total_power_mw("verizon-lte", screen_on=False)
+        assert on - off == pytest.approx(device.screen_max_mw)
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            get_device("iphone")
+
+    def test_missing_curve_raises(self):
+        with pytest.raises(KeyError):
+            get_device("S10").curve("tmobile-sa-lowband")
+
+    def test_lookup_case_insensitive(self):
+        assert get_device("s20u").name == "S20U"

@@ -1,0 +1,92 @@
+"""Tests for repro.power.monsoon."""
+
+import numpy as np
+import pytest
+
+from repro.power.monsoon import MonsoonMonitor, PowerTrace
+
+
+class TestPowerTrace:
+    def test_energy_constant_power(self):
+        trace = PowerTrace(samples_mw=np.full(5000, 1000.0), rate_hz=5000.0)
+        assert trace.energy_j() == pytest.approx(1.0)
+
+    def test_average(self):
+        trace = PowerTrace(samples_mw=np.array([1.0, 3.0]), rate_hz=2.0)
+        assert trace.average_mw() == pytest.approx(2.0)
+
+    def test_duration(self):
+        trace = PowerTrace(samples_mw=np.zeros(100), rate_hz=50.0)
+        assert trace.duration_s == pytest.approx(2.0)
+
+    def test_window(self):
+        trace = PowerTrace(samples_mw=np.arange(100.0), rate_hz=10.0)
+        window = trace.window(2.0, 4.0)
+        assert window.samples_mw.shape[0] == 20
+        assert window.samples_mw[0] == pytest.approx(20.0)
+
+    def test_downsample_preserves_energy(self):
+        rng = np.random.default_rng(0)
+        trace = PowerTrace(samples_mw=rng.uniform(0, 5000, size=5000), rate_hz=5000.0)
+        down = trace.downsample(10.0)
+        assert down.energy_j() == pytest.approx(trace.energy_j(), rel=1e-6)
+        assert down.rate_hz == 10.0
+
+    def test_downsample_invalid(self):
+        trace = PowerTrace(samples_mw=np.zeros(100), rate_hz=100.0)
+        with pytest.raises(ValueError):
+            trace.downsample(200.0)
+
+    def test_empty_average_raises(self):
+        trace = PowerTrace(samples_mw=np.array([]), rate_hz=10.0)
+        with pytest.raises(ValueError):
+            trace.average_mw()
+
+    def test_bad_window_raises(self):
+        trace = PowerTrace(samples_mw=np.zeros(10), rate_hz=10.0)
+        with pytest.raises(ValueError):
+            trace.window(1.0, 0.5)
+
+
+class TestMonsoonMonitor:
+    def test_samples_at_5khz_default(self):
+        monitor = MonsoonMonitor(seed=0)
+        trace = monitor.measure(lambda t: 1000.0, duration_s=0.5)
+        assert trace.samples_mw.shape[0] == 2500
+        assert trace.rate_hz == 5000.0
+
+    def test_tracks_the_truth(self):
+        monitor = MonsoonMonitor(seed=1)
+        trace = monitor.measure(lambda t: 2000.0 + 500.0 * (t > 0.5), duration_s=1.0)
+        first = trace.window(0.0, 0.4).average_mw()
+        second = trace.window(0.6, 1.0).average_mw()
+        assert first == pytest.approx(2000.0, abs=5.0)
+        assert second == pytest.approx(2500.0, abs=5.0)
+
+    def test_noise_is_unbiased(self):
+        monitor = MonsoonMonitor(noise_mw=10.0, seed=2)
+        trace = monitor.measure(lambda t: 3000.0, duration_s=2.0)
+        assert trace.average_mw() == pytest.approx(3000.0, abs=3.0)
+
+    def test_never_negative(self):
+        monitor = MonsoonMonitor(noise_mw=50.0, seed=3)
+        trace = monitor.measure(lambda t: 1.0, duration_s=0.2)
+        assert trace.samples_mw.min() >= 0.0
+
+    def test_measure_series_upsamples(self):
+        monitor = MonsoonMonitor(rate_hz=100.0, noise_mw=0.0, seed=4)
+        trace = monitor.measure_series([100.0, 200.0], series_rate_hz=1.0)
+        assert trace.samples_mw.shape[0] == 200
+        assert trace.samples_mw[0] == pytest.approx(100.0)
+        assert trace.samples_mw[-1] == pytest.approx(200.0)
+
+    def test_reproducible(self):
+        a = MonsoonMonitor(seed=7).measure(lambda t: 500.0, 0.1)
+        b = MonsoonMonitor(seed=7).measure(lambda t: 500.0, 0.1)
+        assert np.array_equal(a.samples_mw, b.samples_mw)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MonsoonMonitor(rate_hz=0.0)
+        with pytest.raises(ValueError):
+            MonsoonMonitor().measure(lambda t: 1.0, duration_s=0.0)

@@ -1,0 +1,86 @@
+"""Tests for repro.power.software (Tables 3 and 9 behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.power.software import (
+    SoftwareMonitor,
+    benchmark_activities,
+    monitoring_overhead_mw,
+    underestimate_ratio,
+)
+
+
+class TestBias:
+    def test_always_underestimates(self):
+        monitor = SoftwareMonitor(rate_hz=1.0, seed=0)
+        readings = monitor.measure(lambda t: 3000.0, duration_s=60.0)
+        truth = 3000.0 + monitor.overhead_mw
+        assert SoftwareMonitor.average_mw(readings) < truth
+
+    def test_10hz_closer_than_1hz(self):
+        # Table 9: higher sampling rate reduces the error.
+        truth_fn = lambda t: 3000.0
+        ratios = {}
+        for rate in (1.0, 10.0):
+            monitor = SoftwareMonitor(rate_hz=rate, seed=1)
+            readings = monitor.measure(truth_fn, duration_s=120.0)
+            truth = 3000.0 + monitor.overhead_mw
+            ratios[rate] = SoftwareMonitor.average_mw(readings) / truth
+        assert ratios[10.0] > ratios[1.0]
+        assert 0.8 <= ratios[1.0] <= 0.92
+        assert 0.88 <= ratios[10.0] <= 0.97
+
+    def test_sample_count(self):
+        monitor = SoftwareMonitor(rate_hz=10.0, seed=2)
+        readings = monitor.measure(lambda t: 1000.0, duration_s=3.0)
+        assert len(readings) == 30
+
+    def test_current_consistent_with_power(self):
+        monitor = SoftwareMonitor(rate_hz=1.0, seed=3)
+        reading = monitor.measure(lambda t: 2000.0, duration_s=2.0)[0]
+        assert reading.current_ma == pytest.approx(
+            reading.power_mw / reading.voltage_mv * 1000.0
+        )
+
+
+class TestOverhead:
+    def test_table3_anchor_points(self):
+        assert monitoring_overhead_mw(1.0) == pytest.approx(654.0)
+        assert monitoring_overhead_mw(10.0) == pytest.approx(1111.0)
+
+    def test_zero_rate_no_overhead(self):
+        assert monitoring_overhead_mw(0.0) == 0.0
+
+    def test_interpolation_monotone(self):
+        values = [monitoring_overhead_mw(r) for r in (1.0, 2.0, 5.0, 10.0)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ValueError):
+            monitoring_overhead_mw(-1.0)
+
+    def test_underestimate_ratio_bounds(self):
+        assert underestimate_ratio(1.0) == pytest.approx(0.86)
+        assert underestimate_ratio(10.0) == pytest.approx(0.92)
+        assert 0.86 <= underestimate_ratio(5.0) <= 0.92
+
+
+class TestBenchmarkActivities:
+    def test_table9_shape(self):
+        fns = {"idle": lambda t: 2000.0, "udp": lambda t: 5000.0}
+        results = benchmark_activities(fns, duration_s=20.0)
+        for activity in fns:
+            assert results[activity][1.0] < 1.0
+            assert results[activity][10.0] < 1.0
+            assert results[activity][10.0] > results[activity][1.0]
+
+    def test_invalid_monitor(self):
+        with pytest.raises(ValueError):
+            SoftwareMonitor(rate_hz=0.0)
+        with pytest.raises(ValueError):
+            SoftwareMonitor().measure(lambda t: 1.0, duration_s=-1.0)
+
+    def test_empty_average_raises(self):
+        with pytest.raises(ValueError):
+            SoftwareMonitor.average_mw([])

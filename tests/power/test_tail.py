@@ -1,0 +1,82 @@
+"""Tests for repro.power.tail (Table 2)."""
+
+import pytest
+
+from repro.power.tail import (
+    TAIL_POWER,
+    TailPower,
+    get_tail_power,
+    power_timeline_mw,
+    tail_energy_j,
+)
+
+
+class TestTable2:
+    def test_values_verbatim(self):
+        assert get_tail_power("verizon-lte").tail_mw == 178.0
+        assert get_tail_power("tmobile-lte").tail_mw == 66.0
+        assert get_tail_power("verizon-nsa-mmwave").tail_mw == 1092.0
+        assert get_tail_power("verizon-nsa-mmwave").switch_mw == 1494.0
+        assert get_tail_power("tmobile-sa-lowband").tail_mw == 593.0
+
+    def test_5g_tails_exceed_4g(self):
+        for five_g in ("verizon-nsa-lowband", "verizon-nsa-mmwave"):
+            assert get_tail_power(five_g).tail_mw > get_tail_power("verizon-lte").tail_mw
+
+    def test_mmwave_tail_is_the_extreme(self):
+        mm = get_tail_power("verizon-nsa-mmwave").tail_mw
+        assert all(mm >= t.tail_mw for t in TAIL_POWER.values())
+
+    def test_lte_has_no_switch_power(self):
+        assert get_tail_power("verizon-lte").switch_mw is None
+        assert get_tail_power("verizon-lte").switch_energy_j == 0.0
+
+    def test_switch_energy_positive_for_nsa(self):
+        assert get_tail_power("tmobile-nsa-lowband").switch_energy_j > 0.0
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            get_tail_power("nope")
+
+    def test_invalid_tail_rejected(self):
+        with pytest.raises(ValueError):
+            TailPower(network_key="x", tail_mw=0.0)
+
+
+class TestTailEnergy:
+    def test_mmwave_tail_energy_dominates(self):
+        assert tail_energy_j("verizon-nsa-mmwave") > tail_energy_j("verizon-lte")
+        assert tail_energy_j("verizon-nsa-mmwave") > tail_energy_j("tmobile-lte") * 5
+
+    def test_magnitude_sane(self):
+        # mmWave: ~1.09 W for ~10.5 s -> ~11.5 J.
+        assert tail_energy_j("verizon-nsa-mmwave") == pytest.approx(11.5, rel=0.1)
+
+    def test_horizon_truncates(self):
+        full = tail_energy_j("verizon-nsa-mmwave")
+        half = tail_energy_j("verizon-nsa-mmwave", horizon_s=5.0)
+        assert half < full
+
+    def test_sa_inactive_floor_counted(self):
+        # SA energy includes the cheap RRC_INACTIVE dwell.
+        sa_full = tail_energy_j("tmobile-sa-lowband")
+        sa_conn_only = tail_energy_j("tmobile-sa-lowband", horizon_s=10.4)
+        extra = sa_full - sa_conn_only
+        assert 0.0 < extra < 1.0
+
+
+class TestTimeline:
+    def test_staircase_shape(self):
+        times, powers = power_timeline_mw("verizon-nsa-mmwave", horizon_s=15.0, resolution_s=0.1)
+        assert len(times) == len(powers)
+        # Tail level early, idle level late.
+        assert powers[10] == pytest.approx(1092.0)
+        assert powers[-1] == pytest.approx(get_tail_power("verizon-nsa-mmwave").idle_mw)
+
+    def test_sa_timeline_has_three_levels(self):
+        _, powers = power_timeline_mw("tmobile-sa-lowband", horizon_s=18.0, resolution_s=0.1)
+        assert len(set(powers)) >= 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            power_timeline_mw("verizon-lte", horizon_s=0.0)

@@ -1,0 +1,71 @@
+"""Property-based tests for the ML substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.linear import LinearRegression
+from repro.ml.metrics import mean_absolute_error, root_mean_squared_error
+from repro.ml.model_selection import train_test_split
+from repro.ml.tree import DecisionTreeRegressor
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    y=arrays(np.float64, st.integers(5, 40), elements=finite_floats),
+)
+def test_rmse_geq_mae_always(y):
+    rng = np.random.default_rng(0)
+    pred = y + rng.normal(size=y.shape[0])
+    assert root_mean_squared_error(y, pred) >= mean_absolute_error(y, pred) - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    X=arrays(
+        np.float64,
+        st.tuples(st.integers(10, 60), st.integers(1, 3)),
+        elements=st.floats(-100, 100, allow_nan=False),
+    ),
+)
+def test_tree_predictions_within_target_range(X):
+    """A regression tree predicts leaf means, so predictions stay inside
+    [min(y), max(y)]."""
+    rng = np.random.default_rng(1)
+    y = rng.uniform(-50.0, 50.0, size=X.shape[0])
+    tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+    predictions = tree.predict(X)
+    assert predictions.min() >= y.min() - 1e-9
+    assert predictions.max() <= y.max() + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(4, 200),
+    test_size=st.floats(0.05, 0.95),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_split_partition_property(n, test_size, seed):
+    """Train/test always partition the index set exactly."""
+    X = np.arange(n)
+    train, test = train_test_split(X, test_size=test_size, random_state=seed)
+    assert len(train) + len(test) == n
+    assert set(train.tolist()) | set(test.tolist()) == set(range(n))
+    assert len(test) >= 1 and len(train) >= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    slope=st.floats(-50, 50, allow_nan=False),
+    intercept=st.floats(-1000, 1000, allow_nan=False),
+)
+def test_linear_regression_recovers_exact_lines(slope, intercept):
+    X = np.linspace(0.0, 10.0, 20).reshape(-1, 1)
+    y = slope * X[:, 0] + intercept
+    model = LinearRegression().fit(X, y)
+    assert np.isclose(model.slope_, slope, atol=1e-6)
+    assert np.isclose(model.intercept_, intercept, atol=1e-5)

@@ -1,0 +1,69 @@
+"""Property-based tests for the advisor and usage-session estimators."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.advisor import AppProfile, RadioAdvisor
+from repro.core.session import Activity, UsageSession
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    demand=st.floats(0.1, 4000.0),
+    active=st.floats(0.05, 1.0),
+    session_s=st.floats(1.0, 600.0),
+)
+def test_advisor_estimates_well_formed(demand, active, session_s):
+    advisor = RadioAdvisor()
+    profile = AppProfile("p", demand_mbps=demand, active_fraction=active, session_s=session_s)
+    for key in advisor.candidates:
+        est = advisor.estimate(profile, key)
+        assert est.energy_j > 0.0
+        assert 0.0 < est.completion_factor <= 1.0
+        assert est.achieved_mbps <= demand * (1 + 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    demand=st.floats(0.1, 4000.0),
+    alpha=st.floats(0.0, 1.0),
+)
+def test_advisor_recommendation_among_candidates(demand, alpha):
+    advisor = RadioAdvisor()
+    profile = AppProfile("p", demand_mbps=demand)
+    result = advisor.recommend(profile, alpha=alpha)
+    assert result["recommended"] in advisor.candidates
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    transfers=st.lists(
+        st.tuples(st.floats(1.0, 500.0), st.floats(0.5, 120.0), st.floats(0.0, 120.0)),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_session_energy_accounting_consistent(transfers):
+    """Components always sum to the total and scale with the timeline."""
+    timeline = [
+        Activity("a", demand_mbps=d, transfer_s=t, gap_s=g) for d, t, g in transfers
+    ]
+    result = UsageSession("verizon-nsa-mmwave").simulate(timeline)
+    component_sum = (
+        result.transfer_energy_j
+        + result.tail_energy_j
+        + result.switch_energy_j
+        + result.idle_energy_j
+    )
+    assert abs(component_sum - result.total_energy_j) < 1e-6
+    assert result.duration_s > 0
+    assert result.battery_drain_percent >= 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(demand=st.floats(1.0, 100.0), transfer_s=st.floats(1.0, 60.0))
+def test_session_monotone_in_repetition(demand, transfer_s):
+    """Doing an activity twice never costs less than doing it once."""
+    session = UsageSession("verizon-lte")
+    one = session.simulate([Activity("a", demand, transfer_s, gap_s=10.0)])
+    two = session.simulate([Activity("a", demand, transfer_s, gap_s=10.0)] * 2)
+    assert two.total_energy_j >= one.total_energy_j

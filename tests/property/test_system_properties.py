@@ -1,0 +1,119 @@
+"""Property-based tests on system invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.power.device import get_device
+from repro.radio.bands import NR_N71, NR_N261
+from repro.radio.carriers import get_network
+from repro.radio.link import LinkBudget, MODEMS
+from repro.radio.propagation import PathLossModel
+from repro.rrc.machine import RRCStateMachine
+from repro.rrc.parameters import RRC_PARAMETERS
+from repro.transport.cubic import CubicState
+from repro.video.encoding import build_ladder
+from repro.web.har import HarEntry, HarRecord
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    d1=st.floats(1.0, 5000.0),
+    d2=st.floats(1.0, 5000.0),
+)
+def test_path_loss_monotone_in_distance(d1, d2):
+    model = PathLossModel(NR_N261)
+    lo, hi = sorted((d1, d2))
+    assert model.path_loss_db(lo) <= model.path_loss_db(hi) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(rsrp=st.floats(-140.0, -60.0))
+def test_link_capacity_bounds(rsrp):
+    """Capacity is non-negative and never exceeds modem/network caps."""
+    link = LinkBudget(get_network("verizon-nsa-mmwave"), MODEMS["X55"])
+    capacity = link.capacity_mbps(rsrp)
+    assert 0.0 <= capacity <= 3400.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    r1=st.floats(-140.0, -60.0),
+    r2=st.floats(-140.0, -60.0),
+)
+def test_link_capacity_monotone_in_rsrp(r1, r2):
+    link = LinkBudget(get_network("tmobile-nsa-lowband"), MODEMS["X55"])
+    lo, hi = sorted((r1, r2))
+    assert link.capacity_mbps(lo) <= link.capacity_mbps(hi) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    dl=st.floats(0.0, 3000.0),
+    ul=st.floats(0.0, 200.0),
+    rsrp=st.floats(-130.0, -60.0),
+)
+def test_power_curve_positive_and_monotone(dl, ul, rsrp):
+    curve = get_device("S20U").curve("verizon-nsa-mmwave")
+    power = curve.power_mw(dl_mbps=dl, ul_mbps=ul, rsrp_dbm=rsrp)
+    assert power > 0.0
+    assert curve.power_mw(dl_mbps=dl + 10.0, ul_mbps=ul, rsrp_dbm=rsrp) >= power
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    key=st.sampled_from(sorted(RRC_PARAMETERS)),
+    gap_s=st.floats(0.1, 60.0),
+    seed=st.integers(0, 1000),
+)
+def test_rrc_delay_bounded(key, gap_s, seed):
+    """RRC delay never exceeds paging wait + promotion, and a second
+    back-to-back packet is always free."""
+    params = RRC_PARAMETERS[key]
+    machine = RRCStateMachine(params, seed=seed)
+    machine.deliver_packet(0.0)
+    delay = machine.deliver_packet(machine.last_activity_ms + gap_s * 1000.0)
+    upper = params.idle_drx_ms + params.promotion_delay_ms
+    assert 0.0 <= delay <= upper + 1e-6
+    follow_up = machine.deliver_packet(machine.last_activity_ms + 1.0)
+    assert follow_up == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    cwnd=st.floats(2.0, 1e5),
+    losses=st.integers(1, 10),
+)
+def test_cubic_window_never_below_floor(cwnd, losses):
+    state = CubicState(cwnd_segments=cwnd)
+    for _ in range(losses):
+        state.on_loss()
+        state.on_ack_interval(0.05)
+    assert state.cwnd_segments >= 2.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(top=st.floats(1.0, 1000.0), n=st.integers(2, 10))
+def test_ladder_invariants(top, n):
+    ladder = build_ladder(top, n_tracks=n)
+    assert len(ladder) == n
+    assert ladder.top_mbps <= top * (1 + 1e-9)
+    bitrates = ladder.bitrates_mbps
+    assert all(a < b for a, b in zip(bitrates, bitrates[1:]))
+    # index_for_rate is the inverse of the ladder lookup.
+    for i, bitrate in enumerate(bitrates):
+        assert ladder.index_for_rate(bitrate * 1.0001) == i
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.integers(100, 10_000_000), min_size=1, max_size=20),
+)
+def test_har_timeline_conserves_bytes(sizes):
+    record = HarRecord(page_url="p", radio="5G")
+    t = 0.0
+    for i, size in enumerate(sizes):
+        record.add(HarEntry(url=str(i), start_ms=t, duration_ms=130.0, size_bytes=size))
+        t += 90.0
+    timeline = record.throughput_timeline_mbps(dt_s=0.5)
+    total_bits = sum(timeline) * 0.5 * 1e6
+    assert np.isclose(total_bits, sum(sizes) * 8.0, rtol=1e-6)

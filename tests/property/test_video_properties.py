@@ -1,0 +1,49 @@
+"""Property-based tests on playback invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.video.abr import make_abr
+from repro.video.encoding import VideoManifest, build_ladder
+from repro.video.player import Player
+from repro.video.qoe import normalized_bitrate, stall_percent
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    abr_name=st.sampled_from(["bba", "rb", "bola", "festive", "robustmpc"]),
+    bandwidth=st.floats(5.0, 500.0),
+    seed=st.integers(0, 100),
+)
+def test_playback_invariants(abr_name, bandwidth, seed):
+    """For any ABR and constant bandwidth: all chunks play, stalls are
+    non-negative, bitrates come from the ladder, wall clock >= playback
+    progress."""
+    rng = np.random.default_rng(seed)
+    manifest = VideoManifest(
+        ladder=build_ladder(160.0), chunk_s=4.0, n_chunks=12, seed=seed
+    )
+    player = Player(manifest)
+    noise = rng.uniform(0.7, 1.3, size=200)
+
+    def bw(t):
+        return bandwidth * noise[int(t) % 200]
+
+    result = player.play(make_abr(abr_name), bw)
+    assert len(result.chunk_tracks) == manifest.n_chunks
+    assert result.stall_s >= 0.0
+    assert all(b in manifest.ladder.bitrates_mbps for b in result.chunk_bitrates_mbps)
+    assert 0.0 <= normalized_bitrate(result.chunk_bitrates_mbps, 160.0) <= 1.0
+    assert 0.0 <= stall_percent(result.stall_s, result.playback_s) < 100.0
+    assert result.rebuffer_events >= 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(bandwidth=st.floats(30.0, 2000.0))
+def test_more_bandwidth_never_worse_for_bba(bandwidth):
+    """BBA's stall time is monotone non-increasing in bandwidth."""
+    manifest = VideoManifest(ladder=build_ladder(160.0), chunk_s=4.0, n_chunks=12, seed=0)
+    player = Player(manifest)
+    low = player.play(make_abr("bba"), lambda t: bandwidth)
+    high = player.play(make_abr("bba"), lambda t: bandwidth * 2.0)
+    assert high.stall_s <= low.stall_s + 1e-6

@@ -1,0 +1,72 @@
+"""Tests for repro.radio.bands."""
+
+import pytest
+
+from repro.radio.bands import (
+    ALL_BANDS,
+    Band,
+    BandClass,
+    LTE_1900,
+    NR_N71,
+    NR_N260,
+    NR_N261,
+    Technology,
+    get_band,
+)
+
+
+class TestBandDefinitions:
+    def test_mmwave_bands_classified(self):
+        assert NR_N261.is_mmwave
+        assert NR_N260.is_mmwave
+        assert not NR_N71.is_mmwave
+
+    def test_mmwave_frequencies_from_paper(self):
+        # n261 is the 28 GHz band, n260 the 39 GHz band (section 2).
+        assert NR_N261.center_ghz == pytest.approx(28.0)
+        assert NR_N260.center_ghz == pytest.approx(39.0)
+
+    def test_n71_is_600mhz(self):
+        assert NR_N71.center_ghz == pytest.approx(0.6)
+        assert NR_N71.band_class is BandClass.LOW
+
+    def test_mmwave_symbol_shorter_than_lowband(self):
+        # The paper's latency explanation: higher subcarrier spacing ->
+        # shorter OFDM symbols on mmWave (section 3.2).
+        assert NR_N261.symbol_duration_us < NR_N71.symbol_duration_us
+
+    def test_mmwave_air_latency_lower(self):
+        assert NR_N261.air_latency_ms < NR_N71.air_latency_ms
+
+    def test_slot_duration_scaling(self):
+        assert NR_N71.slot_duration_ms == pytest.approx(1.0)
+        assert NR_N261.slot_duration_ms == pytest.approx(0.125)
+
+    def test_lowband_coverage_far_exceeds_mmwave(self):
+        assert NR_N71.coverage_km > 10 * NR_N261.coverage_km
+
+    def test_lte_band_technology(self):
+        assert LTE_1900.technology is Technology.LTE
+
+    def test_get_band_case_insensitive(self):
+        assert get_band("N261") is NR_N261
+
+    def test_get_band_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_band("n999")
+
+    def test_all_bands_unique_names(self):
+        names = [b.name for b in ALL_BANDS]
+        assert len(names) == len(set(names))
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(ValueError):
+            Band(
+                name="bad",
+                technology=Technology.NR,
+                band_class=BandClass.LOW,
+                center_ghz=-1.0,
+                bandwidth_mhz=10.0,
+                subcarrier_khz=15.0,
+                coverage_km=1.0,
+            )

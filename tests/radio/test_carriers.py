@@ -1,0 +1,88 @@
+"""Tests for repro.radio.carriers."""
+
+import pytest
+
+from repro.radio.bands import LTE_1900, NR_N261, NR_N71
+from repro.radio.carriers import (
+    Carrier,
+    CarrierNetwork,
+    DeploymentMode,
+    NETWORKS,
+    get_network,
+    list_networks,
+)
+
+
+class TestNetworks:
+    def test_six_networks_configured(self):
+        assert len(NETWORKS) == 6
+
+    def test_verizon_mmwave_peaks(self):
+        net = get_network("verizon-nsa-mmwave")
+        # Paper: over 3 Gbps DL, ~220 Mbps UL (section 3.2).
+        assert net.peak_dl_mbps > 3000
+        assert 200 <= net.peak_ul_mbps <= 250
+
+    def test_sa_half_of_nsa(self):
+        # Paper: SA low-band achieves about half of NSA (section 3.2).
+        sa = get_network("tmobile-sa-lowband")
+        nsa = get_network("tmobile-nsa-lowband")
+        assert sa.peak_dl_mbps == pytest.approx(nsa.peak_dl_mbps / 2.0, rel=0.15)
+        assert not sa.supports_ca
+
+    def test_rtt_floor_ordering(self):
+        # mmWave (~6 ms) < low-band (+6-8 ms) < LTE (+6-15 ms).
+        mm = get_network("verizon-nsa-mmwave").rtt_floor_ms
+        lb = get_network("verizon-nsa-lowband").rtt_floor_ms
+        lte = get_network("verizon-lte").rtt_floor_ms
+        assert mm < lb < lte
+        assert mm == pytest.approx(6.0)
+        assert 6.0 <= lb - mm <= 8.0
+
+    def test_verizon_lowband_uses_dss(self):
+        assert get_network("verizon-nsa-lowband").dss
+
+    def test_labels(self):
+        assert get_network("verizon-lte").label == "Verizon 4G"
+        assert "mmWave" in get_network("verizon-nsa-mmwave").label
+
+    def test_is_5g_flags(self):
+        assert get_network("tmobile-sa-lowband").is_5g
+        assert not get_network("tmobile-lte").is_5g
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            get_network("sprint-6g")
+
+    def test_list_filter_by_carrier(self):
+        tmobile = list_networks(carrier=Carrier.TMOBILE)
+        assert len(tmobile) == 3
+        assert all(n.carrier is Carrier.TMOBILE for n in tmobile)
+
+    def test_list_filter_by_mode(self):
+        sa = list_networks(mode=DeploymentMode.SA)
+        assert [n.key for n in sa] == ["tmobile-sa-lowband"]
+
+    def test_lte_mode_requires_lte_band(self):
+        with pytest.raises(ValueError):
+            CarrierNetwork(
+                key="bad",
+                carrier=Carrier.VERIZON,
+                mode=DeploymentMode.LTE,
+                band=NR_N71,
+                peak_dl_mbps=100,
+                peak_ul_mbps=10,
+                rtt_floor_ms=20,
+            )
+
+    def test_valid_custom_network(self):
+        net = CarrierNetwork(
+            key="custom",
+            carrier=Carrier.TMOBILE,
+            mode=DeploymentMode.NSA,
+            band=NR_N261,
+            peak_dl_mbps=1000,
+            peak_ul_mbps=100,
+            rtt_floor_ms=8,
+        )
+        assert net.is_mmwave

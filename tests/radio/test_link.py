@@ -1,0 +1,73 @@
+"""Tests for repro.radio.link."""
+
+import pytest
+
+from repro.radio.carriers import get_network
+from repro.radio.link import (
+    MODEMS,
+    LinkBudget,
+    Modem,
+    spectral_efficiency,
+)
+
+
+class TestSpectralEfficiency:
+    def test_zero_below_floor(self):
+        assert spectral_efficiency(-20.0) == 0.0
+
+    def test_monotone(self):
+        values = [spectral_efficiency(s) for s in (-5, 0, 10, 20, 30)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_capped(self):
+        assert spectral_efficiency(60.0) == pytest.approx(7.2)
+
+
+class TestModems:
+    def test_appendix_a1_cc_counts(self):
+        assert MODEMS["X52"].dl_carriers == 4  # PX5
+        assert MODEMS["X55"].dl_carriers == 8  # S20U
+
+    def test_invalid_modem(self):
+        with pytest.raises(ValueError):
+            Modem(name="bad", dl_carriers=0, ul_carriers=1, max_dl_mbps=1, max_ul_mbps=1)
+
+
+class TestLinkBudget:
+    def test_mmwave_peak_at_good_signal(self):
+        link = LinkBudget(get_network("verizon-nsa-mmwave"), MODEMS["X55"])
+        assert link.capacity_mbps(-72.0) == pytest.approx(3100.0)
+
+    def test_px5_vs_s20u_fig23(self):
+        # Fig. 23: S20U (8CC) ~3+ Gbps, PX5 (4CC) ~2.2 Gbps.
+        net = get_network("verizon-nsa-mmwave")
+        s20u = LinkBudget(net, MODEMS["X55"]).capacity_mbps(-72.0)
+        px5 = LinkBudget(net, MODEMS["X52"]).capacity_mbps(-72.0)
+        assert s20u > px5
+        assert px5 == pytest.approx(2200.0, rel=0.1)
+
+    def test_capacity_degrades_with_rsrp(self):
+        link = LinkBudget(get_network("verizon-nsa-mmwave"), MODEMS["X55"])
+        caps = [link.capacity_mbps(r) for r in (-75, -90, -100, -110, -120)]
+        assert all(a >= b for a, b in zip(caps, caps[1:]))
+        assert caps[-1] < caps[0] * 0.05
+
+    def test_uplink_below_downlink(self):
+        link = LinkBudget(get_network("verizon-nsa-mmwave"), MODEMS["X55"])
+        assert link.capacity_mbps(-75.0, downlink=False) < link.capacity_mbps(-75.0)
+
+    def test_sa_below_nsa(self):
+        # Paper: SA reaches ~half of NSA (no carrier aggregation).
+        sa = LinkBudget(get_network("tmobile-sa-lowband"), MODEMS["X55"])
+        nsa = LinkBudget(get_network("tmobile-nsa-lowband"), MODEMS["X55"])
+        assert sa.capacity_mbps(-85.0) < nsa.capacity_mbps(-85.0)
+
+    def test_capacity_never_negative(self):
+        link = LinkBudget(get_network("verizon-lte"), MODEMS["X50"])
+        assert link.capacity_mbps(-140.0) == 0.0
+
+    def test_series_matches_scalar(self):
+        link = LinkBudget(get_network("verizon-nsa-mmwave"), MODEMS["X55"])
+        series = link.capacity_series_mbps([-80.0, -100.0])
+        assert series[0] == pytest.approx(link.capacity_mbps(-80.0))
+        assert series[1] == pytest.approx(link.capacity_mbps(-100.0))

@@ -1,0 +1,114 @@
+"""Tests for repro.radio.propagation."""
+
+import numpy as np
+import pytest
+
+from repro.radio.bands import BandClass, LTE_1900, NR_N71, NR_N261
+from repro.radio.propagation import (
+    BlockageModel,
+    PathLossModel,
+    free_space_path_loss_db,
+    los_probability,
+)
+
+
+class TestFreeSpace:
+    def test_known_value(self):
+        # FSPL(1 km, 1 GHz) = 20*3 + 0 + 32.44 = 92.44 dB.
+        assert free_space_path_loss_db(1000.0, 1.0) == pytest.approx(92.44, abs=0.01)
+
+    def test_doubles_distance_adds_6db(self):
+        a = free_space_path_loss_db(100.0, 28.0)
+        b = free_space_path_loss_db(200.0, 28.0)
+        assert b - a == pytest.approx(6.02, abs=0.02)
+
+    def test_higher_frequency_more_loss(self):
+        assert free_space_path_loss_db(100.0, 39.0) > free_space_path_loss_db(100.0, 0.6)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(0.0, 1.0)
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(1.0, -1.0)
+
+
+class TestLosProbability:
+    def test_close_range_certain(self):
+        assert los_probability(10.0, BandClass.MMWAVE) == 1.0
+
+    def test_decreases_with_distance(self):
+        p = [los_probability(d, BandClass.MMWAVE) for d in (20, 50, 100, 200)]
+        assert all(a >= b for a, b in zip(p, p[1:]))
+
+    def test_lowband_always_usable(self):
+        assert los_probability(5000.0, BandClass.LOW) == 1.0
+
+    def test_negative_distance_raises(self):
+        with pytest.raises(ValueError):
+            los_probability(-1.0, BandClass.MMWAVE)
+
+
+class TestPathLoss:
+    def test_monotone_in_distance(self):
+        model = PathLossModel(NR_N261)
+        losses = [model.path_loss_db(d) for d in (10, 50, 100, 300)]
+        assert all(a < b for a, b in zip(losses, losses[1:]))
+
+    def test_nlos_exceeds_los(self):
+        model = PathLossModel(NR_N261)
+        assert model.path_loss_db(100.0, los=False) > model.path_loss_db(100.0, los=True)
+
+    def test_mmwave_loses_more_than_lowband(self):
+        mm = PathLossModel(NR_N261).path_loss_db(200.0)
+        lb = PathLossModel(NR_N71).path_loss_db(200.0)
+        assert mm > lb
+
+    def test_shadowing_varies_with_rng(self):
+        model = PathLossModel(LTE_1900)
+        rng = np.random.default_rng(0)
+        values = {model.path_loss_db(100.0, rng=rng) for _ in range(5)}
+        assert len(values) == 5
+
+    def test_zero_distance_raises(self):
+        with pytest.raises(ValueError):
+            PathLossModel(NR_N261).path_loss_db(0.0)
+
+
+class TestBlockage:
+    def test_stationary_rarely_blocks(self):
+        model = BlockageModel()
+        rng = np.random.default_rng(0)
+        series = model.simulate(300.0, speed_mps=0.0, rng=rng)
+        assert series.mean() < 0.01
+
+    def test_walking_blocks_sometimes(self):
+        model = BlockageModel()
+        rng = np.random.default_rng(1)
+        series = model.simulate(600.0, speed_mps=1.5, rng=rng)
+        assert 0.01 < series.mean() < 0.6
+
+    def test_faster_motion_blocks_more(self):
+        model = BlockageModel()
+        slow = model.simulate(600.0, 0.5, rng=np.random.default_rng(2)).mean()
+        fast = model.simulate(600.0, 3.0, rng=np.random.default_rng(2)).mean()
+        assert fast > slow
+
+    def test_recovery_happens(self):
+        model = BlockageModel(recovery_s=1.0)
+        rng = np.random.default_rng(3)
+        state = True
+        steps_to_clear = 0
+        while state and steps_to_clear < 1000:
+            state = model.step(state, 0.0, 1.0, rng)
+            steps_to_clear += 1
+        assert steps_to_clear < 50
+
+    def test_invalid_inputs(self):
+        model = BlockageModel()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            model.step(False, -1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            model.step(False, 1.0, 0.0, rng)
+        with pytest.raises(ValueError):
+            model.simulate(0.0, 1.0)

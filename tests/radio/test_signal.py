@@ -1,0 +1,77 @@
+"""Tests for repro.radio.signal."""
+
+import numpy as np
+import pytest
+
+from repro.radio.bands import LTE_1900, NR_N71, NR_N261
+from repro.radio.signal import (
+    RSRP_MAX_DBM,
+    RSRP_MIN_DBM,
+    RsrpProcess,
+    rsrp_at_distance,
+)
+
+
+class TestRsrpAtDistance:
+    def test_within_clamp_range(self):
+        for d in (10.0, 100.0, 1000.0):
+            value = rsrp_at_distance(NR_N261, d)
+            assert RSRP_MIN_DBM <= value <= RSRP_MAX_DBM
+
+    def test_decreases_with_distance(self):
+        near = rsrp_at_distance(NR_N261, 30.0)
+        far = rsrp_at_distance(NR_N261, 300.0)
+        assert near > far
+
+    def test_field_typical_mmwave_values(self):
+        # Fig. 13's x-axis: mmWave RSRP roughly -110..-60 dBm.
+        assert -85 <= rsrp_at_distance(NR_N261, 50.0) <= -60
+        assert -110 <= rsrp_at_distance(NR_N261, 300.0) <= -80
+
+    def test_lowband_carries_further(self):
+        assert rsrp_at_distance(NR_N71, 2000.0) > rsrp_at_distance(NR_N261, 2000.0)
+
+
+class TestRsrpProcess:
+    def test_reproducible_with_seed(self):
+        a = RsrpProcess(NR_N261, seed=4).simulate(np.full(50, 100.0), speed_mps=1.0)
+        b = RsrpProcess(NR_N261, seed=4).simulate(np.full(50, 100.0), speed_mps=1.0)
+        assert np.array_equal(a, b)
+
+    def test_mmwave_more_volatile_than_lte(self):
+        distances = np.full(600, 150.0)
+        mm = RsrpProcess(NR_N261, seed=1).simulate(distances, speed_mps=1.5)
+        lte = RsrpProcess(LTE_1900, seed=1).simulate(distances, speed_mps=1.5)
+        assert np.std(mm) > np.std(lte)
+
+    def test_stationary_mmwave_stable(self):
+        series = RsrpProcess(NR_N261, seed=2).simulate(np.full(300, 80.0), speed_mps=0.0)
+        # Controlled LoS holds (paper's power experiments): no deep fades.
+        assert np.percentile(series, 5) > np.median(series) - 15.0
+
+    def test_blockage_produces_deep_fades_when_walking(self):
+        series = RsrpProcess(NR_N261, seed=3, dt_s=1.0).simulate(
+            np.full(900, 80.0), speed_mps=2.0
+        )
+        median = np.median(series)
+        assert series.min() < median - 15.0
+
+    def test_blockage_ramp_is_gradual(self):
+        # Consecutive-sample drops stay well below the full fade depth.
+        process = RsrpProcess(NR_N261, seed=5, dt_s=1.0)
+        series = process.simulate(np.full(900, 80.0), speed_mps=2.0)
+        steps = np.abs(np.diff(series))
+        assert np.max(steps) < 35.0
+
+    def test_clamped_to_range(self):
+        series = RsrpProcess(NR_N261, seed=6).simulate(np.full(100, 5000.0))
+        assert series.min() >= RSRP_MIN_DBM
+        assert series.max() <= RSRP_MAX_DBM
+
+    def test_empty_distances_raise(self):
+        with pytest.raises(ValueError):
+            RsrpProcess(NR_N261).simulate(np.array([]))
+
+    def test_invalid_dt_raises(self):
+        with pytest.raises(ValueError):
+            RsrpProcess(NR_N261, dt_s=0.0)

@@ -1,0 +1,67 @@
+"""Tests for repro.radio.towers."""
+
+import pytest
+
+from repro.radio.bands import LTE_1900, NR_N71, NR_N261
+from repro.radio.towers import Tower, TowerGrid
+
+
+class TestTower:
+    def test_distance(self):
+        tower = Tower("t0", 0.0, 0.0, NR_N261)
+        assert tower.distance_to(3.0, 4.0) == pytest.approx(5.0)
+
+    def test_coverage_from_band(self):
+        tower = Tower("t0", 0.0, 0.0, NR_N261)
+        assert tower.coverage_m == pytest.approx(350.0)
+
+
+class TestTowerGrid:
+    def test_serving_tower_is_nearest(self):
+        grid = TowerGrid()
+        grid.add(Tower("a", 0.0, 0.0, NR_N261))
+        grid.add(Tower("b", 200.0, 0.0, NR_N261))
+        serving = grid.serving_tower(150.0, 0.0, NR_N261)
+        assert serving is not None
+        assert serving[0].tower_id == "b"
+        assert serving[1] == pytest.approx(50.0)
+
+    def test_out_of_coverage_returns_none(self):
+        grid = TowerGrid()
+        grid.add(Tower("a", 0.0, 0.0, NR_N261))
+        assert grid.serving_tower(5000.0, 0.0, NR_N261) is None
+
+    def test_band_filtering(self):
+        grid = TowerGrid()
+        grid.add(Tower("mm", 0.0, 0.0, NR_N261))
+        grid.add(Tower("lb", 10.0, 0.0, NR_N71))
+        serving = grid.serving_tower(0.0, 0.0, NR_N71)
+        assert serving[0].tower_id == "lb"
+
+    def test_duplicate_id_rejected(self):
+        grid = TowerGrid()
+        grid.add(Tower("a", 0.0, 0.0, NR_N261))
+        with pytest.raises(ValueError):
+            grid.add(Tower("a", 1.0, 1.0, NR_N261))
+
+    def test_uniform_grid_count(self):
+        grid = TowerGrid.uniform_grid(LTE_1900, extent_m=2000.0, spacing_m=1000.0)
+        assert len(grid.towers) == 4
+
+    def test_uniform_grid_covers_center(self):
+        grid = TowerGrid.uniform_grid(NR_N71, extent_m=4000.0, spacing_m=2000.0)
+        assert grid.serving_tower(2000.0, 2000.0, NR_N71) is not None
+
+    def test_along_route_count_and_spread(self):
+        waypoints = [(0.0, 0.0), (10000.0, 0.0)]
+        grid = TowerGrid.along_route(NR_N71, waypoints, count=5, seed=1)
+        xs = sorted(t.x_m for t in grid.towers)
+        assert len(xs) == 5
+        # Roughly even spread along the line.
+        assert xs[0] < 2000.0 and xs[-1] > 8000.0
+
+    def test_along_route_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            TowerGrid.along_route(NR_N71, [(0, 0)], count=2)
+        with pytest.raises(ValueError):
+            TowerGrid.along_route(NR_N71, [(0, 0), (1, 1)], count=0)

@@ -1,0 +1,128 @@
+"""Tests for repro.rrc.machine."""
+
+import pytest
+
+from repro.rrc.machine import RRCStateMachine
+from repro.rrc.parameters import get_parameters
+from repro.rrc.states import RRCState
+
+
+def make_machine(key="verizon-nsa-mmwave", seed=0):
+    return RRCStateMachine(get_parameters(key), seed=seed)
+
+
+class TestStateTimeline:
+    def test_initial_state_is_idle(self):
+        machine = make_machine()
+        assert machine.state_at(0.0) is RRCState.IDLE
+
+    def test_connected_right_after_packet(self):
+        machine = make_machine()
+        machine.deliver_packet(0.0)
+        t = machine.last_activity_ms + 50.0
+        assert machine.state_at(t) is RRCState.CONNECTED
+
+    def test_tail_after_cr_window(self):
+        machine = make_machine()
+        machine.deliver_packet(0.0)
+        t = machine.last_activity_ms + 5000.0
+        assert machine.state_at(t) is RRCState.CONNECTED_TAIL
+
+    def test_idle_after_tail_nsa(self):
+        machine = make_machine()
+        machine.deliver_packet(0.0)
+        t = machine.last_activity_ms + 11000.0
+        assert machine.state_at(t) is RRCState.IDLE
+
+    def test_sa_passes_through_inactive(self):
+        machine = make_machine("tmobile-sa-lowband")
+        machine.deliver_packet(0.0)
+        base = machine.last_activity_ms
+        assert machine.state_at(base + 11000.0) is RRCState.INACTIVE
+        assert machine.state_at(base + 16000.0) is RRCState.IDLE
+
+    def test_time_backwards_raises(self):
+        machine = make_machine()
+        machine.deliver_packet(1000.0)
+        with pytest.raises(ValueError):
+            machine.state_at(0.0)
+
+    def test_reset_returns_to_idle(self):
+        machine = make_machine()
+        machine.deliver_packet(0.0)
+        machine.reset()
+        assert machine.state_at(0.0) is RRCState.IDLE
+
+
+class TestRadioDelays:
+    def test_connected_packet_no_delay(self):
+        machine = make_machine()
+        machine.deliver_packet(0.0)
+        delay = machine.deliver_packet(machine.last_activity_ms + 10.0)
+        assert delay == 0.0
+
+    def test_tail_packet_bounded_by_drx(self):
+        params = get_parameters("verizon-nsa-mmwave")
+        machine = make_machine()
+        machine.deliver_packet(0.0)
+        delay = machine.deliver_packet(machine.last_activity_ms + 5000.0)
+        assert 0.0 <= delay <= params.long_drx_ms
+
+    def test_idle_packet_pays_promotion(self):
+        params = get_parameters("verizon-nsa-mmwave")
+        machine = make_machine()
+        machine.deliver_packet(0.0)
+        delay = machine.deliver_packet(machine.last_activity_ms + 20000.0)
+        assert delay >= params.promo_5g_ms
+        assert delay <= params.promo_5g_ms + params.idle_drx_ms
+
+    def test_sa_inactive_resume_cheap(self):
+        params = get_parameters("tmobile-sa-lowband")
+        machine = make_machine("tmobile-sa-lowband")
+        machine.deliver_packet(0.0)
+        delay = machine.deliver_packet(machine.last_activity_ms + 12000.0)
+        assert delay < params.promo_5g_ms
+        assert delay >= params.inactive_resume_ms
+
+    def test_delays_reproducible_with_seed(self):
+        delays_a, delays_b = [], []
+        for target in (delays_a, delays_b):
+            machine = make_machine(seed=42)
+            machine.deliver_packet(0.0)
+            for _ in range(5):
+                target.append(
+                    machine.deliver_packet(machine.last_activity_ms + 20000.0)
+                )
+        assert delays_a == delays_b
+
+
+class TestSchedule:
+    def test_schedule_ordering_nsa(self):
+        machine = make_machine()
+        schedule = machine.schedule(15000.0)
+        states = [s for _, _, s in schedule]
+        assert states[0] is RRCState.CONNECTED
+        assert RRCState.CONNECTED_TAIL in states
+        assert states[-1] is RRCState.IDLE
+
+    def test_schedule_includes_inactive_for_sa(self):
+        machine = make_machine("tmobile-sa-lowband")
+        states = [s for _, _, s in machine.schedule(20000.0)]
+        assert RRCState.INACTIVE in states
+
+    def test_schedule_intervals_contiguous(self):
+        machine = make_machine()
+        schedule = machine.schedule(12000.0)
+        for (s0, e0, _), (s1, _, _) in zip(schedule, schedule[1:]):
+            assert e0 == pytest.approx(s1)
+        assert schedule[0][0] == 0.0
+        assert schedule[-1][1] == pytest.approx(12000.0)
+
+    def test_horizon_clamps(self):
+        machine = make_machine()
+        schedule = machine.schedule(50.0)
+        assert schedule[-1][1] == pytest.approx(50.0)
+
+    def test_invalid_horizon_raises(self):
+        with pytest.raises(ValueError):
+            make_machine().schedule(0.0)

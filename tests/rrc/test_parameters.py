@@ -1,0 +1,70 @@
+"""Tests for repro.rrc.parameters (Table 7 fidelity)."""
+
+import pytest
+
+from repro.rrc.parameters import RRC_PARAMETERS, RRCParameters, get_parameters
+
+
+class TestTable7:
+    def test_all_six_configurations_present(self):
+        assert len(RRC_PARAMETERS) == 6
+
+    def test_sa_values_verbatim(self):
+        sa = get_parameters("tmobile-sa-lowband")
+        assert sa.inactivity_ms == 10400.0
+        assert sa.long_drx_ms == 40.0
+        assert sa.idle_drx_ms == 1250.0
+        assert sa.promo_5g_ms == 341.0
+        assert sa.promo_4g_ms is None
+
+    def test_verizon_mmwave_values_verbatim(self):
+        mm = get_parameters("verizon-nsa-mmwave")
+        assert mm.inactivity_ms == 10500.0
+        assert mm.long_drx_ms == 320.0
+        assert mm.idle_drx_ms == 1280.0
+        assert mm.promo_4g_ms == 396.0
+        assert mm.promo_5g_ms == 1907.0
+
+    def test_tmobile_4g_short_tail(self):
+        # T-Mobile 4G's 5 s tail is the outlier in Table 7.
+        assert get_parameters("tmobile-lte").inactivity_ms == 5000.0
+
+    def test_only_sa_has_inactive_state(self):
+        for key, params in RRC_PARAMETERS.items():
+            if key == "tmobile-sa-lowband":
+                assert params.has_inactive_state
+            else:
+                assert not params.has_inactive_state
+
+    def test_sa_inactive_dwell_is_5s(self):
+        assert get_parameters("tmobile-sa-lowband").inactive_duration_ms == 5000.0
+
+    def test_secondary_tails_on_nsa_lowband(self):
+        assert get_parameters("tmobile-nsa-lowband").secondary_tail_ms == 12120.0
+        assert get_parameters("verizon-nsa-lowband").secondary_tail_ms == 18800.0
+
+    def test_promotion_delay_prefers_5g(self):
+        nsa = get_parameters("tmobile-nsa-lowband")
+        assert nsa.promotion_delay_ms == 1440.0
+        lte = get_parameters("verizon-lte")
+        assert lte.promotion_delay_ms == 265.0
+
+    def test_sa_promotion_far_cheaper_than_nsa(self):
+        # SA promotes directly to NR; NSA goes through the LTE anchor.
+        sa = get_parameters("tmobile-sa-lowband").promotion_delay_ms
+        nsa = get_parameters("tmobile-nsa-lowband").promotion_delay_ms
+        assert sa < nsa / 3.0
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            get_parameters("unknown")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RRCParameters(
+                network_key="x", inactivity_ms=-1.0, long_drx_ms=1.0, idle_drx_ms=1.0, promo_4g_ms=1.0
+            )
+        with pytest.raises(ValueError):
+            RRCParameters(
+                network_key="x", inactivity_ms=1.0, long_drx_ms=1.0, idle_drx_ms=1.0
+            )

@@ -1,0 +1,95 @@
+"""Tests for repro.rrc.probe (RRC-Probe inference)."""
+
+import numpy as np
+import pytest
+
+from repro.rrc.parameters import get_parameters
+from repro.rrc.probe import RRCProbe
+
+SWEEP = np.arange(1.0, 25.0, 1.0)
+
+
+def infer(key, seed=1, packets=20):
+    probe = RRCProbe(get_parameters(key), seed=seed)
+    return probe.sweep(SWEEP, packets_per_interval=packets)
+
+
+class TestInference:
+    def test_inactivity_timer_recovered_within_resolution(self):
+        # On NSA low-band the LTE anchor leg hides the primary tail, so
+        # the probe observes the *secondary* tail (Table 7's brackets).
+        for key in ("verizon-nsa-mmwave", "tmobile-nsa-lowband", "tmobile-lte"):
+            result = infer(key)
+            params = get_parameters(key)
+            apparent = params.secondary_tail_ms or params.inactivity_ms
+            assert result.inferred["inactivity_ms"] == pytest.approx(apparent, abs=1000.0)
+
+    def test_secondary_tail_observed_on_nsa_lowband(self):
+        for key in ("tmobile-nsa-lowband", "verizon-nsa-lowband"):
+            result = infer(key)
+            true = get_parameters(key).secondary_tail_ms
+            assert result.inferred["inactivity_ms"] == pytest.approx(true, abs=1000.0)
+
+    def test_sa_inactive_state_detected(self):
+        result = infer("tmobile-sa-lowband")
+        assert result.inferred["has_intermediate"] == 1.0
+        assert result.inferred["intermediate_duration_ms"] == pytest.approx(5000.0, abs=1500.0)
+
+    def test_no_intermediate_without_secondary_states(self):
+        for key in ("verizon-nsa-mmwave", "verizon-lte"):
+            assert infer(key).inferred["has_intermediate"] == 0.0
+
+    def test_promotion_delay_recovered(self):
+        for key in ("verizon-nsa-mmwave", "tmobile-sa-lowband", "verizon-lte"):
+            result = infer(key)
+            true = get_parameters(key).promotion_delay_ms
+            assert result.inferred["promotion_ms"] == pytest.approx(true, rel=0.25)
+
+    def test_long_drx_recovered(self):
+        result = infer("verizon-nsa-mmwave")
+        assert result.inferred["long_drx_ms"] == pytest.approx(320.0, rel=0.3)
+
+    def test_idle_drx_recovered(self):
+        result = infer("verizon-nsa-mmwave", packets=30)
+        assert result.inferred["idle_drx_ms"] == pytest.approx(1280.0, rel=0.3)
+
+    def test_sa_resume_much_cheaper_than_promotion(self):
+        result = infer("tmobile-sa-lowband")
+        assert result.inferred["intermediate_resume_ms"] < result.inferred["promotion_ms"]
+
+
+class TestSweepMechanics:
+    def test_sample_counts(self):
+        result = infer("verizon-lte", packets=10)
+        assert len(result.samples) == len(SWEEP) * 10
+
+    def test_rtt_grows_across_tail_boundary(self):
+        result = infer("verizon-nsa-mmwave")
+        medians = result.median_rtt_by_interval()
+        assert medians[18.0] > medians[2.0] + 500.0
+
+    def test_short_sweep_never_leaves_connected(self):
+        probe = RRCProbe(get_parameters("verizon-nsa-mmwave"), seed=0)
+        result = probe.sweep([1.0, 2.0, 3.0], packets_per_interval=10)
+        assert np.isnan(result.inferred["inactivity_ms"])
+
+    def test_invalid_interval_raises(self):
+        probe = RRCProbe(get_parameters("verizon-lte"))
+        with pytest.raises(ValueError):
+            probe.sweep([0.0], packets_per_interval=5)
+
+    def test_too_few_packets_raises(self):
+        probe = RRCProbe(get_parameters("verizon-lte"))
+        with pytest.raises(ValueError):
+            probe.sweep([1.0], packets_per_interval=2)
+
+    def test_invalid_probe_config(self):
+        with pytest.raises(ValueError):
+            RRCProbe(get_parameters("verizon-lte"), base_rtt_ms=0.0)
+        with pytest.raises(ValueError):
+            RRCProbe(get_parameters("verizon-lte"), jitter_ms=-1.0)
+
+    def test_true_states_recorded(self):
+        result = infer("tmobile-sa-lowband")
+        states = {s.state.value for s in result.samples}
+        assert "RRC_INACTIVE" in states

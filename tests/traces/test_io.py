@@ -1,0 +1,71 @@
+"""Tests for repro.traces.io (CSV round-tripping)."""
+
+import numpy as np
+import pytest
+
+from repro.traces.io import (
+    load_throughput_trace,
+    load_walking_trace,
+    save_throughput_trace,
+    save_walking_trace,
+)
+from repro.traces.schema import ThroughputTrace, WalkingTrace
+
+
+class TestThroughputRoundTrip:
+    def test_roundtrip_with_rsrp(self, tmp_path):
+        trace = ThroughputTrace(
+            "t1", "5G", np.array([10.5, 20.25, 0.0]), rsrp_dbm=np.array([-80.0, -90.0, -120.0])
+        )
+        path = tmp_path / "t1.csv"
+        save_throughput_trace(trace, path)
+        loaded = load_throughput_trace(path)
+        assert loaded.name == "t1"
+        assert loaded.tech == "5G"
+        assert np.allclose(loaded.throughput_mbps, trace.throughput_mbps, atol=1e-3)
+        assert np.allclose(loaded.rsrp_dbm, trace.rsrp_dbm, atol=0.01)
+
+    def test_roundtrip_without_rsrp(self, tmp_path):
+        trace = ThroughputTrace("t2", "4G", np.array([5.0, 6.0]), dt_s=2.0)
+        path = tmp_path / "t2.csv"
+        save_throughput_trace(trace, path)
+        loaded = load_throughput_trace(path)
+        assert loaded.rsrp_dbm is None
+        assert loaded.dt_s == 2.0
+
+    def test_creates_parent_dirs(self, tmp_path):
+        trace = ThroughputTrace("t", "5G", np.array([1.0]))
+        path = tmp_path / "a" / "b" / "t.csv"
+        save_throughput_trace(trace, path)
+        assert path.exists()
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t_s,throughput_mbps\n0,1\n")
+        with pytest.raises(ValueError):
+            load_throughput_trace(path)
+
+
+class TestWalkingRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        n = 8
+        trace = WalkingTrace(
+            name="w1",
+            network_key="verizon-nsa-mmwave",
+            device_name="S10",
+            city="Ann Arbor",
+            band_class="mmWave",
+            times_s=np.arange(n) * 0.1,
+            dl_mbps=np.linspace(0, 700, n),
+            ul_mbps=np.zeros(n),
+            rsrp_dbm=np.linspace(-80, -100, n),
+            power_mw=np.linspace(3000, 5000, n),
+        )
+        path = tmp_path / "w1.csv"
+        save_walking_trace(trace, path)
+        loaded = load_walking_trace(path)
+        assert loaded.name == "w1"
+        assert loaded.city == "Ann Arbor"
+        assert loaded.band_class == "mmWave"
+        assert np.allclose(loaded.dl_mbps, trace.dl_mbps, atol=1e-3)
+        assert np.allclose(loaded.power_mw, trace.power_mw, atol=0.01)

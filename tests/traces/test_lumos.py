@@ -1,0 +1,80 @@
+"""Tests for repro.traces.lumos (corpus statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.traces.lumos import LumosConfig, generate_lumos_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_lumos_corpus(
+        LumosConfig(n_5g=12, n_4g=12, duration_s=200, seed=7)
+    )
+
+
+class TestCorpusStatistics:
+    def test_counts_and_durations(self, corpus):
+        traces_5g, traces_4g = corpus
+        assert len(traces_5g) == 12
+        assert len(traces_4g) == 12
+        assert all(len(t) == 200 for t in traces_5g + traces_4g)
+
+    def test_default_config_matches_dataset(self):
+        config = LumosConfig()
+        assert config.n_5g == 121
+        assert config.n_4g == 175
+
+    def test_median_anchored_to_ladders(self, corpus):
+        traces_5g, traces_4g = corpus
+        pooled_5g = np.concatenate([t.throughput_mbps for t in traces_5g])
+        pooled_4g = np.concatenate([t.throughput_mbps for t in traces_4g])
+        assert np.median(pooled_5g) == pytest.approx(160.0, rel=0.02)
+        assert np.median(pooled_4g) == pytest.approx(20.0, rel=0.02)
+
+    def test_mean_ratio_about_10x(self, corpus):
+        traces_5g, traces_4g = corpus
+        mean_5g = np.mean([t.mean_mbps for t in traces_5g])
+        mean_4g = np.mean([t.mean_mbps for t in traces_4g])
+        assert 5.0 <= mean_5g / mean_4g <= 15.0
+
+    def test_5g_more_volatile(self, corpus):
+        traces_5g, traces_4g = corpus
+        cv_5g = np.mean([t.throughput_mbps.std() / max(t.mean_mbps, 1e-9) for t in traces_5g])
+        cv_4g = np.mean([t.throughput_mbps.std() / max(t.mean_mbps, 1e-9) for t in traces_4g])
+        assert cv_5g > cv_4g
+
+    def test_5g_craters_exist(self, corpus):
+        # mmWave traces must spend meaningful time near zero.
+        traces_5g, _ = corpus
+        pooled = np.concatenate([t.throughput_mbps for t in traces_5g])
+        assert np.mean(pooled < 20.0) > 0.05
+
+    def test_rsrp_co_recorded(self, corpus):
+        traces_5g, _ = corpus
+        assert all(t.rsrp_dbm is not None for t in traces_5g)
+
+    def test_reproducible(self):
+        config = LumosConfig(n_5g=2, n_4g=2, duration_s=50, seed=3)
+        a5, a4 = generate_lumos_corpus(config)
+        b5, b4 = generate_lumos_corpus(config)
+        assert np.array_equal(a5[0].throughput_mbps, b5[0].throughput_mbps)
+        assert np.array_equal(a4[1].throughput_mbps, b4[1].throughput_mbps)
+
+    def test_techs_labeled(self, corpus):
+        traces_5g, traces_4g = corpus
+        assert all(t.tech == "5G" for t in traces_5g)
+        assert all(t.tech == "4G" for t in traces_4g)
+
+    def test_empty_counts_allowed(self):
+        traces_5g, traces_4g = generate_lumos_corpus(
+            LumosConfig(n_5g=0, n_4g=1, duration_s=50, seed=1)
+        )
+        assert traces_5g == []
+        assert len(traces_4g) == 1
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            LumosConfig(n_5g=-1)
+        with pytest.raises(ValueError):
+            LumosConfig(duration_s=5)

@@ -1,0 +1,83 @@
+"""Tests for repro.traces.schema."""
+
+import numpy as np
+import pytest
+
+from repro.traces.schema import ThroughputTrace, WalkingTrace
+
+
+class TestThroughputTrace:
+    def test_basic_stats(self):
+        trace = ThroughputTrace("t", "5G", np.array([10.0, 20.0, 30.0]))
+        assert trace.mean_mbps == pytest.approx(20.0)
+        assert trace.median_mbps == pytest.approx(20.0)
+        assert trace.duration_s == pytest.approx(3.0)
+        assert len(trace) == 3
+
+    def test_throughput_at_holds_and_wraps(self):
+        trace = ThroughputTrace("t", "5G", np.array([1.0, 2.0, 3.0]))
+        assert trace.throughput_at(0.5) == 1.0
+        assert trace.throughput_at(2.9) == 3.0
+        assert trace.throughput_at(3.1) == 1.0  # wraps
+
+    def test_custom_dt(self):
+        trace = ThroughputTrace("t", "4G", np.array([5.0, 6.0]), dt_s=2.0)
+        assert trace.duration_s == 4.0
+        assert trace.throughput_at(3.0) == 6.0
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputTrace("t", "5G", np.array([-1.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputTrace("t", "5G", np.array([]))
+
+    def test_rsrp_must_align(self):
+        with pytest.raises(ValueError):
+            ThroughputTrace("t", "5G", np.array([1.0, 2.0]), rsrp_dbm=np.array([-80.0]))
+
+    def test_negative_time_raises(self):
+        trace = ThroughputTrace("t", "5G", np.array([1.0]))
+        with pytest.raises(ValueError):
+            trace.throughput_at(-0.1)
+
+
+class TestWalkingTrace:
+    def _make(self, n=10):
+        return WalkingTrace(
+            name="w",
+            network_key="verizon-nsa-mmwave",
+            device_name="S20U",
+            city="Minneapolis",
+            times_s=np.arange(n) * 0.1,
+            dl_mbps=np.full(n, 100.0),
+            ul_mbps=np.full(n, 10.0),
+            rsrp_dbm=np.full(n, -85.0),
+            power_mw=np.full(n, 4000.0),
+        )
+
+    def test_duration(self):
+        assert self._make(11).duration_s == pytest.approx(1.0)
+
+    def test_features_shape(self):
+        features = self._make(10).features()
+        assert features.shape == (10, 2)
+        assert features[0, 0] == pytest.approx(110.0)  # dl + ul
+        assert features[0, 1] == pytest.approx(-85.0)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            WalkingTrace(
+                name="w", network_key="k", device_name="d", city="c",
+                times_s=np.arange(5), dl_mbps=np.zeros(4), ul_mbps=np.zeros(5),
+                rsrp_dbm=np.zeros(5), power_mw=np.zeros(5),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WalkingTrace(
+                name="w", network_key="k", device_name="d", city="c",
+                times_s=np.array([]), dl_mbps=np.array([]), ul_mbps=np.array([]),
+                rsrp_dbm=np.array([]), power_mw=np.array([]),
+            )

@@ -1,0 +1,38 @@
+"""Tests for repro.transport.aggregate."""
+
+import pytest
+
+from repro.transport.aggregate import MultiConnection
+from repro.transport.flow import TcpFlow
+from repro.transport.tuning import DEFAULT_KERNEL
+
+
+class TestMultiConnection:
+    def test_saturates_high_capacity(self):
+        # Speedtest's 15-25 connections overcome the per-socket cap.
+        agg = MultiConnection(n_connections=20, rtt_ms=30.0, seed=0)
+        result = agg.run(3000.0, duration_s=12.0)
+        assert result.throughput_mbps > 0.85 * 3000.0
+
+    def test_beats_single_connection(self):
+        single = TcpFlow(rtt_ms=40.0, kernel=DEFAULT_KERNEL, seed=1).steady_state_mbps(3000.0)
+        multi = MultiConnection(n_connections=16, rtt_ms=40.0, seed=1).run(3000.0).throughput_mbps
+        assert multi > 2.0 * single
+
+    def test_distance_insensitive(self):
+        # Fig. 3: multi-connection throughput stays flat across RTTs.
+        near = MultiConnection(n_connections=20, rtt_ms=10.0, seed=2).run(3000.0).throughput_mbps
+        far = MultiConnection(n_connections=20, rtt_ms=60.0, seed=2).run(3000.0).throughput_mbps
+        assert far > 0.85 * near
+
+    def test_single_connection_degenerate(self):
+        agg = MultiConnection(n_connections=1, rtt_ms=30.0, seed=3)
+        single = TcpFlow(rtt_ms=30.0, kernel=DEFAULT_KERNEL, seed=None)
+        result = agg.run(1000.0, duration_s=8.0)
+        assert result.throughput_mbps <= 1000.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MultiConnection(n_connections=0, rtt_ms=10.0)
+        with pytest.raises(ValueError):
+            MultiConnection(n_connections=2, rtt_ms=10.0).run(0.0)

@@ -1,0 +1,58 @@
+"""Tests for repro.transport.cubic."""
+
+import pytest
+
+from repro.transport.cubic import CUBIC_BETA, CubicState, MSS_BYTES
+
+
+class TestCubic:
+    def test_slow_start_doubles(self):
+        state = CubicState(cwnd_segments=10.0)
+        state.on_ack_interval(0.03)
+        assert state.cwnd_segments == pytest.approx(20.0)
+
+    def test_slow_start_ends_at_ssthresh(self):
+        state = CubicState(cwnd_segments=10.0, ssthresh_segments=15.0)
+        state.on_ack_interval(0.03)
+        assert state.cwnd_segments == pytest.approx(15.0)
+        assert not state.in_slow_start
+
+    def test_loss_applies_beta(self):
+        state = CubicState(cwnd_segments=100.0)
+        state.on_loss()
+        assert state.cwnd_segments == pytest.approx(100.0 * CUBIC_BETA)
+        assert state.w_max_segments == pytest.approx(100.0)
+
+    def test_window_recovers_to_wmax_at_k(self):
+        state = CubicState(cwnd_segments=1000.0)
+        state.on_loss()
+        k = state.k_seconds()
+        state.on_ack_interval(k)
+        assert state.cwnd_segments == pytest.approx(1000.0, rel=0.01)
+
+    def test_growth_is_cubic_shape(self):
+        state = CubicState(cwnd_segments=1000.0)
+        state.on_loss()
+        # Concave approach to w_max: early growth slower than late.
+        start = state.cwnd_segments
+        state.on_ack_interval(1.0)
+        early = state.cwnd_segments - start
+        state.on_ack_interval(1.0)
+        # Near the plateau the growth flattens.
+        assert state.cwnd_segments <= state.w_max_segments * 1.5
+
+    def test_window_floor(self):
+        state = CubicState(cwnd_segments=2.0)
+        state.on_loss()
+        assert state.cwnd_segments >= 2.0
+
+    def test_cwnd_bytes(self):
+        state = CubicState(cwnd_segments=10.0)
+        assert state.cwnd_bytes() == pytest.approx(10.0 * MSS_BYTES)
+
+    def test_negative_interval_raises(self):
+        with pytest.raises(ValueError):
+            CubicState().on_ack_interval(-1.0)
+
+    def test_k_zero_before_any_loss(self):
+        assert CubicState().k_seconds() == 0.0

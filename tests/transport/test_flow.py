@@ -1,0 +1,86 @@
+"""Tests for repro.transport.flow (the Fig. 3/8 mechanics)."""
+
+import pytest
+
+from repro.transport.flow import TcpFlow, UdpFlow, bandwidth_delay_product_bytes
+from repro.transport.tuning import DEFAULT_KERNEL, TUNED_KERNEL
+
+
+class TestBdp:
+    def test_known_value(self):
+        # 1000 Mbps x 40 ms = 5 MB.
+        assert bandwidth_delay_product_bytes(1000.0, 40.0) == pytest.approx(5e6)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bandwidth_delay_product_bytes(0.0, 10.0)
+
+
+class TestUdp:
+    def test_tracks_capacity(self):
+        result = UdpFlow().run(2000.0, duration_s=5.0)
+        assert result.throughput_mbps == pytest.approx(2000.0 * 0.98, rel=0.01)
+
+    def test_target_respected(self):
+        result = UdpFlow(target_mbps=100.0).run(2000.0, duration_s=5.0)
+        assert result.throughput_mbps <= 100.0
+
+    def test_capacity_function(self):
+        result = UdpFlow().run(lambda t: 100.0 if t < 2.5 else 300.0, duration_s=5.0)
+        assert 150.0 < result.throughput_mbps < 250.0
+
+
+class TestTcpBufferLimit:
+    def test_default_kernel_caps_near_500mbps(self):
+        # The paper's finding: default tcp_wmem limits 1-TCP to <=500 Mbps.
+        flow = TcpFlow(rtt_ms=30.0, kernel=DEFAULT_KERNEL, seed=0)
+        rate = flow.steady_state_mbps(3000.0)
+        assert rate <= DEFAULT_KERNEL.max_rate_mbps(30.0) * 1.05
+        assert 350.0 < rate < 620.0
+
+    def test_tuning_recovers_2_to_3x(self):
+        default = TcpFlow(rtt_ms=30.0, kernel=DEFAULT_KERNEL, seed=0).steady_state_mbps(3000.0)
+        tuned = TcpFlow(rtt_ms=30.0, kernel=TUNED_KERNEL, seed=0).steady_state_mbps(3000.0)
+        assert 1.8 <= tuned / default <= 3.5
+
+    def test_throughput_decays_with_rtt(self):
+        # CUBIC epoch dynamics make adjacent RTTs noisy; the distance
+        # trend (Fig. 3/8) is asserted across a wide RTT spread with
+        # seed averaging.
+        def mean_rate(rtt):
+            return sum(
+                TcpFlow(rtt_ms=rtt, kernel=TUNED_KERNEL, seed=s).steady_state_mbps(2200.0)
+                for s in range(3)
+            ) / 3.0
+
+        near, mid, far = mean_rate(15.0), mean_rate(60.0), mean_rate(120.0)
+        assert near > far
+        assert mid > far
+
+    def test_tcp_below_capacity(self):
+        result = TcpFlow(rtt_ms=20.0, kernel=TUNED_KERNEL, seed=2).run(1000.0, duration_s=10.0)
+        assert result.throughput_mbps <= 1000.0
+
+    def test_low_capacity_fully_used(self):
+        # At modest capacity the buffer never binds; TCP saturates.
+        rate = TcpFlow(rtt_ms=20.0, kernel=DEFAULT_KERNEL, seed=3).steady_state_mbps(50.0)
+        assert rate == pytest.approx(50.0, rel=0.1)
+
+    def test_losses_counted(self):
+        result = TcpFlow(rtt_ms=20.0, kernel=TUNED_KERNEL, loss_rate=1e-4, seed=4).run(
+            2000.0, duration_s=10.0
+        )
+        assert result.loss_events > 0
+
+    def test_heavy_loss_hurts(self):
+        clean = TcpFlow(rtt_ms=30.0, kernel=TUNED_KERNEL, loss_rate=0.0, seed=5).steady_state_mbps(2000.0)
+        lossy = TcpFlow(rtt_ms=30.0, kernel=TUNED_KERNEL, loss_rate=5e-5, seed=5).steady_state_mbps(2000.0)
+        assert lossy < clean
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            TcpFlow(rtt_ms=0.0)
+        with pytest.raises(ValueError):
+            TcpFlow(rtt_ms=10.0, loss_rate=1.0)
+        with pytest.raises(ValueError):
+            TcpFlow(rtt_ms=10.0).run(100.0, duration_s=0.0)

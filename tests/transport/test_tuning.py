@@ -1,0 +1,34 @@
+"""Tests for repro.transport.tuning."""
+
+import pytest
+
+from repro.transport.tuning import DEFAULT_KERNEL, TUNED_KERNEL, KernelConfig
+
+
+class TestKernelConfig:
+    def test_default_is_linux_418(self):
+        assert DEFAULT_KERNEL.tcp_wmem_max_bytes == 4 * 1024 * 1024
+
+    def test_default_buffer_limited_ceiling_near_paper(self):
+        # ~533 Mbps at a 30 ms RTT: the paper's <=500 Mbps observation.
+        assert DEFAULT_KERNEL.max_rate_mbps(30.0) == pytest.approx(559.0, rel=0.05)
+
+    def test_tuned_covers_mmwave_bdp(self):
+        # Must exceed 3 Gbps at metro RTTs.
+        assert TUNED_KERNEL.max_rate_mbps(30.0) > 3000.0
+
+    def test_ceiling_inversely_proportional_to_rtt(self):
+        config = TUNED_KERNEL
+        assert config.max_rate_mbps(10.0) == pytest.approx(3 * config.max_rate_mbps(30.0), rel=0.01)
+
+    def test_usable_fraction(self):
+        config = KernelConfig(name="x", tcp_wmem_max_bytes=1000, usable_fraction=0.5)
+        assert config.effective_window_bytes == 500.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            KernelConfig(name="x", tcp_wmem_max_bytes=0)
+        with pytest.raises(ValueError):
+            KernelConfig(name="x", tcp_wmem_max_bytes=10, usable_fraction=0.0)
+        with pytest.raises(ValueError):
+            DEFAULT_KERNEL.max_rate_mbps(0.0)

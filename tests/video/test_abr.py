@@ -1,0 +1,192 @@
+"""Tests for the seven ABR algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.video.abr import ALL_ABR_NAMES, make_abr
+from repro.video.abr.base import ABRContext, harmonic_mean
+from repro.video.abr.bba import BBA
+from repro.video.abr.bola import BOLA
+from repro.video.abr.festive import FESTIVE
+from repro.video.abr.mpc import FastMPC, RobustMPC
+from repro.video.abr.rate import RateBased
+from repro.video.encoding import VideoManifest, build_ladder
+from repro.video.player import Player
+
+
+def make_context(buffer_s=10.0, last_track=0, history=None, chunk_index=0):
+    manifest = VideoManifest(ladder=build_ladder(160.0), chunk_s=4.0, n_chunks=30, vbr_sigma=0.0)
+    return ABRContext(
+        manifest=manifest,
+        chunk_index=chunk_index,
+        buffer_s=buffer_s,
+        last_track=last_track,
+        throughput_history=history or [],
+    )
+
+
+class TestHarmonicMean:
+    def test_known_value(self):
+        assert harmonic_mean([2.0, 4.0]) == pytest.approx(8.0 / 3.0)
+
+    def test_below_arithmetic_mean(self):
+        values = [10.0, 100.0, 1000.0]
+        assert harmonic_mean(values) < np.mean(values)
+
+    def test_ignores_zeros(self):
+        assert harmonic_mean([0.0, 4.0]) == 4.0
+
+    def test_empty_is_zero(self):
+        assert harmonic_mean([]) == 0.0
+
+
+class TestFactory:
+    def test_all_names_construct(self):
+        for name in ("bba", "rb", "bola", "festive", "fastmpc", "robustmpc", "pensieve"):
+            abr = make_abr(name)
+            assert hasattr(abr, "select")
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_abr("nope")
+
+    def test_seven_names_listed(self):
+        assert len(ALL_ABR_NAMES) == 7
+
+
+class TestBBA:
+    def test_low_buffer_lowest_track(self):
+        assert BBA().select(make_context(buffer_s=1.0)) == 0
+
+    def test_high_buffer_top_track(self):
+        context = make_context(buffer_s=25.0)
+        assert BBA().select(context) == context.n_tracks - 1
+
+    def test_monotone_in_buffer(self):
+        bba = BBA()
+        tracks = [bba.select(make_context(buffer_s=b)) for b in (2, 6, 10, 14, 25)]
+        assert all(a <= b for a, b in zip(tracks, tracks[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BBA(reservoir_s=0.0)
+
+
+class TestRateBased:
+    def test_no_history_lowest(self):
+        assert RateBased().select(make_context()) == 0
+
+    def test_picks_sustainable_track(self):
+        context = make_context(history=[100.0] * 5)
+        track = RateBased().select(context)
+        assert context.ladder[track] <= 100.0
+        assert context.ladder[min(track + 1, 5)] > 100.0 or track == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateBased(window=0)
+        with pytest.raises(ValueError):
+            RateBased(safety=0.0)
+
+
+class TestBOLA:
+    def test_low_buffer_conservative(self):
+        bola = BOLA()
+        low = bola.select(make_context(buffer_s=2.0))
+        bola.reset()
+        high = bola.select(make_context(buffer_s=20.0))
+        assert low <= high
+
+    def test_high_buffer_reaches_top(self):
+        bola = BOLA()
+        assert bola.select(make_context(buffer_s=24.0)) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BOLA(min_buffer_s=10.0, max_buffer_s=5.0)
+
+
+class TestFESTIVE:
+    def test_gradual_upswitch(self):
+        festive = FESTIVE()
+        festive.reset()
+        # Plenty of bandwidth, but climbing is at most one step at a time.
+        track = 0
+        for i in range(3):
+            context = make_context(
+                history=[400.0] * 10, last_track=track, chunk_index=i
+            )
+            new_track = festive.select(context)
+            assert new_track - track <= 1
+            track = new_track
+
+    def test_eventually_reaches_reference(self):
+        festive = FESTIVE()
+        festive.reset()
+        track = 0
+        for i in range(30):
+            context = make_context(
+                history=[400.0] * 10, last_track=track, chunk_index=i % 29
+            )
+            track = festive.select(context)
+        assert track == 5
+
+    def test_downswitch_immediate(self):
+        festive = FESTIVE()
+        festive.reset()
+        context = make_context(history=[5.0] * 10, last_track=4)
+        assert festive.select(context) == 3
+
+
+class TestMPC:
+    def test_plans_against_slow_link(self):
+        mpc = FastMPC()
+        mpc.reset()
+        context = make_context(buffer_s=4.0, history=[10.0] * 5, last_track=5)
+        # Downloading another 160 Mbps chunk at 10 Mbps would stall badly.
+        assert mpc.select(context) < 5
+
+    def test_upgrades_on_fast_link(self):
+        mpc = FastMPC()
+        mpc.reset()
+        context = make_context(buffer_s=10.0, history=[500.0] * 5, last_track=2)
+        assert mpc.select(context) > 2
+
+    def test_robust_more_conservative_than_fast(self, small_corpus, manifest_5g):
+        traces_5g, _ = small_corpus
+        player = Player(manifest_5g)
+        fast_rates, robust_rates = [], []
+        for trace in traces_5g:
+            fast = player.play(FastMPC(), trace.throughput_at)
+            robust = player.play(RobustMPC(), trace.throughput_at)
+            fast_rates.append(np.mean(fast.chunk_bitrates_mbps))
+            robust_rates.append(np.mean(robust.chunk_bitrates_mbps))
+        assert np.mean(robust_rates) <= np.mean(fast_rates)
+
+    def test_step_limit_respected(self):
+        mpc = FastMPC(step_limit=1)
+        mpc.reset()
+        context = make_context(buffer_s=12.0, history=[2000.0] * 5, last_track=0)
+        assert mpc.select(context) <= 1
+
+
+class TestPensieve:
+    def test_trains_and_selects(self):
+        pensieve = make_abr("pensieve")
+        context = make_context(buffer_s=10.0, history=[200.0] * 5, last_track=3)
+        track = pensieve.select(context)
+        assert 0 <= track < context.n_tracks
+
+    def test_aggressive_on_high_throughput(self):
+        pensieve = make_abr("pensieve")
+        context = make_context(buffer_s=10.0, history=[500.0] * 5, last_track=4)
+        assert pensieve.select(context) >= 3
+
+    def test_network_cached_across_instances(self):
+        from repro.video.abr.pensieve import Pensieve
+
+        a = Pensieve()
+        context = make_context(history=[100.0] * 5)
+        a.select(context)
+        assert Pensieve._CACHE is not None
+        assert (context.n_tracks, a.seed) in Pensieve._CACHE

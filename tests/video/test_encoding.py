@@ -1,0 +1,84 @@
+"""Tests for repro.video.encoding."""
+
+import pytest
+
+from repro.video.encoding import (
+    BitrateLadder,
+    LADDER_4G,
+    LADDER_5G,
+    VideoManifest,
+    build_ladder,
+)
+
+
+class TestLadder:
+    def test_paper_tops(self):
+        assert LADDER_5G.top_mbps == pytest.approx(160.0)
+        assert LADDER_4G.top_mbps == pytest.approx(20.0)
+
+    def test_six_tracks(self):
+        assert len(LADDER_5G) == 6
+
+    def test_adjacent_ratio_1_5(self):
+        for low, high in zip(LADDER_5G.bitrates_mbps, LADDER_5G.bitrates_mbps[1:]):
+            assert high / low == pytest.approx(1.5)
+
+    def test_index_for_rate(self):
+        ladder = build_ladder(160.0)
+        assert ladder.index_for_rate(1e9) == len(ladder) - 1
+        assert ladder.index_for_rate(0.001) == 0
+        mid = ladder.bitrates_mbps[3]
+        assert ladder.index_for_rate(mid + 0.1) == 3
+
+    def test_normalize(self):
+        assert LADDER_5G.normalize(160.0) == pytest.approx(1.0)
+        assert LADDER_5G.normalize(80.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_ladder(0.0)
+        with pytest.raises(ValueError):
+            build_ladder(100.0, n_tracks=1)
+        with pytest.raises(ValueError):
+            build_ladder(100.0, ratio=1.0)
+        with pytest.raises(ValueError):
+            BitrateLadder(bitrates_mbps=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            BitrateLadder(bitrates_mbps=(1.0,))
+
+
+class TestManifest:
+    def test_duration(self):
+        manifest = VideoManifest(ladder=LADDER_5G, chunk_s=4.0, n_chunks=75)
+        assert manifest.duration_s == 300.0
+
+    def test_chunk_sizes_near_nominal(self):
+        manifest = VideoManifest(ladder=LADDER_5G, chunk_s=4.0, n_chunks=30)
+        nominal = LADDER_5G.top_mbps * 4.0
+        sizes = [manifest.chunk_size_mbit(i, 5) for i in range(30)]
+        assert min(sizes) > 0.6 * nominal
+        assert max(sizes) < 1.6 * nominal
+
+    def test_sizes_deterministic_by_seed(self):
+        a = VideoManifest(ladder=LADDER_5G, n_chunks=10, seed=1)
+        b = VideoManifest(ladder=LADDER_5G, n_chunks=10, seed=1)
+        assert a.chunk_size_mbit(3, 2) == b.chunk_size_mbit(3, 2)
+
+    def test_higher_track_bigger_chunk(self):
+        manifest = VideoManifest(ladder=LADDER_5G, n_chunks=20)
+        for i in range(20):
+            sizes = manifest.track_sizes_mbit(i)
+            assert sizes[0] < sizes[-1]
+
+    def test_out_of_range_raises(self):
+        manifest = VideoManifest(ladder=LADDER_5G, n_chunks=5)
+        with pytest.raises(IndexError):
+            manifest.chunk_size_mbit(5, 0)
+        with pytest.raises(IndexError):
+            manifest.chunk_size_mbit(0, 6)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            VideoManifest(ladder=LADDER_5G, chunk_s=0.0)
+        with pytest.raises(ValueError):
+            VideoManifest(ladder=LADDER_5G, n_chunks=0)

@@ -1,0 +1,106 @@
+"""Tests for repro.video.player."""
+
+import numpy as np
+import pytest
+
+from repro.video.abr.base import ABRAlgorithm
+from repro.video.encoding import VideoManifest, build_ladder
+from repro.video.player import Player
+
+
+class FixedTrack(ABRAlgorithm):
+    """Always requests the same track."""
+
+    def __init__(self, track: int):
+        self.track = track
+        self.contexts = []
+
+    def select(self, context):
+        self.contexts.append(context)
+        return self.track
+
+
+@pytest.fixture
+def manifest():
+    return VideoManifest(ladder=build_ladder(160.0), chunk_s=4.0, n_chunks=20, vbr_sigma=0.0)
+
+
+class TestPlayback:
+    def test_fast_network_no_stalls(self, manifest):
+        player = Player(manifest)
+        result = player.play(FixedTrack(5), lambda t: 2000.0)
+        assert result.stall_s == 0.0
+        assert result.rebuffer_events == 0
+        assert len(result.chunk_tracks) == 20
+
+    def test_slow_network_stalls_at_top_track(self, manifest):
+        player = Player(manifest)
+        # Top track needs 160 Mbps; the link gives 40.
+        result = player.play(FixedTrack(5), lambda t: 40.0)
+        assert result.stall_s > 10.0
+        assert result.rebuffer_events >= 1
+
+    def test_bottom_track_survives_slow_network(self, manifest):
+        player = Player(manifest)
+        # Bottom track ~21 Mbps over a 40 Mbps link: no stalls.
+        result = player.play(FixedTrack(0), lambda t: 40.0)
+        assert result.stall_s == 0.0
+
+    def test_playback_duration_fixed(self, manifest):
+        player = Player(manifest)
+        result = player.play(FixedTrack(0), lambda t: 500.0)
+        assert result.playback_s == manifest.duration_s
+
+    def test_wall_clock_at_least_duration(self, manifest):
+        player = Player(manifest)
+        result = player.play(FixedTrack(3), lambda t: 100.0)
+        assert result.wall_clock_s >= manifest.duration_s * 0.5
+
+    def test_startup_recorded(self, manifest):
+        player = Player(manifest)
+        result = player.play(FixedTrack(0), lambda t: 100.0)
+        assert result.startup_s > 0.0
+
+    def test_download_timeline_energy_consistency(self, manifest):
+        player = Player(manifest)
+        result = player.play(FixedTrack(2), lambda t: 200.0)
+        # Total downloaded bits should equal sum of chunk sizes.
+        downloaded = result.download_rate_timeline.sum() * 0.1  # Mbit
+        expected = sum(
+            manifest.chunk_size_mbit(i, 2) for i in range(manifest.n_chunks)
+        )
+        assert downloaded == pytest.approx(expected, rel=0.05)
+
+    def test_context_fields_progress(self, manifest):
+        player = Player(manifest)
+        abr = FixedTrack(1)
+        player.play(abr, lambda t: 300.0)
+        indices = [c.chunk_index for c in abr.contexts]
+        assert indices == list(range(20))
+        clocks = [c.wall_clock_s for c in abr.contexts]
+        assert all(a <= b for a, b in zip(clocks, clocks[1:]))
+
+    def test_buffer_respects_cap(self, manifest):
+        player = Player(manifest, max_buffer_s=12.0)
+        abr = FixedTrack(0)
+        player.play(abr, lambda t: 5000.0)
+        buffers = [c.buffer_s for c in abr.contexts]
+        assert max(buffers) <= 12.0 + manifest.chunk_s
+
+    def test_invalid_track_raises(self, manifest):
+        player = Player(manifest)
+        with pytest.raises(ValueError):
+            player.play(FixedTrack(99), lambda t: 100.0)
+
+    def test_invalid_player_params(self, manifest):
+        with pytest.raises(ValueError):
+            Player(manifest, max_buffer_s=0.0)
+        with pytest.raises(ValueError):
+            Player(manifest, startup_buffer_s=0.0)
+
+    def test_stall_percent_property(self, manifest):
+        player = Player(manifest)
+        result = player.play(FixedTrack(5), lambda t: 30.0)
+        assert result.stall_percent == pytest.approx(
+            100.0 * result.stall_s / (result.stall_s + result.playback_s)
+        )

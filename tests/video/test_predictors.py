@@ -1,0 +1,114 @@
+"""Tests for repro.video.predictors."""
+
+import numpy as np
+import pytest
+
+from repro.traces.schema import ThroughputTrace
+from repro.video.abr.base import ABRContext, harmonic_mean
+from repro.video.encoding import VideoManifest, build_ladder
+from repro.video.predictors import (
+    GBDTPredictor,
+    HarmonicMeanPredictor,
+    TruthPredictor,
+)
+
+
+def make_context(history, wall_clock_s=0.0):
+    manifest = VideoManifest(ladder=build_ladder(160.0), chunk_s=4.0, n_chunks=30)
+    return ABRContext(
+        manifest=manifest,
+        chunk_index=0,
+        buffer_s=10.0,
+        last_track=0,
+        throughput_history=history,
+        wall_clock_s=wall_clock_s,
+    )
+
+
+class TestHarmonicMeanPredictor:
+    def test_matches_helper(self):
+        history = [100.0, 200.0, 50.0]
+        predictor = HarmonicMeanPredictor(window=5)
+        assert predictor.predict(make_context(history)) == pytest.approx(
+            harmonic_mean(history)
+        )
+
+    def test_empty_history_bottom_track(self):
+        predictor = HarmonicMeanPredictor()
+        context = make_context([])
+        assert predictor.predict(context) == context.ladder.bottom_mbps
+
+
+class TestTruthPredictor:
+    def test_reads_future(self):
+        trace = ThroughputTrace("t", "5G", np.concatenate([np.full(10, 100.0), np.full(10, 10.0)]))
+        predictor = TruthPredictor(trace, chunk_s=4.0)
+        # History says 100, but the future (t=10..) says 10.
+        early = predictor.predict(make_context([100.0] * 5, wall_clock_s=0.0))
+        late = predictor.predict(make_context([100.0] * 5, wall_clock_s=12.0))
+        assert early > late
+        assert late == pytest.approx(10.0, rel=0.3)
+
+    def test_horizon_sequence(self):
+        trace = ThroughputTrace("t", "5G", np.concatenate([np.full(8, 200.0), np.full(20, 20.0)]))
+        predictor = TruthPredictor(trace, chunk_s=4.0)
+        horizon = predictor.predict_horizon(make_context([], wall_clock_s=0.0), 4)
+        assert len(horizon) == 4
+        assert horizon[0] > horizon[-1]
+
+    def test_reset_clears_clock(self):
+        trace = ThroughputTrace("t", "5G", np.full(10, 50.0))
+        predictor = TruthPredictor(trace)
+        predictor.attach_clock(8.0)
+        predictor.reset()
+        assert predictor._clock_s == 0.0
+
+    def test_invalid_clock(self):
+        trace = ThroughputTrace("t", "5G", np.full(10, 50.0))
+        with pytest.raises(ValueError):
+            TruthPredictor(trace).attach_clock(-1.0)
+
+
+class TestGBDTPredictor:
+    @pytest.fixture(scope="class")
+    def trained(self, small_corpus):
+        traces_5g, _ = small_corpus
+        return GBDTPredictor(seed=0).fit_corpus(traces_5g, chunk_s=4.0), traces_5g
+
+    def test_beats_harmonic_mean_offline(self, trained):
+        predictor, traces = trained
+        errors_hm, errors_gbdt = [], []
+        for trace in traces:
+            series = trace.throughput_mbps
+            n = (len(series) // 4) * 4
+            chunked = series[:n].reshape(-1, 4).mean(axis=1)
+            predictor.attach_trace(trace)
+            for i in range(6, len(chunked)):
+                actual = chunked[i]
+                if actual < 1.0:
+                    continue
+                context = make_context(list(chunked[:i]), wall_clock_s=i * 4.0)
+                hm = harmonic_mean(list(chunked[i - 5 : i]))
+                gbdt = predictor.predict(context)
+                errors_hm.append(abs(hm - actual) / actual)
+                errors_gbdt.append(abs(gbdt - actual) / actual)
+        # The conservative quantile biases GBDT low, yet it still beats
+        # harmonic mean on absolute relative error.
+        assert np.mean(errors_gbdt) < np.mean(errors_hm)
+
+    def test_conservative_ratio_below_one(self, trained):
+        predictor, _ = trained
+        assert 0.2 <= predictor._residual_ratio <= 1.0
+
+    def test_prediction_positive(self, trained):
+        predictor, traces = trained
+        predictor.attach_trace(traces[0])
+        assert predictor.predict(make_context([0.1] * 5)) > 0.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GBDTPredictor().predict(make_context([1.0]))
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            GBDTPredictor().fit_corpus([])

@@ -1,0 +1,62 @@
+"""Tests for repro.video.qoe."""
+
+import pytest
+
+from repro.video.qoe import (
+    QoEWeights,
+    default_weights,
+    mpc_qoe,
+    normalized_bitrate,
+    stall_percent,
+)
+
+
+class TestMpcQoe:
+    def test_utility_only(self):
+        weights = QoEWeights(rebuffer_penalty=100.0, smoothness_penalty=0.0)
+        assert mpc_qoe([10.0, 10.0], 0.0, weights, first_chunk_prev_mbps=10.0) == 20.0
+
+    def test_rebuffer_penalty(self):
+        weights = QoEWeights(rebuffer_penalty=160.0, smoothness_penalty=0.0)
+        qoe = mpc_qoe([160.0], 1.0, weights, first_chunk_prev_mbps=160.0)
+        assert qoe == pytest.approx(0.0)
+
+    def test_smoothness_penalty(self):
+        weights = QoEWeights(rebuffer_penalty=0.0, smoothness_penalty=1.0)
+        # 0 -> 10 -> 20: switches cost 10 + 10.
+        assert mpc_qoe([10.0, 20.0], 0.0, weights) == pytest.approx(30.0 - 20.0)
+
+    def test_default_weights_anchor(self):
+        weights = default_weights(160.0)
+        assert weights.rebuffer_penalty == 160.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QoEWeights(rebuffer_penalty=-1.0)
+        with pytest.raises(ValueError):
+            mpc_qoe([], 0.0, default_weights(10.0))
+        with pytest.raises(ValueError):
+            mpc_qoe([1.0], -1.0, default_weights(10.0))
+        with pytest.raises(ValueError):
+            default_weights(0.0)
+
+
+class TestSimpleMetrics:
+    def test_normalized_bitrate(self):
+        assert normalized_bitrate([80.0, 160.0], 160.0) == pytest.approx(0.75)
+
+    def test_stall_percent(self):
+        assert stall_percent(10.0, 90.0) == pytest.approx(10.0)
+
+    def test_zero_stall(self):
+        assert stall_percent(0.0, 100.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalized_bitrate([], 160.0)
+        with pytest.raises(ValueError):
+            normalized_bitrate([1.0], 0.0)
+        with pytest.raises(ValueError):
+            stall_percent(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            stall_percent(1.0, 0.0)

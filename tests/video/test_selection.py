@@ -1,0 +1,117 @@
+"""Tests for repro.video.selection (5G-aware streaming, section 5.4)."""
+
+import pytest
+
+from repro.video.encoding import VideoManifest, build_ladder
+from repro.video.selection import (
+    StreamingInterfaceSelector,
+    _SwitchingBandwidth,
+    evaluate_pairs,
+)
+from repro.traces.schema import ThroughputTrace
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def selector():
+    manifest = VideoManifest(ladder=build_ladder(160.0), chunk_s=4.0, n_chunks=25)
+    return StreamingInterfaceSelector(manifest=manifest)
+
+
+@pytest.fixture(scope="module")
+def pair(small_corpus):
+    traces_5g, traces_4g = small_corpus
+    return traces_5g[0], traces_4g[0]
+
+
+class TestSwitchingBandwidth:
+    def test_follows_active_interface(self):
+        t5 = ThroughputTrace("a", "5G", np.full(10, 100.0))
+        t4 = ThroughputTrace("b", "4G", np.full(10, 20.0))
+        bw = _SwitchingBandwidth(t5, t4, switch_overhead_s=0.0, watchdog=False)
+        assert bw(0.0) == 100.0
+        bw.switch_to("4G", 1.0)
+        assert bw(2.0) == 20.0
+        assert bw.switch_count == 1
+
+    def test_switch_overhead_dead_air(self):
+        t5 = ThroughputTrace("a", "5G", np.full(30, 100.0))
+        t4 = ThroughputTrace("b", "4G", np.full(30, 20.0))
+        bw = _SwitchingBandwidth(t5, t4, switch_overhead_s=1.5, watchdog=False)
+        bw.switch_to("4G", 5.0)
+        # Falling back to 4G is cheap under EN-DC (anchor connected).
+        assert bw(5.1) < 1.0
+        assert bw(5.5) == 20.0
+        # Re-activating the NR leg pays the full gap.
+        bw.switch_to("5G", 10.0)
+        assert bw(11.0) < 1.0
+        assert bw(12.0) == 100.0
+
+    def test_watchdog_bails_and_returns(self):
+        # 5G craters between t=10 and t=25; 4G stays at 20.
+        series = np.full(60, 200.0)
+        series[10:25] = 2.0
+        t5 = ThroughputTrace("a", "5G", series)
+        t4 = ThroughputTrace("b", "4G", np.full(60, 20.0))
+        bw = _SwitchingBandwidth(t5, t4, switch_overhead_s=0.0)
+        for t in np.arange(0.0, 40.0, 0.5):
+            bw(float(t))
+        # Bailed during the crater, returned after it.
+        assert bw.switch_count == 2
+        assert bw.active == "5G"
+
+    def test_redundant_switch_ignored(self):
+        t5 = ThroughputTrace("a", "5G", np.full(10, 100.0))
+        t4 = ThroughputTrace("b", "4G", np.full(10, 20.0))
+        bw = _SwitchingBandwidth(t5, t4, 0.0, watchdog=False)
+        bw.switch_to("5G", 0.0)
+        assert bw.switch_count == 0
+
+    def test_unknown_interface_raises(self):
+        t5 = ThroughputTrace("a", "5G", np.full(10, 100.0))
+        bw = _SwitchingBandwidth(t5, t5, 0.0, watchdog=False)
+        with pytest.raises(ValueError):
+            bw.switch_to("3G", 0.0)
+
+
+class TestSchemes:
+    def test_5g_only_never_switches(self, selector, pair):
+        result = selector.play_5g_only(pair[0])
+        assert result.switches == 0
+        assert set(result.interface_per_chunk) == {"5G"}
+        assert result.energy_j > 0.0
+
+    def test_5g_aware_uses_4g_during_craters(self, selector, pair):
+        result = selector.play_5g_aware(pair[0], pair[1])
+        # The test corpus has craters, so the scheme should visit 4G.
+        assert result.time_on_4g_fraction >= 0.0
+        assert result.energy_j > 0.0
+
+    def test_no_overhead_variant_at_least_as_good(self, selector, pair):
+        with_oh = selector.play_5g_aware(pair[0], pair[1], with_overhead=True)
+        without = selector.play_5g_aware(pair[0], pair[1], with_overhead=False)
+        assert without.playback.stall_s <= with_oh.playback.stall_s + 2.0
+
+    def test_evaluate_pairs_summary_shape(self, selector, small_corpus):
+        traces_5g, traces_4g = small_corpus
+        pairs = list(zip(traces_5g[:3], traces_4g[:3]))
+        summary = evaluate_pairs(selector, pairs)
+        assert set(summary) == {"5G-only MPC", "5G-aware MPC", "5G-aware MPC NO"}
+        for stats in summary.values():
+            assert stats["energy_j"] > 0
+            assert 0 <= stats["normalized_bitrate"] <= 1.0
+
+    def test_table4_energy_ordering(self, selector, small_corpus):
+        # Paper Table 4: 5G-aware consumes less energy than 5G-only.
+        traces_5g, traces_4g = small_corpus
+        pairs = list(zip(traces_5g, traces_4g))
+        summary = evaluate_pairs(selector, pairs)
+        assert summary["5G-aware MPC"]["energy_j"] < summary["5G-only MPC"]["energy_j"]
+
+    def test_validation(self):
+        manifest = VideoManifest(ladder=build_ladder(160.0), n_chunks=5)
+        with pytest.raises(ValueError):
+            StreamingInterfaceSelector(manifest=manifest, buffer_return_s=0.0)
+        with pytest.raises(ValueError):
+            StreamingInterfaceSelector(manifest=manifest, switch_overhead_s=-1.0)

@@ -1,0 +1,69 @@
+"""Smoke tests for the per-figure SVG renderers."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz.figures import FIGURES, render_figure
+
+
+class TestRenderFigure:
+    @pytest.mark.parametrize("name", ["fig9", "fig12", "fig21"])
+    def test_single_figures_render(self, name, tmp_path):
+        paths = render_figure(name, tmp_path, scale=0.25)
+        assert paths
+        for path in paths:
+            assert path.exists()
+            ET.parse(path)
+
+    def test_fig10_four_panels(self, tmp_path):
+        paths = render_figure("fig10", tmp_path, scale=0.25)
+        assert len(paths) == 4
+
+    def test_fig11_two_directions(self, tmp_path):
+        paths = render_figure("fig11", tmp_path, scale=0.25)
+        names = {p.name for p in paths}
+        assert names == {"fig11_dl.svg", "fig11_ul.svg"}
+
+    def test_unknown_figure_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            render_figure("fig999", tmp_path)
+
+    def test_registry_complete(self):
+        assert {"fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12",
+                "fig17", "fig20", "fig21"} <= set(FIGURES)
+
+
+class TestExtendedRenderers:
+    @pytest.mark.parametrize("name", ["fig14", "fig15", "fig23"])
+    def test_extended_figures_render(self, name, tmp_path):
+        paths = render_figure(name, tmp_path, scale=0.25)
+        for path in paths:
+            assert path.exists()
+            ET.parse(path)
+
+    def test_fig18_three_panels(self, tmp_path):
+        paths = render_figure("fig18", tmp_path, scale=0.25)
+        assert len(paths) == 3
+
+    def test_fig19_two_panels(self, tmp_path):
+        paths = render_figure("fig19", tmp_path, scale=0.2)
+        assert len(paths) == 2
+
+    def test_full_registry(self):
+        expected = {
+            "fig1", "fig2", "fig3", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "fig17", "fig18",
+            "fig19", "fig20", "fig21", "fig23", "fig24",
+        }
+        assert expected <= set(FIGURES)
+
+
+class TestFig22Trees:
+    def test_fig22_two_trees(self, tmp_path):
+        paths = render_figure("fig22", tmp_path, scale=0.25)
+        assert len(paths) == 2
+        for path in paths:
+            ET.parse(path)
+            text = path.read_text()
+            assert "Use 4G" in text or "Use 5G" in text

@@ -1,0 +1,102 @@
+"""Tests for repro.viz.svg."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz.svg import BarChart, Chart, Series, _log_ticks, _nice_ticks, render_svg
+
+
+class TestTicks:
+    def test_nice_ticks_cover_range(self):
+        ticks = _nice_ticks(0.0, 100.0)
+        assert ticks[0] >= 0.0
+        assert ticks[-1] <= 100.0
+        assert 3 <= len(ticks) <= 8
+
+    def test_nice_ticks_round_values(self):
+        for tick in _nice_ticks(0.0, 7.3):
+            assert tick == round(tick, 6)
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert len(ticks) >= 1
+
+    def test_log_ticks_decades(self):
+        assert _log_ticks(1.0, 1000.0) == [1.0, 10.0, 100.0, 1000.0]
+
+
+class TestSeries:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Series("s", [1.0], [1.0, 2.0])
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            Series("s", [1.0], [1.0], kind="area")
+
+
+class TestChart:
+    def _chart(self, **kwargs):
+        chart = Chart(title="T", x_label="x", y_label="y", **kwargs)
+        chart.add(Series("a", [0.0, 1.0, 2.0], [1.0, 4.0, 2.0]))
+        chart.add(Series("b", [0.0, 1.0, 2.0], [2.0, 1.0, 3.0], kind="scatter"))
+        return chart
+
+    def test_valid_xml(self):
+        ET.fromstring(self._chart().to_svg())
+
+    def test_contains_labels_and_legend(self):
+        svg = self._chart().to_svg()
+        for token in ("T", ">x<", ">y<", ">a<", ">b<"):
+            assert token in svg
+
+    def test_log_axes(self):
+        chart = Chart(title="L", x_label="x", y_label="y", x_log=True, y_log=True)
+        chart.add(Series("s", [1.0, 10.0, 100.0], [1.0, 100.0, 10000.0]))
+        ET.fromstring(chart.to_svg())
+
+    def test_empty_chart_raises(self):
+        with pytest.raises(ValueError):
+            Chart(title="e", x_label="x", y_label="y").to_svg()
+
+    def test_escaping(self):
+        chart = Chart(title="a<b & c", x_label="x", y_label="y")
+        chart.add(Series("s", [0.0, 1.0], [0.0, 1.0]))
+        svg = chart.to_svg()
+        assert "a&lt;b &amp; c" in svg
+        ET.fromstring(svg)
+
+    def test_render_writes_file(self, tmp_path):
+        path = tmp_path / "sub" / "chart.svg"
+        render_svg(self._chart(), path)
+        assert path.exists()
+        ET.parse(path)
+
+
+class TestBarChart:
+    def _chart(self):
+        chart = BarChart(
+            title="B", x_label="cat", y_label="val", categories=["a", "b", "c"]
+        )
+        chart.add_group("g1", [1.0, 2.0, 3.0])
+        chart.add_group("g2", [3.0, 2.0, 1.0])
+        return chart
+
+    def test_valid_xml(self):
+        ET.fromstring(self._chart().to_svg())
+
+    def test_bar_count(self):
+        svg = self._chart().to_svg()
+        # 6 data bars + frame + 2 legend swatches + background.
+        assert svg.count("<rect") == 6 + 1 + 2 + 1
+
+    def test_group_length_mismatch(self):
+        chart = BarChart(title="B", x_label="x", y_label="y", categories=["a"])
+        with pytest.raises(ValueError):
+            chart.add_group("g", [1.0, 2.0])
+
+    def test_empty_raises(self):
+        chart = BarChart(title="B", x_label="x", y_label="y", categories=["a"])
+        with pytest.raises(ValueError):
+            chart.to_svg()

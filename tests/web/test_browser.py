@@ -1,0 +1,99 @@
+"""Tests for repro.web.browser (Fig. 19/20 behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.web.browser import Browser, _transfer_ms
+from repro.web.catalog import Website, generate_catalog
+
+
+@pytest.fixture(scope="module")
+def browser():
+    return Browser(seed=0)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_catalog(n_sites=60, seed=5)
+
+
+def make_site(n_objects=80, total_mb=2.0, dynamic_ratio=0.3):
+    n_dynamic = int(n_objects * dynamic_ratio)
+    total = int(total_mb * 1e6)
+    return Website(
+        name="x",
+        n_objects=n_objects,
+        n_dynamic=n_dynamic,
+        n_images=n_objects // 3,
+        n_videos=0,
+        total_bytes=total,
+        dynamic_bytes=int(total * dynamic_ratio),
+    )
+
+
+class TestTransferModel:
+    def test_zero_bytes_instant(self):
+        assert _transfer_ms(0.0, 100.0, 30.0) == 0.0
+
+    def test_large_flow_linerate_dominated(self):
+        # 100 MB at 100 Mbps ~ 8 s.
+        ms = _transfer_ms(100e6, 100.0, 30.0)
+        assert ms == pytest.approx(8000.0, rel=0.2)
+
+    def test_small_flow_rtt_dominated(self):
+        # 20 KB needs ~1-2 RTT rounds regardless of bandwidth.
+        fast = _transfer_ms(20_000, 10_000.0, 50.0)
+        assert 40.0 <= fast <= 150.0
+
+    def test_more_bandwidth_never_slower(self):
+        slow = _transfer_ms(5e6, 25.0, 40.0)
+        fast = _transfer_ms(5e6, 1000.0, 40.0)
+        assert fast < slow
+
+
+class TestPageLoads:
+    def test_5g_always_faster(self, browser, catalog):
+        for site in list(catalog)[:20]:
+            r4, r5 = browser.load_both(site)
+            assert r5.plt_s < r4.plt_s
+
+    def test_4g_always_cheaper(self, browser, catalog):
+        for site in list(catalog)[:20]:
+            r4, r5 = browser.load_both(site)
+            assert r4.energy_j < r5.energy_j
+
+    def test_plt_gap_grows_with_page_size(self, browser):
+        small = make_site(total_mb=0.5)
+        large = make_site(total_mb=15.0)
+        gap_small = browser.load(small, "4G").plt_s - browser.load(small, "5G").plt_s
+        gap_large = browser.load(large, "4G").plt_s - browser.load(large, "5G").plt_s
+        assert gap_large > gap_small
+
+    def test_plt_grows_with_object_count(self, browser):
+        few = browser.load(make_site(n_objects=10), "5G").plt_s
+        many = browser.load(make_site(n_objects=500, total_mb=4.0), "5G").plt_s
+        assert many > few
+
+    def test_dynamic_objects_slow_loading(self, browser):
+        static = browser.load(make_site(dynamic_ratio=0.0), "4G").plt_s
+        dynamic = browser.load(make_site(dynamic_ratio=0.9), "4G").plt_s
+        assert dynamic > static
+
+    def test_plt_magnitudes_sane(self, browser, catalog):
+        plt4 = [browser.load(s, "4G").plt_s for s in list(catalog)[:30]]
+        plt5 = [browser.load(s, "5G").plt_s for s in list(catalog)[:30]]
+        assert 1.0 < np.median(plt4) < 10.0
+        assert 0.5 < np.median(plt5) < 6.0
+
+    def test_energy_magnitudes_sane(self, browser, catalog):
+        e5 = [browser.load(s, "5G").energy_j for s in list(catalog)[:30]]
+        assert 1.0 < np.median(e5) < 30.0
+
+    def test_har_attached(self, browser):
+        result = browser.load(make_site(), "5G")
+        assert result.har.n_entries == 80
+        assert result.har.radio == "5G"
+
+    def test_unknown_radio_raises(self, browser):
+        with pytest.raises(ValueError):
+            browser.load(make_site(), "3G")

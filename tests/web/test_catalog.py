@@ -1,0 +1,88 @@
+"""Tests for repro.web.catalog."""
+
+import numpy as np
+import pytest
+
+from repro.web.catalog import FEATURE_NAMES, Website, WebsiteCatalog, generate_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_catalog(n_sites=500, seed=3)
+
+
+class TestWebsite:
+    def _site(self, **overrides):
+        base = dict(
+            name="s",
+            n_objects=100,
+            n_dynamic=40,
+            n_images=30,
+            n_videos=1,
+            total_bytes=2_000_000,
+            dynamic_bytes=600_000,
+        )
+        base.update(overrides)
+        return Website(**base)
+
+    def test_derived_ratios(self):
+        site = self._site()
+        assert site.dynamic_ratio == pytest.approx(0.4)
+        assert site.dynamic_size_ratio == pytest.approx(0.3)
+        assert site.avg_object_bytes == pytest.approx(20_000.0)
+
+    def test_feature_vector_matches_names(self):
+        site = self._site()
+        assert site.feature_vector().shape[0] == len(FEATURE_NAMES)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._site(n_objects=0)
+        with pytest.raises(ValueError):
+            self._site(n_dynamic=101)
+        with pytest.raises(ValueError):
+            self._site(total_bytes=0)
+        with pytest.raises(ValueError):
+            self._site(dynamic_bytes=3_000_000)
+
+
+class TestCatalog:
+    def test_count(self, catalog):
+        assert len(catalog) == 500
+
+    def test_alexa_scale_default(self):
+        assert len(generate_catalog(n_sites=10)) == 10
+
+    def test_heavy_tail_object_counts(self, catalog):
+        objects = np.array([s.n_objects for s in catalog])
+        assert np.median(objects) < 150
+        assert objects.max() > 400
+
+    def test_page_sizes_realistic(self, catalog):
+        sizes_mb = np.array([s.total_bytes for s in catalog]) / 1e6
+        assert 0.5 < np.median(sizes_mb) < 6.0
+        assert sizes_mb.max() > 10.0
+
+    def test_dynamic_ratio_spread(self, catalog):
+        ratios = np.array([s.dynamic_ratio for s in catalog])
+        assert ratios.min() < 0.2
+        assert ratios.max() > 0.6
+
+    def test_feature_matrix_shape(self, catalog):
+        assert catalog.feature_matrix().shape == (500, len(FEATURE_NAMES))
+
+    def test_bucket_by_objects(self, catalog):
+        buckets = catalog.bucket_by(
+            lambda s: s.n_objects,
+            [("small", 0, 50), ("large", 50, 100000)],
+        )
+        assert len(buckets["small"]) + len(buckets["large"]) == 500
+
+    def test_reproducible(self):
+        a = generate_catalog(n_sites=20, seed=9)
+        b = generate_catalog(n_sites=20, seed=9)
+        assert [s.total_bytes for s in a] == [s.total_bytes for s in b]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_catalog(n_sites=0)

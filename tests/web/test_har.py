@@ -1,0 +1,59 @@
+"""Tests for repro.web.har."""
+
+import pytest
+
+from repro.web.har import HarEntry, HarRecord
+
+
+class TestHarEntry:
+    def test_end_time(self):
+        entry = HarEntry(url="u", start_ms=100.0, duration_ms=50.0, size_bytes=1000)
+        assert entry.end_ms == 150.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HarEntry(url="u", start_ms=-1.0, duration_ms=1.0, size_bytes=1)
+        with pytest.raises(ValueError):
+            HarEntry(url="u", start_ms=0.0, duration_ms=1.0, size_bytes=-1)
+
+
+class TestHarRecord:
+    def _record(self):
+        record = HarRecord(page_url="p", radio="5G")
+        record.add(HarEntry(url="a", start_ms=0.0, duration_ms=500.0, size_bytes=500_000))
+        record.add(HarEntry(url="b", start_ms=200.0, duration_ms=1000.0, size_bytes=1_000_000))
+        return record
+
+    def test_onload_is_last_completion(self):
+        assert self._record().on_load_ms == 1200.0
+
+    def test_totals(self):
+        record = self._record()
+        assert record.n_entries == 2
+        assert record.total_bytes == 1_500_000
+
+    def test_empty_record(self):
+        record = HarRecord(page_url="p", radio="4G")
+        assert record.on_load_ms == 0.0
+        assert record.throughput_timeline_mbps() == []
+
+    def test_timeline_conserves_bits(self):
+        record = self._record()
+        timeline = record.throughput_timeline_mbps(dt_s=0.5)
+        total_bits = sum(timeline) * 0.5 * 1e6
+        assert total_bits == pytest.approx(record.total_bytes * 8.0, rel=1e-6)
+
+    def test_timeline_length_covers_plt(self):
+        record = self._record()
+        timeline = record.throughput_timeline_mbps(dt_s=0.5)
+        assert len(timeline) * 0.5 >= record.on_load_ms / 1000.0
+
+    def test_zero_duration_entry(self):
+        record = HarRecord(page_url="p", radio="4G")
+        record.add(HarEntry(url="a", start_ms=0.0, duration_ms=0.0, size_bytes=1000))
+        timeline = record.throughput_timeline_mbps(dt_s=1.0)
+        assert sum(timeline) * 1e6 == pytest.approx(8000.0)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            self._record().throughput_timeline_mbps(dt_s=0.0)

@@ -1,0 +1,84 @@
+"""Tests for repro.web.selection (Table 6 / Fig. 22)."""
+
+import numpy as np
+import pytest
+
+from repro.web.browser import Browser
+from repro.web.catalog import generate_catalog
+from repro.web.selection import (
+    InterfaceSelector,
+    QOE_MODELS,
+    QoEModelSpec,
+    build_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    catalog = generate_catalog(n_sites=250, seed=2)
+    return build_dataset(catalog, Browser(seed=3))
+
+
+@pytest.fixture(scope="module")
+def reports(dataset):
+    return InterfaceSelector(seed=4).evaluate(dataset)
+
+
+class TestQoEModels:
+    def test_five_models_m1_to_m5(self):
+        assert [m.model_id for m in QOE_MODELS] == ["M1", "M2", "M3", "M4", "M5"]
+
+    def test_weights_sum_to_one(self):
+        for model in QOE_MODELS:
+            assert model.alpha + model.beta == pytest.approx(1.0)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            QoEModelSpec("X", "bad", alpha=0.5, beta=0.6)
+        with pytest.raises(ValueError):
+            QoEModelSpec("X", "bad", alpha=-0.1, beta=1.1)
+
+
+class TestLabels:
+    def test_m1_mostly_5g(self, dataset):
+        labels = dataset.labels_for(QOE_MODELS[0])
+        assert labels.mean() > 0.7
+
+    def test_m5_all_4g(self, dataset):
+        labels = dataset.labels_for(QOE_MODELS[4])
+        assert labels.mean() < 0.1
+
+    def test_5g_share_monotone_decreasing(self, dataset):
+        shares = [dataset.labels_for(m).mean() for m in QOE_MODELS]
+        assert all(a >= b for a, b in zip(shares, shares[1:]))
+
+
+class TestSelection:
+    def test_table6_flip_between_m1_and_m5(self, reports):
+        assert reports["M1"].use_5g > reports["M1"].use_4g
+        assert reports["M5"].use_4g > reports["M5"].use_5g
+
+    def test_use_counts_span_test_set(self, reports, dataset):
+        expected = int(round(len(dataset) * 0.3))
+        for report in reports.values():
+            assert report.n_test == expected
+
+    def test_trees_accurate(self, reports):
+        for report in reports.values():
+            assert report.accuracy >= 0.75
+
+    def test_energy_saving_grows_toward_m5(self, reports):
+        assert reports["M5"].energy_saving_percent >= reports["M1"].energy_saving_percent
+
+    def test_saving_in_paper_range_for_energy_models(self, reports):
+        # Paper: interface selection saves 15-66% energy.
+        assert 15.0 <= reports["M4"].energy_saving_percent <= 70.0
+
+    def test_tree_describe_readable(self, reports):
+        text = reports["M1"].tree.describe(max_depth=2)
+        assert "if" in text or "leaf" in text
+
+    def test_table_rows_shape(self, reports):
+        rows = InterfaceSelector.table_rows(reports)
+        assert len(rows) == 5
+        assert rows[0][0] == "M1"
