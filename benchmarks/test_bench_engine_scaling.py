@@ -1,0 +1,79 @@
+"""Engine scaling: a 4-worker sweep beats serial and matches it bit-for-bit.
+
+Two loads are measured. Wall-clock speedup is asserted on sleep-bound
+jobs (``test.sleep``), whose parallelism is independent of how many
+cores the CI box happens to have; output identity is asserted on a
+fixed set of real artifact runners, which is the property the engine's
+seeding model guarantees (see docs/engine.md).
+"""
+
+import json
+
+from conftest import emit
+
+from repro.engine import SweepSpec, execute
+from repro.experiments.export import to_jsonable
+
+N_JOBS = 8
+SLEEP_S = 0.25
+REAL_RUNNERS = ["fig2", "fig9", "table2"]
+
+
+def _sleep_sweep(workers):
+    jobs = SweepSpec(
+        runners=["test.sleep"],
+        base_kwargs={"duration_s": SLEEP_S},
+        grid={"value": list(range(N_JOBS))},
+        base_seed=0,
+    ).expand()
+    result = execute(jobs, workers=workers)
+    result.raise_if_failed()
+    return result
+
+
+def test_engine_parallel_speedup_and_identity(benchmark):
+    serial = _sleep_sweep(workers=1)
+    parallel = benchmark.pedantic(
+        lambda: _sleep_sweep(workers=4), rounds=1, iterations=1
+    )
+
+    real = {
+        workers: execute(
+            SweepSpec(runners=REAL_RUNNERS, base_seed=17, scale=0.25).expand(),
+            workers=workers,
+        )
+        for workers in (1, 4)
+    }
+
+    speedup = serial.elapsed_s / parallel.elapsed_s
+    emit(
+        "Engine scaling: serial vs 4 workers",
+        "\n".join(
+            [
+                f"sleep sweep ({N_JOBS} x {SLEEP_S}s):",
+                f"  serial   {serial.elapsed_s:6.2f}s  ({serial.jobs_per_sec:.2f} jobs/s)",
+                f"  4 workers{parallel.elapsed_s:6.2f}s  ({parallel.jobs_per_sec:.2f} jobs/s)",
+                f"  speedup  {speedup:6.2f}x",
+                f"real sweep ({', '.join(REAL_RUNNERS)}):",
+                f"  serial   {real[1].elapsed_s:6.2f}s",
+                f"  4 workers{real[4].elapsed_s:6.2f}s",
+            ]
+        ),
+    )
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["serial_s"] = round(serial.elapsed_s, 2)
+    benchmark.extra_info["parallel_s"] = round(parallel.elapsed_s, 2)
+
+    # Parallel wall-time improvement: 8 x 0.25s of sleep is ≥2s serial;
+    # four workers overlap it into ~0.5s. Demand at least 1.5x to stay
+    # robust under loaded CI boxes.
+    assert serial.elapsed_s >= N_JOBS * SLEEP_S
+    assert speedup > 1.5, f"expected >1.5x speedup, got {speedup:.2f}x"
+
+    # Identical outputs, serial vs parallel, on real registered runners.
+    for result in real.values():
+        assert result.failed_count == 0
+    canon = [
+        json.dumps(to_jsonable(real[w].values()), sort_keys=True) for w in (1, 4)
+    ]
+    assert canon[0] == canon[1]

@@ -6,101 +6,37 @@ Usage::
     python -m repro run fig9                  # print Fig. 9's rows
     python -m repro run table6 --json out.json
     python -m repro run fig17 --scale 0.5     # cheaper/faster variant
+    python -m repro run fig3 --seed 42        # reseed the simulation
+    python -m repro sweep fig2 fig3 fig9 --workers 4
+    python -m repro sweep fig17 --cache-dir .repro-cache   # incremental
 
-Each artifact id maps to one :mod:`repro.experiments` runner; ``--scale``
-multiplies the workload knobs (trace counts, repetitions) so quick looks
-and full-scale reproductions share one entry point.
+Each artifact id maps to one :mod:`repro.experiments` runner
+registered with the scenario engine (:mod:`repro.engine`); ``--scale``
+multiplies the workload knobs (trace counts, repetitions), ``--seed``
+reseeds every runner deterministically, and ``sweep`` fans a set of
+artifacts over a worker pool with an optional on-disk result cache.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional
+from typing import List, Optional
 
 from repro import experiments as ex
+from repro.engine import (
+    JobSpec,
+    ProgressTracker,
+    ResultCache,
+    execute,
+    registry,
+    spawn_seeds,
+)
 from repro.experiments.export import export_json, to_jsonable
 
 
-def _scaled(value: int, scale: float, minimum: int = 1) -> int:
-    return max(minimum, int(round(value * scale)))
-
-
-def _run_fig2(scale):
-    return ex.run_latency_vs_distance(n_servers=_scaled(20, scale, 3))
-
-
-def _run_fig3(scale):
-    return ex.run_throughput_vs_distance(
-        n_servers=_scaled(10, scale, 2), repetitions=_scaled(8, scale, 2)
-    )
-
-
-def _run_fig6(scale):
-    return {
-        "sa": ex.run_throughput_vs_distance(
-            network_key="tmobile-sa-lowband",
-            n_servers=_scaled(8, scale, 2),
-            repetitions=_scaled(6, scale, 2),
-        ),
-        "nsa": ex.run_throughput_vs_distance(
-            network_key="tmobile-nsa-lowband",
-            n_servers=_scaled(8, scale, 2),
-            repetitions=_scaled(6, scale, 2),
-        ),
-    }
-
-
-def _run_fig17(scale):
-    return ex.run_abr_comparison(
-        n_traces=_scaled(20, scale, 4), n_chunks=50, duration_s=260
-    )
-
-
-def _run_fig18(scale):
-    return {
-        "predictors": ex.run_video_predictors(n_traces=_scaled(14, scale, 4)),
-        "chunk_lengths": ex.run_chunk_lengths(n_traces=_scaled(14, scale, 4)),
-        "interface_selection": ex.run_video_interface_selection(
-            n_pairs=_scaled(16, scale, 4)
-        ),
-    }
-
-
-def _run_fig19(scale):
-    result = ex.run_web_factors(n_sites=_scaled(600, scale, 50))
-    result.pop("dataset", None)  # raw arrays are bulky; keep the summaries
-    result.pop("cdfs", None)
-    return result
-
-
-def _run_table6(scale):
-    result = ex.run_web_selection(n_sites=_scaled(600, scale, 50))
-    result.pop("reports", None)
-    return result
-
-
-ARTIFACTS: Dict[str, Dict] = {
-    "table1": {"runner": lambda s: ex.run_table1_campaign(), "desc": "dataset statistics"},
-    "fig2": {"runner": _run_fig2, "desc": "RTT vs UE-server distance (also fig1/fig5)"},
-    "fig3": {"runner": _run_fig3, "desc": "Verizon mmWave DL/UL vs distance (also fig4)"},
-    "fig6": {"runner": _run_fig6, "desc": "T-Mobile SA vs NSA throughput (also fig7)"},
-    "fig8": {"runner": lambda s: ex.run_azure_transport(), "desc": "Azure transport settings"},
-    "fig9": {"runner": lambda s: ex.run_handoff_drive(), "desc": "handoffs while driving"},
-    "fig10": {"runner": lambda s: ex.run_rrc_inference(), "desc": "RRC-Probe sweeps (also fig25)"},
-    "table2": {"runner": lambda s: ex.run_tail_power(), "desc": "tail/switch power"},
-    "fig11": {"runner": lambda s: ex.run_throughput_power(), "desc": "throughput vs power (also fig26, table8)"},
-    "fig12": {"runner": lambda s: ex.run_energy_efficiency(), "desc": "energy efficiency (also fig27)"},
-    "fig13": {"runner": lambda s: ex.run_walking_power(), "desc": "power-RSRP-throughput walking data (also fig14)"},
-    "fig15": {"runner": lambda s: ex.run_power_models(), "desc": "power-model MAPE comparison"},
-    "table9": {"runner": lambda s: ex.run_software_monitor(), "desc": "software monitor benchmark (also table3, fig16)"},
-    "fig17": {"runner": _run_fig17, "desc": "seven ABRs on 5G vs 4G"},
-    "fig18": {"runner": _run_fig18, "desc": "predictors / chunk length / interface selection (also table4)"},
-    "fig19": {"runner": _run_fig19, "desc": "web PLT & energy factors (also fig20, fig21)"},
-    "table6": {"runner": _run_table6, "desc": "DT radio interface selection (also fig22)"},
-    "fig23": {"runner": lambda s: ex.run_carrier_aggregation(), "desc": "4CC vs 8CC carrier aggregation"},
-    "fig24": {"runner": lambda s: ex.run_server_survey(), "desc": "Minnesota server survey"},
-}
+def _artifact_ids() -> List[str]:
+    return registry.available(kind="artifact")
 
 
 def _render(result) -> str:
@@ -122,6 +58,35 @@ def _render(result) -> str:
     return json.dumps(to_jsonable(result), indent=1)[:8000]
 
 
+def _check_artifacts(names: List[str]) -> List[str]:
+    """Names the registry cannot dispatch (empty list means all known)."""
+    known = set(registry.available())
+    return [name for name in names if name not in known and ":" not in name]
+
+
+def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload multiplier (0.25 = quick look, 1.0 = bench scale)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base seed; per-artifact seeds are derived deterministically "
+        "(default: each runner's built-in seed)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="on-disk result cache; repeated invocations become incremental",
+    )
+    parser.add_argument("--json", metavar="PATH", help="write the result as JSON")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -129,15 +94,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list regenerable artifacts")
+
     run = sub.add_parser("run", help="regenerate one artifact")
-    run.add_argument("artifact", choices=sorted(ARTIFACTS))
+    run.add_argument("artifact", metavar="ARTIFACT")
+    _add_common_run_args(run)
     run.add_argument(
-        "--scale",
-        type=float,
-        default=1.0,
-        help="workload multiplier (0.25 = quick look, 1.0 = bench scale)",
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (forwarded to the scenario engine)",
     )
-    run.add_argument("--json", metavar="PATH", help="write the result as JSON")
+
+    sweep = sub.add_parser(
+        "sweep", help="regenerate several artifacts through the job engine"
+    )
+    sweep.add_argument("artifacts", metavar="ARTIFACT", nargs="+")
+    _add_common_run_args(sweep)
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock timeout",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts per job on transient failure",
+    )
+    sweep.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+
     render = sub.add_parser("render", help="render a figure as SVG")
     from repro.viz.figures import FIGURES
 
@@ -147,14 +139,101 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fail_unknown(names: List[str]) -> int:
+    print(
+        f"error: unknown artifact id(s): {', '.join(names)} "
+        "(run 'python -m repro list' to see what can be regenerated)",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _print_result(result, json_path: Optional[str]) -> None:
+    try:
+        if json_path:
+            path = export_json(result, json_path)
+            print(f"wrote {path}")
+        else:
+            print(_render(result))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+
+
+def _cmd_run(args) -> int:
+    unknown = _check_artifacts([args.artifact])
+    if unknown:
+        return _fail_unknown(unknown)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    spec = JobSpec(
+        runner=args.artifact, seed=args.seed, scale=args.scale, label=args.artifact
+    )
+    result = execute([spec], workers=args.workers, cache=cache)
+    outcome = result.outcomes[0]
+    if outcome.status == "failed":
+        failure = outcome.failure
+        print(
+            f"error: {failure.label} failed after {failure.attempts} attempt(s): "
+            f"{failure.error_type}: {failure.error}",
+            file=sys.stderr,
+        )
+        return 1
+    _print_result(outcome.value, args.json)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    unknown = _check_artifacts(args.artifacts)
+    if unknown:
+        return _fail_unknown(unknown)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    seeds = spawn_seeds(args.seed, len(args.artifacts))
+    specs = [
+        JobSpec(runner=name, seed=seed, scale=args.scale, index=i, label=name)
+        for i, (name, seed) in enumerate(zip(args.artifacts, seeds))
+    ]
+    tracker = ProgressTracker(stream=None if args.quiet else sys.stderr)
+    result = execute(
+        specs,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        cache=cache,
+        progress=tracker,
+    )
+    print(result.summary())
+    if cache is not None:
+        print(
+            f"cache hits: {result.cached_count}/{len(result)} "
+            f"({100.0 * result.cache_hit_rate:.0f}%)"
+        )
+    for failure in result.failures():
+        print(
+            f"FAILED {failure.label}: {failure.error_type}: {failure.error} "
+            f"(after {failure.attempts} attempt(s))"
+        )
+    if args.json:
+        payload = {
+            outcome.spec.display: to_jsonable(outcome.value)
+            for outcome in result.outcomes
+            if outcome.status in ("ok", "cached")
+        }
+        path = export_json(payload, args.json)
+        print(f"wrote {path}")
+    return 1 if result.failed_count else 0
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        width = max(len(k) for k in ARTIFACTS)
-        for key in sorted(ARTIFACTS):
-            print(f"{key.ljust(width)}  {ARTIFACTS[key]['desc']}")
+        ids = _artifact_ids()
+        width = max(len(k) for k in ids)
+        for key in ids:
+            print(f"{key.ljust(width)}  {registry.describe(key)}")
         return 0
-    if args.scale <= 0:
+    if getattr(args, "scale", 1.0) <= 0:
         print("--scale must be positive", file=sys.stderr)
         return 2
     if args.command == "render":
@@ -164,21 +243,9 @@ def main(argv: Optional[list] = None) -> int:
         for path in paths:
             print(f"wrote {path}")
         return 0
-    runner: Callable = ARTIFACTS[args.artifact]["runner"]
-    result = runner(args.scale)
-    try:
-        if args.json:
-            path = export_json(result, args.json)
-            print(f"wrote {path}")
-        else:
-            print(_render(result))
-    except BrokenPipeError:
-        # Downstream pager/head closed the pipe; exit quietly.
-        import os
-
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-        return 0
-    return 0
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_sweep(args)
 
 
 if __name__ == "__main__":

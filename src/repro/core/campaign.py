@@ -6,11 +6,18 @@ walking traces per (carrier, mode, band) setting, RRC-Probe sweeps, and
 power-monitor captures — and reports the aggregate statistics that
 Table 1 summarises (test counts, unique servers, trace minutes, power
 minutes, kilometers walked).
+
+The per-setting inner loops (:func:`speedtest_setting_job`,
+:func:`walking_setting_job`) are module-level so the scenario engine
+(:mod:`repro.engine`) can dispatch them to worker processes; a
+``Campaign(workers=N)`` fans each (network, device) setting out over
+the pool while keeping seed draws — and therefore results — identical
+to the serial path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -24,6 +31,48 @@ from repro.rrc.parameters import RRC_PARAMETERS
 from repro.rrc.probe import ProbeResult, RRCProbe
 from repro.traces.schema import WalkingTrace
 from repro.traces.walking import WalkingTraceGenerator
+
+
+def speedtest_setting_job(
+    network_key: str,
+    device_name: str,
+    seed: int,
+    repetitions: int = 10,
+    servers: Optional[List[SpeedtestServer]] = None,
+) -> List[SpeedtestResult]:
+    """Speedtest inner loop for one (network, device) setting.
+
+    Engine-dispatchable (registered as ``campaign.speedtest-setting``):
+    every (server, mode) pair in the pool, ``repetitions`` times each.
+    """
+    network = get_network(network_key)
+    device = get_device(device_name)
+    pool = servers or carrier_server_pool(network.carrier.value)[:5]
+    harness = SpeedtestHarness(network=network, device=device, seed=seed)
+    results: List[SpeedtestResult] = []
+    for server in pool:
+        for mode in ConnectionMode:
+            results.extend(harness.run_setting(server, mode, repetitions))
+    return results
+
+
+def walking_setting_job(
+    network_key: str,
+    device_name: str,
+    seed: int,
+    traces_per_setting: int = 10,
+    prefix: str = "",
+) -> List[WalkingTrace]:
+    """Walking-trace inner loop for one (network, device) setting.
+
+    Engine-dispatchable (registered as ``campaign.walking-setting``).
+    """
+    generator = WalkingTraceGenerator(
+        network=get_network(network_key),
+        device=get_device(device_name),
+        seed=seed,
+    )
+    return generator.generate_many(traces_per_setting, prefix=prefix)
 
 
 @dataclass
@@ -58,17 +107,47 @@ class Campaign:
 
     A deliberately scaled-down default (the real campaign burned 15 TB
     over 4 months); every knob can be raised to paper scale.
+    ``workers`` fans the per-setting inner loops out through the
+    scenario engine (1 = serial in-process, the reference behaviour).
     """
 
     seed: int = 0
+    # InitVar so the worker count stays execution metadata: exports and
+    # equality of a Campaign depend only on what was measured.
+    workers: InitVar[int] = 1
     _rng: np.random.Generator = field(init=False, repr=False)
+    _workers: int = field(init=False, repr=False, default=1)
     speedtest_results: List[SpeedtestResult] = field(default_factory=list)
     walking_traces: Dict[str, List[WalkingTrace]] = field(default_factory=dict)
     probe_results: Dict[str, ProbeResult] = field(default_factory=dict)
     web_page_loads: int = 0
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, workers: int = 1) -> None:
         self._rng = np.random.default_rng(self.seed)
+        self._workers = int(workers)
+
+    def _dispatch(self, runner: str, job_kwargs: List[Dict]) -> List:
+        """Run one engine job per setting; values in submission order.
+
+        Seeds were already drawn (in setting order) before dispatch, so
+        results are identical for any worker count. A failed setting
+        aborts the phase with every failure listed.
+        """
+        from repro.engine.pool import execute
+        from repro.engine.spec import JobSpec
+
+        jobs = [
+            JobSpec(
+                runner=runner,
+                kwargs=kwargs,
+                index=i,
+                label=f"{runner}[{kwargs['device_name']}/{kwargs['network_key']}]",
+            )
+            for i, kwargs in enumerate(job_kwargs)
+        ]
+        result = execute(jobs, workers=self._workers)
+        result.raise_if_failed()
+        return result.values()
 
     # -- phases ----------------------------------------------------------
     def run_speedtests(
@@ -81,22 +160,25 @@ class Campaign:
         """Speedtest phase: every (device, network, server, mode)."""
         network_keys = network_keys or ["verizon-nsa-mmwave", "tmobile-nsa-lowband"]
         device_names = device_names or ["S20U"]
-        results: List[SpeedtestResult] = []
+        job_kwargs: List[Dict] = []
         for net_key in network_keys:
-            network = get_network(net_key)
-            pool = servers or carrier_server_pool(network.carrier.value)[:5]
+            get_network(net_key)  # fail fast on unknown keys, pre-dispatch
             for device_name in device_names:
-                device = get_device(device_name)
-                harness = SpeedtestHarness(
-                    network=network,
-                    device=device,
-                    seed=int(self._rng.integers(0, 2**31)),
+                get_device(device_name)
+                job_kwargs.append(
+                    {
+                        "network_key": net_key,
+                        "device_name": device_name,
+                        "seed": int(self._rng.integers(0, 2**31)),
+                        "repetitions": repetitions,
+                        "servers": servers,
+                    }
                 )
-                for server in pool:
-                    for mode in ConnectionMode:
-                        results.extend(
-                            harness.run_setting(server, mode, repetitions)
-                        )
+        results: List[SpeedtestResult] = []
+        for setting_results in self._dispatch(
+            "campaign.speedtest-setting", job_kwargs
+        ):
+            results.extend(setting_results)
         self.speedtest_results.extend(results)
         return results
 
@@ -109,21 +191,29 @@ class Campaign:
         """Walking phase: N traces per (carrier, mode, band) setting."""
         network_keys = network_keys or list(RRC_PARAMETERS)
         device_names = device_names or ["S20U"]
+        job_kwargs: List[Dict] = []
         for net_key in network_keys:
-            network = get_network(net_key)
+            get_network(net_key)
             for device_name in device_names:
                 device = get_device(device_name)
                 if net_key not in device.curves:
                     continue
-                generator = WalkingTraceGenerator(
-                    network=network,
-                    device=device,
-                    seed=int(self._rng.integers(0, 2**31)),
-                )
                 setting = f"{device_name}/{net_key}"
-                self.walking_traces.setdefault(setting, []).extend(
-                    generator.generate_many(traces_per_setting, prefix=setting)
+                job_kwargs.append(
+                    {
+                        "network_key": net_key,
+                        "device_name": device_name,
+                        "seed": int(self._rng.integers(0, 2**31)),
+                        "traces_per_setting": traces_per_setting,
+                        "prefix": setting,
+                    }
                 )
+        for kwargs, traces in zip(
+            job_kwargs,
+            self._dispatch("campaign.walking-setting", job_kwargs),
+        ):
+            setting = kwargs["prefix"]
+            self.walking_traces.setdefault(setting, []).extend(traces)
         return self.walking_traces
 
     def run_probes(

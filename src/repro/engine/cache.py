@@ -1,0 +1,130 @@
+"""On-disk result store: repeated sweeps become incremental.
+
+Each completed job is persisted as one JSON file keyed by a stable
+SHA-256 of ``(runner, kwargs, seed, scale, code-version tag)``. Values
+are normalised through :func:`repro.experiments.export.to_jsonable`
+before hashing and before storage, so a cache hit returns exactly what
+a fresh (normalised) execution would, byte for byte, across processes
+and machines.
+
+The default code-version tag hashes every ``.py`` file under the
+``repro`` package: editing any source invalidates prior entries, which
+keeps stale results from leaking into regenerated artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.experiments.export import to_jsonable
+from repro.engine.spec import JobSpec
+
+PathLike = Union[str, Path]
+
+_SENTINEL = object()
+
+
+@lru_cache(maxsize=1)
+def default_code_version() -> str:
+    """A short digest over the installed ``repro`` package sources."""
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        try:
+            digest.update(path.read_bytes())
+        except OSError:
+            continue
+    return digest.hexdigest()[:16]
+
+
+class ResultCache:
+    """A directory of ``<runner>-<key>.json`` result files."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def key_for(self, spec: JobSpec, code_version: Optional[str] = None) -> str:
+        """Stable content key for one job under one code version."""
+        payload = {
+            "runner": spec.runner,
+            "kwargs": to_jsonable(dict(spec.kwargs)),
+            "seed": spec.seed,
+            "scale": spec.scale,
+            "code_version": code_version or default_code_version(),
+        }
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+    def path_for(self, spec: JobSpec, key: str) -> Path:
+        safe = re.sub(r"[^A-Za-z0-9._-]", "_", spec.runner)
+        return self.root / f"{safe}-{key}.json"
+
+    def get(self, spec: JobSpec, key: str) -> Tuple[bool, Any]:
+        """(hit, value). Corrupt/partial entries count as misses."""
+        path = self.path_for(spec, key)
+        try:
+            with path.open() as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return False, None
+        if not isinstance(record, dict) or "value" not in record:
+            return False, None
+        return True, record["value"]
+
+    def put(self, spec: JobSpec, key: str, value: Any) -> Path:
+        """Atomically persist one normalised job result."""
+        path = self.path_for(spec, key)
+        record = {
+            "runner": spec.runner,
+            "label": spec.display,
+            "seed": spec.seed,
+            "scale": spec.scale,
+            "key": key,
+            "value": value,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, allow_nan=False)
+                handle.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- maintenance -----------------------------------------------------
+    def entries(self) -> Dict[str, Path]:
+        return {path.stem: path for path in sorted(self.root.glob("*-*.json"))}
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        for path in self.entries().values():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

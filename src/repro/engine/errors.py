@@ -1,0 +1,31 @@
+"""Engine exception taxonomy.
+
+The pool distinguishes *transient* failures (worth a bounded
+retry-with-backoff: timeouts, connection hiccups, anything a runner
+raises as :class:`TransientJobError`) from *permanent* ones (logic
+errors that retrying cannot fix). Both end as a structured
+``JobFailure`` record instead of aborting the sweep.
+"""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for scenario-engine errors."""
+
+
+class UnknownRunnerError(EngineError, KeyError):
+    """A job named a runner that is not registered and not importable."""
+
+
+class TransientJobError(EngineError):
+    """A failure the submitting runner believes is worth retrying."""
+
+
+class JobTimeoutError(TransientJobError):
+    """A job exceeded its per-job wall-clock budget."""
+
+
+#: Exception types the pool retries (bounded, with backoff). Everything
+#: else fails fast on the first attempt.
+TRANSIENT_ERRORS = (TransientJobError, ConnectionError, OSError)

@@ -1,0 +1,374 @@
+"""Fault-tolerant job execution: serial, or multiprocessing fan-out.
+
+:func:`execute` takes a list of :class:`JobSpec` (or a
+:class:`SweepSpec`) and runs every job to an outcome:
+
+* ``workers <= 1`` runs in-process through *the same* per-job code path
+  the workers use, so serial execution is the reference behaviour, not
+  a separate implementation.
+* ``workers > 1`` fans out over a ``multiprocessing`` pool. Jobs cross
+  the boundary as plain dict payloads (runner *name* + kwargs + seed),
+  and each worker resolves the body via :mod:`repro.engine.registry`.
+* Per-job wall-clock timeouts use ``SIGALRM`` (each pool worker runs
+  jobs on its main thread); on platforms without it the timeout is a
+  no-op rather than an error.
+* Transient failures (:data:`TRANSIENT_ERRORS`) are retried with
+  exponential backoff up to ``retries`` extra attempts; permanent
+  errors fail fast. Either way a failed job yields a structured
+  :class:`JobFailure` record and the rest of the sweep keeps running.
+* With a :class:`~repro.engine.cache.ResultCache` attached, results are
+  normalised via ``to_jsonable`` and persisted, and matching jobs are
+  served from disk on later sweeps (``status == "cached"``).
+
+Determinism: per-job seeds are fixed at spec time and outcomes are
+re-ordered by job index, so ``workers=N`` is bit-identical to
+``workers=1`` for the same spec.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+import time
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.engine import registry
+from repro.engine.cache import ResultCache, default_code_version
+from repro.engine.errors import TRANSIENT_ERRORS, JobTimeoutError
+from repro.engine.progress import ProgressTracker
+from repro.engine.spec import JobSpec, SweepSpec
+from repro.experiments.export import to_jsonable
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of one job that exhausted its attempts."""
+
+    runner: str
+    label: str
+    error: str
+    error_type: str
+    attempts: int
+    transient: bool
+    traceback: str = ""
+
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one job: ``ok``, ``cached``, or ``failed``."""
+
+    spec: JobSpec
+    status: str
+    value: Any = None
+    failure: Optional[JobFailure] = None
+    attempts: int = 0
+    duration_s: float = 0.0
+
+
+@dataclass
+class SweepResult:
+    """All outcomes of one :func:`execute` call, in job-index order."""
+
+    outcomes: List[JobOutcome]
+    elapsed_s: float = 0.0
+    workers: int = 1
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def values(self) -> List[Any]:
+        """Per-job result values (``None`` where the job failed)."""
+        return [o.value for o in self.outcomes]
+
+    def failures(self) -> List[JobFailure]:
+        return [o.failure for o in self.outcomes if o.failure is not None]
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "ok")
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "cached")
+
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "failed")
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return self.cached_count / len(self.outcomes)
+
+    @property
+    def jobs_per_sec(self) -> float:
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return len(self.outcomes) / self.elapsed_s
+
+    def raise_if_failed(self) -> None:
+        failures = self.failures()
+        if failures:
+            lines = [f"{f.label}: {f.error_type}: {f.error}" for f in failures]
+            raise RuntimeError(
+                f"{len(failures)} job(s) failed:\n  " + "\n  ".join(lines)
+            )
+
+    def summary(self) -> str:
+        n = len(self.outcomes)
+        return (
+            f"{n} jobs: {self.ok_count} ok, {self.cached_count} cached, "
+            f"{self.failed_count} failed in {self.elapsed_s:.2f}s "
+            f"({self.jobs_per_sec:.2f} jobs/s)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution (also the serial code path).
+# ---------------------------------------------------------------------------
+
+@contextmanager
+def _job_timeout(seconds: Optional[float], label: str):
+    """Raise :class:`JobTimeoutError` after ``seconds`` of wall-clock.
+
+    Only armable on Unix main threads; elsewhere it degrades to no
+    timeout (documented in docs/engine.md).
+    """
+    can_arm = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not can_arm:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise JobTimeoutError(f"{label} exceeded {seconds:.3g}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _payload_from(
+    spec: JobSpec,
+    timeout_s: Optional[float],
+    retries: int,
+    backoff_s: float,
+) -> Dict[str, Any]:
+    return {
+        "index": spec.index,
+        "runner": spec.runner,
+        "kwargs": dict(spec.kwargs),
+        "seed": spec.seed,
+        "scale": spec.scale,
+        "label": spec.display,
+        "timeout_s": timeout_s,
+        "retries": int(retries),
+        "backoff_s": float(backoff_s),
+    }
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one job to completion inside the current process.
+
+    Module-level so the multiprocessing pool can pickle a reference to
+    it; importing this module in the worker also (re)loads the
+    registry, which is how job names resolve across processes.
+    """
+    label = payload["label"]
+    retries = max(0, payload["retries"])
+    started = time.monotonic()
+    attempts = 0
+    last_error: Optional[BaseException] = None
+    last_traceback = ""
+    while attempts <= retries:
+        attempts += 1
+        try:
+            with _job_timeout(payload["timeout_s"], label):
+                value = registry.call(
+                    payload["runner"],
+                    payload["kwargs"],
+                    seed=payload["seed"],
+                    scale=payload["scale"],
+                )
+            return {
+                "index": payload["index"],
+                "status": "ok",
+                "value": value,
+                "attempts": attempts,
+                "duration_s": time.monotonic() - started,
+            }
+        except TRANSIENT_ERRORS as exc:
+            last_error = exc
+            last_traceback = traceback.format_exc()
+            if attempts <= retries:
+                time.sleep(payload["backoff_s"] * (2 ** (attempts - 1)))
+                continue
+            break
+        except Exception as exc:
+            last_error = exc
+            last_traceback = traceback.format_exc()
+            break
+    assert last_error is not None
+    return {
+        "index": payload["index"],
+        "status": "failed",
+        "attempts": attempts,
+        "duration_s": time.monotonic() - started,
+        "error": str(last_error) or last_error.__class__.__name__,
+        "error_type": last_error.__class__.__name__,
+        "transient": isinstance(last_error, TRANSIENT_ERRORS),
+        "traceback": last_traceback,
+    }
+
+
+def _outcome_from_record(spec: JobSpec, record: Dict[str, Any]) -> JobOutcome:
+    if record["status"] == "ok":
+        return JobOutcome(
+            spec=spec,
+            status="ok",
+            value=record["value"],
+            attempts=record["attempts"],
+            duration_s=record["duration_s"],
+        )
+    failure = JobFailure(
+        runner=spec.runner,
+        label=spec.display,
+        error=record["error"],
+        error_type=record["error_type"],
+        attempts=record["attempts"],
+        transient=record["transient"],
+        traceback=record.get("traceback", ""),
+    )
+    return JobOutcome(
+        spec=spec,
+        status="failed",
+        failure=failure,
+        attempts=record["attempts"],
+        duration_s=record["duration_s"],
+    )
+
+
+def _effective_workers(workers: int, n_jobs: int) -> int:
+    workers = min(int(workers), n_jobs)
+    if workers <= 1:
+        return 1
+    # A daemonic worker (we are already inside a pool) cannot fork
+    # children; degrade to the serial executor instead of crashing.
+    if multiprocessing.current_process().daemon:
+        return 1
+    return workers
+
+
+# ---------------------------------------------------------------------------
+# Parent-side orchestration.
+# ---------------------------------------------------------------------------
+
+def execute(
+    jobs: Union[SweepSpec, Sequence[JobSpec]],
+    *,
+    workers: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    backoff_s: float = 0.1,
+    cache: Optional[ResultCache] = None,
+    code_version: Optional[str] = None,
+    progress: Optional[ProgressTracker] = None,
+) -> SweepResult:
+    """Run every job to an outcome; never raises for job failures.
+
+    With ``cache`` attached, values (fresh and cached alike) are
+    normalised through ``to_jsonable`` so both paths return identical
+    data; without it, runners' raw in-memory results pass through.
+    """
+    if isinstance(jobs, SweepSpec):
+        specs = jobs.expand()
+    else:
+        specs = [
+            spec if spec.index == i else spec.replace(index=i)
+            for i, spec in enumerate(jobs)
+        ]
+    started = time.monotonic()
+    if progress is not None:
+        progress.start(len(specs))
+
+    version = code_version or (default_code_version() if cache else None)
+    outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
+    keys: Dict[int, str] = {}
+    pending: List[JobSpec] = []
+    for spec in specs:
+        if cache is not None:
+            key = cache.key_for(spec, version)
+            keys[spec.index] = key
+            hit, value = cache.get(spec, key)
+            if hit:
+                outcome = JobOutcome(spec=spec, status="cached", value=value)
+                outcomes[spec.index] = outcome
+                if progress is not None:
+                    progress.update(outcome)
+                continue
+        pending.append(spec)
+
+    def _settle(spec: JobSpec, record: Dict[str, Any]) -> None:
+        outcome = _outcome_from_record(spec, record)
+        if cache is not None and outcome.status == "ok":
+            outcome.value = to_jsonable(outcome.value)
+            cache.put(spec, keys[spec.index], outcome.value)
+        outcomes[spec.index] = outcome
+        if progress is not None:
+            progress.update(outcome)
+
+    by_index = {spec.index: spec for spec in pending}
+    payloads = [
+        _payload_from(spec, timeout_s, retries, backoff_s) for spec in pending
+    ]
+    n_workers = _effective_workers(workers, len(pending))
+    if n_workers <= 1:
+        for spec, payload in zip(pending, payloads):
+            _settle(spec, _execute_payload(payload))
+    else:
+        with multiprocessing.Pool(processes=n_workers) as pool:
+            for record in pool.imap_unordered(
+                _execute_payload, payloads, chunksize=1
+            ):
+                _settle(by_index[record["index"]], record)
+
+    elapsed = time.monotonic() - started
+    if progress is not None:
+        progress.finish()
+    final = [outcome for outcome in outcomes if outcome is not None]
+    assert len(final) == len(specs)
+    return SweepResult(outcomes=final, elapsed_s=elapsed, workers=n_workers)
+
+
+def execute_one(
+    spec: JobSpec,
+    *,
+    cache: Optional[ResultCache] = None,
+    **kwargs: Any,
+) -> JobOutcome:
+    """Convenience wrapper: run a single job and return its outcome."""
+    result = execute([spec], cache=cache, **kwargs)
+    return result.outcomes[0]
+
+
+def iter_values(result: SweepResult) -> Iterable[Any]:
+    """Successful values in job order (failures skipped)."""
+    for outcome in result.outcomes:
+        if outcome.status in ("ok", "cached"):
+            yield outcome.value

@@ -1,0 +1,350 @@
+"""Runner registry: every dispatchable job body, addressable by name.
+
+Jobs cross process boundaries as *names*, not callables, so worker
+processes resolve the body locally by importing this module. Three
+kinds of entries exist:
+
+* ``artifact`` — one per paper table/figure (``fig2`` … ``table9``),
+  wrapping the :mod:`repro.experiments` runners with uniform
+  ``(scale, seed)`` handling. These are what the CLI lists and sweeps.
+* ``campaign`` — per-setting inner-loop bodies that
+  :class:`repro.core.campaign.Campaign` fans out through the pool.
+* ``test`` — deterministic sleepy/flaky/failing runners from
+  :mod:`repro.engine.testing` used by the test-suite and for failure
+  injection (``python -m repro sweep fig2 test.fail``).
+
+Entries may be *lazy* (a ``"module:attr"`` dotted target) so
+registering them costs nothing until first dispatch, and any
+module-level function is dispatchable by dotted path without prior
+registration.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from repro import experiments as ex
+from repro.engine.errors import UnknownRunnerError
+from repro.engine.spec import spawn_seeds
+
+
+@dataclass(frozen=True)
+class RunnerEntry:
+    """One registered runner: a callable or a lazy ``module:attr`` path."""
+
+    name: str
+    target: Union[Callable, str]
+    description: str = ""
+    kind: str = "runner"
+
+    def resolve(self) -> Callable:
+        if callable(self.target):
+            return self.target
+        return _import_target(self.target)
+
+
+_REGISTRY: Dict[str, RunnerEntry] = {}
+
+
+def _import_target(target: str) -> Callable:
+    module_name, _, attr = target.partition(":")
+    if not module_name or not attr:
+        raise UnknownRunnerError(
+            f"dotted runner target must look like 'package.module:function', got {target!r}"
+        )
+    module = importlib.import_module(module_name)
+    fn = getattr(module, attr, None)
+    if not callable(fn):
+        raise UnknownRunnerError(f"{target!r} does not name a callable")
+    return fn
+
+
+def register(
+    name: str,
+    target: Union[Callable, str],
+    *,
+    description: str = "",
+    kind: str = "runner",
+    overwrite: bool = False,
+) -> None:
+    """Register a runner under ``name`` (callable or ``module:attr``)."""
+    if not overwrite and name in _REGISTRY:
+        raise ValueError(f"runner {name!r} is already registered")
+    _REGISTRY[name] = RunnerEntry(
+        name=name, target=target, description=description, kind=kind
+    )
+
+
+def unregister(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def get_entry(name: str) -> RunnerEntry:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownRunnerError(
+            f"unknown runner {name!r}; see repro.engine.registry.available()"
+        ) from None
+
+
+def resolve(name: str) -> Callable:
+    """Name → callable; falls back to ``module:attr`` import syntax."""
+    if name in _REGISTRY:
+        return _REGISTRY[name].resolve()
+    if ":" in name:
+        return _import_target(name)
+    raise UnknownRunnerError(
+        f"unknown runner {name!r}; register it or use 'module:function' syntax"
+    )
+
+
+def available(kind: Optional[str] = None) -> List[str]:
+    """Sorted registered names, optionally filtered by entry kind."""
+    return sorted(
+        name for name, entry in _REGISTRY.items() if kind in (None, entry.kind)
+    )
+
+
+def describe(name: str) -> str:
+    return get_entry(name).description
+
+
+def _accepted_params(fn: Callable) -> Optional[set]:
+    """Keyword names ``fn`` accepts, or None if it takes ``**kwargs``."""
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return None
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return None
+    return {
+        name
+        for name, p in params.items()
+        if p.kind
+        in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    }
+
+
+def call(
+    name: str,
+    kwargs: Optional[Mapping[str, Any]] = None,
+    *,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+) -> Any:
+    """Dispatch one job body.
+
+    ``seed`` and ``scale`` are injected only when the runner's
+    signature accepts them (explicit ``kwargs`` entries win), so
+    seed-less runners like ``table2`` stay callable from seeded sweeps.
+    """
+    fn = resolve(name)
+    merged = dict(kwargs or {})
+    accepted = _accepted_params(fn)
+    for key, value in (("seed", seed), ("scale", scale)):
+        if value is None or key in merged:
+            continue
+        if accepted is None or key in accepted:
+            merged[key] = value
+    return fn(**merged)
+
+
+# ---------------------------------------------------------------------------
+# Artifact runners (one per paper table/figure), uniform (scale, seed).
+# ---------------------------------------------------------------------------
+
+def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+def _seed_kw(seed: Optional[int], offset: int = 0) -> Dict[str, int]:
+    """A ``seed=`` kwarg when one was requested, else runner defaults."""
+    return {} if seed is None else {"seed": int(seed) + offset}
+
+
+def _sub_seeds(seed: Optional[int], n: int) -> List[Optional[int]]:
+    """Independent child seeds for composite artifacts."""
+    return spawn_seeds(seed, n)
+
+
+def artifact_table1(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_table1_campaign(
+        speedtest_repetitions=_scaled(3, scale),
+        walking_traces_per_setting=_scaled(2, scale),
+        **_seed_kw(seed),
+    )
+
+
+def artifact_fig2(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_latency_vs_distance(
+        n_servers=_scaled(20, scale, 3), **_seed_kw(seed)
+    )
+
+
+def artifact_fig3(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_throughput_vs_distance(
+        n_servers=_scaled(10, scale, 2),
+        repetitions=_scaled(8, scale, 2),
+        **_seed_kw(seed),
+    )
+
+
+def artifact_fig6(scale: float = 1.0, seed: Optional[int] = None):
+    sa_seed, nsa_seed = _sub_seeds(seed, 2)
+    common = dict(n_servers=_scaled(8, scale, 2), repetitions=_scaled(6, scale, 2))
+    return {
+        "sa": ex.run_throughput_vs_distance(
+            network_key="tmobile-sa-lowband", **common, **_seed_kw(sa_seed)
+        ),
+        "nsa": ex.run_throughput_vs_distance(
+            network_key="tmobile-nsa-lowband", **common, **_seed_kw(nsa_seed)
+        ),
+    }
+
+
+def artifact_fig8(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_azure_transport(**_seed_kw(seed))
+
+
+def artifact_fig9(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_handoff_drive(**_seed_kw(seed))
+
+
+def artifact_fig10(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_rrc_inference(**_seed_kw(seed))
+
+
+def artifact_table2(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_tail_power()
+
+
+def artifact_fig11(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_throughput_power(**_seed_kw(seed))
+
+
+def artifact_fig12(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_energy_efficiency(**_seed_kw(seed))
+
+
+def artifact_fig13(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_walking_power(**_seed_kw(seed))
+
+
+def artifact_fig15(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_power_models(**_seed_kw(seed))
+
+
+def artifact_table9(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_software_monitor(**_seed_kw(seed))
+
+
+def artifact_fig17(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_abr_comparison(
+        n_traces=_scaled(20, scale, 4), n_chunks=50, duration_s=260, **_seed_kw(seed)
+    )
+
+
+def artifact_fig18(scale: float = 1.0, seed: Optional[int] = None):
+    s_pred, s_chunk, s_iface = _sub_seeds(seed, 3)
+    return {
+        "predictors": ex.run_video_predictors(
+            n_traces=_scaled(14, scale, 4), **_seed_kw(s_pred)
+        ),
+        "chunk_lengths": ex.run_chunk_lengths(
+            n_traces=_scaled(14, scale, 4), **_seed_kw(s_chunk)
+        ),
+        "interface_selection": ex.run_video_interface_selection(
+            n_pairs=_scaled(16, scale, 4), **_seed_kw(s_iface)
+        ),
+    }
+
+
+def artifact_fig19(scale: float = 1.0, seed: Optional[int] = None):
+    result = ex.run_web_factors(n_sites=_scaled(600, scale, 50), **_seed_kw(seed))
+    result.pop("dataset", None)  # raw arrays are bulky; keep the summaries
+    result.pop("cdfs", None)
+    return result
+
+
+def artifact_table6(scale: float = 1.0, seed: Optional[int] = None):
+    result = ex.run_web_selection(n_sites=_scaled(600, scale, 50), **_seed_kw(seed))
+    result.pop("reports", None)
+    return result
+
+
+def artifact_fig23(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_carrier_aggregation(**_seed_kw(seed))
+
+
+def artifact_fig24(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_server_survey(**_seed_kw(seed))
+
+
+_ARTIFACTS = {
+    "table1": (artifact_table1, "dataset statistics"),
+    "fig2": (artifact_fig2, "RTT vs UE-server distance (also fig1/fig5)"),
+    "fig3": (artifact_fig3, "Verizon mmWave DL/UL vs distance (also fig4)"),
+    "fig6": (artifact_fig6, "T-Mobile SA vs NSA throughput (also fig7)"),
+    "fig8": (artifact_fig8, "Azure transport settings"),
+    "fig9": (artifact_fig9, "handoffs while driving"),
+    "fig10": (artifact_fig10, "RRC-Probe sweeps (also fig25)"),
+    "table2": (artifact_table2, "tail/switch power"),
+    "fig11": (artifact_fig11, "throughput vs power (also fig26, table8)"),
+    "fig12": (artifact_fig12, "energy efficiency (also fig27)"),
+    "fig13": (artifact_fig13, "power-RSRP-throughput walking data (also fig14)"),
+    "fig15": (artifact_fig15, "power-model MAPE comparison"),
+    "table9": (artifact_table9, "software monitor benchmark (also table3, fig16)"),
+    "fig17": (artifact_fig17, "seven ABRs on 5G vs 4G"),
+    "fig18": (artifact_fig18, "predictors / chunk length / interface selection (also table4)"),
+    "fig19": (artifact_fig19, "web PLT & energy factors (also fig20, fig21)"),
+    "table6": (artifact_table6, "DT radio interface selection (also fig22)"),
+    "fig23": (artifact_fig23, "4CC vs 8CC carrier aggregation"),
+    "fig24": (artifact_fig24, "Minnesota server survey"),
+}
+
+for _name, (_fn, _desc) in _ARTIFACTS.items():
+    register(_name, _fn, description=_desc, kind="artifact")
+
+# Campaign inner-loop bodies (lazy: Campaign imports the engine, not vice versa).
+register(
+    "campaign.speedtest-setting",
+    "repro.core.campaign:speedtest_setting_job",
+    description="Speedtest phase for one (network, device) setting",
+    kind="campaign",
+)
+register(
+    "campaign.walking-setting",
+    "repro.core.campaign:walking_setting_job",
+    description="Walking-trace phase for one (network, device) setting",
+    kind="campaign",
+)
+
+# Deterministic test runners (failure injection, scaling benchmarks).
+register(
+    "test.sleep",
+    "repro.engine.testing:sleepy_runner",
+    description="sleeps then echoes (scaling benchmarks)",
+    kind="test",
+)
+register(
+    "test.flaky",
+    "repro.engine.testing:flaky_runner",
+    description="fails transiently N times, then succeeds",
+    kind="test",
+)
+register(
+    "test.fail",
+    "repro.engine.testing:failing_runner",
+    description="always fails (failure-path injection)",
+    kind="test",
+)
+register(
+    "test.echo",
+    "repro.engine.testing:echo_runner",
+    description="echoes its kwargs and injected seed",
+    kind="test",
+)

@@ -1,0 +1,66 @@
+"""Deterministic runners for exercising the engine itself.
+
+Registered as ``test.sleep`` / ``test.flaky`` / ``test.fail`` /
+``test.echo``; being module-level functions they resolve by name in
+worker processes regardless of the multiprocessing start method.
+``flaky_runner`` keeps its attempt count in a caller-supplied state
+file so retry behaviour is observable across processes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional
+
+from repro.engine.errors import TransientJobError
+
+
+def sleepy_runner(
+    duration_s: float = 0.2, value: Any = 0, seed: Optional[int] = None
+) -> Dict[str, Any]:
+    """Sleep for ``duration_s`` then echo — a pure wall-clock load."""
+    time.sleep(float(duration_s))
+    return {"value": value, "seed": seed, "duration_s": float(duration_s)}
+
+
+def flaky_runner(
+    state_file: str,
+    fail_times: int = 2,
+    value: Any = "ok",
+    seed: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Raise :class:`TransientJobError` on the first ``fail_times`` calls.
+
+    The per-job attempt counter lives in ``state_file`` (give each job
+    its own file), so the failure schedule survives process boundaries.
+    """
+    try:
+        with open(state_file) as handle:
+            count = int(handle.read().strip() or 0)
+    except (OSError, ValueError):
+        count = 0
+    count += 1
+    tmp = f"{state_file}.{os.getpid()}.tmp"
+    with open(tmp, "w") as handle:
+        handle.write(str(count))
+    os.replace(tmp, state_file)
+    if count <= int(fail_times):
+        raise TransientJobError(
+            f"injected transient failure {count}/{fail_times}"
+        )
+    return {"value": value, "attempts_used": count, "seed": seed}
+
+
+def failing_runner(
+    message: str = "injected permanent failure", seed: Optional[int] = None
+) -> None:
+    """Always raise — exercises the sweep's graceful-degradation path."""
+    raise RuntimeError(message)
+
+
+def echo_runner(seed: Optional[int] = None, **kwargs: Any) -> Dict[str, Any]:
+    """Return the injected seed plus whatever kwargs were passed."""
+    out = dict(kwargs)
+    out["seed"] = seed
+    return out

@@ -12,9 +12,14 @@ def run_table1_campaign(
     walking_traces_per_setting: int = 2,
     web_loads: int = 600,
     seed: int = 0,
+    workers: int = 1,
 ) -> Dict:
-    """A miniature end-to-end campaign (raise the knobs for scale)."""
-    campaign = Campaign(seed=seed)
+    """A miniature end-to-end campaign (raise the knobs for scale).
+
+    ``workers`` parallelises the per-setting inner loops through the
+    scenario engine without changing the results.
+    """
+    campaign = Campaign(seed=seed, workers=workers)
     campaign.run_speedtests(repetitions=speedtest_repetitions)
     campaign.run_walking(
         network_keys=["verizon-nsa-mmwave", "tmobile-sa-lowband"],

@@ -21,17 +21,33 @@ PathLike = Union[str, Path]
 
 _MAX_ARRAY_EXPORT = 100_000
 
+#: Non-finite floats cannot appear in strict JSON; NaN (a missing
+#: measurement) maps to ``null`` while signed infinities keep their
+#: identity as sentinel strings so they survive a round-trip.
+POS_INF_SENTINEL = "Infinity"
+NEG_INF_SENTINEL = "-Infinity"
+
+
+def _finite_or_sentinel(value: float) -> Union[float, str, None]:
+    if np.isfinite(value):
+        return value
+    if np.isnan(value):
+        return None
+    return POS_INF_SENTINEL if value > 0 else NEG_INF_SENTINEL
+
 
 def to_jsonable(value: Any) -> Any:
     """Recursively convert runner output into JSON-serialisable data.
 
     numpy scalars/arrays become Python numbers/lists, dataclasses become
     dicts, enums become their values, tuples of non-string keys are
-    joined with ``|``. Objects with no natural representation fall back
-    to ``repr`` so exports never crash mid-campaign.
+    joined with ``|``. Non-finite floats become ``null`` (NaN) or the
+    ``"Infinity"``/``"-Infinity"`` sentinel strings, so the output is
+    always *strict* JSON. Objects with no natural representation fall
+    back to ``repr`` so exports never crash mid-campaign.
     """
     if isinstance(value, float):
-        return value if np.isfinite(value) else None
+        return _finite_or_sentinel(value)
     if value is None or isinstance(value, (bool, int, str)):
         return value
     if isinstance(value, (np.bool_,)):
@@ -39,8 +55,7 @@ def to_jsonable(value: Any) -> Any:
     if isinstance(value, np.integer):
         return int(value)
     if isinstance(value, np.floating):
-        out = float(value)
-        return out if np.isfinite(out) else None
+        return _finite_or_sentinel(float(value))
     if isinstance(value, np.ndarray):
         if value.size > _MAX_ARRAY_EXPORT:
             raise ValueError(
@@ -66,16 +81,19 @@ def to_jsonable(value: Any) -> Any:
         return out
     if isinstance(value, (list, tuple, set)):
         return [to_jsonable(v) for v in value]
-    if isinstance(value, float):
-        return value if np.isfinite(value) else None
     return repr(value)
 
 
 def export_json(result: Any, path: PathLike, indent: int = 1) -> Path:
-    """Write a runner result as JSON; returns the written path."""
+    """Write a runner result as strict JSON; returns the written path.
+
+    ``allow_nan=False`` guarantees the emitted file parses under every
+    strict JSON reader — :func:`to_jsonable` has already rewritten any
+    non-finite float, so a violation here is a conversion bug.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w") as handle:
-        json.dump(to_jsonable(result), handle, indent=indent)
+        json.dump(to_jsonable(result), handle, indent=indent, allow_nan=False)
         handle.write("\n")
     return path

@@ -1,0 +1,151 @@
+"""Tests for repro.engine.cache: keys, persistence, hit/miss behavior."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.engine import JobSpec, ResultCache, SweepSpec, execute
+from repro.engine.cache import default_code_version
+
+
+class TestKeys:
+    def test_key_is_stable(self):
+        cache = ResultCache.__new__(ResultCache)  # no dir needed for keys
+        spec = JobSpec(runner="fig2", kwargs={"a": 1}, seed=3, scale=0.5)
+        assert cache.key_for(spec, "v1") == cache.key_for(spec, "v1")
+
+    def test_key_varies_with_inputs(self):
+        cache = ResultCache.__new__(ResultCache)
+        base = JobSpec(runner="fig2", kwargs={"a": 1}, seed=3, scale=0.5)
+        variants = [
+            base.replace(runner="fig3"),
+            base.replace(kwargs={"a": 2}),
+            base.replace(seed=4),
+            base.replace(scale=0.25),
+        ]
+        keys = {cache.key_for(spec, "v1") for spec in [base] + variants}
+        assert len(keys) == 5
+
+    def test_key_varies_with_code_version(self):
+        cache = ResultCache.__new__(ResultCache)
+        spec = JobSpec(runner="fig2")
+        assert cache.key_for(spec, "v1") != cache.key_for(spec, "v2")
+
+    def test_index_and_label_do_not_affect_key(self):
+        cache = ResultCache.__new__(ResultCache)
+        spec = JobSpec(runner="fig2", seed=1)
+        assert cache.key_for(spec, "v") == cache.key_for(
+            spec.replace(index=7, label="other"), "v"
+        )
+
+    def test_default_code_version_is_short_hex(self):
+        version = default_code_version()
+        assert len(version) == 16
+        int(version, 16)
+
+
+class TestStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = JobSpec(runner="fig2", seed=1)
+        key = cache.key_for(spec, "v")
+        hit, _ = cache.get(spec, key)
+        assert not hit
+        cache.put(spec, key, {"rows": [1, 2]})
+        hit, value = cache.get(spec, key)
+        assert hit and value == {"rows": [1, 2]}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = JobSpec(runner="fig2", seed=1)
+        key = cache.key_for(spec, "v")
+        cache.path_for(spec, key).write_text("{not json")
+        hit, _ = cache.get(spec, key)
+        assert not hit
+
+    def test_entries_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for seed in (1, 2):
+            spec = JobSpec(runner="fig2", seed=seed)
+            cache.put(spec, cache.key_for(spec, "v"), seed)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_files_are_strict_json(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = JobSpec(runner="fig2", seed=1)
+        key = cache.key_for(spec, "v")
+        path = cache.put(spec, key, {"x": None})
+        record = json.loads(path.read_text())
+        assert record["runner"] == "fig2" and record["value"] == {"x": None}
+
+
+class TestEngineIntegration:
+    def test_second_sweep_is_all_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = SweepSpec(
+            runners=["test.echo"], grid={"x": [1, 2, 3]}, base_seed=5
+        ).expand()
+        first = execute(jobs, cache=cache, code_version="v")
+        second = execute(jobs, cache=cache, code_version="v")
+        assert first.cached_count == 0 and first.ok_count == 3
+        assert second.cached_count == 3 and second.cache_hit_rate == 1.0
+        assert first.values() == second.values()
+
+    def test_code_version_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = SweepSpec(runners=["test.echo"], grid={"x": [1]}).expand()
+        execute(jobs, cache=cache, code_version="v1")
+        rerun = execute(jobs, cache=cache, code_version="v2")
+        assert rerun.cached_count == 0
+
+    def test_cached_equals_fresh_normalised(self, tmp_path):
+        # Fresh runs through a cache return to_jsonable-normalised data,
+        # so hits and misses are indistinguishable to the caller.
+        import numpy as np
+
+        from repro.experiments.export import to_jsonable
+
+        cache = ResultCache(tmp_path)
+        spec = JobSpec(runner="fig2", seed=2, scale=0.2)
+        fresh = execute([spec], cache=cache, code_version="v").values()[0]
+        cached = execute([spec], cache=cache, code_version="v").values()[0]
+        assert fresh == cached
+        assert fresh == to_jsonable(fresh)  # already normalised
+        assert not isinstance(fresh["series"], np.ndarray)
+
+    def test_hits_across_processes(self, tmp_path):
+        """A cache written by one OS process is served in another."""
+        cache_dir = tmp_path / "xproc-cache"
+        script = (
+            "import sys; sys.path.insert(0, {src!r})\n"
+            "from repro.engine import JobSpec, ResultCache, execute\n"
+            "cache = ResultCache({cache!r})\n"
+            "r = execute([JobSpec(runner='test.echo', kwargs={{'x': 1}}, seed=4)],\n"
+            "            cache=cache, code_version='v')\n"
+            "print(r.cached_count, r.ok_count)\n"
+        ).format(
+            src=str(Path(__file__).resolve().parents[2] / "src"),
+            cache=str(cache_dir),
+        )
+        outputs = []
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            outputs.append(proc.stdout.strip())
+        assert outputs == ["0 1", "1 0"]
+
+    def test_parallel_workers_share_one_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = SweepSpec(
+            runners=["test.echo"], grid={"x": [1, 2, 3, 4]}, base_seed=1
+        ).expand()
+        execute(jobs, workers=2, cache=cache, code_version="v")
+        rerun = execute(jobs, workers=2, cache=cache, code_version="v")
+        assert rerun.cache_hit_rate == 1.0

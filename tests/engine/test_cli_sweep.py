@@ -1,0 +1,60 @@
+"""CLI-level tests for ``python -m repro sweep``."""
+
+import json
+
+from repro.cli import main
+
+
+class TestSweep:
+    def test_sweep_two_artifacts(self, capsys):
+        assert main(["sweep", "fig2", "table2", "--scale", "0.2", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "2 ok" in out and "0 failed" in out
+
+    def test_sweep_parallel_json_matches_serial(self, tmp_path):
+        payloads = []
+        for i, workers in enumerate(("1", "2")):
+            target = tmp_path / f"sweep-{i}.json"
+            code = main(
+                ["sweep", "fig2", "table2", "--scale", "0.2", "--seed", "3",
+                 "--workers", workers, "--quiet", "--json", str(target)]
+            )
+            assert code == 0
+            payloads.append(json.loads(target.read_text()))
+        assert payloads[0] == payloads[1]
+        assert set(payloads[0]) == {"fig2", "table2"}
+
+    def test_sweep_cache_reports_hits(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["sweep", "fig2", "--scale", "0.2", "--seed", "1",
+                "--cache-dir", cache_dir, "--quiet"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "cache hits: 0/1" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "cache hits: 1/1 (100%)" in second
+
+    def test_sweep_with_injected_failure_finishes(self, capsys):
+        # The acceptance scenario: one always-failing job must not sink
+        # the sweep; the summary reports it and the exit code is 1.
+        code = main(
+            ["sweep", "fig2", "test.fail", "table2", "--scale", "0.2",
+             "--retries", "0", "--quiet"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "2 ok" in out and "1 failed" in out
+        assert "FAILED test.fail: RuntimeError" in out
+
+    def test_sweep_progress_lines_on_stderr(self, capsys):
+        assert main(["sweep", "table2", "--scale", "0.2"]) == 0
+        captured = capsys.readouterr()
+        assert "[1/1] table2: ok" in captured.err
+
+    def test_sweep_timeout_flag(self, capsys):
+        code = main(
+            ["sweep", "test.sleep", "--timeout", "60", "--retries", "0",
+             "--quiet"]
+        )
+        assert code == 0

@@ -1,0 +1,198 @@
+"""Tests for repro.engine.pool: fan-out, retries, timeouts, failures."""
+
+import pytest
+
+from repro.engine import (
+    JobSpec,
+    ProgressTracker,
+    SweepSpec,
+    execute,
+    execute_one,
+    iter_values,
+)
+
+
+def _echo_jobs(n, base_seed=9):
+    return SweepSpec(
+        runners=["test.echo"], grid={"x": list(range(n))}, base_seed=base_seed
+    ).expand()
+
+
+class TestExecuteSerial:
+    def test_values_in_job_order(self):
+        result = execute(_echo_jobs(4))
+        assert [v["x"] for v in result.values()] == [0, 1, 2, 3]
+        assert result.ok_count == 4 and result.failed_count == 0
+
+    def test_seeds_injected(self):
+        values = execute(_echo_jobs(3)).values()
+        assert all(v["seed"] is not None for v in values)
+
+    def test_sweepspec_accepted_directly(self):
+        sweep = SweepSpec(runners=["test.echo"], grid={"x": [1, 2]})
+        assert len(execute(sweep)) == 2
+
+    def test_execute_one(self):
+        outcome = execute_one(JobSpec(runner="test.echo", kwargs={"x": 7}))
+        assert outcome.status == "ok" and outcome.value["x"] == 7
+
+
+class TestExecuteParallel:
+    def test_parallel_matches_serial(self):
+        jobs = _echo_jobs(6)
+        serial = execute(jobs, workers=1)
+        parallel = execute(jobs, workers=4)
+        assert serial.values() == parallel.values()
+        assert parallel.workers > 1
+
+    def test_worker_count_capped_by_jobs(self):
+        result = execute(_echo_jobs(2), workers=16)
+        assert result.workers == 2
+
+
+class TestFailureHandling:
+    def test_failed_job_does_not_abort_sweep(self):
+        jobs = [
+            JobSpec(runner="test.echo", kwargs={"x": 1}, index=0),
+            JobSpec(runner="test.fail", index=1),
+            JobSpec(runner="test.echo", kwargs={"x": 2}, index=2),
+        ]
+        result = execute(jobs, workers=2, retries=0)
+        assert result.ok_count == 2 and result.failed_count == 1
+        assert [o.status for o in result.outcomes] == ["ok", "failed", "ok"]
+        assert list(iter_values(result)) == [
+            {"x": 1, "seed": None},
+            {"x": 2, "seed": None},
+        ]
+
+    def test_failure_record_is_structured(self):
+        result = execute([JobSpec(runner="test.fail", label="boom")], retries=3)
+        (failure,) = result.failures()
+        assert failure.label == "boom"
+        assert failure.error_type == "RuntimeError"
+        assert "injected permanent failure" in failure.error
+        assert failure.attempts == 1  # permanent errors are not retried
+        assert not failure.transient
+        assert "RuntimeError" in failure.traceback
+
+    def test_raise_if_failed(self):
+        result = execute([JobSpec(runner="test.fail")], retries=0)
+        with pytest.raises(RuntimeError, match="injected permanent failure"):
+            result.raise_if_failed()
+
+    def test_unknown_runner_is_a_job_failure(self):
+        result = execute([JobSpec(runner="no-such-runner")], retries=0)
+        (failure,) = result.failures()
+        assert failure.error_type == "UnknownRunnerError"
+
+
+class TestRetries:
+    def test_flaky_job_recovers_within_budget(self, tmp_path):
+        state = tmp_path / "flaky-state"
+        outcome = execute_one(
+            JobSpec(
+                runner="test.flaky",
+                kwargs={"state_file": str(state), "fail_times": 2},
+            ),
+            retries=3,
+            backoff_s=0.01,
+        )
+        assert outcome.status == "ok"
+        assert outcome.attempts == 3
+        assert outcome.value["attempts_used"] == 3
+
+    def test_flaky_job_exhausts_budget(self, tmp_path):
+        state = tmp_path / "flaky-state"
+        outcome = execute_one(
+            JobSpec(
+                runner="test.flaky",
+                kwargs={"state_file": str(state), "fail_times": 10},
+            ),
+            retries=2,
+            backoff_s=0.01,
+        )
+        assert outcome.status == "failed"
+        assert outcome.failure.attempts == 3
+        assert outcome.failure.transient
+        assert outcome.failure.error_type == "TransientJobError"
+
+    def test_flaky_recovers_in_worker_processes(self, tmp_path):
+        # Retries happen inside the worker; state crosses processes via
+        # the state file.
+        state = tmp_path / "flaky-mp"
+        jobs = [
+            JobSpec(
+                runner="test.flaky",
+                kwargs={"state_file": str(state), "fail_times": 1},
+                index=0,
+            ),
+            JobSpec(runner="test.echo", kwargs={"x": 5}, index=1),
+        ]
+        result = execute(jobs, workers=2, retries=2, backoff_s=0.01)
+        assert result.ok_count == 2
+
+
+class TestTimeouts:
+    def test_timeout_fails_job(self):
+        outcome = execute_one(
+            JobSpec(runner="test.sleep", kwargs={"duration_s": 5.0}),
+            timeout_s=0.2,
+            retries=0,
+        )
+        assert outcome.status == "failed"
+        assert outcome.failure.error_type == "JobTimeoutError"
+        assert outcome.failure.transient
+        assert outcome.duration_s < 4.0
+
+    def test_timeout_is_retried_as_transient(self):
+        outcome = execute_one(
+            JobSpec(runner="test.sleep", kwargs={"duration_s": 5.0}),
+            timeout_s=0.1,
+            retries=1,
+            backoff_s=0.01,
+        )
+        assert outcome.status == "failed"
+        assert outcome.failure.attempts == 2
+
+    def test_timeout_in_worker_process(self):
+        jobs = [
+            JobSpec(runner="test.sleep", kwargs={"duration_s": 5.0}, index=0),
+            JobSpec(runner="test.echo", kwargs={"x": 1}, index=1),
+        ]
+        result = execute(jobs, workers=2, timeout_s=0.3, retries=0)
+        assert [o.status for o in result.outcomes] == ["failed", "ok"]
+
+    def test_fast_job_unaffected_by_timeout(self):
+        outcome = execute_one(
+            JobSpec(runner="test.sleep", kwargs={"duration_s": 0.01}),
+            timeout_s=5.0,
+        )
+        assert outcome.status == "ok"
+
+
+class TestProgress:
+    def test_tracker_counts_everything(self, tmp_path):
+        tracker = ProgressTracker()
+        jobs = [
+            JobSpec(runner="test.echo", kwargs={"x": 1}, index=0),
+            JobSpec(runner="test.fail", index=1),
+        ]
+        execute(jobs, retries=0, progress=tracker)
+        snap = tracker.snapshot()
+        assert snap.total == 2 and snap.ok == 1 and snap.failed == 1
+        assert snap.done == 2
+        assert snap.elapsed_s >= 0.0
+
+    def test_tracker_stream_output(self, capsys):
+        import sys
+
+        tracker = ProgressTracker(stream=sys.stderr)
+        execute([JobSpec(runner="test.echo", label="j1")], progress=tracker)
+        err = capsys.readouterr().err
+        assert "[1/1] j1: ok" in err
+        assert "1 ok" in err
+
+    def test_summary_mentions_throughput(self):
+        result = execute(_echo_jobs(2))
+        assert "jobs/s" in result.summary()
+        assert "2 ok" in result.summary()

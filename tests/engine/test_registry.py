@@ -1,0 +1,75 @@
+"""Tests for repro.engine.registry: lookup, lazy targets, injection."""
+
+import pytest
+
+from repro.engine import registry
+from repro.engine.errors import UnknownRunnerError
+
+
+class TestRegistration:
+    def test_all_artifacts_registered(self):
+        artifacts = registry.available(kind="artifact")
+        assert set(artifacts) == {
+            "table1", "fig2", "fig3", "fig6", "fig8", "fig9", "fig10",
+            "table2", "fig11", "fig12", "fig13", "fig15", "table9",
+            "fig17", "fig18", "fig19", "table6", "fig23", "fig24",
+        }
+
+    def test_campaign_and_test_runners_registered(self):
+        names = set(registry.available())
+        assert {"campaign.speedtest-setting", "campaign.walking-setting"} <= names
+        assert {"test.sleep", "test.flaky", "test.fail", "test.echo"} <= names
+
+    def test_descriptions_present(self):
+        for name in registry.available(kind="artifact"):
+            assert registry.describe(name)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            registry.register("fig2", lambda: None)
+
+    def test_register_unregister_roundtrip(self):
+        registry.register("tmp.unit", lambda: 41, description="t", kind="test")
+        try:
+            assert registry.call("tmp.unit") == 41
+        finally:
+            registry.unregister("tmp.unit")
+        with pytest.raises(UnknownRunnerError):
+            registry.resolve("tmp.unit")
+
+
+class TestResolution:
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownRunnerError):
+            registry.resolve("does-not-exist")
+
+    def test_dotted_path_fallback(self):
+        fn = registry.resolve("repro.engine.testing:echo_runner")
+        assert fn(seed=3) == {"seed": 3}
+
+    def test_bad_dotted_path(self):
+        with pytest.raises(UnknownRunnerError):
+            registry.resolve("repro.engine.testing:not_a_function")
+
+    def test_lazy_entries_resolve(self):
+        fn = registry.resolve("test.echo")
+        assert fn(x=1) == {"x": 1, "seed": None}
+
+
+class TestCall:
+    def test_seed_injected_when_accepted(self):
+        assert registry.call("test.echo", seed=5) == {"seed": 5}
+
+    def test_seed_ignored_when_not_accepted(self):
+        # run_tail_power (table2) takes neither seed nor scale.
+        result = registry.call("table2", seed=123, scale=0.5)
+        assert "rows" in result
+
+    def test_explicit_kwarg_wins_over_injection(self):
+        out = registry.call("test.echo", {"seed": 1}, seed=2)
+        assert out == {"seed": 1}
+
+    def test_scale_injected_for_artifacts(self):
+        result = registry.call("fig2", scale=0.2, seed=0)
+        # 20 servers scaled to 4 ⇒ 4 distances per series.
+        assert len(result["series"]["verizon-lte"]) == 4

@@ -1,0 +1,89 @@
+"""Tests for repro.engine.spec: job specs, grids, seed derivation."""
+
+import pytest
+
+from repro.engine.spec import JobSpec, SweepSpec, spawn_seeds
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+
+    def test_independent_children(self):
+        seeds = spawn_seeds(7, 16)
+        assert len(set(seeds)) == 16
+
+    def test_base_seed_changes_children(self):
+        assert spawn_seeds(1, 4) != spawn_seeds(2, 4)
+
+    def test_none_propagates(self):
+        assert spawn_seeds(None, 3) == [None, None, None]
+
+    def test_prefix_stability(self):
+        # The first k children do not depend on how many siblings follow.
+        assert spawn_seeds(3, 2) == spawn_seeds(3, 5)[:2]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestJobSpec:
+    def test_display_defaults(self):
+        assert JobSpec(runner="fig2", index=3).display == "fig2#3"
+        assert JobSpec(runner="fig2", label="custom").display == "custom"
+
+    def test_replace(self):
+        spec = JobSpec(runner="fig2", seed=1)
+        other = spec.replace(index=9)
+        assert other.index == 9 and other.runner == "fig2" and spec.index == 0
+
+
+class TestSweepSpec:
+    def test_grid_expansion_cartesian(self):
+        sweep = SweepSpec(
+            runners=["test.echo"],
+            grid={"a": [1, 2], "b": ["x", "y", "z"]},
+        )
+        jobs = sweep.expand()
+        assert len(jobs) == 6
+        assert [j.kwargs for j in jobs[:3]] == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 1, "b": "z"},
+        ]
+
+    def test_base_kwargs_overlaid(self):
+        sweep = SweepSpec(
+            runners=["test.echo"],
+            base_kwargs={"a": 0, "c": 9},
+            grid={"a": [5]},
+        )
+        (job,) = sweep.expand()
+        assert job.kwargs == {"a": 5, "c": 9}
+
+    def test_repetitions_multiply(self):
+        jobs = SweepSpec(runners=["r1", "r2"], repetitions=3).expand()
+        assert len(jobs) == 6
+        assert [j.runner for j in jobs] == ["r1"] * 3 + ["r2"] * 3
+
+    def test_seeds_assigned_positionally(self):
+        sweep = SweepSpec(runners=["a", "b"], base_seed=11, repetitions=2)
+        jobs = sweep.expand()
+        assert [j.seed for j in jobs] == spawn_seeds(11, 4)
+        assert [j.index for j in jobs] == [0, 1, 2, 3]
+
+    def test_expansion_is_reproducible(self):
+        sweep = SweepSpec(
+            runners=["a"], grid={"x": [1, 2]}, base_seed=3, repetitions=2
+        )
+        assert sweep.expand() == sweep.expand()
+
+    def test_labels_name_grid_point_and_rep(self):
+        sweep = SweepSpec(runners=["a"], grid={"x": [1]}, repetitions=2)
+        labels = [j.label for j in sweep.expand()]
+        assert labels == ["a[x=1]/r0", "a[x=1]/r1"]
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec(runners=["a"], repetitions=0).expand()

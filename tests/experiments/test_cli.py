@@ -2,9 +2,7 @@
 
 import json
 
-import pytest
-
-from repro.cli import ARTIFACTS, build_parser, main
+from repro.cli import _artifact_ids, build_parser, main
 
 
 class TestParser:
@@ -17,23 +15,41 @@ class TestParser:
         assert args.artifact == "fig9"
         assert args.scale == 0.5
 
-    def test_unknown_artifact_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "fig999"])
+    def test_run_seed_parses(self):
+        args = build_parser().parse_args(["run", "fig9", "--seed", "42"])
+        assert args.seed == 42
+
+    def test_sweep_parses(self):
+        args = build_parser().parse_args(
+            ["sweep", "fig2", "fig9", "--workers", "4", "--cache-dir", "c"]
+        )
+        assert args.artifacts == ["fig2", "fig9"]
+        assert args.workers == 4
+        assert args.cache_dir == "c"
 
     def test_every_paper_artifact_reachable(self):
         # Every evaluation table/figure maps to some CLI id (several ids
         # cover multiple artifacts; the docstrings say which).
-        assert {"table1", "table2", "table6", "table9"} <= set(ARTIFACTS)
-        assert {"fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig17", "fig19"} <= set(ARTIFACTS)
+        ids = set(_artifact_ids())
+        assert {"table1", "table2", "table6", "table9"} <= ids
+        assert {"fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig17", "fig19"} <= ids
 
 
 class TestMain:
     def test_list_prints_all(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for key in ARTIFACTS:
+        for key in _artifact_ids():
             assert key in out
+
+    def test_unknown_artifact_exits_nonzero(self, capsys):
+        assert main(["run", "fig999"]) == 2
+        err = capsys.readouterr().err
+        assert "fig999" in err and "repro list" in err
+
+    def test_unknown_sweep_artifact_exits_nonzero(self, capsys):
+        assert main(["sweep", "fig2", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
 
     def test_run_fig9_prints_table(self, capsys):
         assert main(["run", "fig9"]) == 0
@@ -54,3 +70,21 @@ class TestMain:
     def test_scaled_run_smaller(self, capsys):
         assert main(["run", "fig24", "--scale", "0.25"]) == 0
         assert "Verizon, Minneapolis" in capsys.readouterr().out
+
+    def test_run_seed_changes_output(self, tmp_path):
+        paths = []
+        for i, seed in enumerate(["1", "2"]):
+            target = tmp_path / f"f2-{seed}-{i}.json"
+            assert main(["run", "fig2", "--scale", "0.2", "--seed", seed,
+                         "--json", str(target)]) == 0
+            paths.append(json.loads(target.read_text()))
+        assert paths[0] != paths[1]
+
+    def test_run_seed_reproducible(self, tmp_path):
+        payloads = []
+        for i in range(2):
+            target = tmp_path / f"f2-{i}.json"
+            assert main(["run", "fig2", "--scale", "0.2", "--seed", "7",
+                         "--json", str(target)]) == 0
+            payloads.append(json.loads(target.read_text()))
+        assert payloads[0] == payloads[1]

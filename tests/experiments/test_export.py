@@ -35,7 +35,27 @@ class TestToJsonable:
 
     def test_nan_becomes_null(self):
         assert to_jsonable(np.float64("nan")) is None
-        assert to_jsonable(float("inf")) is None
+        assert to_jsonable(float("nan")) is None
+
+    def test_infinities_become_sentinels(self):
+        assert to_jsonable(float("inf")) == "Infinity"
+        assert to_jsonable(float("-inf")) == "-Infinity"
+        assert to_jsonable(np.float64("inf")) == "Infinity"
+        assert to_jsonable(np.array([np.inf, -np.inf, np.nan, 1.0])) == [
+            "Infinity",
+            "-Infinity",
+            None,
+            1.0,
+        ]
+
+    def test_nonfinite_roundtrips_as_strict_json(self, tmp_path):
+        path = export_json(
+            {"nan": float("nan"), "inf": np.inf, "ninf": -np.inf},
+            tmp_path / "strict.json",
+        )
+        # Strict parsers (no NaN/Infinity literals) must accept the file.
+        data = json.loads(path.read_text(), parse_constant=lambda c: (_ for _ in ()).throw(ValueError(c)))
+        assert data == {"nan": None, "inf": "Infinity", "ninf": "-Infinity"}
 
     def test_arrays(self):
         assert to_jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
