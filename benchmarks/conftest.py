@@ -9,8 +9,23 @@ Run with ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 
 def emit(title: str, text: str) -> None:
     """Print a regenerated artifact with a recognisable banner."""
     banner = "=" * max(len(title), 20)
     print(f"\n{banner}\n{title}\n{banner}\n{text}\n")
+
+
+def emit_json(filename: str, payload: dict) -> pathlib.Path:
+    """Write a machine-readable benchmark artifact at the repo root.
+
+    Used by the kernel perf-regression suite to emit
+    ``BENCH_kernels.json`` (uploaded as a CI artifact and compared
+    against the checked-in baseline).
+    """
+    path = pathlib.Path(__file__).resolve().parent.parent / filename
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

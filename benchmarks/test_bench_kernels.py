@@ -1,0 +1,182 @@
+"""Kernel perf-regression suite: vectorized vs pre-PR scalar hot paths.
+
+Times each vectorized kernel against the scalar reference preserved in
+:mod:`repro.kernels.reference` at realistic sizes (a 10 Hz walking
+campaign is ~18k ticks), plus the end-to-end walking-trace generator as
+the representative figure runner (Fig. 13/14 input). Emits
+``BENCH_kernels.json`` at the repo root and fails if any kernel's
+speedup regresses below half its checked-in baseline
+(``benchmarks/baselines/BENCH_kernels_baseline.json``) — speedup ratios
+are compared, not wall-clock, so the check is stable across machines.
+
+Scale down for smoke runs with ``BENCH_KERNELS_STEPS`` (CI uses 6000).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from conftest import emit, emit_json
+
+from repro.kernels import reference as ref
+from repro.power.device import S20U
+from repro.power.software import SoftwareMonitor
+from repro.radio.bands import NR_N261
+from repro.radio.carriers import get_network
+from repro.radio.link import LinkBudget, MODEMS
+from repro.radio.signal import RsrpProcess
+from repro.traces.walking import WalkingTraceGenerator
+from repro.transport.flow import TcpFlow, UdpFlow
+
+N_STEPS = int(os.environ.get("BENCH_KERNELS_STEPS", "18000"))
+BASELINE = (
+    pathlib.Path(__file__).resolve().parent
+    / "baselines"
+    / "BENCH_kernels_baseline.json"
+)
+# A kernel regresses if its speedup drops below baseline / this factor.
+REGRESSION_FACTOR = 2.0
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _distances(n: int) -> np.ndarray:
+    rng = np.random.default_rng(99)
+    return np.clip(60.0 + np.cumsum(rng.normal(0.0, 1.0, n)), 10.0, 400.0)
+
+
+def _measure_kernels() -> dict:
+    distances = _distances(N_STEPS)
+    results = {}
+
+    # RSRP series generation (the tentpole's >=10x target).
+    results["rsrp_series"] = {
+        "scalar_s": _best_of(
+            lambda: ref.rsrp_series_step_loop(
+                RsrpProcess(NR_N261, seed=1), distances, 1.4
+            )
+        ),
+        "vector_s": _best_of(
+            lambda: RsrpProcess(NR_N261, seed=1).simulate(distances, 1.4)
+        ),
+    }
+
+    # Link capacity over an RSRP series.
+    link = LinkBudget(get_network("verizon-nsa-mmwave"), MODEMS["X55"])
+    rsrp = np.linspace(-130.0, -60.0, N_STEPS)
+    results["capacity_series"] = {
+        "scalar_s": _best_of(lambda: ref.capacity_series_scalar(link, rsrp)),
+        "vector_s": _best_of(lambda: link.capacity_series_mbps(rsrp)),
+    }
+
+    # Transport flows (per-RTT TCP; per-step UDP).
+    tcp_duration = N_STEPS * 0.028
+    results["tcp_run"] = {
+        "scalar_s": _best_of(
+            lambda: ref.tcp_run_scalar(
+                TcpFlow(rtt_ms=28.0, seed=2), 2000.0, duration_s=tcp_duration
+            )
+        ),
+        "vector_s": _best_of(
+            lambda: TcpFlow(rtt_ms=28.0, seed=2).run(
+                2000.0, duration_s=tcp_duration
+            )
+        ),
+    }
+    udp_duration = N_STEPS * 0.1
+    results["udp_run"] = {
+        "scalar_s": _best_of(
+            lambda: ref.udp_run_scalar(UdpFlow(), 2000.0, duration_s=udp_duration)
+        ),
+        "vector_s": _best_of(
+            lambda: UdpFlow().run(2000.0, duration_s=udp_duration)
+        ),
+    }
+
+    # Software power monitor at the paper's 10 Hz.
+    sw_duration = N_STEPS / 10.0
+    results["software_measure"] = {
+        "scalar_s": _best_of(
+            lambda: ref.software_measure_scalar(
+                SoftwareMonitor(rate_hz=10.0, seed=3),
+                lambda t: 2000.0 + 500.0 * np.sin(t / 3.0),
+                sw_duration,
+            )
+        ),
+        "vector_s": _best_of(
+            lambda: SoftwareMonitor(rate_hz=10.0, seed=3).measure(
+                lambda t: 2000.0 + 500.0 * np.sin(t / 3.0), sw_duration
+            )
+        ),
+    }
+
+    # End-to-end: one full walking trace, the Fig. 13/14 runner's unit
+    # of work (the >=5x end-to-end target).
+    network = get_network("verizon-nsa-mmwave")
+    results["walking_trace"] = {
+        "scalar_s": _best_of(
+            lambda: ref.walking_generate_scalar(
+                WalkingTraceGenerator(network=network, device=S20U, seed=4),
+                "bench",
+            ),
+            repeats=2,
+        ),
+        "vector_s": _best_of(
+            lambda: WalkingTraceGenerator(
+                network=network, device=S20U, seed=4
+            ).generate("bench"),
+            repeats=2,
+        ),
+    }
+
+    for entry in results.values():
+        entry["speedup"] = round(entry["scalar_s"] / entry["vector_s"], 2)
+        entry["scalar_s"] = round(entry["scalar_s"], 5)
+        entry["vector_s"] = round(entry["vector_s"], 5)
+    return results
+
+
+def test_kernel_speedups(benchmark):
+    results = benchmark.pedantic(_measure_kernels, rounds=1, iterations=1)
+    payload = {"n_steps": N_STEPS, "kernels": results}
+    path = emit_json("BENCH_kernels.json", payload)
+
+    lines = [f"{'kernel':<18}{'scalar':>10}{'vector':>10}{'speedup':>9}"]
+    for name, entry in results.items():
+        lines.append(
+            f"{name:<18}{entry['scalar_s']:>9.4f}s{entry['vector_s']:>9.4f}s"
+            f"{entry['speedup']:>8.1f}x"
+        )
+    lines.append(f"written to {path.name}")
+    emit(f"Kernel speedups at {N_STEPS} steps", "\n".join(lines))
+
+    for name, entry in results.items():
+        benchmark.extra_info[name] = entry["speedup"]
+
+    # The tentpole's acceptance floors.
+    assert results["rsrp_series"]["speedup"] >= 10.0, results["rsrp_series"]
+    assert results["walking_trace"]["speedup"] >= 5.0, results["walking_trace"]
+    for name, entry in results.items():
+        assert entry["speedup"] > 1.0, f"{name} slower than scalar: {entry}"
+
+    # Perf-regression gate against the checked-in baseline.
+    baseline = json.loads(BASELINE.read_text())["kernels"]
+    for name, entry in results.items():
+        floor = baseline[name]["speedup"] / REGRESSION_FACTOR
+        assert entry["speedup"] >= floor, (
+            f"{name} speedup {entry['speedup']}x regressed below "
+            f"{floor:.1f}x (baseline {baseline[name]['speedup']}x / "
+            f"{REGRESSION_FACTOR})"
+        )

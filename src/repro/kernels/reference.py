@@ -1,0 +1,388 @@
+"""Pre-PR scalar kernel implementations, kept as the ground truth.
+
+These are verbatim copies of the per-sample Python loops the vectorized
+kernels replaced. They serve two purposes:
+
+* **Equivalence**: ``tests/property/test_kernel_equivalence.py`` checks
+  every vectorized kernel against its scalar reference on seeded
+  inputs — bit-identical where the RNG draw order is preserved,
+  within a documented tolerance where a scan reformulation changes
+  floating-point association (see ``docs/performance.md``).
+* **Benchmarks**: ``benchmarks/test_bench_kernels.py`` times scalar
+  versus vectorized at realistic sizes and emits ``BENCH_kernels.json``.
+
+Nothing in the library proper may import this module.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.power.software import (
+    SoftwareMonitor,
+    SoftwareReading,
+    underestimate_ratio,
+)
+from repro.radio.link import (
+    _MAX_SPECTRAL_EFFICIENCY,
+    _MIN_SINR_DB,
+    _SHANNON_ATTENUATION,
+    LinkBudget,
+)
+from repro.radio.propagation import BlockageModel
+from repro.radio.signal import (
+    _BLOCKAGE_FADE_DB,
+    _FADING_SIGMA,
+    _TX_EIRP_DBM,
+    RSRP_MAX_DBM,
+    RSRP_MIN_DBM,
+    RsrpProcess,
+)
+from repro.transport.cubic import CubicState, MSS_BYTES
+from repro.transport.flow import (
+    FlowResult,
+    TcpFlow,
+    UdpFlow,
+    bandwidth_delay_product_bytes,
+)
+
+
+def rsrp_series_step_loop(
+    process: RsrpProcess, distances_m, speed_mps=0.0
+) -> np.ndarray:
+    """Pre-PR ``RsrpProcess.simulate``: one :meth:`step` per tick.
+
+    Interleaves the blockage, severity, and fading draws per tick
+    (the *legacy* draw order the vectorized kernel departs from).
+    """
+    distances_m = np.asarray(distances_m, dtype=float)
+    speeds = np.broadcast_to(np.asarray(speed_mps, dtype=float), distances_m.shape)
+    return np.array(
+        [process.step(d, s) for d, s in zip(distances_m, speeds)]
+    )
+
+
+def rsrp_series_scalar(
+    process: RsrpProcess, distances_m, speed_mps=0.0
+) -> np.ndarray:
+    """Scalar loop with the vectorized kernel's *batched* draw order.
+
+    Mirrors ``RsrpProcess.simulate`` draw-for-draw — all blockage
+    uniforms, then per-onset severities, then fading normals — but
+    applies every recurrence with the sequential per-tick updates of
+    the legacy :meth:`RsrpProcess.step` math. The vectorized kernel
+    must match this to ~1e-9 (scan association tolerance).
+    """
+    distances_m = np.asarray(distances_m, dtype=float)
+    n = distances_m.shape[0]
+    speeds = np.broadcast_to(
+        np.asarray(speed_mps, dtype=float), distances_m.shape
+    )
+    rng = np.random.default_rng(process.seed)
+    band = process.band
+    sigma = _FADING_SIGMA[band.band_class]
+    rho = float(np.exp(-process.dt_s / process.correlation_s))
+    alpha = 1.0 - float(np.exp(-process.dt_s / process.blockage_ramp_s))
+    blockage = process.blockage or BlockageModel()
+
+    blocked = np.zeros(n, dtype=bool)
+    severity = np.empty(n)
+    if band.is_mmwave:
+        u_block = rng.random(n)
+        state = False
+        for i in range(n):
+            if state:
+                p_recover = 1.0 - np.exp(-process.dt_s / blockage.recovery_s)
+                state = not (u_block[i] < p_recover)
+            else:
+                rate = blockage.block_rate_per_m * speeds[i]
+                p_block = 1.0 - np.exp(-rate * process.dt_s)
+                state = bool(u_block[i] < p_block)
+            blocked[i] = state
+        onsets = blocked & ~np.concatenate([[False], blocked[:-1]])
+        drawn = rng.uniform(0.5, 1.0, size=int(onsets.sum()))
+        current = 1.0
+        event = 0
+        for i in range(n):
+            if onsets[i]:
+                current = float(drawn[event])
+                event += 1
+            severity[i] = current
+    else:
+        severity.fill(1.0)
+
+    innovations = rng.normal(0.0, sigma * np.sqrt(1.0 - rho**2), size=n)
+    out = np.empty(n)
+    fading = 0.0
+    depth = 0.0
+    full_fade = _BLOCKAGE_FADE_DB + 18.0
+    pathloss = process._pathloss
+    for i in range(n):
+        if band.is_mmwave:
+            target = 1.0 if blocked[i] else 0.0
+            depth += (target - depth) * alpha
+        fading = rho * fading + innovations[i]
+        loss = pathloss.path_loss_db(float(distances_m[i]), los=True)
+        rsrp = _TX_EIRP_DBM[band.band_class] - loss + fading
+        rsrp -= full_fade * depth * severity[i]
+        out[i] = float(np.clip(rsrp, RSRP_MIN_DBM, RSRP_MAX_DBM))
+    return out
+
+
+def spectral_efficiency_scalar(sinr_db: float) -> float:
+    """Pre-PR scalar truncated-Shannon spectral efficiency."""
+    if sinr_db < _MIN_SINR_DB:
+        return 0.0
+    sinr = 10.0 ** (sinr_db / 10.0)
+    eff = _SHANNON_ATTENUATION * np.log2(1.0 + sinr)
+    return float(min(eff, _MAX_SPECTRAL_EFFICIENCY))
+
+
+def capacity_series_scalar(
+    link: LinkBudget, rsrp_series_dbm, downlink: bool = True
+) -> np.ndarray:
+    """Pre-PR ``capacity_series_mbps``: scalar math per sample.
+
+    Re-derives the noise floor, CC count, and envelope for every
+    sample, with Python-float ``**`` — the vectorized ufunc pipeline
+    matches this to <=1 ulp (SIMD pow rounding).
+    """
+    rsrp_series_dbm = np.asarray(rsrp_series_dbm, dtype=float)
+    out = np.empty(rsrp_series_dbm.shape)
+    for i, rsrp_dbm in enumerate(rsrp_series_dbm):
+        eff = spectral_efficiency_scalar(link.sinr_db(float(rsrp_dbm)))
+        cc = link._cc(downlink)
+        per_cc_mbps = eff * link.network.band.bandwidth_mhz
+        raw = per_cc_mbps * cc
+        if not downlink:
+            raw *= 0.25
+        modem_cap = link.modem.max_dl_mbps if downlink else link.modem.max_ul_mbps
+        network_peak = (
+            link.network.peak_dl_mbps if downlink else link.network.peak_ul_mbps
+        )
+        best_cc = 8 if downlink else 2
+        if (
+            link.network.band.is_mmwave
+            and link.network.supports_ca
+            and cc < best_cc
+        ):
+            envelope = network_peak * (0.5 + 0.5 * cc / best_cc)
+        else:
+            envelope = network_peak
+        out[i] = float(max(0.0, min(raw, modem_cap, envelope)))
+    return out
+
+
+def udp_run_scalar(
+    flow: UdpFlow, capacity, duration_s: float = 10.0, dt_s: float = 0.1
+) -> FlowResult:
+    """Pre-PR ``UdpFlow.run``: one capacity evaluation per step.
+
+    (Including the pre-PR bug: ``steps`` may round to 0 and produce a
+    NaN mean — kept verbatim so the regression test documents the fix.)
+    """
+    if duration_s <= 0 or dt_s <= 0:
+        raise ValueError("duration and dt must be positive")
+    steps = int(round(duration_s / dt_s))
+    rates = np.empty(steps)
+    for i in range(steps):
+        cap = capacity(i * dt_s) if callable(capacity) else capacity
+        offered = flow.target_mbps if flow.target_mbps is not None else cap
+        rates[i] = max(0.0, min(offered, cap)) * (1.0 - flow.header_overhead)
+    with np.errstate(invalid="ignore"):
+        mean = float(np.mean(rates)) if steps else float("nan")
+    return FlowResult(
+        throughput_mbps=mean,
+        rate_series_mbps=rates,
+        loss_events=0,
+        duration_s=duration_s,
+    )
+
+
+def tcp_run_scalar(
+    flow: TcpFlow, capacity, duration_s: float = 15.0
+) -> FlowResult:
+    """Pre-PR ``TcpFlow.run``: per-RTT scalar stepping with on-demand
+    loss draws (the short-circuit skips the draw on overflow steps —
+    the vectorized path replicates this by consuming a pre-drawn
+    uniform stream at the same positions)."""
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    rng = np.random.default_rng(flow.seed)
+    cubic = CubicState()
+    rtt_s = flow.rtt_ms / 1000.0
+    steps = max(1, int(round(duration_s / rtt_s)))
+    buffer_bytes = flow.kernel.effective_window_bytes
+    rates = np.empty(steps)
+    losses = 0
+    for i in range(steps):
+        t = i * rtt_s
+        cap_mbps = capacity(t) if callable(capacity) else capacity
+        cap_mbps = max(cap_mbps, 1e-3)
+        bdp = bandwidth_delay_product_bytes(cap_mbps, flow.rtt_ms)
+        window = min(cubic.cwnd_bytes(), buffer_bytes)
+        rate_mbps = min(window * 8.0 / rtt_s / 1e6, cap_mbps)
+        rates[i] = rate_mbps
+
+        packets = rate_mbps * 1e6 / 8.0 * rtt_s / MSS_BYTES
+        p_random = 1.0 - (1.0 - flow.loss_rate) ** max(packets, 0.0)
+        overflow = cubic.cwnd_bytes() > (1.0 + flow.queue_bdp_factor) * bdp
+        if overflow or rng.random() < p_random:
+            cubic.on_loss()
+            losses += 1
+        else:
+            cubic.on_ack_interval(rtt_s)
+    return FlowResult(
+        throughput_mbps=float(np.mean(rates)),
+        rate_series_mbps=rates,
+        loss_events=losses,
+        duration_s=duration_s,
+    )
+
+
+def blockage_series_step_loop(
+    model: BlockageModel,
+    duration_s: float,
+    speed_mps: float,
+    dt_s: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+    start_blocked: bool = False,
+) -> np.ndarray:
+    """Pre-PR ``BlockageModel.simulate``: one :meth:`step` per tick.
+
+    Draws exactly one uniform per tick, so the vectorized Markov scan
+    is bit-identical to this loop.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    rng = rng if rng is not None else np.random.default_rng()
+    steps = int(np.ceil(duration_s / dt_s))
+    out = np.zeros(steps, dtype=bool)
+    state = start_blocked
+    for i in range(steps):
+        state = model.step(state, speed_mps, dt_s, rng)
+        out[i] = state
+    return out
+
+
+def walking_generate_scalar(generator, name: str):
+    """Pre-PR ``WalkingTraceGenerator.generate``: per-tick serving-tower
+    search, ``RsrpProcess.step``, scalar capacity and power curve.
+
+    The benchmark's end-to-end "before" measurement. RSRP values differ
+    from the vectorized generator (step vs simulate draw order); the
+    compute cost is the pre-PR cost, which is what is being measured.
+    """
+    from repro.mobility.trajectory import Trajectory
+    from repro.radio.link import LinkBudget
+    from repro.radio.towers import TowerGrid
+    from repro.traces.schema import WalkingTrace
+    from repro.traces.walking import LOG_RATE_HZ
+
+    self = generator
+    trajectory = Trajectory.from_route(self.route, dt_s=1.0 / LOG_RATE_HZ)
+    grid = TowerGrid.along_route(
+        self.network.band,
+        self.route.waypoints,
+        count=self.n_towers,
+        jitter_m=40.0,
+        seed=int(self._rng.integers(0, 2**31)),
+    )
+    signal = RsrpProcess(
+        self.network.band,
+        dt_s=1.0 / LOG_RATE_HZ,
+        seed=int(self._rng.integers(0, 2**31)),
+    )
+    link = LinkBudget(self.network, self.device.modem)
+    curve = self.device.curve(self.network.key)
+
+    n = len(trajectory)
+    rsrps = np.empty(n)
+    dls = np.empty(n)
+    uls = np.empty(n)
+    powers = np.empty(n)
+    max_coverage = self.network.band.coverage_km * 1000.0
+    transfer_active = True
+    uplink_burst = False
+    target_mbps = float("inf")
+    for i in range(n):
+        x, y = float(trajectory.x_m[i]), float(trajectory.y_m[i])
+        serving = grid.serving_tower(x, y, self.network.band)
+        distance = serving[1] if serving is not None else max_coverage
+        rsrp = signal.step(distance, float(trajectory.speed_mps[i]))
+        dl = ul = 0.0
+        if transfer_active:
+            if self._rng.random() < 1.0 / 300.0:
+                transfer_active = False
+            capacity = link.capacity_mbps(rsrp, downlink=not uplink_burst)
+            share = float(np.clip(self._rng.normal(0.8, 0.08), 0.3, 1.0))
+            rate = min(capacity * share, target_mbps)
+            if uplink_burst:
+                ul = rate
+            else:
+                dl = rate
+        else:
+            if self._rng.random() < 1.0 / 50.0:
+                transfer_active = True
+                uplink_burst = self._rng.random() < self.uplink_fraction
+                if self._rng.random() < 0.5:
+                    target_mbps = float("inf")
+                else:
+                    peak = (
+                        self.network.peak_ul_mbps
+                        if uplink_burst
+                        else self.network.peak_dl_mbps
+                    )
+                    target_mbps = float(self._rng.uniform(5.0, peak))
+        power = curve.power_mw(dl_mbps=dl, ul_mbps=ul, rsrp_dbm=rsrp)
+        power *= float(self._rng.normal(1.0, 0.03))
+        rsrps[i], dls[i], uls[i] = rsrp, dl, ul
+        powers[i] = max(power, 0.0)
+    return WalkingTrace(
+        name=name,
+        network_key=self.network.key,
+        device_name=self.device.name,
+        city=self.city,
+        times_s=trajectory.times_s.copy(),
+        dl_mbps=dls,
+        ul_mbps=uls,
+        rsrp_dbm=rsrps,
+        power_mw=powers,
+        band_class=self.network.band.band_class.value,
+    )
+
+
+def software_measure_scalar(
+    monitor: SoftwareMonitor,
+    power_fn,
+    duration_s: float,
+    start_s: float = 0.0,
+) -> List[SoftwareReading]:
+    """Pre-PR ``SoftwareMonitor.measure``: one draw + call per sample.
+
+    One normal draw per sample in sample order, so the vectorized
+    batched draw is bit-identical to this loop.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    n = int(round(duration_s * monitor.rate_hz))
+    ratio = underestimate_ratio(monitor.rate_hz)
+    rng = np.random.default_rng(monitor.seed)
+    readings: List[SoftwareReading] = []
+    for i in range(n):
+        t = start_s + i / monitor.rate_hz
+        truth = power_fn(float(t)) + monitor.overhead_mw
+        noise = rng.normal(1.0, monitor.noise_ratio)
+        reported = max(0.0, truth * ratio * noise)
+        current_ma = reported / monitor.voltage_mv * 1000.0
+        readings.append(
+            SoftwareReading(
+                t_s=t,
+                power_mw=reported,
+                current_ma=current_ma,
+                voltage_mv=monitor.voltage_mv,
+            )
+        )
+    return readings

@@ -1,0 +1,36 @@
+"""Vectorized evaluation of scalar-or-callable time series inputs.
+
+Several kernels accept a ``Union[float, Callable[[float], float]]``
+("capacity-like") argument. :func:`sample_series` evaluates it over a
+whole time grid at once: array-aware callables are invoked once,
+scalar-only callables fall back to a per-element loop, and plain
+numbers broadcast. The returned values are identical to calling the
+scalar path at each grid point — ufunc arithmetic on float64 arrays
+matches Python-float arithmetic bit-for-bit for ``+ - * / min max``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+import numpy as np
+
+SeriesLike = Union[float, Callable[[float], float]]
+
+
+def sample_series(fn: SeriesLike, times_s: np.ndarray) -> np.ndarray:
+    """Evaluate ``fn`` over ``times_s``, vectorized when possible."""
+    times_s = np.asarray(times_s, dtype=float)
+    if not callable(fn):
+        return np.full(times_s.shape, float(fn))
+    try:
+        values = fn(times_s)
+    except Exception:
+        values = None
+    if values is not None:
+        values = np.asarray(values, dtype=float)
+        if values.shape == times_s.shape:
+            return values
+        if values.ndim == 0:  # constant-valued callable
+            return np.full(times_s.shape, float(values))
+    return np.array([float(fn(float(t))) for t in times_s])

@@ -79,6 +79,37 @@ class Route:
             elapsed += duration
         return float(points[-1][0]), float(points[-1][1]), 0.0
 
+    def positions_at(
+        self, times_s
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`position_at` over a whole time grid.
+
+        Returns aligned ``(x, y, speed)`` arrays, bit-identical to the
+        scalar lookup at each grid point (same segment selection,
+        including the clamp to the route end with speed 0).
+        """
+        times_s = np.asarray(times_s, dtype=float)
+        if np.any(times_s < 0):
+            raise ValueError("t_s must be non-negative")
+        points = np.asarray(self.waypoints, dtype=float)
+        lengths = np.hypot(*(np.diff(points, axis=0).T))
+        speeds = np.asarray(self.segment_speeds_mps)
+        durations = lengths / speeds
+        boundaries = np.cumsum(durations)
+        # First segment whose end boundary is >= t (matching the scalar
+        # path's `t <= elapsed + duration` test); == n_segments means
+        # past the route end.
+        seg = np.searchsorted(boundaries, times_s, side="left")
+        past_end = seg >= durations.shape[0]
+        seg_c = np.minimum(seg, durations.shape[0] - 1)
+        elapsed = np.concatenate([[0.0], boundaries[:-1]])[seg_c]
+        frac = ((times_s - elapsed) / durations[seg_c])[:, None]
+        position = points[seg_c] + frac * (points[seg_c + 1] - points[seg_c])
+        xs = np.where(past_end, points[-1, 0], position[:, 0])
+        ys = np.where(past_end, points[-1, 1], position[:, 1])
+        out_speeds = np.where(past_end, 0.0, speeds[seg_c])
+        return xs, ys, out_speeds
+
 
 def walking_loop(side_m: float = 400.0) -> Route:
     """The paper's fixed walking loop: a ~1.6 km rectangle at 1.4 m/s

@@ -62,10 +62,5 @@ class Trajectory:
         single = route.duration_s
         total = single * repeats
         times = np.arange(0.0, total, dt_s)
-        xs = np.empty_like(times)
-        ys = np.empty_like(times)
-        speeds = np.empty_like(times)
-        for i, t in enumerate(times):
-            x, y, speed = route.position_at(float(t % single))
-            xs[i], ys[i], speeds[i] = x, y, speed
+        xs, ys, speeds = route.positions_at(times % single)
         return Trajectory(times_s=times, x_m=xs, y_m=ys, speed_mps=speeds)

@@ -70,7 +70,11 @@ class IperfUdp:
         downlink: bool = True,
         speed_mps: float = 0.0,
     ) -> IperfResult:
-        """Transfer at ``target_mbps`` for ``duration_s``."""
+        """Transfer at ``target_mbps`` for ``duration_s``.
+
+        Runs on the batched kernels: one :meth:`RsrpProcess.simulate`
+        call for the whole RSRP series and one ufunc capacity pass.
+        """
         if target_mbps < 0:
             raise ValueError("target_mbps must be non-negative")
         if duration_s <= 0:
@@ -82,13 +86,12 @@ class IperfUdp:
             seed=int(self._rng.integers(0, 2**31)),
         )
         link = LinkBudget(self.network, self.device.modem)
-        rsrps = np.empty(steps)
-        rates = np.empty(steps)
-        for i in range(steps):
-            rsrp = signal.step(self.tower_distance_m, speed_mps)
-            capacity = link.capacity_mbps(rsrp, downlink=downlink)
-            rsrps[i] = rsrp
-            rates[i] = min(target_mbps, capacity)
+        rsrps = signal.simulate(
+            np.full(steps, self.tower_distance_m), speed_mps
+        )
+        rates = np.minimum(
+            target_mbps, link.capacity_series_mbps(rsrps, downlink=downlink)
+        )
         return IperfResult(
             target_mbps=target_mbps,
             achieved_mbps=rates,

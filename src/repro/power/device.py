@@ -72,6 +72,34 @@ class RadioPowerCurve:
             power += self.rsrp_coeff_mw_per_db * (deficit + 0.02 * deficit**2)
         return float(power)
 
+    def power_mw_series(
+        self,
+        dl_mbps,
+        ul_mbps,
+        rsrp_dbm=None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`power_mw` over aligned rate/RSRP series.
+
+        Elementwise bit-identical to the scalar curve (same operation
+        order; the quadratic RSRP deficit term included).
+        """
+        dl_mbps = np.asarray(dl_mbps, dtype=float)
+        ul_mbps = np.asarray(ul_mbps, dtype=float)
+        if np.any(dl_mbps < 0) or np.any(ul_mbps < 0):
+            raise ValueError("throughput must be non-negative")
+        power = np.where(
+            ul_mbps > 0,
+            max(self.intercept_dl_mw, self.intercept_ul_mw),
+            self.intercept_dl_mw,
+        )
+        power = power + (self.slope_dl * dl_mbps + self.slope_ul * ul_mbps)
+        if rsrp_dbm is not None:
+            rsrp_dbm = np.asarray(rsrp_dbm, dtype=float)
+            deficit = self.rsrp_ref_dbm - rsrp_dbm
+            penalty = self.rsrp_coeff_mw_per_db * (deficit + 0.02 * deficit**2)
+            power = power + np.where(rsrp_dbm < self.rsrp_ref_dbm, penalty, 0.0)
+        return power
+
 
 def _curves_s20u() -> Dict[str, RadioPowerCurve]:
     """S20U curves (Fig. 11): slopes from Table 8, intercepts from the

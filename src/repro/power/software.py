@@ -15,6 +15,8 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.kernels.sampling import sample_series
+
 # Mean reported/true ratios per sampling rate (Table 9 averages).
 _UNDERESTIMATE_RATIO = {1.0: 0.86, 10.0: 0.92}
 # Monitoring overhead added to the device's true power draw (Table 3:
@@ -94,27 +96,29 @@ class SoftwareMonitor:
         ``power_fn`` should *not* include the monitoring overhead; the
         monitor adds it internally, then under-reports the total — the
         same systematic error the paper measured.
+
+        The truth series and the noise draws are batched (one RNG call
+        per measurement, one draw per sample in sample order — bit-
+        identical to the pre-PR per-sample loop).
         """
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
         n = int(round(duration_s * self.rate_hz))
         ratio = underestimate_ratio(self.rate_hz)
-        readings: List[SoftwareReading] = []
-        for i in range(n):
-            t = start_s + i / self.rate_hz
-            truth = power_fn(float(t)) + self.overhead_mw
-            noise = self._rng.normal(1.0, self.noise_ratio)
-            reported = max(0.0, truth * ratio * noise)
-            current_ma = reported / self.voltage_mv * 1000.0
-            readings.append(
-                SoftwareReading(
-                    t_s=t,
-                    power_mw=reported,
-                    current_ma=current_ma,
-                    voltage_mv=self.voltage_mv,
-                )
+        times = start_s + np.arange(n) / self.rate_hz
+        truth = sample_series(power_fn, times) + self.overhead_mw
+        noise = self._rng.normal(1.0, self.noise_ratio, size=n)
+        reported = np.maximum(0.0, truth * ratio * noise)
+        current_ma = reported / self.voltage_mv * 1000.0
+        return [
+            SoftwareReading(
+                t_s=float(times[i]),
+                power_mw=float(reported[i]),
+                current_ma=float(current_ma[i]),
+                voltage_mv=self.voltage_mv,
             )
-        return readings
+            for i in range(n)
+        ]
 
     @staticmethod
     def average_mw(readings: List[SoftwareReading]) -> float:

@@ -17,7 +17,7 @@ throughput-generating simulation in the library.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict
 
 import numpy as np
@@ -68,13 +68,21 @@ MODEM_X55 = Modem(name="X55", dl_carriers=8, ul_carriers=2, max_dl_mbps=3400.0, 
 MODEMS: Dict[str, Modem] = {m.name: m for m in (MODEM_X50, MODEM_X52, MODEM_X55)}
 
 
-def spectral_efficiency(sinr_db: float) -> float:
-    """Truncated-Shannon bits/s/Hz for a given SINR in dB."""
-    if sinr_db < _MIN_SINR_DB:
-        return 0.0
-    sinr = 10.0 ** (sinr_db / 10.0)
-    eff = _SHANNON_ATTENUATION * np.log2(1.0 + sinr)
-    return float(min(eff, _MAX_SPECTRAL_EFFICIENCY))
+def spectral_efficiency(sinr_db) -> "float | np.ndarray":
+    """Truncated-Shannon bits/s/Hz for SINR in dB (scalar or array).
+
+    A true ufunc pipeline: scalar inputs return a float, arrays map
+    elementwise in one pass.
+    """
+    sinr_db = np.asarray(sinr_db, dtype=float)
+    sinr = np.power(10.0, sinr_db / 10.0)
+    eff = np.minimum(
+        _SHANNON_ATTENUATION * np.log2(1.0 + sinr), _MAX_SPECTRAL_EFFICIENCY
+    )
+    eff = np.where(sinr_db < _MIN_SINR_DB, 0.0, eff)
+    if eff.ndim == 0:
+        return float(eff)
+    return eff
 
 
 @dataclass
@@ -88,6 +96,38 @@ class LinkBudget:
 
     network: CarrierNetwork
     modem: Modem
+    # Derived per-band constants, computed once instead of per sample:
+    # the RSRP-matched noise floor and, per direction, the CC count and
+    # the CC-shrunk network peak envelope.
+    _noise_dbm: float = field(init=False, repr=False)
+    _envelope_mbps: Dict[bool, float] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        subcarrier_hz = self.network.band.subcarrier_khz * 1e3
+        self._noise_dbm = (
+            _NOISE_DENSITY_DBM_HZ + 10.0 * np.log10(subcarrier_hz) + _NOISE_FIGURE_DB
+        )
+        self._envelope_mbps = {
+            downlink: self._envelope(downlink) for downlink in (True, False)
+        }
+
+    def _envelope(self, downlink: bool) -> float:
+        """Network peak envelope shrunk for sub-best CC configurations.
+
+        The network peak already reflects the best modem (8CC); the
+        observed PX5/S20U ratio (~2.2 vs ~3.1 Gbps for 4CC vs 8CC,
+        Fig. 23) is gentler than the raw CC ratio because the anchor
+        carriers do most of the work, so we interpolate halfway toward
+        the CC ratio.
+        """
+        cc = self._cc(downlink)
+        network_peak = (
+            self.network.peak_dl_mbps if downlink else self.network.peak_ul_mbps
+        )
+        best_cc = 8 if downlink else 2
+        if self.network.band.is_mmwave and self.network.supports_ca and cc < best_cc:
+            return network_peak * (0.5 + 0.5 * cc / best_cc)
+        return network_peak
 
     def _cc(self, downlink: bool) -> int:
         cc = self.modem.dl_carriers if downlink else self.modem.ul_carriers
@@ -98,49 +138,44 @@ class LinkBudget:
             return min(cc, 2)
         return cc
 
-    def sinr_db(self, rsrp_dbm: float) -> float:
+    def sinr_db(self, rsrp_dbm) -> "float | np.ndarray":
         """SINR from RSRP (interference folded into a fixed margin).
 
         RSRP is defined per resource element, so the matching noise
         floor integrates over one subcarrier, not the whole channel.
+        Accepts a scalar or an RSRP series.
         """
-        subcarrier_hz = self.network.band.subcarrier_khz * 1e3
-        noise_dbm = (
-            _NOISE_DENSITY_DBM_HZ + 10.0 * np.log10(subcarrier_hz) + _NOISE_FIGURE_DB
-        )
         # 12 dB average inter-cell interference + implementation margin.
-        return float(rsrp_dbm - noise_dbm - 12.0)
+        sinr = np.asarray(rsrp_dbm, dtype=float) - self._noise_dbm - 12.0
+        if sinr.ndim == 0:
+            return float(sinr)
+        return sinr
 
     def capacity_mbps(self, rsrp_dbm: float, downlink: bool = True) -> float:
         """Instantaneous achievable rate in Mbps at ``rsrp_dbm``."""
-        eff = spectral_efficiency(self.sinr_db(rsrp_dbm))
-        cc = self._cc(downlink)
-        per_cc_mbps = eff * self.network.band.bandwidth_mhz  # bits/s/Hz * MHz
-        raw = per_cc_mbps * cc
-        if not downlink:
-            # TDD/UL configurations allocate a minority of slots to UL.
-            raw *= 0.25
-        modem_cap = self.modem.max_dl_mbps if downlink else self.modem.max_ul_mbps
-        network_peak = (
-            self.network.peak_dl_mbps if downlink else self.network.peak_ul_mbps
+        return float(
+            self.capacity_series_mbps(
+                np.asarray([rsrp_dbm], dtype=float), downlink=downlink
+            )[0]
         )
-        # The network peak envelope already reflects the best modem (8CC);
-        # shrink it for smaller CC configurations. The observed PX5/S20U
-        # ratio (~2.2 vs ~3.1 Gbps for 4CC vs 8CC, Fig. 23) is gentler
-        # than the raw CC ratio because the anchor carriers do most of
-        # the work, so we interpolate halfway toward the CC ratio.
-        best_cc = 8 if downlink else 2
-        if self.network.band.is_mmwave and self.network.supports_ca and cc < best_cc:
-            envelope = network_peak * (0.5 + 0.5 * cc / best_cc)
-        else:
-            envelope = network_peak
-        return float(max(0.0, min(raw, modem_cap, envelope)))
 
     def capacity_series_mbps(
         self, rsrp_series_dbm, downlink: bool = True
     ) -> np.ndarray:
-        """Vectorised :meth:`capacity_mbps` over an RSRP series."""
+        """Achievable rate in Mbps over an RSRP series.
+
+        A single ufunc pipeline (SINR -> spectral efficiency -> CC and
+        cap clamping) over the whole array; :meth:`capacity_mbps` is
+        the one-sample special case of this kernel, so scalar and
+        series paths are identical by construction.
+        """
         rsrp_series_dbm = np.asarray(rsrp_series_dbm, dtype=float)
-        return np.array(
-            [self.capacity_mbps(r, downlink=downlink) for r in rsrp_series_dbm]
-        )
+        eff = spectral_efficiency(self.sinr_db(rsrp_series_dbm))
+        cc = self._cc(downlink)
+        raw = eff * self.network.band.bandwidth_mhz * cc  # bits/s/Hz * MHz * CC
+        if not downlink:
+            # TDD/UL configurations allocate a minority of slots to UL.
+            raw = raw * 0.25
+        modem_cap = self.modem.max_dl_mbps if downlink else self.modem.max_ul_mbps
+        ceiling = min(modem_cap, self._envelope_mbps[downlink])
+        return np.maximum(0.0, np.minimum(raw, ceiling))

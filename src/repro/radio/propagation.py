@@ -10,11 +10,13 @@ the wild RSRP/throughput swings the paper's walking traces show.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.kernels.scan import markov_binary_scan
 from repro.radio.bands import Band, BandClass
 
 def free_space_path_loss_db(distance_m: float, freq_ghz: float) -> float:
@@ -67,6 +69,10 @@ class PathLossModel:
 
     band: Band
     reference_m: float = 1.0
+    # Reference loss (FSPL at reference distance + fixed excess) and the
+    # per-LoS-state exponents, derived once instead of per sample.
+    _base_db: float = field(init=False, repr=False)
+    _exponent: Dict[bool, float] = field(init=False, repr=False)
 
     # Effective urban exponents, calibrated so that field-typical RSRP
     # ranges emerge (mmWave ~-75 dBm at 50 m falling to ~-95 near the
@@ -92,6 +98,14 @@ class PathLossModel:
         BandClass.LOW: 2.0,
     }
 
+    def __post_init__(self) -> None:
+        base = _fspl_db(self.reference_m, self.band.center_ghz)
+        base += self._EXCESS_DB[self.band.band_class]
+        self._base_db = base
+        self._exponent = {
+            los: self._EXPONENTS[(self.band.band_class, los)] for los in (True, False)
+        }
+
     def path_loss_db(
         self,
         distance_m: float,
@@ -102,15 +116,37 @@ class PathLossModel:
         if distance_m <= 0:
             raise ValueError("distance_m must be positive")
         distance_m = max(distance_m, self.reference_m)
-        exponent = self._EXPONENTS[(self.band.band_class, los)]
-        loss = _fspl_db(self.reference_m, self.band.center_ghz)
-        loss += self._EXCESS_DB[self.band.band_class]
-        loss += 10.0 * exponent * np.log10(distance_m / self.reference_m)
+        loss = self._base_db
+        loss += 10.0 * self._exponent[los] * np.log10(distance_m / self.reference_m)
         if not los and self.band.is_mmwave:
             loss += 20.0  # body/foliage/building penetration penalty
         if rng is not None:
             loss += rng.normal(0.0, self._SHADOW_SIGMA[self.band.band_class])
         return float(loss)
+
+    def path_loss_db_series(self, distances_m, los: bool = True) -> np.ndarray:
+        """Vectorized :meth:`path_loss_db` (no shadowing) over distances."""
+        distances_m = np.asarray(distances_m, dtype=float)
+        if np.any(distances_m <= 0):
+            raise ValueError("distance_m must be positive")
+        clipped = np.maximum(distances_m, self.reference_m)
+        loss = self._base_db + 10.0 * self._exponent[los] * np.log10(
+            clipped / self.reference_m
+        )
+        if not los and self.band.is_mmwave:
+            loss = loss + 20.0
+        return loss
+
+
+@functools.lru_cache(maxsize=None)
+def get_path_loss_model(band: Band, reference_m: float = 1.0) -> PathLossModel:
+    """Memoized :class:`PathLossModel` per ``(band, reference)``.
+
+    The model is stateless after construction, so hot paths that used
+    to build one per call (``rsrp_at_distance``, every
+    ``RsrpProcess``) share a single instance instead.
+    """
+    return PathLossModel(band, reference_m=reference_m)
 
 
 @dataclass
@@ -125,6 +161,20 @@ class BlockageModel:
 
     block_rate_per_m: float = 0.02  # blockage events per meter walked
     recovery_s: float = 2.5  # mean blockage duration
+
+    def transition_probabilities(
+        self, speed_mps, dt_s: float
+    ) -> Tuple[np.ndarray, float]:
+        """Per-step ``(p_block, p_recover)`` for speed scalar or series."""
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        speed_mps = np.asarray(speed_mps, dtype=float)
+        if np.any(speed_mps < 0):
+            raise ValueError("speed_mps must be non-negative")
+        rate = self.block_rate_per_m * speed_mps
+        p_block = 1.0 - np.exp(-rate * dt_s)
+        p_recover = 1.0 - float(np.exp(-dt_s / self.recovery_s))
+        return p_block, p_recover
 
     def step(
         self,
@@ -153,14 +203,39 @@ class BlockageModel:
         rng: Optional[np.random.Generator] = None,
         start_blocked: bool = False,
     ) -> np.ndarray:
-        """Boolean blockage series of length ``ceil(duration/dt)``."""
+        """Boolean blockage series of length ``ceil(duration/dt)``.
+
+        Vectorized: one batched uniform draw plus a Markov scan.
+        Bit-identical to stepping :meth:`step` per tick with the same
+        generator (the scalar path draws exactly one uniform per tick,
+        so the batched draw consumes the same stream).
+        """
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
         rng = rng if rng is not None else np.random.default_rng()
         steps = int(np.ceil(duration_s / dt_s))
-        out = np.zeros(steps, dtype=bool)
-        state = start_blocked
-        for i in range(steps):
-            state = self.step(state, speed_mps, dt_s, rng)
-            out[i] = state
-        return out
+        return self.simulate_from_draws(
+            rng.random(steps), speed_mps, dt_s, start_blocked=start_blocked
+        )
+
+    def simulate_from_draws(
+        self,
+        uniforms: np.ndarray,
+        speed_mps,
+        dt_s: float,
+        start_blocked: bool = False,
+    ) -> np.ndarray:
+        """Blockage series from pre-drawn per-tick uniforms.
+
+        ``speed_mps`` may be a scalar or a per-tick series (walking
+        traces have varying speed). Split out from :meth:`simulate` so
+        :meth:`RsrpProcess.simulate` can batch its own draws.
+        """
+        uniforms = np.asarray(uniforms, dtype=float)
+        p_block, p_recover = self.transition_probabilities(speed_mps, dt_s)
+        p_block = np.broadcast_to(p_block, uniforms.shape)
+        return markov_binary_scan(
+            next_if_true=uniforms >= p_recover,
+            next_if_false=uniforms < p_block,
+            init=start_blocked,
+        )

@@ -5,6 +5,21 @@ it fluctuates "frequently and wildly" on mmWave (section 4.4, Fig. 13).
 We model RSRP as (tx power + antenna gain - path loss) with an AR(1)
 mean-reverting fast-fading component whose variance depends on the band
 class, plus deep fades during blockage.
+
+Two code paths produce samples:
+
+* :meth:`RsrpProcess.step` — the streaming per-tick API, unchanged
+  from the original scalar implementation (bit-identical, including
+  its RNG draw order: blockage uniform, optional severity uniform,
+  fading normal, interleaved per tick).
+* :meth:`RsrpProcess.simulate` — the vectorized batch kernel: O(1)
+  batched RNG draws and array scans for a whole trajectory. Its draw
+  order necessarily differs from streaming (all blockage uniforms,
+  then per-onset severities, then fading normals), so a seeded
+  ``simulate`` is *not* sample-identical to the same seed stepped
+  through :meth:`step`; it matches the batched-order scalar reference
+  in :mod:`repro.kernels.reference` to the scan tolerance documented
+  in ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -14,8 +29,9 @@ from typing import Optional
 
 import numpy as np
 
+from repro.kernels.scan import ar1_scan, leaky_ramp_scan
 from repro.radio.bands import Band, BandClass
-from repro.radio.propagation import BlockageModel, PathLossModel
+from repro.radio.propagation import BlockageModel, PathLossModel, get_path_loss_model
 
 # Effective radiated power + beamforming gain, by band class (dBm).
 _TX_EIRP_DBM = {
@@ -45,7 +61,7 @@ def rsrp_at_distance(
     rng: Optional[np.random.Generator] = None,
 ) -> float:
     """Median RSRP (dBm) at a given distance from the serving tower."""
-    model = PathLossModel(band)
+    model = get_path_loss_model(band)
     loss = model.path_loss_db(distance_m, los=los, rng=rng)
     rsrp = _TX_EIRP_DBM[band.band_class] - loss
     return float(np.clip(rsrp, RSRP_MIN_DBM, RSRP_MAX_DBM))
@@ -57,7 +73,8 @@ class RsrpProcess:
 
     Call :meth:`step` with the current tower distance and UE speed to
     advance by ``dt_s`` and obtain the next RSRP sample; or use
-    :meth:`simulate` for a fixed-trajectory batch.
+    :meth:`simulate` to generate a whole fixed-trajectory series with
+    batched RNG draws and array scans (no per-tick Python).
     """
 
     band: Band
@@ -77,13 +94,23 @@ class RsrpProcess:
     _block_severity: float = field(init=False, default=1.0)
     _blockage: BlockageModel = field(init=False, repr=False)
     _pathloss: PathLossModel = field(init=False, repr=False)
+    # Per-step constants hoisted out of the tick loop: the AR(1)
+    # coefficient, the matched innovation sigma, and the blockage
+    # depth-ramp step, all fixed once dt is known.
+    _rho: float = field(init=False, repr=False)
+    _sigma_eff: float = field(init=False, repr=False)
+    _ramp_alpha: float = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.dt_s <= 0:
             raise ValueError("dt_s must be positive")
         self._rng = np.random.default_rng(self.seed)
         self._blockage = self.blockage or BlockageModel()
-        self._pathloss = PathLossModel(self.band)
+        self._pathloss = get_path_loss_model(self.band)
+        sigma = _FADING_SIGMA[self.band.band_class]
+        self._rho = float(np.exp(-self.dt_s / self.correlation_s))
+        self._sigma_eff = float(sigma * np.sqrt(1.0 - self._rho**2))
+        self._ramp_alpha = 1.0 - float(np.exp(-self.dt_s / self.blockage_ramp_s))
 
     @property
     def blocked(self) -> bool:
@@ -102,12 +129,9 @@ class RsrpProcess:
                 self._block_severity = float(self._rng.uniform(0.5, 1.0))
             # Depth ramps toward the target over blockage_ramp_s.
             target = 1.0 if self._blocked else 0.0
-            alpha = 1.0 - float(np.exp(-self.dt_s / self.blockage_ramp_s))
-            self._block_depth += (target - self._block_depth) * alpha
-        sigma = _FADING_SIGMA[self.band.band_class]
-        rho = float(np.exp(-self.dt_s / self.correlation_s))
-        innovation = self._rng.normal(0.0, sigma * np.sqrt(1.0 - rho**2))
-        self._fading_db = rho * self._fading_db + innovation
+            self._block_depth += (target - self._block_depth) * self._ramp_alpha
+        innovation = self._rng.normal(0.0, self._sigma_eff)
+        self._fading_db = self._rho * self._fading_db + innovation
 
         # The full NLoS penalty (exponent change approximated as a fixed
         # extra loss) scales continuously with the blockage depth.
@@ -120,10 +144,68 @@ class RsrpProcess:
     def simulate(
         self,
         distances_m,
-        speed_mps: float = 0.0,
+        speed_mps=0.0,
     ) -> np.ndarray:
-        """RSRP series for a whole trajectory of tower distances."""
+        """RSRP series for a whole trajectory of tower distances.
+
+        ``speed_mps`` may be a scalar or a per-tick series. The kernel
+        is array-at-a-time: three batched RNG draws (blockage uniforms,
+        per-onset severities, fading normals), a Markov scan for the
+        blockage chain, and AR(1) scans for the depth ramp and fading —
+        no per-tick Python. Continues from, and updates, the process
+        state, so ``step``/``simulate`` calls can be mixed.
+
+        Draw order differs from repeated :meth:`step` (see the module
+        docstring); equivalence to the batched-order scalar reference
+        is property-tested to the documented scan tolerance.
+        """
         distances_m = np.asarray(distances_m, dtype=float)
         if distances_m.ndim != 1 or distances_m.shape[0] == 0:
             raise ValueError("distances_m must be a non-empty 1-D array")
-        return np.array([self.step(d, speed_mps) for d in distances_m])
+        n = distances_m.shape[0]
+        speeds = np.broadcast_to(np.asarray(speed_mps, dtype=float), (n,))
+
+        if self.band.is_mmwave:
+            blocked = self._blockage.simulate_from_draws(
+                self._rng.random(n), speeds, self.dt_s, start_blocked=self._blocked
+            )
+            # One severity per blockage event, held until the next onset.
+            prev = np.concatenate(([self._blocked], blocked[:-1]))
+            onsets = blocked & ~prev
+            severities = self._rng.uniform(0.5, 1.0, size=int(onsets.sum()))
+            severity = _hold_from_events(
+                severities, onsets, initial=self._block_severity
+            )
+            depth = leaky_ramp_scan(
+                self._ramp_alpha, blocked.astype(float), init=self._block_depth
+            )
+        else:
+            blocked = np.zeros(n, dtype=bool)
+            severity = np.full(n, self._block_severity)
+            depth = np.full(n, self._block_depth)
+
+        innovations = self._rng.normal(0.0, self._sigma_eff, size=n)
+        fading = ar1_scan(self._rho, innovations, init=self._fading_db)
+
+        loss = self._pathloss.path_loss_db_series(distances_m, los=True)
+        rsrp = _TX_EIRP_DBM[self.band.band_class] - loss + fading
+        full_fade = _BLOCKAGE_FADE_DB + 18.0
+        rsrp -= full_fade * depth * severity
+
+        self._blocked = bool(blocked[-1])
+        self._block_depth = float(depth[-1])
+        self._block_severity = float(severity[-1])
+        self._fading_db = float(fading[-1])
+        return np.clip(rsrp, RSRP_MIN_DBM, RSRP_MAX_DBM)
+
+
+def _hold_from_events(
+    values: np.ndarray, onsets: np.ndarray, initial: float
+) -> np.ndarray:
+    """Piecewise-constant series: ``initial`` until the first onset,
+    then ``values[k]`` from the k-th onset until the next."""
+    n = onsets.shape[0]
+    # Event ordinal at each tick: 0 before the first onset, k after the
+    # k-th. Indexing a values array prefixed with the initial value.
+    ordinal = np.cumsum(onsets)
+    return np.concatenate(([initial], values))[ordinal]

@@ -66,6 +66,30 @@ class TowerGrid:
                 best = (tower, distance)
         return best
 
+    def serving_distances(
+        self, x_series, y_series, band: Band, default_m: float
+    ) -> np.ndarray:
+        """Vectorized serving-tower *distance* along a whole trajectory.
+
+        For each position, the distance to the closest in-coverage
+        tower of ``band``, or ``default_m`` when no tower covers it —
+        the same values :meth:`serving_tower` yields point by point
+        (ties return the same distance either way).
+        """
+        x_series = np.asarray(x_series, dtype=float)
+        y_series = np.asarray(y_series, dtype=float)
+        towers = self.towers_for_band(band)
+        if not towers:
+            return np.full(x_series.shape, float(default_m))
+        distances = np.hypot(
+            np.array([[t.x_m] for t in towers]) - x_series,
+            np.array([[t.y_m] for t in towers]) - y_series,
+        )
+        coverage = np.array([[t.coverage_m] for t in towers])
+        distances = np.where(distances > coverage, np.inf, distances)
+        best = distances.min(axis=0)
+        return np.where(np.isinf(best), float(default_m), best)
+
     @staticmethod
     def uniform_grid(
         band: Band,

@@ -19,6 +19,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.kernels.scan import ar1_scan
 from repro.radio.bands import LTE_1900, NR_N261
 from repro.radio.propagation import BlockageModel
 from repro.radio.carriers import get_network
@@ -71,15 +72,18 @@ def _generate_5g_trace(
     )
     distances = _walk_distances(rng, duration_s, span_m=320.0)
     speed = float(rng.uniform(1.0, 2.5))
-    rsrps = np.array([signal.step(d, speed) for d in distances])
+    rsrps = signal.simulate(distances, speed)
     rates = link.capacity_series_mbps(rsrps)
     # Per-second scheduler share: a mean-reverting log process, so even
     # at pegged link capacity the delivered rate swings the way real
-    # mmWave cells do under contention and beam adaptation.
-    log_share = np.empty(duration_s)
-    log_share[0] = rng.normal(-0.45, 0.3)
-    for i in range(1, duration_s):
-        log_share[i] = 0.85 * log_share[i - 1] + rng.normal(-0.065, 0.28)
+    # mmWave cells do under contention and beam adaptation. The AR(1)
+    # recurrence runs as a batched scan over one batched draw (the
+    # draw stream matches the old per-step scalar draws).
+    first = rng.normal(-0.45, 0.3)
+    innovations = rng.normal(-0.065, 0.28, size=duration_s - 1)
+    log_share = np.concatenate(
+        [[first], ar1_scan(0.85, innovations, init=first)]
+    )
     share = np.clip(np.exp(log_share), 0.02, 1.0)
     rates = rates * share
     return ThroughputTrace(
@@ -101,14 +105,13 @@ def _generate_4g_trace(
     # bandwidth", section 5.4).
     distances = _walk_distances(rng, duration_s, span_m=1200.0) * 2.0
     speed = float(rng.uniform(0.8, 2.0))
-    rsrps = np.array([signal.step(d, speed) for d in distances])
+    rsrps = signal.simulate(distances, speed)
     rates = link.capacity_series_mbps(rsrps)
-    # Loaded LTE cell: modest scheduler share with gentle swings.
+    # Loaded LTE cell: modest scheduler share with gentle swings,
+    # again an AR(1) scan over one batched draw.
     utilisation = rng.uniform(0.3, 0.6)
-    log_swing = np.empty(duration_s)
-    log_swing[0] = 0.0
-    for i in range(1, duration_s):
-        log_swing[i] = 0.9 * log_swing[i - 1] + rng.normal(0.0, 0.08)
+    innovations = rng.normal(0.0, 0.08, size=duration_s - 1)
+    log_swing = np.concatenate([[0.0], ar1_scan(0.9, innovations, init=0.0)])
     rates = rates * utilisation * np.clip(np.exp(log_swing), 0.7, 2.0)
     return ThroughputTrace(
         name=name, tech="4G", throughput_mbps=rates, rsrp_dbm=rsrps

@@ -61,6 +61,18 @@ class ThroughputTrace:
         index = int(t_s / self.dt_s) % len(self)
         return float(self.throughput_mbps[index])
 
+    def throughput_at_series(self, times_s) -> np.ndarray:
+        """Vectorized :meth:`throughput_at` over a whole time grid.
+
+        Bit-identical to the scalar lookup at each grid point (the
+        truncating index math is the same elementwise).
+        """
+        times_s = np.asarray(times_s, dtype=float)
+        if np.any(times_s < 0):
+            raise ValueError("t_s must be non-negative")
+        indices = (times_s / self.dt_s).astype(np.int64) % len(self)
+        return self.throughput_mbps[indices]
+
 
 @dataclass
 class WalkingTrace:

@@ -65,7 +65,16 @@ class WalkingTraceGenerator:
         self._rng = np.random.default_rng(self.seed)
 
     def generate(self, name: str) -> WalkingTrace:
-        """One walking trace at 10 Hz."""
+        """One walking trace at 10 Hz.
+
+        The hot paths run as batch kernels: serving distances, the RSRP
+        series (:meth:`RsrpProcess.simulate`), both directions' capacity
+        series, and the power curve are each one array pass. Only the
+        inherently sequential burst state machine remains a Python loop;
+        it draws from the generator's RNG in the same per-step order as
+        the pre-PR implementation, so the burst/pause structure is
+        unchanged for a given seed.
+        """
         trajectory = Trajectory.from_route(self.route, dt_s=1.0 / LOG_RATE_HZ)
         grid = TowerGrid.along_route(
             self.network.band,
@@ -83,11 +92,17 @@ class WalkingTraceGenerator:
         curve = self.device.curve(self.network.key)
 
         n = len(trajectory)
-        rsrps = np.empty(n)
-        dls = np.empty(n)
-        uls = np.empty(n)
-        powers = np.empty(n)
         max_coverage = self.network.band.coverage_km * 1000.0
+        distances = grid.serving_distances(
+            trajectory.x_m, trajectory.y_m, self.network.band, max_coverage
+        )
+        rsrps = signal.simulate(distances, trajectory.speed_mps)
+        cap_dl = link.capacity_series_mbps(rsrps, downlink=True).tolist()
+        cap_ul = link.capacity_series_mbps(rsrps, downlink=False).tolist()
+
+        dls = np.zeros(n)
+        uls = np.zeros(n)
+        noises = np.empty(n)
         # The workload alternates saturating and controlled-rate bursts
         # with idle pauses, mirroring the paper's mixed methodology
         # (in-the-wild walks plus controlled target-throughput runs).
@@ -98,21 +113,16 @@ class WalkingTraceGenerator:
         uplink_burst = False
         target_mbps = float("inf")  # saturating burst
         for i in range(n):
-            x, y = float(trajectory.x_m[i]), float(trajectory.y_m[i])
-            serving = grid.serving_tower(x, y, self.network.band)
-            distance = serving[1] if serving is not None else max_coverage
-            rsrp = signal.step(distance, float(trajectory.speed_mps[i]))
-            dl = ul = 0.0
             if transfer_active:
                 if self._rng.random() < 1.0 / 300.0:  # ~30 s mean bursts
                     transfer_active = False
-                capacity = link.capacity_mbps(rsrp, downlink=not uplink_burst)
-                share = float(np.clip(self._rng.normal(0.8, 0.08), 0.3, 1.0))
+                capacity = cap_ul[i] if uplink_burst else cap_dl[i]
+                share = min(max(float(self._rng.normal(0.8, 0.08)), 0.3), 1.0)
                 rate = min(capacity * share, target_mbps)
                 if uplink_burst:
-                    ul = rate
+                    uls[i] = rate
                 else:
-                    dl = rate
+                    dls[i] = rate
             else:
                 if self._rng.random() < 1.0 / 50.0:  # ~5 s mean pauses
                     transfer_active = True
@@ -128,10 +138,10 @@ class WalkingTraceGenerator:
                             else self.network.peak_dl_mbps
                         )
                         target_mbps = float(self._rng.uniform(5.0, peak))
-            power = curve.power_mw(dl_mbps=dl, ul_mbps=ul, rsrp_dbm=rsrp)
-            power *= float(self._rng.normal(1.0, 0.03))  # residual noise
-            rsrps[i], dls[i], uls[i] = rsrp, dl, ul
-            powers[i] = max(power, 0.0)
+            noises[i] = self._rng.normal(1.0, 0.03)  # residual noise
+        powers = np.maximum(
+            curve.power_mw_series(dls, uls, rsrps) * noises, 0.0
+        )
         return WalkingTrace(
             name=name,
             network_key=self.network.key,

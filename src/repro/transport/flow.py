@@ -17,15 +17,17 @@ from typing import Callable, Optional, Union
 
 import numpy as np
 
+from repro.kernels.sampling import sample_series
 from repro.transport.cubic import CubicState, MSS_BYTES
 from repro.transport.tuning import DEFAULT_KERNEL, KernelConfig
 
 CapacityLike = Union[float, Callable[[float], float]]
 
 
-def bandwidth_delay_product_bytes(rate_mbps: float, rtt_ms: float) -> float:
-    """BDP in bytes for a path of ``rate_mbps`` and ``rtt_ms``."""
-    if rate_mbps <= 0 or rtt_ms <= 0:
+def bandwidth_delay_product_bytes(rate_mbps, rtt_ms: float):
+    """BDP in bytes for a path of ``rate_mbps`` (scalar or series) and
+    ``rtt_ms``."""
+    if np.any(np.asarray(rate_mbps) <= 0) or rtt_ms <= 0:
         raise ValueError("rate and rtt must be positive")
     return rate_mbps * 1e6 / 8.0 * (rtt_ms / 1000.0)
 
@@ -63,12 +65,14 @@ class UdpFlow:
     ) -> FlowResult:
         if duration_s <= 0 or dt_s <= 0:
             raise ValueError("duration and dt must be positive")
-        steps = int(round(duration_s / dt_s))
-        rates = np.empty(steps)
-        for i in range(steps):
-            cap = capacity(i * dt_s) if callable(capacity) else capacity
-            offered = self.target_mbps if self.target_mbps is not None else cap
-            rates[i] = max(0.0, min(offered, cap)) * (1.0 - self.header_overhead)
+        # Clamp to at least one step: sub-dt durations used to round to
+        # zero steps and return a NaN mean from an empty array.
+        steps = max(1, int(round(duration_s / dt_s)))
+        caps = sample_series(capacity, np.arange(steps) * dt_s)
+        offered = caps if self.target_mbps is None else self.target_mbps
+        rates = np.maximum(0.0, np.minimum(offered, caps)) * (
+            1.0 - self.header_overhead
+        )
         return FlowResult(
             throughput_mbps=float(np.mean(rates)),
             rate_series_mbps=rates,
@@ -108,7 +112,15 @@ class TcpFlow:
         self, capacity: CapacityLike, duration_s: float = 15.0
     ) -> FlowResult:
         """Simulate ``duration_s`` of bulk transfer against ``capacity``
-        (Mbps, constant or a function of time)."""
+        (Mbps, constant or a function of time).
+
+        The capacity/BDP series and the loss-uniform stream are
+        precomputed in batch; the only remaining per-RTT Python is the
+        inherently sequential CUBIC recurrence. Bit-identical to the
+        pre-PR per-step implementation: the uniform stream is consumed
+        at an index that only advances on non-overflow steps, matching
+        the scalar path's short-circuited draw order.
+        """
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
         rng = np.random.default_rng(self.seed)
@@ -116,21 +128,37 @@ class TcpFlow:
         rtt_s = self.rtt_ms / 1000.0
         steps = max(1, int(round(duration_s / rtt_s)))
         buffer_bytes = self.kernel.effective_window_bytes
+
+        caps = np.maximum(sample_series(capacity, np.arange(steps) * rtt_s), 1e-3)
+        bdps = bandwidth_delay_product_bytes(caps, self.rtt_ms)
+        # Overflow steps skip their loss draw (short-circuit), so at
+        # most `steps` uniforms are ever consumed; trailing unused
+        # draws don't affect the consumed prefix of the stream.
+        uniforms = rng.random(steps).tolist()
+        caps_list = caps.tolist()
+        bdps_list = bdps.tolist()
+
         rates = np.empty(steps)
         losses = 0
+        draw = 0
+        overflow_window = 1.0 + self.queue_bdp_factor
+        one_minus_loss = 1.0 - self.loss_rate
         for i in range(steps):
-            t = i * rtt_s
-            cap_mbps = capacity(t) if callable(capacity) else capacity
-            cap_mbps = max(cap_mbps, 1e-3)
-            bdp = bandwidth_delay_product_bytes(cap_mbps, self.rtt_ms)
-            window = min(cubic.cwnd_bytes(), buffer_bytes)
+            cap_mbps = caps_list[i]
+            cwnd_bytes = cubic.cwnd_bytes()
+            window = min(cwnd_bytes, buffer_bytes)
             rate_mbps = min(window * 8.0 / rtt_s / 1e6, cap_mbps)
             rates[i] = rate_mbps
 
+            if cwnd_bytes > overflow_window * bdps_list[i]:
+                cubic.on_loss()
+                losses += 1
+                continue
             packets = rate_mbps * 1e6 / 8.0 * rtt_s / MSS_BYTES
-            p_random = 1.0 - (1.0 - self.loss_rate) ** max(packets, 0.0)
-            overflow = cubic.cwnd_bytes() > (1.0 + self.queue_bdp_factor) * bdp
-            if overflow or rng.random() < p_random:
+            p_random = 1.0 - one_minus_loss ** max(packets, 0.0)
+            u = uniforms[draw]
+            draw += 1
+            if u < p_random:
                 cubic.on_loss()
                 losses += 1
             else:

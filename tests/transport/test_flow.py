@@ -29,6 +29,17 @@ class TestUdp:
         result = UdpFlow().run(lambda t: 100.0 if t < 2.5 else 300.0, duration_s=5.0)
         assert 150.0 < result.throughput_mbps < 250.0
 
+    def test_sub_dt_duration_is_finite(self):
+        # Regression: durations below dt/2 used to round to zero steps
+        # and return a NaN mean over an empty rate series; they now run
+        # a single step.
+        import math
+
+        result = UdpFlow().run(500.0, duration_s=0.04, dt_s=0.1)
+        assert math.isfinite(result.throughput_mbps)
+        assert result.rate_series_mbps.shape == (1,)
+        assert result.throughput_mbps == pytest.approx(500.0 * 0.98)
+
 
 class TestTcpBufferLimit:
     def test_default_kernel_caps_near_500mbps(self):
