@@ -19,14 +19,14 @@ SLEEP_S = 0.25
 REAL_RUNNERS = ["fig2", "fig9", "table2"]
 
 
-def _sleep_sweep(workers):
+def _sleep_sweep(workers, **engine_kwargs):
     jobs = SweepSpec(
         runners=["test.sleep"],
         base_kwargs={"duration_s": SLEEP_S},
         grid={"value": list(range(N_JOBS))},
         base_seed=0,
     ).expand()
-    result = execute(jobs, workers=workers)
+    result = execute(jobs, workers=workers, **engine_kwargs)
     result.raise_if_failed()
     return result
 
@@ -77,3 +77,40 @@ def test_engine_parallel_speedup_and_identity(benchmark):
         json.dumps(to_jsonable(real[w].values()), sort_keys=True) for w in (1, 4)
     ]
     assert canon[0] == canon[1]
+
+
+def test_engine_observability_overhead(benchmark, tmp_path):
+    """The run ledger must cost < 5% on a sleep-bound sweep.
+
+    The disabled path is the contract the acceptance criteria gate on
+    (`if events is not None` guards every emission site); the enabled
+    path writes a full EventLog + manifest and should still disappear
+    into the noise of real jobs.
+    """
+    from repro.obs.events import EventLog
+    from repro.obs.manifest import build_manifest, write_manifest
+
+    plain = benchmark.pedantic(
+        lambda: _sleep_sweep(workers=1), rounds=1, iterations=1
+    )
+
+    log = EventLog(tmp_path / "events.jsonl")
+    observed = _sleep_sweep(workers=1, events=log)
+    log.close()
+    write_manifest(build_manifest(observed), tmp_path / "run.manifest.json")
+
+    overhead = observed.elapsed_s / plain.elapsed_s - 1.0
+    emit(
+        "Engine observability overhead (8 x 0.25s sleep, serial)",
+        "\n".join(
+            [
+                f"ledger off {plain.elapsed_s:6.2f}s",
+                f"ledger on  {observed.elapsed_s:6.2f}s "
+                f"(events + manifest written)",
+                f"overhead   {100.0 * overhead:6.2f}%",
+            ]
+        ),
+    )
+    benchmark.extra_info["overhead_pct"] = round(100.0 * overhead, 2)
+    assert len(log.events()) == 2 + 2 * N_JOBS  # sweep pair + start/end per job
+    assert overhead < 0.05, f"observability overhead {100 * overhead:.1f}% >= 5%"

@@ -9,12 +9,18 @@ Usage::
     python -m repro run fig3 --seed 42        # reseed the simulation
     python -m repro sweep fig2 fig3 fig9 --workers 4
     python -m repro sweep fig17 --cache-dir .repro-cache   # incremental
+    python -m repro sweep fig2 fig9 --events run.jsonl --manifest run.json
+    python -m repro stats run.jsonl           # p50/p95, retries, hit rate
 
 Each artifact id maps to one :mod:`repro.experiments` runner
 registered with the scenario engine (:mod:`repro.engine`); ``--scale``
 multiplies the workload knobs (trace counts, repetitions), ``--seed``
 reseeds every runner deterministically, and ``sweep`` fans a set of
 artifacts over a worker pool with an optional on-disk result cache.
+``--events`` appends the sweep's run ledger (JSONL, rendered by the
+``stats`` subcommand), and ``--manifest`` records the provenance of
+every produced value; a manifest is also written next to each
+``--json`` export and into the cache directory (docs/observability.md).
 """
 
 from __future__ import annotations
@@ -129,6 +135,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines"
     )
+    sweep.add_argument(
+        "--events",
+        metavar="PATH.jsonl",
+        default=None,
+        help="append the sweep's event ledger (JSONL) here",
+    )
+    sweep.add_argument(
+        "--manifest",
+        metavar="PATH.json",
+        default=None,
+        help="write the run manifest (provenance record) here",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="summarise an event ledger written with --events"
+    )
+    stats.add_argument("events", metavar="EVENTS.jsonl")
 
     render = sub.add_parser("render", help="render a figure as SVG")
     from repro.viz.figures import FIGURES
@@ -184,7 +207,23 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _sweep_payload_key(outcome, display_counts) -> str:
+    """JSON export key for one outcome, unique across the whole sweep.
+
+    Sweeping the same artifact twice (``sweep fig2 fig2``) used to key
+    both results by the bare display name, so the dict silently kept
+    only the last one; repeated names now get a ``#index`` suffix while
+    unique names keep their plain, stable key.
+    """
+    display = outcome.spec.display
+    if display_counts[display] > 1:
+        return f"{display}#{outcome.spec.index}"
+    return display
+
+
 def _cmd_sweep(args) -> int:
+    from collections import Counter
+
     unknown = _check_artifacts(args.artifacts)
     if unknown:
         return _fail_unknown(unknown)
@@ -195,14 +234,24 @@ def _cmd_sweep(args) -> int:
         for i, (name, seed) in enumerate(zip(args.artifacts, seeds))
     ]
     tracker = ProgressTracker(stream=None if args.quiet else sys.stderr)
-    result = execute(
-        specs,
-        workers=args.workers,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        cache=cache,
-        progress=tracker,
-    )
+    events_sink = None
+    if args.events:
+        from repro.obs.events import EventLog
+
+        events_sink = EventLog(args.events)
+    try:
+        result = execute(
+            specs,
+            workers=args.workers,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            cache=cache,
+            progress=tracker,
+            events=events_sink,
+        )
+    finally:
+        if events_sink is not None:
+            events_sink.close()
     print(result.summary())
     if cache is not None:
         print(
@@ -214,15 +263,76 @@ def _cmd_sweep(args) -> int:
             f"FAILED {failure.label}: {failure.error_type}: {failure.error} "
             f"(after {failure.attempts} attempt(s))"
         )
+    if args.events:
+        print(f"wrote {args.events}")
     if args.json:
+        display_counts = Counter(o.spec.display for o in result.outcomes)
         payload = {
-            outcome.spec.display: to_jsonable(outcome.value)
+            _sweep_payload_key(outcome, display_counts): to_jsonable(
+                outcome.value
+            )
             for outcome in result.outcomes
             if outcome.status in ("ok", "cached")
         }
         path = export_json(payload, args.json)
         print(f"wrote {path}")
+    for manifest_path in _sweep_manifest_paths(args):
+        path = _write_sweep_manifest(result, args, manifest_path)
+        print(f"wrote {path}")
     return 1 if result.failed_count else 0
+
+
+def _sweep_manifest_paths(args) -> List[str]:
+    """Everywhere this sweep's manifest belongs: the explicit
+    ``--manifest`` path, a sibling of the ``--json`` export, and the
+    cache directory — so any artifact or cache entry traces back to the
+    run that produced it."""
+    from pathlib import Path
+
+    from repro.obs.manifest import manifest_path_for
+
+    paths = []
+    if args.manifest:
+        paths.append(Path(args.manifest))
+    if args.json:
+        paths.append(manifest_path_for(args.json))
+    if args.cache_dir:
+        paths.append(Path(args.cache_dir) / "last-sweep.manifest.json")
+    # De-duplicate while keeping order (--manifest may equal a default).
+    unique = []
+    for path in paths:
+        if path not in unique:
+            unique.append(path)
+    return unique
+
+
+def _write_sweep_manifest(result, args, path):
+    from repro.obs.manifest import build_manifest, write_manifest
+
+    manifest = build_manifest(
+        result,
+        base_seed=args.seed,
+        scale=args.scale,
+        argv=["sweep"] + list(args.artifacts),
+        cache_dir=args.cache_dir,
+        events_path=args.events,
+    )
+    return write_manifest(manifest, path)
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs.stats import aggregate_events_file, render_stats
+
+    try:
+        aggregate = aggregate_events_file(args.events)
+    except OSError as exc:
+        print(f"error: cannot read {args.events}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_stats(aggregate))
+    return 0
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -233,6 +343,8 @@ def main(argv: Optional[list] = None) -> int:
         for key in ids:
             print(f"{key.ljust(width)}  {registry.describe(key)}")
         return 0
+    if args.command == "stats":
+        return _cmd_stats(args)
     if getattr(args, "scale", 1.0) <= 0:
         print("--scale must be positive", file=sys.stderr)
         return 2

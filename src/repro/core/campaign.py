@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.mobility.routes import walking_loop
 from repro.net.servers import SpeedtestServer, carrier_server_pool
+from repro.obs.metrics import MetricsRegistry
 from repro.net.speedtest import ConnectionMode, SpeedtestHarness, SpeedtestResult
 from repro.power.device import DEVICES, DeviceProfile, get_device
 from repro.radio.carriers import NETWORKS, CarrierNetwork, get_network
@@ -117,6 +118,12 @@ class Campaign:
     workers: InitVar[int] = 1
     _rng: np.random.Generator = field(init=False, repr=False)
     _workers: int = field(init=False, repr=False, default=1)
+    # Leading underscore keeps the registry out of to_jsonable exports
+    # (its timer values vary run to run and would break the
+    # serial==parallel export identity); read it via `.metrics`.
+    _metrics: MetricsRegistry = field(
+        init=False, repr=False, compare=False, default_factory=MetricsRegistry
+    )
     speedtest_results: List[SpeedtestResult] = field(default_factory=list)
     walking_traces: Dict[str, List[WalkingTrace]] = field(default_factory=dict)
     probe_results: Dict[str, ProbeResult] = field(default_factory=dict)
@@ -125,6 +132,11 @@ class Campaign:
     def __post_init__(self, workers: int = 1) -> None:
         self._rng = np.random.default_rng(self.seed)
         self._workers = int(workers)
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Phase spans + engine job timers accumulated across phases."""
+        return self._metrics
 
     def _dispatch(self, runner: str, job_kwargs: List[Dict]) -> List:
         """Run one engine job per setting; values in submission order.
@@ -145,7 +157,7 @@ class Campaign:
             )
             for i, kwargs in enumerate(job_kwargs)
         ]
-        result = execute(jobs, workers=self._workers)
+        result = execute(jobs, workers=self._workers, metrics=self._metrics)
         result.raise_if_failed()
         return result.values()
 
@@ -175,10 +187,12 @@ class Campaign:
                     }
                 )
         results: List[SpeedtestResult] = []
-        for setting_results in self._dispatch(
-            "campaign.speedtest-setting", job_kwargs
-        ):
-            results.extend(setting_results)
+        with self._metrics.span("campaign.speedtests"):
+            for setting_results in self._dispatch(
+                "campaign.speedtest-setting", job_kwargs
+            ):
+                results.extend(setting_results)
+        self._metrics.counter("campaign.speedtest_results").inc(len(results))
         self.speedtest_results.extend(results)
         return results
 
@@ -208,12 +222,12 @@ class Campaign:
                         "prefix": setting,
                     }
                 )
-        for kwargs, traces in zip(
-            job_kwargs,
-            self._dispatch("campaign.walking-setting", job_kwargs),
-        ):
+        with self._metrics.span("campaign.walking"):
+            dispatched = self._dispatch("campaign.walking-setting", job_kwargs)
+        for kwargs, traces in zip(job_kwargs, dispatched):
             setting = kwargs["prefix"]
             self.walking_traces.setdefault(setting, []).extend(traces)
+            self._metrics.counter("campaign.walking_traces").inc(len(traces))
         return self.walking_traces
 
     def run_probes(

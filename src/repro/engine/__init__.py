@@ -26,7 +26,11 @@ from repro.engine.errors import (
     UnknownRunnerError,
 )
 from repro.engine.spec import JobSpec, SweepSpec, spawn_seeds
-from repro.engine.cache import ResultCache, default_code_version
+from repro.engine.cache import (
+    ResultCache,
+    clear_code_version_memo,
+    default_code_version,
+)
 from repro.engine.progress import ProgressSnapshot, ProgressTracker
 from repro.engine.pool import (
     JobFailure,
@@ -51,6 +55,7 @@ __all__ = [
     "SweepSpec",
     "TransientJobError",
     "UnknownRunnerError",
+    "clear_code_version_memo",
     "default_code_version",
     "execute",
     "execute_one",

@@ -19,24 +19,55 @@ import json
 import os
 import re
 import tempfile
-from functools import lru_cache
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.experiments.export import to_jsonable
 from repro.engine.spec import JobSpec
+from repro.obs.events import EventSink
 
 PathLike = Union[str, Path]
 
 _SENTINEL = object()
 
+# Memo for default_code_version, keyed per source root on a cheap
+# (path, mtime_ns, size) scan rather than process lifetime: a
+# long-lived session that edits sources gets a fresh tag on the next
+# sweep instead of silently writing cache entries under the stale one.
+_CODE_VERSION_MEMO: Dict[str, Tuple[Tuple, str]] = {}
 
-@lru_cache(maxsize=1)
-def default_code_version() -> str:
-    """A short digest over the installed ``repro`` package sources."""
-    import repro
 
-    root = Path(repro.__file__).parent
+def _source_signature(root: Path) -> Tuple:
+    """Stat-level fingerprint of every ``.py`` file under ``root``."""
+    signature = []
+    for path in sorted(root.rglob("*.py")):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        signature.append(
+            (path.relative_to(root).as_posix(), stat.st_mtime_ns, stat.st_size)
+        )
+    return tuple(signature)
+
+
+def default_code_version(root: Optional[PathLike] = None) -> str:
+    """A short digest over the ``repro`` package sources (or ``root``).
+
+    Re-hashing ~200 files on every call would be wasteful, so the
+    digest is memoised — but on a (path, mtime, size) scan of the
+    tree, not for the process lifetime. Editing, adding, or removing
+    any module invalidates the memo and yields a new tag.
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+    root = Path(root)
+    signature = _source_signature(root)
+    memo = _CODE_VERSION_MEMO.get(str(root))
+    if memo is not None and memo[0] == signature:
+        return memo[1]
     digest = hashlib.sha256()
     for path in sorted(root.rglob("*.py")):
         digest.update(path.relative_to(root).as_posix().encode())
@@ -44,15 +75,30 @@ def default_code_version() -> str:
             digest.update(path.read_bytes())
         except OSError:
             continue
-    return digest.hexdigest()[:16]
+    version = digest.hexdigest()[:16]
+    _CODE_VERSION_MEMO[str(root)] = (signature, version)
+    return version
+
+
+def clear_code_version_memo() -> None:
+    """Drop every memoised code-version tag (tests, forced refresh)."""
+    _CODE_VERSION_MEMO.clear()
 
 
 class ResultCache:
-    """A directory of ``<runner>-<key>.json`` result files."""
+    """A directory of ``<runner>-<key>.json`` result files.
 
-    def __init__(self, root: PathLike) -> None:
+    With an :class:`repro.obs.events.EventSink` attached (``events``,
+    usually wired by ``execute``), every hit and store emits a
+    ``cache_hit``/``cache_put`` event into the run ledger.
+    """
+
+    def __init__(
+        self, root: PathLike, events: Optional[EventSink] = None
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.events = events
 
     def key_for(self, spec: JobSpec, code_version: Optional[str] = None) -> str:
         """Stable content key for one job under one code version."""
@@ -82,6 +128,14 @@ class ResultCache:
             return False, None
         if not isinstance(record, dict) or "value" not in record:
             return False, None
+        if self.events is not None:
+            self.events.emit(
+                "cache_hit",
+                index=spec.index,
+                runner=spec.runner,
+                label=spec.display,
+                key=key,
+            )
         return True, record["value"]
 
     def put(self, spec: JobSpec, key: str, value: Any) -> Path:
@@ -109,6 +163,14 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.events is not None:
+            self.events.emit(
+                "cache_put",
+                index=spec.index,
+                runner=spec.runner,
+                label=spec.display,
+                key=key,
+            )
         return path
 
     # -- maintenance -----------------------------------------------------

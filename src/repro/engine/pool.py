@@ -41,7 +41,9 @@ from repro.engine.cache import ResultCache, default_code_version
 from repro.engine.errors import TRANSIENT_ERRORS, JobTimeoutError
 from repro.engine.progress import ProgressTracker
 from repro.engine.spec import JobSpec, SweepSpec
-from repro.experiments.export import to_jsonable
+from repro.experiments.export import from_jsonable, to_jsonable
+from repro.obs.events import EventSink
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -71,11 +73,18 @@ class JobOutcome:
 
 @dataclass
 class SweepResult:
-    """All outcomes of one :func:`execute` call, in job-index order."""
+    """All outcomes of one :func:`execute` call, in job-index order.
+
+    ``stats`` is the metrics registry's aggregated block (per-runner
+    job timers plus retry/timeout/cache counters); ``code_version`` is
+    the tag the cache keyed on, recorded so a run manifest can pin it.
+    """
 
     outcomes: List[JobOutcome]
     elapsed_s: float = 0.0
     workers: int = 1
+    stats: Dict[str, Any] = field(default_factory=dict)
+    code_version: Optional[str] = None
 
     def __iter__(self):
         return iter(self.outcomes)
@@ -196,6 +205,10 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     attempts = 0
     last_error: Optional[BaseException] = None
     last_traceback = ""
+    # Attempt-level telemetry recorded worker-side and replayed into
+    # the parent's event sink when the record settles: sinks (open file
+    # handles) never cross the process boundary.
+    sub_events: List[Dict[str, Any]] = []
     while attempts <= retries:
         attempts += 1
         try:
@@ -212,12 +225,32 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                 "value": value,
                 "attempts": attempts,
                 "duration_s": time.monotonic() - started,
+                "events": sub_events,
             }
         except TRANSIENT_ERRORS as exc:
             last_error = exc
             last_traceback = traceback.format_exc()
+            if isinstance(exc, JobTimeoutError):
+                sub_events.append(
+                    {
+                        "event": "job_timeout",
+                        "attempt": attempts,
+                        "timeout_s": payload["timeout_s"],
+                        "error": str(exc),
+                    }
+                )
             if attempts <= retries:
-                time.sleep(payload["backoff_s"] * (2 ** (attempts - 1)))
+                backoff = payload["backoff_s"] * (2 ** (attempts - 1))
+                sub_events.append(
+                    {
+                        "event": "job_retry",
+                        "attempt": attempts,
+                        "error_type": exc.__class__.__name__,
+                        "error": str(exc) or exc.__class__.__name__,
+                        "backoff_s": backoff,
+                    }
+                )
+                time.sleep(backoff)
                 continue
             break
         except Exception as exc:
@@ -234,6 +267,7 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         "error_type": last_error.__class__.__name__,
         "transient": isinstance(last_error, TRANSIENT_ERRORS),
         "traceback": last_traceback,
+        "events": sub_events,
     }
 
 
@@ -289,12 +323,25 @@ def execute(
     cache: Optional[ResultCache] = None,
     code_version: Optional[str] = None,
     progress: Optional[ProgressTracker] = None,
+    events: Optional[EventSink] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SweepResult:
     """Run every job to an outcome; never raises for job failures.
 
     With ``cache`` attached, values (fresh and cached alike) are
-    normalised through ``to_jsonable`` so both paths return identical
-    data; without it, runners' raw in-memory results pass through.
+    normalised through ``to_jsonable`` and decoded back through
+    ``from_jsonable``, so both paths return identical data *and types*
+    (non-finite floats stay floats); without it, runners' raw
+    in-memory results pass through.
+
+    With an ``events`` sink attached, the sweep appends its run ledger
+    there: ``sweep_start``/``sweep_end`` (via the progress tracker),
+    ``job_start``/``job_retry``/``job_timeout``/``job_end`` (from this
+    module), and ``cache_hit``/``cache_put`` (from the cache). In
+    parallel mode ``job_start`` marks pool submission, and worker-side
+    attempt telemetry is replayed when each record settles. ``metrics``
+    (created per call when not supplied) aggregates per-runner job
+    timers and retry/timeout/cache counters into ``result.stats``.
     """
     if isinstance(jobs, SweepSpec):
         specs = jobs.expand()
@@ -304,56 +351,124 @@ def execute(
             for i, spec in enumerate(jobs)
         ]
     started = time.monotonic()
+    registry_ = metrics if metrics is not None else MetricsRegistry()
+    if progress is None and events is not None:
+        progress = ProgressTracker()
+    if progress is not None and events is not None and progress.events is None:
+        progress.events = events
     if progress is not None:
-        progress.start(len(specs))
+        progress.start(len(specs), workers=int(workers))
 
-    version = code_version or (default_code_version() if cache else None)
-    outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
-    keys: Dict[int, str] = {}
-    pending: List[JobSpec] = []
-    for spec in specs:
-        if cache is not None:
-            key = cache.key_for(spec, version)
-            keys[spec.index] = key
-            hit, value = cache.get(spec, key)
-            if hit:
-                outcome = JobOutcome(spec=spec, status="cached", value=value)
-                outcomes[spec.index] = outcome
-                if progress is not None:
-                    progress.update(outcome)
-                continue
-        pending.append(spec)
+    restore_cache_events = False
+    if cache is not None and events is not None and cache.events is None:
+        cache.events = events
+        restore_cache_events = True
+    try:
+        version = code_version or (default_code_version() if cache else None)
+        outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
+        keys: Dict[int, str] = {}
+        pending: List[JobSpec] = []
+        for spec in specs:
+            if cache is not None:
+                key = cache.key_for(spec, version)
+                keys[spec.index] = key
+                hit, value = cache.get(spec, key)
+                if hit:
+                    outcome = JobOutcome(
+                        spec=spec, status="cached", value=from_jsonable(value)
+                    )
+                    outcomes[spec.index] = outcome
+                    registry_.counter("jobs_cached").inc()
+                    if progress is not None:
+                        progress.update(outcome)
+                    continue
+            pending.append(spec)
 
-    def _settle(spec: JobSpec, record: Dict[str, Any]) -> None:
-        outcome = _outcome_from_record(spec, record)
-        if cache is not None and outcome.status == "ok":
-            outcome.value = to_jsonable(outcome.value)
-            cache.put(spec, keys[spec.index], outcome.value)
-        outcomes[spec.index] = outcome
+        def _emit_job_start(spec: JobSpec) -> None:
+            if events is not None:
+                events.emit(
+                    "job_start",
+                    index=spec.index,
+                    runner=spec.runner,
+                    label=spec.display,
+                    seed=spec.seed,
+                )
+
+        def _settle(spec: JobSpec, record: Dict[str, Any]) -> None:
+            outcome = _outcome_from_record(spec, record)
+            if cache is not None and outcome.status == "ok":
+                normalised = to_jsonable(outcome.value)
+                cache.put(spec, keys[spec.index], normalised)
+                registry_.counter("cache_puts").inc()
+                outcome.value = from_jsonable(normalised)
+            for sub in record.get("events", ()):
+                kind = sub["event"]
+                registry_.counter(
+                    "retries" if kind == "job_retry" else "timeouts"
+                ).inc()
+                if events is not None:
+                    fields = {k: v for k, v in sub.items() if k != "event"}
+                    events.emit(
+                        kind,
+                        index=spec.index,
+                        runner=spec.runner,
+                        label=spec.display,
+                        **fields,
+                    )
+            registry_.counter(f"jobs_{outcome.status}").inc()
+            registry_.timer(f"job.{spec.runner}").observe(outcome.duration_s)
+            if events is not None:
+                end_fields: Dict[str, Any] = {
+                    "index": spec.index,
+                    "runner": spec.runner,
+                    "label": spec.display,
+                    "status": outcome.status,
+                    "attempts": outcome.attempts,
+                    "duration_s": round(outcome.duration_s, 6),
+                }
+                if outcome.failure is not None:
+                    end_fields["error_type"] = outcome.failure.error_type
+                    end_fields["error"] = outcome.failure.error
+                events.emit("job_end", **end_fields)
+            outcomes[spec.index] = outcome
+            if progress is not None:
+                progress.update(outcome)
+
+        by_index = {spec.index: spec for spec in pending}
+        payloads = [
+            _payload_from(spec, timeout_s, retries, backoff_s)
+            for spec in pending
+        ]
+        n_workers = _effective_workers(workers, len(pending))
+        if n_workers <= 1:
+            for spec, payload in zip(pending, payloads):
+                _emit_job_start(spec)
+                _settle(spec, _execute_payload(payload))
+        else:
+            with multiprocessing.Pool(processes=n_workers) as pool:
+                for spec in pending:
+                    _emit_job_start(spec)
+                for record in pool.imap_unordered(
+                    _execute_payload, payloads, chunksize=1
+                ):
+                    _settle(by_index[record["index"]], record)
+
+        elapsed = time.monotonic() - started
+        registry_.timer("sweep").observe(elapsed)
         if progress is not None:
-            progress.update(outcome)
-
-    by_index = {spec.index: spec for spec in pending}
-    payloads = [
-        _payload_from(spec, timeout_s, retries, backoff_s) for spec in pending
-    ]
-    n_workers = _effective_workers(workers, len(pending))
-    if n_workers <= 1:
-        for spec, payload in zip(pending, payloads):
-            _settle(spec, _execute_payload(payload))
-    else:
-        with multiprocessing.Pool(processes=n_workers) as pool:
-            for record in pool.imap_unordered(
-                _execute_payload, payloads, chunksize=1
-            ):
-                _settle(by_index[record["index"]], record)
-
-    elapsed = time.monotonic() - started
-    if progress is not None:
-        progress.finish()
-    final = [outcome for outcome in outcomes if outcome is not None]
-    assert len(final) == len(specs)
-    return SweepResult(outcomes=final, elapsed_s=elapsed, workers=n_workers)
+            progress.finish()
+        final = [outcome for outcome in outcomes if outcome is not None]
+        assert len(final) == len(specs)
+        return SweepResult(
+            outcomes=final,
+            elapsed_s=elapsed,
+            workers=n_workers,
+            stats=registry_.as_dict(),
+            code_version=version,
+        )
+    finally:
+        if restore_cache_events:
+            cache.events = None
 
 
 def execute_one(

@@ -4,14 +4,19 @@ The pool calls :meth:`ProgressTracker.start` once and
 :meth:`ProgressTracker.update` as each outcome lands (completion
 order, not submission order). With a ``stream`` attached the tracker
 prints one line per job plus a closing summary — that is what
-``python -m repro sweep`` surfaces on stderr.
+``python -m repro sweep`` surfaces on stderr. With an
+:class:`repro.obs.events.EventSink` attached the tracker also emits
+the run ledger's ``sweep_start``/``sweep_end`` events (the job-level
+events come from the pool and the cache).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import IO, Optional
+from typing import IO, Any, Optional
+
+from repro.obs.events import EventSink
 
 
 @dataclass
@@ -38,8 +43,13 @@ class ProgressSnapshot:
 class ProgressTracker:
     """Counts outcomes and (optionally) narrates them to a stream."""
 
-    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        events: Optional[EventSink] = None,
+    ) -> None:
         self.stream = stream
+        self.events = events
         self.total = 0
         self.ok = 0
         self.failed = 0
@@ -48,10 +58,12 @@ class ProgressTracker:
         self._finished_at: Optional[float] = None
 
     # -- pool interface --------------------------------------------------
-    def start(self, total: int) -> None:
+    def start(self, total: int, **info: Any) -> None:
         self.total = total
         self._started_at = time.monotonic()
         self._finished_at = None
+        if self.events is not None:
+            self.events.emit("sweep_start", jobs=total, **info)
 
     def update(self, outcome) -> None:
         """Record one :class:`repro.engine.pool.JobOutcome`."""
@@ -69,7 +81,7 @@ class ProgressTracker:
             elif outcome.status == "failed" and outcome.failure is not None:
                 detail = outcome.failure.error
             print(
-                f"[{snap.done}/{self.total}] {outcome.spec.display}: "
+                f"[{snap.done}/{snap.total}] {outcome.spec.display}: "
                 f"{outcome.status} ({detail})",
                 file=self.stream,
                 flush=True,
@@ -77,6 +89,16 @@ class ProgressTracker:
 
     def finish(self) -> None:
         self._finished_at = time.monotonic()
+        if self.events is not None:
+            snap = self.snapshot()
+            self.events.emit(
+                "sweep_end",
+                jobs=snap.total,
+                ok=snap.ok,
+                cached=snap.cached,
+                failed=snap.failed,
+                elapsed_s=round(snap.elapsed_s, 6),
+            )
         if self.stream is not None:
             print(self.summary(), file=self.stream, flush=True)
 
@@ -84,12 +106,20 @@ class ProgressTracker:
     def elapsed_s(self) -> float:
         if self._started_at is None:
             return 0.0
-        end = self._finished_at or time.monotonic()
+        # `is None`, not truthiness: time.monotonic() may legitimately
+        # be 0.0 at finish time, and `or` would keep the clock running.
+        end = (
+            time.monotonic() if self._finished_at is None else self._finished_at
+        )
         return end - self._started_at
 
     def snapshot(self) -> ProgressSnapshot:
+        # A tracker driven without start() (finish-before-start, or
+        # update()s alone) has total=0; report what was actually seen
+        # rather than a nonsensical "3/0 jobs".
+        done = self.ok + self.failed + self.cached
         return ProgressSnapshot(
-            total=self.total,
+            total=max(self.total, done),
             ok=self.ok,
             failed=self.failed,
             cached=self.cached,

@@ -84,6 +84,31 @@ def to_jsonable(value: Any) -> Any:
     return repr(value)
 
 
+def from_jsonable(value: Any) -> Any:
+    """Decode :func:`to_jsonable`'s non-finite sentinels back to floats.
+
+    ``"Infinity"``/``"-Infinity"`` strings become ``±inf`` recursively
+    through dicts and lists; everything else passes through untouched
+    (NaN was encoded as ``null`` and stays ``None`` — a missing
+    measurement has no identity worth resurrecting). This is what the
+    engine applies on its cached/normalised return path, so a sweep
+    yields the *same types* with or without a cache attached. The one
+    documented collision: a runner that legitimately returns the
+    literal string ``"Infinity"`` will come back as a float.
+    """
+    if isinstance(value, str):
+        if value == POS_INF_SENTINEL:
+            return float("inf")
+        if value == NEG_INF_SENTINEL:
+            return float("-inf")
+        return value
+    if isinstance(value, dict):
+        return {key: from_jsonable(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [from_jsonable(item) for item in value]
+    return value
+
+
 def export_json(result: Any, path: PathLike, indent: int = 1) -> Path:
     """Write a runner result as strict JSON; returns the written path.
 

@@ -1,0 +1,63 @@
+"""repro.obs — run-ledger observability for the scenario engine.
+
+Four pieces, threaded through :mod:`repro.engine` and the CLI:
+
+* :mod:`repro.obs.events` — typed event stream (``sweep_start`` …
+  ``cache_put``) with an :class:`~repro.obs.events.EventLog` JSONL
+  sink; a no-op when no sink is attached.
+* :mod:`repro.obs.metrics` — ``Counter``/``Timer`` registry with
+  scoped spans; the pool and :class:`repro.core.campaign.Campaign`
+  aggregate into a per-sweep stats block.
+* :mod:`repro.obs.manifest` — provenance manifests written next to
+  exports and cache directories; replayable via
+  :func:`~repro.obs.manifest.specs_from_manifest`.
+* :mod:`repro.obs.stats` — folds an event ledger into per-runner
+  p50/p95 latency, retry/timeout counts, and cache hit rates
+  (``python -m repro stats``).
+
+``events`` and ``metrics`` are stdlib-only and import nothing from the
+engine, so the engine can import them without cycles; ``manifest`` and
+``stats`` (which look back at engine types) load lazily via module
+``__getattr__``. See docs/observability.md.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    EventLog,
+    EventSink,
+    RecordingSink,
+    read_events,
+)
+from repro.obs.metrics import Counter, MetricsRegistry, Timer, percentile
+
+_LAZY = {
+    "build_manifest": "repro.obs.manifest",
+    "write_manifest": "repro.obs.manifest",
+    "load_manifest": "repro.obs.manifest",
+    "manifest_path_for": "repro.obs.manifest",
+    "specs_from_manifest": "repro.obs.manifest",
+    "MANIFEST_VERSION": "repro.obs.manifest",
+    "aggregate_events": "repro.obs.stats",
+    "aggregate_events_file": "repro.obs.stats",
+    "render_stats": "repro.obs.stats",
+}
+
+__all__ = [
+    "EVENT_TYPES",
+    "Counter",
+    "EventLog",
+    "EventSink",
+    "MetricsRegistry",
+    "RecordingSink",
+    "Timer",
+    "percentile",
+    "read_events",
+] + sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

@@ -1,0 +1,148 @@
+"""Structured event stream: the engine's append-only run ledger.
+
+The scenario engine narrates a sweep as a flat sequence of typed
+events (:data:`EVENT_TYPES`): one ``sweep_start``/``sweep_end`` pair
+per :func:`repro.engine.pool.execute` call, ``job_start``/``job_end``
+per executed job (with ``job_retry``/``job_timeout`` in between when
+attempts fail), and ``cache_hit``/``cache_put`` from the result cache.
+Each event carries a monotonic timestamp and a per-log sequence
+number, so ordering survives even sub-millisecond bursts.
+
+Sinks implement one method, :meth:`EventSink.emit`; the engine guards
+every emission site with ``if events is not None`` so a disabled
+ledger costs nothing. :class:`EventLog` appends JSON Lines to disk
+(one flushed line per event — a crashed sweep keeps everything emitted
+so far); :class:`RecordingSink` keeps events in memory for tests and
+ad-hoc inspection. Everything here is stdlib-only.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Every event type the engine emits (see docs/observability.md for
+#: the per-type field schema).
+EVENT_TYPES = frozenset(
+    {
+        "sweep_start",
+        "sweep_end",
+        "job_start",
+        "job_retry",
+        "job_timeout",
+        "job_end",
+        "cache_hit",
+        "cache_put",
+    }
+)
+
+
+class EventSink:
+    """Receiver interface for engine events; the base class discards."""
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Record one event. ``fields`` must be JSON-serialisable."""
+
+    def close(self) -> None:
+        """Release any resources; emitting after close is an error."""
+
+
+class RecordingSink(EventSink):
+    """Keeps emitted events as dicts in memory (tests, notebooks)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: str, **fields: Any) -> None:
+        record: Dict[str, Any] = {"event": event}
+        record.update(fields)
+        self.events.append(record)
+
+    def of_type(self, event: str) -> List[Dict[str, Any]]:
+        return [e for e in self.events if e["event"] == event]
+
+
+class EventLog(EventSink):
+    """Appends one JSON line per event to ``path``.
+
+    Lines look like ``{"event": "job_end", "seq": 7, "t": 12.04, ...}``
+    where ``t`` is :func:`time.monotonic` (comparable *within* one
+    process; use ``seq`` to order across restarts) and ``seq`` is a
+    per-log counter. The file is opened lazily in append mode, so
+    several sweeps can share one ledger, and every line is flushed as
+    it is written.
+    """
+
+    def __init__(self, path: PathLike, clock=time.monotonic) -> None:
+        self.path = Path(path)
+        self._clock = clock
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._handle = None
+
+    def emit(self, event: str, **fields: Any) -> None:
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a")
+            self._seq += 1
+            record: Dict[str, Any] = {
+                "event": event,
+                "seq": self._seq,
+                "t": round(float(self._clock()), 6),
+            }
+            record.update(fields)
+            self._handle.write(
+                json.dumps(record, separators=(",", ":"), allow_nan=False)
+                + "\n"
+            )
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Read the ledger back (flushes pending writes first)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+        return read_events(self.path)
+
+
+def read_events(path: PathLike) -> List[Dict[str, Any]]:
+    """Parse a JSONL event file; a trailing partial line is skipped.
+
+    A torn final line happens when a sweep is killed mid-write; every
+    complete line before it is still valid, so it is dropped rather
+    than poisoning the whole ledger. A malformed line anywhere *else*
+    is a corrupt file and raises ``ValueError``.
+    """
+    events: List[Dict[str, Any]] = []
+    lines = Path(path).read_text().splitlines()
+    for lineno, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except ValueError:
+            if lineno == len(lines) - 1:
+                break
+            raise ValueError(
+                f"{path}: malformed event on line {lineno + 1}"
+            ) from None
+    return events

@@ -1,0 +1,136 @@
+"""Timers and counters: in-process metrics for sweeps and campaigns.
+
+A :class:`MetricsRegistry` hands out named :class:`Counter` and
+:class:`Timer` instances and renders everything as one plain-dict
+stats block (:meth:`MetricsRegistry.as_dict`) — the shape attached to
+``SweepResult.stats`` and embedded in run manifests. ``registry.span``
+times a ``with`` block into a timer, which is how the pool measures
+per-runner job latency and :class:`repro.core.campaign.Campaign`
+measures its phases.
+
+Everything is stdlib-only and O(1) per observation (timers keep raw
+durations in a list; percentiles are computed on demand), so an
+always-on registry adds no measurable overhead to jobs that do real
+work.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) of ``values``.
+
+    Matches ``numpy.percentile``'s default method; 0.0 for no samples.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    if not values:
+        return 0.0
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+class Counter:
+    """A named monotonically-increasing integer."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> int:
+        self.value += int(n)
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Timer:
+    """A named collection of duration observations (seconds)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.observations: List[float] = []
+
+    def observe(self, seconds: float) -> None:
+        self.observations.append(float(seconds))
+
+    @property
+    def count(self) -> int:
+        return len(self.observations)
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.observations)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.observations else 0.0
+
+    def percentile_s(self, q: float) -> float:
+        return percentile(self.observations, q)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": round(self.total_s, 6),
+            "mean_s": round(self.mean_s, 6),
+            "p50_s": round(self.percentile_s(50.0), 6),
+            "p95_s": round(self.percentile_s(95.0), 6),
+            "max_s": round(max(self.observations), 6)
+            if self.observations
+            else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return f"Timer({self.name}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Named counters + timers with scoped spans, one stats block out."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.timers: Dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def timer(self, name: str) -> Timer:
+        if name not in self.timers:
+            self.timers[name] = Timer(name)
+        return self.timers[name]
+
+    @contextmanager
+    def span(self, name: str):
+        """Time a ``with`` block into ``timer(name)`` (errors included)."""
+        started = time.monotonic()
+        try:
+            yield self
+        finally:
+            self.timer(name).observe(time.monotonic() - started)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The per-sweep stats block: plain data, sorted names."""
+        return {
+            "counters": {
+                name: self.counters[name].value
+                for name in sorted(self.counters)
+            },
+            "timers": {
+                name: self.timers[name].as_dict()
+                for name in sorted(self.timers)
+            },
+        }

@@ -1,0 +1,152 @@
+"""Aggregate an event ledger into per-runner latency/retry/cache stats.
+
+``python -m repro stats EVENTS.jsonl`` renders what
+:func:`aggregate_events` computes: per-runner job counts, p50/p95/max
+latency over ``job_end`` durations, retry and timeout counts, and
+cache hit rate (hits over hits + executed jobs), plus a sweep-level
+roll-up reconciled from ``sweep_end`` events. Works on any ledger an
+:class:`repro.obs.events.EventLog` wrote — including one several
+sweeps appended to.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping
+
+from repro.obs.events import read_events
+from repro.obs.metrics import percentile
+
+
+def _runner_of(event: Mapping[str, Any]) -> str:
+    return str(event.get("runner", "?"))
+
+
+def aggregate_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Fold a flat event sequence into overall + per-runner stats."""
+    per_runner: Dict[str, Dict[str, Any]] = {}
+    overall = {
+        "sweeps": 0,
+        "jobs": 0,
+        "ok": 0,
+        "failed": 0,
+        "cached": 0,
+        "retries": 0,
+        "timeouts": 0,
+        "cache_puts": 0,
+        "elapsed_s": 0.0,
+    }
+
+    def bucket(runner: str) -> Dict[str, Any]:
+        if runner not in per_runner:
+            per_runner[runner] = {
+                "jobs": 0,
+                "ok": 0,
+                "failed": 0,
+                "cached": 0,
+                "retries": 0,
+                "timeouts": 0,
+                "durations": [],
+            }
+        return per_runner[runner]
+
+    for event in events:
+        kind = event.get("event")
+        if kind == "sweep_start":
+            overall["sweeps"] += 1
+        elif kind == "sweep_end":
+            overall["elapsed_s"] += float(event.get("elapsed_s", 0.0))
+        elif kind == "job_end":
+            stats = bucket(_runner_of(event))
+            stats["jobs"] += 1
+            status = event.get("status")
+            key = "ok" if status == "ok" else "failed"
+            stats[key] += 1
+            overall[key] += 1
+            overall["jobs"] += 1
+            stats["durations"].append(float(event.get("duration_s", 0.0)))
+        elif kind == "job_retry":
+            bucket(_runner_of(event))["retries"] += 1
+            overall["retries"] += 1
+        elif kind == "job_timeout":
+            bucket(_runner_of(event))["timeouts"] += 1
+            overall["timeouts"] += 1
+        elif kind == "cache_hit":
+            stats = bucket(_runner_of(event))
+            stats["cached"] += 1
+            overall["cached"] += 1
+            overall["jobs"] += 1
+        elif kind == "cache_put":
+            overall["cache_puts"] += 1
+
+    runners: Dict[str, Dict[str, Any]] = {}
+    for runner in sorted(per_runner):
+        stats = per_runner[runner]
+        durations: List[float] = stats.pop("durations")
+        total = stats["jobs"] + stats["cached"]
+        runners[runner] = dict(
+            stats,
+            total=total,
+            p50_s=round(percentile(durations, 50.0), 6),
+            p95_s=round(percentile(durations, 95.0), 6),
+            max_s=round(max(durations), 6) if durations else 0.0,
+            cache_hit_rate=(stats["cached"] / total) if total else 0.0,
+        )
+    total_jobs = overall["jobs"]
+    overall["cache_hit_rate"] = (
+        overall["cached"] / total_jobs if total_jobs else 0.0
+    )
+    overall["elapsed_s"] = round(overall["elapsed_s"], 6)
+    return {"overall": overall, "runners": runners}
+
+
+def aggregate_events_file(path) -> Dict[str, Any]:
+    return aggregate_events(read_events(path))
+
+
+def _fmt_row(cells: List[str], widths: List[int]) -> str:
+    return "  ".join(cell.ljust(w) for cell, w in zip(cells, widths)).rstrip()
+
+
+def render_stats(aggregate: Dict[str, Any]) -> str:
+    """A terminal-friendly report over :func:`aggregate_events` output."""
+    overall = aggregate["overall"]
+    lines = [
+        "{sweeps} sweep(s), {jobs} jobs: {ok} ok, {cached} cached, "
+        "{failed} failed in {elapsed_s:.2f}s".format(**overall),
+        "retries: {retries}  timeouts: {timeouts}  "
+        "cache hit rate: {rate:.0f}%".format(
+            retries=overall["retries"],
+            timeouts=overall["timeouts"],
+            rate=100.0 * overall["cache_hit_rate"],
+        ),
+    ]
+    runners = aggregate["runners"]
+    if runners:
+        headers = [
+            "runner", "jobs", "ok", "failed", "cached",
+            "retries", "timeouts", "p50", "p95", "hit%",
+        ]
+        rows = [headers]
+        for runner, stats in runners.items():
+            rows.append(
+                [
+                    runner,
+                    str(stats["total"]),
+                    str(stats["ok"]),
+                    str(stats["failed"]),
+                    str(stats["cached"]),
+                    str(stats["retries"]),
+                    str(stats["timeouts"]),
+                    f"{stats['p50_s']:.3f}s",
+                    f"{stats['p95_s']:.3f}s",
+                    f"{100.0 * stats['cache_hit_rate']:.0f}",
+                ]
+            )
+        widths = [
+            max(len(row[col]) for row in rows) for col in range(len(headers))
+        ]
+        lines.append("")
+        lines.append(_fmt_row(rows[0], widths))
+        lines.append(_fmt_row(["-" * w for w in widths], widths))
+        lines.extend(_fmt_row(row, widths) for row in rows[1:])
+    return "\n".join(lines)

@@ -1,12 +1,13 @@
 """Tests for repro.engine.cache: keys, persistence, hit/miss behavior."""
 
 import json
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 from repro.engine import JobSpec, ResultCache, SweepSpec, execute
-from repro.engine.cache import default_code_version
+from repro.engine.cache import clear_code_version_memo, default_code_version
 
 
 class TestKeys:
@@ -43,6 +44,78 @@ class TestKeys:
         version = default_code_version()
         assert len(version) == 16
         int(version, 16)
+
+
+class TestCodeVersionFreshness:
+    """Regression: the tag was lru_cached for the process lifetime, so
+    editing sources in a long-lived session kept writing cache entries
+    under the stale tag. The memo is now keyed on a (path, mtime, size)
+    scan of the tree."""
+
+    @staticmethod
+    def _fake_package(tmp_path):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "mod.py").write_text("X = 1\n")
+        return root
+
+    @staticmethod
+    def _bump_mtime(path):
+        stat = path.stat()
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+
+    def test_editing_a_module_changes_the_tag(self, tmp_path):
+        root = self._fake_package(tmp_path)
+        before = default_code_version(root)
+        (root / "mod.py").write_text("X = 2\n")
+        self._bump_mtime(root / "mod.py")
+        after = default_code_version(root)
+        assert before != after
+
+    def test_adding_and_removing_modules_changes_the_tag(self, tmp_path):
+        root = self._fake_package(tmp_path)
+        before = default_code_version(root)
+        (root / "extra.py").write_text("Y = 1\n")
+        grown = default_code_version(root)
+        assert grown != before
+        (root / "extra.py").unlink()
+        assert default_code_version(root) == before
+
+    def test_unchanged_tree_reuses_memo_without_rehashing(
+        self, tmp_path, monkeypatch
+    ):
+        import hashlib
+
+        root = self._fake_package(tmp_path)
+        first = default_code_version(root)
+        monkeypatch.setattr(
+            hashlib,
+            "sha256",
+            lambda *a, **k: (_ for _ in ()).throw(
+                AssertionError("re-hashed an unchanged tree")
+            ),
+        )
+        assert default_code_version(root) == first
+
+    def test_stale_entries_not_served_after_edit(self, tmp_path):
+        # End to end: a sweep cached under the old sources must miss
+        # once the sources change.
+        root = self._fake_package(tmp_path)
+        cache = ResultCache(tmp_path / "cache")
+        jobs = SweepSpec(runners=["test.echo"], grid={"x": [1]}).expand()
+        execute(jobs, cache=cache, code_version=default_code_version(root))
+        (root / "mod.py").write_text("X = 3\n")
+        self._bump_mtime(root / "mod.py")
+        rerun = execute(
+            jobs, cache=cache, code_version=default_code_version(root)
+        )
+        assert rerun.cached_count == 0
+
+    def test_clear_code_version_memo(self, tmp_path):
+        root = self._fake_package(tmp_path)
+        first = default_code_version(root)
+        clear_code_version_memo()
+        assert default_code_version(root) == first
 
 
 class TestStore:
@@ -115,6 +188,34 @@ class TestEngineIntegration:
         assert fresh == cached
         assert fresh == to_jsonable(fresh)  # already normalised
         assert not isinstance(fresh["series"], np.ndarray)
+
+    def test_nonfinite_values_keep_their_type_with_cache(self, tmp_path):
+        # Regression: with a cache attached, to_jsonable turned inf
+        # into the string "Infinity" on the return path, so results
+        # changed *type* depending on whether --cache-dir was passed.
+        spec = JobSpec(
+            runner="test.echo",
+            kwargs={"pos": float("inf"), "neg": float("-inf")},
+        )
+        without_cache = execute([spec]).values()[0]
+        cache = ResultCache(tmp_path)
+        fresh = execute([spec], cache=cache, code_version="v").values()[0]
+        hit = execute([spec], cache=cache, code_version="v").values()[0]
+        for value in (fresh, hit):
+            assert value["pos"] == without_cache["pos"] == float("inf")
+            assert value["neg"] == without_cache["neg"] == float("-inf")
+            assert isinstance(value["pos"], float)
+        # The on-disk entry still stores strict-JSON sentinels.
+        (entry,) = cache.entries().values()
+        stored = json.loads(entry.read_text())["value"]
+        assert stored["pos"] == "Infinity" and stored["neg"] == "-Infinity"
+
+    def test_nan_normalises_to_none_with_cache(self, tmp_path):
+        spec = JobSpec(runner="test.echo", kwargs={"gap": float("nan")})
+        cache = ResultCache(tmp_path)
+        fresh = execute([spec], cache=cache, code_version="v").values()[0]
+        hit = execute([spec], cache=cache, code_version="v").values()[0]
+        assert fresh["gap"] is None and hit["gap"] is None
 
     def test_hits_across_processes(self, tmp_path):
         """A cache written by one OS process is served in another."""

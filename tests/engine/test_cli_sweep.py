@@ -58,3 +58,124 @@ class TestSweep:
              "--quiet"]
         )
         assert code == 0
+
+    def test_repeated_artifact_keeps_every_result(self, tmp_path):
+        # Regression: `sweep fig2 fig2 --json` keyed the payload by
+        # display name, so the duplicate silently clobbered the first.
+        target = tmp_path / "dup.json"
+        code = main(
+            ["sweep", "fig2", "fig2", "--scale", "0.2", "--seed", "3",
+             "--quiet", "--json", str(target)]
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert set(payload) == {"fig2#0", "fig2#1"}
+        # Distinct derived seeds -> genuinely distinct results survive.
+        assert payload["fig2#0"] != payload["fig2#1"]
+
+    def test_unique_artifacts_keep_plain_keys(self, tmp_path):
+        target = tmp_path / "plain.json"
+        assert main(
+            ["sweep", "fig2", "table2", "--scale", "0.2", "--quiet",
+             "--json", str(target)]
+        ) == 0
+        assert set(json.loads(target.read_text())) == {"fig2", "table2"}
+
+
+class TestSweepLedger:
+    def test_events_and_manifest_flags(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        manifest = tmp_path / "run.manifest.json"
+        code = main(
+            ["sweep", "fig2", "table2", "--scale", "0.2", "--seed", "5",
+             "--quiet", "--events", str(events), "--manifest", str(manifest)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wrote {events}" in out and f"wrote {manifest}" in out
+
+        from repro.obs.events import read_events
+
+        kinds = [e["event"] for e in read_events(events)]
+        assert kinds[0] == "sweep_start" and kinds[-1] == "sweep_end"
+        assert kinds.count("job_end") == 2
+
+        record = json.loads(manifest.read_text())
+        assert record["counts"] == {
+            "jobs": 2, "ok": 2, "cached": 0, "failed": 0,
+        }
+        assert record["base_seed"] == 5
+        assert [j["runner"] for j in record["jobs"]] == ["fig2", "table2"]
+
+    def test_manifest_written_next_to_json_export(self, tmp_path):
+        target = tmp_path / "out.json"
+        assert main(
+            ["sweep", "table2", "--scale", "0.2", "--quiet",
+             "--json", str(target)]
+        ) == 0
+        sibling = tmp_path / "out.manifest.json"
+        assert sibling.exists()
+        assert json.loads(sibling.read_text())["counts"]["ok"] == 1
+
+    def test_manifest_written_into_cache_dir(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(
+            ["sweep", "table2", "--scale", "0.2", "--quiet",
+             "--cache-dir", str(cache_dir)]
+        ) == 0
+        manifest = cache_dir / "last-sweep.manifest.json"
+        assert manifest.exists()
+        assert json.loads(manifest.read_text())["cache_dir"] == str(cache_dir)
+
+    def test_cached_rerun_ledger_reconciles(self, tmp_path, capsys):
+        events = tmp_path / "e.jsonl"
+        args = ["sweep", "fig2", "--scale", "0.2", "--seed", "1", "--quiet",
+                "--cache-dir", str(tmp_path / "c"), "--events", str(events)]
+        assert main(args) == 0
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(["stats", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "2 sweep(s)" in out
+        assert "1 ok, 1 cached" in out
+
+
+class TestFailurePaths:
+    def test_sweep_unknown_artifact_exits_2(self, capsys):
+        assert main(["sweep", "fig2", "no-such-artifact", "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown artifact id(s): no-such-artifact" in err
+
+    def test_run_unknown_artifact_exits_2(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown artifact id(s): nope" in capsys.readouterr().err
+
+    def test_run_failed_job_exits_1_with_structured_error(self, capsys):
+        assert main(["run", "test.fail"]) == 1
+        err = capsys.readouterr().err
+        assert "test.fail failed after" in err
+        assert "RuntimeError: injected permanent failure" in err
+
+    def test_sweep_failed_job_with_json_excludes_failure(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "partial.json"
+        code = main(
+            ["sweep", "table2", "test.fail", "--scale", "0.2",
+             "--retries", "0", "--quiet", "--json", str(target)]
+        )
+        assert code == 1
+        payload = json.loads(target.read_text())
+        assert set(payload) == {"table2"}  # failed job contributes nothing
+        out = capsys.readouterr().out
+        assert "FAILED test.fail" in out
+
+    def test_quiet_suppresses_tracker_but_not_summary(self, capsys):
+        assert main(["sweep", "table2", "--scale", "0.2", "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""  # no per-job progress lines
+        assert "1 ok" in captured.out  # the closing summary stays
+
+    def test_scale_must_be_positive(self, capsys):
+        assert main(["sweep", "table2", "--scale", "0"]) == 2
+        assert "--scale must be positive" in capsys.readouterr().err

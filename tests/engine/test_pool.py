@@ -170,6 +170,113 @@ class TestTimeouts:
         assert outcome.status == "ok"
 
 
+class TestEvents:
+    """The run ledger: per-attempt telemetry survives to the sink."""
+
+    def test_retry_events_fire_for_flaky_runner(self, tmp_path):
+        from repro.obs.events import RecordingSink
+
+        sink = RecordingSink()
+        outcome = execute_one(
+            JobSpec(
+                runner="test.flaky",
+                kwargs={"state_file": str(tmp_path / "s"), "fail_times": 2},
+            ),
+            retries=3,
+            backoff_s=0.01,
+            events=sink,
+        )
+        assert outcome.status == "ok"
+        retries = sink.of_type("job_retry")
+        assert [r["attempt"] for r in retries] == [1, 2]
+        assert all(r["error_type"] == "TransientJobError" for r in retries)
+        assert all(r["runner"] == "test.flaky" for r in retries)
+        (end,) = sink.of_type("job_end")
+        assert end["status"] == "ok" and end["attempts"] == 3
+
+    def test_timeout_events_fire_for_slow_runner(self):
+        from repro.obs.events import RecordingSink
+
+        sink = RecordingSink()
+        outcome = execute_one(
+            JobSpec(runner="test.sleep", kwargs={"duration_s": 5.0}),
+            timeout_s=0.1,
+            retries=1,
+            backoff_s=0.01,
+            events=sink,
+        )
+        assert outcome.status == "failed"
+        timeouts = sink.of_type("job_timeout")
+        assert [t["attempt"] for t in timeouts] == [1, 2]
+        assert all(t["timeout_s"] == 0.1 for t in timeouts)
+        # Only the first timeout is retried (retries=1).
+        assert len(sink.of_type("job_retry")) == 1
+        (end,) = sink.of_type("job_end")
+        assert end["status"] == "failed"
+        assert end["error_type"] == "JobTimeoutError"
+
+    def test_worker_side_events_cross_process_boundary(self, tmp_path):
+        from repro.obs.events import RecordingSink
+
+        sink = RecordingSink()
+        jobs = [
+            JobSpec(
+                runner="test.flaky",
+                kwargs={"state_file": str(tmp_path / "mp"), "fail_times": 1},
+                index=0,
+            ),
+            JobSpec(runner="test.echo", kwargs={"x": 1}, index=1),
+        ]
+        result = execute(jobs, workers=2, retries=2, backoff_s=0.01, events=sink)
+        assert result.ok_count == 2
+        assert len(sink.of_type("job_start")) == 2
+        assert len(sink.of_type("job_end")) == 2
+        (retry,) = sink.of_type("job_retry")
+        assert retry["runner"] == "test.flaky" and retry["index"] == 0
+
+    def test_event_order_start_retry_end(self, tmp_path):
+        from repro.obs.events import RecordingSink
+
+        sink = RecordingSink()
+        execute_one(
+            JobSpec(
+                runner="test.flaky",
+                kwargs={"state_file": str(tmp_path / "o"), "fail_times": 1},
+            ),
+            retries=1,
+            backoff_s=0.01,
+            events=sink,
+        )
+        kinds = [e["event"] for e in sink.events]
+        assert kinds == [
+            "sweep_start",
+            "job_start",
+            "job_retry",
+            "job_end",
+            "sweep_end",
+        ]
+
+    def test_no_sink_attaches_nothing(self):
+        result = execute(_echo_jobs(2))
+        assert result.stats["counters"]["jobs_ok"] == 2  # metrics still on
+
+    def test_stats_count_retries_and_timeouts_without_sink(self, tmp_path):
+        outcome_result = execute(
+            [
+                JobSpec(
+                    runner="test.flaky",
+                    kwargs={
+                        "state_file": str(tmp_path / "c"),
+                        "fail_times": 1,
+                    },
+                )
+            ],
+            retries=1,
+            backoff_s=0.01,
+        )
+        assert outcome_result.stats["counters"]["retries"] == 1
+
+
 class TestProgress:
     def test_tracker_counts_everything(self, tmp_path):
         tracker = ProgressTracker()

@@ -7,7 +7,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.experiments.export import export_json, to_jsonable
+from repro.experiments.export import export_json, from_jsonable, to_jsonable
 
 
 class Color(enum.Enum):
@@ -85,6 +85,42 @@ class TestToJsonable:
                 return "<odd>"
 
         assert to_jsonable(Odd()) == "<odd>"
+
+
+class TestFromJsonable:
+    def test_sentinels_decode_to_floats(self):
+        assert from_jsonable("Infinity") == float("inf")
+        assert from_jsonable("-Infinity") == float("-inf")
+        assert isinstance(from_jsonable("Infinity"), float)
+
+    def test_roundtrip_inf_ninf_nan(self):
+        original = {"inf": float("inf"), "ninf": float("-inf"),
+                    "nan": float("nan"), "x": 1.5}
+        decoded = from_jsonable(to_jsonable(original))
+        assert decoded["inf"] == float("inf")
+        assert decoded["ninf"] == float("-inf")
+        assert decoded["nan"] is None  # NaN is one-way: missing stays null
+        assert decoded["x"] == 1.5
+
+    def test_recurses_through_containers(self):
+        value = {"rows": [["Infinity", {"v": "-Infinity"}], "plain"]}
+        decoded = from_jsonable(value)
+        assert decoded["rows"][0][0] == float("inf")
+        assert decoded["rows"][0][1]["v"] == float("-inf")
+        assert decoded["rows"][1] == "plain"
+
+    def test_ordinary_values_pass_through(self):
+        for value in (None, True, 3, 2.5, "text", [], {}):
+            assert from_jsonable(value) == value
+
+    def test_roundtrip_array_sentinels(self):
+        encoded = to_jsonable(np.array([np.inf, -np.inf, np.nan, 2.0]))
+        assert from_jsonable(encoded) == [
+            float("inf"),
+            float("-inf"),
+            None,
+            2.0,
+        ]
 
 
 class TestExportJson:

@@ -1,0 +1,88 @@
+"""Tests for repro.obs.metrics: counters, timers, spans, stats block."""
+
+import pytest
+
+from repro.obs.metrics import Counter, MetricsRegistry, Timer, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50.0) == 0.0
+
+    def test_single_value(self):
+        assert percentile([3.0], 95.0) == 3.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.5
+
+    def test_matches_numpy_default(self):
+        import numpy as np
+
+        values = [0.3, 1.7, 0.9, 4.2, 2.8, 0.1]
+        for q in (0.0, 25.0, 50.0, 95.0, 100.0):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestCounterTimer:
+    def test_counter_increments(self):
+        counter = Counter("jobs")
+        assert counter.inc() == 1
+        assert counter.inc(4) == 5
+        assert counter.value == 5
+
+    def test_timer_aggregates(self):
+        timer = Timer("job.fig2")
+        for s in (0.1, 0.3, 0.2):
+            timer.observe(s)
+        assert timer.count == 3
+        assert timer.total_s == pytest.approx(0.6)
+        assert timer.mean_s == pytest.approx(0.2)
+        assert timer.percentile_s(50.0) == pytest.approx(0.2)
+
+    def test_empty_timer_stats(self):
+        stats = Timer("idle").as_dict()
+        assert stats == {
+            "count": 0,
+            "total_s": 0.0,
+            "mean_s": 0.0,
+            "p50_s": 0.0,
+            "p95_s": 0.0,
+            "max_s": 0.0,
+        }
+
+
+class TestMetricsRegistry:
+    def test_names_are_stable_handles(self):
+        registry = MetricsRegistry()
+        registry.counter("retries").inc()
+        registry.counter("retries").inc()
+        assert registry.counter("retries").value == 2
+
+    def test_span_times_block(self):
+        registry = MetricsRegistry()
+        with registry.span("phase"):
+            pass
+        timer = registry.timer("phase")
+        assert timer.count == 1 and timer.total_s >= 0.0
+
+    def test_span_records_on_error(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.span("phase"):
+                raise RuntimeError("boom")
+        assert registry.timer("phase").count == 1
+
+    def test_as_dict_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_ok").inc(3)
+        registry.timer("job.fig2").observe(0.5)
+        block = registry.as_dict()
+        assert block["counters"] == {"jobs_ok": 3}
+        assert block["timers"]["job.fig2"]["count"] == 1
+        assert block["timers"]["job.fig2"]["p95_s"] == pytest.approx(0.5)

@@ -1,0 +1,141 @@
+"""Tests for repro.obs.stats and the ledger's reconciliation contract."""
+
+import pytest
+
+from repro.engine import JobSpec, ResultCache, SweepSpec, execute
+from repro.obs.events import EventLog, RecordingSink
+from repro.obs.stats import aggregate_events, aggregate_events_file, render_stats
+
+
+def _synthetic_events():
+    return [
+        {"event": "sweep_start", "jobs": 3, "workers": 1},
+        {"event": "job_start", "index": 0, "runner": "fig2"},
+        {"event": "job_end", "index": 0, "runner": "fig2", "status": "ok",
+         "duration_s": 0.2},
+        {"event": "job_start", "index": 1, "runner": "fig9"},
+        {"event": "job_timeout", "index": 1, "runner": "fig9", "attempt": 1},
+        {"event": "job_retry", "index": 1, "runner": "fig9", "attempt": 1},
+        {"event": "job_end", "index": 1, "runner": "fig9", "status": "failed",
+         "duration_s": 1.0},
+        {"event": "cache_hit", "index": 2, "runner": "fig2", "key": "k"},
+        {"event": "sweep_end", "jobs": 3, "ok": 1, "cached": 1, "failed": 1,
+         "elapsed_s": 1.5},
+    ]
+
+
+class TestAggregate:
+    def test_overall_rollup(self):
+        overall = aggregate_events(_synthetic_events())["overall"]
+        assert overall["sweeps"] == 1
+        assert overall["jobs"] == 3
+        assert overall["ok"] == 1
+        assert overall["failed"] == 1
+        assert overall["cached"] == 1
+        assert overall["retries"] == 1
+        assert overall["timeouts"] == 1
+        assert overall["elapsed_s"] == pytest.approx(1.5)
+        assert overall["cache_hit_rate"] == pytest.approx(1 / 3)
+
+    def test_per_runner_buckets(self):
+        runners = aggregate_events(_synthetic_events())["runners"]
+        assert runners["fig2"]["total"] == 2
+        assert runners["fig2"]["cache_hit_rate"] == pytest.approx(0.5)
+        assert runners["fig9"]["failed"] == 1
+        assert runners["fig9"]["retries"] == 1
+        assert runners["fig9"]["timeouts"] == 1
+        assert runners["fig9"]["p50_s"] == pytest.approx(1.0)
+        assert runners["fig9"]["p95_s"] == pytest.approx(1.0)
+
+    def test_empty_ledger(self):
+        aggregate = aggregate_events([])
+        assert aggregate["overall"]["jobs"] == 0
+        assert aggregate["runners"] == {}
+
+
+class TestRender:
+    def test_render_mentions_latency_and_hit_rate(self):
+        text = render_stats(aggregate_events(_synthetic_events()))
+        assert "retries: 1" in text and "timeouts: 1" in text
+        assert "p50" in text and "p95" in text
+        assert "fig9" in text and "1.000s" in text
+
+    def test_render_empty(self):
+        text = render_stats(aggregate_events([]))
+        assert "0 jobs" in text
+
+
+class TestLedgerReconciliation:
+    """Events written by a real sweep must match SweepResult exactly."""
+
+    def test_counts_reconcile_with_sweep_result(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = SweepSpec(
+            runners=["test.echo"], grid={"x": [1, 2, 3]}, base_seed=2
+        ).expand()
+        log = EventLog(tmp_path / "events.jsonl")
+        execute(jobs, cache=cache, code_version="v", events=log)
+        second = execute(
+            jobs + [JobSpec(runner="test.fail", index=3)],
+            cache=cache,
+            code_version="v",
+            retries=0,
+            events=log,
+        )
+        log.close()
+        aggregate = aggregate_events_file(tmp_path / "events.jsonl")
+        overall = aggregate["overall"]
+        assert overall["sweeps"] == 2
+        # First sweep: 3 ok; second: 3 cached + 1 failed.
+        assert overall["ok"] == 3
+        assert overall["cached"] == second.cached_count == 3
+        assert overall["failed"] == second.failed_count == 1
+        assert overall["cache_puts"] == 3
+        assert overall["jobs"] == 7
+
+    def test_sweep_end_counters_match_result(self):
+        sink = RecordingSink()
+        result = execute(
+            [
+                JobSpec(runner="test.echo", kwargs={"x": 1}, index=0),
+                JobSpec(runner="test.fail", index=1),
+            ],
+            retries=0,
+            events=sink,
+        )
+        (end,) = sink.of_type("sweep_end")
+        assert end["ok"] == result.ok_count == 1
+        assert end["failed"] == result.failed_count == 1
+        assert end["jobs"] == len(result) == 2
+        assert len(sink.of_type("job_end")) == 2
+        assert len(sink.of_type("job_start")) == 2
+
+    def test_stats_block_reconciles_with_events(self):
+        sink = RecordingSink()
+        result = execute(
+            SweepSpec(runners=["test.echo"], grid={"x": [1, 2]}).expand(),
+            events=sink,
+        )
+        counters = result.stats["counters"]
+        assert counters["jobs_ok"] == len(sink.of_type("job_end")) == 2
+        assert result.stats["timers"]["job.test.echo"]["count"] == 2
+        assert result.stats["timers"]["sweep"]["count"] == 1
+
+
+class TestCliStats:
+    def test_stats_subcommand_renders(self, tmp_path, capsys):
+        from repro.cli import main
+
+        log = EventLog(tmp_path / "e.jsonl")
+        execute([JobSpec(runner="test.echo", kwargs={"x": 1})], events=log)
+        log.close()
+        assert main(["stats", str(tmp_path / "e.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "1 sweep(s), 1 jobs: 1 ok" in out
+        assert "test.echo" in out
+
+    def test_stats_missing_file_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
