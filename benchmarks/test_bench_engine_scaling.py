@@ -114,3 +114,39 @@ def test_engine_observability_overhead(benchmark, tmp_path):
     benchmark.extra_info["overhead_pct"] = round(100.0 * overhead, 2)
     assert len(log.events()) == 2 + 2 * N_JOBS  # sweep pair + start/end per job
     assert overhead < 0.05, f"observability overhead {100 * overhead:.1f}% >= 5%"
+
+
+def test_engine_fault_layer_overhead(benchmark):
+    """Fault injection disabled must cost < 5% and change nothing.
+
+    The acceptance contract for repro.faults: with no plan attached
+    every injection site is one `is None` check, and attaching an
+    *empty* plan (the chaos-test baseline) adds only a per-site decide
+    over zero specs. Both must vanish into sleep-bound noise, and the
+    values must be bit-identical either way.
+    """
+    from repro.faults import FaultPlan
+
+    bare = benchmark.pedantic(
+        lambda: _sleep_sweep(workers=1), rounds=1, iterations=1
+    )
+    planned = _sleep_sweep(workers=1, faults=FaultPlan())
+
+    overhead = planned.elapsed_s / bare.elapsed_s - 1.0
+    emit(
+        "Engine fault-layer overhead (8 x 0.25s sleep, serial)",
+        "\n".join(
+            [
+                f"no plan     {bare.elapsed_s:6.2f}s",
+                f"empty plan  {planned.elapsed_s:6.2f}s",
+                f"overhead    {100.0 * overhead:6.2f}%",
+            ]
+        ),
+    )
+    benchmark.extra_info["fault_overhead_pct"] = round(100.0 * overhead, 2)
+    canon = [
+        json.dumps(to_jsonable(r.values()), sort_keys=True)
+        for r in (bare, planned)
+    ]
+    assert canon[0] == canon[1], "empty fault plan changed sweep output"
+    assert overhead < 0.05, f"fault-layer overhead {100 * overhead:.1f}% >= 5%"

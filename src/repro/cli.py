@@ -147,6 +147,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the run manifest (provenance record) here",
     )
+    sweep.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="exit 0 even when jobs fail, as long as the sweep itself "
+        "ran to completion (failures still land in the manifest/ledger)",
+    )
+    sweep.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop launching jobs once more than N have failed; the "
+        "rest are recorded as skipped and the manifest is marked partial",
+    )
+    sweep.add_argument(
+        "--inject",
+        action="append",
+        default=None,
+        metavar="FAULT[:k=v,...]",
+        help="inject a deterministic fault (repeatable); e.g. "
+        "'crash:at=1', 'transient:rate=0.5', 'cache_corrupt'. "
+        "Seeded from --seed. See docs/robustness.md",
+    )
 
     stats = sub.add_parser(
         "stats", help="summarise an event ledger written with --events"
@@ -239,6 +262,15 @@ def _cmd_sweep(args) -> int:
         from repro.obs.events import EventLog
 
         events_sink = EventLog(args.events)
+    faults = None
+    if args.inject:
+        from repro.faults import plan_from_args
+
+        try:
+            faults = plan_from_args(args.inject, seed=args.seed)
+        except ValueError as exc:
+            print(f"error: bad --inject spec: {exc}", file=sys.stderr)
+            return 2
     try:
         result = execute(
             specs,
@@ -248,6 +280,8 @@ def _cmd_sweep(args) -> int:
             cache=cache,
             progress=tracker,
             events=events_sink,
+            faults=faults,
+            max_failures=args.max_failures,
         )
     finally:
         if events_sink is not None:
@@ -262,6 +296,11 @@ def _cmd_sweep(args) -> int:
         print(
             f"FAILED {failure.label}: {failure.error_type}: {failure.error} "
             f"(after {failure.attempts} attempt(s))"
+        )
+    if result.skipped_count:
+        print(
+            f"SKIPPED {result.skipped_count} job(s): failure budget "
+            f"(--max-failures {args.max_failures}) exhausted"
         )
     if args.events:
         print(f"wrote {args.events}")
@@ -279,7 +318,9 @@ def _cmd_sweep(args) -> int:
     for manifest_path in _sweep_manifest_paths(args):
         path = _write_sweep_manifest(result, args, manifest_path)
         print(f"wrote {path}")
-    return 1 if result.failed_count else 0
+    if args.keep_going:
+        return 0
+    return 1 if result.failed_count or result.skipped_count else 0
 
 
 def _sweep_manifest_paths(args) -> List[str]:
@@ -321,16 +362,26 @@ def _write_sweep_manifest(result, args, path):
 
 
 def _cmd_stats(args) -> int:
+    import warnings
+
     from repro.obs.stats import aggregate_events_file, render_stats
 
     try:
-        aggregate = aggregate_events_file(args.events)
+        # A torn final line (writer killed mid-append) is degraded data,
+        # not a corrupt ledger: surface the reader's warning on stderr
+        # and still render everything before the tear. Malformed lines
+        # anywhere else stay a hard error (exit 2).
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            aggregate = aggregate_events_file(args.events)
     except OSError as exc:
         print(f"error: cannot read {args.events}: {exc}", file=sys.stderr)
         return 2
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    for warning in caught:
+        print(f"warning: {warning.message}", file=sys.stderr)
     print(render_stats(aggregate))
     return 0
 

@@ -24,6 +24,7 @@ from repro.engine.errors import (
     JobTimeoutError,
     TransientJobError,
     UnknownRunnerError,
+    WorkerCrashError,
 )
 from repro.engine.spec import JobSpec, SweepSpec, spawn_seeds
 from repro.engine.cache import (
@@ -55,6 +56,7 @@ __all__ = [
     "SweepSpec",
     "TransientJobError",
     "UnknownRunnerError",
+    "WorkerCrashError",
     "clear_code_version_memo",
     "default_code_version",
     "execute",

@@ -14,11 +14,13 @@ keeps stale results from leaking into regenerated artifacts.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 import re
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
@@ -91,6 +93,19 @@ class ResultCache:
     With an :class:`repro.obs.events.EventSink` attached (``events``,
     usually wired by ``execute``), every hit and store emits a
     ``cache_hit``/``cache_put`` event into the run ledger.
+
+    Corrupt entries — unparsable JSON, or JSON without the expected
+    record shape — are *quarantined*: moved into
+    ``<root>/quarantine/`` (preserved for post-mortems, with a ``.N``
+    suffix on name collisions), warned about, recorded as a
+    ``cache_quarantine`` event, and treated as a miss so the job is
+    simply recomputed. A merely unreadable entry (permissions, I/O
+    error) is left in place and counts as a miss.
+
+    ``faults`` accepts a :class:`repro.faults.FaultPlan` (wired by
+    ``execute`` for the duration of a sweep); ``cache_corrupt``
+    damages an entry on disk just before it is read and
+    ``cache_put_fail`` makes :meth:`put` raise ``ENOSPC``.
     """
 
     def __init__(
@@ -99,6 +114,7 @@ class ResultCache:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.events = events
+        self.faults: Optional[Any] = None
 
     def key_for(self, spec: JobSpec, code_version: Optional[str] = None) -> str:
         """Stable content key for one job under one code version."""
@@ -118,15 +134,68 @@ class ResultCache:
         safe = re.sub(r"[^A-Za-z0-9._-]", "_", spec.runner)
         return self.root / f"{safe}-{key}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are preserved (not auto-created)."""
+        return self.root / "quarantine"
+
+    def _quarantine(self, path: Path, spec: JobSpec, reason: str) -> None:
+        """Move a corrupt entry aside (for post-mortems) and warn."""
+        target_dir = self.quarantine_dir
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            target = target_dir / path.name
+            n = 0
+            while target.exists():
+                n += 1
+                target = target_dir / f"{path.name}.{n}"
+            os.replace(str(path), str(target))
+        except OSError:
+            # Quarantine is best-effort: an unmovable corrupt entry
+            # still counts as a miss and gets overwritten by the put.
+            target = path
+        warnings.warn(
+            f"quarantined corrupt cache entry {path.name} ({reason}); "
+            "the job will be recomputed",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        if self.events is not None:
+            self.events.emit(
+                "cache_quarantine",
+                index=spec.index,
+                runner=spec.runner,
+                label=spec.display,
+                entry=path.name,
+                quarantined_to=str(target),
+                reason=reason,
+            )
+
     def get(self, spec: JobSpec, key: str) -> Tuple[bool, Any]:
-        """(hit, value). Corrupt/partial entries count as misses."""
+        """(hit, value). Corrupt entries are quarantined and miss."""
         path = self.path_for(spec, key)
+        if self.faults is not None and path.exists():
+            fault = self.faults.decide(
+                "cache_corrupt", index=spec.index, runner=spec.runner
+            )
+            if fault is not None:
+                from repro.faults.corrupt import truncate_tail
+
+                truncate_tail(path)
         try:
             with path.open() as handle:
                 record = json.load(handle)
-        except (OSError, ValueError):
+        except FileNotFoundError:
+            return False, None
+        except OSError:
+            # Unreadable but maybe intact (permissions, I/O error):
+            # leave it alone, recompute this time.
+            return False, None
+        except ValueError as exc:
+            self._quarantine(path, spec, f"invalid JSON: {exc}")
             return False, None
         if not isinstance(record, dict) or "value" not in record:
+            self._quarantine(path, spec, "not a cache record")
             return False, None
         if self.events is not None:
             self.events.emit(
@@ -139,8 +208,22 @@ class ResultCache:
         return True, record["value"]
 
     def put(self, spec: JobSpec, key: str, value: Any) -> Path:
-        """Atomically persist one normalised job result."""
+        """Atomically persist one normalised job result.
+
+        Written to a temp file in the same directory, fsync'd, then
+        ``os.replace``d over the target, so a crash mid-write can
+        never leave a half-written entry under the real name — readers
+        see the old entry, the new entry, or nothing.
+        """
         path = self.path_for(spec, key)
+        if self.faults is not None:
+            fault = self.faults.decide(
+                "cache_put_fail", index=spec.index, runner=spec.runner
+            )
+            if fault is not None:
+                raise OSError(
+                    errno.ENOSPC, "injected cache put failure (disk full)"
+                )
         record = {
             "runner": spec.runner,
             "label": spec.display,
@@ -156,6 +239,8 @@ class ResultCache:
             with os.fdopen(fd, "w") as handle:
                 json.dump(record, handle, allow_nan=False)
                 handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:

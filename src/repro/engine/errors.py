@@ -26,6 +26,18 @@ class JobTimeoutError(TransientJobError):
     """A job exceeded its per-job wall-clock budget."""
 
 
+class WorkerCrashError(EngineError):
+    """A worker process died without delivering its job's result.
+
+    Raised nowhere in worker code (a real crash raises nothing — the
+    process is simply gone); the pool synthesises it parent-side when a
+    worker exits without sending a result record, and the serial
+    executor uses it to *simulate* an injected crash without killing
+    the orchestrating process. Permanent: the job is not retried, the
+    sweep keeps going.
+    """
+
+
 #: Exception types the pool retries (bounded, with backoff). Everything
 #: else fails fast on the first attempt.
 TRANSIENT_ERRORS = (TransientJobError, ConnectionError, OSError)

@@ -6,23 +6,43 @@
 * ``workers <= 1`` runs in-process through *the same* per-job code path
   the workers use, so serial execution is the reference behaviour, not
   a separate implementation.
-* ``workers > 1`` fans out over a ``multiprocessing`` pool. Jobs cross
-  the boundary as plain dict payloads (runner *name* + kwargs + seed),
-  and each worker resolves the body via :mod:`repro.engine.registry`.
-* Per-job wall-clock timeouts use ``SIGALRM`` (each pool worker runs
-  jobs on its main thread); on platforms without it the timeout is a
-  no-op rather than an error.
+* ``workers > 1`` fans out over per-job ``multiprocessing`` worker
+  processes. Jobs cross the boundary as plain dict payloads (runner
+  *name* + kwargs + seed), and each worker resolves the body via
+  :mod:`repro.engine.registry`. The executor is crash-tolerant: a
+  worker that dies mid-job (segfault, OOM kill, injected crash)
+  settles as a structured :class:`JobFailure` with
+  ``error_type == "WorkerCrashError"`` and the pool keeps draining the
+  queue instead of deadlocking on the lost result.
+* Per-job wall-clock timeouts use ``SIGALRM`` (each worker runs jobs
+  on its main thread); on platforms without it the timeout degrades to
+  the parent-side watchdog, which also reclaims workers whose SIGALRM
+  was defeated (e.g. a hang inside C code) by killing them after the
+  job's whole attempt budget plus a grace period.
 * Transient failures (:data:`TRANSIENT_ERRORS`) are retried with
   exponential backoff up to ``retries`` extra attempts; permanent
   errors fail fast. Either way a failed job yields a structured
   :class:`JobFailure` record and the rest of the sweep keeps running.
+  ``max_failures`` bounds that tolerance: once more than that many
+  jobs have failed, remaining jobs settle as ``"skipped"`` and the
+  result is marked partial.
 * With a :class:`~repro.engine.cache.ResultCache` attached, results are
   normalised via ``to_jsonable`` and persisted, and matching jobs are
-  served from disk on later sweeps (``status == "cached"``).
+  served from disk on later sweeps (``status == "cached"``). A failed
+  put (disk full, permissions) is recorded and warned about, never
+  fatal — the in-memory result still settles normally.
+* A :class:`~repro.faults.FaultPlan` (``faults=``) injects
+  deterministic failures at every layer above; see
+  ``docs/robustness.md``. With no plan attached the injection sites
+  cost one ``is None`` check each.
 
 Determinism: per-job seeds are fixed at spec time and outcomes are
 re-ordered by job index, so ``workers=N`` is bit-identical to
 ``workers=1`` for the same spec.
+
+``KeyboardInterrupt`` (and other ``BaseException``) is *not* recorded
+as a job failure: it aborts the sweep, terminating any live workers on
+the way out, so Ctrl-C during a chaos run behaves like Ctrl-C.
 """
 
 from __future__ import annotations
@@ -32,9 +52,11 @@ import signal
 import threading
 import time
 import traceback
+import warnings
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.engine import registry
 from repro.engine.cache import ResultCache, default_code_version
@@ -44,6 +66,10 @@ from repro.engine.spec import JobSpec, SweepSpec
 from repro.experiments.export import from_jsonable, to_jsonable
 from repro.obs.events import EventSink
 from repro.obs.metrics import MetricsRegistry
+
+#: Extra wall-clock granted on top of a job's whole attempt budget
+#: before the parent watchdog declares the worker hung and kills it.
+_WATCHDOG_GRACE_S = 5.0
 
 
 @dataclass(frozen=True)
@@ -61,7 +87,8 @@ class JobFailure:
 
 @dataclass
 class JobOutcome:
-    """Terminal state of one job: ``ok``, ``cached``, or ``failed``."""
+    """Terminal state of one job: ``ok``, ``cached``, ``failed``, or
+    ``skipped`` (never started because the sweep hit ``max_failures``)."""
 
     spec: JobSpec
     status: str
@@ -78,6 +105,8 @@ class SweepResult:
     ``stats`` is the metrics registry's aggregated block (per-runner
     job timers plus retry/timeout/cache counters); ``code_version`` is
     the tag the cache keyed on, recorded so a run manifest can pin it.
+    ``partial`` is True when any job failed or was skipped — the
+    surviving values are valid, but ``values()`` has holes.
     """
 
     outcomes: List[JobOutcome]
@@ -93,7 +122,7 @@ class SweepResult:
         return len(self.outcomes)
 
     def values(self) -> List[Any]:
-        """Per-job result values (``None`` where the job failed)."""
+        """Per-job result values (``None`` where the job failed/skipped)."""
         return [o.value for o in self.outcomes]
 
     def failures(self) -> List[JobFailure]:
@@ -110,6 +139,15 @@ class SweepResult:
     @property
     def failed_count(self) -> int:
         return sum(1 for o in self.outcomes if o.status == "failed")
+
+    @property
+    def skipped_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "skipped")
+
+    @property
+    def partial(self) -> bool:
+        """True when the sweep completed with holes (failed/skipped)."""
+        return any(o.status in ("failed", "skipped") for o in self.outcomes)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -133,9 +171,11 @@ class SweepResult:
 
     def summary(self) -> str:
         n = len(self.outcomes)
+        skipped = self.skipped_count
+        tail = f", {skipped} skipped" if skipped else ""
         return (
             f"{n} jobs: {self.ok_count} ok, {self.cached_count} cached, "
-            f"{self.failed_count} failed in {self.elapsed_s:.2f}s "
+            f"{self.failed_count} failed{tail} in {self.elapsed_s:.2f}s "
             f"({self.jobs_per_sec:.2f} jobs/s)"
         )
 
@@ -148,8 +188,8 @@ class SweepResult:
 def _job_timeout(seconds: Optional[float], label: str):
     """Raise :class:`JobTimeoutError` after ``seconds`` of wall-clock.
 
-    Only armable on Unix main threads; elsewhere it degrades to no
-    timeout (documented in docs/engine.md).
+    Only armable on Unix main threads; elsewhere it degrades to the
+    parent watchdog (documented in docs/engine.md).
     """
     can_arm = (
         seconds is not None
@@ -178,8 +218,9 @@ def _payload_from(
     timeout_s: Optional[float],
     retries: int,
     backoff_s: float,
+    faults_payload: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    return {
+    payload = {
         "index": spec.index,
         "runner": spec.runner,
         "kwargs": dict(spec.kwargs),
@@ -190,14 +231,21 @@ def _payload_from(
         "retries": int(retries),
         "backoff_s": float(backoff_s),
     }
+    if faults_payload is not None:
+        payload["faults"] = faults_payload
+    return payload
 
 
 def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Run one job to completion inside the current process.
 
-    Module-level so the multiprocessing pool can pickle a reference to
-    it; importing this module in the worker also (re)loads the
-    registry, which is how job names resolve across processes.
+    Module-level so worker processes can resolve a reference to it;
+    importing this module in the worker also (re)loads the registry,
+    which is how job names resolve across processes.
+
+    ``BaseException`` (KeyboardInterrupt, SystemExit) deliberately
+    propagates: in serial mode it aborts the sweep; in a worker it
+    kills the process, which the parent settles as a worker crash.
     """
     label = payload["label"]
     retries = max(0, payload["retries"])
@@ -205,6 +253,13 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     attempts = 0
     last_error: Optional[BaseException] = None
     last_traceback = ""
+    fault_plan = None
+    if payload.get("faults"):
+        # Lazy import: fault-free sweeps never load the injector, and
+        # the laziness breaks the faults -> engine -> pool import cycle.
+        from repro.faults.plan import FaultPlan
+
+        fault_plan = FaultPlan.from_payload(payload["faults"])
     # Attempt-level telemetry recorded worker-side and replayed into
     # the parent's event sink when the record settles: sinks (open file
     # handles) never cross the process boundary.
@@ -213,6 +268,16 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         attempts += 1
         try:
             with _job_timeout(payload["timeout_s"], label):
+                if fault_plan is not None:
+                    from repro.faults.inject import apply_worker_faults
+
+                    apply_worker_faults(
+                        fault_plan,
+                        index=payload["index"],
+                        runner=payload["runner"],
+                        attempt=attempts,
+                        in_worker=bool(payload.get("in_worker")),
+                    )
                 value = registry.call(
                     payload["runner"],
                     payload["kwargs"],
@@ -254,6 +319,10 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                 continue
             break
         except Exception as exc:
+            # Exception, *not* BaseException: KeyboardInterrupt during
+            # a sweep must propagate (and abort), not be recorded as a
+            # job failure. The original traceback string is preserved
+            # on the failure record for post-mortems.
             last_error = exc
             last_traceback = traceback.format_exc()
             break
@@ -313,6 +382,164 @@ def _effective_workers(workers: int, n_jobs: int) -> int:
 # Parent-side orchestration.
 # ---------------------------------------------------------------------------
 
+def _child_main(payload: Dict[str, Any], conn) -> None:
+    """Worker entry point: run the job, ship the record, exit.
+
+    A crash anywhere in here (or an injected ``os._exit``) closes the
+    pipe without a record — the parent's signal that the worker died.
+    """
+    try:
+        conn.send(_execute_payload(payload))
+    finally:
+        conn.close()
+
+
+def _crash_detail(exitcode: Optional[int]) -> str:
+    if exitcode is None:
+        return "worker vanished without an exit code"
+    if exitcode < 0:
+        return f"worker killed by signal {-exitcode}"
+    return f"worker died with exit code {exitcode}"
+
+
+def _crash_record(
+    payload: Dict[str, Any],
+    exitcode: Optional[int],
+    elapsed_s: float,
+    reason: Optional[str] = None,
+) -> Dict[str, Any]:
+    """A failure record for a worker that died without reporting."""
+    return {
+        "index": payload["index"],
+        "status": "failed",
+        "attempts": 1,
+        "duration_s": elapsed_s,
+        "error": reason or _crash_detail(exitcode),
+        "error_type": "WorkerCrashError",
+        "transient": False,
+        "traceback": "",
+        "events": [],
+    }
+
+
+def _run_crash_tolerant(
+    pending: Sequence[JobSpec],
+    payloads: Sequence[Dict[str, Any]],
+    n_workers: int,
+    *,
+    watchdog_s: Optional[float],
+    launch: Callable[[JobSpec], None],
+    settle: Callable[[JobSpec, Dict[str, Any]], None],
+    should_stop: Callable[[], bool],
+) -> List[JobSpec]:
+    """Fan ``payloads`` out over per-job worker processes.
+
+    One process per job (respawning is just launching the next job's
+    process) with the parent multiplexing result pipes through
+    ``multiprocessing.connection.wait``. A worker that exits without
+    sending its record — crash, kill, injected ``os._exit`` — settles
+    as a ``WorkerCrashError`` failure instead of deadlocking the sweep,
+    which is what ``Pool.imap_unordered`` did on a lost result. With
+    ``watchdog_s`` set, workers alive past their whole attempt budget
+    are killed and settled the same way.
+
+    Returns the specs never launched because ``should_stop`` tripped.
+    """
+    from multiprocessing import connection as mp_connection
+
+    ctx = multiprocessing.get_context()
+    queue = deque(zip(pending, payloads))
+    live: Dict[Any, Any] = {}  # conn -> (spec, payload, proc, started)
+    skipped: List[JobSpec] = []
+    try:
+        while queue or live:
+            if queue and should_stop():
+                skipped.extend(spec for spec, _ in queue)
+                queue.clear()
+            while queue and len(live) < n_workers:
+                spec, payload = queue.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_child_main, args=(payload, child_conn), daemon=True
+                )
+                launch(spec)
+                proc.start()
+                child_conn.close()
+                live[parent_conn] = (spec, payload, proc, time.monotonic())
+            if not live:
+                break
+            wait_timeout = None
+            if watchdog_s is not None:
+                now = time.monotonic()
+                wait_timeout = max(
+                    0.0,
+                    min(
+                        started + watchdog_s - now
+                        for (_, _, _, started) in live.values()
+                    ),
+                )
+            for conn in mp_connection.wait(list(live), timeout=wait_timeout):
+                spec, payload, proc, started = live.pop(conn)
+                elapsed = time.monotonic() - started
+                try:
+                    record = conn.recv()
+                except (EOFError, OSError):
+                    record = None
+                conn.close()
+                proc.join()
+                if record is None:
+                    record = _crash_record(payload, proc.exitcode, elapsed)
+                settle(spec, record)
+            if watchdog_s is not None:
+                now = time.monotonic()
+                for conn in [
+                    c
+                    for c, (_, _, _, started) in live.items()
+                    if now - started >= watchdog_s
+                ]:
+                    spec, payload, proc, started = live.pop(conn)
+                    proc.terminate()
+                    proc.join()
+                    conn.close()
+                    settle(
+                        spec,
+                        _crash_record(
+                            payload,
+                            proc.exitcode,
+                            time.monotonic() - started,
+                            reason=(
+                                f"worker unresponsive after {watchdog_s:.3g}s "
+                                "(timeout budget + grace); killed by watchdog"
+                            ),
+                        ),
+                    )
+    except BaseException:
+        # Abort (KeyboardInterrupt, sink write error, ...): reap every
+        # live worker so the sweep never leaves orphans behind.
+        for _, _, proc, _ in live.values():
+            if proc.is_alive():
+                proc.terminate()
+        for _, _, proc, _ in live.values():
+            proc.join()
+        raise
+    return skipped
+
+
+def _watchdog_budget_s(
+    timeout_s: Optional[float], retries: int, backoff_s: float
+) -> Optional[float]:
+    """Worst-case honest runtime of one job, plus grace — or None.
+
+    Only armed when a per-job timeout is configured: without one there
+    is no budget to enforce and slow jobs are presumed legitimate.
+    """
+    if timeout_s is None or timeout_s <= 0:
+        return None
+    retries = max(0, int(retries))
+    backoff_total = backoff_s * (2 ** retries - 1)
+    return timeout_s * (retries + 1) + backoff_total + _WATCHDOG_GRACE_S
+
+
 def execute(
     jobs: Union[SweepSpec, Sequence[JobSpec]],
     *,
@@ -325,6 +552,8 @@ def execute(
     progress: Optional[ProgressTracker] = None,
     events: Optional[EventSink] = None,
     metrics: Optional[MetricsRegistry] = None,
+    faults: Optional[Any] = None,
+    max_failures: Optional[int] = None,
 ) -> SweepResult:
     """Run every job to an outcome; never raises for job failures.
 
@@ -332,19 +561,33 @@ def execute(
     normalised through ``to_jsonable`` and decoded back through
     ``from_jsonable``, so both paths return identical data *and types*
     (non-finite floats stay floats); without it, runners' raw
-    in-memory results pass through.
+    in-memory results pass through. Corrupt cache entries are
+    quarantined and recomputed; failed puts are warned about and
+    recorded (``cache_put_error``), never fatal.
 
     With an ``events`` sink attached, the sweep appends its run ledger
     there: ``sweep_start``/``sweep_end`` (via the progress tracker),
-    ``job_start``/``job_retry``/``job_timeout``/``job_end`` (from this
-    module), and ``cache_hit``/``cache_put`` (from the cache). In
-    parallel mode ``job_start`` marks pool submission, and worker-side
+    ``job_start``/``job_retry``/``job_timeout``/``job_end``/
+    ``job_skipped`` (from this module), and ``cache_hit``/``cache_put``
+    /``cache_quarantine``/``cache_put_error`` (from the cache). In
+    parallel mode ``job_start`` marks worker launch, and worker-side
     attempt telemetry is replayed when each record settles. ``metrics``
     (created per call when not supplied) aggregates per-runner job
     timers and retry/timeout/cache counters into ``result.stats``.
+
+    ``faults`` takes a :class:`repro.faults.FaultPlan`; its
+    worker-side faults ride along in the job payloads and its
+    parent-side faults are attached to the cache and event sink for
+    the duration of the call (restored after). ``max_failures`` stops
+    launching new jobs once more than that many have failed; the
+    leftovers settle as ``"skipped"`` and ``result.partial`` is True.
+    A ``SweepSpec``'s own ``max_failures`` applies when the argument
+    is not given.
     """
     if isinstance(jobs, SweepSpec):
         specs = jobs.expand()
+        if max_failures is None:
+            max_failures = jobs.max_failures
     else:
         specs = [
             spec if spec.index == i else spec.replace(index=i)
@@ -363,6 +606,17 @@ def execute(
     if cache is not None and events is not None and cache.events is None:
         cache.events = events
         restore_cache_events = True
+    # Parent-side fault sites live on the cache (corrupt/failed-put)
+    # and the event sink (torn ledger lines); attach the plan for the
+    # duration of this call, duck-typed so plain sinks stay plain.
+    restore_cache_faults = restore_events_faults = False
+    if faults is not None:
+        if cache is not None and getattr(cache, "faults", False) is None:
+            cache.faults = faults
+            restore_cache_faults = True
+        if events is not None and getattr(events, "faults", False) is None:
+            events.faults = faults
+            restore_events_faults = True
     try:
         version = code_version or (default_code_version() if cache else None)
         outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
@@ -398,8 +652,28 @@ def execute(
             outcome = _outcome_from_record(spec, record)
             if cache is not None and outcome.status == "ok":
                 normalised = to_jsonable(outcome.value)
-                cache.put(spec, keys[spec.index], normalised)
-                registry_.counter("cache_puts").inc()
+                try:
+                    cache.put(spec, keys[spec.index], normalised)
+                except OSError as exc:
+                    # Disk full / permissions / injected put failure:
+                    # losing the cache entry must not lose the result.
+                    registry_.counter("cache_put_errors").inc()
+                    warnings.warn(
+                        f"cache put failed for {spec.display}: {exc}; "
+                        "result kept in memory only",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    if events is not None:
+                        events.emit(
+                            "cache_put_error",
+                            index=spec.index,
+                            runner=spec.runner,
+                            label=spec.display,
+                            error=str(exc),
+                        )
+                else:
+                    registry_.counter("cache_puts").inc()
                 outcome.value = from_jsonable(normalised)
             for sub in record.get("events", ()):
                 kind = sub["event"]
@@ -416,6 +690,10 @@ def execute(
                         **fields,
                     )
             registry_.counter(f"jobs_{outcome.status}").inc()
+            if outcome.failure is not None and (
+                outcome.failure.error_type == "WorkerCrashError"
+            ):
+                registry_.counter("worker_crashes").inc()
             registry_.timer(f"job.{spec.runner}").observe(outcome.duration_s)
             if events is not None:
                 end_fields: Dict[str, Any] = {
@@ -434,24 +712,53 @@ def execute(
             if progress is not None:
                 progress.update(outcome)
 
-        by_index = {spec.index: spec for spec in pending}
+        def _should_stop() -> bool:
+            return (
+                max_failures is not None
+                and registry_.counter("jobs_failed").value > max_failures
+            )
+
+        faults_payload = faults.worker_payload() if faults is not None else None
         payloads = [
-            _payload_from(spec, timeout_s, retries, backoff_s)
+            _payload_from(spec, timeout_s, retries, backoff_s, faults_payload)
             for spec in pending
         ]
         n_workers = _effective_workers(workers, len(pending))
+        skipped: List[JobSpec] = []
         if n_workers <= 1:
             for spec, payload in zip(pending, payloads):
+                if _should_stop():
+                    skipped.append(spec)
+                    continue
                 _emit_job_start(spec)
                 _settle(spec, _execute_payload(payload))
         else:
-            with multiprocessing.Pool(processes=n_workers) as pool:
-                for spec in pending:
-                    _emit_job_start(spec)
-                for record in pool.imap_unordered(
-                    _execute_payload, payloads, chunksize=1
-                ):
-                    _settle(by_index[record["index"]], record)
+            for payload in payloads:
+                payload["in_worker"] = True
+            skipped = _run_crash_tolerant(
+                pending,
+                payloads,
+                n_workers,
+                watchdog_s=_watchdog_budget_s(timeout_s, retries, backoff_s),
+                launch=_emit_job_start,
+                settle=_settle,
+                should_stop=_should_stop,
+            )
+
+        for spec in skipped:
+            outcome = JobOutcome(spec=spec, status="skipped")
+            registry_.counter("jobs_skipped").inc()
+            if events is not None:
+                events.emit(
+                    "job_skipped",
+                    index=spec.index,
+                    runner=spec.runner,
+                    label=spec.display,
+                    reason=f"sweep exceeded max_failures={max_failures}",
+                )
+            outcomes[spec.index] = outcome
+            if progress is not None:
+                progress.update(outcome)
 
         elapsed = time.monotonic() - started
         registry_.timer("sweep").observe(elapsed)
@@ -469,6 +776,10 @@ def execute(
     finally:
         if restore_cache_events:
             cache.events = None
+        if restore_cache_faults:
+            cache.faults = None
+        if restore_events_faults:
+            events.faults = None
 
 
 def execute_one(
@@ -483,7 +794,7 @@ def execute_one(
 
 
 def iter_values(result: SweepResult) -> Iterable[Any]:
-    """Successful values in job order (failures skipped)."""
+    """Successful values in job order (failures/skips excluded)."""
     for outcome in result.outcomes:
         if outcome.status in ("ok", "cached"):
             yield outcome.value

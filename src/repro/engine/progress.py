@@ -27,11 +27,12 @@ class ProgressSnapshot:
     ok: int = 0
     failed: int = 0
     cached: int = 0
+    skipped: int = 0
     elapsed_s: float = 0.0
 
     @property
     def done(self) -> int:
-        return self.ok + self.failed + self.cached
+        return self.ok + self.failed + self.cached + self.skipped
 
     @property
     def jobs_per_sec(self) -> float:
@@ -54,6 +55,7 @@ class ProgressTracker:
         self.ok = 0
         self.failed = 0
         self.cached = 0
+        self.skipped = 0
         self._started_at: Optional[float] = None
         self._finished_at: Optional[float] = None
 
@@ -71,6 +73,8 @@ class ProgressTracker:
             self.ok += 1
         elif outcome.status == "cached":
             self.cached += 1
+        elif outcome.status == "skipped":
+            self.skipped += 1
         else:
             self.failed += 1
         if self.stream is not None:
@@ -78,6 +82,8 @@ class ProgressTracker:
             detail = f"{outcome.duration_s:.2f}s"
             if outcome.status == "cached":
                 detail = "cache hit"
+            elif outcome.status == "skipped":
+                detail = "failure budget exhausted"
             elif outcome.status == "failed" and outcome.failure is not None:
                 detail = outcome.failure.error
             print(
@@ -97,6 +103,7 @@ class ProgressTracker:
                 ok=snap.ok,
                 cached=snap.cached,
                 failed=snap.failed,
+                skipped=snap.skipped,
                 elapsed_s=round(snap.elapsed_s, 6),
             )
         if self.stream is not None:
@@ -117,12 +124,13 @@ class ProgressTracker:
         # A tracker driven without start() (finish-before-start, or
         # update()s alone) has total=0; report what was actually seen
         # rather than a nonsensical "3/0 jobs".
-        done = self.ok + self.failed + self.cached
+        done = self.ok + self.failed + self.cached + self.skipped
         return ProgressSnapshot(
             total=max(self.total, done),
             ok=self.ok,
             failed=self.failed,
             cached=self.cached,
+            skipped=self.skipped,
             elapsed_s=self.elapsed_s(),
         )
 
@@ -131,6 +139,8 @@ class ProgressTracker:
         parts = [f"{snap.done}/{snap.total} jobs", f"{snap.ok} ok"]
         parts.append(f"{snap.cached} cached")
         parts.append(f"{snap.failed} failed")
+        if snap.skipped:
+            parts.append(f"{snap.skipped} skipped")
         return (
             f"{parts[0]}: {', '.join(parts[1:])} in {snap.elapsed_s:.2f}s "
             f"({snap.jobs_per_sec:.2f} jobs/s)"

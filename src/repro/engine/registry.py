@@ -348,3 +348,15 @@ register(
     description="echoes its kwargs and injected seed",
     kind="test",
 )
+register(
+    "test.crash",
+    "repro.engine.testing:crashing_runner",
+    description="kills its worker process outright (crash recovery)",
+    kind="test",
+)
+register(
+    "test.hang",
+    "repro.engine.testing:hanging_runner",
+    description="hangs ignoring SIGALRM (watchdog exercises)",
+    kind="test",
+)

@@ -71,6 +71,11 @@ class SweepSpec:
     ``base_kwargs``, once per runner and repetition. Expansion order —
     runner, then grid point, then repetition — is deterministic, and
     per-job seeds are assigned positionally from ``base_seed``.
+
+    ``max_failures`` is the sweep's failure budget: once more than
+    that many jobs fail, the pool stops launching new ones and settles
+    the rest as skipped (``None`` = unlimited tolerance, the default —
+    every job always runs).
     """
 
     runners: Sequence[str]
@@ -79,6 +84,7 @@ class SweepSpec:
     repetitions: int = 1
     base_seed: Optional[int] = None
     scale: Optional[float] = None
+    max_failures: Optional[int] = None
 
     def grid_points(self) -> List[Dict[str, Any]]:
         """The grid's cartesian product as kwarg overlay dicts."""

@@ -1,19 +1,23 @@
 """Deterministic runners for exercising the engine itself.
 
 Registered as ``test.sleep`` / ``test.flaky`` / ``test.fail`` /
-``test.echo``; being module-level functions they resolve by name in
-worker processes regardless of the multiprocessing start method.
-``flaky_runner`` keeps its attempt count in a caller-supplied state
-file so retry behaviour is observable across processes.
+``test.echo`` / ``test.crash`` / ``test.hang``; being module-level
+functions they resolve by name in worker processes regardless of the
+multiprocessing start method. ``flaky_runner`` keeps its attempt count
+in a caller-supplied state file so retry behaviour is observable
+across processes.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import time
 from typing import Any, Dict, Optional
 
-from repro.engine.errors import TransientJobError
+import multiprocessing
+
+from repro.engine.errors import TransientJobError, WorkerCrashError
 
 
 def sleepy_runner(
@@ -64,3 +68,48 @@ def echo_runner(seed: Optional[int] = None, **kwargs: Any) -> Dict[str, Any]:
     out = dict(kwargs)
     out["seed"] = seed
     return out
+
+
+def crashing_runner(
+    exit_code: int = 70, seed: Optional[int] = None
+) -> None:
+    """Die without a trace, like a segfault or OOM kill.
+
+    In a worker process the whole process exits via ``os._exit`` (no
+    result record, no cleanup); in the parent (serial executor) it
+    raises :class:`WorkerCrashError` instead, so a serial sweep sees
+    the same failure type without losing its own process.
+    """
+    if multiprocessing.current_process().daemon:
+        os._exit(int(exit_code))
+    raise WorkerCrashError(
+        "crashing_runner called in the parent process "
+        "(simulated crash: serial executor)"
+    )
+
+
+def hanging_runner(
+    hang_s: float = 3600.0, seed: Optional[int] = None
+) -> None:
+    """Hang in a way the worker-side SIGALRM timeout cannot reclaim.
+
+    Ignores SIGALRM (a stand-in for a hang inside C code, where no
+    Python signal handler ever runs) and sleeps in a deadline loop, so
+    only the parent watchdog can end the job. For an *interruptible*
+    hang, use the ``hang`` fault of :mod:`repro.faults` instead.
+    """
+    if hasattr(signal, "SIGALRM"):
+        signal.signal(signal.SIGALRM, signal.SIG_IGN)
+    deadline = time.monotonic() + float(hang_s)
+    while time.monotonic() < deadline:
+        time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
+
+
+def interrupt_runner(seed: Optional[int] = None) -> None:
+    """Raise ``KeyboardInterrupt`` mid-job (Ctrl-C propagation tests).
+
+    Deliberately *not* registered: dispatch it by dotted path
+    (``repro.engine.testing:interrupt_runner``) so casual sweeps never
+    trip over it.
+    """
+    raise KeyboardInterrupt

@@ -1,0 +1,43 @@
+"""repro.faults — deterministic fault injection for the engine.
+
+The paper's measurement campaigns survived mmWave blockage, tool
+crashes, and server resets by treating partial runs as first-class
+data; this package lets the scenario engine prove the same property
+forever. A seeded :class:`FaultPlan` forces worker crashes, hangs,
+transient exceptions, corrupted/truncated cache entries, failed cache
+puts, and torn ledger writes at deterministic sites, and the engine's
+recovery paths (quarantine + recompute, crash-tolerant pool, partial
+sweeps, torn-line-tolerant readers) are asserted against it in
+``tests/faults/`` and the CI ``chaos-smoke`` job. See
+``docs/robustness.md``.
+
+Typical use::
+
+    from repro import engine, faults
+
+    plan = faults.FaultPlan.single("crash", at=(2,), seed=7)
+    result = engine.execute(jobs, workers=4, faults=plan)
+    assert result.partial and result.failed_count == 1
+
+CLI: ``python -m repro sweep ... --inject crash:at=1 --keep-going``.
+"""
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    PARENT_FAULTS,
+    WORKER_FAULTS,
+    FaultPlan,
+    FaultSpec,
+    parse_fault,
+    plan_from_args,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "PARENT_FAULTS",
+    "WORKER_FAULTS",
+    "FaultPlan",
+    "FaultSpec",
+    "parse_fault",
+    "plan_from_args",
+]

@@ -1,0 +1,53 @@
+"""File-corruption primitives shared by the injector, tests, and CI.
+
+These reproduce the on-disk damage real campaigns see — a cache entry
+truncated by a mid-write power cut, a ledger line torn by a killed
+process, a file scribbled over by a buggy tool — so recovery paths are
+exercised against the same byte patterns they must survive in the
+field. All helpers operate in place and are idempotent-ish: corrupting
+an already-corrupt file just corrupts it differently.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def truncate_tail(path: PathLike, keep_fraction: float = 0.5) -> int:
+    """Drop the tail of ``path`` (a torn write); returns bytes kept.
+
+    Keeps at least one byte so the result is a *partial* record, not an
+    empty file — the harder case for readers that special-case zero
+    length.
+    """
+    if not 0.0 <= keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be within [0, 1]")
+    path = Path(path)
+    data = path.read_bytes()
+    keep = max(1, int(len(data) * keep_fraction)) if data else 0
+    path.write_bytes(data[:keep])
+    return keep
+
+
+def scribble(path: PathLike, garbage: bytes = b"\x00\xffnot json{") -> None:
+    """Overwrite ``path`` with bytes that are not valid JSON."""
+    Path(path).write_bytes(garbage)
+
+
+def tear_final_line(path: PathLike, keep_fraction: float = 0.5) -> None:
+    """Tear the last line of a JSONL file mid-record.
+
+    Simulates a process killed while appending: every earlier line
+    stays intact, the final one is cut partway and loses its newline.
+    """
+    path = Path(path)
+    text = path.read_text()
+    lines = text.splitlines(keepends=True)
+    if not lines:
+        return
+    last = lines[-1].rstrip("\n")
+    torn = last[: max(1, int(len(last) * keep_fraction))] if last else ""
+    path.write_text("".join(lines[:-1]) + torn)

@@ -1,0 +1,66 @@
+"""Runtime fault actions: what actually breaks when a plan says so.
+
+:func:`apply_worker_faults` is called by the pool's per-job code path
+(:func:`repro.engine.pool._execute_payload`) once per attempt, inside
+the armed job timeout, so:
+
+* ``crash`` kills the worker process outright (``os._exit``) — no
+  cleanup, no result record, exactly like a segfault or OOM kill. In
+  serial mode (the job runs in the parent) it degrades to raising
+  :class:`~repro.engine.errors.WorkerCrashError` instead, because
+  killing the orchestrating process would take the sweep down with it.
+* ``hang`` stalls past the job's wall-clock budget; the worker-side
+  SIGALRM timeout (or, if that is defeated, the parent watchdog)
+  reclaims the job.
+* ``transient`` raises :class:`InjectedTransientError`, a
+  :class:`~repro.engine.errors.TransientJobError` subclass, exercising
+  the bounded retry-with-backoff path.
+
+Everything here is invoked lazily from the engine, so sweeps without a
+fault plan never import this module.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.engine.errors import TransientJobError, WorkerCrashError
+from repro.faults.plan import FaultPlan
+
+#: Exit code an injected crash dies with (recognisable in ledgers and
+#: CI logs; any abnormal exit is treated the same by the engine).
+CRASH_EXIT_CODE = 73
+
+
+class InjectedTransientError(TransientJobError):
+    """A transient failure raised by the fault injector."""
+
+
+def apply_worker_faults(
+    plan: FaultPlan,
+    *,
+    index: int,
+    runner: str,
+    attempt: int,
+    in_worker: bool,
+) -> None:
+    """Apply any worker-side fault the plan schedules for this attempt."""
+    if plan.decide("crash", index=index, runner=runner, attempt=attempt):
+        if in_worker:
+            os._exit(CRASH_EXIT_CODE)
+        raise WorkerCrashError(
+            f"injected worker crash for job #{index} "
+            "(simulated in-process: serial executor)"
+        )
+    hang = plan.decide("hang", index=index, runner=runner, attempt=attempt)
+    if hang is not None:
+        # A plain sleep: the armed SIGALRM interrupts it with
+        # JobTimeoutError when a timeout is configured; without one the
+        # stall runs its full course — a hang fault is only meaningful
+        # under a timeout or the parent watchdog.
+        time.sleep(float(hang.hang_s))
+    if plan.decide("transient", index=index, runner=runner, attempt=attempt):
+        raise InjectedTransientError(
+            f"injected transient fault (job #{index}, attempt {attempt})"
+        )

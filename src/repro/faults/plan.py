@@ -1,0 +1,222 @@
+"""Deterministic fault plans: what to break, where — reproducibly.
+
+A :class:`FaultPlan` is a declarative list of :class:`FaultSpec`
+entries, each naming one fault *kind* plus a site selector (explicit
+job indices, runner names, attempt budget) and an optional injection
+``rate``. Probabilistic decisions are derived from
+:class:`numpy.random.SeedSequence` over ``(plan seed, kind, job index,
+attempt)``, never from global RNG state or wall-clock, so the same
+plan breaks the same jobs in the same way on every run, regardless of
+worker count or completion order — a chaos run is as replayable as a
+clean one.
+
+Worker-relevant specs cross the process boundary as plain dicts
+(:meth:`FaultPlan.worker_payload` / :meth:`FaultPlan.from_payload`),
+mirroring how job specs themselves travel. Parent-side faults
+(cache corruption, failed puts, ledger tears) are consulted in place
+by :class:`repro.engine.cache.ResultCache` and
+:class:`repro.obs.events.EventLog` through their ``faults`` attribute.
+
+The fault *actions* live in :mod:`repro.faults.inject`; this module is
+pure decision logic plus the CLI ``--inject`` grammar
+(:func:`parse_fault` / :func:`plan_from_args`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Faults applied inside the worker process running the job.
+WORKER_FAULTS = frozenset({"crash", "hang", "transient"})
+#: Faults applied parent-side, at the cache / ledger layer.
+PARENT_FAULTS = frozenset({"cache_corrupt", "cache_put_fail", "ledger_tear"})
+#: Every fault class the injector understands.
+FAULT_KINDS = WORKER_FAULTS | PARENT_FAULTS
+
+_KIND_CODES = {kind: code for code, kind in enumerate(sorted(FAULT_KINDS))}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault class plus the sites it applies to.
+
+    ``at`` restricts to explicit job indices (ledger tears interpret it
+    as event sequence numbers); ``runners`` restricts to runner names;
+    ``times`` caps how many attempts of one job are hit (attempt
+    numbers above it pass clean — how "transient on attempt k only"
+    schedules are written); ``rate`` < 1 makes the remaining sites
+    probabilistic under the plan's seed. ``hang_s`` is how long a
+    ``hang`` fault stalls (meant to overrun the job timeout).
+    """
+
+    kind: str
+    rate: float = 1.0
+    at: Tuple[int, ...] = ()
+    runners: Tuple[str, ...] = ()
+    times: int = 1
+    hang_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {sorted(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be within [0, 1], got {self.rate}")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        object.__setattr__(self, "at", tuple(int(i) for i in self.at))
+        object.__setattr__(self, "runners", tuple(self.runners))
+
+    def matches_site(self, index: int, runner: str, attempt: int) -> bool:
+        """Static (non-probabilistic) part of the site selection."""
+        if self.at and index not in self.at:
+            return False
+        if self.runners and runner not in self.runners:
+            return False
+        if attempt > self.times:
+            return False
+        return True
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "rate": self.rate,
+            "at": list(self.at),
+            "runners": list(self.runners),
+            "times": self.times,
+            "hang_s": self.hang_s,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "FaultSpec":
+        return cls(
+            kind=payload["kind"],
+            rate=payload.get("rate", 1.0),
+            at=tuple(payload.get("at", ())),
+            runners=tuple(payload.get("runners", ())),
+            times=payload.get("times", 1),
+            hang_s=payload.get("hang_s", 3600.0),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of :class:`FaultSpec` entries.
+
+    An empty plan (``FaultPlan()``) decides "no fault" everywhere and
+    is the zero-overhead baseline chaos tests compare against.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    @classmethod
+    def single(cls, kind: str, seed: int = 0, **kwargs: Any) -> "FaultPlan":
+        """Convenience: a plan with exactly one fault spec."""
+        return cls(specs=(FaultSpec(kind=kind, **kwargs),), seed=seed)
+
+    def decide(
+        self, kind: str, *, index: int = 0, runner: str = "", attempt: int = 1
+    ) -> Optional[FaultSpec]:
+        """The matching spec if ``kind`` fires at this site, else None.
+
+        Deterministic: for a given plan the answer depends only on the
+        site coordinates, so serial, parallel, and resumed runs all see
+        the same faults.
+        """
+        for spec in self.specs:
+            if spec.kind != kind:
+                continue
+            if not spec.matches_site(index, runner, attempt):
+                continue
+            if spec.rate >= 1.0 or self._coin(kind, index, attempt) < spec.rate:
+                return spec
+        return None
+
+    def _coin(self, kind: str, index: int, attempt: int) -> float:
+        entropy = [
+            int(self.seed) & 0xFFFFFFFF,
+            _KIND_CODES[kind],
+            int(index) & 0xFFFFFFFF,
+            int(attempt) & 0xFFFFFFFF,
+        ]
+        return float(np.random.default_rng(np.random.SeedSequence(entropy)).random())
+
+    def worker_payload(self) -> Optional[Dict[str, Any]]:
+        """The worker-relevant subset as a plain dict (None if empty)."""
+        worker_specs = [s for s in self.specs if s.kind in WORKER_FAULTS]
+        if not worker_specs:
+            return None
+        return {
+            "seed": self.seed,
+            "specs": [s.to_payload() for s in worker_specs],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        return cls(
+            specs=tuple(
+                FaultSpec.from_payload(item) for item in payload.get("specs", ())
+            ),
+            seed=payload.get("seed", 0),
+        )
+
+
+def parse_fault(text: str) -> FaultSpec:
+    """Parse one CLI ``--inject`` argument into a :class:`FaultSpec`.
+
+    Grammar: ``kind[:key=value,key=value,...]`` where keys are ``rate``
+    (float), ``at`` (``+``-separated job indices), ``runner``
+    (``+``-separated names), ``times`` (int), ``hang_s`` (float)::
+
+        crash:at=1
+        transient:rate=0.25,times=2
+        hang:runner=test.sleep,hang_s=30
+        cache_corrupt
+    """
+    kind, _, rest = text.partition(":")
+    kwargs: Dict[str, Any] = {"kind": kind.strip()}
+    if rest:
+        for part in rest.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, eq, value = part.partition("=")
+            key, value = key.strip(), value.strip()
+            if not eq or not value:
+                raise ValueError(
+                    f"bad fault option {part!r} in {text!r} "
+                    "(expected key=value)"
+                )
+            if key == "at":
+                kwargs["at"] = tuple(int(v) for v in value.split("+"))
+            elif key == "runner":
+                kwargs["runners"] = tuple(value.split("+"))
+            elif key == "rate":
+                kwargs["rate"] = float(value)
+            elif key == "times":
+                kwargs["times"] = int(value)
+            elif key == "hang_s":
+                kwargs["hang_s"] = float(value)
+            else:
+                raise ValueError(
+                    f"unknown fault option {key!r} in {text!r} "
+                    "(expected rate/at/runner/times/hang_s)"
+                )
+    return FaultSpec(**kwargs)
+
+
+def plan_from_args(
+    texts: Sequence[str], seed: Optional[int] = None
+) -> FaultPlan:
+    """Build a plan from CLI ``--inject`` arguments + the sweep seed."""
+    specs = tuple(parse_fault(text) for text in texts)
+    return FaultPlan(specs=specs, seed=0 if seed is None else int(seed))

@@ -25,7 +25,14 @@ def sample_series(fn: SeriesLike, times_s: np.ndarray) -> np.ndarray:
         return np.full(times_s.shape, float(fn))
     try:
         values = fn(times_s)
-    except Exception:
+    except (TypeError, ValueError):
+        # Only the signatures of "scalar-only callable handed an
+        # array": TypeError from operations undefined on ndarrays,
+        # ValueError from ambiguous array truthiness (`if t > 5`).
+        # Anything else — a KeyError in a trace lookup, a ZeroDivision
+        # in the model — is a real bug in `fn` and must surface, not
+        # get silently retried element-wise (where it would either
+        # fail confusingly or, worse, succeed with different data).
         values = None
     if values is not None:
         values = np.asarray(values, dtype=float)

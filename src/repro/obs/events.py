@@ -4,9 +4,11 @@ The scenario engine narrates a sweep as a flat sequence of typed
 events (:data:`EVENT_TYPES`): one ``sweep_start``/``sweep_end`` pair
 per :func:`repro.engine.pool.execute` call, ``job_start``/``job_end``
 per executed job (with ``job_retry``/``job_timeout`` in between when
-attempts fail), and ``cache_hit``/``cache_put`` from the result cache.
-Each event carries a monotonic timestamp and a per-log sequence
-number, so ordering survives even sub-millisecond bursts.
+attempts fail, and ``job_skipped`` for jobs shed past ``max_failures``),
+and ``cache_hit``/``cache_put``/``cache_quarantine``/
+``cache_put_error`` from the result cache. Each event carries a
+monotonic timestamp and a per-log sequence number, so ordering
+survives even sub-millisecond bursts.
 
 Sinks implement one method, :meth:`EventSink.emit`; the engine guards
 every emission site with ``if events is not None`` so a disabled
@@ -19,8 +21,10 @@ ad-hoc inspection. Everything here is stdlib-only.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -36,8 +40,11 @@ EVENT_TYPES = frozenset(
         "job_retry",
         "job_timeout",
         "job_end",
+        "job_skipped",
         "cache_hit",
         "cache_put",
+        "cache_quarantine",
+        "cache_put_error",
     }
 )
 
@@ -76,17 +83,41 @@ class EventLog(EventSink):
     per-log counter. The file is opened lazily in append mode, so
     several sweeps can share one ledger, and every line is flushed as
     it is written.
+
+    Durability: the per-line ``flush()`` hands each event to the
+    kernel, so a crashed *process* keeps everything emitted so far —
+    at worst the final line is torn, which :func:`read_events`
+    tolerates. Surviving a crashed *machine* (power loss) additionally
+    needs ``fsync=True``, which fsyncs after every line; that is one
+    disk round-trip per event, easily 10-100x slower on spinning
+    rust, so it is off by default — sweeps are cheap to re-run from
+    the cache, ledgers are telemetry, not transactions.
+
+    ``faults`` accepts a :class:`repro.faults.FaultPlan` (wired by
+    ``execute``); a ``ledger_tear`` fault writes half of one line and
+    then drops every later event, simulating a writer killed
+    mid-append.
     """
 
-    def __init__(self, path: PathLike, clock=time.monotonic) -> None:
+    def __init__(
+        self,
+        path: PathLike,
+        clock=time.monotonic,
+        fsync: bool = False,
+    ) -> None:
         self.path = Path(path)
+        self.fsync = bool(fsync)
         self._clock = clock
         self._seq = 0
         self._lock = threading.Lock()
         self._handle = None
+        self.faults: Optional[Any] = None
+        self._dead = False
 
     def emit(self, event: str, **fields: Any) -> None:
         with self._lock:
+            if self._dead:
+                return
             if self._handle is None:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
                 self._handle = self.path.open("a")
@@ -97,11 +128,23 @@ class EventLog(EventSink):
                 "t": round(float(self._clock()), 6),
             }
             record.update(fields)
-            self._handle.write(
+            line = (
                 json.dumps(record, separators=(",", ":"), allow_nan=False)
                 + "\n"
             )
+            if self.faults is not None and self.faults.decide(
+                "ledger_tear", index=self._seq
+            ):
+                # Simulate the writer dying mid-append: half a line
+                # reaches the disk, nothing after it ever does.
+                self._handle.write(line[: max(1, len(line) // 2)])
+                self._handle.flush()
+                self._dead = True
+                return
+            self._handle.write(line)
             self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         with self._lock:
@@ -127,9 +170,10 @@ def read_events(path: PathLike) -> List[Dict[str, Any]]:
     """Parse a JSONL event file; a trailing partial line is skipped.
 
     A torn final line happens when a sweep is killed mid-write; every
-    complete line before it is still valid, so it is dropped rather
-    than poisoning the whole ledger. A malformed line anywhere *else*
-    is a corrupt file and raises ``ValueError``.
+    complete line before it is still valid, so it is dropped — with a
+    ``RuntimeWarning`` naming the line, so silent data loss is never
+    *silent* — rather than poisoning the whole ledger. A malformed
+    line anywhere *else* is a corrupt file and raises ``ValueError``.
     """
     events: List[Dict[str, Any]] = []
     lines = Path(path).read_text().splitlines()
@@ -141,6 +185,12 @@ def read_events(path: PathLike) -> List[Dict[str, Any]]:
             events.append(json.loads(line))
         except ValueError:
             if lineno == len(lines) - 1:
+                warnings.warn(
+                    f"{path}: dropping torn final event on line "
+                    f"{lineno + 1} (writer likely died mid-append)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 break
             raise ValueError(
                 f"{path}: malformed event on line {lineno + 1}"

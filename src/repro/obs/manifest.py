@@ -57,6 +57,8 @@ def _job_record(outcome: Any) -> Dict[str, Any]:
             "attempts": failure.attempts,
             "transient": failure.transient,
         }
+        if failure.traceback:
+            record["failure"]["traceback"] = failure.traceback
     return record
 
 
@@ -92,11 +94,13 @@ def build_manifest(
         "scale": scale,
         "workers": result.workers,
         "elapsed_s": round(float(result.elapsed_s), 6),
+        "partial": bool(getattr(result, "partial", False)),
         "counts": {
             "jobs": len(result.outcomes),
             "ok": result.ok_count,
             "cached": result.cached_count,
             "failed": result.failed_count,
+            "skipped": int(getattr(result, "skipped_count", 0)),
         },
         "cache_dir": str(cache_dir) if cache_dir is not None else None,
         "events_path": str(events_path) if events_path is not None else None,

@@ -30,9 +30,12 @@ def aggregate_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
         "ok": 0,
         "failed": 0,
         "cached": 0,
+        "skipped": 0,
         "retries": 0,
         "timeouts": 0,
         "cache_puts": 0,
+        "cache_quarantines": 0,
+        "cache_put_errors": 0,
         "elapsed_s": 0.0,
     }
 
@@ -43,6 +46,7 @@ def aggregate_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
                 "ok": 0,
                 "failed": 0,
                 "cached": 0,
+                "skipped": 0,
                 "retries": 0,
                 "timeouts": 0,
                 "durations": [],
@@ -64,6 +68,11 @@ def aggregate_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
             overall[key] += 1
             overall["jobs"] += 1
             stats["durations"].append(float(event.get("duration_s", 0.0)))
+        elif kind == "job_skipped":
+            stats = bucket(_runner_of(event))
+            stats["skipped"] += 1
+            overall["skipped"] += 1
+            overall["jobs"] += 1
         elif kind == "job_retry":
             bucket(_runner_of(event))["retries"] += 1
             overall["retries"] += 1
@@ -77,6 +86,10 @@ def aggregate_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
             overall["jobs"] += 1
         elif kind == "cache_put":
             overall["cache_puts"] += 1
+        elif kind == "cache_quarantine":
+            overall["cache_quarantines"] += 1
+        elif kind == "cache_put_error":
+            overall["cache_put_errors"] += 1
 
     runners: Dict[str, Dict[str, Any]] = {}
     for runner in sorted(per_runner):
@@ -110,9 +123,16 @@ def _fmt_row(cells: List[str], widths: List[int]) -> str:
 def render_stats(aggregate: Dict[str, Any]) -> str:
     """A terminal-friendly report over :func:`aggregate_events` output."""
     overall = aggregate["overall"]
+    # Failure-mode fields only appear when non-zero, so healthy-run
+    # output (which CI greps for) is unchanged by their existence.
+    skipped_part = (
+        ", {skipped} skipped".format(**overall) if overall["skipped"] else ""
+    )
     lines = [
         "{sweeps} sweep(s), {jobs} jobs: {ok} ok, {cached} cached, "
-        "{failed} failed in {elapsed_s:.2f}s".format(**overall),
+        "{failed} failed{skipped_part} in {elapsed_s:.2f}s".format(
+            skipped_part=skipped_part, **overall
+        ),
         "retries: {retries}  timeouts: {timeouts}  "
         "cache hit rate: {rate:.0f}%".format(
             retries=overall["retries"],
@@ -120,6 +140,11 @@ def render_stats(aggregate: Dict[str, Any]) -> str:
             rate=100.0 * overall["cache_hit_rate"],
         ),
     ]
+    if overall["cache_quarantines"] or overall["cache_put_errors"]:
+        lines.append(
+            "cache quarantines: {cache_quarantines}  "
+            "cache put errors: {cache_put_errors}".format(**overall)
+        )
     runners = aggregate["runners"]
     if runners:
         headers = [

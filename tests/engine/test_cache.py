@@ -4,6 +4,8 @@ import json
 import os
 import subprocess
 import sys
+import pytest
+
 from pathlib import Path
 
 from repro.engine import JobSpec, ResultCache, SweepSpec, execute
@@ -134,8 +136,11 @@ class TestStore:
         spec = JobSpec(runner="fig2", seed=1)
         key = cache.key_for(spec, "v")
         cache.path_for(spec, key).write_text("{not json")
-        hit, _ = cache.get(spec, key)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            hit, _ = cache.get(spec, key)
         assert not hit
+        # The corrupt bytes are preserved for post-mortems, not deleted.
+        assert len(list(cache.quarantine_dir.iterdir())) == 1
 
     def test_entries_and_clear(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -102,7 +102,7 @@ class TestSweepLedger:
 
         record = json.loads(manifest.read_text())
         assert record["counts"] == {
-            "jobs": 2, "ok": 2, "cached": 0, "failed": 0,
+            "jobs": 2, "ok": 2, "cached": 0, "failed": 0, "skipped": 0,
         }
         assert record["base_seed"] == 5
         assert [j["runner"] for j in record["jobs"]] == ["fig2", "table2"]

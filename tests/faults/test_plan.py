@@ -1,0 +1,152 @@
+"""Tests for repro.faults.plan: determinism, selection, the CLI grammar."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    PARENT_FAULTS,
+    WORKER_FAULTS,
+    FaultPlan,
+    FaultSpec,
+    parse_fault,
+    plan_from_args,
+)
+
+
+class TestFaultSpec:
+    def test_kind_taxonomy_is_partitioned(self):
+        assert WORKER_FAULTS | PARENT_FAULTS == FAULT_KINDS
+        assert not WORKER_FAULTS & PARENT_FAULTS
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor_strike")
+
+    def test_rate_and_times_validated(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec(kind="crash", rate=1.5)
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(kind="crash", times=0)
+
+    def test_site_selectors(self):
+        spec = FaultSpec(kind="crash", at=(1, 3), runners=("test.echo",))
+        assert spec.matches_site(1, "test.echo", 1)
+        assert not spec.matches_site(2, "test.echo", 1)  # wrong index
+        assert not spec.matches_site(1, "test.fail", 1)  # wrong runner
+        assert not spec.matches_site(1, "test.echo", 2)  # past times=1
+
+    def test_times_caps_attempts(self):
+        spec = FaultSpec(kind="transient", times=2)
+        assert spec.matches_site(0, "any", 1)
+        assert spec.matches_site(0, "any", 2)
+        assert not spec.matches_site(0, "any", 3)
+
+    def test_payload_roundtrip(self):
+        spec = FaultSpec(
+            kind="hang", rate=0.5, at=(2,), runners=("a", "b"),
+            times=3, hang_s=12.5,
+        )
+        assert FaultSpec.from_payload(spec.to_payload()) == spec
+
+
+class TestFaultPlanDecide:
+    def test_empty_plan_never_fires(self):
+        plan = FaultPlan()
+        for kind in FAULT_KINDS:
+            assert plan.decide(kind, index=0) is None
+
+    def test_rate_one_always_fires_at_matching_site(self):
+        plan = FaultPlan.single("crash", at=(2,))
+        assert plan.decide("crash", index=2) is not None
+        assert plan.decide("crash", index=1) is None
+        assert plan.decide("hang", index=2) is None
+
+    def test_decisions_are_deterministic_per_seed(self):
+        plan_a = FaultPlan.single("transient", rate=0.5, seed=7)
+        plan_b = FaultPlan.single("transient", rate=0.5, seed=7)
+        sites = [(i, a) for i in range(50) for a in (1,)]
+        decisions_a = [
+            plan_a.decide("transient", index=i, attempt=a) is not None
+            for i, a in sites
+        ]
+        decisions_b = [
+            plan_b.decide("transient", index=i, attempt=a) is not None
+            for i, a in sites
+        ]
+        assert decisions_a == decisions_b
+        # ~50% rate actually fires somewhere and spares somewhere.
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_different_seeds_differ(self):
+        fire = []
+        for seed in range(4):
+            plan = FaultPlan.single("transient", rate=0.5, seed=seed)
+            fire.append(
+                tuple(
+                    plan.decide("transient", index=i) is not None
+                    for i in range(30)
+                )
+            )
+        assert len(set(fire)) > 1
+
+    def test_decision_independent_of_call_order(self):
+        plan = FaultPlan.single("crash", rate=0.5, seed=3)
+        forward = [plan.decide("crash", index=i) is not None for i in range(20)]
+        backward = [
+            plan.decide("crash", index=i) is not None
+            for i in reversed(range(20))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_worker_payload_roundtrip_filters_parent_faults(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="crash", at=(1,)),
+                FaultSpec(kind="cache_corrupt"),
+            ),
+            seed=9,
+        )
+        payload = plan.worker_payload()
+        assert [s["kind"] for s in payload["specs"]] == ["crash"]
+        rebuilt = FaultPlan.from_payload(payload)
+        assert rebuilt.seed == 9
+        assert rebuilt.decide("crash", index=1) is not None
+        assert rebuilt.decide("cache_corrupt", index=0) is None
+
+    def test_worker_payload_none_when_parent_only(self):
+        assert FaultPlan.single("ledger_tear").worker_payload() is None
+
+
+class TestParseGrammar:
+    def test_bare_kind(self):
+        spec = parse_fault("cache_corrupt")
+        assert spec.kind == "cache_corrupt" and spec.rate == 1.0
+
+    def test_full_options(self):
+        spec = parse_fault("hang:runner=test.sleep+test.echo,hang_s=30,at=1+4")
+        assert spec.kind == "hang"
+        assert spec.runners == ("test.sleep", "test.echo")
+        assert spec.hang_s == 30.0
+        assert spec.at == (1, 4)
+
+    def test_rate_and_times(self):
+        spec = parse_fault("transient:rate=0.25,times=2")
+        assert spec.rate == 0.25 and spec.times == 2
+
+    def test_bad_option_key(self):
+        with pytest.raises(ValueError, match="unknown fault option"):
+            parse_fault("crash:when=later")
+
+    def test_missing_value(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_fault("crash:at")
+
+    def test_unknown_kind_via_grammar(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_fault("gremlins")
+
+    def test_plan_from_args_uses_sweep_seed(self):
+        plan = plan_from_args(["crash:at=0", "cache_corrupt"], seed=42)
+        assert plan.seed == 42
+        assert len(plan.specs) == 2
+        assert plan_from_args([], seed=None).seed == 0

@@ -1,0 +1,242 @@
+"""Recovery-path tests that go beyond the plan-driven chaos sweeps:
+hand-corrupted state, interrupt propagation, CLI exit-code contracts.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro import engine
+from repro.cli import main
+from repro.engine import JobSpec, execute
+from repro.faults.corrupt import scribble, tear_final_line, truncate_tail
+from repro.obs.events import EventLog, read_events
+
+
+class TestQuarantine:
+    def _prime(self, tmp_path, n=2):
+        cache = engine.ResultCache(tmp_path / "cache")
+        specs = [
+            JobSpec(runner="test.echo", kwargs={"v": i}, index=i, seed=i)
+            for i in range(n)
+        ]
+        result = execute(specs, workers=1, cache=cache)
+        assert result.ok_count == n
+        return cache, specs, result
+
+    def test_hand_scribbled_entry_is_quarantined_and_recomputed(
+        self, tmp_path
+    ):
+        cache, specs, clean = self._prime(tmp_path)
+        version = clean.code_version
+        key = cache.key_for(specs[0], version)
+        scribble(cache.path_for(specs[0], key))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            again = execute(
+                specs, workers=1, cache=cache, code_version=version
+            )
+        assert [o.status for o in again.outcomes] == ["ok", "cached"]
+        assert again.values() == clean.values()
+        assert any("quarantined" in str(w.message) for w in caught)
+        assert len(list(cache.quarantine_dir.iterdir())) == 1
+
+    def test_torn_write_regression(self, tmp_path):
+        # A truncated (torn) entry must never be served as a hit.
+        cache, specs, clean = self._prime(tmp_path)
+        version = clean.code_version
+        key = cache.key_for(specs[1], version)
+        truncate_tail(cache.path_for(specs[1], key), keep_fraction=0.4)
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            again = execute(
+                specs, workers=1, cache=cache, code_version=version
+            )
+        assert again.outcomes[1].status == "ok"  # recomputed
+        assert again.values() == clean.values()
+
+    def test_wrong_shape_record_is_quarantined(self, tmp_path):
+        cache, specs, clean = self._prime(tmp_path, n=1)
+        version = clean.code_version
+        key = cache.key_for(specs[0], version)
+        # Valid JSON, wrong shape: no "value" field.
+        cache.path_for(specs[0], key).write_text('{"not": "a record"}\n')
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            hit, _ = cache.get(specs[0], key)
+        assert not hit
+        assert any("not a cache record" in str(w.message) for w in caught)
+
+    def test_name_collisions_get_numeric_suffixes(self, tmp_path):
+        cache, specs, clean = self._prime(tmp_path, n=1)
+        version = clean.code_version
+        key = cache.key_for(specs[0], version)
+        path = cache.path_for(specs[0], key)
+        for _ in range(3):
+            scribble(path)
+            with warnings.catch_warnings(record=True):
+                warnings.simplefilter("always")
+                hit, _ = cache.get(specs[0], key)
+            assert not hit
+            cache.put(specs[0], key, {"v": 0})
+        names = sorted(p.name for p in cache.quarantine_dir.iterdir())
+        assert names == [path.name, f"{path.name}.1", f"{path.name}.2"]
+
+    def test_quarantine_dir_never_pollutes_entries(self, tmp_path):
+        cache, specs, clean = self._prime(tmp_path, n=1)
+        version = clean.code_version
+        key = cache.key_for(specs[0], version)
+        scribble(cache.path_for(specs[0], key))
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            cache.get(specs[0], key)
+        assert len(cache) == 0  # quarantined entry no longer counted
+
+
+class TestLedgerDurability:
+    def test_fsync_mode_writes_identical_lines(self, tmp_path):
+        plain, synced = tmp_path / "plain.jsonl", tmp_path / "synced.jsonl"
+        clock = lambda: 1.0  # noqa: E731 - fixed clock for byte equality
+        with EventLog(plain, clock=clock) as a:
+            a.emit("sweep_start", jobs=1)
+            a.emit("sweep_end", jobs=1, ok=1)
+        with EventLog(synced, clock=clock, fsync=True) as b:
+            b.emit("sweep_start", jobs=1)
+            b.emit("sweep_end", jobs=1, ok=1)
+        assert plain.read_bytes() == synced.read_bytes()
+
+    def test_reader_warns_once_on_torn_tail(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            for i in range(5):
+                log.emit("job_end", index=i, status="ok")
+        tear_final_line(path)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            events = read_events(path)
+        assert len(events) == 4
+        torn = [w for w in caught if "torn" in str(w.message)]
+        assert len(torn) == 1
+        assert issubclass(torn[0].category, RuntimeWarning)
+
+    def test_mid_file_corruption_still_hard_errors(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        lines = ['{"event":"a","seq":1}', "garbage{", '{"event":"b","seq":3}']
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="line 2"):
+            read_events(path)
+
+
+class TestFailureRecords:
+    def test_traceback_preserved_end_to_end(self, tmp_path):
+        from repro.obs.manifest import build_manifest
+
+        result = execute(
+            [JobSpec(runner="test.fail", kwargs={"message": "boom"}, index=0)],
+            workers=1,
+            retries=0,
+        )
+        failure = result.outcomes[0].failure
+        assert failure.error == "boom"
+        assert "RuntimeError: boom" in failure.traceback
+        assert "failing_runner" in failure.traceback
+        manifest = build_manifest(result, code_version="v")
+        assert (
+            "RuntimeError: boom"
+            in manifest["jobs"][0]["failure"]["traceback"]
+        )
+
+    def test_keyboard_interrupt_propagates_not_recorded(self):
+        # BaseException must abort the sweep, not become a JobFailure.
+        jobs = [
+            JobSpec(
+                runner="repro.engine.testing:interrupt_runner", index=0
+            ),
+            JobSpec(runner="test.echo", kwargs={"v": 1}, index=1),
+        ]
+        with pytest.raises(KeyboardInterrupt):
+            execute(jobs, workers=1, retries=0)
+
+
+class TestCliKeepGoing:
+    def _argv(self, tmp_path, *extra):
+        return [
+            "sweep", "test.echo", "test.fail", "test.echo",
+            "--quiet", "--retries", "0",
+            "--events", str(tmp_path / "ev.jsonl"),
+            "--manifest", str(tmp_path / "run.json"),
+        ] + list(extra)
+
+    def test_failures_exit_nonzero_by_default(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path)) == 1
+        capsys.readouterr()
+
+    def test_keep_going_exits_zero_and_records_failures(
+        self, tmp_path, capsys
+    ):
+        assert main(self._argv(tmp_path, "--keep-going")) == 0
+        out = capsys.readouterr().out
+        assert "FAILED test.fail" in out
+        manifest = json.loads((tmp_path / "run.json").read_text())
+        assert manifest["partial"] is True
+        assert manifest["counts"]["failed"] == 1
+        assert manifest["counts"]["ok"] == 2
+
+    def test_max_failures_skips_and_marks_partial(self, tmp_path, capsys):
+        argv = [
+            "sweep", "test.fail", "test.fail", "test.fail",
+            "--quiet", "--retries", "0",
+            "--max-failures", "0", "--keep-going",
+            "--manifest", str(tmp_path / "run.json"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "SKIPPED 2 job(s)" in out
+        manifest = json.loads((tmp_path / "run.json").read_text())
+        assert manifest["counts"] == {
+            "jobs": 3, "ok": 0, "cached": 0, "failed": 1, "skipped": 2,
+        }
+
+    def test_inject_crash_via_cli(self, tmp_path, capsys):
+        argv = [
+            "sweep", "test.echo", "test.echo", "test.echo",
+            "--quiet", "--retries", "0", "--keep-going",
+            "--inject", "crash:at=1",
+            "--manifest", str(tmp_path / "run.json"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        manifest = json.loads((tmp_path / "run.json").read_text())
+        assert manifest["counts"]["failed"] == 1
+        assert (
+            manifest["jobs"][1]["failure"]["error_type"]
+            == "WorkerCrashError"
+        )
+
+    def test_bad_inject_spec_is_a_usage_error(self, tmp_path, capsys):
+        argv = ["sweep", "test.echo", "--quiet", "--inject", "gremlins"]
+        assert main(argv) == 2
+        assert "bad --inject" in capsys.readouterr().err
+
+
+class TestCliStatsTornLedger:
+    def test_stats_warns_but_succeeds_on_torn_ledger(self, tmp_path, capsys):
+        events = tmp_path / "ev.jsonl"
+        assert main(
+            ["sweep", "test.echo", "--quiet", "--events", str(events)]
+        ) == 0
+        capsys.readouterr()
+        tear_final_line(events)
+        assert main(["stats", str(events)]) == 0
+        captured = capsys.readouterr()
+        assert "torn" in captured.err
+        assert "1 sweep(s)" in captured.out
+
+    def test_stats_still_exits_2_on_midfile_corruption(
+        self, tmp_path, capsys
+    ):
+        events = tmp_path / "ev.jsonl"
+        events.write_text('garbage{\n{"event":"sweep_start","seq":2}\n')
+        assert main(["stats", str(events)]) == 2
+        assert "malformed" in capsys.readouterr().err

@@ -1,0 +1,71 @@
+"""Regression tests for repro.kernels.sampling error handling.
+
+``sample_series`` used to swallow *every* exception from the
+vectorized call and silently fall back to the per-element loop — so a
+genuinely buggy callable (KeyError in a trace lookup, ZeroDivision in
+a model) either blew up confusingly one element at a time or, worse,
+produced different data on the fallback path. Only the two signatures
+of "scalar-only callable handed an array" may trigger the fallback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.sampling import sample_series
+
+
+class TestScalarOnlyFallback:
+    def test_typeerror_falls_back_to_scalar_loop(self):
+        def scalar_only(t):
+            # float() on an ndarray of size > 1 raises TypeError.
+            return float(t) + 1.0
+
+        times = np.arange(4.0)
+        np.testing.assert_array_equal(
+            sample_series(scalar_only, times), times + 1.0
+        )
+
+    def test_valueerror_falls_back_to_scalar_loop(self):
+        def branchy(t):
+            # Array truthiness raises ValueError ("ambiguous").
+            return 1.0 if t > 1.5 else 0.0
+
+        times = np.arange(4.0)
+        np.testing.assert_array_equal(
+            sample_series(branchy, times), np.array([0.0, 0.0, 1.0, 1.0])
+        )
+
+
+class TestRealBugsSurface:
+    def test_keyerror_propagates(self):
+        lookup = {}
+
+        def buggy(t):
+            return lookup["missing"]
+
+        with pytest.raises(KeyError):
+            sample_series(buggy, np.arange(4.0))
+
+    def test_zerodivision_propagates(self):
+        def buggy(t):
+            return 1.0 / 0.0
+
+        with pytest.raises(ZeroDivisionError):
+            sample_series(buggy, np.arange(4.0))
+
+    def test_attributeerror_propagates(self):
+        def buggy(t):
+            return t.no_such_attribute_anywhere
+
+        with pytest.raises(AttributeError):
+            sample_series(buggy, np.arange(4.0))
+
+    def test_bug_on_scalar_path_also_propagates(self):
+        # The fallback loop must not add its own swallowing either.
+        def buggy(t):
+            if isinstance(t, float) and t >= 2.0:
+                raise ZeroDivisionError("late element bug")
+            return float(t)
+
+        with pytest.raises((ZeroDivisionError, TypeError)):
+            sample_series(buggy, np.arange(4.0))

@@ -36,8 +36,11 @@ class TestEventSink:
             "job_retry",
             "job_timeout",
             "job_end",
+            "job_skipped",
             "cache_hit",
             "cache_put",
+            "cache_quarantine",
+            "cache_put_error",
         }
 
 
@@ -93,10 +96,11 @@ class TestEventLog:
 
 
 class TestReadEvents:
-    def test_trailing_partial_line_is_dropped(self, tmp_path):
+    def test_trailing_partial_line_is_dropped_with_warning(self, tmp_path):
         path = tmp_path / "torn.jsonl"
         path.write_text('{"event":"job_end","seq":1}\n{"event":"job_e')
-        events = read_events(path)
+        with pytest.warns(RuntimeWarning, match="torn final event"):
+            events = read_events(path)
         assert len(events) == 1 and events[0]["seq"] == 1
 
     def test_mid_file_corruption_raises(self, tmp_path):

@@ -33,7 +33,9 @@ class TestBuild:
             "ok": 2,
             "cached": 0,
             "failed": 0,
+            "skipped": 0,
         }
+        assert manifest["partial"] is False
         jobs = manifest["jobs"]
         assert [j["index"] for j in jobs] == [0, 1]
         assert jobs[0]["runner"] == "test.echo"
