@@ -83,9 +83,11 @@ def test_engine_observability_overhead(benchmark, tmp_path):
     """The run ledger must cost < 5% on a sleep-bound sweep.
 
     The disabled path is the contract the acceptance criteria gate on
-    (`if events is not None` guards every emission site); the enabled
-    path writes a full EventLog + manifest and should still disappear
-    into the noise of real jobs.
+    (`if events is not None` guards every emission site, and the
+    tracing shim is a shared no-op when no tracer is installed); the
+    enabled path writes a full EventLog + manifest — including span
+    tracing, which rides the ledger by default — and should still
+    disappear into the noise of real jobs.
     """
     from repro.obs.events import EventLog
     from repro.obs.manifest import build_manifest, write_manifest
@@ -112,7 +114,9 @@ def test_engine_observability_overhead(benchmark, tmp_path):
         ),
     )
     benchmark.extra_info["overhead_pct"] = round(100.0 * overhead, 2)
-    assert len(log.events()) == 2 + 2 * N_JOBS  # sweep pair + start/end per job
+    # sweep pair + start/end per job, plus span pairs: one sweep-root
+    # span and a (job, attempt) pair replayed per job.
+    assert len(log.events()) == (2 + 2 * N_JOBS) + 2 * (1 + 2 * N_JOBS)
     assert overhead < 0.05, f"observability overhead {100 * overhead:.1f}% >= 5%"
 
 

@@ -11,6 +11,8 @@ Usage::
     python -m repro sweep fig17 --cache-dir .repro-cache   # incremental
     python -m repro sweep fig2 fig9 --events run.jsonl --manifest run.json
     python -m repro stats run.jsonl           # p50/p95, retries, hit rate
+    python -m repro stats run.jsonl --json    # machine-readable aggregates
+    python -m repro report run.jsonl --out report.html   # the HTML artifact
 
 Each artifact id maps to one :mod:`repro.experiments` runner
 registered with the scenario engine (:mod:`repro.engine`); ``--scale``
@@ -21,6 +23,15 @@ artifacts over a worker pool with an optional on-disk result cache.
 ``stats`` subcommand), and ``--manifest`` records the provenance of
 every produced value; a manifest is also written next to each
 ``--json`` export and into the cache directory (docs/observability.md).
+
+With a ledger attached, sweeps also trace hierarchical spans into it
+(disable with ``--no-trace``; docs/tracing.md), score the paper-pinned
+calibration gauges over the results (``gauge`` events; override
+targets with ``--gauges FILE``, export OpenMetrics with ``--metrics``;
+docs/calibration.md), and can dump per-job cProfile stats
+(``--profile-dir``). ``report`` renders a ledger into a self-contained
+HTML page — sweep timeline, span flames, latency percentiles, and the
+gauge scoreboard — and exits 1 when any gauge fails.
 """
 
 from __future__ import annotations
@@ -170,11 +181,73 @@ def build_parser() -> argparse.ArgumentParser:
         "'crash:at=1', 'transient:rate=0.5', 'cache_corrupt'. "
         "Seeded from --seed. See docs/robustness.md",
     )
+    sweep.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable hierarchical span tracing (on by default when "
+        "--events is given; see docs/tracing.md)",
+    )
+    sweep.add_argument(
+        "--profile-dir",
+        metavar="DIR",
+        default=None,
+        help="dump one cProfile .pstats file per successful job here",
+    )
+    sweep.add_argument(
+        "--gauges",
+        metavar="FILE.json",
+        default=None,
+        help="calibration-gauge target overrides "
+        '({"gauge": {"target": ...}}); see docs/calibration.md',
+    )
+    sweep.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the gauge scoreboard + job counts as an "
+        "OpenMetrics textfile here",
+    )
 
     stats = sub.add_parser(
         "stats", help="summarise an event ledger written with --events"
     )
     stats.add_argument("events", metavar="EVENTS.jsonl")
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="print the aggregates as JSON instead of the table",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render an event ledger into a self-contained HTML report",
+    )
+    report.add_argument("events", metavar="EVENTS.jsonl")
+    report.add_argument(
+        "--out",
+        metavar="PATH.html",
+        default="report.html",
+        help="output HTML path (default: report.html)",
+    )
+    report.add_argument(
+        "--manifest",
+        metavar="PATH.json",
+        default=None,
+        help="run manifest to embed as provenance",
+    )
+    report.add_argument(
+        "--gauges",
+        metavar="FILE.json",
+        default=None,
+        help="re-score recorded gauges against overridden targets",
+    )
+    report.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="also write the (re-scored) gauges as an OpenMetrics "
+        "textfile",
+    )
 
     render = sub.add_parser("render", help="render a figure as SVG")
     from repro.viz.figures import FIGURES
@@ -271,6 +344,7 @@ def _cmd_sweep(args) -> int:
         except ValueError as exc:
             print(f"error: bad --inject spec: {exc}", file=sys.stderr)
             return 2
+    gauge_results = None
     try:
         result = execute(
             specs,
@@ -282,11 +356,17 @@ def _cmd_sweep(args) -> int:
             events=events_sink,
             faults=faults,
             max_failures=args.max_failures,
+            trace=False if args.no_trace else None,
+            profile_dir=args.profile_dir,
         )
+        gauge_results = _sweep_gauges(args, result, events_sink)
+        if gauge_results is None:
+            return 2
     finally:
         if events_sink is not None:
             events_sink.close()
     print(result.summary())
+    _print_gauges(gauge_results)
     if cache is not None:
         print(
             f"cache hits: {result.cached_count}/{len(result)} "
@@ -321,6 +401,96 @@ def _cmd_sweep(args) -> int:
     if args.keep_going:
         return 0
     return 1 if result.failed_count or result.skipped_count else 0
+
+
+def _load_gauge_overrides(path):
+    """Parsed ``--gauges`` overrides, or ``None`` after printing why."""
+    from repro.obs.calib import load_overrides
+
+    try:
+        return load_overrides(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: bad --gauges file {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _sweep_gauges(args, result, events_sink):
+    """Score the calibration gauges over a sweep's outcomes.
+
+    Emits one ``gauge`` event per result into the (still-open) ledger,
+    honours ``--gauges`` target overrides and the ``--metrics``
+    OpenMetrics export, and returns the evaluated list — empty when
+    gauges are not in play, ``None`` on a bad ``--gauges`` file (the
+    caller exits 2).
+    """
+    wants_gauges = bool(args.events or args.gauges or args.metrics)
+    if not wants_gauges:
+        return []
+    from repro.obs.calib import (
+        PAPER_GAUGES,
+        apply_overrides,
+        evaluate_gauges,
+        values_from_result,
+    )
+
+    gauges = PAPER_GAUGES
+    if args.gauges:
+        overrides = _load_gauge_overrides(args.gauges)
+        if overrides is None:
+            return None
+        try:
+            gauges = apply_overrides(gauges, overrides)
+        except ValueError as exc:
+            print(f"error: bad --gauges file {args.gauges}: {exc}",
+                  file=sys.stderr)
+            return None
+    evaluated = evaluate_gauges(values_from_result(result), gauges)
+    if events_sink is not None:
+        for gauge in evaluated:
+            events_sink.emit("gauge", **gauge.event_fields())
+    if args.metrics:
+        from repro.obs.openmetrics import render_openmetrics
+
+        counts = {
+            status: count
+            for status, count in (
+                ("ok", result.ok_count),
+                ("cached", result.cached_count),
+                ("failed", result.failed_count),
+                ("skipped", result.skipped_count),
+            )
+            if count
+        }
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(render_openmetrics(evaluated, counts))
+        print(f"wrote {args.metrics}")
+    return evaluated
+
+
+def _print_gauges(gauge_results) -> None:
+    """One scoreboard line + one line per non-pass gauge."""
+    scored = [g for g in gauge_results or [] if g.status != "skipped"]
+    if not scored:
+        return
+    tally = {"pass": 0, "warn": 0, "fail": 0}
+    for gauge in scored:
+        tally[gauge.status] = tally.get(gauge.status, 0) + 1
+    print(
+        "calibration gauges: {pass_} pass, {warn} warn, {fail} fail "
+        "({n} scored)".format(
+            pass_=tally["pass"], warn=tally["warn"], fail=tally["fail"],
+            n=len(scored),
+        )
+    )
+    for gauge in scored:
+        if gauge.status == "pass":
+            continue
+        detail = f" ({gauge.detail})" if gauge.detail else ""
+        print(
+            f"  {gauge.status.upper()} {gauge.name} [{gauge.paper_ref}]: "
+            f"measured {gauge.measured:.4g} vs target {gauge.target:.4g} "
+            f"{gauge.unit}{detail}"
+        )
 
 
 def _sweep_manifest_paths(args) -> List[str]:
@@ -382,8 +552,62 @@ def _cmd_stats(args) -> int:
         return 2
     for warning in caught:
         print(f"warning: {warning.message}", file=sys.stderr)
-    print(render_stats(aggregate))
+    if args.json:
+        import json
+
+        print(json.dumps(aggregate, indent=2, sort_keys=True))
+    else:
+        print(render_stats(aggregate))
     return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.report import write_report
+
+    if args.gauges and _load_gauge_overrides(args.gauges) is None:
+        return 2  # clear error already printed; don't blame the ledger
+    try:
+        model = write_report(
+            args.events,
+            args.out,
+            manifest_path=args.manifest,
+            gauges_path=args.gauges,
+        )
+    except OSError as exc:
+        print(f"error: cannot read {args.events}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {args.out}")
+    gauges = model.get("gauges", [])
+    scored = [g for g in gauges if g.get("status") != "skipped"]
+    if scored:
+        counts = {"pass": 0, "warn": 0, "fail": 0}
+        for gauge in scored:
+            status = gauge.get("status", "fail")
+            counts[status] = counts.get(status, 0) + 1
+        print(
+            "calibration gauges: {pass_} pass, {warn} warn, {fail} fail "
+            "({n} scored)".format(
+                pass_=counts["pass"], warn=counts["warn"],
+                fail=counts["fail"], n=len(scored),
+            )
+        )
+    if args.metrics:
+        from repro.obs.openmetrics import render_openmetrics
+
+        overall = model.get("aggregate", {}).get("overall", {})
+        counts_out = {
+            status: overall.get(status, 0)
+            for status in ("ok", "cached", "failed", "skipped")
+            if overall.get(status)
+        }
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(render_openmetrics(gauges, counts_out))
+        print(f"wrote {args.metrics}")
+    failed = any(g.get("status") == "fail" for g in gauges)
+    return 1 if failed else 0
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -396,6 +620,8 @@ def main(argv: Optional[list] = None) -> int:
         return 0
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if getattr(args, "scale", 1.0) <= 0:
         print("--scale must be positive", file=sys.stderr)
         return 2

@@ -25,6 +25,7 @@ import numpy as np
 from repro.mobility.routes import walking_loop
 from repro.net.servers import SpeedtestServer, carrier_server_pool
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span as trace_span
 from repro.net.speedtest import ConnectionMode, SpeedtestHarness, SpeedtestResult
 from repro.power.device import DEVICES, DeviceProfile, get_device
 from repro.radio.carriers import NETWORKS, CarrierNetwork, get_network
@@ -187,7 +188,9 @@ class Campaign:
                     }
                 )
         results: List[SpeedtestResult] = []
-        with self._metrics.span("campaign.speedtests"):
+        with self._metrics.span("campaign.speedtests"), trace_span(
+            "campaign.speedtests", settings=len(job_kwargs)
+        ):
             for setting_results in self._dispatch(
                 "campaign.speedtest-setting", job_kwargs
             ):
@@ -222,7 +225,9 @@ class Campaign:
                         "prefix": setting,
                     }
                 )
-        with self._metrics.span("campaign.walking"):
+        with self._metrics.span("campaign.walking"), trace_span(
+            "campaign.walking", settings=len(job_kwargs)
+        ):
             dispatched = self._dispatch("campaign.walking-setting", job_kwargs)
         for kwargs, traces in zip(job_kwargs, dispatched):
             setting = kwargs["prefix"]
@@ -235,14 +240,15 @@ class Campaign:
     ) -> Dict[str, ProbeResult]:
         """RRC-Probe phase over all configured networks."""
         network_keys = network_keys or list(RRC_PARAMETERS)
-        for net_key in network_keys:
-            probe = RRCProbe(
-                RRC_PARAMETERS[net_key],
-                seed=int(self._rng.integers(0, 2**31)),
-            )
-            self.probe_results[net_key] = probe.sweep(
-                np.arange(1.0, 25.0, 1.0), packets_per_interval=15
-            )
+        with trace_span("campaign.probes", networks=len(network_keys)):
+            for net_key in network_keys:
+                probe = RRCProbe(
+                    RRC_PARAMETERS[net_key],
+                    seed=int(self._rng.integers(0, 2**31)),
+                )
+                self.probe_results[net_key] = probe.sweep(
+                    np.arange(1.0, 25.0, 1.0), packets_per_interval=15
+                )
         return self.probe_results
 
     def record_web_loads(self, count: int) -> None:

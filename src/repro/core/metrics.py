@@ -6,15 +6,23 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import percentile as _shared_percentile
+
 
 def percentile(values, q: float) -> float:
-    """q-th percentile of a sequence (q in [0, 100])."""
+    """q-th percentile of a sequence (q in [0, 100]).
+
+    Delegates to the one shared implementation
+    (:func:`repro.obs.metrics.percentile`, numpy-free and
+    numpy-default-compatible); this wrapper keeps the experiment-side
+    contract where an empty sample is a bug, not a zero.
+    """
     values = np.asarray(values, dtype=float)
     if values.size == 0:
         raise ValueError("percentile of empty input")
     if not 0.0 <= q <= 100.0:
         raise ValueError("q must be in [0, 100]")
-    return float(np.percentile(values, q))
+    return _shared_percentile(values.tolist(), q)
 
 
 def cdf_points(values) -> Tuple[np.ndarray, np.ndarray]:

@@ -66,6 +66,7 @@ from repro.engine.spec import JobSpec, SweepSpec
 from repro.experiments.export import from_jsonable, to_jsonable
 from repro.obs.events import EventSink
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, activate as trace_activate, span as trace_span
 
 #: Extra wall-clock granted on top of a job's whole attempt budget
 #: before the parent watchdog declares the worker hung and kills it.
@@ -219,6 +220,8 @@ def _payload_from(
     retries: int,
     backoff_s: float,
     faults_payload: Optional[Dict[str, Any]] = None,
+    trace_ctx: Optional[Dict[str, Any]] = None,
+    profile_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     payload = {
         "index": spec.index,
@@ -233,6 +236,10 @@ def _payload_from(
     }
     if faults_payload is not None:
         payload["faults"] = faults_payload
+    if trace_ctx is not None:
+        payload["trace"] = dict(trace_ctx, **spec.span_attrs())
+    if profile_dir is not None:
+        payload["profile_dir"] = str(profile_dir)
     return payload
 
 
@@ -243,10 +250,46 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     importing this module in the worker also (re)loads the registry,
     which is how job names resolve across processes.
 
+    Tracing: when the payload carries span context (``"trace"``), the
+    job runs under a fresh collecting :class:`Tracer` — a ``job`` span
+    wraps the attempts, runner/kernel spans nest inside it, and the
+    finished spans ride home on the record for the parent to replay.
+    The tracer is (re)activated here *unconditionally*, replacing
+    whatever this thread had before: a parent tracer inherited across
+    ``fork`` holds the parent's sink and must never be written from a
+    worker.
+
     ``BaseException`` (KeyboardInterrupt, SystemExit) deliberately
     propagates: in serial mode it aborts the sweep; in a worker it
     kills the process, which the parent settles as a worker crash.
     """
+    trace_ctx = payload.get("trace")
+    if trace_ctx is None:
+        with trace_activate(None):
+            return _run_attempts(payload)
+    tracer = Tracer.for_payload(trace_ctx, index=payload["index"])
+    attrs = {
+        k: v for k, v in trace_ctx.items() if k not in ("trace_id", "parent_id")
+    }
+    with trace_activate(tracer):
+        with tracer.span("job", **attrs):
+            record = _run_attempts(payload)
+    record["spans"] = tracer.export()
+    if tracer.dropped:
+        record["spans_dropped"] = tracer.dropped
+    return record
+
+
+def _profile_path(profile_dir: str, index: int, runner: str) -> str:
+    import os
+
+    os.makedirs(profile_dir, exist_ok=True)
+    safe = runner.replace("/", "_")
+    return os.path.join(profile_dir, f"job-{index:04d}-{safe}.pstats")
+
+
+def _run_attempts(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The retry/timeout attempt loop for one job (tracer already set)."""
     label = payload["label"]
     retries = max(0, payload["retries"])
     started = time.monotonic()
@@ -264,10 +307,14 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     # the parent's event sink when the record settles: sinks (open file
     # handles) never cross the process boundary.
     sub_events: List[Dict[str, Any]] = []
+    profile_dir = payload.get("profile_dir")
+    profiler = None
     while attempts <= retries:
         attempts += 1
         try:
-            with _job_timeout(payload["timeout_s"], label):
+            with _job_timeout(payload["timeout_s"], label), trace_span(
+                "attempt", n=attempts
+            ):
                 if fault_plan is not None:
                     from repro.faults.inject import apply_worker_faults
 
@@ -278,13 +325,25 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                         attempt=attempts,
                         in_worker=bool(payload.get("in_worker")),
                     )
-                value = registry.call(
-                    payload["runner"],
-                    payload["kwargs"],
-                    seed=payload["seed"],
-                    scale=payload["scale"],
-                )
-            return {
+                if profile_dir:
+                    # Profile the runner call only, never the backoff
+                    # sleeps — the pstats should answer "where does the
+                    # job's compute go", not "how long did we wait".
+                    import cProfile
+
+                    profiler = cProfile.Profile()
+                    profiler.enable()
+                try:
+                    value = registry.call(
+                        payload["runner"],
+                        payload["kwargs"],
+                        seed=payload["seed"],
+                        scale=payload["scale"],
+                    )
+                finally:
+                    if profiler is not None:
+                        profiler.disable()
+            record = {
                 "index": payload["index"],
                 "status": "ok",
                 "value": value,
@@ -292,6 +351,13 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                 "duration_s": time.monotonic() - started,
                 "events": sub_events,
             }
+            if profiler is not None:
+                path = _profile_path(
+                    profile_dir, payload["index"], payload["runner"]
+                )
+                profiler.dump_stats(path)
+                record["profile_path"] = path
+            return record
         except TRANSIENT_ERRORS as exc:
             last_error = exc
             last_traceback = traceback.format_exc()
@@ -554,6 +620,8 @@ def execute(
     metrics: Optional[MetricsRegistry] = None,
     faults: Optional[Any] = None,
     max_failures: Optional[int] = None,
+    trace: Optional[bool] = None,
+    profile_dir: Optional[Any] = None,
 ) -> SweepResult:
     """Run every job to an outcome; never raises for job failures.
 
@@ -583,6 +651,18 @@ def execute(
     leftovers settle as ``"skipped"`` and ``result.partial`` is True.
     A ``SweepSpec``'s own ``max_failures`` applies when the argument
     is not given.
+
+    ``trace`` turns hierarchical span tracing on/off; the default
+    (``None``) enables it exactly when an event sink is attached. A
+    ``sweep`` root span brackets the run, each job carries span
+    context into its (possibly remote) execution, and worker-side
+    spans are replayed into the ledger at settle time with their
+    worker-local offsets preserved (``t_rel`` relative to job start).
+    Per-span timers aggregate into ``result.stats`` as
+    ``span.<name>``. ``profile_dir`` additionally dumps one cProfile
+    ``.pstats`` file per successful job into that directory (profiling
+    wraps only the runner call) and records ``profile_path`` on the
+    ``job_end`` event.
     """
     if isinstance(jobs, SweepSpec):
         specs = jobs.expand()
@@ -595,6 +675,8 @@ def execute(
         ]
     started = time.monotonic()
     registry_ = metrics if metrics is not None else MetricsRegistry()
+    trace_on = (events is not None) if trace is None else bool(trace)
+    tracer = Tracer(sink=events) if trace_on else None
     if progress is None and events is not None:
         progress = ProgressTracker()
     if progress is not None and events is not None and progress.events is None:
@@ -617,6 +699,11 @@ def execute(
         if events is not None and getattr(events, "faults", False) is None:
             events.faults = faults
             restore_events_faults = True
+    root_span = (
+        tracer.start("sweep", {"jobs": len(specs), "workers": int(workers)})
+        if tracer is not None
+        else None
+    )
     try:
         version = code_version or (default_code_version() if cache else None)
         outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
@@ -689,6 +776,34 @@ def execute(
                         label=spec.display,
                         **fields,
                     )
+            # Replay the job's worker-side spans into the ledger. They
+            # arrive sorted by worker-local start offset (t_rel, seconds
+            # since the job began on the worker's monotonic clock) and
+            # are emitted as adjacent start/end pairs — a reader anchors
+            # them at the job's parent-side job_start timestamp, so the
+            # flame timeline reflects real in-job timing, not when the
+            # record happened to cross the pipe.
+            job_spans = record.get("spans", ())
+            if job_spans:
+                registry_.counter("spans").inc(len(job_spans))
+            for span_rec in job_spans:
+                registry_.timer(f"span.{span_rec['name']}").observe(
+                    span_rec["duration_s"]
+                )
+                if events is not None:
+                    base = {
+                        "index": spec.index,
+                        "runner": spec.runner,
+                        "label": spec.display,
+                    }
+                    start_fields = dict(span_rec)
+                    start_fields.pop("duration_s", None)
+                    events.emit("span_start", **base, **start_fields)
+                    events.emit("span_end", **base, **span_rec)
+            if record.get("spans_dropped"):
+                registry_.counter("spans_dropped").inc(
+                    record["spans_dropped"]
+                )
             registry_.counter(f"jobs_{outcome.status}").inc()
             if outcome.failure is not None and (
                 outcome.failure.error_type == "WorkerCrashError"
@@ -707,6 +822,8 @@ def execute(
                 if outcome.failure is not None:
                     end_fields["error_type"] = outcome.failure.error_type
                     end_fields["error"] = outcome.failure.error
+                if record.get("profile_path"):
+                    end_fields["profile_path"] = record["profile_path"]
                 events.emit("job_end", **end_fields)
             outcomes[spec.index] = outcome
             if progress is not None:
@@ -719,8 +836,22 @@ def execute(
             )
 
         faults_payload = faults.worker_payload() if faults is not None else None
+        trace_ctx = (
+            tracer.context(parent_id=root_span.span_id)
+            if tracer is not None and root_span is not None
+            else None
+        )
+        profile_dir_s = str(profile_dir) if profile_dir is not None else None
         payloads = [
-            _payload_from(spec, timeout_s, retries, backoff_s, faults_payload)
+            _payload_from(
+                spec,
+                timeout_s,
+                retries,
+                backoff_s,
+                faults_payload,
+                trace_ctx=trace_ctx,
+                profile_dir=profile_dir_s,
+            )
             for spec in pending
         ]
         n_workers = _effective_workers(workers, len(pending))
@@ -762,6 +893,8 @@ def execute(
 
         elapsed = time.monotonic() - started
         registry_.timer("sweep").observe(elapsed)
+        if tracer is not None and root_span is not None:
+            tracer.finish(root_span)
         if progress is not None:
             progress.finish()
         final = [outcome for outcome in outcomes if outcome is not None]

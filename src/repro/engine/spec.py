@@ -56,6 +56,15 @@ class JobSpec:
         """Human-readable job name for progress lines and failures."""
         return self.label or f"{self.runner}#{self.index}"
 
+    def span_attrs(self) -> Dict[str, Any]:
+        """Identifying attributes for this job's trace spans."""
+        attrs: Dict[str, Any] = {"runner": self.runner, "index": self.index}
+        if self.seed is not None:
+            attrs["seed"] = self.seed
+        if self.scale is not None:
+            attrs["scale"] = self.scale
+        return attrs
+
     def replace(self, **changes: Any) -> "JobSpec":
         import dataclasses
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core.campaign import Campaign
+from repro.obs.trace import span as trace_span
 
 
 def run_table1_campaign(
@@ -20,12 +21,15 @@ def run_table1_campaign(
     scenario engine without changing the results.
     """
     campaign = Campaign(seed=seed, workers=workers)
-    campaign.run_speedtests(repetitions=speedtest_repetitions)
-    campaign.run_walking(
-        network_keys=["verizon-nsa-mmwave", "tmobile-sa-lowband"],
-        traces_per_setting=walking_traces_per_setting,
-    )
-    campaign.run_probes(network_keys=["tmobile-sa-lowband", "verizon-nsa-mmwave"])
-    campaign.record_web_loads(web_loads)
+    with trace_span("campaign.table1", workers=workers):
+        campaign.run_speedtests(repetitions=speedtest_repetitions)
+        campaign.run_walking(
+            network_keys=["verizon-nsa-mmwave", "tmobile-sa-lowband"],
+            traces_per_setting=walking_traces_per_setting,
+        )
+        campaign.run_probes(
+            network_keys=["tmobile-sa-lowband", "verizon-nsa-mmwave"]
+        )
+        campaign.record_web_loads(web_loads)
     stats = campaign.stats()
     return {"stats": stats, "rows": stats.as_rows(), "campaign": campaign}

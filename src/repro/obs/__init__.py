@@ -14,11 +14,21 @@ Four pieces, threaded through :mod:`repro.engine` and the CLI:
 * :mod:`repro.obs.stats` — folds an event ledger into per-runner
   p50/p95 latency, retry/timeout counts, and cache hit rates
   (``python -m repro stats``).
+* :mod:`repro.obs.trace` — hierarchical spans threaded through
+  ``execute()`` → worker → runner → simulation kernels, landing in the
+  ledger as ``span_start``/``span_end`` events (docs/tracing.md).
+* :mod:`repro.obs.calib` — paper-pinned calibration gauges scored
+  against sweep outputs (``gauge`` events; docs/calibration.md).
+* :mod:`repro.obs.report` — ``python -m repro report``: one
+  self-contained HTML artifact per campaign.
+* :mod:`repro.obs.openmetrics` — OpenMetrics textfile export of the
+  gauge scoreboard for scraping.
 
-``events`` and ``metrics`` are stdlib-only and import nothing from the
-engine, so the engine can import them without cycles; ``manifest`` and
-``stats`` (which look back at engine types) load lazily via module
-``__getattr__``. See docs/observability.md.
+``events``, ``metrics``, and ``trace`` are stdlib-only and import
+nothing from the engine, so the engine (and the kernels) can import
+them without cycles; ``manifest``, ``stats``, ``calib``, ``report``,
+and ``openmetrics`` load lazily via module ``__getattr__``. See
+docs/observability.md.
 """
 
 from repro.obs.events import (
@@ -29,6 +39,7 @@ from repro.obs.events import (
     read_events,
 )
 from repro.obs.metrics import Counter, MetricsRegistry, Timer, percentile
+from repro.obs.trace import Span, Tracer, activate, current_tracer, span
 
 _LAZY = {
     "build_manifest": "repro.obs.manifest",
@@ -40,6 +51,17 @@ _LAZY = {
     "aggregate_events": "repro.obs.stats",
     "aggregate_events_file": "repro.obs.stats",
     "render_stats": "repro.obs.stats",
+    "GaugeSpec": "repro.obs.calib",
+    "GaugeResult": "repro.obs.calib",
+    "PAPER_GAUGES": "repro.obs.calib",
+    "evaluate_gauges": "repro.obs.calib",
+    "values_from_result": "repro.obs.calib",
+    "ks_distance_to_quantiles": "repro.obs.calib",
+    "render_openmetrics": "repro.obs.openmetrics",
+    "parse_openmetrics": "repro.obs.openmetrics",
+    "build_report": "repro.obs.report",
+    "render_html": "repro.obs.report",
+    "write_report": "repro.obs.report",
 }
 
 __all__ = [
@@ -49,9 +71,14 @@ __all__ = [
     "EventSink",
     "MetricsRegistry",
     "RecordingSink",
+    "Span",
     "Timer",
+    "Tracer",
+    "activate",
+    "current_tracer",
     "percentile",
     "read_events",
+    "span",
 ] + sorted(_LAZY)
 
 

@@ -1,0 +1,552 @@
+"""Paper-pinned calibration gauges: is the simulated 5G still the paper's?
+
+The reproduction's claim to validity is that its simulated
+RSRP/throughput/RTT/power distributions stay pinned to the SIGCOMM '21
+measurements (peak ~3.1 Gbps mmWave DL, ~6 ms RTT floor, the Table 2
+RRC power rows, ...). This module makes that comparison a declarative,
+continuously-watched surface instead of a one-off test: each
+:class:`GaugeSpec` names a paper figure/table, a target value, and an
+extractor from a runner's output; :func:`evaluate_gauges` scores a
+sweep's outcomes into pass/warn/fail :class:`GaugeResult` records.
+
+Two distance modes:
+
+* ``"rel"`` — relative error ``|measured - target| / |target|``
+  against a scalar paper value (peaks, floors, power rows);
+* ``"abs"`` — absolute error ``|measured - target|``, used both for
+  dBm-scale medians and for distribution gauges, where *measured* is
+  already a Kolmogorov-Smirnov distance against pinned reference
+  quantiles (:func:`ks_distance_to_quantiles`) and *target* is 0.
+
+Results are emitted into the run ledger as ``gauge`` events (see
+``repro sweep --gauges`` / ``repro report``) and exported as an
+OpenMetrics textfile (:mod:`repro.obs.openmetrics`) for scraping.
+
+Targets can be overridden from a JSON file
+(``{"gauge-name": {"target": ..., "warn": ..., "fail": ...}}``) —
+that is the mis-calibration fixture mechanism: point ``--gauges`` at a
+file with a wrong target and the corresponding gauge must flip to
+fail, proving the alarm path end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "GaugeSpec",
+    "GaugeResult",
+    "PAPER_GAUGES",
+    "evaluate_gauges",
+    "values_from_result",
+    "ks_distance_to_quantiles",
+    "score_value",
+    "load_overrides",
+    "apply_overrides",
+    "rescore",
+]
+
+
+# ---------------------------------------------------------------------------
+# Scoring primitives.
+# ---------------------------------------------------------------------------
+
+def score_value(
+    measured: float, target: float, warn: float, fail: float, mode: str = "rel"
+) -> Dict[str, Any]:
+    """Score one measurement against its target.
+
+    Returns ``{"err": ..., "status": "pass" | "warn" | "fail"}``.
+    ``mode="rel"`` uses relative error (target must be nonzero);
+    ``mode="abs"`` uses absolute error. A non-finite measurement is an
+    automatic fail.
+    """
+    if mode not in ("rel", "abs"):
+        raise ValueError(f"unknown gauge mode {mode!r}")
+    measured = float(measured)
+    target = float(target)
+    if not np.isfinite(measured):
+        return {"err": float("inf"), "status": "fail"}
+    if mode == "rel":
+        if target == 0.0:
+            raise ValueError("rel mode needs a nonzero target; use abs")
+        err = abs(measured - target) / abs(target)
+    else:
+        err = abs(measured - target)
+    if err <= warn:
+        status = "pass"
+    elif err <= fail:
+        status = "warn"
+    else:
+        status = "fail"
+    return {"err": float(err), "status": status}
+
+
+def ks_distance_to_quantiles(
+    sample: Sequence[float],
+    q_levels: Sequence[float],
+    q_values: Sequence[float],
+) -> float:
+    """Kolmogorov-Smirnov distance of ``sample`` vs pinned quantiles.
+
+    The reference CDF is the piecewise-linear interpolation through
+    ``(q_values, q_levels/100)`` — the form a paper's published
+    percentile table pins down — clamped to [0, 1] outside the pinned
+    range. Returns ``sup |F_emp - F_ref|`` evaluated at the sample
+    points (both one-sided limits of the empirical step function).
+    """
+    sample = np.sort(np.asarray(sample, dtype=float))
+    n = sample.size
+    if n == 0:
+        raise ValueError("sample must be non-empty")
+    levels = np.asarray(q_levels, dtype=float) / 100.0
+    values = np.asarray(q_values, dtype=float)
+    if levels.shape != values.shape or levels.size < 2:
+        raise ValueError("need >= 2 matching quantile levels/values")
+    ref = np.interp(sample, values, levels, left=0.0, right=1.0)
+    emp_hi = np.arange(1, n + 1, dtype=float) / n
+    emp_lo = np.arange(0, n, dtype=float) / n
+    return float(
+        np.max(np.maximum(np.abs(emp_hi - ref), np.abs(emp_lo - ref)))
+    )
+
+
+# ---------------------------------------------------------------------------
+# Declarative gauge registry.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GaugeSpec:
+    """One paper-pinned calibration check.
+
+    ``extract`` maps the named runner's output value to the measured
+    scalar (for KS gauges, the KS distance itself — ``target`` is then
+    0.0 and ``mode`` is ``"abs"``).
+    """
+
+    name: str
+    runner: str
+    paper_ref: str
+    description: str
+    unit: str
+    target: float
+    warn: float
+    fail: float
+    extract: Callable[[Any], float]
+    mode: str = "rel"
+
+
+@dataclass
+class GaugeResult:
+    """A scored gauge: the spec's identity plus measured/err/status.
+
+    ``status`` is ``pass``/``warn``/``fail``, or ``skipped`` when the
+    sweep did not run the gauge's runner (no measurement to score).
+    """
+
+    name: str
+    runner: str
+    paper_ref: str
+    description: str
+    unit: str
+    target: float
+    warn: float
+    fail: float
+    mode: str
+    status: str
+    measured: Optional[float] = None
+    err: Optional[float] = None
+    detail: str = ""
+
+    def event_fields(self) -> Dict[str, Any]:
+        """Fields for the ledger's ``gauge`` event (JSON-safe)."""
+        fields: Dict[str, Any] = {
+            "name": self.name,
+            "runner": self.runner,
+            "paper_ref": self.paper_ref,
+            "description": self.description,
+            "unit": self.unit,
+            "target": self.target,
+            "warn": self.warn,
+            "fail": self.fail,
+            "mode": self.mode,
+            "status": self.status,
+        }
+        if self.measured is not None and np.isfinite(self.measured):
+            fields["measured"] = round(float(self.measured), 6)
+        if self.err is not None and np.isfinite(self.err):
+            fields["err"] = round(float(self.err), 6)
+        if self.detail:
+            fields["detail"] = self.detail
+        return fields
+
+
+# -- extractors (tolerant of JSON round-tripped cache values) --------------
+
+def _rtt_points(result: Any, key: str) -> np.ndarray:
+    points = result["series"][key]
+    return np.asarray([[float(p[0]), float(p[1])] for p in points])
+
+
+def _rtt_floor(key: str) -> Callable[[Any], float]:
+    def extract(result: Any) -> float:
+        return float(np.min(_rtt_points(result, key)[:, 1]))
+
+    return extract
+
+
+def _rtt_slope(result: Any) -> float:
+    points = _rtt_points(result, "verizon-nsa-mmwave")
+    return float(np.polyfit(points[:, 0], points[:, 1], 1)[0])
+
+
+def _walk_series(result: Any, field: str) -> np.ndarray:
+    return np.asarray(result["scatter"][field], dtype=float)
+
+
+#: Pinned deciles of the Fig. 13 walking-loop RSRP distribution
+#: (dBm at cumulative probability levels, percent).
+WALK_RSRP_LEVELS = (5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0)
+WALK_RSRP_DBM = (-101.87, -96.72, -91.36, -86.02, -80.01, -74.16, -70.57)
+
+
+def _walk_rsrp_ks(result: Any) -> float:
+    return ks_distance_to_quantiles(
+        _walk_series(result, "rsrp_dbm"), WALK_RSRP_LEVELS, WALK_RSRP_DBM
+    )
+
+
+def _walk_rsrp_median(result: Any) -> float:
+    return float(np.median(_walk_series(result, "rsrp_dbm")))
+
+
+def _walk_power_per_mbps(result: Any) -> float:
+    rsrp = _walk_series(result, "rsrp_dbm")
+    power = _walk_series(result, "power_mw")
+    tput = _walk_series(result, "throughput_mbps")
+    good = rsrp >= -80.0
+    if not np.any(good):
+        return float("nan")
+    return float(np.mean(power[good]) / np.mean(tput[good]))
+
+
+def _peak(field: str) -> Callable[[Any], float]:
+    def extract(result: Any) -> float:
+        return float(max(float(row[field]) for row in result["rows"]))
+
+    return extract
+
+
+def _peak_nested(branch: str, field: str) -> Callable[[Any], float]:
+    def extract(result: Any) -> float:
+        return float(
+            max(float(row[field]) for row in result[branch]["rows"])
+        )
+
+    return extract
+
+
+def _handoff_count(configuration: str, field: str) -> Callable[[Any], float]:
+    def extract(result: Any) -> float:
+        for row in result["rows"]:
+            if row["configuration"] == configuration:
+                return float(row[field])
+        raise KeyError(f"no handoff row for configuration {configuration!r}")
+
+    return extract
+
+
+def _power_row(network: str, field: str) -> Callable[[Any], float]:
+    def extract(result: Any) -> float:
+        for row in result["rows"]:
+            if row["network"] == network:
+                return float(row[field])
+        raise KeyError(f"no power row for network {network!r}")
+
+    return extract
+
+
+#: The paper-pinned gauge registry. A ``fig2 fig13`` sweep alone
+#: evaluates six of these; the rest light up as their runners join the
+#: sweep. Targets cite the figure/table they are pinned to.
+PAPER_GAUGES: List[GaugeSpec] = [
+    GaugeSpec(
+        name="rtt_floor_mmwave",
+        runner="fig2",
+        paper_ref="Fig. 2",
+        description="min RTT to the nearest server on Verizon mmWave",
+        unit="ms",
+        target=6.0,
+        warn=0.15,
+        fail=0.5,
+        extract=_rtt_floor("verizon-nsa-mmwave"),
+    ),
+    GaugeSpec(
+        name="rtt_floor_lte",
+        runner="fig2",
+        paper_ref="Fig. 2",
+        description="min RTT to the nearest server on Verizon LTE",
+        unit="ms",
+        target=21.0,
+        warn=0.15,
+        fail=0.5,
+        extract=_rtt_floor("verizon-lte"),
+    ),
+    GaugeSpec(
+        name="rtt_distance_slope",
+        runner="fig2",
+        paper_ref="Fig. 2",
+        description="mmWave min-RTT growth per km of UE-server distance",
+        unit="ms/km",
+        target=0.021,
+        warn=0.10,
+        fail=0.30,
+        extract=_rtt_slope,
+    ),
+    GaugeSpec(
+        name="walk_rsrp_ks",
+        runner="fig13",
+        paper_ref="Fig. 13",
+        description="KS distance of walking-loop RSRP vs pinned deciles",
+        unit="",
+        target=0.0,
+        warn=0.12,
+        fail=0.25,
+        mode="abs",
+        extract=_walk_rsrp_ks,
+    ),
+    GaugeSpec(
+        name="walk_rsrp_median",
+        runner="fig13",
+        paper_ref="Fig. 13",
+        description="median RSRP over the walking loop",
+        unit="dBm",
+        target=-86.0,
+        warn=4.0,
+        fail=10.0,
+        mode="abs",
+        extract=_walk_rsrp_median,
+    ),
+    GaugeSpec(
+        name="walk_power_per_mbps",
+        runner="fig13",
+        paper_ref="Fig. 12-13",
+        description="radio power per Mbps at good RSRP (>= -80 dBm)",
+        unit="mW/Mbps",
+        target=4.65,
+        warn=0.12,
+        fail=0.40,
+        extract=_walk_power_per_mbps,
+    ),
+    GaugeSpec(
+        name="mmwave_peak_dl",
+        runner="fig3",
+        paper_ref="Fig. 3",
+        description="peak multi-connection mmWave downlink",
+        unit="Mbps",
+        target=3100.0,
+        warn=0.05,
+        fail=0.20,
+        extract=_peak("dl_multi_mbps"),
+    ),
+    GaugeSpec(
+        name="mmwave_peak_ul",
+        runner="fig3",
+        paper_ref="Fig. 3",
+        description="peak multi-connection mmWave uplink",
+        unit="Mbps",
+        target=220.0,
+        warn=0.05,
+        fail=0.20,
+        extract=_peak("ul_multi_mbps"),
+    ),
+    GaugeSpec(
+        name="lowband_peak_dl_nsa",
+        runner="fig6",
+        paper_ref="Fig. 6",
+        description="peak T-Mobile NSA low-band downlink",
+        unit="Mbps",
+        target=210.0,
+        warn=0.08,
+        fail=0.25,
+        extract=_peak_nested("nsa", "dl_multi_mbps"),
+    ),
+    GaugeSpec(
+        name="handoffs_nsa_vertical",
+        runner="fig9",
+        paper_ref="Fig. 9",
+        description="vertical handoffs over the NSA drive loop",
+        unit="",
+        target=90.0,
+        warn=0.25,
+        fail=0.60,
+        extract=_handoff_count("NSA-5G + LTE", "vertical"),
+    ),
+    GaugeSpec(
+        name="tail_power_mmwave",
+        runner="table2",
+        paper_ref="Table 2",
+        description="Verizon mmWave RRC tail power",
+        unit="mW",
+        target=1092.0,
+        warn=0.01,
+        fail=0.05,
+        extract=_power_row("verizon-nsa-mmwave", "tail_mw"),
+    ),
+    GaugeSpec(
+        name="switch_power_mmwave",
+        runner="table2",
+        paper_ref="Table 2",
+        description="Verizon mmWave RRC switch power",
+        unit="mW",
+        target=1494.0,
+        warn=0.01,
+        fail=0.05,
+        extract=_power_row("verizon-nsa-mmwave", "switch_mw"),
+    ),
+]
+
+
+# ---------------------------------------------------------------------------
+# Evaluation.
+# ---------------------------------------------------------------------------
+
+def values_from_result(sweep_result: Any) -> Dict[str, Any]:
+    """First successful value per runner from a ``SweepResult``."""
+    values: Dict[str, Any] = {}
+    for outcome in sweep_result:
+        if outcome.status in ("ok", "cached") and (
+            outcome.spec.runner not in values
+        ):
+            values[outcome.spec.runner] = outcome.value
+    return values
+
+
+def evaluate_gauges(
+    values_by_runner: Mapping[str, Any],
+    gauges: Optional[Sequence[GaugeSpec]] = None,
+) -> List[GaugeResult]:
+    """Score every gauge whose runner produced a value.
+
+    Gauges whose runner is absent come back ``skipped``; an extractor
+    that raises scores as ``fail`` with the error in ``detail`` — a
+    result shape the gauge can no longer read *is* a calibration
+    failure, not a pass.
+    """
+    results: List[GaugeResult] = []
+    for spec in gauges if gauges is not None else PAPER_GAUGES:
+        base = dict(
+            name=spec.name,
+            runner=spec.runner,
+            paper_ref=spec.paper_ref,
+            description=spec.description,
+            unit=spec.unit,
+            target=spec.target,
+            warn=spec.warn,
+            fail=spec.fail,
+            mode=spec.mode,
+        )
+        if spec.runner not in values_by_runner:
+            results.append(GaugeResult(status="skipped", **base))
+            continue
+        try:
+            measured = float(spec.extract(values_by_runner[spec.runner]))
+            scored = score_value(
+                measured, spec.target, spec.warn, spec.fail, spec.mode
+            )
+        except Exception as exc:
+            results.append(
+                GaugeResult(
+                    status="fail",
+                    detail=f"{exc.__class__.__name__}: {exc}",
+                    **base,
+                )
+            )
+            continue
+        results.append(
+            GaugeResult(
+                status=scored["status"],
+                measured=measured,
+                err=scored["err"],
+                **base,
+            )
+        )
+    return results
+
+
+def summarize_gauges(results: Sequence[GaugeResult]) -> Dict[str, int]:
+    """Status counts over evaluated gauges (skipped counted apart)."""
+    counts = {"pass": 0, "warn": 0, "fail": 0, "skipped": 0}
+    for result in results:
+        counts[result.status] = counts.get(result.status, 0) + 1
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Overrides: the mis-calibration fixture mechanism.
+# ---------------------------------------------------------------------------
+
+def load_overrides(path: Union[str, Path]) -> Dict[str, Dict[str, float]]:
+    """Load a gauge-override JSON file: name -> {target/warn/fail}."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: gauge overrides must be a JSON object")
+    allowed = {"target", "warn", "fail", "mode"}
+    for name, fields in data.items():
+        if not isinstance(fields, dict) or not set(fields) <= allowed:
+            raise ValueError(
+                f"{path}: override for {name!r} must be an object with "
+                f"keys from {sorted(allowed)}"
+            )
+    return data
+
+
+def apply_overrides(
+    gauges: Sequence[GaugeSpec],
+    overrides: Mapping[str, Mapping[str, Any]],
+) -> List[GaugeSpec]:
+    """Gauge specs with targets/thresholds replaced per ``overrides``."""
+    unknown = set(overrides) - {g.name for g in gauges}
+    if unknown:
+        raise ValueError(f"overrides for unknown gauges: {sorted(unknown)}")
+    return [
+        dataclasses.replace(g, **overrides[g.name])
+        if g.name in overrides
+        else g
+        for g in gauges
+    ]
+
+
+def rescore(
+    gauge_event: Mapping[str, Any],
+    overrides: Mapping[str, Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """Re-score a recorded ``gauge`` event against overridden targets.
+
+    The ledger stores each gauge's *measured* value, so a report can
+    re-judge it against new targets without re-running the sweep —
+    which is how ``repro report --gauges`` flips a deliberately
+    mis-calibrated gauge to fail from the recorded run alone. Events
+    without a measurement (skipped/extractor-error) pass through.
+    """
+    fields = dict(gauge_event)
+    override = overrides.get(fields.get("name", ""))
+    if override is None or "measured" not in fields:
+        return fields
+    fields.update(override)
+    scored = score_value(
+        fields["measured"],
+        fields["target"],
+        fields["warn"],
+        fields["fail"],
+        fields.get("mode", "rel"),
+    )
+    fields["err"] = round(scored["err"], 6)
+    fields["status"] = scored["status"]
+    return fields

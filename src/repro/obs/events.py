@@ -6,9 +6,12 @@ per :func:`repro.engine.pool.execute` call, ``job_start``/``job_end``
 per executed job (with ``job_retry``/``job_timeout`` in between when
 attempts fail, and ``job_skipped`` for jobs shed past ``max_failures``),
 and ``cache_hit``/``cache_put``/``cache_quarantine``/
-``cache_put_error`` from the result cache. Each event carries a
-monotonic timestamp and a per-log sequence number, so ordering
-survives even sub-millisecond bursts.
+``cache_put_error`` from the result cache. With tracing on
+(:mod:`repro.obs.trace`), ``span_start``/``span_end`` pairs record the
+hierarchical timing inside the sweep and each job, and calibration
+gauges (:mod:`repro.obs.calib`) land as ``gauge`` events. Each event
+carries a monotonic timestamp and a per-log sequence number, so
+ordering survives even sub-millisecond bursts.
 
 Sinks implement one method, :meth:`EventSink.emit`; the engine guards
 every emission site with ``if events is not None`` so a disabled
@@ -45,6 +48,9 @@ EVENT_TYPES = frozenset(
         "cache_put",
         "cache_quarantine",
         "cache_put_error",
+        "span_start",
+        "span_end",
+        "gauge",
     }
 )
 

@@ -1,0 +1,202 @@
+"""OpenMetrics textfile export of calibration gauges and sweep counts.
+
+Renders the gauge scoreboard (and the sweep's headline job counters)
+in the OpenMetrics text format, so a node-exporter textfile collector
+or any Prometheus-compatible scraper can watch paper calibration drift
+over time::
+
+    repro_calibration_measured{gauge="rtt_floor_mmwave",...} 6.19
+    repro_calibration_err{gauge="rtt_floor_mmwave",...} 0.031
+    repro_calibration_status{gauge="rtt_floor_mmwave",status="pass"} 0
+    repro_jobs_total{status="ok"} 12
+    # EOF
+
+``repro_calibration_status`` encodes pass=0 / warn=1 / fail=2 (the
+value a dashboard alerts on); skipped gauges are omitted entirely.
+:func:`parse_openmetrics` is a minimal reader used by the tests (and
+handy for CI reconciliation) — it understands exactly the subset this
+module emits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+__all__ = ["render_openmetrics", "parse_openmetrics"]
+
+_STATUS_CODE = {"pass": 0, "warn": 1, "fail": 2}
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(pairs: Mapping[str, Any]) -> str:
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs.items())
+    return "{" + inner + "}"
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_openmetrics(
+    gauge_results: Sequence[Any],
+    job_counts: Mapping[str, int] = (),
+) -> str:
+    """The OpenMetrics exposition for one run.
+
+    ``gauge_results`` is a sequence of :class:`repro.obs.calib
+    .GaugeResult` (or dicts with the same fields, e.g. recorded
+    ``gauge`` events); ``job_counts`` maps job status -> count
+    (``{"ok": 3, "failed": 1, ...}``).
+    """
+    lines: List[str] = []
+    gauges = [
+        g if isinstance(g, dict) else g.__dict__ for g in gauge_results
+    ]
+    scored = [g for g in gauges if g["status"] in _STATUS_CODE]
+
+    lines.append("# TYPE repro_calibration_measured gauge")
+    lines.append(
+        "# HELP repro_calibration_measured Measured value of a "
+        "paper-pinned calibration gauge."
+    )
+    for g in scored:
+        if g.get("measured") is None:
+            continue
+        labels = _labels(
+            {"gauge": g["name"], "paper_ref": g["paper_ref"], "unit": g["unit"]}
+        )
+        lines.append(
+            f"repro_calibration_measured{labels} "
+            f"{_format_value(g['measured'])}"
+        )
+
+    lines.append("# TYPE repro_calibration_target gauge")
+    lines.append(
+        "# HELP repro_calibration_target Paper target the gauge is "
+        "pinned to."
+    )
+    for g in scored:
+        labels = _labels({"gauge": g["name"], "paper_ref": g["paper_ref"]})
+        lines.append(
+            f"repro_calibration_target{labels} {_format_value(g['target'])}"
+        )
+
+    lines.append("# TYPE repro_calibration_err gauge")
+    lines.append(
+        "# HELP repro_calibration_err Gauge distance from target "
+        "(relative or absolute per the gauge's mode)."
+    )
+    for g in scored:
+        if g.get("err") is None:
+            continue
+        labels = _labels({"gauge": g["name"], "mode": g["mode"]})
+        lines.append(
+            f"repro_calibration_err{labels} {_format_value(g['err'])}"
+        )
+
+    lines.append("# TYPE repro_calibration_status gauge")
+    lines.append(
+        "# HELP repro_calibration_status 0=pass 1=warn 2=fail."
+    )
+    for g in scored:
+        labels = _labels({"gauge": g["name"], "status": g["status"]})
+        lines.append(
+            f"repro_calibration_status{labels} {_STATUS_CODE[g['status']]}"
+        )
+
+    if job_counts:
+        lines.append("# TYPE repro_jobs counter")
+        lines.append("# HELP repro_jobs Jobs by terminal status.")
+        for status in sorted(job_counts):
+            labels = _labels({"status": status})
+            lines.append(
+                f"repro_jobs_total{labels} "
+                f"{_format_value(job_counts[status])}"
+            )
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(
+    text: str,
+) -> List[Tuple[str, Dict[str, str], float]]:
+    """Parse the subset of OpenMetrics this module writes.
+
+    Returns ``(metric_name, labels, value)`` samples. Raises
+    ``ValueError`` on a malformed line or a missing ``# EOF``
+    terminator, which is what makes it useful as a format check.
+    """
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("missing # EOF terminator")
+    for lineno, line in enumerate(lines, 1):
+        if not line or line.startswith("#"):
+            continue
+        name, labels, rest = _split_sample(line, lineno)
+        try:
+            value = float(rest)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric sample value {rest!r}"
+            ) from None
+        samples.append((name, labels, value))
+    return samples
+
+
+def _split_sample(
+    line: str, lineno: int
+) -> Tuple[str, Dict[str, str], str]:
+    if "{" in line:
+        name, after = line.split("{", 1)
+        if "}" not in after:
+            raise ValueError(f"line {lineno}: unterminated label set")
+        label_blob, rest = after.rsplit("}", 1)
+        labels = _parse_labels(label_blob, lineno)
+    else:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise ValueError(f"line {lineno}: malformed sample")
+        name, rest = parts
+        labels = {}
+    return name.strip(), labels, rest.strip()
+
+
+def _parse_labels(blob: str, lineno: int) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(blob):
+        eq = blob.index("=", i)
+        key = blob[i:eq].lstrip(",").strip()
+        if blob[eq + 1] != '"':
+            raise ValueError(f"line {lineno}: unquoted label value")
+        j = eq + 2
+        out: List[str] = []
+        while j < len(blob):
+            ch = blob[j]
+            if ch == "\\" and j + 1 < len(blob):
+                nxt = blob[j + 1]
+                out.append({"n": "\n"}.get(nxt, nxt))
+                j += 2
+                continue
+            if ch == '"':
+                break
+            out.append(ch)
+            j += 1
+        else:
+            raise ValueError(f"line {lineno}: unterminated label value")
+        labels[key] = "".join(out)
+        i = j + 1
+    return labels

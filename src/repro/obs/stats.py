@@ -22,8 +22,16 @@ def _runner_of(event: Mapping[str, Any]) -> str:
 
 
 def aggregate_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
-    """Fold a flat event sequence into overall + per-runner stats."""
+    """Fold a flat event sequence into overall + per-runner stats.
+
+    Besides the per-runner table, the aggregate carries a per-span-name
+    roll-up (``"spans"``, from ``span_end`` events) and the calibration
+    scoreboard (``"gauges"``, last status per gauge name wins so a
+    re-scored ledger reflects its newest verdict).
+    """
     per_runner: Dict[str, Dict[str, Any]] = {}
+    span_durations: Dict[str, List[float]] = {}
+    gauge_status: Dict[str, str] = {}
     overall = {
         "sweeps": 0,
         "jobs": 0,
@@ -90,6 +98,14 @@ def aggregate_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
             overall["cache_quarantines"] += 1
         elif kind == "cache_put_error":
             overall["cache_put_errors"] += 1
+        elif kind == "span_end":
+            span_durations.setdefault(str(event.get("name", "?")), []).append(
+                float(event.get("duration_s", 0.0))
+            )
+        elif kind == "gauge":
+            gauge_status[str(event.get("name", "?"))] = str(
+                event.get("status", "?")
+            )
 
     runners: Dict[str, Dict[str, Any]] = {}
     for runner in sorted(per_runner):
@@ -109,7 +125,26 @@ def aggregate_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
         overall["cached"] / total_jobs if total_jobs else 0.0
     )
     overall["elapsed_s"] = round(overall["elapsed_s"], 6)
-    return {"overall": overall, "runners": runners}
+
+    spans: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(span_durations):
+        durations = span_durations[name]
+        spans[name] = {
+            "count": len(durations),
+            "total_s": round(sum(durations), 6),
+            "mean_s": round(sum(durations) / len(durations), 6),
+            "p95_s": round(percentile(durations, 95.0), 6),
+            "max_s": round(max(durations), 6),
+        }
+    gauges = {"pass": 0, "warn": 0, "fail": 0, "skipped": 0}
+    for status in gauge_status.values():
+        gauges[status] = gauges.get(status, 0) + 1
+    return {
+        "overall": overall,
+        "runners": runners,
+        "spans": spans,
+        "gauges": gauges,
+    }
 
 
 def aggregate_events_file(path) -> Dict[str, Any]:
@@ -174,4 +209,38 @@ def render_stats(aggregate: Dict[str, Any]) -> str:
         lines.append(_fmt_row(rows[0], widths))
         lines.append(_fmt_row(["-" * w for w in widths], widths))
         lines.extend(_fmt_row(row, widths) for row in rows[1:])
+    spans = aggregate.get("spans") or {}
+    if spans:
+        headers = ["span", "count", "total", "mean", "p95", "max"]
+        rows = [headers]
+        for name, stats in spans.items():
+            rows.append(
+                [
+                    name,
+                    str(stats["count"]),
+                    f"{stats['total_s']:.3f}s",
+                    f"{stats['mean_s'] * 1000:.2f}ms",
+                    f"{stats['p95_s'] * 1000:.2f}ms",
+                    f"{stats['max_s'] * 1000:.2f}ms",
+                ]
+            )
+        widths = [
+            max(len(row[col]) for row in rows) for col in range(len(headers))
+        ]
+        lines.append("")
+        lines.append(_fmt_row(rows[0], widths))
+        lines.append(_fmt_row(["-" * w for w in widths], widths))
+        lines.extend(_fmt_row(row, widths) for row in rows[1:])
+    gauges = aggregate.get("gauges") or {}
+    if any(gauges.values()):
+        lines.append("")
+        lines.append(
+            "calibration gauges: {p} pass, {w} warn, {f} fail, "
+            "{s} skipped".format(
+                p=gauges.get("pass", 0),
+                w=gauges.get("warn", 0),
+                f=gauges.get("fail", 0),
+                s=gauges.get("skipped", 0),
+            )
+        )
     return "\n".join(lines)

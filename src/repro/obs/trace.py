@@ -1,0 +1,275 @@
+"""Hierarchical spans: see inside every sweep, job, and simulated radio.
+
+The run ledger (:mod:`repro.obs.events`) records *that* jobs ran; this
+module records *where the time goes inside them*. A span is one timed
+region with identity (``trace_id``/``span_id``/``parent_id``), a
+monotonic start, a duration, and free-form attributes. Spans nest:
+the engine opens a ``sweep`` root span, each worker opens a ``job``
+span under it, each attempt a span under that, and the hot simulation
+kernels (:class:`repro.radio.signal.RsrpProcess`,
+:class:`repro.radio.link.LinkBudget`, :class:`repro.transport.flow`,
+the power model) annotate their batch entry points — so one ledger
+reconstructs a per-job flame timeline.
+
+Usage, anywhere in library code::
+
+    from repro.obs.trace import span
+
+    with span("kernel.rsrp.simulate", n=n):
+        ...
+
+``span()`` is free when no tracer is installed: it returns a shared
+no-op context manager after one thread-local lookup, which is why the
+kernels can stay instrumented unconditionally without budging the
+engine's <5% overhead gate.
+
+Crossing the process boundary: worker processes cannot share the
+parent's sink (an open file handle), so the engine serialises *span
+context* — ``{"trace_id", "parent_id"}`` — into the job payload, the
+worker runs under a collecting :class:`Tracer` built from that context
+(:meth:`Tracer.for_payload`), and the finished spans travel home in
+the job record (:meth:`Tracer.export`) where the parent replays them
+into the ledger as ``span_start``/``span_end`` events at settle time.
+Each exported span keeps ``t_rel``, its start offset on the *worker's*
+monotonic clock relative to the job's start — so a flame timeline
+shows real in-job timing, not the settle-time artifact of when the
+record crossed the pipe.
+
+Everything here is stdlib-only (the sink is duck-typed), so any module
+may import it without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "activate",
+    "current_tracer",
+    "span",
+]
+
+#: Default cap on spans kept per tracer. A runner that calls a scalar
+#: kernel in a tight loop could otherwise flood the ledger; beyond the
+#: cap spans are counted (``Tracer.dropped``) but not kept.
+MAX_SPANS = 2000
+
+
+@dataclass
+class Span:
+    """One timed region. ``duration_s`` is ``None`` while still open."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    t_rel: float
+    duration_s: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (what crosses the process boundary)."""
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "t_rel": round(self.t_rel, 6),
+            "duration_s": round(self.duration_s or 0.0, 6),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (collision-safe across processes)."""
+    import os
+
+    return os.urandom(8).hex()
+
+
+class Tracer:
+    """Collects spans for one trace; optionally mirrors them to a sink.
+
+    ``span_prefix`` namespaces span ids — the engine hands each job a
+    ``j<index>.`` prefix so worker-side ids never collide with each
+    other or with the parent's. With a ``sink`` attached (parent side)
+    every open/close also emits a ``span_start``/``span_end`` event;
+    without one (worker side) spans just accumulate for
+    :meth:`export`.
+    """
+
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        sink: Optional[Any] = None,
+        parent_id: Optional[str] = None,
+        span_prefix: str = "s",
+        max_spans: int = MAX_SPANS,
+        clock=time.monotonic,
+    ) -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self.sink = sink
+        self.root_parent_id = parent_id
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self.max_spans = int(max_spans)
+        self._prefix = span_prefix
+        self._count = 0
+        self._stack: List[Span] = []
+        self._clock = clock
+        self._epoch = clock()
+
+    # -- span lifecycle --------------------------------------------------
+    def start(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> Span:
+        self._count += 1
+        parent = self._stack[-1].span_id if self._stack else self.root_parent_id
+        record = Span(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=f"{self._prefix}{self._count}",
+            parent_id=parent,
+            t_rel=self._clock() - self._epoch,
+            attrs=dict(attrs) if attrs else {},
+        )
+        self._stack.append(record)
+        if self.sink is not None:
+            self.sink.emit("span_start", **record.as_dict())
+        return record
+
+    def finish(self, record: Span) -> None:
+        record.duration_s = (self._clock() - self._epoch) - record.t_rel
+        # Tolerate mispaired finishes: pop up to and including `record`.
+        while self._stack:
+            top = self._stack.pop()
+            if top is record:
+                break
+        if len(self.spans) < self.max_spans:
+            self.spans.append(record)
+        else:
+            self.dropped += 1
+        if self.sink is not None:
+            self.sink.emit("span_end", **record.as_dict())
+
+    def span(self, name: str, **attrs: Any) -> "_SpanHandle":
+        return _SpanHandle(self, name, attrs)
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    # -- process-boundary plumbing ---------------------------------------
+    def context(self, parent_id: Optional[str] = None) -> Dict[str, Any]:
+        """Span context for a job payload (see :meth:`for_payload`)."""
+        return {
+            "trace_id": self.trace_id,
+            "parent_id": parent_id
+            if parent_id is not None
+            else self.root_parent_id,
+        }
+
+    @classmethod
+    def for_payload(
+        cls, context: Dict[str, Any], index: int = 0
+    ) -> "Tracer":
+        """A collecting (sink-less) tracer for one job in a worker."""
+        return cls(
+            trace_id=context.get("trace_id"),
+            parent_id=context.get("parent_id"),
+            span_prefix=f"j{int(index)}.",
+        )
+
+    def export(self) -> List[Dict[str, Any]]:
+        """Finished spans as JSONable dicts, ordered by start offset."""
+        return [
+            record.as_dict()
+            for record in sorted(self.spans, key=lambda s: s.t_rel)
+        ]
+
+
+class _SpanHandle:
+    """Context manager for one span on one tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_record")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._record: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._record = self._tracer.start(self._name, self._attrs)
+        return self._record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # An error inside the block is part of the story: record it,
+        # but still time the span (and never swallow the exception).
+        if exc_type is not None and self._record is not None:
+            self._record.attrs["error"] = exc_type.__name__
+        if self._record is not None:
+            self._tracer.finish(self._record)
+        return False
+
+
+class _NullSpan:
+    """Shared no-op stand-in used when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_STATE = threading.local()
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The tracer installed on this thread, or ``None``."""
+    return getattr(_STATE, "tracer", None)
+
+
+class activate:
+    """Install ``tracer`` on this thread for a ``with`` block.
+
+    Re-entrant: the previous tracer (possibly ``None``) is restored on
+    exit. ``activate(None)`` explicitly disables tracing for the block
+    — the worker entry point uses this so a tracer inherited across a
+    ``fork`` can never write to the parent's sink.
+    """
+
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer: Optional[Tracer]) -> None:
+        self._tracer = tracer
+
+    def __enter__(self) -> Optional[Tracer]:
+        self._previous = getattr(_STATE, "tracer", None)
+        _STATE.tracer = self._tracer
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _STATE.tracer = self._previous
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the current tracer; a shared no-op when disabled.
+
+    The disabled path is one thread-local lookup and no allocation, so
+    hot kernels can call this unconditionally.
+    """
+    tracer = getattr(_STATE, "tracer", None)
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)

@@ -18,6 +18,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.obs.trace import span as trace_span
 from repro.radio.link import MODEMS, Modem
 
 
@@ -87,18 +88,23 @@ class RadioPowerCurve:
         ul_mbps = np.asarray(ul_mbps, dtype=float)
         if np.any(dl_mbps < 0) or np.any(ul_mbps < 0):
             raise ValueError("throughput must be non-negative")
-        power = np.where(
-            ul_mbps > 0,
-            max(self.intercept_dl_mw, self.intercept_ul_mw),
-            self.intercept_dl_mw,
-        )
-        power = power + (self.slope_dl * dl_mbps + self.slope_ul * ul_mbps)
-        if rsrp_dbm is not None:
-            rsrp_dbm = np.asarray(rsrp_dbm, dtype=float)
-            deficit = self.rsrp_ref_dbm - rsrp_dbm
-            penalty = self.rsrp_coeff_mw_per_db * (deficit + 0.02 * deficit**2)
-            power = power + np.where(rsrp_dbm < self.rsrp_ref_dbm, penalty, 0.0)
-        return power
+        with trace_span("kernel.power.series", n=int(dl_mbps.size)):
+            power = np.where(
+                ul_mbps > 0,
+                max(self.intercept_dl_mw, self.intercept_ul_mw),
+                self.intercept_dl_mw,
+            )
+            power = power + (self.slope_dl * dl_mbps + self.slope_ul * ul_mbps)
+            if rsrp_dbm is not None:
+                rsrp_dbm = np.asarray(rsrp_dbm, dtype=float)
+                deficit = self.rsrp_ref_dbm - rsrp_dbm
+                penalty = self.rsrp_coeff_mw_per_db * (
+                    deficit + 0.02 * deficit**2
+                )
+                power = power + np.where(
+                    rsrp_dbm < self.rsrp_ref_dbm, penalty, 0.0
+                )
+            return power
 
 
 def _curves_s20u() -> Dict[str, RadioPowerCurve]:

@@ -22,6 +22,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.obs.trace import span as trace_span
 from repro.radio.carriers import CarrierNetwork
 
 # Thermal noise density (dBm/Hz) plus a typical UE noise figure.
@@ -170,12 +171,17 @@ class LinkBudget:
         series paths are identical by construction.
         """
         rsrp_series_dbm = np.asarray(rsrp_series_dbm, dtype=float)
-        eff = spectral_efficiency(self.sinr_db(rsrp_series_dbm))
-        cc = self._cc(downlink)
-        raw = eff * self.network.band.bandwidth_mhz * cc  # bits/s/Hz * MHz * CC
-        if not downlink:
-            # TDD/UL configurations allocate a minority of slots to UL.
-            raw = raw * 0.25
-        modem_cap = self.modem.max_dl_mbps if downlink else self.modem.max_ul_mbps
-        ceiling = min(modem_cap, self._envelope_mbps[downlink])
-        return np.maximum(0.0, np.minimum(raw, ceiling))
+        with trace_span(
+            "kernel.link.capacity",
+            n=int(rsrp_series_dbm.size),
+            downlink=bool(downlink),
+        ):
+            eff = spectral_efficiency(self.sinr_db(rsrp_series_dbm))
+            cc = self._cc(downlink)
+            raw = eff * self.network.band.bandwidth_mhz * cc  # bits/s/Hz * MHz * CC
+            if not downlink:
+                # TDD/UL configurations allocate a minority of slots to UL.
+                raw = raw * 0.25
+            modem_cap = self.modem.max_dl_mbps if downlink else self.modem.max_ul_mbps
+            ceiling = min(modem_cap, self._envelope_mbps[downlink])
+            return np.maximum(0.0, np.minimum(raw, ceiling))

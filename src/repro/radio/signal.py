@@ -30,6 +30,7 @@ from typing import Optional
 import numpy as np
 
 from repro.kernels.scan import ar1_scan, leaky_ramp_scan
+from repro.obs.trace import span as trace_span
 from repro.radio.bands import Band, BandClass
 from repro.radio.propagation import BlockageModel, PathLossModel, get_path_loss_model
 
@@ -163,6 +164,10 @@ class RsrpProcess:
         if distances_m.ndim != 1 or distances_m.shape[0] == 0:
             raise ValueError("distances_m must be a non-empty 1-D array")
         n = distances_m.shape[0]
+        with trace_span("kernel.rsrp.simulate", n=int(n), band=self.band.name):
+            return self._simulate_batch(distances_m, speed_mps, n)
+
+    def _simulate_batch(self, distances_m, speed_mps, n) -> np.ndarray:
         speeds = np.broadcast_to(np.asarray(speed_mps, dtype=float), (n,))
 
         if self.band.is_mmwave:

@@ -18,6 +18,7 @@ from typing import Callable, Optional, Union
 import numpy as np
 
 from repro.kernels.sampling import sample_series
+from repro.obs.trace import span as trace_span
 from repro.transport.cubic import CubicState, MSS_BYTES
 from repro.transport.tuning import DEFAULT_KERNEL, KernelConfig
 
@@ -68,17 +69,18 @@ class UdpFlow:
         # Clamp to at least one step: sub-dt durations used to round to
         # zero steps and return a NaN mean from an empty array.
         steps = max(1, int(round(duration_s / dt_s)))
-        caps = sample_series(capacity, np.arange(steps) * dt_s)
-        offered = caps if self.target_mbps is None else self.target_mbps
-        rates = np.maximum(0.0, np.minimum(offered, caps)) * (
-            1.0 - self.header_overhead
-        )
-        return FlowResult(
-            throughput_mbps=float(np.mean(rates)),
-            rate_series_mbps=rates,
-            loss_events=0,
-            duration_s=duration_s,
-        )
+        with trace_span("kernel.udp.run", steps=steps):
+            caps = sample_series(capacity, np.arange(steps) * dt_s)
+            offered = caps if self.target_mbps is None else self.target_mbps
+            rates = np.maximum(0.0, np.minimum(offered, caps)) * (
+                1.0 - self.header_overhead
+            )
+            return FlowResult(
+                throughput_mbps=float(np.mean(rates)),
+                rate_series_mbps=rates,
+                loss_events=0,
+                duration_s=duration_s,
+            )
 
 
 @dataclass
@@ -123,10 +125,16 @@ class TcpFlow:
         """
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
-        rng = np.random.default_rng(self.seed)
-        cubic = CubicState()
         rtt_s = self.rtt_ms / 1000.0
         steps = max(1, int(round(duration_s / rtt_s)))
+        with trace_span("kernel.tcp.run", steps=steps):
+            return self._run_steps(capacity, duration_s, rtt_s, steps)
+
+    def _run_steps(
+        self, capacity: CapacityLike, duration_s: float, rtt_s: float, steps: int
+    ) -> FlowResult:
+        rng = np.random.default_rng(self.seed)
+        cubic = CubicState()
         buffer_bytes = self.kernel.effective_window_bytes
 
         caps = np.maximum(sample_series(capacity, np.arange(steps) * rtt_s), 1e-3)

@@ -363,6 +363,130 @@ class BarChart:
         return "\n".join(parts)
 
 
+@dataclass
+class TimelineSpan:
+    """One horizontal bar on a :class:`TimelineChart` row.
+
+    ``depth`` indents nested spans within the row (a poor-man's flame
+    graph: the job bar at depth 0, its kernels at depth 1+).
+    """
+
+    row: str
+    start_s: float
+    duration_s: float
+    color: Optional[str] = None
+    depth: int = 0
+    detail: str = ""
+
+
+@dataclass
+class TimelineChart:
+    """Gantt-style timeline: labeled rows of [start, start+duration) bars.
+
+    Rows appear in first-seen order (or ``rows`` when given); the x
+    axis is seconds. Used by ``repro report`` for the sweep's job
+    timeline and per-job span flames.
+    """
+
+    title: str
+    x_label: str = "seconds"
+    spans: List[TimelineSpan] = field(default_factory=list)
+    rows: Optional[List[str]] = None
+    width: int = 760
+    row_height: int = 22
+
+    _MARGIN = (150, 20, 40, 44)  # left, right, bottom, top
+
+    def add(self, span: TimelineSpan) -> "TimelineChart":
+        self.spans.append(span)
+        return self
+
+    def _row_order(self) -> List[str]:
+        if self.rows is not None:
+            return list(self.rows)
+        order: List[str] = []
+        for span in self.spans:
+            if span.row not in order:
+                order.append(span.row)
+        return order
+
+    def to_svg(self) -> str:
+        if not self.spans:
+            raise ValueError("timeline has no spans")
+        rows = self._row_order()
+        left, right, bottom, top = self._MARGIN
+        height = top + len(rows) * self.row_height + bottom
+        plot_right = self.width - right
+        plot_bottom = top + len(rows) * self.row_height
+        plot_w = plot_right - left
+        x_lo = min(s.start_s for s in self.spans)
+        x_hi = max(s.start_s + s.duration_s for s in self.spans)
+        if x_hi <= x_lo:
+            x_hi = x_lo + 1e-6
+
+        def tx(v: float) -> float:
+            return left + (v - x_lo) / (x_hi - x_lo) * plot_w
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{height}" font-family="Helvetica,Arial,sans-serif">',
+            f'<rect width="{self.width}" height="{height}" fill="white"/>',
+            f'<text x="{self.width / 2:.0f}" y="{top - 18}" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_escape(self.title)}</text>',
+            f'<rect x="{left}" y="{top}" width="{plot_w}" '
+            f'height="{plot_bottom - top}" fill="none" stroke="#333"/>',
+        ]
+        for tick in _nice_ticks(0.0, x_hi - x_lo):
+            px = tx(x_lo + tick)
+            if px > plot_right + 0.5:
+                continue
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{top}" x2="{px:.1f}" '
+                f'y2="{plot_bottom}" stroke="#ddd" stroke-width="0.6"/>'
+            )
+            parts.append(
+                f'<text x="{px:.1f}" y="{plot_bottom + 14}" '
+                f'text-anchor="middle" font-size="11">{tick:g}</text>'
+            )
+        row_index = {row: i for i, row in enumerate(rows)}
+        for row, i in row_index.items():
+            cy = top + (i + 0.5) * self.row_height
+            parts.append(
+                f'<text x="{left - 6}" y="{cy + 4:.1f}" text-anchor="end" '
+                f'font-size="11">{_escape(row)}</text>'
+            )
+            if i:
+                parts.append(
+                    f'<line x1="{left}" y1="{top + i * self.row_height}" '
+                    f'x2="{plot_right}" y2="{top + i * self.row_height}" '
+                    f'stroke="#eee" stroke-width="0.6"/>'
+                )
+        for span in self.spans:
+            if span.row not in row_index:
+                continue
+            i = row_index[span.row]
+            inset = 3 + min(span.depth, 3) * 4
+            bar_h = max(self.row_height - 2 * inset, 3)
+            x = tx(span.start_s)
+            w = max(tx(span.start_s + span.duration_s) - x, 1.0)
+            y = top + i * self.row_height + inset
+            color = span.color or PALETTE[min(span.depth, len(PALETTE) - 1)]
+            title = _escape(
+                span.detail or f"{span.duration_s * 1000:.2f} ms"
+            )
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+                f'height="{bar_h:.1f}" fill="{color}" fill-opacity="0.85">'
+                f"<title>{title}</title></rect>"
+            )
+        parts.append(
+            f'<text x="{(left + plot_right) / 2:.0f}" y="{height - 10}" '
+            f'text-anchor="middle" font-size="12">{_escape(self.x_label)}</text>'
+        )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
 def render_svg(chart, path) -> str:
     """Write a chart to ``path`` and return the SVG text."""
     from pathlib import Path

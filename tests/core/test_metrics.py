@@ -20,6 +20,24 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([], 50)
 
+    def test_parity_with_numpy_and_shared_helper(self):
+        # One shared implementation (repro.obs.metrics.percentile)
+        # backs both public helpers; all three must agree.
+        from repro.obs.metrics import percentile as obs_percentile
+
+        rng = np.random.default_rng(7)
+        for size in (1, 2, 5, 100, 997):
+            values = rng.normal(50.0, 20.0, size)
+            for q in (0.0, 1.0, 25.0, 50.0, 75.0, 95.0, 99.9, 100.0):
+                expected = float(np.percentile(values, q))
+                assert percentile(values, q) == pytest.approx(expected)
+                assert obs_percentile(values.tolist(), q) == pytest.approx(
+                    expected
+                )
+
+    def test_accepts_numpy_arrays(self):
+        assert percentile(np.array([1.0, 2.0, 3.0]), 50) == 2.0
+
 
 class TestCdf:
     def test_shape(self):

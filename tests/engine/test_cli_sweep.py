@@ -97,7 +97,13 @@ class TestSweepLedger:
         from repro.obs.events import read_events
 
         kinds = [e["event"] for e in read_events(events)]
-        assert kinds[0] == "sweep_start" and kinds[-1] == "sweep_end"
+        assert kinds[0] == "sweep_start"
+        # Calibration gauges are scored after the sweep settles, so
+        # their events trail the sweep_end bracket.
+        assert kinds[-1] == "gauge"
+        assert kinds[kinds.index("sweep_end") + 1 :] == ["gauge"] * kinds.count(
+            "gauge"
+        )
         assert kinds.count("job_end") == 2
 
         record = json.loads(manifest.read_text())

@@ -1,0 +1,116 @@
+"""Worker-side event replay ordering: ``seq`` monotonicity and the
+interleaving contract between replayed per-job sub-events (retries,
+spans) and the parent-side sweep events, under a parallel pool."""
+
+from repro.engine import JobSpec, execute
+from repro.obs.events import EventLog, read_events
+
+
+def _flaky_specs(tmp_path, n=4):
+    return [
+        JobSpec(
+            runner="test.flaky",
+            kwargs={
+                "state_file": str(tmp_path / f"state-{i}"),
+                "fail_times": 1,
+                "value": i,
+            },
+            index=i,
+            label=f"flaky-{i}",
+        )
+        for i in range(n)
+    ]
+
+
+class TestReplayOrdering:
+    def test_seq_strictly_monotonic_under_parallel_pool(self, tmp_path):
+        ledger = tmp_path / "L.jsonl"
+        sink = EventLog(ledger)
+        try:
+            result = execute(_flaky_specs(tmp_path), workers=3, retries=2, events=sink)
+        finally:
+            sink.close()
+        assert result.failed_count == 0
+        events = read_events(ledger)
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_job_sub_events_replay_between_start_and_end(self, tmp_path):
+        """Every replayed per-job event (job_retry, span_*) lands inside
+        its own job's [job_start, job_end] window in the ledger — the
+        settle-time replay must not scatter them across other jobs."""
+        ledger = tmp_path / "L.jsonl"
+        sink = EventLog(ledger)
+        try:
+            execute(_flaky_specs(tmp_path), workers=3, retries=2, events=sink)
+        finally:
+            sink.close()
+        events = read_events(ledger)
+        windows = {}
+        for pos, event in enumerate(events):
+            if event["event"] == "job_start":
+                windows[event["index"]] = [pos, None]
+            elif event["event"] == "job_end":
+                windows[event["index"]][1] = pos
+        assert len(windows) == 4
+        for pos, event in enumerate(events):
+            if event["event"] in ("job_retry", "span_start", "span_end"):
+                index = event.get("index")
+                if index is None:
+                    continue  # the parent's own sweep-root span
+                start, end = windows[index]
+                assert start < pos < end, (
+                    f"{event['event']} for job {index} replayed at {pos}, "
+                    f"outside its window ({start}, {end})"
+                )
+
+    def test_retries_interleave_with_spans_in_worker_order(self, tmp_path):
+        """Within one job's replay, the retry precedes the spans' end
+        (the failed attempt happened before the succeeding one)."""
+        ledger = tmp_path / "L.jsonl"
+        sink = EventLog(ledger)
+        try:
+            execute(_flaky_specs(tmp_path, n=1), workers=1, retries=2, events=sink)
+        finally:
+            sink.close()
+        events = read_events(ledger)
+        kinds = [e["event"] for e in events]
+        retry_pos = kinds.index("job_retry")
+        # Two attempt spans were recorded; the second (successful) one
+        # must close after the retry was recorded.
+        attempt_ends = [
+            pos for pos, e in enumerate(events)
+            if e["event"] == "span_end" and e.get("name") == "attempt"
+        ]
+        assert len(attempt_ends) == 2
+        assert retry_pos < attempt_ends[-1]
+
+    def test_sweep_events_bracket_everything(self, tmp_path):
+        ledger = tmp_path / "L.jsonl"
+        sink = EventLog(ledger)
+        try:
+            execute(_flaky_specs(tmp_path), workers=2, retries=2, events=sink)
+        finally:
+            sink.close()
+        kinds = [e["event"] for e in read_events(ledger)]
+        assert kinds[0] == "sweep_start"
+        assert kinds[-1] == "sweep_end"
+        # The sweep-root span closes after every job has settled.
+        assert kinds[-2] == "span_end"
+
+    def test_worker_span_ids_are_namespaced_per_job(self, tmp_path):
+        ledger = tmp_path / "L.jsonl"
+        sink = EventLog(ledger)
+        try:
+            execute(_flaky_specs(tmp_path), workers=3, retries=2, events=sink)
+        finally:
+            sink.close()
+        span_ids = [
+            e["span_id"]
+            for e in read_events(ledger)
+            if e["event"] == "span_end" and "index" in e
+        ]
+        assert len(span_ids) == len(set(span_ids))
+        for span_id in span_ids:
+            assert span_id.startswith("j")

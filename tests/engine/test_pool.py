@@ -248,13 +248,17 @@ class TestEvents:
             events=sink,
         )
         kinds = [e["event"] for e in sink.events]
-        assert kinds == [
+        assert [k for k in kinds if not k.startswith("span_")] == [
             "sweep_start",
             "job_start",
             "job_retry",
             "job_end",
             "sweep_end",
         ]
+        # Tracing rides the sink by default: the sweep root span plus
+        # the job's replayed spans (job + one span per attempt).
+        assert kinds.count("span_start") == kinds.count("span_end") == 4
+        assert kinds[-2:] == ["span_end", "sweep_end"]
 
     def test_no_sink_attaches_nothing(self):
         result = execute(_echo_jobs(2))

@@ -1,0 +1,195 @@
+"""Tests for repro.obs.calib: scoring, KS distance, the gauge registry,
+and the mis-calibration (override) fixture mechanism."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.calib import (
+    PAPER_GAUGES,
+    GaugeSpec,
+    apply_overrides,
+    evaluate_gauges,
+    ks_distance_to_quantiles,
+    load_overrides,
+    rescore,
+    score_value,
+    summarize_gauges,
+)
+
+
+class TestScoreValue:
+    def test_rel_thresholds(self):
+        assert score_value(10.5, 10.0, 0.1, 0.5)["status"] == "pass"
+        assert score_value(13.0, 10.0, 0.1, 0.5)["status"] == "warn"
+        assert score_value(20.0, 10.0, 0.1, 0.5)["status"] == "fail"
+
+    def test_rel_err_value(self):
+        assert score_value(12.0, 10.0, 0.1, 0.5)["err"] == pytest.approx(0.2)
+
+    def test_abs_mode(self):
+        result = score_value(0.08, 0.0, 0.12, 0.25, mode="abs")
+        assert result == {"err": pytest.approx(0.08), "status": "pass"}
+
+    def test_nonfinite_measurement_fails(self):
+        assert score_value(float("nan"), 10.0, 0.1, 0.5)["status"] == "fail"
+        assert score_value(float("inf"), 10.0, 0.1, 0.5)["status"] == "fail"
+
+    def test_rel_zero_target_rejected(self):
+        with pytest.raises(ValueError, match="nonzero target"):
+            score_value(1.0, 0.0, 0.1, 0.5)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown gauge mode"):
+            score_value(1.0, 1.0, 0.1, 0.5, mode="chi2")
+
+
+class TestKsDistance:
+    def test_sample_from_reference_is_close(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(0.0, 1.0, 4000)
+        levels = (5, 25, 50, 75, 95)
+        values = tuple(float(np.quantile(sample, q / 100)) for q in levels)
+        assert ks_distance_to_quantiles(sample, levels, values) < 0.08
+
+    def test_shifted_sample_is_far(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(0.0, 1.0, 4000)
+        levels = (5, 25, 50, 75, 95)
+        values = tuple(
+            float(np.quantile(sample, q / 100)) + 3.0 for q in levels
+        )
+        assert ks_distance_to_quantiles(sample, levels, values) > 0.5
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ks_distance_to_quantiles([], (5, 95), (0.0, 1.0))
+
+    def test_mismatched_quantiles_rejected(self):
+        with pytest.raises(ValueError, match="matching quantile"):
+            ks_distance_to_quantiles([1.0], (5, 50, 95), (0.0, 1.0))
+
+
+def _gauge(name="g", runner="r", **kw):
+    defaults = dict(
+        paper_ref="Fig. 0",
+        description="test gauge",
+        unit="ms",
+        target=10.0,
+        warn=0.1,
+        fail=0.5,
+        extract=lambda value: float(value),
+        mode="rel",
+    )
+    defaults.update(kw)
+    return GaugeSpec(name=name, runner=runner, **defaults)
+
+
+class TestEvaluate:
+    def test_pass_warn_skip(self):
+        gauges = [
+            _gauge("ok", "a"),
+            _gauge("drift", "b"),
+            _gauge("absent", "missing"),
+        ]
+        results = evaluate_gauges({"a": 10.2, "b": 13.0}, gauges)
+        by_name = {r.name: r for r in results}
+        assert by_name["ok"].status == "pass"
+        assert by_name["drift"].status == "warn"
+        assert by_name["absent"].status == "skipped"
+        assert by_name["absent"].measured is None
+
+    def test_extractor_exception_is_a_fail(self):
+        def broken(value):
+            raise KeyError("gone")
+
+        (result,) = evaluate_gauges({"a": {}}, [_gauge(extract=broken, runner="a")])
+        assert result.status == "fail"
+        assert "KeyError" in result.detail
+
+    def test_event_fields_are_jsonable(self):
+        (result,) = evaluate_gauges({"r": 10.0}, [_gauge()])
+        fields = result.event_fields()
+        json.dumps(fields)
+        assert fields["name"] == "g"
+        assert fields["status"] == "pass"
+        assert fields["measured"] == pytest.approx(10.0)
+
+    def test_summarize_counts(self):
+        gauges = [_gauge("a", "x"), _gauge("b", "missing")]
+        counts = summarize_gauges(evaluate_gauges({"x": 10.0}, gauges))
+        assert counts == {"pass": 1, "warn": 0, "fail": 0, "skipped": 1}
+
+
+class TestPaperGauges:
+    def test_registry_shape(self):
+        assert len(PAPER_GAUGES) >= 6
+        names = [g.name for g in PAPER_GAUGES]
+        assert len(names) == len(set(names))
+        for gauge in PAPER_GAUGES:
+            assert gauge.mode in ("rel", "abs")
+            assert 0 < gauge.warn < gauge.fail
+
+    def test_fig2_fig13_cover_six_gauges(self):
+        covered = [g for g in PAPER_GAUGES if g.runner in ("fig2", "fig13")]
+        assert len(covered) >= 6
+
+    def test_gauges_pass_on_real_runner_outputs(self):
+        from repro.engine.registry import call
+
+        runners = sorted({g.runner for g in PAPER_GAUGES})
+        values = {name: call(name, seed=42) for name in runners}
+        results = evaluate_gauges(values, PAPER_GAUGES)
+        bad = [r.name for r in results if r.status == "fail"]
+        assert bad == []
+        assert all(r.status != "skipped" for r in results)
+
+
+class TestOverrides:
+    def test_load_and_apply(self, tmp_path):
+        path = tmp_path / "overrides.json"
+        path.write_text(json.dumps({"g": {"target": 99.0, "warn": 0.01}}))
+        overrides = load_overrides(path)
+        (spec,) = apply_overrides([_gauge()], overrides)
+        assert spec.target == 99.0
+        assert spec.warn == 0.01
+        assert spec.fail == 0.5  # untouched fields survive
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_overrides(path)
+
+    def test_load_rejects_unknown_keys(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"g": {"threshold": 1}}))
+        with pytest.raises(ValueError, match="keys from"):
+            load_overrides(path)
+
+    def test_apply_rejects_unknown_gauges(self):
+        with pytest.raises(ValueError, match="unknown gauges"):
+            apply_overrides([_gauge()], {"nope": {"target": 1.0}})
+
+    def test_override_flips_gauge_to_fail(self):
+        gauges = apply_overrides(
+            [_gauge()], {"g": {"target": 100.0, "warn": 0.05, "fail": 0.1}}
+        )
+        (result,) = evaluate_gauges({"r": 10.0}, gauges)
+        assert result.status == "fail"
+
+    def test_rescore_rejudges_recorded_event(self):
+        (result,) = evaluate_gauges({"r": 10.0}, [_gauge()])
+        event = result.event_fields()
+        assert event["status"] == "pass"
+        rescored = rescore(
+            event, {"g": {"target": 100.0, "warn": 0.05, "fail": 0.1}}
+        )
+        assert rescored["status"] == "fail"
+        assert rescored["target"] == 100.0
+        assert rescored["measured"] == event["measured"]
+
+    def test_rescore_passes_through_unmeasured(self):
+        event = {"name": "g", "status": "skipped"}
+        assert rescore(event, {"g": {"target": 1.0}}) == event

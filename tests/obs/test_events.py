@@ -41,6 +41,9 @@ class TestEventSink:
             "cache_put",
             "cache_quarantine",
             "cache_put_error",
+            "span_start",
+            "span_end",
+            "gauge",
         }
 
 

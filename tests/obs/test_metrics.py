@@ -78,6 +78,20 @@ class TestMetricsRegistry:
                 raise RuntimeError("boom")
         assert registry.timer("phase").count == 1
 
+    def test_span_observes_elapsed_time_on_error(self):
+        # Regression: the observation must happen in a finally block,
+        # so the elapsed time (not just the count) survives a raise.
+        import time
+
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.span("phase"):
+                time.sleep(0.01)
+                raise RuntimeError("boom")
+        timer = registry.timer("phase")
+        assert timer.count == 1
+        assert timer.total_s >= 0.01
+
     def test_as_dict_shape(self):
         registry = MetricsRegistry()
         registry.counter("jobs_ok").inc(3)

@@ -1,0 +1,93 @@
+"""Tests for repro.obs.openmetrics: render + the minimal parser."""
+
+import pytest
+
+from repro.obs.calib import GaugeSpec, evaluate_gauges
+from repro.obs.openmetrics import parse_openmetrics, render_openmetrics
+
+
+def _results(measured=10.2):
+    gauge = GaugeSpec(
+        name="rtt_floor",
+        runner="fig2",
+        paper_ref="Fig. 2",
+        description="RTT floor",
+        unit="ms",
+        target=10.0,
+        warn=0.1,
+        fail=0.5,
+        extract=float,
+    )
+    return evaluate_gauges({"fig2": measured}, [gauge])
+
+
+class TestRender:
+    def test_round_trips_through_parser(self):
+        text = render_openmetrics(_results(), {"ok": 3, "failed": 1})
+        samples = parse_openmetrics(text)
+        by_name = {}
+        for name, labels, value in samples:
+            by_name.setdefault(name, []).append((labels, value))
+        (labels, value) = by_name["repro_calibration_measured"][0]
+        assert labels == {
+            "gauge": "rtt_floor", "paper_ref": "Fig. 2", "unit": "ms",
+        }
+        assert value == pytest.approx(10.2)
+        (labels, value) = by_name["repro_calibration_status"][0]
+        assert labels["status"] == "pass"
+        assert value == 0
+        jobs = {
+            labels["status"]: value
+            for labels, value in by_name["repro_jobs_total"]
+        }
+        assert jobs == {"ok": 3, "failed": 1}
+
+    def test_status_codes(self):
+        for measured, code in ((10.2, 0), (13.0, 1), (99.0, 2)):
+            text = render_openmetrics(_results(measured))
+            statuses = [
+                value
+                for name, labels, value in parse_openmetrics(text)
+                if name == "repro_calibration_status"
+            ]
+            assert statuses == [code]
+
+    def test_skipped_gauges_omitted(self):
+        gauge = GaugeSpec(
+            name="absent", runner="missing", paper_ref="Fig. 9",
+            description="", unit="", target=1.0, warn=0.1, fail=0.5,
+            extract=float,
+        )
+        text = render_openmetrics(evaluate_gauges({}, [gauge]))
+        assert "absent" not in text
+        assert text.rstrip().endswith("# EOF")
+
+    def test_accepts_recorded_event_dicts(self):
+        events = [r.event_fields() for r in _results()]
+        text = render_openmetrics(events)
+        assert parse_openmetrics(text)
+
+    def test_label_escaping_round_trips(self):
+        gauge = GaugeSpec(
+            name='we"ird\\name', runner="r", paper_ref="Fig\n1",
+            description="", unit="ms", target=1.0, warn=0.5, fail=0.9,
+            extract=float,
+        )
+        text = render_openmetrics(evaluate_gauges({"r": 1.0}, [gauge]))
+        samples = parse_openmetrics(text)
+        names = {
+            labels["gauge"]
+            for name, labels, _ in samples
+            if name == "repro_calibration_measured"
+        }
+        assert names == {'we"ird\\name'}
+
+
+class TestParse:
+    def test_missing_eof_rejected(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("repro_x{a=\"b\"} 1\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_openmetrics("this is not a metric line\n# EOF\n")

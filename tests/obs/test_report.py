@@ -1,0 +1,191 @@
+"""Tests for repro.obs.report: the data model, the HTML artifact, and
+``repro report``'s gauge-driven exit semantics end to end."""
+
+import json
+
+import pytest
+
+from repro.engine import JobSpec, execute
+from repro.obs.events import EventLog, read_events
+from repro.obs.report import build_report, render_html, write_report
+
+
+def _synthetic_events():
+    return [
+        {"event": "sweep_start", "t": 100.0, "jobs": 2, "workers": 1},
+        {"event": "span_start", "name": "sweep", "trace_id": "t",
+         "span_id": "s1", "parent_id": None, "t_rel": 0.0, "t": 100.0},
+        {"event": "job_start", "t": 100.1, "index": 0, "runner": "fig2",
+         "label": "fig2"},
+        {"event": "span_end", "name": "job", "trace_id": "t",
+         "span_id": "j0.1", "parent_id": "s1", "t_rel": 0.0,
+         "duration_s": 0.5, "index": 0, "runner": "fig2", "label": "fig2"},
+        {"event": "span_end", "name": "kernel.rsrp.simulate",
+         "trace_id": "t", "span_id": "j0.2", "parent_id": "j0.1",
+         "t_rel": 0.1, "duration_s": 0.2, "index": 0, "runner": "fig2",
+         "label": "fig2"},
+        {"event": "job_end", "t": 100.6, "index": 0, "runner": "fig2",
+         "label": "fig2", "status": "ok", "duration_s": 0.5,
+         "profile_path": "/tmp/p.pstats"},
+        {"event": "gauge", "name": "rtt_floor", "runner": "fig2",
+         "paper_ref": "Fig. 2", "description": "floor", "unit": "ms",
+         "target": 10.0, "warn": 0.1, "fail": 0.5, "mode": "rel",
+         "measured": 10.2, "err": 0.02, "status": "pass"},
+        {"event": "sweep_end", "t": 100.7, "jobs": 1, "ok": 1,
+         "cached": 0, "failed": 0, "elapsed_s": 0.7},
+    ]
+
+
+class TestBuildReport:
+    def test_model_shape(self):
+        model = build_report(_synthetic_events())
+        (job,) = model["jobs"]
+        assert job["offset_s"] == pytest.approx(0.1)
+        assert job["status"] == "ok"
+        assert job["profile_path"] == "/tmp/p.pstats"
+        spans = model["spans_by_job"][str(("fig2", 0))]
+        assert [s["name"] for s in spans] == ["job", "kernel.rsrp.simulate"]
+        (gauge,) = model["gauges"]
+        assert gauge["status"] == "pass"
+        assert model["aggregate"]["overall"]["ok"] == 1
+
+    def test_overrides_rescore_recorded_gauges(self):
+        model = build_report(
+            _synthetic_events(),
+            overrides={"rtt_floor": {"target": 100.0, "warn": 0.01,
+                                     "fail": 0.02}},
+        )
+        (gauge,) = model["gauges"]
+        assert gauge["status"] == "fail"
+        assert model["aggregate"]["gauges"]["fail"] == 1
+
+    def test_manifest_carried_through(self):
+        model = build_report(
+            _synthetic_events(), manifest={"seed": 7, "argv": ["sweep"]}
+        )
+        assert model["manifest"]["seed"] == 7
+
+
+class TestRenderHtml:
+    def test_self_contained_html(self):
+        html = render_html(build_report(_synthetic_events()), title="t")
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        assert "<svg" in html            # charts are inline
+        assert "src=" not in html        # no external references
+        assert "href=" not in html
+        assert "rtt_floor" in html
+        assert "kernel.rsrp.simulate" in html
+
+    def test_worst_status_badge(self):
+        events = _synthetic_events()
+        events[-2]["status"] = "fail"
+        html = render_html(build_report(events), title="t")
+        assert "fail" in html.lower()
+
+    def test_empty_ledger_still_renders(self):
+        html = render_html(build_report([]), title="t")
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+
+
+class TestEndToEnd:
+    def test_real_sweep_report_has_worker_spans(self, tmp_path):
+        ledger = tmp_path / "L.jsonl"
+        sink = EventLog(ledger)
+        specs = [
+            JobSpec(runner="test.echo", kwargs={"value": i}, index=i,
+                    label=f"echo-{i}")
+            for i in range(3)
+        ]
+        try:
+            execute(specs, workers=2, events=sink)
+        finally:
+            sink.close()
+        out = tmp_path / "r.html"
+        model = write_report(ledger, out)
+        assert out.exists()
+        assert len(model["jobs"]) == 3
+        assert model["spans_by_job"]  # worker spans replayed + keyed
+        html = out.read_text()
+        assert "Spans:" in html
+
+    def test_write_report_gauges_path(self, tmp_path):
+        ledger = tmp_path / "L.jsonl"
+        ledger.write_text(
+            "\n".join(json.dumps(e) for e in _synthetic_events()) + "\n"
+        )
+        fixture = tmp_path / "bad.json"
+        fixture.write_text(json.dumps(
+            {"rtt_floor": {"target": 100.0, "warn": 0.01, "fail": 0.02}}
+        ))
+        model = write_report(ledger, tmp_path / "r.html",
+                             gauges_path=fixture)
+        assert model["gauges"][0]["status"] == "fail"
+
+
+class TestCli:
+    def _ledger(self, tmp_path):
+        ledger = tmp_path / "L.jsonl"
+        ledger.write_text(
+            "\n".join(json.dumps(e) for e in _synthetic_events()) + "\n"
+        )
+        return ledger
+
+    def test_report_exit_zero_when_gauges_pass(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ledger = self._ledger(tmp_path)
+        out = tmp_path / "r.html"
+        assert main(["report", str(ledger), "--out", str(out)]) == 0
+        assert out.exists()
+        assert "1 pass" in capsys.readouterr().out
+
+    def test_report_exit_one_on_gauge_fail(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ledger = self._ledger(tmp_path)
+        fixture = tmp_path / "bad.json"
+        fixture.write_text(json.dumps(
+            {"rtt_floor": {"target": 100.0, "warn": 0.01, "fail": 0.02}}
+        ))
+        code = main([
+            "report", str(ledger), "--out", str(tmp_path / "r.html"),
+            "--gauges", str(fixture),
+        ])
+        assert code == 1
+        assert "1 fail" in capsys.readouterr().out
+
+    def test_report_exit_two_on_unreadable_ledger(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "report", str(tmp_path / "missing.jsonl"),
+            "--out", str(tmp_path / "r.html"),
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_report_exit_two_on_bad_gauges_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ledger = self._ledger(tmp_path)
+        fixture = tmp_path / "bad.json"
+        fixture.write_text("[]")
+        code = main([
+            "report", str(ledger), "--out", str(tmp_path / "r.html"),
+            "--gauges", str(fixture),
+        ])
+        assert code == 2
+        assert "--gauges" in capsys.readouterr().err
+
+    def test_report_metrics_export(self, tmp_path):
+        from repro.cli import main
+        from repro.obs.openmetrics import parse_openmetrics
+
+        ledger = self._ledger(tmp_path)
+        metrics = tmp_path / "om.txt"
+        assert main([
+            "report", str(ledger), "--out", str(tmp_path / "r.html"),
+            "--metrics", str(metrics),
+        ]) == 0
+        samples = parse_openmetrics(metrics.read_text())
+        assert any(n == "repro_calibration_status" for n, _, _ in samples)

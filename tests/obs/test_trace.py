@@ -1,0 +1,171 @@
+"""Tests for repro.obs.trace: spans, nesting, activation, export."""
+
+import threading
+
+import pytest
+
+from repro.obs.events import RecordingSink
+from repro.obs.trace import (
+    MAX_SPANS,
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+    new_trace_id,
+    span,
+)
+
+
+class FakeClock:
+    def __init__(self, t=100.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def tick(self, dt):
+        self.t += dt
+
+
+class TestTracer:
+    def test_span_ids_and_parents_nest(self):
+        tracer = Tracer(trace_id="t1")
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert tracer.depth == 2
+        outer, inner = sorted(tracer.spans, key=lambda s: s.span_id)
+        assert outer.span_id == "s1"
+        assert inner.span_id == "s2"
+        assert outer.parent_id is None
+        assert inner.parent_id == "s1"
+        assert {s.trace_id for s in tracer.spans} == {"t1"}
+
+    def test_durations_from_injected_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        record = tracer.start("work")
+        clock.tick(0.25)
+        tracer.finish(record)
+        assert record.t_rel == 0.0
+        assert record.duration_s == pytest.approx(0.25)
+
+    def test_sink_sees_start_and_end(self):
+        sink = RecordingSink()
+        tracer = Tracer(sink=sink)
+        with tracer.span("a", n=3):
+            pass
+        kinds = [e["event"] for e in sink.events]
+        assert kinds == ["span_start", "span_end"]
+        assert sink.events[0]["name"] == "a"
+        assert sink.events[0]["attrs"] == {"n": 3}
+        assert sink.events[1]["duration_s"] >= 0.0
+
+    def test_exception_recorded_not_swallowed(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (record,) = tracer.spans
+        assert record.attrs["error"] == "RuntimeError"
+        assert record.duration_s is not None
+
+    def test_mispaired_finish_pops_through(self):
+        tracer = Tracer()
+        outer = tracer.start("outer")
+        tracer.start("inner")
+        tracer.finish(outer)  # inner never finished
+        assert tracer.depth == 0
+
+    def test_max_spans_cap_counts_drops(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_export_is_jsonable_and_sorted(self):
+        import json
+
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        a = tracer.start("a")
+        clock.tick(0.1)
+        b = tracer.start("b")
+        clock.tick(0.1)
+        tracer.finish(b)
+        tracer.finish(a)
+        exported = tracer.export()
+        json.dumps(exported)
+        assert [e["name"] for e in exported] == ["a", "b"]
+        assert exported[0]["t_rel"] <= exported[1]["t_rel"]
+
+
+class TestProcessBoundary:
+    def test_context_round_trips_through_for_payload(self):
+        parent = Tracer(trace_id="abcd")
+        ctx = parent.context(parent_id="s7")
+        worker = Tracer.for_payload(ctx, index=3)
+        with worker.span("job"):
+            pass
+        (record,) = worker.spans
+        assert record.trace_id == "abcd"
+        assert record.parent_id == "s7"
+        assert record.span_id == "j3.1"
+
+    def test_new_trace_ids_are_distinct(self):
+        assert new_trace_id() != new_trace_id()
+        assert len(new_trace_id()) == 16
+
+
+class TestActivation:
+    def test_module_span_is_noop_without_tracer(self):
+        assert current_tracer() is None
+        handle = span("anything", n=1)
+        with handle:
+            pass
+        # The shared no-op: same object every time, no allocation.
+        assert span("other") is handle
+
+    def test_activate_installs_and_restores(self):
+        tracer = Tracer()
+        with activate(tracer):
+            assert current_tracer() is tracer
+            with span("inside"):
+                pass
+        assert current_tracer() is None
+        assert [s.name for s in tracer.spans] == ["inside"]
+
+    def test_activate_none_disables_within_active_trace(self):
+        tracer = Tracer()
+        with activate(tracer):
+            with activate(None):
+                assert current_tracer() is None
+                with span("lost"):
+                    pass
+            assert current_tracer() is tracer
+        assert tracer.spans == []
+
+    def test_tracer_is_thread_local(self):
+        tracer = Tracer()
+        seen = {}
+
+        def peek():
+            seen["other_thread"] = current_tracer()
+
+        with activate(tracer):
+            thread = threading.Thread(target=peek)
+            thread.start()
+            thread.join()
+        assert seen["other_thread"] is None
+
+
+class TestSpanDataclass:
+    def test_as_dict_omits_empty_attrs(self):
+        record = Span(
+            name="n", trace_id="t", span_id="s", parent_id=None, t_rel=0.0
+        )
+        assert "attrs" not in record.as_dict()
+
+    def test_default_cap_is_sane(self):
+        assert MAX_SPANS >= 1000
