@@ -1,0 +1,141 @@
+"""Serve throughput: 1000+ concurrent submissions, zero lost jobs.
+
+Stands up a full ``repro.serve`` stack (asyncio HTTP server, fair
+scheduler, size-bounded cache) in-process and fires 1000 small-sweep
+submissions at it from 32 closed-loop client threads. Asserts the
+ISSUE's service-level invariants:
+
+* no job is lost or duplicated — every submitted id settles exactly
+  once on the server;
+* the shared result cache stays under its byte budget *throughout*
+  the run (sampled continuously), not just at the end;
+* a drain settles everything and the ledger reconciles.
+
+Headline numbers (throughput, p50/p95 submit-to-result latency, cache
+hit/eviction counts) land in ``BENCH_serve.json``.
+"""
+
+import threading
+import time
+
+from conftest import emit, emit_json
+
+from repro.serve.config import ServeConfig
+from repro.serve.http import run_in_thread
+from repro.serve.loadgen import run_load
+
+SUBMISSIONS = 1000
+CLIENT_THREADS = 32
+DISTINCT_SEEDS = 150  # >1 cache entry per budget's worth; most dedupe
+CACHE_BUDGET_BYTES = 16 * 1024  # ~100 entries; forces live eviction
+TENANTS = 4
+
+
+def test_serve_throughput_and_invariants(tmp_path, benchmark):
+    config = ServeConfig(
+        data_dir=tmp_path / "serve",
+        port=0,
+        max_concurrency=8,
+        queue_limit=SUBMISSIONS,  # measure throughput, not rejection
+        cache_max_bytes=CACHE_BUDGET_BYTES,
+    )
+    handle = run_in_thread(config)
+    cache = handle.core.cache
+
+    # Continuously sample the cache size while the load runs: the
+    # budget must hold mid-flight, not only after a final gc.
+    budget_violations = []
+    samples = []
+    stop_sampling = threading.Event()
+
+    def _sample():
+        while not stop_sampling.is_set():
+            size = cache.size_bytes()
+            samples.append(size)
+            if size > CACHE_BUDGET_BYTES:
+                budget_violations.append(size)
+            time.sleep(0.05)
+
+    sampler = threading.Thread(target=_sample, daemon=True)
+    sampler.start()
+
+    try:
+        load = benchmark.pedantic(
+            lambda: run_load(
+                handle.url,
+                submissions=SUBMISSIONS,
+                concurrency=CLIENT_THREADS,
+                artifacts=["test.echo"],
+                distinct_seeds=DISTINCT_SEEDS,
+                tenants=TENANTS,
+                wait_timeout=600.0,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+    finally:
+        stop_sampling.set()
+        sampler.join(timeout=5)
+
+    # Service-level invariants.
+    assert load["completed"] == SUBMISSIONS
+    assert load["lost_jobs"] == 0
+    assert load["duplicated_jobs"] == 0
+    assert load["unsettled_jobs"] == 0
+    assert load["error_count"] == 0, load["errors"]
+    assert not budget_violations, (
+        f"cache exceeded {CACHE_BUDGET_BYTES}B budget: "
+        f"peak {max(budget_violations)}B"
+    )
+
+    stats = handle.core.stats()
+    cache_stats = stats["cache"]
+    assert cache_stats["evictions"] > 0  # the budget actually bit
+    assert stats["scheduler"]["admitted"] == SUBMISSIONS
+    assert stats["scheduler"]["completed"] == SUBMISSIONS
+
+    # Drain: everything settles, nothing orphaned.
+    handle.stop(timeout=120)
+    counts = handle.core.jobs.counts_by_state()
+    assert counts["done"] == SUBMISSIONS
+    assert counts["queued"] == counts["running"] == 0
+
+    payload = {
+        "submissions": SUBMISSIONS,
+        "client_threads": CLIENT_THREADS,
+        "server_concurrency": config.max_concurrency,
+        "distinct_seeds": DISTINCT_SEEDS,
+        "tenants": TENANTS,
+        "throughput_jobs_per_s": load["throughput_jobs_per_s"],
+        "latency_p50_s": load["latency_p50_s"],
+        "latency_p95_s": load["latency_p95_s"],
+        "latency_max_s": load["latency_max_s"],
+        "elapsed_s": load["elapsed_s"],
+        "rejected_retries": load["rejected_retries"],
+        "lost_jobs": load["lost_jobs"],
+        "duplicated_jobs": load["duplicated_jobs"],
+        "cache_budget_bytes": CACHE_BUDGET_BYTES,
+        "cache_peak_bytes": max(samples) if samples else 0,
+        "cache_evictions": cache_stats["evictions"],
+        "cache_entries_final": cache_stats["entries"],
+        "jobs_by_state": counts,
+    }
+    emit_json("BENCH_serve.json", payload)
+    emit(
+        "Serve: 1000 submissions through the job server",
+        "\n".join(
+            [
+                f"submissions      {SUBMISSIONS} "
+                f"({CLIENT_THREADS} client threads, "
+                f"{config.max_concurrency} server workers)",
+                f"throughput       {load['throughput_jobs_per_s']:.1f} jobs/s",
+                f"latency p50/p95  {load['latency_p50_s'] * 1000:.1f} / "
+                f"{load['latency_p95_s'] * 1000:.1f} ms",
+                f"lost/duplicated  {load['lost_jobs']} / "
+                f"{load['duplicated_jobs']}",
+                f"cache peak       {max(samples) if samples else 0} B "
+                f"(budget {CACHE_BUDGET_BYTES} B, "
+                f"{cache_stats['evictions']} evictions)",
+            ]
+        ),
+    )

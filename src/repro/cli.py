@@ -13,6 +13,9 @@ Usage::
     python -m repro stats run.jsonl           # p50/p95, retries, hit rate
     python -m repro stats run.jsonl --json    # machine-readable aggregates
     python -m repro report run.jsonl --out report.html   # the HTML artifact
+    python -m repro serve --port 8321 --data-dir .repro-serve  # job server
+    python -m repro cache ls .repro-cache     # inspect an on-disk cache
+    python -m repro cache gc .repro-cache --max-bytes 1000000  # LRU evict
 
 Each artifact id maps to one :mod:`repro.experiments` runner
 registered with the scenario engine (:mod:`repro.engine`); ``--scale``
@@ -32,6 +35,11 @@ docs/calibration.md), and can dump per-job cProfile stats
 (``--profile-dir``). ``report`` renders a ledger into a self-contained
 HTML page — sweep timeline, span flames, latency percentiles, and the
 gauge scoreboard — and exits 1 when any gauge fails.
+
+``serve`` runs the engine as a long-lived job server (stdlib HTTP/JSONL
+API, shared size-bounded result cache, per-tenant fairness, graceful
+drain on SIGTERM; docs/serve.md), and ``cache`` inspects or
+garbage-collects any result cache directory (LRU by mtime).
 """
 
 from __future__ import annotations
@@ -45,9 +53,9 @@ from repro.engine import (
     JobSpec,
     ProgressTracker,
     ResultCache,
+    artifact_jobs,
     execute,
     registry,
-    spawn_seeds,
 )
 from repro.experiments.export import export_json, to_jsonable
 
@@ -255,6 +263,84 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("figure", choices=sorted(FIGURES) + ["all"])
     render.add_argument("outdir", help="directory for the SVG files")
     render.add_argument("--scale", type=float, default=0.5)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the engine as a long-lived sweep job server "
+        "(HTTP/JSONL API; docs/serve.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        default=".repro-serve",
+        help="cache, artifacts, ledgers, and journal all live here",
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="sweeps in flight at once (worker threads)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="queued jobs per tenant before 429",
+    )
+    serve.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="byte budget for the shared result cache (default 64 MiB)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-job wall-clock timeout",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="default extra attempts per job on transient failure",
+    )
+    serve.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="skip replaying the submission journal on startup",
+    )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="record hierarchical spans into each job's ledger",
+    )
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or garbage-collect a result cache directory"
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_action", required=True)
+    cache_ls = cache_sub.add_parser(
+        "ls", help="list entries (least recently used first) + totals"
+    )
+    cache_ls.add_argument("cache_dir", metavar="DIR")
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict least-recently-used entries down to a byte budget"
+    )
+    cache_gc.add_argument("cache_dir", metavar="DIR")
+    cache_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        metavar="N",
+        help="target on-disk size; entries are evicted LRU until under it",
+    )
     return parser
 
 
@@ -324,11 +410,7 @@ def _cmd_sweep(args) -> int:
     if unknown:
         return _fail_unknown(unknown)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    seeds = spawn_seeds(args.seed, len(args.artifacts))
-    specs = [
-        JobSpec(runner=name, seed=seed, scale=args.scale, index=i, label=name)
-        for i, (name, seed) in enumerate(zip(args.artifacts, seeds))
-    ]
+    specs = artifact_jobs(args.artifacts, base_seed=args.seed, scale=args.scale)
     tracker = ProgressTracker(stream=None if args.quiet else sys.stderr)
     events_sink = None
     if args.events:
@@ -531,6 +613,106 @@ def _write_sweep_manifest(result, args, path):
     return write_manifest(manifest, path)
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.config import DEFAULT_CACHE_MAX_BYTES, ServeConfig
+    from repro.serve.http import ServeHTTP
+    from repro.serve.server import ServeServer
+
+    try:
+        config = ServeConfig(
+            data_dir=args.data_dir,
+            host=args.host,
+            port=args.port,
+            max_concurrency=args.concurrency,
+            queue_limit=args.queue_limit,
+            cache_max_bytes=(
+                args.cache_max_bytes
+                if args.cache_max_bytes is not None
+                else DEFAULT_CACHE_MAX_BYTES
+            ),
+            timeout_s=args.timeout,
+            retries=args.retries,
+            replay_journal=not args.no_replay,
+            trace=args.trace,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    core = ServeServer(config)
+    http = ServeHTTP(core)
+
+    async def _main() -> None:
+        import signal as _signal
+
+        await http.start()
+        replayed = core.start()
+        print(
+            f"repro serve listening on http://{config.host}:{http.port} "
+            f"(data: {config.root})",
+            file=sys.stderr,
+        )
+        if replayed:
+            print(
+                f"replayed {replayed} journaled submission(s)",
+                file=sys.stderr,
+            )
+        loop = asyncio.get_running_loop()
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, http.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await http.serve_until_shutdown()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        core.close()
+    counts = core.jobs.counts_by_state()
+    settled = sum(counts.get(state, 0) for state in ("done", "failed",
+                                                     "cancelled"))
+    print(
+        f"drained: {settled} job(s) settled "
+        f"({counts.get('done', 0)} done, {counts.get('failed', 0)} failed, "
+        f"{counts.get('cancelled', 0)} cancelled); "
+        f"ledger at {config.ledger_path}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    import time
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_action == "gc":
+        summary = cache.gc(args.max_bytes)
+        print(
+            f"evicted {summary['evicted']} entry(ies), "
+            f"freed {summary['freed_bytes']} bytes; "
+            f"{summary['kept']} kept, {summary['size_bytes']} bytes on disk"
+        )
+        return 0
+    stats = cache.entry_stats()
+    now_ns = time.time_ns()
+    for path, size, mtime_ns in stats:
+        age_s = max(0.0, (now_ns - mtime_ns) / 1e9)
+        print(f"{size:>10}  {age_s:>9.1f}s  {path.name}")
+    quarantined = (
+        len(list(cache.quarantine_dir.iterdir()))
+        if cache.quarantine_dir.is_dir()
+        else 0
+    )
+    tail = f", {quarantined} quarantined" if quarantined else ""
+    print(
+        f"{len(stats)} entry(ies), "
+        f"{sum(size for _, size, _ in stats)} bytes{tail}"
+    )
+    return 0
+
+
 def _cmd_stats(args) -> int:
     import warnings
 
@@ -622,6 +804,10 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_stats(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if getattr(args, "scale", 1.0) <= 0:
         print("--scale must be positive", file=sys.stderr)
         return 2

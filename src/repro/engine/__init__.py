@@ -26,7 +26,7 @@ from repro.engine.errors import (
     UnknownRunnerError,
     WorkerCrashError,
 )
-from repro.engine.spec import JobSpec, SweepSpec, spawn_seeds
+from repro.engine.spec import JobSpec, SweepSpec, artifact_jobs, spawn_seeds
 from repro.engine.cache import (
     ResultCache,
     clear_code_version_memo,
@@ -57,6 +57,7 @@ __all__ = [
     "TransientJobError",
     "UnknownRunnerError",
     "WorkerCrashError",
+    "artifact_jobs",
     "clear_code_version_memo",
     "default_code_version",
     "execute",

@@ -10,6 +10,22 @@ and machines.
 The default code-version tag hashes every ``.py`` file under the
 ``repro`` package: editing any source invalidates prior entries, which
 keeps stale results from leaking into regenerated artifacts.
+
+The store is bounded on demand, not on write: :meth:`ResultCache.gc`
+evicts least-recently-used entries (by mtime — :meth:`get` touches an
+entry on every hit, so recency tracks *use*, not creation) until the
+directory fits a byte budget. The quarantine directory never counts
+against the budget and is never evicted — corrupt entries are kept for
+post-mortems until explicitly cleared. ``python -m repro cache``
+exposes both (``ls``, ``gc --max-bytes``), and
+:class:`repro.serve.store.BoundedResultCache` enforces the budget
+continuously for the long-running job server.
+
+Concurrent writers are safe: :meth:`put` stages each entry under a
+PID/thread-unique temp name in the cache directory and ``os.replace``s
+it over the target, so two processes (or two threads of the serve
+pool) racing to persist the same key both land whole files — last
+writer wins, readers never observe a torn entry.
 """
 
 from __future__ import annotations
@@ -20,9 +36,10 @@ import json
 import os
 import re
 import tempfile
+import threading
 import warnings
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.experiments.export import to_jsonable
 from repro.engine.spec import JobSpec
@@ -197,6 +214,12 @@ class ResultCache:
         if not isinstance(record, dict) or "value" not in record:
             self._quarantine(path, spec, "not a cache record")
             return False, None
+        try:
+            # Touch on hit: gc evicts by mtime, so recency must track
+            # *use* — a daily-hit entry outlives a week-old write-once.
+            os.utime(path)
+        except OSError:
+            pass
         if self.events is not None:
             self.events.emit(
                 "cache_hit",
@@ -232,8 +255,15 @@ class ResultCache:
             "key": key,
             "value": value,
         }
+        # mkstemp alone is collision-free, but a PID/thread-unique
+        # prefix keeps concurrent writers' staging files attributable
+        # (which process left this behind?) and guarantees two racing
+        # put()s of the same key can never share a staging name even on
+        # filesystems with weak O_EXCL semantics.
         fd, tmp_name = tempfile.mkstemp(
-            dir=str(self.root), prefix=".tmp-", suffix=".json"
+            dir=str(self.root),
+            prefix=f".tmp-{os.getpid()}-{threading.get_ident()}-",
+            suffix=".json",
         )
         try:
             with os.fdopen(fd, "w") as handle:
@@ -260,10 +290,81 @@ class ResultCache:
 
     # -- maintenance -----------------------------------------------------
     def entries(self) -> Dict[str, Path]:
-        return {path.stem: path for path in sorted(self.root.glob("*-*.json"))}
+        """Committed cache records only, keyed by filename stem.
+
+        ``path_for`` always ends a record name with the 24-hex content
+        key, which is what distinguishes records from other residents
+        of the directory (``last-sweep.manifest.json``, quarantine,
+        ``.tmp-*`` staging files) — a manifest must never be counted
+        against the byte budget or LRU-evicted as if it were a result.
+        """
+        return {
+            path.stem: path
+            for path in sorted(self.root.glob("*-*.json"))
+            if re.fullmatch(r"[0-9a-f]{24}", path.stem.rsplit("-", 1)[-1])
+        }
 
     def __len__(self) -> int:
         return len(self.entries())
+
+    def entry_stats(self) -> List[Tuple[Path, int, int]]:
+        """``(path, size_bytes, mtime_ns)`` per entry, LRU-first.
+
+        Quarantined entries and in-flight ``.tmp-*`` staging files are
+        excluded — only real, committed cache records count against a
+        byte budget. Entries that vanish mid-scan (a concurrent gc or
+        clear) are simply skipped.
+        """
+        stats: List[Tuple[Path, int, int]] = []
+        for path in self.entries().values():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stats.append((path, stat.st_size, stat.st_mtime_ns))
+        stats.sort(key=lambda item: item[2])
+        return stats
+
+    def size_bytes(self) -> int:
+        """Total committed entry bytes (quarantine excluded)."""
+        return sum(size for _, size, _ in self.entry_stats())
+
+    def gc(self, max_bytes: int) -> Dict[str, Any]:
+        """Evict least-recently-used entries until ≤ ``max_bytes``.
+
+        Returns a summary dict: ``evicted``/``freed_bytes`` for what
+        was removed, ``kept``/``size_bytes`` for what remains. Each
+        eviction emits a ``cache_evict`` event when a sink is attached.
+        An entry another process removes first just doesn't count as
+        freed here; the budget still ends up respected.
+        """
+        max_bytes = max(0, int(max_bytes))
+        stats = self.entry_stats()
+        total = sum(size for _, size, _ in stats)
+        evicted = 0
+        freed = 0
+        for path, size, _ in stats:
+            if total - freed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            evicted += 1
+            freed += size
+            if self.events is not None:
+                self.events.emit(
+                    "cache_evict",
+                    entry=path.name,
+                    bytes=size,
+                    reason=f"lru (max_bytes={max_bytes})",
+                )
+        return {
+            "evicted": evicted,
+            "freed_bytes": freed,
+            "kept": len(stats) - evicted,
+            "size_bytes": total - freed,
+        }
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""

@@ -15,10 +15,14 @@
   ``error_type == "WorkerCrashError"`` and the pool keeps draining the
   queue instead of deadlocking on the lost result.
 * Per-job wall-clock timeouts use ``SIGALRM`` (each worker runs jobs
-  on its main thread); on platforms without it the timeout degrades to
-  the parent-side watchdog, which also reclaims workers whose SIGALRM
-  was defeated (e.g. a hang inside C code) by killing them after the
-  job's whole attempt budget plus a grace period.
+  on its main thread). Off the main thread — serial ``execute()``
+  inside a ``repro.serve`` worker thread — a fallback timer raises the
+  same :class:`JobTimeoutError` asynchronously in the job's thread; a
+  platform with neither mechanism warns and emits a
+  ``job_timeout_unenforced`` ledger event instead of silently
+  no-opping. The parent-side watchdog still reclaims workers whose
+  timeout was defeated (e.g. a hang inside C code) by killing them
+  after the job's whole attempt budget plus a grace period.
 * Transient failures (:data:`TRANSIENT_ERRORS`) are retried with
   exponential backoff up to ``retries`` extra attempts; permanent
   errors fail fast. Either way a failed job yields a structured
@@ -185,33 +189,121 @@ class SweepResult:
 # Worker-side execution (also the serial code path).
 # ---------------------------------------------------------------------------
 
+class _ThreadTimeoutTimer:
+    """Best-effort timeout for jobs running off the main thread.
+
+    ``SIGALRM`` cannot be armed outside the main thread, which is
+    exactly where the serve thread-pool runs serial ``execute()``
+    calls. This fallback arms a daemon :class:`threading.Timer` that,
+    on expiry, raises :class:`JobTimeoutError` *asynchronously* in the
+    job's thread via ``PyThreadState_SetAsyncExc``. Like SIGALRM it is
+    delivered at a Python bytecode boundary, so a hang inside C code
+    still needs the parent watchdog — the documented contract doesn't
+    change, the budget just stops being silently unenforced in
+    threads. ``cancel()`` and the firing callback share a lock, so
+    once cancel returns no exception can be injected; a fire that wins
+    the race only happens when the budget genuinely elapsed, and the
+    attempt loop treats the late raise as the timeout it is.
+    """
+
+    def __init__(self, seconds: float, thread_ident: int) -> None:
+        self._seconds = float(seconds)
+        self._ident = int(thread_ident)
+        self._lock = threading.Lock()
+        self._cancelled = False
+        self._timer: Optional[threading.Timer] = None
+        self.fired = False
+
+    def start(self) -> bool:
+        """Arm the timer; False when async-raise is unavailable."""
+        try:
+            import ctypes
+
+            self._set_async_exc = ctypes.pythonapi.PyThreadState_SetAsyncExc
+            self._c_ulong = ctypes.c_ulong
+            self._py_object = ctypes.py_object
+        except (ImportError, AttributeError):
+            return False
+        self._timer = threading.Timer(self._seconds, self._fire)
+        self._timer.daemon = True
+        self._timer.start()
+        return True
+
+    def _fire(self) -> None:
+        with self._lock:
+            if self._cancelled:
+                return
+            self.fired = True
+            self._set_async_exc(
+                self._c_ulong(self._ident), self._py_object(JobTimeoutError)
+            )
+
+    def cancel(self) -> None:
+        with self._lock:
+            self._cancelled = True
+        if self._timer is not None:
+            self._timer.cancel()
+
+
 @contextmanager
-def _job_timeout(seconds: Optional[float], label: str):
+def _job_timeout(
+    seconds: Optional[float],
+    label: str,
+    notes: Optional[List[Dict[str, Any]]] = None,
+):
     """Raise :class:`JobTimeoutError` after ``seconds`` of wall-clock.
 
-    Only armable on Unix main threads; elsewhere it degrades to the
-    parent watchdog (documented in docs/engine.md).
+    On Unix main threads the budget is enforced with ``SIGALRM``; off
+    the main thread (the serve thread-pool case) a
+    :class:`_ThreadTimeoutTimer` raises the same error asynchronously.
+    Only when neither mechanism is available does the budget go
+    unenforced — loudly: a ``RuntimeWarning`` plus a
+    ``job_timeout_unenforced`` note appended to ``notes`` (replayed
+    into the run ledger), never a silent no-op.
     """
-    can_arm = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not can_arm:
+    if seconds is None or seconds <= 0:
         yield
         return
+    if (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    ):
 
-    def _on_alarm(signum, frame):
-        raise JobTimeoutError(f"{label} exceeded {seconds:.3g}s timeout")
+        def _on_alarm(signum, frame):
+            raise JobTimeoutError(f"{label} exceeded {seconds:.3g}s timeout")
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, float(seconds))
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+        return
+    timer = _ThreadTimeoutTimer(seconds, threading.get_ident())
+    if not timer.start():
+        if notes is not None:
+            notes.append(
+                {
+                    "event": "job_timeout_unenforced",
+                    "timeout_s": seconds,
+                    "reason": "no SIGALRM off the main thread and no "
+                    "ctypes async-raise support",
+                }
+            )
+        warnings.warn(
+            f"timeout_s={seconds:.3g} for {label} cannot be enforced here "
+            "(off the main thread, no async-raise support); relying on "
+            "the parent watchdog if any",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        yield
+        return
     try:
         yield
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        timer.cancel()
 
 
 def _payload_from(
@@ -312,9 +404,9 @@ def _run_attempts(payload: Dict[str, Any]) -> Dict[str, Any]:
     while attempts <= retries:
         attempts += 1
         try:
-            with _job_timeout(payload["timeout_s"], label), trace_span(
-                "attempt", n=attempts
-            ):
+            with _job_timeout(
+                payload["timeout_s"], label, notes=sub_events
+            ), trace_span("attempt", n=attempts):
                 if fault_plan is not None:
                     from repro.faults.inject import apply_worker_faults
 
@@ -362,12 +454,21 @@ def _run_attempts(payload: Dict[str, Any]) -> Dict[str, Any]:
             last_error = exc
             last_traceback = traceback.format_exc()
             if isinstance(exc, JobTimeoutError):
+                # An async-raised timeout (thread fallback) carries no
+                # message; normalise so ledgers always say what tripped.
+                message = str(exc) or (
+                    f"{label} exceeded {payload['timeout_s']:.3g}s timeout "
+                    "(thread fallback timer)"
+                )
+                # The failure record stringifies last_error, so the
+                # normalised message has to live on the exception too.
+                last_error = JobTimeoutError(message)
                 sub_events.append(
                     {
                         "event": "job_timeout",
                         "attempt": attempts,
                         "timeout_s": payload["timeout_s"],
-                        "error": str(exc),
+                        "error": message,
                     }
                 )
             if attempts <= retries:
@@ -764,9 +865,12 @@ def execute(
                 outcome.value = from_jsonable(normalised)
             for sub in record.get("events", ()):
                 kind = sub["event"]
-                registry_.counter(
-                    "retries" if kind == "job_retry" else "timeouts"
-                ).inc()
+                counter_name = {
+                    "job_retry": "retries",
+                    "job_timeout": "timeouts",
+                    "job_timeout_unenforced": "timeouts_unenforced",
+                }.get(kind, kind)
+                registry_.counter(counter_name).inc()
                 if events is not None:
                     fields = {k: v for k, v in sub.items() if k != "event"}
                     events.emit(

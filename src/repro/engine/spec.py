@@ -35,6 +35,26 @@ def spawn_seeds(base_seed: Optional[int], n: int) -> List[Optional[int]]:
     return [int(child.generate_state(1, dtype=np.uint32)[0]) for child in children]
 
 
+def artifact_jobs(
+    artifacts: Sequence[str],
+    base_seed: Optional[int] = None,
+    scale: Optional[float] = None,
+) -> List["JobSpec"]:
+    """The canonical job list for a plain artifact sweep.
+
+    Both transports that accept "run these artifacts with this seed and
+    scale" — the ``sweep`` CLI and the ``repro.serve`` HTTP API — build
+    their specs here, so the same submission produces bit-identical
+    jobs (same per-artifact seeds, same indices, same labels) no matter
+    how it arrived.
+    """
+    seeds = spawn_seeds(base_seed, len(artifacts))
+    return [
+        JobSpec(runner=name, seed=seed, scale=scale, index=i, label=name)
+        for i, (name, seed) in enumerate(zip(artifacts, seeds))
+    ]
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """One dispatchable unit of work: a registered runner + arguments.

@@ -4,9 +4,13 @@ The scenario engine narrates a sweep as a flat sequence of typed
 events (:data:`EVENT_TYPES`): one ``sweep_start``/``sweep_end`` pair
 per :func:`repro.engine.pool.execute` call, ``job_start``/``job_end``
 per executed job (with ``job_retry``/``job_timeout`` in between when
-attempts fail, and ``job_skipped`` for jobs shed past ``max_failures``),
-and ``cache_hit``/``cache_put``/``cache_quarantine``/
-``cache_put_error`` from the result cache. With tracing on
+attempts fail, ``job_timeout_unenforced`` when a budget exists but no
+enforcement mechanism does, and ``job_skipped`` for jobs shed past
+``max_failures``), and ``cache_hit``/``cache_put``/
+``cache_quarantine``/``cache_put_error``/``cache_evict`` from the
+result cache. The ``repro.serve`` job server appends its own
+``serve_*`` lifecycle events to the same JSONL wire format (see
+``repro.serve.server.SERVE_EVENT_TYPES``). With tracing on
 (:mod:`repro.obs.trace`), ``span_start``/``span_end`` pairs record the
 hierarchical timing inside the sweep and each job, and calibration
 gauges (:mod:`repro.obs.calib`) land as ``gauge`` events. Each event
@@ -42,12 +46,14 @@ EVENT_TYPES = frozenset(
         "job_start",
         "job_retry",
         "job_timeout",
+        "job_timeout_unenforced",
         "job_end",
         "job_skipped",
         "cache_hit",
         "cache_put",
         "cache_quarantine",
         "cache_put_error",
+        "cache_evict",
         "span_start",
         "span_end",
         "gauge",

@@ -1,0 +1,45 @@
+"""``repro.serve`` — the engine as a long-running sweep service.
+
+The repo's sweeps have so far been one-shot CLI invocations; this
+package wraps :func:`repro.engine.execute` in a job server so many
+clients can share one warm, size-bounded result cache:
+
+* :mod:`~repro.serve.config` — :class:`ServeConfig` and the on-disk
+  data-directory layout;
+* :mod:`~repro.serve.jobs` — submissions, job records, the journal;
+* :mod:`~repro.serve.store` — :class:`BoundedResultCache` (LRU byte
+  budget) and the content-addressed :class:`ArtifactStore`;
+* :mod:`~repro.serve.scheduler` — bounded concurrency with per-tenant
+  round-robin fairness;
+* :mod:`~repro.serve.server` — the transport-free core
+  (:class:`ServeServer`): admission → execution → settlement, gauge
+  scoreboard, graceful drain, journal replay;
+* :mod:`~repro.serve.http` — the stdlib asyncio HTTP/JSONL API;
+* :mod:`~repro.serve.client` — an ``http.client`` client;
+* :mod:`~repro.serve.loadgen` — closed-loop load generator.
+
+Start one from the CLI with ``repro serve``; everything it persists
+lives under one ``--data-dir`` and stays inspectable with ``repro
+stats`` and ``repro cache ls``.
+"""
+
+from repro.serve.config import ServeConfig
+from repro.serve.jobs import BadRequest, JobRecord, JobRequest, JobStore
+from repro.serve.scheduler import Draining, FairScheduler, QueueFull
+from repro.serve.server import SERVE_EVENT_TYPES, ServeServer
+from repro.serve.store import ArtifactStore, BoundedResultCache
+
+__all__ = [
+    "ArtifactStore",
+    "BadRequest",
+    "BoundedResultCache",
+    "Draining",
+    "FairScheduler",
+    "JobRecord",
+    "JobRequest",
+    "JobStore",
+    "QueueFull",
+    "SERVE_EVENT_TYPES",
+    "ServeConfig",
+    "ServeServer",
+]

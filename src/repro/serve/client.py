@@ -1,0 +1,202 @@
+"""A small stdlib client for the serve HTTP API.
+
+``http.client`` only — the same zero-dependency rule as the server.
+One :class:`ServeClient` per base URL; every call opens a fresh
+connection (the server closes after each response anyway). Raises
+:class:`ServeAPIError` on any non-2xx status, carrying the status code
+and the server's JSON error message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+from urllib.parse import urlparse
+
+
+class ServeAPIError(RuntimeError):
+    """Non-2xx response from the serve API."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Talks to one ``repro serve`` instance."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        parsed = urlparse(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme in {base_url!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 8321
+        self.timeout = timeout
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Any] = None,
+    ) -> Any:
+        conn = self._connect()
+        try:
+            payload = (
+                json.dumps(body).encode() if body is not None else None
+            )
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            if response.status >= 400:
+                try:
+                    message = json.loads(data.decode()).get("error", "")
+                except ValueError:
+                    message = data.decode(errors="replace")
+                raise ServeAPIError(response.status, message)
+            content_type = response.getheader("Content-Type", "")
+            if "json" in content_type and "jsonl" not in content_type:
+                return json.loads(data.decode())
+            return data
+        finally:
+            conn.close()
+
+    # -- API -------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(
+        self,
+        artifacts: List[str],
+        seed: Optional[int] = None,
+        scale: float = 1.0,
+        tenant: Optional[str] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "artifacts": list(artifacts),
+            "seed": seed,
+            "scale": scale,
+        }
+        if tenant is not None:
+            payload["tenant"] = tenant
+        payload.update(extra)
+        return self._request("POST", "/v1/jobs", body=payload)
+
+    def jobs(
+        self, tenant: Optional[str] = None, state: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        query = "&".join(
+            f"{name}={value}"
+            for name, value in (("tenant", tenant), ("state", state))
+            if value is not None
+        )
+        path = "/v1/jobs" + (f"?{query}" if query else "")
+        return self._request("GET", path)["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        poll_s: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job settles; returns the final record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} "
+                    f"after {timeout:.3g}s"
+                )
+            time.sleep(poll_s)
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def manifest(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/manifest")
+
+    def events(self, job_id: str) -> List[Dict[str, Any]]:
+        """The job's settled run ledger, parsed."""
+        data = self._request("GET", f"/v1/jobs/{job_id}/events")
+        return [
+            json.loads(line)
+            for line in data.decode().splitlines()
+            if line.strip()
+        ]
+
+    def stream_events(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Live-tail the job ledger (``?follow=1``), yielding events.
+
+        Yields each event as it lands; returns when the server ends
+        the stream (job settled). Partial trailing bytes are carried
+        across chunks, so consumers only ever see whole events.
+        """
+        conn = http.client.HTTPConnection(
+            self.host,
+            self.port,
+            timeout=timeout if timeout is not None else self.timeout,
+        )
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events?follow=1")
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                try:
+                    message = json.loads(data.decode()).get("error", "")
+                except ValueError:
+                    message = data.decode(errors="replace")
+                raise ServeAPIError(response.status, message)
+            buffer = b""
+            while True:
+                chunk = response.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line.decode())
+        finally:
+            conn.close()
+
+    def gauges(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/gauges")["gauges"]
+
+    def metrics(self) -> str:
+        return self._request("GET", "/v1/metrics").decode()
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def drain(self, timeout: float = 120.0) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        try:
+            conn.request("POST", "/v1/drain")
+            response = conn.getresponse()
+            data = response.read()
+            if response.status >= 400:
+                raise ServeAPIError(
+                    response.status, data.decode(errors="replace")
+                )
+            return json.loads(data.decode())
+        finally:
+            conn.close()

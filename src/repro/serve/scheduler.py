@@ -1,0 +1,184 @@
+"""Admission control and per-tenant fair scheduling.
+
+The server admits jobs into per-tenant FIFO queues and a fixed pool of
+worker threads drains them **round-robin across tenants**: a tenant
+that floods the queue with a thousand sweeps delays its own tail, not
+the single job another tenant submitted a millisecond later. Two
+bounds provide backpressure:
+
+* ``max_concurrency`` — worker threads, i.e. sweeps in flight;
+* ``queue_limit`` — queued-but-not-started jobs *per tenant*; excess
+  submissions raise :class:`QueueFull` (the HTTP layer maps it to
+  429).
+
+Draining flips one flag: :meth:`FairScheduler.drain` stops admissions
+(:class:`Draining` → 503) and then waits until every already-admitted
+job has settled. Nothing is cancelled — admitted work is a promise,
+and the submission journal makes the promise durable across restarts.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Dict, Optional
+
+from repro.serve.jobs import JobRecord
+
+
+class QueueFull(RuntimeError):
+    """Per-tenant queue limit hit; the client should back off."""
+
+
+class Draining(RuntimeError):
+    """The server is draining and admits nothing new."""
+
+
+class FairScheduler:
+    """Round-robin-across-tenants job queue + worker thread pool."""
+
+    def __init__(
+        self,
+        run_job: Callable[[JobRecord], None],
+        max_concurrency: int = 4,
+        queue_limit: int = 256,
+    ) -> None:
+        self._run_job = run_job
+        self.max_concurrency = int(max_concurrency)
+        self.queue_limit = int(queue_limit)
+        self._cond = threading.Condition()
+        self._queues: Dict[str, deque] = {}
+        self._ring: deque = deque()  # tenants with queued work
+        self._running = 0
+        self._draining = False
+        self._stopped = False
+        self._threads = []
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        if self._threads:
+            return
+        for i in range(self.max_concurrency):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"serve-worker-{i}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admissions; wait for every admitted job to settle.
+
+        Returns True when the backlog fully settled within
+        ``timeout`` (None = wait forever).
+        """
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+            return self._cond.wait_for(
+                lambda: self._running == 0 and not self._ring,
+                timeout=timeout,
+            )
+
+    def stop(self, timeout: Optional[float] = None) -> bool:
+        """Drain, then shut the worker threads down."""
+        settled = self.drain(timeout=timeout)
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+        return settled
+
+    @property
+    def draining(self) -> bool:
+        with self._cond:
+            return self._draining
+
+    # -- admission -------------------------------------------------------
+    def submit(self, record: JobRecord) -> None:
+        with self._cond:
+            if self._draining or self._stopped:
+                raise Draining("server is draining; not admitting jobs")
+            queue = self._queues.get(record.tenant)
+            if queue is None:
+                queue = self._queues[record.tenant] = deque()
+            if len(queue) >= self.queue_limit:
+                self.rejected += 1
+                raise QueueFull(
+                    f"tenant {record.tenant!r} has {len(queue)} queued "
+                    f"job(s) (limit {self.queue_limit})"
+                )
+            queue.append(record)
+            if record.tenant not in self._ring:
+                self._ring.append(record.tenant)
+            self.admitted += 1
+            self._cond.notify()
+
+    # -- scheduling ------------------------------------------------------
+    def _pick_locked(self) -> Optional[JobRecord]:
+        """Next job, rotating the tenant ring (caller holds the lock)."""
+        while self._ring:
+            tenant = self._ring[0]
+            queue = self._queues.get(tenant)
+            if not queue:
+                self._ring.popleft()
+                continue
+            record = queue.popleft()
+            self._ring.rotate(-1)
+            if not queue:
+                # Tenant's backlog is spent; drop it from the ring
+                # (it re-enters on its next submit).
+                try:
+                    self._ring.remove(tenant)
+                except ValueError:
+                    pass
+            return record
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                record = self._pick_locked()
+                while record is None and not self._stopped:
+                    self._cond.wait(timeout=0.5)
+                    record = self._pick_locked()
+                if record is None:
+                    return
+                self._running += 1
+            try:
+                self._run_job(record)
+            except Exception:
+                # A job callback that raises must not take its worker
+                # thread down with it; the record's own state carries
+                # the failure.
+                pass
+            finally:
+                with self._cond:
+                    self._running -= 1
+                    self.completed += 1
+                    self._cond.notify_all()
+
+    # -- introspection ---------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        with self._cond:
+            return {
+                "max_concurrency": self.max_concurrency,
+                "queue_limit": self.queue_limit,
+                "running": self._running,
+                "queued": sum(len(q) for q in self._queues.values()),
+                "queued_by_tenant": {
+                    tenant: len(queue)
+                    for tenant, queue in sorted(self._queues.items())
+                    if queue
+                },
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "draining": self._draining,
+            }

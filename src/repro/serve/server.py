@@ -1,0 +1,446 @@
+"""The serve core: admission → execution → settlement, transport-free.
+
+:class:`ServeServer` is the synchronous heart of ``repro serve``; the
+HTTP layer (:mod:`repro.serve.http`) is a thin asyncio shell over it,
+and tests drive it directly. One instance owns:
+
+* a shared :class:`~repro.serve.store.BoundedResultCache` — every
+  tenant's sweeps read and write one content-keyed cache under one
+  byte budget;
+* a :class:`~repro.serve.store.ArtifactStore` for result payloads and
+  manifests (content-addressed, deduplicated);
+* a :class:`~repro.serve.jobs.JobStore` + submission journal;
+* a :class:`~repro.serve.scheduler.FairScheduler` worker pool;
+* two ledgers: ``server-events.jsonl`` (every engine event from every
+  job, plus ``serve_*`` lifecycle events — ``repro stats`` reconciles
+  it) and one ``jobs/<id>/events.jsonl`` per job (what the streaming
+  endpoint tails).
+
+Execution runs ``execute()`` serially inside worker threads, so the
+engine's thread-timeout fallback (not SIGALRM) enforces per-job
+budgets, and cache events route through a thread-local router so each
+job's ledger gets its own cache traffic even though the cache is
+shared.
+
+Drain is a promise kept: :meth:`drain` stops admissions, every
+already-admitted job settles (the crash-recovery machinery inside
+``execute`` still applies per job), ledgers and the journal are
+flushed, and a restarted server replays the journal — completed
+submissions come straight back as 100% cache hits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.engine.cache import default_code_version
+from repro.engine.pool import execute
+from repro.obs.events import EventLog, EventSink
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.serve.config import ServeConfig
+from repro.serve.jobs import BadRequest, JobRecord, JobRequest, JobStore
+from repro.serve.scheduler import Draining, FairScheduler, QueueFull
+from repro.serve.store import ArtifactStore, BoundedResultCache
+
+#: Server-lifecycle event types appended to the engine's JSONL wire
+#: format (engine event types are in ``repro.obs.events.EVENT_TYPES``).
+SERVE_EVENT_TYPES = frozenset(
+    {
+        "serve_start",
+        "serve_stop",
+        "serve_submit",
+        "serve_reject",
+        "serve_job_start",
+        "serve_job_end",
+        "serve_drain_begin",
+        "serve_drain_end",
+        "serve_replay",
+    }
+)
+
+
+class TeeSink(EventSink):
+    """Forward each event to several sinks (per-job log + server ledger)."""
+
+    def __init__(self, *sinks: EventSink) -> None:
+        self.sinks = [sink for sink in sinks if sink is not None]
+
+    def emit(self, event: str, **fields: Any) -> None:
+        for sink in self.sinks:
+            sink.emit(event, **fields)
+
+
+class ThreadEventRouter(EventSink):
+    """Route emissions to the sink the *current thread* registered.
+
+    The shared cache holds exactly one ``events`` attribute, but five
+    worker threads run five different jobs against it concurrently.
+    Each worker registers its job's sink for the duration of the
+    sweep; cache events then land in that job's ledger. Threads with
+    nothing registered fall back to ``fallback`` (the server ledger),
+    so out-of-band traffic — e.g. an eviction sweep triggered from a
+    maintenance call — is never dropped.
+    """
+
+    def __init__(self, fallback: Optional[EventSink] = None) -> None:
+        self._local = threading.local()
+        self.fallback = fallback
+
+    def register(self, sink: Optional[EventSink]) -> None:
+        self._local.sink = sink
+
+    def unregister(self) -> None:
+        self._local.sink = None
+
+    def emit(self, event: str, **fields: Any) -> None:
+        sink = getattr(self._local, "sink", None) or self.fallback
+        if sink is not None:
+            sink.emit(event, **fields)
+
+
+class ServeServer:
+    """Transport-agnostic job server over :func:`repro.engine.execute`."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        config.ensure_layout()
+        self.ledger = EventLog(config.ledger_path)
+        self.cache = BoundedResultCache(
+            config.cache_dir, max_bytes=config.cache_max_bytes
+        )
+        self._cache_router = ThreadEventRouter(fallback=self.ledger)
+        self.cache.events = self._cache_router
+        self.artifacts = ArtifactStore(config.artifacts_dir)
+        self.jobs = JobStore(journal_path=config.journal_path)
+        self.scheduler = FairScheduler(
+            self._run_job,
+            max_concurrency=config.max_concurrency,
+            queue_limit=config.queue_limit,
+        )
+        # One source scan at startup; every job keys the cache on it.
+        self.code_version = default_code_version()
+        self._gauge_board: Dict[str, Dict[str, Any]] = {}
+        self._board_lock = threading.Lock()
+        self._spec_keys_seen: Dict[str, str] = {}  # spec_key -> job_id
+        self._started_at = time.monotonic()
+        self._state_lock = threading.Lock()
+        self._drained = False
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> int:
+        """Start worker threads; replay the journal; return replayed count."""
+        self.scheduler.start()
+        self.ledger.emit(
+            "serve_start",
+            code_version=self.code_version,
+            max_concurrency=self.config.max_concurrency,
+            cache_max_bytes=self.config.cache_max_bytes,
+        )
+        replayed = 0
+        if self.config.replay_journal:
+            replayed = self._replay_journal()
+        return replayed
+
+    def _replay_journal(self) -> int:
+        """Re-admit every journaled submission (restart warm-up).
+
+        Settled submissions replay straight into engine-cache hits;
+        submissions the previous process admitted but never finished
+        actually run — no admitted job is ever lost to a restart.
+        """
+        entries = JobStore.read_journal(self.config.journal_path)
+        replayed = 0
+        for entry in entries:
+            try:
+                request = JobRequest.from_payload(
+                    entry.get("request"),
+                    default_tenant=self.config.default_tenant,
+                )
+            except BadRequest:
+                continue
+            try:
+                record = self._admit(request, journal=False)
+            except (QueueFull, Draining):
+                break
+            record.deduplicated = False
+            replayed += 1
+        if replayed:
+            self.ledger.emit("serve_replay", submissions=replayed)
+        return replayed
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admissions and settle the backlog; idempotent."""
+        with self._state_lock:
+            already = self._drained
+            self._drained = True
+        if not already:
+            self.ledger.emit(
+                "serve_drain_begin", **self.scheduler.stats()
+            )
+        settled = self.scheduler.stop(
+            timeout=timeout if timeout is not None
+            else self.config.drain_grace_s
+        )
+        if not already:
+            self.ledger.emit(
+                "serve_drain_end",
+                settled=settled,
+                jobs=self.jobs.counts_by_state(),
+            )
+        return settled
+
+    def close(self) -> None:
+        self.drain()
+        self.ledger.emit("serve_stop", uptime_s=round(self.uptime_s, 3))
+        self.jobs.close()
+        self.ledger.close()
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_at
+
+    @property
+    def draining(self) -> bool:
+        with self._state_lock:
+            return self._drained
+
+    # -- admission -------------------------------------------------------
+    def submit(self, payload: Any) -> JobRecord:
+        """Validate, journal, and enqueue one submission.
+
+        Raises :class:`~repro.serve.jobs.BadRequest`,
+        :class:`~repro.serve.scheduler.QueueFull`, or
+        :class:`~repro.serve.scheduler.Draining` — the HTTP layer maps
+        them to 400/429/503.
+        """
+        request = JobRequest.from_payload(
+            payload, default_tenant=self.config.default_tenant
+        )
+        return self._admit(request, journal=True)
+
+    def _admit(self, request: JobRequest, journal: bool) -> JobRecord:
+        record = JobRecord(
+            job_id=self.jobs.new_job_id(request),
+            request=request,
+            submitted_t=time.monotonic(),
+        )
+        spec_key = request.spec_key()
+        record.deduplicated = spec_key in self._spec_keys_seen
+        self._spec_keys_seen.setdefault(spec_key, record.job_id)
+        # Journal before queueing: a server killed right after this
+        # line still replays the submission on restart — admitted work
+        # is never lost, at worst re-run (and then cache-hit).
+        self.jobs.add(record, journal=journal)
+        try:
+            self.scheduler.submit(record)
+        except (QueueFull, Draining) as exc:
+            record.state = "cancelled"
+            record.error = exc.__class__.__name__
+            record.finished_t = time.monotonic()
+            self.ledger.emit(
+                "serve_reject",
+                job_id=record.job_id,
+                tenant=request.tenant,
+                spec_key=spec_key,
+                reason=exc.__class__.__name__,
+            )
+            raise
+        self.ledger.emit(
+            "serve_submit",
+            job_id=record.job_id,
+            tenant=request.tenant,
+            spec_key=spec_key,
+            artifacts=list(request.artifacts),
+            deduplicated=record.deduplicated,
+        )
+        return record
+
+    # -- execution (worker threads) --------------------------------------
+    def _run_job(self, record: JobRecord) -> None:
+        record.state = "running"
+        record.started_t = time.monotonic()
+        request = record.request
+        job_dir = self.config.job_dir(record.job_id)
+        job_dir.mkdir(parents=True, exist_ok=True)
+        events_path = job_dir / "events.jsonl"
+        record.events_path = str(events_path)
+        self.ledger.emit(
+            "serve_job_start",
+            job_id=record.job_id,
+            tenant=record.tenant,
+            artifacts=list(request.artifacts),
+        )
+        job_log = EventLog(events_path)
+        sink = TeeSink(job_log, self.ledger)
+        self._cache_router.register(sink)
+        try:
+            result = execute(
+                request.to_specs(),
+                workers=request.workers,
+                timeout_s=(
+                    request.timeout_s
+                    if request.timeout_s is not None
+                    else self.config.timeout_s
+                ),
+                retries=(
+                    request.retries
+                    if request.retries is not None
+                    else self.config.retries
+                ),
+                cache=self.cache,
+                code_version=self.code_version,
+                events=sink,
+                trace=self.config.trace or None,
+            )
+            self._settle(record, result, sink, job_dir)
+        except Exception as exc:  # defensive: execute() shouldn't raise
+            record.state = "failed"
+            record.error = f"{exc.__class__.__name__}: {exc}"
+        finally:
+            record.finished_t = time.monotonic()
+            self._cache_router.unregister()
+            job_log.close()
+            self.ledger.emit(
+                "serve_job_end",
+                job_id=record.job_id,
+                tenant=record.tenant,
+                state=record.state,
+                latency_s=round(
+                    record.finished_t - record.submitted_t, 6
+                ),
+            )
+
+    def _settle(self, record, result, sink, job_dir) -> None:
+        from collections import Counter
+
+        from repro.experiments.export import to_jsonable
+        from repro.obs.calib import evaluate_gauges, values_from_result
+
+        # Gauges over this job's results, mirrored into both ledgers
+        # and onto the server-wide scoreboard.
+        evaluated = evaluate_gauges(values_from_result(result))
+        gauge_fields = [g.event_fields() for g in evaluated]
+        for fields in gauge_fields:
+            sink.emit("gauge", **fields)
+        scored = [g for g in gauge_fields if g["status"] != "skipped"]
+        record.gauges = scored
+        with self._board_lock:
+            for fields in scored:
+                self._gauge_board[fields["name"]] = dict(
+                    fields, job_id=record.job_id
+                )
+
+        # The result payload mirrors the sweep CLI's --json export
+        # (same display keys, same to_jsonable normalisation), so the
+        # two transports return bit-identical data.
+        display_counts = Counter(o.spec.display for o in result.outcomes)
+
+        def payload_key(outcome) -> str:
+            display = outcome.spec.display
+            if display_counts[display] > 1:
+                return f"{display}#{outcome.spec.index}"
+            return display
+
+        values = {
+            payload_key(outcome): to_jsonable(outcome.value)
+            for outcome in result.outcomes
+            if outcome.status in ("ok", "cached")
+        }
+        manifest = build_manifest(
+            result,
+            base_seed=record.request.seed,
+            scale=record.request.scale,
+            argv=["serve", record.job_id] + list(record.request.artifacts),
+            cache_dir=self.config.cache_dir,
+            events_path=record.events_path,
+        )
+        write_manifest(manifest, job_dir / "manifest.json")
+        record.manifest_digest = self.artifacts.put_json(manifest)
+        record.result_digest = self.artifacts.put_json(
+            {
+                "job_id": record.job_id,
+                "spec_key": record.request.spec_key(),
+                "summary": result.summary(),
+                "values": values,
+                "statuses": {
+                    o.spec.display: o.status for o in result.outcomes
+                },
+            }
+        )
+        record.counts = {
+            "jobs": len(result.outcomes),
+            "ok": result.ok_count,
+            "cached": result.cached_count,
+            "failed": result.failed_count,
+            "skipped": result.skipped_count,
+        }
+        if result.failed_count or result.skipped_count:
+            record.state = "failed"
+            failures = result.failures()
+            if failures:
+                record.error = (
+                    f"{failures[0].label}: {failures[0].error_type}: "
+                    f"{failures[0].error}"
+                )
+        else:
+            record.state = "done"
+
+    # -- introspection ---------------------------------------------------
+    def job_result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        record = self.jobs.get(job_id)
+        if record is None or record.result_digest is None:
+            return None
+        return self.artifacts.get_json(record.result_digest)
+
+    def gauge_board(self) -> List[Dict[str, Any]]:
+        with self._board_lock:
+            return [
+                self._gauge_board[name]
+                for name in sorted(self._gauge_board)
+            ]
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "uptime_s": round(self.uptime_s, 3),
+            "draining": self.draining,
+            "code_version": self.code_version,
+            "scheduler": self.scheduler.stats(),
+            "cache": self.cache.stats(),
+            "artifacts": {
+                "blobs": len(self.artifacts),
+                "size_bytes": self.artifacts.size_bytes(),
+            },
+            "jobs": self.jobs.counts_by_state(),
+        }
+
+    def metrics_text(self) -> str:
+        """OpenMetrics exposition: serve counters + gauge scoreboard."""
+        from repro.obs.openmetrics import render_openmetrics
+
+        stats = self.stats()
+        lines = []
+        lines.append("# TYPE repro_serve_jobs gauge")
+        lines.append(
+            "# HELP repro_serve_jobs Jobs by lifecycle state."
+        )
+        for state, count in sorted(stats["jobs"].items()):
+            lines.append(
+                f'repro_serve_jobs{{state="{state}"}} {count}'
+            )
+        sched = stats["scheduler"]
+        lines.append("# TYPE repro_serve_admitted counter")
+        lines.append(f"repro_serve_admitted_total {sched['admitted']}")
+        lines.append("# TYPE repro_serve_rejected counter")
+        lines.append(f"repro_serve_rejected_total {sched['rejected']}")
+        cache = stats["cache"]
+        lines.append("# TYPE repro_serve_cache_bytes gauge")
+        lines.append(f"repro_serve_cache_bytes {cache['approx_bytes']}")
+        lines.append("# TYPE repro_serve_cache_evictions counter")
+        lines.append(
+            f"repro_serve_cache_evictions_total {cache['evictions']}"
+        )
+        board = self.gauge_board()
+        body = render_openmetrics(board) if board else "# EOF\n"
+        return "\n".join(lines) + "\n" + body

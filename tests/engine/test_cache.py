@@ -255,3 +255,165 @@ class TestEngineIntegration:
         execute(jobs, workers=2, cache=cache, code_version="v")
         rerun = execute(jobs, workers=2, cache=cache, code_version="v")
         assert rerun.cache_hit_rate == 1.0
+
+
+class TestMaintenance:
+    """entry_stats / size_bytes / gc: the bounded-disk machinery."""
+
+    @staticmethod
+    def _fill(cache, count, payload_bytes=100):
+        for i in range(count):
+            spec = JobSpec(runner="test.echo", seed=i)
+            cache.put(spec, cache.key_for(spec, "v"),
+                      {"blob": "x" * payload_bytes})
+            os.utime(cache.path_for(spec, cache.key_for(spec, "v")),
+                     ns=(i, i))
+
+    def test_entry_stats_orders_lru_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 3)
+        stats = cache.entry_stats()
+        assert len(stats) == 3
+        mtimes = [mtime for _, _, mtime in stats]
+        assert mtimes == sorted(mtimes)
+
+    def test_size_bytes_matches_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 4)
+        expected = sum(
+            p.stat().st_size for p in Path(tmp_path).glob("*-*.json")
+        )
+        assert cache.size_bytes() == expected
+
+    def test_gc_evicts_lru_until_under_budget(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 6)
+        keep = cache.size_bytes() // 2
+        summary = cache.gc(keep)
+        assert cache.size_bytes() <= keep
+        assert summary["evicted"] + summary["kept"] == 6
+        assert summary["size_bytes"] == cache.size_bytes()
+        # The newest entries survived.
+        survivors = [mtime for _, _, mtime in cache.entry_stats()]
+        assert survivors == sorted(survivors)
+        assert max(survivors) == 5
+
+    def test_gc_emits_cache_evict_events(self, tmp_path):
+        class Sink:
+            def __init__(self):
+                self.events = []
+
+            def emit(self, event, **fields):
+                self.events.append((event, fields))
+
+        sink = Sink()
+        cache = ResultCache(tmp_path, events=sink)
+        self._fill(cache, 3)
+        cache.gc(0)
+        evicts = [f for e, f in sink.events if e == "cache_evict"]
+        assert len(evicts) == 3
+        assert all("bytes" in f and "entry" in f for f in evicts)
+
+    def test_quarantine_not_counted_or_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 2)
+        spec = JobSpec(runner="test.echo", seed=0)
+        cache.path_for(spec, cache.key_for(spec, "v")).write_text("{nope")
+        with pytest.warns(RuntimeWarning):
+            cache.get(spec, cache.key_for(spec, "v"))
+        assert len(list(cache.quarantine_dir.iterdir())) == 1
+        cache.gc(0)  # evict every committed entry
+        assert cache.size_bytes() == 0
+        # The quarantined post-mortem evidence is untouched.
+        assert len(list(cache.quarantine_dir.iterdir())) == 1
+
+    def test_get_touches_entry_mtime(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 2)
+        spec = JobSpec(runner="test.echo", seed=0)
+        key = cache.key_for(spec, "v")
+        before = cache.path_for(spec, key).stat().st_mtime_ns
+        hit, _ = cache.get(spec, key)
+        assert hit
+        assert cache.path_for(spec, key).stat().st_mtime_ns > before
+
+
+class TestConcurrentWriters:
+    """Racing puts must never tear an entry or leave droppings.
+
+    Regression for the staging-name scheme: per-PID/thread unique
+    temp names + ``os.replace`` mean concurrent writers (serve worker
+    threads, parallel sweeps) each stage privately and commit
+    atomically — last writer wins, every reader sees a whole record.
+    """
+
+    def test_threaded_same_key_stress(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path)
+        spec = JobSpec(runner="test.echo", seed=1)
+        key = cache.key_for(spec, "v")
+        errors = []
+
+        def hammer(worker):
+            try:
+                for i in range(25):
+                    cache.put(spec, key, {"worker": worker, "i": i})
+                    hit, value = cache.get(spec, key)
+                    assert hit
+                    assert set(value) == {"worker", "i"}
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # Exactly one committed entry, parseable, no staging litter,
+        # nothing quarantined.
+        assert len(cache) == 1
+        record = json.loads(cache.path_for(spec, key).read_text())
+        assert record["runner"] == "test.echo"
+        assert not list(Path(tmp_path).glob(".tmp-*"))
+        assert not cache.quarantine_dir.is_dir() or not list(
+            cache.quarantine_dir.iterdir()
+        )
+
+    def test_multiprocess_writers_same_cache(self, tmp_path):
+        """Two processes fan parallel workers into one cache dir."""
+        script = (
+            "import sys; sys.path.insert(0, {src!r})\n"
+            "from repro.engine import JobSpec, ResultCache, SweepSpec, execute\n"
+            "cache = ResultCache({cache!r})\n"
+            "jobs = SweepSpec(runners=['test.echo'],\n"
+            "                 grid={{'x': list(range(8))}}, base_seed=1).expand()\n"
+            "r = execute(jobs, workers=4, cache=cache, code_version='v')\n"
+            "print(r.failed_count)\n"
+        ).format(
+            src=str(Path(__file__).resolve().parents[2] / "src"),
+            cache=str(tmp_path),
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert out.strip() == "0"
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 8
+        for _, entry in cache.entries().items():
+            json.loads(entry.read_text())  # every entry is whole JSON
+        assert not list(Path(tmp_path).glob(".tmp-*"))
+        quarantine = Path(tmp_path) / "quarantine"
+        assert not quarantine.is_dir() or not list(quarantine.iterdir())

@@ -185,3 +185,56 @@ class TestFailurePaths:
     def test_scale_must_be_positive(self, capsys):
         assert main(["sweep", "table2", "--scale", "0"]) == 2
         assert "--scale must be positive" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    """``repro cache ls`` / ``repro cache gc --max-bytes``."""
+
+    @staticmethod
+    def _warm_cache(tmp_path, artifacts=("test.echo", "test.sleep")):
+        cache_dir = tmp_path / "cache"
+        rc = main(
+            ["sweep", *artifacts, "--seed", "3", "--quiet",
+             "--cache-dir", str(cache_dir)]
+        )
+        assert rc == 0
+        return cache_dir
+
+    def test_ls_lists_entries_and_totals(self, tmp_path, capsys):
+        cache_dir = self._warm_cache(tmp_path)
+        assert main(["cache", "ls", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "test.echo" in out
+        assert "test.sleep" in out
+        assert "2 entry(ies)" in out
+
+    def test_ls_empty_cache(self, tmp_path, capsys):
+        assert main(["cache", "ls", str(tmp_path / "empty")]) == 0
+        assert "0 entry(ies), 0 bytes" in capsys.readouterr().out
+
+    def test_gc_to_zero_evicts_everything(self, tmp_path, capsys):
+        cache_dir = self._warm_cache(tmp_path)
+        assert main(["cache", "gc", str(cache_dir), "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 2 entry(ies)" in out
+        assert main(["cache", "ls", str(cache_dir)]) == 0
+        assert "0 entry(ies)" in capsys.readouterr().out
+
+    def test_gc_under_budget_is_a_noop(self, tmp_path, capsys):
+        cache_dir = self._warm_cache(tmp_path)
+        rc = main(
+            ["cache", "gc", str(cache_dir), "--max-bytes", "10000000"]
+        )
+        assert rc == 0
+        assert "evicted 0 entry(ies)" in capsys.readouterr().out
+
+    def test_gc_then_sweep_recomputes_evicted(self, tmp_path, capsys):
+        cache_dir = self._warm_cache(tmp_path)
+        main(["cache", "gc", str(cache_dir), "--max-bytes", "0"])
+        capsys.readouterr()
+        rc = main(
+            ["sweep", "test.echo", "test.sleep", "--seed", "3",
+             "--quiet", "--cache-dir", str(cache_dir)]
+        )
+        assert rc == 0
+        assert "cache hits: 0/2" in capsys.readouterr().out

@@ -307,3 +307,122 @@ class TestProgress:
         result = execute(_echo_jobs(2))
         assert "jobs/s" in result.summary()
         assert "2 ok" in result.summary()
+
+
+def _spin_runner(duration_s=5.0, seed=None):
+    """Busy-loop in Python bytecode so async-raised timeouts land."""
+    import time
+
+    deadline = time.monotonic() + float(duration_s)
+    x = 0
+    while time.monotonic() < deadline:
+        x += 1
+    return {"spins": x, "seed": seed}
+
+
+class TestOffMainThreadTimeout:
+    """Regression: ``timeout_s`` used to silently no-op off the main
+    thread (SIGALRM cannot be armed there), so a serve worker thread
+    running serial ``execute()`` had no per-job budget at all. A
+    fallback timer now raises the same JobTimeoutError asynchronously;
+    when even that is unavailable the engine warns and notes a
+    ``job_timeout_unenforced`` event instead of staying silent."""
+
+    @staticmethod
+    def _execute_in_thread(**kwargs):
+        import threading
+
+        box = {}
+
+        def run():
+            box["result"] = execute(
+                [JobSpec(
+                    runner="tests.engine.test_pool:_spin_runner",
+                    kwargs={"duration_s": 5.0},
+                )],
+                workers=1,
+                retries=0,
+                **kwargs,
+            )
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        return box["result"]
+
+    def test_fallback_timer_enforces_timeout(self):
+        result = self._execute_in_thread(timeout_s=0.2)
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.failure.error_type == "JobTimeoutError"
+        assert "timeout" in outcome.failure.error
+        assert outcome.duration_s < 4.0  # aborted, not run to completion
+
+    def test_timeout_event_reaches_the_ledger(self):
+        class Sink:
+            def __init__(self):
+                self.events = []
+
+            def emit(self, event, **fields):
+                self.events.append(event)
+
+        sink = Sink()
+        self._execute_in_thread(timeout_s=0.2, events=sink)
+        assert "job_timeout" in sink.events
+
+    def test_unenforceable_timeout_warns_and_notes(self, monkeypatch):
+        import warnings
+
+        from repro.engine import pool as pool_mod
+
+        monkeypatch.setattr(
+            pool_mod._ThreadTimeoutTimer, "start", lambda self: False
+        )
+
+        class Sink:
+            def __init__(self):
+                self.events = []
+
+            def emit(self, event, **fields):
+                self.events.append((event, fields))
+
+        sink = Sink()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            box = {}
+            import threading
+
+            def run():
+                box["result"] = execute(
+                    [JobSpec(runner="test.sleep",
+                             kwargs={"duration_s": 0.01})],
+                    workers=1,
+                    retries=0,
+                    timeout_s=0.5,
+                    events=sink,
+                )
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            thread.join(timeout=30)
+        assert box["result"].outcomes[0].status == "ok"
+        assert any(
+            "cannot be enforced" in str(w.message)
+            and issubclass(w.category, RuntimeWarning)
+            for w in caught
+        )
+        types = [event for event, _ in sink.events]
+        assert "job_timeout_unenforced" in types
+        fields = dict(sink.events)["job_timeout_unenforced"]
+        assert fields["timeout_s"] == 0.5
+
+    def test_main_thread_still_uses_sigalrm(self):
+        """The SIGALRM path is untouched: interrupts C-level sleep."""
+        outcome = execute_one(
+            JobSpec(runner="test.sleep", kwargs={"duration_s": 5.0}),
+            timeout_s=0.2,
+            retries=0,
+        )
+        assert outcome.status == "failed"
+        assert outcome.duration_s < 1.0

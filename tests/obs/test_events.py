@@ -35,12 +35,14 @@ class TestEventSink:
             "job_start",
             "job_retry",
             "job_timeout",
+            "job_timeout_unenforced",
             "job_end",
             "job_skipped",
             "cache_hit",
             "cache_put",
             "cache_quarantine",
             "cache_put_error",
+            "cache_evict",
             "span_start",
             "span_end",
             "gauge",

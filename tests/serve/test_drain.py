@@ -1,0 +1,147 @@
+"""Graceful drain, restart replay, and ledger reconciliation.
+
+The ISSUE's drain contract: a drained server settles every in-flight
+job (no orphans), its ledger passes ``repro stats``, and a restarted
+server replays the submission journal into 100% cache hits.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.stats import aggregate_events_file
+from repro.serve.client import ServeClient
+from repro.serve.config import ServeConfig
+from repro.serve.http import run_in_thread
+from repro.serve.jobs import (
+    TERMINAL_STATES,
+    JobRecord,
+    JobRequest,
+)
+from repro.serve.server import ServeServer
+
+
+def _config(tmp_path, **overrides):
+    defaults = dict(
+        data_dir=tmp_path / "serve", port=0, max_concurrency=2
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+class TestDrainMidSweep:
+    def test_drain_settles_everything(self, tmp_path):
+        config = _config(tmp_path)
+        handle = run_in_thread(config)
+        client = ServeClient(handle.url)
+        submitted = [
+            client.submit(["test.sleep"], seed=seed)["id"]
+            for seed in range(6)
+        ]
+        # Stop immediately: most jobs are still queued or running.
+        handle.stop()
+        records = handle.core.jobs.list()
+        assert {r.job_id for r in records} == set(submitted)
+        assert all(r.state in TERMINAL_STATES for r in records)
+        assert all(r.state == "done" for r in records)
+
+    def test_drained_ledger_passes_repro_stats(self, tmp_path):
+        config = _config(tmp_path)
+        handle = run_in_thread(config)
+        client = ServeClient(handle.url)
+        for seed in range(4):
+            client.submit(["test.echo"], seed=seed)
+        handle.stop()
+        aggregate = aggregate_events_file(config.ledger_path)
+        assert aggregate["overall"]["sweeps"] == 4
+        assert aggregate["overall"]["ok"] == 4
+        assert aggregate["overall"]["failed"] == 0
+        assert "test.echo" in aggregate["runners"]
+
+    def test_drain_is_idempotent_and_rejects_late_submissions(
+        self, tmp_path
+    ):
+        core = ServeServer(_config(tmp_path))
+        core.start()
+        core.submit({"artifacts": ["test.echo"], "seed": 1})
+        assert core.drain(timeout=30) is True
+        assert core.drain(timeout=30) is True  # second call is a no-op
+        from repro.serve.scheduler import Draining
+
+        with pytest.raises(Draining):
+            core.submit({"artifacts": ["test.echo"], "seed": 2})
+        core.close()
+        # Exactly one drain_begin/end pair in the ledger.
+        events = [
+            json.loads(line)["event"]
+            for line in core.config.ledger_path.read_text().splitlines()
+        ]
+        assert events.count("serve_drain_begin") == 1
+        assert events.count("serve_drain_end") == 1
+        assert events[-1] == "serve_stop"
+
+
+class TestRestartReplay:
+    def test_restart_replays_journal_to_cache_hits(self, tmp_path):
+        config = _config(tmp_path)
+        handle = run_in_thread(config)
+        client = ServeClient(handle.url)
+        for seed in (1, 2, 3):
+            record = client.submit(["test.echo", "test.sleep"], seed=seed)
+            client.wait(record["id"], timeout=60)
+        handle.stop()
+
+        reborn = run_in_thread(_config(tmp_path, port=0))
+        try:
+            assert reborn.core.scheduler.admitted == 3
+            reborn.core.scheduler.drain(timeout=60)
+            records = reborn.core.jobs.list()
+            assert len(records) == 3
+            cached = sum(r.counts.get("cached", 0) for r in records)
+            total = sum(r.counts.get("jobs", 0) for r in records)
+            assert cached == total == 6  # 100% cache hits
+        finally:
+            reborn.stop()
+
+    def test_replay_runs_interrupted_submissions(self, tmp_path):
+        """A submission journaled but never executed still runs."""
+        config = _config(tmp_path)
+        core = ServeServer(config)
+        # Journal a submission without ever starting the scheduler —
+        # the "killed right after admission" shape.
+        core.jobs.add(
+            JobRecord(
+                job_id="j000001-dead0000",
+                request=JobRequest.from_payload(
+                    {"artifacts": ["test.echo"], "seed": 42}
+                ),
+            )
+        )
+        core.jobs.close()
+        core.ledger.close()
+
+        reborn = run_in_thread(_config(tmp_path, port=0))
+        try:
+            reborn.core.scheduler.drain(timeout=60)
+            records = reborn.core.jobs.list()
+            assert len(records) == 1
+            assert records[0].state == "done"
+            assert records[0].counts["ok"] == 1  # actually executed
+        finally:
+            reborn.stop()
+
+    def test_no_replay_flag(self, tmp_path):
+        config = _config(tmp_path)
+        handle = run_in_thread(config)
+        client = ServeClient(handle.url)
+        record = client.submit(["test.echo"], seed=1)
+        client.wait(record["id"], timeout=60)
+        handle.stop()
+
+        reborn = run_in_thread(
+            _config(tmp_path, port=0, replay_journal=False)
+        )
+        try:
+            assert reborn.core.jobs.list() == []
+        finally:
+            reborn.stop()

@@ -1,0 +1,138 @@
+"""Tests for repro.serve.scheduler: fairness, bounds, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.jobs import JobRecord, JobRequest
+from repro.serve.scheduler import Draining, FairScheduler, QueueFull
+
+
+def _record(tenant="t", seed=0):
+    request = JobRequest.from_payload(
+        {"artifacts": ["test.echo"], "seed": seed, "tenant": tenant}
+    )
+    return JobRecord(job_id=f"{tenant}-{seed}", request=request)
+
+
+class TestFairness:
+    def test_round_robin_across_tenants(self):
+        """A flooding tenant cannot starve a later, smaller one."""
+        order = []
+        done = threading.Event()
+
+        def run(record):
+            order.append(record.job_id)
+            if len(order) >= 7:
+                done.set()
+
+        scheduler = FairScheduler(run, max_concurrency=1)
+        for seed in range(6):
+            scheduler.submit(_record("flood", seed))
+        scheduler.submit(_record("small", 0))
+        scheduler.start()
+        assert done.wait(timeout=10)
+        scheduler.stop()
+        # The single "small" job ran long before flood's backlog spent.
+        assert order.index("small-0") <= 2
+
+    def test_concurrency_bound_is_respected(self):
+        lock = threading.Lock()
+        running = [0]
+        peak = [0]
+        done = threading.Event()
+        total = 12
+
+        def run(record):
+            with lock:
+                running[0] += 1
+                peak[0] = max(peak[0], running[0])
+            time.sleep(0.02)
+            with lock:
+                running[0] -= 1
+                if scheduler.completed + 1 >= total:
+                    done.set()
+
+        scheduler = FairScheduler(run, max_concurrency=3)
+        scheduler.start()
+        for seed in range(total):
+            scheduler.submit(_record("t", seed))
+        scheduler.drain()
+        assert peak[0] <= 3
+        assert scheduler.completed == total
+
+
+class TestBounds:
+    def test_queue_limit_is_per_tenant(self):
+        scheduler = FairScheduler(lambda r: None, queue_limit=2)
+        scheduler.submit(_record("a", 0))
+        scheduler.submit(_record("a", 1))
+        with pytest.raises(QueueFull):
+            scheduler.submit(_record("a", 2))
+        scheduler.submit(_record("b", 0))  # other tenants unaffected
+        assert scheduler.rejected == 1
+
+    def test_stats_shape(self):
+        scheduler = FairScheduler(lambda r: None, queue_limit=8)
+        scheduler.submit(_record("a", 0))
+        stats = scheduler.stats()
+        assert stats["queued"] == 1
+        assert stats["queued_by_tenant"] == {"a": 1}
+        assert stats["admitted"] == 1
+        assert not stats["draining"]
+
+
+class TestDrain:
+    def test_drain_settles_backlog_and_blocks_admission(self):
+        ran = []
+        scheduler = FairScheduler(
+            lambda r: ran.append(r.job_id), max_concurrency=2
+        )
+        scheduler.start()
+        for seed in range(5):
+            scheduler.submit(_record("t", seed))
+        assert scheduler.drain(timeout=10)
+        assert len(ran) == 5
+        with pytest.raises(Draining):
+            scheduler.submit(_record("t", 99))
+
+    def test_drain_waits_for_in_flight_jobs(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def run(record):
+            started.set()
+            release.wait(timeout=10)
+
+        scheduler = FairScheduler(run, max_concurrency=1)
+        scheduler.start()
+        scheduler.submit(_record("t", 0))
+        assert started.wait(timeout=10)
+        assert scheduler.drain(timeout=0.05) is False  # still in flight
+        release.set()
+        assert scheduler.drain(timeout=10) is True
+        scheduler.stop()
+
+    def test_stop_joins_workers(self):
+        scheduler = FairScheduler(lambda r: None, max_concurrency=2)
+        scheduler.start()
+        scheduler.submit(_record("t", 0))
+        assert scheduler.stop(timeout=10)
+        assert scheduler._threads == []
+
+    def test_worker_survives_job_exception(self):
+        done = threading.Event()
+
+        def run(record):
+            if record.job_id == "t-0":
+                raise RuntimeError("boom")
+            done.set()
+
+        scheduler = FairScheduler(run, max_concurrency=1)
+        scheduler.start()
+        scheduler.submit(_record("t", 0))
+        scheduler.submit(_record("t", 1))
+        assert done.wait(timeout=10)
+        scheduler.stop()
+        assert scheduler.completed == 2

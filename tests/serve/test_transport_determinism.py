@@ -1,0 +1,120 @@
+"""Cross-transport determinism: HTTP submission == ``sweep`` CLI.
+
+The same sweep submitted over HTTP and run through ``repro sweep``
+must produce bit-identical result values and the same ledger event
+sequence modulo timing/identity fields — the guarantee that lets a
+client move between the two transports (or verify one against the
+other) without re-deriving anything.
+"""
+
+import json
+
+from repro.cli import main as cli_main
+from repro.serve.client import ServeClient
+from repro.serve.config import ServeConfig
+from repro.serve.http import run_in_thread
+
+ARTIFACTS = ["test.echo", "test.sleep"]
+SEED = 5
+SCALE = 0.5
+
+#: Fields that legitimately differ between runs: wall/monotonic times,
+#: durations, and trace identity. Everything else must match exactly.
+VOLATILE_FIELDS = {
+    "t",
+    "seq",
+    "t_rel",
+    "duration_s",
+    "elapsed_s",
+    "trace_id",
+    "span_id",
+    "parent_id",
+}
+
+
+def _normalize(events):
+    return [
+        {k: v for k, v in event.items() if k not in VOLATILE_FIELDS}
+        for event in events
+    ]
+
+
+def _run_cli_sweep(tmp_path):
+    json_path = tmp_path / "cli-values.json"
+    events_path = tmp_path / "cli-events.jsonl"
+    rc = cli_main(
+        [
+            "sweep",
+            *ARTIFACTS,
+            "--seed",
+            str(SEED),
+            "--scale",
+            str(SCALE),
+            "--quiet",
+            "--json",
+            str(json_path),
+            "--events",
+            str(events_path),
+            "--cache-dir",
+            str(tmp_path / "cli-cache"),
+        ]
+    )
+    assert rc == 0
+    values = json.loads(json_path.read_text())
+    events = [
+        json.loads(line)
+        for line in events_path.read_text().splitlines()
+        if line.strip()
+    ]
+    return values, events
+
+
+def _run_http_sweep(tmp_path):
+    config = ServeConfig(
+        data_dir=tmp_path / "serve", port=0, max_concurrency=1
+    )
+    handle = run_in_thread(config)
+    try:
+        client = ServeClient(handle.url)
+        record = client.submit(ARTIFACTS, seed=SEED, scale=SCALE)
+        final = client.wait(record["id"], timeout=120)
+        assert final["state"] == "done"
+        values = client.result(record["id"])["values"]
+        events = client.events(record["id"])
+    finally:
+        handle.stop()
+    return values, events
+
+
+def test_http_and_cli_sweeps_are_bit_identical(tmp_path):
+    cli_values, cli_events = _run_cli_sweep(tmp_path)
+    http_values, http_events = _run_http_sweep(tmp_path)
+
+    # Result values: bit-identical, including serialized form.
+    assert json.dumps(cli_values, sort_keys=True) == json.dumps(
+        http_values, sort_keys=True
+    )
+
+    # Ledgers: same event sequence modulo timing/identity fields.
+    assert _normalize(cli_events) == _normalize(http_events)
+
+
+def test_repeated_http_submissions_are_self_identical(tmp_path):
+    config = ServeConfig(
+        data_dir=tmp_path / "serve2", port=0, max_concurrency=1
+    )
+    handle = run_in_thread(config)
+    try:
+        client = ServeClient(handle.url)
+        first = client.submit(ARTIFACTS, seed=SEED, scale=SCALE)
+        client.wait(first["id"], timeout=120)
+        second = client.submit(ARTIFACTS, seed=SEED, scale=SCALE)
+        client.wait(second["id"], timeout=120)
+        assert (
+            client.result(first["id"])["values"]
+            == client.result(second["id"])["values"]
+        )
+        # The rerun was served from cache, not recomputed.
+        assert client.job(second["id"])["counts"]["cached"] == 2
+    finally:
+        handle.stop()
