@@ -12,9 +12,16 @@ ISSUE's service-level invariants:
 * a drain settles everything and the ledger reconciles.
 
 Headline numbers (throughput, p50/p95 submit-to-result latency, cache
-hit/eviction counts) land in ``BENCH_serve.json``.
+hit/eviction counts) land in ``BENCH_serve.json``, and a no-regression
+gate compares them against the checked-in baseline
+(``benchmarks/baselines/BENCH_serve_baseline.json``): throughput must
+stay above half the baseline and p50 latency below twice it, so
+dispatch-layer changes (batch leases, shm transport) cannot quietly
+slow the server down.
 """
 
+import json
+import pathlib
 import threading
 import time
 
@@ -29,6 +36,11 @@ CLIENT_THREADS = 32
 DISTINCT_SEEDS = 150  # >1 cache entry per budget's worth; most dedupe
 CACHE_BUDGET_BYTES = 16 * 1024  # ~100 entries; forces live eviction
 TENANTS = 4
+BASELINE = (
+    pathlib.Path(__file__).resolve().parent
+    / "baselines"
+    / "BENCH_serve_baseline.json"
+)
 
 
 def test_serve_throughput_and_invariants(tmp_path, benchmark):
@@ -121,6 +133,22 @@ def test_serve_throughput_and_invariants(tmp_path, benchmark):
         "jobs_by_state": counts,
     }
     emit_json("BENCH_serve.json", payload)
+
+    # No-regression gate against the checked-in baseline (ratio-based
+    # so it holds on slower CI boxes without being toothless).
+    baseline = json.loads(BASELINE.read_text())
+    throughput_floor = baseline["throughput_jobs_per_s"] / 2.0
+    p50_ceiling = baseline["latency_p50_s"] * 2.0
+    assert load["throughput_jobs_per_s"] >= throughput_floor, (
+        f"serve throughput {load['throughput_jobs_per_s']:.1f} jobs/s "
+        f"regressed below {throughput_floor:.1f} "
+        f"(baseline {baseline['throughput_jobs_per_s']} / 2)"
+    )
+    assert load["latency_p50_s"] <= p50_ceiling, (
+        f"serve p50 latency {load['latency_p50_s'] * 1000:.1f} ms "
+        f"regressed above {p50_ceiling * 1000:.1f} ms "
+        f"(baseline {baseline['latency_p50_s'] * 1000:.1f} ms x 2)"
+    )
     emit(
         "Serve: 1000 submissions through the job server",
         "\n".join(

@@ -58,6 +58,7 @@ from repro.engine import (
     registry,
 )
 from repro.experiments.export import export_json, to_jsonable
+from repro.kernels.backend import BackendUnavailableError, UnknownBackendError
 
 
 def _artifact_ids() -> List[str]:
@@ -109,6 +110,14 @@ def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="on-disk result cache; repeated invocations become incremental",
     )
+    parser.add_argument(
+        "--backend",
+        metavar="NAME",
+        default=None,
+        help="compute backend for the kernels (numpy64, numpy32, numba "
+        "when available; default numpy64, or $REPRO_BACKEND). "
+        "Non-default backends key the cache separately",
+    )
     parser.add_argument("--json", metavar="PATH", help="write the result as JSON")
 
 
@@ -137,6 +146,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_run_args(sweep)
     sweep.add_argument(
         "--workers", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    sweep.add_argument(
+        "--dispatch",
+        choices=["auto", "batch", "per-job"],
+        default="auto",
+        help="parallel executor: 'batch' leases runs of jobs to "
+        "persistent warm workers (default when workers > 1), "
+        "'per-job' spawns one process per job",
+    )
+    sweep.add_argument(
+        "--lease-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="jobs per batch lease (default: ~4 leases per worker)",
     )
     sweep.add_argument(
         "--timeout",
@@ -321,6 +345,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record hierarchical spans into each job's ledger",
     )
+    serve.add_argument(
+        "--job-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per sweep (1 = serial in the worker "
+        "thread; >1 fans out via batch leases)",
+    )
+    serve.add_argument(
+        "--dispatch",
+        choices=["auto", "batch", "per-job"],
+        default="auto",
+        help="parallel executor for multi-worker sweeps",
+    )
+    serve.add_argument(
+        "--lease-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="jobs per batch lease (default: ~4 leases per worker)",
+    )
+    serve.add_argument(
+        "--backend",
+        metavar="NAME",
+        default=None,
+        help="server-wide default compute backend (a submission's own "
+        "'backend' field wins)",
+    )
 
     cache_cmd = sub.add_parser(
         "cache", help="inspect or garbage-collect a result cache directory"
@@ -375,7 +427,13 @@ def _cmd_run(args) -> int:
     spec = JobSpec(
         runner=args.artifact, seed=args.seed, scale=args.scale, label=args.artifact
     )
-    result = execute([spec], workers=args.workers, cache=cache)
+    try:
+        result = execute(
+            [spec], workers=args.workers, cache=cache, backend=args.backend
+        )
+    except (UnknownBackendError, BackendUnavailableError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     outcome = result.outcomes[0]
     if outcome.status == "failed":
         failure = outcome.failure
@@ -428,19 +486,26 @@ def _cmd_sweep(args) -> int:
             return 2
     gauge_results = None
     try:
-        result = execute(
-            specs,
-            workers=args.workers,
-            timeout_s=args.timeout,
-            retries=args.retries,
-            cache=cache,
-            progress=tracker,
-            events=events_sink,
-            faults=faults,
-            max_failures=args.max_failures,
-            trace=False if args.no_trace else None,
-            profile_dir=args.profile_dir,
-        )
+        try:
+            result = execute(
+                specs,
+                workers=args.workers,
+                timeout_s=args.timeout,
+                retries=args.retries,
+                cache=cache,
+                progress=tracker,
+                events=events_sink,
+                faults=faults,
+                max_failures=args.max_failures,
+                trace=False if args.no_trace else None,
+                profile_dir=args.profile_dir,
+                dispatch=args.dispatch,
+                lease_size=args.lease_size,
+                backend=args.backend,
+            )
+        except (UnknownBackendError, BackendUnavailableError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         gauge_results = _sweep_gauges(args, result, events_sink)
         if gauge_results is None:
             return 2
@@ -636,6 +701,10 @@ def _cmd_serve(args) -> int:
             retries=args.retries,
             replay_journal=not args.no_replay,
             trace=args.trace,
+            job_workers=args.job_workers,
+            dispatch=args.dispatch,
+            lease_size=args.lease_size,
+            backend=args.backend,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -41,13 +41,51 @@ import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from repro.experiments.export import to_jsonable
+import numpy as np
+
+from repro.experiments.export import (
+    _MAX_ARRAY_EXPORT,
+    NEG_INF_SENTINEL,
+    POS_INF_SENTINEL,
+    to_jsonable,
+)
+from repro.engine.shm import array_digest
 from repro.engine.spec import JobSpec
+from repro.kernels.backend import DEFAULT_BACKEND
 from repro.obs.events import EventSink
 
 PathLike = Union[str, Path]
 
 _SENTINEL = object()
+
+#: Marker key for a value stored out-of-line as an ``.npy`` sidecar.
+NPY_MARKER = "__npy__"
+
+#: Arrays with at least this many elements go to sidecars rather than
+#: inflated JSON lists (a 10k-float list is ~19x the binary size and
+#: ~100x the decode cost).
+SIDECAR_MIN_ELEMS = 1024
+
+
+def _array_to_lists(arr: "np.ndarray", decoded: bool) -> Any:
+    """One ndarray → the nested lists ``to_jsonable`` would produce.
+
+    ``decoded=False`` yields the strict-JSON form (NaN → ``None``,
+    ±inf → sentinel strings) that stored records use; ``decoded=True``
+    yields the post-``from_jsonable`` form (±inf back to floats) that
+    the engine hands callers. Keeping both paths here is what makes
+    sidecar-backed entries type-identical to inline ones.
+    """
+    if arr.dtype.kind == "f":
+        finite = np.isfinite(arr)
+        if not finite.all():
+            out = arr.astype(object)
+            out[np.isnan(arr)] = None
+            if not decoded:
+                out[np.isposinf(arr)] = POS_INF_SENTINEL
+                out[np.isneginf(arr)] = NEG_INF_SENTINEL
+            return out.tolist()
+    return arr.tolist()
 
 # Memo for default_code_version, keyed per source root on a cheap
 # (path, mtime_ns, size) scan rather than process lifetime: a
@@ -142,6 +180,11 @@ class ResultCache:
             "scale": spec.scale,
             "code_version": code_version or default_code_version(),
         }
+        # Non-default backends change numeric results, so they key the
+        # entry; the default is deliberately *omitted* (not stamped as
+        # "numpy64") to keep every pre-backend cache entry valid.
+        if spec.backend is not None and spec.backend != DEFAULT_BACKEND:
+            payload["backend"] = spec.backend
         canonical = json.dumps(
             payload, sort_keys=True, separators=(",", ":"), allow_nan=False
         )
@@ -155,6 +198,177 @@ class ResultCache:
     def quarantine_dir(self) -> Path:
         """Where corrupt entries are preserved (not auto-created)."""
         return self.root / "quarantine"
+
+    @property
+    def arrays_dir(self) -> Path:
+        """Content-addressed ``.npy`` sidecars (not auto-created)."""
+        return self.root / "arrays"
+
+    # -- array sidecars --------------------------------------------------
+    def _store_array(self, arr: "np.ndarray") -> str:
+        """Persist one ndarray as ``arrays/<digest>.npy``; returns digest.
+
+        Content-addressed, so identical arrays across entries share one
+        file and a re-put of the same key is a no-op. Written via temp
+        file + ``os.replace`` like entries: concurrent writers of the
+        same digest both land whole files with identical bytes.
+        """
+        arr = np.ascontiguousarray(arr)
+        digest = array_digest(arr)
+        path = self.arrays_dir / f"{digest}.npy"
+        if path.exists():
+            return digest
+        self.arrays_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.arrays_dir),
+            prefix=f".tmp-{os.getpid()}-{threading.get_ident()}-",
+            suffix=".npy",
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.save(handle, arr, allow_pickle=False)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return digest
+
+    def _load_array(self, desc: Dict[str, Any]) -> "np.ndarray":
+        """Load one sidecar and verify it matches its descriptor.
+
+        Raises ``OSError`` (missing/unreadable) or ``ValueError``
+        (corrupt ``.npy``, or content drift vs the descriptor) — the
+        caller quarantines the referencing entry and misses.
+        """
+        path = self.arrays_dir / f"{desc['digest']}.npy"
+        arr = np.load(path, allow_pickle=False)
+        if arr.dtype.str != desc.get("dtype") or list(arr.shape) != list(
+            desc.get("shape", [])
+        ):
+            raise ValueError(
+                f"sidecar {desc['digest']}.npy does not match its descriptor"
+            )
+        return arr
+
+    def encode_value(
+        self, value: Any
+    ) -> Tuple[Any, Dict[str, "np.ndarray"]]:
+        """Normalise a job result, diverting large arrays to sidecars.
+
+        Returns ``(normalised, arrays)``: the strict-JSON record value
+        (large ndarrays replaced by ``{NPY_MARKER: {...}}`` descriptors)
+        plus a digest→array memo so :meth:`decode_value` on the fresh
+        path never re-reads what was just written. Arrays below
+        ``SIDECAR_MIN_ELEMS``, above the export cap, or of non-numeric
+        dtype decline the hook and take the normal inline path — the
+        cap stays enforced so cached and uncached sweeps fail (or not)
+        identically. A sidecar write error also declines to inline:
+        storage trouble degrades performance, never correctness.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+
+        def hook(arr: "np.ndarray") -> Optional[Dict[str, Any]]:
+            if (
+                arr.size < SIDECAR_MIN_ELEMS
+                or arr.size > _MAX_ARRAY_EXPORT
+                or arr.dtype.kind not in "biuf"
+            ):
+                return None
+            try:
+                digest = self._store_array(arr)
+            except OSError:
+                return None
+            contiguous = np.ascontiguousarray(arr)
+            arrays[digest] = contiguous
+            return {
+                NPY_MARKER: {
+                    "digest": digest,
+                    "dtype": contiguous.dtype.str,
+                    "shape": list(contiguous.shape),
+                }
+            }
+
+        return to_jsonable(value, array_hook=hook), arrays
+
+    def decode_value(
+        self,
+        value: Any,
+        arrays: Optional[Dict[str, "np.ndarray"]] = None,
+    ) -> Any:
+        """One pass of ``from_jsonable`` + sidecar materialisation.
+
+        The engine's normalised return path: sentinel strings become
+        ±inf, sidecar descriptors become the nested lists the inline
+        path would have produced (NaN → ``None``, infinities as
+        floats). ``arrays`` is the fresh-put memo; descriptors not in
+        it fall back to disk.
+        """
+        if isinstance(value, str):
+            if value == POS_INF_SENTINEL:
+                return float("inf")
+            if value == NEG_INF_SENTINEL:
+                return float("-inf")
+            return value
+        if isinstance(value, dict):
+            if len(value) == 1 and NPY_MARKER in value:
+                desc = value[NPY_MARKER]
+                arr = None
+                if arrays is not None:
+                    arr = arrays.get(desc.get("digest"))
+                if arr is None:
+                    arr = self._load_array(desc)
+                return _array_to_lists(arr, decoded=True)
+            return {
+                key: self.decode_value(item, arrays)
+                for key, item in value.items()
+            }
+        if isinstance(value, list):
+            return [self.decode_value(item, arrays) for item in value]
+        return value
+
+    def _resolve_sidecars(self, value: Any) -> Any:
+        """Descriptors → jsonable lists (the pre-sidecar ``get`` shape).
+
+        Hits must return exactly what an inline entry stores, so the
+        pool's existing ``from_jsonable`` pass stays the single decode
+        point regardless of how the entry was persisted.
+        """
+        if isinstance(value, dict):
+            if len(value) == 1 and NPY_MARKER in value:
+                return _array_to_lists(
+                    self._load_array(value[NPY_MARKER]), decoded=False
+                )
+            return {
+                key: self._resolve_sidecars(item)
+                for key, item in value.items()
+            }
+        if isinstance(value, list):
+            return [self._resolve_sidecars(item) for item in value]
+        return value
+
+    def _purge_bad_sidecars(self, value: Any) -> None:
+        """Unlink every sidecar referenced by ``value`` that fails to load."""
+        if isinstance(value, dict):
+            if len(value) == 1 and NPY_MARKER in value:
+                desc = value[NPY_MARKER]
+                try:
+                    self._load_array(desc)
+                except (OSError, ValueError, KeyError, TypeError):
+                    try:
+                        (self.arrays_dir / f"{desc['digest']}.npy").unlink()
+                    except (OSError, KeyError, TypeError):
+                        pass
+                return
+            for item in value.values():
+                self._purge_bad_sidecars(item)
+        elif isinstance(value, list):
+            for item in value:
+                self._purge_bad_sidecars(item)
 
     def _quarantine(self, path: Path, spec: JobSpec, reason: str) -> None:
         """Move a corrupt entry aside (for post-mortems) and warn."""
@@ -215,6 +429,17 @@ class ResultCache:
             self._quarantine(path, spec, "not a cache record")
             return False, None
         try:
+            value = self._resolve_sidecars(record["value"])
+        except (OSError, ValueError) as exc:
+            # A record whose sidecar is gone or corrupt is itself
+            # unusable: quarantine the entry and drop the bad sidecar
+            # files too — content-addressed puts skip existing paths,
+            # so a poisoned sidecar left in place would survive the
+            # recompute and fail every future hit.
+            self._quarantine(path, spec, f"unusable array sidecar: {exc}")
+            self._purge_bad_sidecars(record["value"])
+            return False, None
+        try:
             # Touch on hit: gc evicts by mtime, so recency must track
             # *use* — a daily-hit entry outlives a week-old write-once.
             os.utime(path)
@@ -228,7 +453,7 @@ class ResultCache:
                 label=spec.display,
                 key=key,
             )
-        return True, record["value"]
+        return True, value
 
     def put(self, spec: JobSpec, key: str, value: Any) -> Path:
         """Atomically persist one normalised job result.
@@ -364,10 +589,67 @@ class ResultCache:
             "freed_bytes": freed,
             "kept": len(stats) - evicted,
             "size_bytes": total - freed,
+            "arrays_removed": self._gc_orphan_arrays(),
         }
 
+    def _referenced_digests(self) -> set:
+        """Digests referenced by any surviving cache entry."""
+
+        def _walk(node: Any, into: set) -> None:
+            if isinstance(node, dict):
+                if len(node) == 1 and NPY_MARKER in node:
+                    desc = node[NPY_MARKER]
+                    if isinstance(desc, dict) and "digest" in desc:
+                        into.add(str(desc["digest"]))
+                    return
+                for item in node.values():
+                    _walk(item, into)
+            elif isinstance(node, list):
+                for item in node:
+                    _walk(item, into)
+
+        referenced: set = set()
+        for path in self.entries().values():
+            try:
+                with path.open() as handle:
+                    record = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if isinstance(record, dict):
+                _walk(record.get("value"), referenced)
+        return referenced
+
+    def _gc_orphan_arrays(self) -> int:
+        """Remove sidecars no surviving entry references; returns count.
+
+        Only runs when the arrays dir actually holds files — the
+        common no-sidecar cache pays nothing. A concurrent put can
+        momentarily orphan its own sidecar (array written, entry not
+        yet replaced); that put simply rewrites it, content-addressing
+        makes the race idempotent.
+        """
+        arrays_dir = self.arrays_dir
+        try:
+            sidecars = [p for p in arrays_dir.iterdir() if p.suffix == ".npy"]
+        except OSError:
+            return 0
+        if not sidecars:
+            return 0
+        referenced = self._referenced_digests()
+        removed = 0
+        for path in sidecars:
+            if path.stem in referenced:
+                continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
     def clear(self) -> int:
-        """Delete every cached entry; returns the number removed."""
+        """Delete every cached entry (and all sidecars); returns the
+        number of entries removed."""
         removed = 0
         for path in self.entries().values():
             try:
@@ -375,4 +657,12 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        try:
+            for sidecar in self.arrays_dir.iterdir():
+                try:
+                    sidecar.unlink()
+                except OSError:
+                    pass
+        except OSError:
+            pass
         return removed

@@ -360,3 +360,9 @@ register(
     description="hangs ignoring SIGALRM (watchdog exercises)",
     kind="test",
 )
+register(
+    "test.array",
+    "repro.engine.testing:array_runner",
+    description="returns a large seeded ndarray (shm/sidecar exercises)",
+    kind="test",
+)

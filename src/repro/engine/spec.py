@@ -39,6 +39,7 @@ def artifact_jobs(
     artifacts: Sequence[str],
     base_seed: Optional[int] = None,
     scale: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> List["JobSpec"]:
     """The canonical job list for a plain artifact sweep.
 
@@ -50,7 +51,14 @@ def artifact_jobs(
     """
     seeds = spawn_seeds(base_seed, len(artifacts))
     return [
-        JobSpec(runner=name, seed=seed, scale=scale, index=i, label=name)
+        JobSpec(
+            runner=name,
+            seed=seed,
+            scale=scale,
+            index=i,
+            label=name,
+            backend=backend,
+        )
         for i, (name, seed) in enumerate(zip(artifacts, seeds))
     ]
 
@@ -62,6 +70,11 @@ class JobSpec:
     ``seed`` and ``scale`` are kept out of ``kwargs`` so the pool can
     inject them only when the runner's signature accepts them (e.g.
     ``run_tail_power`` takes neither).
+
+    ``backend`` names the compute backend the job's kernels run on
+    (see :mod:`repro.kernels.backend`); ``None`` means the process
+    default. Non-default backends change numeric results, so they are
+    part of the cache key.
     """
 
     runner: str
@@ -70,6 +83,7 @@ class JobSpec:
     scale: Optional[float] = None
     index: int = 0
     label: str = ""
+    backend: Optional[str] = None
 
     @property
     def display(self) -> str:
@@ -83,6 +97,8 @@ class JobSpec:
             attrs["seed"] = self.seed
         if self.scale is not None:
             attrs["scale"] = self.scale
+        if self.backend is not None:
+            attrs["backend"] = self.backend
         return attrs
 
     def replace(self, **changes: Any) -> "JobSpec":
@@ -104,7 +120,8 @@ class SweepSpec:
     ``max_failures`` is the sweep's failure budget: once more than
     that many jobs fail, the pool stops launching new ones and settles
     the rest as skipped (``None`` = unlimited tolerance, the default —
-    every job always runs).
+    every job always runs). ``backend`` stamps every expanded job with
+    one compute backend (``None`` = process default).
     """
 
     runners: Sequence[str]
@@ -114,6 +131,7 @@ class SweepSpec:
     base_seed: Optional[int] = None
     scale: Optional[float] = None
     max_failures: Optional[int] = None
+    backend: Optional[str] = None
 
     def grid_points(self) -> List[Dict[str, Any]]:
         """The grid's cartesian product as kwarg overlay dicts."""
@@ -155,6 +173,56 @@ class SweepSpec:
                     scale=self.scale,
                     index=index,
                     label=label,
+                    backend=self.backend,
                 )
             )
         return jobs
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """One worker *lease*: consecutive jobs dispatched as a unit.
+
+    The batch executor hands a whole lease to one persistent worker,
+    which streams one result record per job back — amortising the
+    process-dispatch cost over ``size`` jobs. A lease is a grouping,
+    not a semantic unit: each member job keeps its own seed, cache
+    key, failure record, and ledger events, and a job that crashes its
+    worker fails alone (the lease's unstarted remainder is re-leased
+    to another worker).
+    """
+
+    jobs: Sequence[JobSpec]
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("a lease must contain at least one job")
+
+    @property
+    def size(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def display(self) -> str:
+        first, last = self.jobs[0], self.jobs[-1]
+        if first is last:
+            return f"lease[{first.display}]"
+        return f"lease[{first.display}..{last.display}]"
+
+
+def fuse_jobs(
+    jobs: Sequence[JobSpec], lease_size: int
+) -> List[BatchSpec]:
+    """Chunk an ordered job list into :class:`BatchSpec` leases.
+
+    Jobs stay in index order and every job lands in exactly one lease;
+    the final lease may be short. ``lease_size=1`` degenerates to
+    per-job dispatch (useful for differential testing).
+    """
+    lease_size = int(lease_size)
+    if lease_size < 1:
+        raise ValueError("lease_size must be >= 1")
+    return [
+        BatchSpec(jobs=tuple(jobs[start : start + lease_size]))
+        for start in range(0, len(jobs), lease_size)
+    ]

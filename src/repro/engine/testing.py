@@ -105,6 +105,34 @@ def hanging_runner(
         time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
 
 
+def array_runner(
+    n: int = 50_000,
+    dtype: str = "float64",
+    with_nan: bool = False,
+    seed: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Return a deterministic large ndarray (shm / sidecar exercises).
+
+    The payload is seeded and sized to cross the zero-copy transport
+    and cache-sidecar thresholds, with optional NaN/±inf contamination
+    so type-parity through every encode path stays observable.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(0 if seed is None else int(seed))
+    values = rng.standard_normal(int(n)).astype(dtype)
+    if with_nan and values.size >= 4:
+        values[0] = np.nan
+        values[1] = np.inf
+        values[2] = -np.inf
+    return {
+        "values": values,
+        "n": int(n),
+        "checksum": float(np.nansum(values[np.isfinite(values)])),
+        "seed": seed,
+    }
+
+
 def interrupt_runner(seed: Optional[int] = None) -> None:
     """Raise ``KeyboardInterrupt`` mid-job (Ctrl-C propagation tests).
 

@@ -36,7 +36,7 @@ def _finite_or_sentinel(value: float) -> Union[float, str, None]:
     return POS_INF_SENTINEL if value > 0 else NEG_INF_SENTINEL
 
 
-def to_jsonable(value: Any) -> Any:
+def to_jsonable(value: Any, array_hook: Any = None) -> Any:
     """Recursively convert runner output into JSON-serialisable data.
 
     numpy scalars/arrays become Python numbers/lists, dataclasses become
@@ -45,6 +45,12 @@ def to_jsonable(value: Any) -> Any:
     ``"Infinity"``/``"-Infinity"`` sentinel strings, so the output is
     always *strict* JSON. Objects with no natural representation fall
     back to ``repr`` so exports never crash mid-campaign.
+
+    ``array_hook`` (when given) sees every ndarray first and may
+    return a JSON-serialisable replacement — the result cache uses
+    this to divert large arrays into ``.npy`` sidecars instead of
+    inflated JSON lists. A hook returning ``None`` declines, and the
+    array takes the normal list path (including the export size cap).
     """
     if isinstance(value, float):
         return _finite_or_sentinel(value)
@@ -57,16 +63,20 @@ def to_jsonable(value: Any) -> Any:
     if isinstance(value, np.floating):
         return _finite_or_sentinel(float(value))
     if isinstance(value, np.ndarray):
+        if array_hook is not None:
+            encoded = array_hook(value)
+            if encoded is not None:
+                return encoded
         if value.size > _MAX_ARRAY_EXPORT:
             raise ValueError(
                 f"array of {value.size} elements exceeds the export cap"
             )
-        return [to_jsonable(v) for v in value.tolist()]
+        return [to_jsonable(v, array_hook) for v in value.tolist()]
     if isinstance(value, enum.Enum):
         return value.value
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
-            field.name: to_jsonable(getattr(value, field.name))
+            field.name: to_jsonable(getattr(value, field.name), array_hook)
             for field in dataclasses.fields(value)
             if not field.name.startswith("_")
         }
@@ -77,10 +87,10 @@ def to_jsonable(value: Any) -> Any:
                 key = "|".join(str(k) for k in key)
             elif not isinstance(key, str):
                 key = str(key)
-            out[key] = to_jsonable(item)
+            out[key] = to_jsonable(item, array_hook)
         return out
     if isinstance(value, (list, tuple, set)):
-        return [to_jsonable(v) for v in value]
+        return [to_jsonable(v, array_hook) for v in value]
     return repr(value)
 
 

@@ -9,12 +9,34 @@ baseline. The determinism contract for every kernel is documented in
 ``docs/performance.md``.
 """
 
+from repro.kernels.backend import (
+    DEFAULT_BACKEND,
+    Backend,
+    BackendUnavailableError,
+    UnknownBackendError,
+    active_backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    use_backend,
+    validate_backend,
+)
 from repro.kernels.scan import ar1_scan, leaky_ramp_scan, markov_binary_scan
 from repro.kernels.sampling import sample_series
 
 __all__ = [
+    "DEFAULT_BACKEND",
+    "Backend",
+    "BackendUnavailableError",
+    "UnknownBackendError",
+    "active_backend",
     "ar1_scan",
+    "available_backends",
+    "get_backend",
     "leaky_ramp_scan",
     "markov_binary_scan",
+    "register_backend",
     "sample_series",
+    "use_backend",
+    "validate_backend",
 ]

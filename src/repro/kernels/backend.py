@@ -1,0 +1,225 @@
+"""Pluggable compute backends for the simulation kernels.
+
+A *backend* fixes the numeric substrate the kernels run on: the dtype
+every array-at-a-time kernel allocates and accumulates in, and (for
+compiled backends) the implementation dispatched to. Three ship here:
+
+* ``numpy64`` — float64 NumPy, the default. This is the reference
+  backend: it is what every golden pin, cache entry, and bit-identical
+  contract in the repository was produced with, so it is *exact* by
+  definition.
+* ``numpy32`` — float32 NumPy. Halves memory traffic for the big
+  series kernels; results are tolerance-matched (~1e-4 relative)
+  against ``numpy64``, never bit-identical, so cache keys incorporate
+  the backend id (see :meth:`repro.engine.cache.ResultCache.key_for`).
+* ``numba`` — an optional JIT-compiled sequential scan. Registered
+  unconditionally but *gated*: selecting it where numba is not
+  importable raises :class:`BackendUnavailableError` with the reason
+  (this repository's environments do not bundle numba — the backend
+  exists so deployments that have it can opt in without code changes).
+  Its sequential recurrence associates floating-point differently from
+  the blocked closed form, so like ``numpy32`` it is
+  tolerance-matched, not exact.
+
+Selection is scoped, not global mutable state: the engine activates a
+backend around each job via :func:`use_backend` (thread-local, so the
+serve pool's worker threads can run different backends concurrently),
+and ``REPRO_BACKEND`` sets the process-wide default for everything
+that does not choose explicitly. The serial==parallel==batched
+bit-identical contract holds *within* any one backend: the backend
+rides on the :class:`~repro.engine.spec.JobSpec` and is re-activated
+identically wherever the job lands.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+import numpy as np
+
+#: The reference backend — what every existing cache entry and golden
+#: pin was produced with. Cache keys omit it for back-compatibility.
+DEFAULT_BACKEND = "numpy64"
+
+#: Environment variable naming the process-wide default backend.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+class UnknownBackendError(ValueError):
+    """A backend name nothing registered under."""
+
+
+class BackendUnavailableError(RuntimeError):
+    """A registered backend whose runtime requirements are missing."""
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One registered compute backend.
+
+    ``probe`` (when given) returns a human-readable reason the backend
+    cannot run here, or ``None`` when it can — evaluated at selection
+    time, never at registration, so merely listing backends stays
+    dependency-free. ``exact`` records the contract the equivalence
+    tests enforce: exact backends are bit-identical to ``numpy64``,
+    the rest are tolerance-matched.
+    """
+
+    name: str
+    dtype: Any
+    exact: bool
+    description: str = ""
+    impl: str = "numpy"
+    probe: Optional[Callable[[], Optional[str]]] = None
+
+    def unavailable_reason(self) -> Optional[str]:
+        return self.probe() if self.probe is not None else None
+
+    @property
+    def available(self) -> bool:
+        return self.unavailable_reason() is None
+
+
+_REGISTRY: Dict[str, Backend] = {}
+_local = threading.local()
+
+
+def register_backend(backend: Backend, overwrite: bool = False) -> None:
+    if not overwrite and backend.name in _REGISTRY:
+        raise ValueError(f"backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+
+
+def available_backends() -> List[str]:
+    """Every registered backend name, sorted (gated ones included)."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; choose from "
+            f"{', '.join(available_backends())}"
+        ) from None
+
+
+def validate_backend(name: str) -> Backend:
+    """Name → :class:`Backend`, raising if unknown or gated off."""
+    backend = get_backend(name)
+    reason = backend.unavailable_reason()
+    if reason is not None:
+        raise BackendUnavailableError(
+            f"backend {name!r} is not available here: {reason}"
+        )
+    return backend
+
+
+def default_backend_name() -> str:
+    """The process default: ``REPRO_BACKEND`` or ``numpy64``."""
+    return os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+
+
+def active_backend() -> Backend:
+    """The backend in effect on *this thread* right now.
+
+    An unknown/unavailable name in ``REPRO_BACKEND`` raises on first
+    kernel use — loudly, rather than silently computing on the wrong
+    substrate.
+    """
+    stack = getattr(_local, "stack", None)
+    if stack:
+        return stack[-1]
+    return validate_backend(default_backend_name())
+
+
+def active_dtype() -> Any:
+    """The active backend's dtype (what kernels allocate in)."""
+    return active_backend().dtype
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[Backend]:
+    """Activate a backend for the current thread's dynamic extent."""
+    backend = validate_backend(name)
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    stack.append(backend)
+    try:
+        yield backend
+    finally:
+        stack.pop()
+
+
+# ---------------------------------------------------------------------------
+# Built-in backends.
+# ---------------------------------------------------------------------------
+
+def _numba_probe() -> Optional[str]:
+    try:
+        import numba  # noqa: F401
+    except ImportError as exc:
+        return f"numba is not importable ({exc})"
+    return None
+
+
+_NUMBA_AR1: Optional[Callable] = None
+
+
+def numba_ar1_scan(coeff: float, x: np.ndarray, init: float) -> np.ndarray:
+    """The numba backend's AR(1) body: a JIT-compiled sequential loop.
+
+    Compiled once per process on first use; :func:`validate_backend`
+    has already guaranteed numba imports before this can run.
+    """
+    global _NUMBA_AR1
+    if _NUMBA_AR1 is None:
+        from numba import njit
+
+        @njit(cache=False)
+        def _scan(coeff: float, x: np.ndarray, init: float) -> np.ndarray:
+            out = np.empty(x.shape[0])
+            carry = init
+            for i in range(x.shape[0]):
+                carry = coeff * carry + x[i]
+                out[i] = carry
+            return out
+
+        _NUMBA_AR1 = _scan
+    return _NUMBA_AR1(float(coeff), x, float(init))
+
+
+register_backend(
+    Backend(
+        name="numpy64",
+        dtype=np.float64,
+        exact=True,
+        description="float64 NumPy (reference; bit-identical contract)",
+    )
+)
+register_backend(
+    Backend(
+        name="numpy32",
+        dtype=np.float32,
+        exact=False,
+        description="float32 NumPy (half the memory traffic; ~1e-4 rel "
+        "tolerance vs numpy64)",
+    )
+)
+register_backend(
+    Backend(
+        name="numba",
+        dtype=np.float64,
+        exact=False,
+        description="JIT-compiled sequential scans (optional; gated on "
+        "numba being installed)",
+        impl="numba",
+        probe=_numba_probe,
+    )
+)

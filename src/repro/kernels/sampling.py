@@ -15,14 +15,22 @@ from typing import Callable, Union
 
 import numpy as np
 
+from repro.kernels import backend as _backend
+
 SeriesLike = Union[float, Callable[[float], float]]
 
 
 def sample_series(fn: SeriesLike, times_s: np.ndarray) -> np.ndarray:
-    """Evaluate ``fn`` over ``times_s``, vectorized when possible."""
-    times_s = np.asarray(times_s, dtype=float)
+    """Evaluate ``fn`` over ``times_s``, vectorized when possible.
+
+    Arrays are allocated in the active compute backend's dtype
+    (:mod:`repro.kernels.backend`); ``numpy64`` reproduces the
+    historical float64 behaviour bit-for-bit.
+    """
+    dtype = _backend.active_dtype()
+    times_s = np.asarray(times_s, dtype=dtype)
     if not callable(fn):
-        return np.full(times_s.shape, float(fn))
+        return np.full(times_s.shape, float(fn), dtype=dtype)
     try:
         values = fn(times_s)
     except (TypeError, ValueError):
@@ -35,9 +43,9 @@ def sample_series(fn: SeriesLike, times_s: np.ndarray) -> np.ndarray:
         # fail confusingly or, worse, succeed with different data).
         values = None
     if values is not None:
-        values = np.asarray(values, dtype=float)
+        values = np.asarray(values, dtype=dtype)
         if values.shape == times_s.shape:
             return values
         if values.ndim == 0:  # constant-valued callable
-            return np.full(times_s.shape, float(values))
-    return np.array([float(fn(float(t))) for t in times_s])
+            return np.full(times_s.shape, float(values), dtype=dtype)
+    return np.array([float(fn(float(t))) for t in times_s], dtype=dtype)

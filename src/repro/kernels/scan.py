@@ -21,7 +21,11 @@ boolean algebra and matches the sequential chain exactly.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+
+from repro.kernels import backend as _backend
 
 # Blocks keep |coeff|**-i within float64 range; 4096 steps of the
 # fastest-decaying constants used anywhere in the library stay well
@@ -29,13 +33,16 @@ import numpy as np
 _BLOCK = 4096
 
 
-def _block_size(coeff: float) -> int:
-    """Largest block for which ``coeff**-i`` stays finite in float64."""
+def _block_size(coeff: float, dtype: Any = np.float64) -> int:
+    """Largest block for which ``coeff**-i`` stays finite in ``dtype``."""
     mag = abs(coeff)
     if mag >= 1.0 or mag == 0.0:
         return _BLOCK
-    # |c|**-B < 1e280  =>  B < 280*ln(10)/(-ln|c|)
-    safe = int(280.0 * np.log(10.0) / -np.log(mag))
+    # |c|**-B < 10**limit  =>  B < limit*ln(10)/(-ln|c|), with the
+    # exponent headroom of the accumulation dtype (float32 overflows
+    # at ~3.4e38, so its blocks are shorter).
+    limit = 280.0 if np.dtype(dtype).itemsize >= 8 else 30.0
+    safe = int(limit * np.log(10.0) / -np.log(mag))
     return max(1, min(_BLOCK, safe))
 
 
@@ -47,25 +54,41 @@ def ar1_scan(coeff: float, x: np.ndarray, init: float = 0.0) -> np.ndarray:
     ``n / block`` Python iterations remain. Absolute error versus the
     sequential loop is bounded by ``~n * eps * max|x|`` (observed
     <1e-12 at every size the library uses).
+
+    The allocation/accumulation dtype follows the active compute
+    backend (:mod:`repro.kernels.backend`); under ``numpy64`` (the
+    default) this is bit-identical to the historical float64 path,
+    while ``numpy32`` trades precision for memory traffic and the
+    optional ``numba`` backend dispatches to the JIT-compiled
+    sequential loop instead of the blocked closed form.
     """
-    x = np.asarray(x, dtype=float)
+    backend = _backend.active_backend()
+    if backend.impl == "numba":
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError("x must be 1-D")
+        if abs(coeff) > 1.0:
+            raise ValueError("|coeff| must be <= 1 for a stable scan")
+        return _backend.numba_ar1_scan(float(coeff), x, float(init))
+    dtype = backend.dtype
+    x = np.asarray(x, dtype=dtype)
     if x.ndim != 1:
         raise ValueError("x must be 1-D")
     if abs(coeff) > 1.0:
         raise ValueError("|coeff| must be <= 1 for a stable scan")
     n = x.shape[0]
-    out = np.empty(n)
+    out = np.empty(n, dtype=dtype)
     if n == 0:
         return out
     if coeff == 0.0:
         np.copyto(out, x)
         return out
     carry = float(init)
-    block = _block_size(coeff)
+    block = _block_size(coeff, dtype)
     for start in range(0, n, block):
         chunk = x[start : start + block]
         m = chunk.shape[0]
-        powers = coeff ** np.arange(m, dtype=float)
+        powers = coeff ** np.arange(m, dtype=dtype)
         # y_local[i] = sum_{j<=i} c**(i-j) * chunk[j]
         local = powers * np.cumsum(chunk / powers)
         out[start : start + m] = local + (coeff * powers) * carry

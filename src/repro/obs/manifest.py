@@ -49,6 +49,8 @@ def _job_record(outcome: Any) -> Dict[str, Any]:
         "attempts": outcome.attempts,
         "duration_s": round(float(outcome.duration_s), 6),
     }
+    if spec.backend is not None:
+        record["backend"] = spec.backend
     if outcome.failure is not None:
         failure = outcome.failure
         record["failure"] = {
@@ -164,6 +166,7 @@ def specs_from_manifest(manifest: Dict[str, Any]) -> List[JobSpec]:
                 scale=job["scale"],
                 index=job["index"],
                 label=job["label"],
+                backend=job.get("backend"),
             )
         )
     return specs

@@ -32,6 +32,13 @@ def aggregate_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
     per_runner: Dict[str, Dict[str, Any]] = {}
     span_durations: Dict[str, List[float]] = {}
     gauge_status: Dict[str, str] = {}
+    # Multiset of job_start events not yet matched by a job_end, keyed
+    # (runner, label, index). Whatever is left open at the end of the
+    # ledger was torn off mid-run — a killed sweep, a crashed parent,
+    # an interrupted lease — and must be *counted*, not silently
+    # dropped, or a torn ledger under-reports exactly the runs that
+    # most need auditing.
+    open_jobs: Dict[tuple, int] = {}
     overall = {
         "sweeps": 0,
         "jobs": 0,
@@ -39,6 +46,7 @@ def aggregate_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
         "failed": 0,
         "cached": 0,
         "skipped": 0,
+        "interrupted": 0,
         "retries": 0,
         "timeouts": 0,
         "cache_puts": 0,
@@ -55,11 +63,15 @@ def aggregate_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
                 "failed": 0,
                 "cached": 0,
                 "skipped": 0,
+                "interrupted": 0,
                 "retries": 0,
                 "timeouts": 0,
                 "durations": [],
             }
         return per_runner[runner]
+
+    def _job_key(event: Mapping[str, Any]) -> tuple:
+        return (_runner_of(event), event.get("label"), event.get("index"))
 
     for event in events:
         kind = event.get("event")
@@ -67,7 +79,13 @@ def aggregate_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
             overall["sweeps"] += 1
         elif kind == "sweep_end":
             overall["elapsed_s"] += float(event.get("elapsed_s", 0.0))
+        elif kind == "job_start":
+            key3 = _job_key(event)
+            open_jobs[key3] = open_jobs.get(key3, 0) + 1
         elif kind == "job_end":
+            key3 = _job_key(event)
+            if open_jobs.get(key3):
+                open_jobs[key3] -= 1
             stats = bucket(_runner_of(event))
             stats["jobs"] += 1
             status = event.get("status")
@@ -106,6 +124,21 @@ def aggregate_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
             gauge_status[str(event.get("name", "?"))] = str(
                 event.get("status", "?")
             )
+
+    # Reconcile torn ledgers: any job_start never matched by a job_end
+    # is an interrupted job (the worker — or the whole parent — died
+    # mid-flight). Count it as a failure so totals add up instead of
+    # quietly shrinking.
+    for (runner, _label, _index), open_count in open_jobs.items():
+        if open_count <= 0:
+            continue
+        stats = bucket(runner)
+        stats["interrupted"] += open_count
+        stats["failed"] += open_count
+        stats["jobs"] += open_count
+        overall["interrupted"] += open_count
+        overall["failed"] += open_count
+        overall["jobs"] += open_count
 
     runners: Dict[str, Dict[str, Any]] = {}
     for runner in sorted(per_runner):
@@ -163,10 +196,18 @@ def render_stats(aggregate: Dict[str, Any]) -> str:
     skipped_part = (
         ", {skipped} skipped".format(**overall) if overall["skipped"] else ""
     )
+    interrupted_part = (
+        " ({interrupted} interrupted)".format(**overall)
+        if overall.get("interrupted")
+        else ""
+    )
     lines = [
         "{sweeps} sweep(s), {jobs} jobs: {ok} ok, {cached} cached, "
-        "{failed} failed{skipped_part} in {elapsed_s:.2f}s".format(
-            skipped_part=skipped_part, **overall
+        "{failed} failed{interrupted_part}{skipped_part} "
+        "in {elapsed_s:.2f}s".format(
+            skipped_part=skipped_part,
+            interrupted_part=interrupted_part,
+            **overall,
         ),
         "retries: {retries}  timeouts: {timeouts}  "
         "cache hit rate: {rate:.0f}%".format(

@@ -38,7 +38,10 @@ class ServeConfig:
     per tenant (excess submissions are rejected with 429, the
     backpressure signal); ``job_workers`` is forwarded to ``execute()``
     per sweep (1 = serial in the worker thread, >1 fans out worker
-    processes per job).
+    processes). ``dispatch``/``lease_size`` pick the parallel executor
+    for those fan-outs (batch leases by default — see
+    ``docs/performance.md``) and ``backend`` sets a server-wide default
+    compute backend (a submission's own ``"backend"`` field wins).
     """
 
     data_dir: PathLike = ".repro-serve"
@@ -55,6 +58,9 @@ class ServeConfig:
     replay_journal: bool = True
     drain_grace_s: float = 30.0
     trace: bool = False
+    dispatch: str = "auto"
+    lease_size: Optional[int] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
@@ -63,6 +69,12 @@ class ServeConfig:
             raise ValueError("queue_limit must be >= 1")
         if self.cache_max_bytes < 0 or self.artifacts_max_bytes < 0:
             raise ValueError("byte budgets must be >= 0")
+        if self.dispatch not in ("auto", "batch", "per-job"):
+            raise ValueError(
+                "dispatch must be 'auto', 'batch', or 'per-job'"
+            )
+        if self.lease_size is not None and self.lease_size < 1:
+            raise ValueError("lease_size must be >= 1")
 
     # -- layout ----------------------------------------------------------
     @property

@@ -278,7 +278,13 @@ class ServeServer:
         try:
             result = execute(
                 request.to_specs(),
-                workers=request.workers,
+                # A submission asking for parallelism wins; otherwise
+                # the server-wide default applies.
+                workers=(
+                    request.workers
+                    if request.workers > 1
+                    else self.config.job_workers
+                ),
                 timeout_s=(
                     request.timeout_s
                     if request.timeout_s is not None
@@ -293,6 +299,9 @@ class ServeServer:
                 code_version=self.code_version,
                 events=sink,
                 trace=self.config.trace or None,
+                dispatch=self.config.dispatch,
+                lease_size=self.config.lease_size,
+                backend=request.backend or self.config.backend,
             )
             self._settle(record, result, sink, job_dir)
         except Exception as exc:  # defensive: execute() shouldn't raise

@@ -1,0 +1,158 @@
+"""Tests for batch-lease dispatch: fusing, isolation, crash requeue."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchSpec, JobSpec, execute, fuse_jobs
+from repro.engine.pool import _auto_lease_size
+from repro.engine.shm import active_segments
+from repro.experiments.export import to_jsonable
+
+N_JOBS = 12
+
+
+def _echo_jobs(n=N_JOBS):
+    return [
+        JobSpec(runner="test.echo", kwargs={"v": i}, index=i, seed=100 + i)
+        for i in range(n)
+    ]
+
+
+class TestFuseJobs:
+    def test_every_job_lands_once_in_order(self):
+        jobs = _echo_jobs(10)
+        leases = fuse_jobs(jobs, 3)
+        assert [lease.size for lease in leases] == [3, 3, 3, 1]
+        flat = [job for lease in leases for job in lease.jobs]
+        assert flat == jobs
+
+    def test_lease_size_one_degenerates_to_per_job(self):
+        leases = fuse_jobs(_echo_jobs(4), 1)
+        assert [lease.size for lease in leases] == [1, 1, 1, 1]
+
+    def test_lease_size_validation(self):
+        with pytest.raises(ValueError):
+            fuse_jobs(_echo_jobs(4), 0)
+
+    def test_empty_lease_rejected(self):
+        with pytest.raises(ValueError):
+            BatchSpec(jobs=())
+
+    def test_display_names_range(self):
+        jobs = _echo_jobs(3)
+        assert fuse_jobs(jobs, 3)[0].display == (
+            f"lease[{jobs[0].display}..{jobs[2].display}]"
+        )
+        assert fuse_jobs(jobs, 1)[0].display == f"lease[{jobs[0].display}]"
+
+    def test_auto_lease_size_targets_four_leases_per_worker(self):
+        assert _auto_lease_size(256, 4) == 16
+        assert _auto_lease_size(3, 4) == 1
+        assert _auto_lease_size(0, 4) == 1
+
+
+class TestBatchExecution:
+    def test_batch_matches_serial(self):
+        jobs = _echo_jobs()
+        serial = execute(jobs, workers=1)
+        batched = execute(jobs, workers=3, dispatch="batch")
+        assert serial.values() == batched.values()
+
+    @pytest.mark.parametrize("lease_size", [1, 4, 64])
+    def test_lease_size_does_not_change_results(self, lease_size):
+        jobs = _echo_jobs()
+        serial = execute(jobs, workers=1)
+        batched = execute(
+            jobs, workers=2, dispatch="batch", lease_size=lease_size
+        )
+        assert serial.values() == batched.values()
+
+    def test_invalid_dispatch_rejected(self):
+        with pytest.raises(ValueError, match="dispatch"):
+            execute(_echo_jobs(2), workers=2, dispatch="warp")
+
+    def test_invalid_lease_size_rejected(self):
+        with pytest.raises(ValueError, match="lease_size"):
+            execute(_echo_jobs(2), workers=2, lease_size=0)
+
+    def test_large_array_results_survive_shm_transport(self):
+        jobs = [
+            JobSpec(
+                runner="test.array",
+                kwargs={"n": 20_000},
+                index=i,
+                seed=7 + i,
+                label=f"arr{i}",
+            )
+            for i in range(4)
+        ]
+        serial = execute(jobs, workers=1)
+        batched = execute(jobs, workers=2, dispatch="batch")
+        for a, b in zip(serial.values(), batched.values()):
+            np.testing.assert_array_equal(a["values"], b["values"])
+            assert a["checksum"] == b["checksum"]
+        assert active_segments() == ()
+
+    def test_shm_disabled_still_correct(self):
+        jobs = [
+            JobSpec(runner="test.array", kwargs={"n": 20_000}, index=i, seed=i)
+            for i in range(3)
+        ]
+        serial = execute(jobs, workers=1)
+        batched = execute(jobs, workers=2, dispatch="batch", shm_bytes=0)
+        canon = [
+            json.dumps(to_jsonable(r.values()), sort_keys=True)
+            for r in (serial, batched)
+        ]
+        assert canon[0] == canon[1]
+        assert active_segments() == ()
+
+
+class TestCrashIsolation:
+    def test_crash_fails_one_job_not_the_lease(self):
+        jobs = _echo_jobs(6)
+        jobs[2] = JobSpec(runner="test.crash", index=2, label="boom")
+        result = execute(
+            jobs, workers=2, dispatch="batch", lease_size=3, retries=0
+        )
+        statuses = [o.status for o in result.outcomes]
+        assert statuses == ["ok", "ok", "failed", "ok", "ok", "ok"]
+        failure = result.outcomes[2].failure
+        assert failure.error_type == "WorkerCrashError"
+        # Jobs after the crash in the same lease were re-leased and ran.
+        assert result.outcomes[3].value == {"v": 3, "seed": 103}
+        assert active_segments() == ()
+
+    def test_all_leases_crashing_still_terminates(self):
+        jobs = [
+            JobSpec(runner="test.crash", index=i, label=f"c{i}")
+            for i in range(4)
+        ]
+        result = execute(
+            jobs, workers=2, dispatch="batch", lease_size=2, retries=0
+        )
+        assert result.failed_count == 4
+        assert all(
+            o.failure.error_type == "WorkerCrashError"
+            for o in result.outcomes
+        )
+        assert active_segments() == ()
+
+    def test_hang_reclaimed_by_watchdog_inside_lease(self):
+        jobs = _echo_jobs(4)
+        jobs[1] = JobSpec(
+            runner="test.hang", kwargs={"hang_s": 60.0}, index=1, label="hang"
+        )
+        result = execute(
+            jobs,
+            workers=2,
+            dispatch="batch",
+            lease_size=2,
+            retries=0,
+            timeout_s=0.5,
+        )
+        statuses = [o.status for o in result.outcomes]
+        assert statuses == ["ok", "failed", "ok", "ok"]
+        assert active_segments() == ()

@@ -417,3 +417,145 @@ class TestConcurrentWriters:
         assert not list(Path(tmp_path).glob(".tmp-*"))
         quarantine = Path(tmp_path) / "quarantine"
         assert not quarantine.is_dir() or not list(quarantine.iterdir())
+
+
+class TestArraySidecars:
+    """Large ndarray results live as content-addressed .npy sidecars."""
+
+    def _array_spec(self, n=20_000, with_nan=False, seed=9):
+        return JobSpec(
+            runner="test.array",
+            kwargs={"n": n, "with_nan": with_nan},
+            seed=seed,
+        )
+
+    def _sidecars(self, cache):
+        if not cache.arrays_dir.is_dir():
+            return []
+        return sorted(cache.arrays_dir.glob("*.npy"))
+
+    def test_large_array_result_uses_npy_sidecar(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = self._array_spec()
+        fresh = execute([spec], cache=cache, code_version="v").values()[0]
+        assert len(self._sidecars(cache)) == 1
+        (entry,) = cache.entries().values()
+        stored = json.loads(entry.read_text())["value"]
+        assert "__npy__" in json.dumps(stored)  # descriptor, not lists
+        hit = execute([spec], cache=cache, code_version="v").values()[0]
+        assert fresh == hit
+
+    def test_sidecar_type_parity_nan_inf(self, tmp_path):
+        # The NaN/Infinity sentinel contract must hold whether the
+        # array went inline, through a sidecar, or skipped the cache.
+        from repro.experiments.export import to_jsonable
+
+        spec = self._array_spec(with_nan=True)
+        uncached = execute([spec]).values()[0]  # raw ndarray, no cache
+        cache = ResultCache(tmp_path)
+        fresh = execute([spec], cache=cache, code_version="v").values()[0]
+        hit = execute([spec], cache=cache, code_version="v").values()[0]
+        for value in (fresh, hit):
+            v = value["values"]
+            assert v[0] is None  # NaN
+            assert v[1] == float("inf") and isinstance(v[1], float)
+            assert v[2] == float("-inf")
+            assert isinstance(v[5], float)
+        assert json.dumps(fresh) == json.dumps(hit)
+        # Export-normalised, all three transports agree byte-for-byte.
+        assert json.dumps(to_jsonable(fresh)) == json.dumps(
+            to_jsonable(uncached)
+        )
+
+    def test_small_arrays_stay_inline(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = self._array_spec(n=100)
+        execute([spec], cache=cache, code_version="v")
+        assert self._sidecars(cache) == []
+
+    def test_sidecars_are_content_addressed(self, tmp_path):
+        import numpy as np
+
+        cache = ResultCache(tmp_path)
+        arr = np.arange(5000, dtype=np.float64)
+        normalised, arrays = cache.encode_value({"a": arr, "b": arr.copy()})
+        assert len(arrays) == 1  # same content, one digest
+        assert len(self._sidecars(cache)) == 1
+        digest_a = normalised["a"]["__npy__"]["digest"]
+        assert normalised["b"]["__npy__"]["digest"] == digest_a
+        decoded = cache.decode_value(normalised, arrays)
+        assert decoded["a"] == arr.tolist()
+
+    def test_corrupt_sidecar_quarantines_and_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = self._array_spec()
+        first = execute([spec], cache=cache, code_version="v")
+        (sidecar,) = self._sidecars(cache)
+        sidecar.write_bytes(b"not an npy file")
+        with pytest.warns(RuntimeWarning, match="sidecar"):
+            rerun = execute([spec], cache=cache, code_version="v")
+        assert rerun.cached_count == 0 and rerun.ok_count == 1
+        assert list(cache.quarantine_dir.iterdir())
+        assert rerun.values() == first.values()  # recompute rewrote it
+        third = execute([spec], cache=cache, code_version="v")
+        assert third.cached_count == 1
+
+    def test_missing_sidecar_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = self._array_spec()
+        execute([spec], cache=cache, code_version="v")
+        (sidecar,) = self._sidecars(cache)
+        sidecar.unlink()
+        with pytest.warns(RuntimeWarning, match="sidecar"):
+            rerun = execute([spec], cache=cache, code_version="v")
+        assert rerun.cached_count == 0 and rerun.ok_count == 1
+
+    def test_wrong_shape_sidecar_is_rejected(self, tmp_path):
+        import numpy as np
+
+        cache = ResultCache(tmp_path)
+        spec = self._array_spec()
+        execute([spec], cache=cache, code_version="v")
+        (sidecar,) = self._sidecars(cache)
+        np.save(sidecar, np.zeros(3))  # plausible npy, wrong contents
+        with pytest.warns(RuntimeWarning, match="sidecar"):
+            rerun = execute([spec], cache=cache, code_version="v")
+        assert rerun.cached_count == 0
+
+    def test_gc_removes_orphan_sidecars(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = self._array_spec()
+        execute([spec], cache=cache, code_version="v")
+        (entry,) = cache.entries().values()
+        entry.unlink()  # sidecar is now referenced by nothing
+        summary = cache.gc(max_bytes=10**9)
+        assert summary["arrays_removed"] == 1
+        assert self._sidecars(cache) == []
+
+    def test_gc_keeps_referenced_sidecars(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        execute([self._array_spec()], cache=cache, code_version="v")
+        summary = cache.gc(max_bytes=10**9)
+        assert summary["arrays_removed"] == 0
+        assert len(self._sidecars(cache)) == 1
+
+    def test_clear_removes_sidecars(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        execute([self._array_spec()], cache=cache, code_version="v")
+        assert cache.clear() >= 1
+        assert self._sidecars(cache) == []
+
+    def test_oversized_arrays_still_fail_the_export_cap(self, tmp_path):
+        # The sidecar hook must not quietly lift the export cap: a
+        # >100k-element array fails to_jsonable identically with or
+        # without a cache attached.
+        import numpy as np
+
+        from repro.experiments.export import to_jsonable
+
+        cache = ResultCache(tmp_path)
+        big = np.zeros(200_000)
+        with pytest.raises(ValueError, match="export cap"):
+            to_jsonable({"v": big})
+        with pytest.raises(ValueError, match="export cap"):
+            cache.encode_value({"v": big})

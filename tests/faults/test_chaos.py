@@ -268,3 +268,85 @@ class TestInjectionDisabledIdentity:
         result = execute(_jobs(), workers=1, faults=plan)
         assert result.ok_count == N_JOBS
         assert result.values() == _expected_values()
+
+
+class TestBatchDispatchChaos:
+    """The fault matrix replayed through the batch-lease executor."""
+
+    def _array_jobs(self, n=6):
+        # Large enough to ride the shared-memory rings, so a crash
+        # exercises segment cleanup, not just pipe teardown.
+        return [
+            JobSpec(
+                runner="test.array",
+                kwargs={"n": 20_000},
+                index=i,
+                seed=100 + i,
+                label=f"arr{i}",
+            )
+            for i in range(n)
+        ]
+
+    def test_crash_under_batch_is_isolated_and_leak_free(self):
+        from repro.engine.shm import active_segments
+
+        plan = FaultPlan.single("crash", at=(3,))
+        result = execute(
+            self._array_jobs(),
+            workers=2,
+            dispatch="batch",
+            lease_size=3,
+            retries=0,
+            faults=plan,
+        )
+        assert result.failed_count == 1 and result.ok_count == 5
+        assert (
+            result.outcomes[3].failure.error_type == "WorkerCrashError"
+        )
+        assert active_segments() == ()
+
+    def test_repeated_crashes_drain_without_leaks(self):
+        from repro.engine.shm import active_segments
+
+        plan = FaultPlan.single("crash", at=(0, 2, 4))
+        result = execute(
+            self._array_jobs(),
+            workers=2,
+            dispatch="batch",
+            lease_size=2,
+            retries=0,
+            faults=plan,
+        )
+        assert result.failed_count == 3 and result.ok_count == 3
+        assert active_segments() == ()
+
+    def test_budget_abort_under_batch_skips_and_cleans_up(self):
+        from repro.engine.shm import active_segments
+
+        jobs = [JobSpec(runner="test.fail", index=i) for i in range(8)]
+        result = execute(
+            jobs,
+            workers=2,
+            dispatch="batch",
+            lease_size=2,
+            retries=0,
+            max_failures=1,
+        )
+        assert result.partial
+        assert result.failed_count + result.skipped_count == 8
+        assert active_segments() == ()
+
+    def test_transient_faults_retry_identically_under_batch(self):
+        plan = FaultPlan.single("transient", rate=0.5, seed=3)
+        jobs = [
+            JobSpec(runner="test.echo", kwargs={"v": i}, index=i, seed=i)
+            for i in range(N_JOBS)
+        ]
+        per_job = execute(
+            jobs, workers=2, dispatch="per-job", retries=2, faults=plan
+        )
+        batched = execute(
+            jobs, workers=2, dispatch="batch", retries=2, faults=plan
+        )
+        assert per_job.values() == batched.values()
+        assert per_job.failed_count == batched.failed_count == 0

@@ -139,3 +139,82 @@ class TestCliStats:
 
         assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestTornLedgerReconciliation:
+    """job_start without job_end is an interrupted job, never dropped."""
+
+    def _torn(self):
+        return [
+            {"event": "sweep_start", "jobs": 3, "workers": 2},
+            {"event": "job_start", "index": 0, "runner": "fig2",
+             "label": "fig2"},
+            {"event": "job_end", "index": 0, "runner": "fig2",
+             "label": "fig2", "status": "ok", "duration_s": 0.2},
+            {"event": "job_start", "index": 1, "runner": "fig9",
+             "label": "fig9"},
+            {"event": "job_start", "index": 2, "runner": "fig9",
+             "label": "fig9#2"},
+            # Lease worker (or the whole parent) died here: no job_end
+            # for indices 1 and 2, no sweep_end.
+        ]
+
+    def test_open_starts_counted_as_interrupted_failures(self):
+        aggregate = aggregate_events(self._torn())
+        overall = aggregate["overall"]
+        assert overall["interrupted"] == 2
+        assert overall["failed"] == 2
+        assert overall["jobs"] == 3  # 1 ok + 2 interrupted
+        fig9 = aggregate["runners"]["fig9"]
+        assert fig9["interrupted"] == 2 and fig9["failed"] == 2
+
+    def test_render_shows_interrupted_only_when_torn(self):
+        torn = render_stats(aggregate_events(self._torn()))
+        assert "(2 interrupted)" in torn
+        healthy = render_stats(aggregate_events(_synthetic_events()))
+        assert "interrupted" not in healthy
+
+    def test_healthy_first_line_is_byte_stable(self):
+        # CI greps for this exact phrasing; the interrupted counter
+        # must not perturb healthy-run output.
+        line = render_stats(
+            aggregate_events(_synthetic_events())
+        ).splitlines()[0]
+        assert line == (
+            "1 sweep(s), 3 jobs: 1 ok, 1 cached, 1 failed in 1.50s"
+        )
+
+    def test_repeated_starts_pair_with_ends(self):
+        # A retried job re-enters through the same (runner, label,
+        # index) key; matched starts/ends must cancel exactly.
+        events = [
+            {"event": "job_start", "index": 0, "runner": "r", "label": "a"},
+            {"event": "job_end", "index": 0, "runner": "r", "label": "a",
+             "status": "ok", "duration_s": 0.1},
+            {"event": "job_start", "index": 0, "runner": "r", "label": "a"},
+        ]
+        overall = aggregate_events(events)["overall"]
+        assert overall["interrupted"] == 1
+        assert overall["jobs"] == 2
+
+    def test_real_torn_parallel_ledger_reconciles(self):
+        # Drop the tail of a real batched sweep's ledger mid-lease and
+        # the aggregate must still account for every started job.
+        sink = RecordingSink()
+        jobs = [
+            JobSpec(runner="test.echo", kwargs={"v": i}, index=i)
+            for i in range(6)
+        ]
+        execute(jobs, workers=2, dispatch="batch", lease_size=3,
+                events=sink)
+        events = list(sink.events)
+        end_indices = [
+            i for i, e in enumerate(events) if e["event"] == "job_end"
+        ]
+        torn = [
+            e for i, e in enumerate(events)
+            if i not in end_indices[-2:] and e["event"] != "sweep_end"
+        ]
+        overall = aggregate_events(torn)["overall"]
+        assert overall["interrupted"] == 2
+        assert overall["ok"] + overall["interrupted"] == 6

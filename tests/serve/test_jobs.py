@@ -197,3 +197,51 @@ class TestJobStore:
         assert [r.job_id for r in store.list(state="done")] == ["j2"]
         assert store.counts_by_state()["queued"] == 1
         assert [r.job_id for r in store.unsettled()] == ["j1"]
+
+
+class TestBackendField:
+    def test_backend_accepted_and_threaded_to_specs(self):
+        request = JobRequest.from_payload(
+            {"artifacts": ["test.echo"], "backend": "numpy32"}
+        )
+        assert request.backend == "numpy32"
+        specs = request.to_specs()
+        assert all(spec.backend == "numpy32" for spec in specs)
+        assert request.as_payload()["backend"] == "numpy32"
+
+    def test_unknown_backend_is_bad_request(self):
+        with pytest.raises(BadRequest, match="unknown backend"):
+            JobRequest.from_payload(
+                {"artifacts": ["test.echo"], "backend": "fortran77"}
+            )
+
+    def test_unavailable_backend_is_bad_request(self):
+        from repro.kernels.backend import get_backend
+
+        if get_backend("numba").available:  # pragma: no cover
+            pytest.skip("numba importable here")
+        with pytest.raises(BadRequest, match="not available"):
+            JobRequest.from_payload(
+                {"artifacts": ["test.echo"], "backend": "numba"}
+            )
+
+    def test_empty_backend_is_bad_request(self):
+        with pytest.raises(BadRequest, match="backend"):
+            JobRequest.from_payload(
+                {"artifacts": ["test.echo"], "backend": ""}
+            )
+
+    def test_default_backend_does_not_fork_the_key(self):
+        # Pre-backend journal entries must replay to the same keys.
+        bare = JobRequest.from_payload({"artifacts": ["test.echo"]})
+        explicit = JobRequest.from_payload(
+            {"artifacts": ["test.echo"], "backend": "numpy64"}
+        )
+        assert bare.spec_key() == explicit.spec_key()
+
+    def test_non_default_backend_forks_the_key(self):
+        bare = JobRequest.from_payload({"artifacts": ["test.echo"]})
+        alt = JobRequest.from_payload(
+            {"artifacts": ["test.echo"], "backend": "numpy32"}
+        )
+        assert bare.spec_key() != alt.spec_key()
