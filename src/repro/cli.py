@@ -239,6 +239,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the gauge scoreboard + job counts as an "
         "OpenMetrics textfile here",
     )
+    sweep.add_argument(
+        "--ues",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet population size; turns 'sweep fleet' into a "
+        "sharded fleet sweep (docs/fleet.md)",
+    )
+    sweep.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet shard count (default: one shard per ~4096 UEs); "
+        "any value yields bit-identical results",
+    )
+    sweep.add_argument(
+        "--city",
+        type=float,
+        default=None,
+        metavar="METERS",
+        help="fleet city extent per side (default 4000)",
+    )
 
     stats = sub.add_parser(
         "stats", help="summarise an event ledger written with --events"
@@ -461,6 +484,86 @@ def _sweep_payload_key(outcome, display_counts) -> str:
     return display
 
 
+def _fleet_spec_from_args(args):
+    """Build the FleetSpec for a ``sweep fleet --ues N`` invocation.
+
+    Returns the spec, or ``None`` after printing why (the caller exits
+    2). ``--seed`` becomes the fleet key, so the whole population —
+    not just per-job RNG — is reseeded deterministically.
+    """
+    from repro.fleet import DEFAULT_KEY, FleetSpec
+
+    if args.artifacts != ["fleet"]:
+        print(
+            "error: --ues/--shards/--city configure a fleet sweep; "
+            "use them with exactly 'sweep fleet'",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        return FleetSpec(
+            ues=args.ues,
+            key=args.seed if args.seed is not None else DEFAULT_KEY,
+            city_extent_m=args.city if args.city is not None else 4000.0,
+        )
+    except ValueError as exc:
+        print(f"error: bad fleet parameters: {exc}", file=sys.stderr)
+        return None
+
+
+def _fleet_summary(fleet_spec, result):
+    """Merge a fleet sweep's shard partials into the final summary.
+
+    Returns ``None`` (with a message) when shards failed — a fleet
+    summary over a partial population would be silently wrong.
+    """
+    from repro.fleet import finalize_summary, merge_partials
+
+    partials = [
+        outcome.value
+        for outcome in result.outcomes
+        if outcome.status in ("ok", "cached")
+    ]
+    if len(partials) != len(result):
+        print(
+            "fleet summary skipped: "
+            f"{len(result) - len(partials)} shard(s) failed",
+            file=sys.stderr,
+        )
+        return None
+    return finalize_summary(fleet_spec, merge_partials(partials))
+
+
+def _render_fleet_summary(summary) -> str:
+    meta = summary["fleet"]
+    lines = [
+        f"fleet: {meta['ues']} UEs x {meta['ticks']} ticks "
+        f"(dt {meta['dt_s']} s, device {meta['device']}, "
+        f"{meta['shards']} shard(s), key {meta['key']})"
+    ]
+    rows = []
+    for name, entry in summary["groups"].items():
+        q = entry["quantiles"]
+        rows.append([
+            name,
+            entry["count"],
+            _fmt_stat(entry["mean"]),
+            _fmt_stat(q.get("50")),
+            _fmt_stat(q.get("95")),
+            _fmt_stat(entry["max"]),
+        ])
+    lines.append(
+        ex.format_table(
+            ["group", "samples", "mean", "p50", "p95", "max"], rows
+        )
+    )
+    return "\n".join(lines)
+
+
+def _fmt_stat(value) -> str:
+    return "n/a" if value is None else f"{value:.2f}"
+
+
 def _cmd_sweep(args) -> int:
     from collections import Counter
 
@@ -468,7 +571,18 @@ def _cmd_sweep(args) -> int:
     if unknown:
         return _fail_unknown(unknown)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    specs = artifact_jobs(args.artifacts, base_seed=args.seed, scale=args.scale)
+    fleet_spec = None
+    if args.ues is not None:
+        fleet_spec = _fleet_spec_from_args(args)
+        if fleet_spec is None:
+            return 2
+        from repro.fleet import fleet_jobs
+
+        specs = fleet_jobs(fleet_spec, shards=args.shards)
+    else:
+        specs = artifact_jobs(
+            args.artifacts, base_seed=args.seed, scale=args.scale
+        )
     tracker = ProgressTracker(stream=None if args.quiet else sys.stderr)
     events_sink = None
     if args.events:
@@ -506,13 +620,20 @@ def _cmd_sweep(args) -> int:
         except (UnknownBackendError, BackendUnavailableError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        gauge_results = _sweep_gauges(args, result, events_sink)
+        fleet_summary = None
+        if fleet_spec is not None:
+            fleet_summary = _fleet_summary(fleet_spec, result)
+        gauge_results = _sweep_gauges(
+            args, result, events_sink, fleet_summary=fleet_summary
+        )
         if gauge_results is None:
             return 2
     finally:
         if events_sink is not None:
             events_sink.close()
     print(result.summary())
+    if fleet_summary is not None:
+        print(_render_fleet_summary(fleet_summary))
     _print_gauges(gauge_results)
     if cache is not None:
         print(
@@ -532,14 +653,17 @@ def _cmd_sweep(args) -> int:
     if args.events:
         print(f"wrote {args.events}")
     if args.json:
-        display_counts = Counter(o.spec.display for o in result.outcomes)
-        payload = {
-            _sweep_payload_key(outcome, display_counts): to_jsonable(
-                outcome.value
-            )
-            for outcome in result.outcomes
-            if outcome.status in ("ok", "cached")
-        }
+        if fleet_summary is not None:
+            payload = to_jsonable(fleet_summary)
+        else:
+            display_counts = Counter(o.spec.display for o in result.outcomes)
+            payload = {
+                _sweep_payload_key(outcome, display_counts): to_jsonable(
+                    outcome.value
+                )
+                for outcome in result.outcomes
+                if outcome.status in ("ok", "cached")
+            }
         path = export_json(payload, args.json)
         print(f"wrote {path}")
     for manifest_path in _sweep_manifest_paths(args):
@@ -561,14 +685,16 @@ def _load_gauge_overrides(path):
         return None
 
 
-def _sweep_gauges(args, result, events_sink):
+def _sweep_gauges(args, result, events_sink, fleet_summary=None):
     """Score the calibration gauges over a sweep's outcomes.
 
     Emits one ``gauge`` event per result into the (still-open) ledger,
     honours ``--gauges`` target overrides and the ``--metrics``
     OpenMetrics export, and returns the evaluated list — empty when
     gauges are not in play, ``None`` on a bad ``--gauges`` file (the
-    caller exits 2).
+    caller exits 2). For a fleet sweep the per-shard partials are not
+    gaugeable on their own, so the merged ``fleet_summary`` is scored
+    under the ``fleet`` runner instead.
     """
     wants_gauges = bool(args.events or args.gauges or args.metrics)
     if not wants_gauges:
@@ -591,7 +717,11 @@ def _sweep_gauges(args, result, events_sink):
             print(f"error: bad --gauges file {args.gauges}: {exc}",
                   file=sys.stderr)
             return None
-    evaluated = evaluate_gauges(values_from_result(result), gauges)
+    if fleet_summary is not None:
+        values = {"fleet": fleet_summary}
+    else:
+        values = values_from_result(result)
+    evaluated = evaluate_gauges(values, gauges)
     if events_sink is not None:
         for gauge in evaluated:
             events_sink.emit("gauge", **gauge.event_fields())

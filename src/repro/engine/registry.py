@@ -309,6 +309,20 @@ _ARTIFACTS = {
 for _name, (_fn, _desc) in _ARTIFACTS.items():
     register(_name, _fn, description=_desc, kind="artifact")
 
+# Fleet sweeps (lazy: repro.fleet imports the engine's JobSpec, not vice versa).
+register(
+    "fleet",
+    "repro.fleet.sweep:artifact_fleet",
+    description="city-scale fleet sweep summary (streaming reducers)",
+    kind="artifact",
+)
+register(
+    "fleet.shard",
+    "repro.fleet.shard:run_shard_job",
+    description="one fleet shard: UEs [start, stop) folded into reducer partials",
+    kind="fleet",
+)
+
 # Campaign inner-loop bodies (lazy: Campaign imports the engine, not vice versa).
 register(
     "campaign.speedtest-setting",

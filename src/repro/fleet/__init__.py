@@ -1,0 +1,45 @@
+"""repro.fleet — city-scale fleet sweeps with streaming reducers.
+
+Scales the library's single-UE scenarios to N-UE populations (mixed
+carriers, bands, routes, and app workloads over one city) without ever
+materializing a per-UE series in the parent process:
+
+* :mod:`repro.fleet.spec` — :class:`FleetSpec`, the JSON-round-trip
+  scenario description all randomness derives from.
+* :mod:`repro.fleet.scenario` — counter-based per-UE attributes and
+  trajectory/tower geometry (:class:`FleetScenario`).
+* :mod:`repro.fleet.kernels` — UE-major 2D-batched RSRP / capacity /
+  app / power kernels (no Python loop per UE).
+* :mod:`repro.fleet.shard` — the ``fleet.shard`` runner: one UE range
+  folded into mergeable reducer partials.
+* :mod:`repro.fleet.sweep` — shard job generation, associative partial
+  merging, the final summary, and the ``fleet`` artifact runner.
+
+Serial and sharded-parallel sweeps are bit-identical for any shard or
+worker split (docs/fleet.md).
+"""
+
+from repro.fleet.spec import DEFAULT_KEY, FleetSpec
+from repro.fleet.scenario import FleetScenario
+from repro.fleet.shard import run_shard_job
+from repro.fleet.sweep import (
+    artifact_fleet,
+    finalize_summary,
+    fleet_jobs,
+    merge_partials,
+    run_fleet,
+    shard_bounds,
+)
+
+__all__ = [
+    "DEFAULT_KEY",
+    "FleetScenario",
+    "FleetSpec",
+    "artifact_fleet",
+    "finalize_summary",
+    "fleet_jobs",
+    "merge_partials",
+    "run_fleet",
+    "run_shard_job",
+    "shard_bounds",
+]

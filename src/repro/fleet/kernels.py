@@ -1,0 +1,174 @@
+"""UE-major 2D-batched radio / app / power kernels for fleet shards.
+
+Each function takes a *group* of UEs that share one carrier network and
+produces a ``(UEs, ticks)`` matrix in a handful of array operations —
+no Python loop over UEs. The tick-sequential pieces (blockage Markov
+chain, blockage-depth ramp, AR(1) fading) ride on the batched scans in
+:mod:`repro.kernels.scan`, which are per-row bit-identical to their
+1-D form, and all randomness is counter-based
+(:mod:`repro.kernels.ctrrng`) in the UE's absolute index — so a group's
+rows compute the same bits no matter how the population is sharded or
+which other UEs happen to share the batch.
+
+The RSRP pipeline mirrors ``RsrpProcess._simulate_batch`` stage for
+stage (blockage chain → per-onset severity hold → depth ramp → AR(1)
+fading → path loss → clip), with the per-event severity hold expressed
+as a 2-D gather: ``maximum.accumulate`` over onset indices finds each
+tick's most recent onset, and ``take_along_axis`` pulls that onset's
+severity draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fleet.scenario import (
+    APP_SPEEDTEST,
+    APP_VIDEO,
+    APP_WEB,
+    STREAM_BLOCK,
+    STREAM_FADING,
+    STREAM_SEVERITY,
+    STREAM_WEB,
+    VIDEO_DL_MBPS,
+    WEB_DUTY_CYCLE,
+    FleetScenario,
+)
+from repro.fleet.spec import FleetSpec
+from repro.kernels.ctrrng import normals, uniforms
+from repro.kernels.scan import ar1_scan, leaky_ramp_scan, markov_binary_scan
+from repro.radio.carriers import CarrierNetwork
+from repro.radio.link import LinkBudget, Modem
+from repro.radio.propagation import BlockageModel, get_path_loss_model
+from repro.radio.signal import (
+    RSRP_MAX_DBM,
+    RSRP_MIN_DBM,
+    _BLOCKAGE_FADE_DB,
+    _FADING_SIGMA,
+    _TX_EIRP_DBM,
+)
+
+#: Full blockage fade: the NLoS penalty plus the deep-fade excess, as in
+#: ``RsrpProcess`` (22 + 18 dB at depth 1, severity 1).
+_FULL_FADE_DB = _BLOCKAGE_FADE_DB + 18.0
+
+
+def rsrp_matrix(
+    spec: FleetSpec,
+    ue: np.ndarray,
+    network: CarrierNetwork,
+    distances_m: np.ndarray,
+    speeds_mps: np.ndarray,
+) -> np.ndarray:
+    """RSRP (dBm) for a same-network UE group: shape ``(len(ue), ticks)``.
+
+    ``distances_m`` and ``speeds_mps`` are aligned ``(UEs, ticks)``
+    matrices. Matches the single-trajectory ``RsrpProcess`` model:
+    AR(1) fading with band-class sigma matched to the tick length,
+    and — on mmWave — the speed-driven two-state blockage chain with
+    per-event severity and an exponential depth ramp.
+    """
+    ue = np.asarray(ue, dtype=np.int64)
+    band = network.band
+    n, ticks = distances_m.shape
+    rows = ue[:, None]
+    cols = np.arange(ticks, dtype=np.int64)[None, :]
+
+    rho = float(np.exp(-spec.dt_s / 1.5))  # RsrpProcess.correlation_s
+    sigma = _FADING_SIGMA[band.band_class]
+    sigma_eff = float(sigma * np.sqrt(1.0 - rho**2))
+
+    innovations = normals(spec.key, STREAM_FADING, rows, cols) * sigma_eff
+    fading = ar1_scan(rho, innovations, init=0.0)
+
+    loss = get_path_loss_model(band).path_loss_db_series(distances_m)
+    rsrp = _TX_EIRP_DBM[band.band_class] - loss + fading
+
+    if band.is_mmwave:
+        draws = uniforms(spec.key, STREAM_BLOCK, rows, cols)
+        p_block, p_recover = BlockageModel().transition_probabilities(
+            speeds_mps, spec.dt_s
+        )
+        blocked = markov_binary_scan(
+            next_if_true=draws >= p_recover,
+            next_if_false=draws < np.broadcast_to(p_block, draws.shape),
+            init=False,
+        )
+        prev = np.concatenate(
+            [np.zeros((n, 1), dtype=bool), blocked[:, :-1]], axis=1
+        )
+        onsets = blocked & ~prev
+        # One severity per blockage event: a per-tick candidate draw,
+        # gathered at each tick's most recent onset (1.0 before any).
+        severity_draws = 0.5 + 0.5 * uniforms(
+            spec.key, STREAM_SEVERITY, rows, cols
+        )
+        last_onset = np.maximum.accumulate(
+            np.where(onsets, np.arange(ticks), -1), axis=-1
+        )
+        severity = np.where(
+            last_onset >= 0,
+            np.take_along_axis(
+                severity_draws, np.maximum(last_onset, 0), axis=-1
+            ),
+            1.0,
+        )
+        ramp_alpha = 1.0 - float(np.exp(-spec.dt_s / 1.8))  # blockage_ramp_s
+        depth = leaky_ramp_scan(ramp_alpha, blocked.astype(float), init=0.0)
+        rsrp = rsrp - _FULL_FADE_DB * depth * severity
+
+    return np.clip(rsrp, RSRP_MIN_DBM, RSRP_MAX_DBM)
+
+
+def downlink_matrix(
+    spec: FleetSpec,
+    ue: np.ndarray,
+    network: CarrierNetwork,
+    modem: Modem,
+    rsrp_dbm: np.ndarray,
+    app: np.ndarray,
+) -> np.ndarray:
+    """Per-tick downlink throughput (Mbps) under each UE's app workload.
+
+    * ``speedtest`` saturates the link: the full achievable capacity.
+    * ``video`` streams at min(capacity, 24 Mbps) — a 4K-grade ABR
+      ceiling, throttled by the radio when capacity dips below it.
+    * ``web`` is bursty: full capacity during fetches, idle otherwise,
+      with a 20% duty cycle drawn per tick.
+    """
+    ue = np.asarray(ue, dtype=np.int64)
+    capacity = LinkBudget(network, modem).capacity_series_mbps(rsrp_dbm)
+    dl = np.empty_like(capacity)
+    speedtest = app == APP_SPEEDTEST
+    if speedtest.any():
+        dl[speedtest] = capacity[speedtest]
+    video = app == APP_VIDEO
+    if video.any():
+        dl[video] = np.minimum(capacity[video], VIDEO_DL_MBPS)
+    web = app == APP_WEB
+    if web.any():
+        cols = np.arange(rsrp_dbm.shape[1], dtype=np.int64)[None, :]
+        active = (
+            uniforms(spec.key, STREAM_WEB, ue[web][:, None], cols)
+            < WEB_DUTY_CYCLE
+        )
+        dl[web] = capacity[web] * active
+    return dl
+
+
+def power_matrix(
+    scenario: FleetScenario,
+    network: CarrierNetwork,
+    dl_mbps: np.ndarray,
+    rsrp_dbm: np.ndarray,
+) -> np.ndarray:
+    """Radio power (mW) from the device's per-network curve.
+
+    Fleet workloads are downlink-dominated; uplink is modeled as idle
+    (the curve's DL intercept covers the connected radio baseline).
+    """
+    curve = scenario.device.curve(network.key)
+    return curve.power_mw_series(dl_mbps, 0.0, rsrp_dbm)
+
+
+__all__ = ["rsrp_matrix", "downlink_matrix", "power_matrix"]

@@ -1,0 +1,225 @@
+"""One fleet shard: UEs ``[start, stop)`` folded into reducer partials.
+
+``run_shard_job`` is the registered ``fleet.shard`` runner: it
+simulates its UE range tile by tile (a tile is at most
+:data:`TILE_UES` UEs, so peak memory is a few tens of MiB regardless
+of shard size) and folds every sample straight into the streaming
+reducers of :mod:`repro.obs.reducers`. The returned partial is plain
+JSON — reducer states plus population counts — a few tens of KiB no
+matter how many UEs the shard covered; per-UE series never leave the
+worker.
+
+Split invariance: the mean/variance reducers are
+:class:`~repro.obs.reducers.PairwiseSum`-based, so each group's
+accumulator is anchored at the group's *global* leaf origin — the
+number of member samples contributed by UEs before ``start``, which is
+itself a pure counter-based function of the spec (``member_leaves_
+before``). Adjacent partials then merge into exactly the accumulator a
+serial run would have built, bit for bit. Sketch/histogram/count
+merges are integer additions and order-invariant outright.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+import numpy as np
+
+from repro.fleet.kernels import downlink_matrix, power_matrix, rsrp_matrix
+from repro.fleet.scenario import APP_SPEEDTEST, MOB_WALK, FleetScenario
+from repro.fleet.spec import APP_KINDS, MOBILITY_KINDS, FleetSpec
+from repro.obs.reducers import FixedHistogram, QuantileSketch, StreamMoments
+from repro.obs.trace import span as trace_span
+from repro.radio.signal import RSRP_MAX_DBM, RSRP_MIN_DBM
+
+#: UEs simulated per tile; bounds peak shard memory at roughly
+#: TILE_UES x ticks x ~10 float64 matrices (~40 MiB at 240 ticks).
+TILE_UES = 2048
+
+#: Chunk size for the counter-based membership prefix scan.
+_PREFIX_CHUNK = 1 << 18
+
+PARTIAL_SCHEMA = 1
+
+#: The fleet's reduced metric groups. ``hist`` marks groups that also
+#: keep a fixed-bin histogram (RSRP dBm bins, 0.5 dB wide).
+GROUPS: Dict[str, Dict[str, Any]] = {
+    "rsrp_all": {"hist": (RSRP_MIN_DBM, RSRP_MAX_DBM, 160)},
+    "dl_all": {"hist": None},
+    "power_mw": {"hist": None},
+    "walk_mmwave_rsrp": {"hist": (RSRP_MIN_DBM, RSRP_MAX_DBM, 160)},
+    "speedtest_mmwave_dl": {"hist": None},
+}
+
+
+def group_member_masks(
+    scenario: FleetScenario, attrs: Mapping[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Per-group membership over a batch of UEs (pure in attributes)."""
+    mmwave = scenario.is_mmwave_network(attrs["network"])
+    everyone = np.ones(attrs["network"].shape, dtype=bool)
+    return {
+        "rsrp_all": everyone,
+        "dl_all": everyone,
+        "power_mw": everyone,
+        "walk_mmwave_rsrp": (attrs["mobility"] == MOB_WALK) & mmwave,
+        "speedtest_mmwave_dl": (attrs["app"] == APP_SPEEDTEST) & mmwave,
+    }
+
+
+def member_leaves_before(
+    scenario: FleetScenario, start: int
+) -> Dict[str, int]:
+    """Global leaf origin per group: member samples from UEs < start.
+
+    Membership is a pure function of the UE index (counter-based
+    attribute draws), so any shard can compute its own origins without
+    seeing other shards' data. Chunked so the prefix scan for a late
+    shard of a million-UE fleet stays memory-bounded.
+    """
+    ticks = scenario.spec.ticks
+    counts = {name: 0 for name in GROUPS}
+    for lo in range(0, start, _PREFIX_CHUNK):
+        ue = np.arange(lo, min(lo + _PREFIX_CHUNK, start), dtype=np.int64)
+        masks = group_member_masks(scenario, scenario.assignments(ue))
+        for name, mask in masks.items():
+            counts[name] += int(mask.sum()) * ticks
+    return counts
+
+
+def _new_accumulators(origins: Mapping[str, int]) -> Dict[str, Dict[str, Any]]:
+    accs: Dict[str, Dict[str, Any]] = {}
+    for name, config in GROUPS.items():
+        accs[name] = {
+            "moments": StreamMoments(origin=origins[name]),
+            "sketch": QuantileSketch(),
+        }
+        if config["hist"] is not None:
+            lo, hi, nbins = config["hist"]
+            accs[name]["hist"] = FixedHistogram(lo, hi, nbins)
+    return accs
+
+
+def _feed(group: Dict[str, Any], values: np.ndarray) -> None:
+    group["moments"].add(values)
+    group["sketch"].add(values)
+    if "hist" in group:
+        group["hist"].add(values)
+
+
+def run_shard_job(spec: Mapping[str, Any], start: int, stop: int) -> Dict[str, Any]:
+    """Simulate UEs ``[start, stop)`` and return their reducer partial.
+
+    ``spec`` is a :meth:`FleetSpec.to_dict` mapping (plain JSON so the
+    job's cache key is deterministic). The returned partial carries one
+    reducer-state bundle per metric group plus per-network /
+    per-mobility / per-app UE counts.
+    """
+    fleet = FleetSpec.from_dict(spec)
+    if not 0 <= start < stop <= fleet.ues:
+        raise ValueError(
+            f"shard [{start}, {stop}) out of range for {fleet.ues} UEs"
+        )
+    scenario = FleetScenario(fleet)
+    ticks = fleet.ticks
+    with trace_span("fleet.shard", start=int(start), stop=int(stop)):
+        accs = _new_accumulators(member_leaves_before(scenario, start))
+        tallies = {
+            "network": {key: 0 for key in scenario.network_keys},
+            "mobility": {name: 0 for name in MOBILITY_KINDS},
+            "app": {name: 0 for name in APP_KINDS},
+        }
+        for lo in range(start, stop, TILE_UES):
+            _run_tile(
+                scenario,
+                np.arange(lo, min(lo + TILE_UES, stop), dtype=np.int64),
+                accs,
+                tallies,
+            )
+    return {
+        "schema": PARTIAL_SCHEMA,
+        "start": int(start),
+        "stop": int(stop),
+        "ticks": ticks,
+        "counts": tallies,
+        "groups": {
+            name: {
+                key: reducer.to_state() for key, reducer in group.items()
+            }
+            for name, group in accs.items()
+        },
+    }
+
+
+def _run_tile(
+    scenario: FleetScenario,
+    ue: np.ndarray,
+    accs: Dict[str, Dict[str, Any]],
+    tallies: Dict[str, Dict[str, int]],
+) -> None:
+    """Simulate one tile of UEs and fold it into the accumulators.
+
+    The tile's full (UEs x ticks) rsrp/downlink/power matrices are
+    assembled network group by network group, then fed to the reducers
+    in ascending (UE, tick) order — the global leaf order every
+    ``PairwiseSum`` origin is anchored to.
+    """
+    spec = scenario.spec
+    attrs = scenario.assignments(ue)
+    x, y, speed = scenario.positions(ue, attrs["mobility"])
+    n = ue.shape[0]
+    rsrp = np.empty((n, spec.ticks), dtype=float)
+    dl = np.empty((n, spec.ticks), dtype=float)
+    power = np.empty((n, spec.ticks), dtype=float)
+
+    for net_idx, network in enumerate(scenario.networks):
+        rows = attrs["network"] == net_idx
+        if not rows.any():
+            continue
+        distances = scenario.serving_distances(
+            ue[rows], attrs["mobility"][rows], x[rows], y[rows], network.band
+        )
+        group_rsrp = rsrp_matrix(
+            spec, ue[rows], network, distances, speed[rows]
+        )
+        group_dl = downlink_matrix(
+            spec,
+            ue[rows],
+            network,
+            scenario.device.modem,
+            group_rsrp,
+            attrs["app"][rows],
+        )
+        rsrp[rows] = group_rsrp
+        dl[rows] = group_dl
+        power[rows] = power_matrix(scenario, network, group_dl, group_rsrp)
+
+    masks = group_member_masks(scenario, attrs)
+    for name, mask in masks.items():
+        if not mask.any():
+            continue
+        source = {
+            "rsrp_all": rsrp,
+            "walk_mmwave_rsrp": rsrp,
+            "dl_all": dl,
+            "speedtest_mmwave_dl": dl,
+            "power_mw": power,
+        }[name]
+        _feed(accs[name], source[mask])
+
+    for net_idx, key in enumerate(scenario.network_keys):
+        tallies["network"][key] += int((attrs["network"] == net_idx).sum())
+    for kind_idx, name in enumerate(MOBILITY_KINDS):
+        tallies["mobility"][name] += int((attrs["mobility"] == kind_idx).sum())
+    for kind_idx, name in enumerate(APP_KINDS):
+        tallies["app"][name] += int((attrs["app"] == kind_idx).sum())
+
+
+__all__ = [
+    "GROUPS",
+    "PARTIAL_SCHEMA",
+    "TILE_UES",
+    "group_member_masks",
+    "member_leaves_before",
+    "run_shard_job",
+]

@@ -1,0 +1,154 @@
+"""Fleet scenario specification: one city, N UEs, pure determinism.
+
+A :class:`FleetSpec` fully determines a fleet sweep: every per-UE
+attribute (carrier network, mobility pattern, app workload, home
+position, walking phase, tower jitter) and every per-tick random
+quantity is a pure function of ``(spec.key, ue_index, tick)`` via the
+counter-based generator in :mod:`repro.kernels.ctrrng`. Nothing
+depends on shard boundaries, worker count, or execution order — which
+is what makes serial and sharded-parallel fleet sweeps bit-identical
+(docs/fleet.md).
+
+The spec round-trips losslessly through :meth:`FleetSpec.to_dict` /
+:meth:`FleetSpec.from_dict` so it can ride inside shard ``JobSpec``
+kwargs, the result cache, and manifests as plain JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.radio.carriers import NETWORKS
+
+#: Default fleet RNG key (the paper's SIGCOMM '21 publication date).
+DEFAULT_KEY = 20210823
+
+#: Mobility patterns a UE can follow.
+MOBILITY_KINDS = ("walk", "drive", "stationary")
+
+#: App workloads a UE can run.
+APP_KINDS = ("speedtest", "video", "web")
+
+#: Default carrier/network mix over the study's six deployments.
+DEFAULT_NETWORK_MIX: Tuple[Tuple[str, float], ...] = (
+    ("verizon-nsa-mmwave", 0.25),
+    ("verizon-nsa-lowband", 0.15),
+    ("verizon-lte", 0.15),
+    ("tmobile-nsa-lowband", 0.20),
+    ("tmobile-sa-lowband", 0.10),
+    ("tmobile-lte", 0.15),
+)
+
+DEFAULT_MOBILITY_MIX: Tuple[Tuple[str, float], ...] = (
+    ("walk", 0.5),
+    ("drive", 0.3),
+    ("stationary", 0.2),
+)
+
+DEFAULT_APP_MIX: Tuple[Tuple[str, float], ...] = (
+    ("speedtest", 0.3),
+    ("video", 0.4),
+    ("web", 0.3),
+)
+
+
+def _as_mix(value) -> Tuple[Tuple[str, float], ...]:
+    """Normalize a mapping or pair sequence to the canonical tuple form."""
+    if isinstance(value, Mapping):
+        return tuple((str(name), float(weight)) for name, weight in value.items())
+    return tuple((str(name), float(weight)) for name, weight in value)
+
+
+def _validate_mix(mix: Tuple[Tuple[str, float], ...], known, what: str) -> None:
+    if not mix:
+        raise ValueError(f"{what} mix must not be empty")
+    total = 0.0
+    for name, weight in mix:
+        if name not in known:
+            raise ValueError(f"unknown {what} {name!r}; known: {sorted(known)}")
+        if weight < 0:
+            raise ValueError(f"{what} weight for {name!r} must be >= 0")
+        total += weight
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"{what} mix weights must sum to 1, got {total}")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Everything that determines a fleet sweep's results.
+
+    Attributes:
+        ues: population size.
+        key: fleet RNG key (all randomness derives from it).
+        duration_s: simulated wall-clock per UE.
+        dt_s: tick length (the per-UE series has
+            ``round(duration_s / dt_s)`` samples).
+        city_extent_m: side of the square city; drivers and stationary
+            UEs live on per-band uniform tower grids covering it, while
+            walkers each walk the paper's Fig. 13 loop (three towers
+            along the route, 40 m placement jitter).
+        device: UE device model (power curves + modem), per
+            :mod:`repro.power.device`.
+        network_mix / mobility_mix / app_mix: population weights;
+            per-UE assignment is by inverse-CDF over these in the
+            listed order, so the order is part of the contract.
+    """
+
+    ues: int
+    key: int = DEFAULT_KEY
+    duration_s: float = 120.0
+    dt_s: float = 0.5
+    city_extent_m: float = 4000.0
+    device: str = "S20U"
+    network_mix: Tuple[Tuple[str, float], ...] = DEFAULT_NETWORK_MIX
+    mobility_mix: Tuple[Tuple[str, float], ...] = DEFAULT_MOBILITY_MIX
+    app_mix: Tuple[Tuple[str, float], ...] = DEFAULT_APP_MIX
+
+    def __post_init__(self) -> None:
+        for attr in ("network_mix", "mobility_mix", "app_mix"):
+            object.__setattr__(self, attr, _as_mix(getattr(self, attr)))
+        if self.ues < 1:
+            raise ValueError("ues must be >= 1")
+        if self.duration_s <= 0 or self.dt_s <= 0:
+            raise ValueError("duration_s and dt_s must be positive")
+        if self.city_extent_m <= 0:
+            raise ValueError("city_extent_m must be positive")
+        _validate_mix(self.network_mix, NETWORKS, "network")
+        _validate_mix(self.mobility_mix, MOBILITY_KINDS, "mobility")
+        _validate_mix(self.app_mix, APP_KINDS, "app")
+
+    @property
+    def ticks(self) -> int:
+        """Samples per UE; every per-UE series has exactly this length."""
+        return max(1, int(round(self.duration_s / self.dt_s)))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ues": self.ues,
+            "key": self.key,
+            "duration_s": self.duration_s,
+            "dt_s": self.dt_s,
+            "city_extent_m": self.city_extent_m,
+            "device": self.device,
+            "network_mix": [list(pair) for pair in self.network_mix],
+            "mobility_mix": [list(pair) for pair in self.mobility_mix],
+            "app_mix": [list(pair) for pair in self.app_mix],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FleetSpec":
+        def mix(value) -> Tuple[Tuple[str, float], ...]:
+            return tuple((str(name), float(weight)) for name, weight in value)
+
+        return cls(
+            ues=int(data["ues"]),
+            key=int(data["key"]),
+            duration_s=float(data["duration_s"]),
+            dt_s=float(data["dt_s"]),
+            city_extent_m=float(data["city_extent_m"]),
+            device=str(data["device"]),
+            network_mix=mix(data["network_mix"]),
+            mobility_mix=mix(data["mobility_mix"]),
+            app_mix=mix(data["app_mix"]),
+        )

@@ -46,7 +46,15 @@ def _block_size(coeff: float, dtype: Any = np.float64) -> int:
     return max(1, min(_BLOCK, safe))
 
 
-def ar1_scan(coeff: float, x: np.ndarray, init: float = 0.0) -> np.ndarray:
+def _init_rows(init: Any, shape: tuple, dtype: Any) -> np.ndarray:
+    """Broadcast a scalar-or-per-row ``init`` to the batch shape."""
+    arr = np.asarray(init, dtype=dtype)
+    if arr.ndim == 0:
+        return np.full(shape, arr, dtype=dtype)
+    return np.ascontiguousarray(np.broadcast_to(arr, shape), dtype=dtype)
+
+
+def ar1_scan(coeff: float, x: np.ndarray, init: Any = 0.0) -> np.ndarray:
     """Evaluate ``y[i] = coeff * y[i-1] + x[i]`` with ``y[-1] = init``.
 
     Uses the closed form ``y[i] = c**(i+1)*init + sum_j c**(i-j)*x[j]``
@@ -55,53 +63,71 @@ def ar1_scan(coeff: float, x: np.ndarray, init: float = 0.0) -> np.ndarray:
     sequential loop is bounded by ``~n * eps * max|x|`` (observed
     <1e-12 at every size the library uses).
 
+    ``x`` may have leading batch axes (e.g. a UE axis): the scan runs
+    along the last axis, each row bit-identical to the 1-D call on
+    that row. ``init`` may be a scalar or any shape broadcastable to
+    ``x.shape[:-1]``.
+
     The allocation/accumulation dtype follows the active compute
     backend (:mod:`repro.kernels.backend`); under ``numpy64`` (the
     default) this is bit-identical to the historical float64 path,
     while ``numpy32`` trades precision for memory traffic and the
     optional ``numba`` backend dispatches to the JIT-compiled
-    sequential loop instead of the blocked closed form.
+    sequential loop instead of the blocked closed form (per row for
+    batched inputs).
     """
     backend = _backend.active_backend()
     if backend.impl == "numba":
         x = np.ascontiguousarray(x, dtype=np.float64)
-        if x.ndim != 1:
-            raise ValueError("x must be 1-D")
+        if x.ndim == 0:
+            raise ValueError("x must have at least one dimension")
         if abs(coeff) > 1.0:
             raise ValueError("|coeff| must be <= 1 for a stable scan")
-        return _backend.numba_ar1_scan(float(coeff), x, float(init))
+        if x.ndim == 1:
+            return _backend.numba_ar1_scan(float(coeff), x, float(init))
+        inits = _init_rows(init, x.shape[:-1], np.float64).reshape(-1)
+        flat = x.reshape(-1, x.shape[-1])
+        out = np.empty_like(flat)
+        for row in range(flat.shape[0]):
+            out[row] = _backend.numba_ar1_scan(
+                float(coeff), flat[row], float(inits[row])
+            )
+        return out.reshape(x.shape)
     dtype = backend.dtype
     x = np.asarray(x, dtype=dtype)
-    if x.ndim != 1:
-        raise ValueError("x must be 1-D")
+    if x.ndim == 0:
+        raise ValueError("x must have at least one dimension")
     if abs(coeff) > 1.0:
         raise ValueError("|coeff| must be <= 1 for a stable scan")
-    n = x.shape[0]
-    out = np.empty(n, dtype=dtype)
+    n = x.shape[-1]
+    out = np.empty(x.shape, dtype=dtype)
     if n == 0:
         return out
     if coeff == 0.0:
         np.copyto(out, x)
         return out
-    carry = float(init)
+    carry = _init_rows(init, x.shape[:-1], dtype)
     block = _block_size(coeff, dtype)
     for start in range(0, n, block):
-        chunk = x[start : start + block]
-        m = chunk.shape[0]
+        chunk = x[..., start : start + block]
+        m = chunk.shape[-1]
         powers = coeff ** np.arange(m, dtype=dtype)
         # y_local[i] = sum_{j<=i} c**(i-j) * chunk[j]
-        local = powers * np.cumsum(chunk / powers)
-        out[start : start + m] = local + (coeff * powers) * carry
-        carry = float(out[start + m - 1])
+        local = powers * np.cumsum(chunk / powers, axis=-1)
+        out[..., start : start + m] = (
+            local + (coeff * powers) * carry[..., None]
+        )
+        carry = out[..., start + m - 1].copy()
     return out
 
 
-def leaky_ramp_scan(alpha: float, target: np.ndarray, init: float = 0.0) -> np.ndarray:
+def leaky_ramp_scan(alpha: float, target: np.ndarray, init: Any = 0.0) -> np.ndarray:
     """Evaluate ``y[i] = y[i-1] + (target[i] - y[i-1]) * alpha``.
 
     The exponential ramp used for blockage depth: rewritten as the AR(1)
     recurrence ``y[i] = (1 - alpha) * y[i-1] + alpha * target[i]`` and
-    dispatched to :func:`ar1_scan` (same tolerance contract).
+    dispatched to :func:`ar1_scan` (same tolerance contract, same
+    leading-batch-axis support).
     """
     if not 0.0 <= alpha <= 1.0:
         raise ValueError("alpha must be in [0, 1]")
@@ -112,7 +138,7 @@ def leaky_ramp_scan(alpha: float, target: np.ndarray, init: float = 0.0) -> np.n
 def markov_binary_scan(
     next_if_true: np.ndarray,
     next_if_false: np.ndarray,
-    init: bool = False,
+    init: Any = False,
 ) -> np.ndarray:
     """Vectorized two-state Markov chain scan.
 
@@ -128,29 +154,42 @@ def markov_binary_scan(
     the most recent determined value XOR the parity of flips since it,
     all computable with ``maximum.accumulate``/``cumsum`` — no Python
     loop, and bit-exact versus the sequential chain.
+
+    Leading batch axes (e.g. a UE axis) are supported: chains run
+    independently along the last axis, each row identical to the 1-D
+    call. ``init`` may be a scalar or broadcastable to the batch
+    shape.
     """
     a = np.asarray(next_if_true, dtype=bool)
     b = np.asarray(next_if_false, dtype=bool)
-    if a.shape != b.shape or a.ndim != 1:
-        raise ValueError("candidate arrays must be equal-length 1-D")
-    n = a.shape[0]
+    if a.shape != b.shape or a.ndim == 0:
+        raise ValueError(
+            "candidate arrays must be equal-shape with a scan axis"
+        )
+    n = a.shape[-1]
     if n == 0:
-        return np.empty(0, dtype=bool)
+        return np.empty(a.shape, dtype=bool)
+    init_arr = np.asarray(init, dtype=bool)
+    if init_arr.ndim:
+        init_arr = np.broadcast_to(init_arr, a.shape[:-1])[..., None]
     determined = a == b
     flips = ~a & b  # True state -> False, False state -> True: inversion
 
     # Index of the latest determined step at or before i (-1 if none).
     idx = np.arange(n)
-    last_det = np.maximum.accumulate(np.where(determined, idx, -1))
+    last_det = np.maximum.accumulate(np.where(determined, idx, -1), axis=-1)
+    anchor = np.maximum(last_det, 0)
 
     # Base value at the anchor: the determined value there, or `init`
     # carried in from before the window.
-    base = np.where(last_det >= 0, a[np.maximum(last_det, 0)], init)
+    base = np.where(
+        last_det >= 0, np.take_along_axis(a, anchor, axis=-1), init_arr
+    )
 
     # Parity of flip steps after the anchor, up to and including i.
-    flip_count = np.cumsum(flips)
+    flip_count = np.cumsum(flips, axis=-1)
     anchored = np.where(
-        last_det >= 0, flip_count[np.maximum(last_det, 0)], 0
+        last_det >= 0, np.take_along_axis(flip_count, anchor, axis=-1), 0
     )
     parity = (flip_count - anchored) % 2 == 1
     return base ^ parity

@@ -62,22 +62,44 @@ class Route:
         lengths = np.hypot(*(np.diff(points, axis=0).T))
         return float(np.sum(lengths / np.asarray(self.segment_speeds_mps)))
 
+    def _traversal_arrays(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(starts, ends, speeds, durations) over *positive-length*
+        segments only.
+
+        Duplicate consecutive waypoints produce zero-length segments
+        whose duration is 0; keeping them in the lookup tables made
+        ``position_at`` divide 0/0 (NaN positions) whenever ``t_s``
+        landed exactly on the degenerate segment's boundary. They
+        contribute nothing to the traversal, so both the scalar and
+        the vectorized lookup skip them — from the same filtered
+        arrays, keeping the two paths bit-identical.
+        """
+        points = np.asarray(self.waypoints, dtype=float)
+        lengths = np.hypot(*(np.diff(points, axis=0).T))
+        speeds = np.asarray(self.segment_speeds_mps, dtype=float)
+        keep = lengths > 0.0
+        starts = points[:-1][keep]
+        ends = points[1:][keep]
+        speeds = speeds[keep]
+        durations = lengths[keep] / speeds
+        return starts, ends, speeds, durations
+
     def position_at(self, t_s: float) -> Tuple[float, float, float]:
         """(x, y, speed) at time ``t_s``; clamps at the route end."""
         if t_s < 0:
             raise ValueError("t_s must be non-negative")
-        points = np.asarray(self.waypoints, dtype=float)
-        lengths = np.hypot(*(np.diff(points, axis=0).T))
-        speeds = np.asarray(self.segment_speeds_mps)
-        durations = lengths / speeds
+        starts, ends, speeds, durations = self._traversal_arrays()
+        end_point = np.asarray(self.waypoints, dtype=float)[-1]
         elapsed = 0.0
         for i, duration in enumerate(durations):
             if t_s <= elapsed + duration:
                 frac = (t_s - elapsed) / duration
-                position = points[i] + frac * (points[i + 1] - points[i])
+                position = starts[i] + frac * (ends[i] - starts[i])
                 return float(position[0]), float(position[1]), float(speeds[i])
             elapsed += duration
-        return float(points[-1][0]), float(points[-1][1]), 0.0
+        return float(end_point[0]), float(end_point[1]), 0.0
 
     def positions_at(
         self, times_s
@@ -85,16 +107,21 @@ class Route:
         """Vectorized :meth:`position_at` over a whole time grid.
 
         Returns aligned ``(x, y, speed)`` arrays, bit-identical to the
-        scalar lookup at each grid point (same segment selection,
-        including the clamp to the route end with speed 0).
+        scalar lookup at each grid point (same segment selection over
+        the same zero-length-segment-free tables, including the clamp
+        to the route end with speed 0).
         """
         times_s = np.asarray(times_s, dtype=float)
         if np.any(times_s < 0):
             raise ValueError("t_s must be non-negative")
-        points = np.asarray(self.waypoints, dtype=float)
-        lengths = np.hypot(*(np.diff(points, axis=0).T))
-        speeds = np.asarray(self.segment_speeds_mps)
-        durations = lengths / speeds
+        starts, ends, speeds, durations = self._traversal_arrays()
+        end_point = np.asarray(self.waypoints, dtype=float)[-1]
+        if durations.shape[0] == 0:
+            # Fully degenerate route (every waypoint identical): the
+            # UE sits at the end point for all time.
+            xs = np.full(times_s.shape, float(end_point[0]))
+            ys = np.full(times_s.shape, float(end_point[1]))
+            return xs, ys, np.zeros(times_s.shape)
         boundaries = np.cumsum(durations)
         # First segment whose end boundary is >= t (matching the scalar
         # path's `t <= elapsed + duration` test); == n_segments means
@@ -103,10 +130,10 @@ class Route:
         past_end = seg >= durations.shape[0]
         seg_c = np.minimum(seg, durations.shape[0] - 1)
         elapsed = np.concatenate([[0.0], boundaries[:-1]])[seg_c]
-        frac = ((times_s - elapsed) / durations[seg_c])[:, None]
-        position = points[seg_c] + frac * (points[seg_c + 1] - points[seg_c])
-        xs = np.where(past_end, points[-1, 0], position[:, 0])
-        ys = np.where(past_end, points[-1, 1], position[:, 1])
+        frac = ((times_s - elapsed) / durations[seg_c])[..., None]
+        position = starts[seg_c] + frac * (ends[seg_c] - starts[seg_c])
+        xs = np.where(past_end, end_point[0], position[..., 0])
+        ys = np.where(past_end, end_point[1], position[..., 1])
         out_speeds = np.where(past_end, 0.0, speeds[seg_c])
         return xs, ys, out_speeds
 

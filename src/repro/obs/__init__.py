@@ -23,6 +23,9 @@ Four pieces, threaded through :mod:`repro.engine` and the CLI:
   self-contained HTML artifact per campaign.
 * :mod:`repro.obs.openmetrics` — OpenMetrics textfile export of the
   gauge scoreboard for scraping.
+* :mod:`repro.obs.reducers` — streaming, mergeable, memory-bounded
+  accumulators (pairwise sums, moments, histograms, quantile
+  sketches) for fleet-scale sweeps (docs/fleet.md).
 
 ``events``, ``metrics``, and ``trace`` are stdlib-only and import
 nothing from the engine, so the engine (and the kernels) can import
@@ -57,6 +60,10 @@ _LAZY = {
     "evaluate_gauges": "repro.obs.calib",
     "values_from_result": "repro.obs.calib",
     "ks_distance_to_quantiles": "repro.obs.calib",
+    "PairwiseSum": "repro.obs.reducers",
+    "StreamMoments": "repro.obs.reducers",
+    "FixedHistogram": "repro.obs.reducers",
+    "QuantileSketch": "repro.obs.reducers",
     "render_openmetrics": "repro.obs.openmetrics",
     "parse_openmetrics": "repro.obs.openmetrics",
     "build_report": "repro.obs.report",

@@ -46,6 +46,7 @@ __all__ = [
     "evaluate_gauges",
     "values_from_result",
     "ks_distance_to_quantiles",
+    "histogram_ks_to_quantiles",
     "score_value",
     "load_overrides",
     "apply_overrides",
@@ -272,6 +273,55 @@ def _power_row(network: str, field: str) -> Callable[[Any], float]:
     return extract
 
 
+def histogram_ks_to_quantiles(
+    hist_state: Mapping[str, Any],
+    q_levels: Sequence[float],
+    q_values: Sequence[float],
+) -> float:
+    """KS distance of a :class:`FixedHistogram` state vs pinned quantiles.
+
+    Fleet sweeps never keep per-sample series, so the empirical CDF is
+    reconstructed from the fixed-bin histogram with mass spread
+    uniformly within each bin, then compared to the pinned
+    ``(q_values, q_levels/100)`` table at the pinned values. With 0.5 dB
+    bins the reconstruction error is well under the gauge's warn band.
+    """
+    counts = np.asarray(hist_state["counts"], dtype=float)
+    under = float(hist_state["underflow"])
+    total = counts.sum() + under + float(hist_state["overflow"])
+    if total <= 0:
+        raise ValueError("histogram is empty")
+    edges = np.linspace(
+        float(hist_state["lo"]), float(hist_state["hi"]), counts.size + 1
+    )
+    cum = under + np.concatenate([[0.0], np.cumsum(counts)])
+    levels = np.asarray(q_levels, dtype=float) / 100.0
+    emp = np.interp(np.asarray(q_values, dtype=float), edges, cum / total)
+    return float(np.max(np.abs(emp - levels)))
+
+
+def _fleet_quantile(group: str, level: str) -> Callable[[Any], float]:
+    def extract(result: Any) -> float:
+        return float(result["groups"][group]["quantiles"][level])
+
+    return extract
+
+
+def _fleet_max(group: str) -> Callable[[Any], float]:
+    def extract(result: Any) -> float:
+        return float(result["groups"][group]["max"])
+
+    return extract
+
+
+def _fleet_walk_rsrp_ks(result: Any) -> float:
+    return histogram_ks_to_quantiles(
+        result["groups"]["walk_mmwave_rsrp"]["hist"],
+        WALK_RSRP_LEVELS,
+        WALK_RSRP_DBM,
+    )
+
+
 #: The paper-pinned gauge registry. A ``fig2 fig13`` sweep alone
 #: evaluates six of these; the rest light up as their runners join the
 #: sweep. Targets cite the figure/table they are pinned to.
@@ -409,6 +459,41 @@ PAPER_GAUGES: List[GaugeSpec] = [
         warn=0.01,
         fail=0.05,
         extract=_power_row("verizon-nsa-mmwave", "switch_mw"),
+    ),
+    GaugeSpec(
+        name="fleet_walk_rsrp_median",
+        runner="fleet",
+        paper_ref="Fig. 13",
+        description="fleet-marginal median RSRP, walking mmWave UEs",
+        unit="dBm",
+        target=-86.0,
+        warn=4.0,
+        fail=10.0,
+        mode="abs",
+        extract=_fleet_quantile("walk_mmwave_rsrp", "50"),
+    ),
+    GaugeSpec(
+        name="fleet_walk_rsrp_ks",
+        runner="fleet",
+        paper_ref="Fig. 13",
+        description="KS distance of fleet walking-RSRP vs pinned deciles",
+        unit="",
+        target=0.0,
+        warn=0.12,
+        fail=0.25,
+        mode="abs",
+        extract=_fleet_walk_rsrp_ks,
+    ),
+    GaugeSpec(
+        name="fleet_mmwave_peak_dl",
+        runner="fleet",
+        paper_ref="Fig. 3",
+        description="fleet peak mmWave speedtest downlink",
+        unit="Mbps",
+        target=3100.0,
+        warn=0.05,
+        fail=0.20,
+        extract=_fleet_max("speedtest_mmwave_dl"),
     ),
 ]
 

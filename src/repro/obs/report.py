@@ -207,7 +207,13 @@ def _flame_svgs(model: Mapping[str, Any]) -> List[str]:
 
 def _latency_svg(model: Mapping[str, Any]) -> Optional[str]:
     runners = model["aggregate"]["runners"]
-    names = [name for name, s in runners.items() if s["jobs"]]
+    # Runners without duration samples (all cached, or only interrupted
+    # jobs) carry null percentiles — they have no latency to chart.
+    names = [
+        name
+        for name, s in runners.items()
+        if s["jobs"] and s["p50_s"] is not None
+    ]
     if not names:
         return None
     chart = BarChart(

@@ -145,12 +145,16 @@ def aggregate_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
         stats = per_runner[runner]
         durations: List[float] = stats.pop("durations")
         total = stats["jobs"] + stats["cached"]
+        # A runner whose jobs were all cached (or skipped/failed before
+        # timing) has no duration samples. Percentiles over nothing are
+        # None/null, not 0.0 — a 0.0 would be indistinguishable from a
+        # genuinely instant run in `repro stats` and the HTML report.
         runners[runner] = dict(
             stats,
             total=total,
-            p50_s=round(percentile(durations, 50.0), 6),
-            p95_s=round(percentile(durations, 95.0), 6),
-            max_s=round(max(durations), 6) if durations else 0.0,
+            p50_s=round(percentile(durations, 50.0), 6) if durations else None,
+            p95_s=round(percentile(durations, 95.0), 6) if durations else None,
+            max_s=round(max(durations), 6) if durations else None,
             cache_hit_rate=(stats["cached"] / total) if total else 0.0,
         )
     total_jobs = overall["jobs"]
@@ -186,6 +190,11 @@ def aggregate_events_file(path) -> Dict[str, Any]:
 
 def _fmt_row(cells: List[str], widths: List[int]) -> str:
     return "  ".join(cell.ljust(w) for cell, w in zip(cells, widths)).rstrip()
+
+
+def _fmt_seconds(value) -> str:
+    """``n/a`` for missing (None) samples, ``X.XXXs`` otherwise."""
+    return "n/a" if value is None else f"{value:.3f}s"
 
 
 def render_stats(aggregate: Dict[str, Any]) -> str:
@@ -238,8 +247,8 @@ def render_stats(aggregate: Dict[str, Any]) -> str:
                     str(stats["cached"]),
                     str(stats["retries"]),
                     str(stats["timeouts"]),
-                    f"{stats['p50_s']:.3f}s",
-                    f"{stats['p95_s']:.3f}s",
+                    _fmt_seconds(stats["p50_s"]),
+                    _fmt_seconds(stats["p95_s"]),
                     f"{100.0 * stats['cache_hit_rate']:.0f}",
                 ]
             )

@@ -139,3 +139,48 @@ class TestSampleSeries:
         np.testing.assert_array_equal(
             sample_series(lambda t: 3.0, np.arange(4.0)), np.full(4, 3.0)
         )
+
+
+class TestBatchedScans:
+    """2D (leading batch axes) scans: per-row bit-identical to 1-D."""
+
+    def _x(self, rows=7, ticks=300, seed=3):
+        return np.random.default_rng(seed).normal(0.0, 1.0, (rows, ticks))
+
+    def test_ar1_rows_match_1d(self):
+        x = self._x()
+        out = ar1_scan(0.7165, x, init=0.25)
+        for r in range(x.shape[0]):
+            assert np.array_equal(out[r], ar1_scan(0.7165, x[r], init=0.25))
+
+    def test_ar1_per_row_init(self):
+        x = self._x(rows=4)
+        inits = np.array([0.0, 1.0, -2.0, 0.5])
+        out = ar1_scan(0.9, x, init=inits)
+        for r in range(4):
+            assert np.array_equal(out[r], ar1_scan(0.9, x[r], init=inits[r]))
+
+    def test_leaky_ramp_rows_match_1d(self):
+        target = (self._x(rows=5, seed=8) > 0.0).astype(float)
+        out = leaky_ramp_scan(0.24, target, init=0.0)
+        for r in range(5):
+            assert np.array_equal(
+                out[r], leaky_ramp_scan(0.24, target[r], init=0.0)
+            )
+
+    def test_markov_rows_match_1d(self):
+        rng = np.random.default_rng(17)
+        a = rng.random((6, 250)) < 0.97
+        b = rng.random((6, 250)) < 0.02
+        out = markov_binary_scan(a, b, init=False)
+        for r in range(6):
+            assert np.array_equal(
+                out[r], markov_binary_scan(a[r], b[r], init=False)
+            )
+
+    def test_three_leading_axes(self):
+        x = np.random.default_rng(5).normal(size=(2, 3, 64))
+        out = ar1_scan(0.5, x)
+        for i in range(2):
+            for j in range(3):
+                assert np.array_equal(out[i, j], ar1_scan(0.5, x[i, j]))

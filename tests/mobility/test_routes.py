@@ -72,3 +72,63 @@ class TestRoute:
             Route("r", [(0, 0), (1, 1)], [-1.0])
         with pytest.raises(ValueError):
             Route("r", [(0, 0), (1, 1)], [1.0]).position_at(-1.0)
+
+
+class TestZeroLengthSegments:
+    """Duplicate consecutive waypoints must not poison the traversal.
+
+    Zero-length segments have zero duration; before they were filtered
+    out of the lookup tables, a time landing exactly on the degenerate
+    boundary divided 0/0 and returned NaN positions.
+    """
+
+    def _route(self):
+        return Route(
+            "r",
+            [(0.0, 0.0), (100.0, 0.0), (100.0, 0.0), (100.0, 100.0)],
+            [10.0, 5.0, 10.0],
+        )
+
+    def test_boundary_time_is_finite(self):
+        import numpy as np
+
+        route = self._route()
+        # t=10 s is exactly the boundary into the zero-length segment.
+        for t in (0.0, 5.0, 10.0, 15.0, 25.0):
+            x, y, speed = route.position_at(t)
+            assert np.isfinite([x, y, speed]).all(), f"NaN at t={t}"
+        assert route.position_at(10.0)[:2] == (100.0, 0.0)
+
+    def test_scalar_vectorized_parity(self):
+        import numpy as np
+
+        route = self._route()
+        times = np.concatenate(
+            [np.linspace(0.0, route.duration_s + 5.0, 301), [10.0]]
+        )
+        xs, ys, speeds = route.positions_at(times)
+        for i, t in enumerate(times):
+            x, y, speed = route.position_at(float(t))
+            assert (x, y, speed) == (xs[i], ys[i], speeds[i])
+
+    def test_positions_at_2d_time_grid(self):
+        import numpy as np
+
+        route = self._route()
+        times = np.linspace(0.0, 25.0, 12).reshape(3, 4)
+        xs, ys, speeds = route.positions_at(times)
+        assert xs.shape == ys.shape == speeds.shape == (3, 4)
+        flat_x, flat_y, flat_s = route.positions_at(times.ravel())
+        assert np.array_equal(xs.ravel(), flat_x)
+        assert np.array_equal(ys.ravel(), flat_y)
+        assert np.array_equal(speeds.ravel(), flat_s)
+
+    def test_fully_degenerate_route(self):
+        import numpy as np
+
+        route = Route("r", [(5.0, 7.0), (5.0, 7.0)], [1.0])
+        assert route.position_at(3.0) == (5.0, 7.0, 0.0)
+        xs, ys, speeds = route.positions_at(np.array([0.0, 1.0, 9.0]))
+        assert np.array_equal(xs, [5.0, 5.0, 5.0])
+        assert np.array_equal(ys, [7.0, 7.0, 7.0])
+        assert np.array_equal(speeds, [0.0, 0.0, 0.0])

@@ -218,3 +218,32 @@ class TestTornLedgerReconciliation:
         overall = aggregate_events(torn)["overall"]
         assert overall["interrupted"] == 2
         assert overall["ok"] + overall["interrupted"] == 6
+
+
+class TestAllCachedRunner:
+    """A runner with zero duration samples renders n/a, not 0.000s."""
+
+    def _cached_only(self):
+        return [
+            {"event": "sweep_start", "jobs": 2, "workers": 1},
+            {"event": "cache_hit", "index": 0, "runner": "fig13", "key": "a"},
+            {"event": "cache_hit", "index": 1, "runner": "fig13", "key": "b"},
+            {"event": "sweep_end", "jobs": 2, "ok": 0, "cached": 2,
+             "failed": 0, "elapsed_s": 0.01},
+        ]
+
+    def test_percentiles_are_none_not_zero(self):
+        stats = aggregate_events(self._cached_only())["runners"]["fig13"]
+        assert stats["p50_s"] is None
+        assert stats["p95_s"] is None
+        assert stats["max_s"] is None
+        assert stats["cache_hit_rate"] == 1.0
+
+    def test_render_shows_na(self):
+        text = render_stats(aggregate_events(self._cached_only()))
+        assert "n/a" in text
+        assert "0.000s" not in text
+
+    def test_timed_runner_still_renders_seconds(self):
+        text = render_stats(aggregate_events(_synthetic_events()))
+        assert "0.200s" in text

@@ -65,3 +65,72 @@ class TestTowerGrid:
             TowerGrid.along_route(NR_N71, [(0, 0)], count=2)
         with pytest.raises(ValueError):
             TowerGrid.along_route(NR_N71, [(0, 0), (1, 1)], count=0)
+
+
+class TestCityScaleGrid:
+    """Scale-exposed fixes: id-set membership + chunked distances."""
+
+    def test_constructor_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            TowerGrid(
+                towers=[
+                    Tower("a", 0.0, 0.0, NR_N261),
+                    Tower("a", 1.0, 1.0, NR_N261),
+                ]
+            )
+
+    def test_add_after_constructed_towers_sees_them(self):
+        grid = TowerGrid(towers=[Tower("a", 0.0, 0.0, NR_N261)])
+        with pytest.raises(ValueError):
+            grid.add(Tower("a", 5.0, 5.0, NR_N261))
+        grid.add(Tower("b", 5.0, 5.0, NR_N261))
+        assert len(grid.towers) == 2
+
+    def test_large_grid_builds(self):
+        import time
+
+        start = time.perf_counter()
+        grid = TowerGrid.uniform_grid(
+            NR_N261, extent_m=12000.0, spacing_m=300.0
+        )
+        elapsed = time.perf_counter() - start
+        assert len(grid.towers) == 1600
+        # The old per-add list scan was quadratic; the set build of a
+        # city-scale grid must stay well under a second.
+        assert elapsed < 1.0
+
+    def test_chunked_serving_distances_bit_identical(self, monkeypatch):
+        import numpy as np
+
+        grid = TowerGrid.uniform_grid(NR_N71, extent_m=8000.0, spacing_m=1000.0)
+        rng = np.random.default_rng(7)
+        x = rng.uniform(-500.0, 8500.0, 5000)
+        y = rng.uniform(-500.0, 8500.0, 5000)
+        one_chunk = grid.serving_distances(x, y, NR_N71, default_m=123.0)
+        monkeypatch.setattr(TowerGrid, "_CHUNK_ELEMS", 257)
+        many_chunks = grid.serving_distances(x, y, NR_N71, default_m=123.0)
+        assert np.array_equal(one_chunk, many_chunks)
+
+    def test_serving_distances_preserves_input_shape(self):
+        import numpy as np
+
+        grid = TowerGrid.uniform_grid(NR_N71, extent_m=4000.0, spacing_m=2000.0)
+        x = np.linspace(0.0, 4000.0, 24).reshape(2, 3, 4)
+        y = np.linspace(4000.0, 0.0, 24).reshape(2, 3, 4)
+        out = grid.serving_distances(x, y, NR_N71, default_m=50.0)
+        assert out.shape == (2, 3, 4)
+        flat = grid.serving_distances(x.ravel(), y.ravel(), NR_N71, 50.0)
+        assert np.array_equal(out.ravel(), flat)
+
+    def test_serving_distances_matches_pointwise(self):
+        import numpy as np
+
+        grid = TowerGrid.uniform_grid(NR_N71, extent_m=4000.0, spacing_m=2000.0)
+        rng = np.random.default_rng(11)
+        x = rng.uniform(-6000.0, 6000.0, 200)
+        y = rng.uniform(-6000.0, 6000.0, 200)
+        batch = grid.serving_distances(x, y, NR_N71, default_m=777.0)
+        for i in range(x.size):
+            serving = grid.serving_tower(float(x[i]), float(y[i]), NR_N71)
+            expected = 777.0 if serving is None else serving[1]
+            assert batch[i] == expected
