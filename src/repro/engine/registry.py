@@ -263,6 +263,16 @@ def artifact_fig18(scale: float = 1.0, seed: Optional[int] = None):
     }
 
 
+def artifact_live(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_live_streaming(
+        n_traces=_scaled(12, scale, 3), **_seed_kw(seed)
+    )
+
+
+def artifact_energy_abr(scale: float = 1.0, seed: Optional[int] = None):
+    return ex.run_energy_abr(n_traces=_scaled(12, scale, 3), **_seed_kw(seed))
+
+
 def artifact_fig19(scale: float = 1.0, seed: Optional[int] = None):
     result = ex.run_web_factors(n_sites=_scaled(600, scale, 50), **_seed_kw(seed))
     result.pop("dataset", None)  # raw arrays are bulky; keep the summaries
@@ -300,6 +310,8 @@ _ARTIFACTS = {
     "table9": (artifact_table9, "software monitor benchmark (also table3, fig16)"),
     "fig17": (artifact_fig17, "seven ABRs on 5G vs 4G"),
     "fig18": (artifact_fig18, "predictors / chunk length / interface selection (also table4)"),
+    "live": (artifact_live, "LL-DASH live QoE: LoL+/L2A/Stallion over mmWave walks"),
+    "energy_abr": (artifact_energy_abr, "energy-aware ABR energy/QoE trade-off (DTR + RRC)"),
     "fig19": (artifact_fig19, "web PLT & energy factors (also fig20, fig21)"),
     "table6": (artifact_table6, "DT radio interface selection (also fig22)"),
     "fig23": (artifact_fig23, "4CC vs 8CC carrier aggregation"),

@@ -28,6 +28,8 @@ paper's qualitative shape (who wins, where crossovers fall).
 | ``run_video_interface_selection`` | Fig. 18c; Table 4 |
 | ``run_web_factors`` | Fig. 19, 20, 21 |
 | ``run_web_selection`` | Fig. 22; Table 6 |
+| ``run_live_streaming`` | LL-DASH live QoE (PAPERS.md, LoL+/L2A/Stallion) |
+| ``run_energy_abr`` | energy/QoE trade-off (PAPERS.md, energy-aware ABR) |
 """
 
 from repro.experiments.tables import format_table
@@ -53,6 +55,7 @@ from repro.experiments.video import (
     run_video_interface_selection,
     run_video_predictors,
 )
+from repro.experiments.live import run_energy_abr, run_live_streaming
 from repro.experiments.web import run_web_factors, run_web_selection
 
 __all__ = [
@@ -61,9 +64,11 @@ __all__ = [
     "run_azure_transport",
     "run_carrier_aggregation",
     "run_chunk_lengths",
+    "run_energy_abr",
     "run_energy_efficiency",
     "run_handoff_drive",
     "run_latency_vs_distance",
+    "run_live_streaming",
     "run_power_models",
     "run_rrc_inference",
     "run_server_survey",

@@ -1,0 +1,173 @@
+"""Live-streaming and energy-aware ABR experiments (ROADMAP item 3).
+
+``run_live_streaming`` evaluates the LoL+/L2A/Stallion LL-DASH
+controllers over the mmWave walking corpus and reports the live-QoE
+axes of "An Experimental Study of Low-Latency Video Streaming over 5G"
+(live latency, playback-rate deviation, stalls) plus radio energy.
+
+``run_energy_abr`` sweeps the energy-aware ABR's ``energy_weight``
+over the same corpus and reports the energy/QoE trade-off of
+"Improving UE Energy Efficiency through Network-aware Video Streaming
+over 5G": energy falls monotonically with λ while bitrate is
+surrendered from the top of the ladder first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.power.device import get_device
+from repro.traces.lumos import LumosConfig, generate_lumos_corpus
+from repro.traces.schema import ThroughputTrace
+from repro.video.abr.energy import EnergyAware
+from repro.video.encoding import build_ladder
+from repro.video.live import LiveManifest, LivePlayer, make_live_controller
+from repro.video.player import Player
+from repro.video.encoding import VideoManifest
+from repro.video.timeline import timeline_energy_j
+
+LIVE_CONTROLLERS = ("lolp", "l2a", "stallion")
+
+#: λ sweep of the energy-aware ABR, in QoE units (Mbps) per joule.
+ENERGY_WEIGHTS = (0.0, 25.0, 50.0, 100.0, 200.0, 400.0)
+
+
+def _corpus(
+    n_traces: int, duration_s: int, seed: int
+) -> Tuple[List[ThroughputTrace], List[ThroughputTrace]]:
+    config = LumosConfig(
+        n_5g=n_traces, n_4g=n_traces, duration_s=duration_s, seed=seed
+    )
+    return generate_lumos_corpus(config)
+
+
+def run_live_streaming(
+    n_traces: int = 12,
+    duration_s: int = 240,
+    seed: int = 9,
+    latency_target_s: float = 3.0,
+    segment_s: float = 1.0,
+    chunks_per_segment: int = 5,
+    controllers: Optional[Sequence[str]] = None,
+    network_key: str = "verizon-nsa-mmwave",
+) -> Dict:
+    """LL-DASH controllers over the mmWave walking traces.
+
+    The live ladder tops at half the corpus median (live encoders
+    leave real-time headroom), segments are 1 s CMAF-chunked five
+    ways, and every session is priced on the S20U mmWave DTR curve
+    through the time-aligned timeline.
+    """
+    controllers = list(controllers or LIVE_CONTROLLERS)
+    traces_5g, _ = _corpus(n_traces, duration_s, seed)
+    # Leave headroom for startup + stalls so sessions fit the traces.
+    n_segments = max(int(0.8 * duration_s / segment_s), 1)
+    manifest = LiveManifest(
+        ladder=build_ladder(80.0),
+        segment_s=segment_s,
+        chunks_per_segment=chunks_per_segment,
+        n_segments=n_segments,
+    )
+    curve = get_device("S20U").curve(network_key)
+    rows = []
+    for name in controllers:
+        results = []
+        for trace in traces_5g:
+            player = LivePlayer(manifest, latency_target_s=latency_target_s)
+            results.append(
+                player.play(make_live_controller(name), trace.throughput_at)
+            )
+        energies = [
+            timeline_energy_j(
+                r.download_rate_timeline, r.tick_durations_s, curve
+            )
+            for r in results
+        ]
+        rows.append(
+            {
+                "controller": make_live_controller(name).name,
+                "mean_latency_s": float(np.mean([r.mean_latency_s for r in results])),
+                "p95_latency_s": float(np.mean([r.p95_latency_s for r in results])),
+                "rate_deviation": float(np.mean([r.rate_deviation for r in results])),
+                "stall_percent": float(np.mean([r.stall_percent for r in results])),
+                "normalized_bitrate": float(
+                    np.mean([r.normalized_bitrate for r in results])
+                ),
+                "latency_jumps": float(np.mean([r.latency_jumps for r in results])),
+                "startup_s": float(np.mean([r.startup_s for r in results])),
+                "qoe": float(np.mean([r.qoe() for r in results])),
+                "energy_j": float(np.mean(energies)),
+            }
+        )
+    return {
+        "rows": rows,
+        "n_traces": n_traces,
+        "latency_target_s": latency_target_s,
+        "segment_s": segment_s,
+        "chunks_per_segment": chunks_per_segment,
+        "n_segments": n_segments,
+    }
+
+
+def run_energy_abr(
+    n_traces: int = 12,
+    n_chunks: int = 50,
+    duration_s: int = 240,
+    seed: int = 7,
+    energy_weights: Optional[Sequence[float]] = None,
+    network_key: str = "verizon-nsa-mmwave",
+) -> Dict:
+    """Energy/QoE trade-off of the energy-aware ABR (λ sweep).
+
+    λ = 0 is the pure one-step QoE maximizer baseline; the summary
+    reports the energy saved (and bitrate given up) at the largest λ
+    relative to that baseline.
+    """
+    weights = list(energy_weights or ENERGY_WEIGHTS)
+    if not weights or weights[0] != 0.0:
+        raise ValueError("energy_weights must start with the λ=0 baseline")
+    traces_5g, _ = _corpus(n_traces, duration_s, seed)
+    manifest = VideoManifest(
+        ladder=build_ladder(160.0), chunk_s=4.0, n_chunks=n_chunks
+    )
+    curve = get_device("S20U").curve(network_key)
+    rows = []
+    for weight in weights:
+        energies, bitrates, stalls, qoes = [], [], [], []
+        for trace in traces_5g:
+            abr = EnergyAware(energy_weight=weight, network_key=network_key)
+            result = Player(manifest).play(abr, trace.throughput_at)
+            energies.append(
+                timeline_energy_j(
+                    result.download_rate_timeline,
+                    result.tick_durations_s,
+                    curve,
+                )
+            )
+            bitrates.append(result.normalized_bitrate)
+            stalls.append(result.stall_percent)
+            qoes.append(result.qoe())
+        rows.append(
+            {
+                "energy_weight": float(weight),
+                "energy_j": float(np.mean(energies)),
+                "normalized_bitrate": float(np.mean(bitrates)),
+                "stall_percent": float(np.mean(stalls)),
+                "qoe": float(np.mean(qoes)),
+            }
+        )
+    baseline = rows[0]
+    final = rows[-1]
+    return {
+        "rows": rows,
+        "n_traces": n_traces,
+        "energy_saving_frac": float(
+            1.0 - final["energy_j"] / baseline["energy_j"]
+        ),
+        "bitrate_cost_frac": float(
+            1.0
+            - final["normalized_bitrate"] / baseline["normalized_bitrate"]
+        ),
+    }

@@ -322,6 +322,24 @@ def _fleet_walk_rsrp_ks(result: Any) -> float:
     )
 
 
+def _live_row(controller: str, field: str) -> Callable[[Any], float]:
+    def extract(result: Any) -> float:
+        for row in result["rows"]:
+            if row["controller"] == controller:
+                return float(row[field])
+        raise KeyError(f"no live row for controller {controller!r}")
+
+    return extract
+
+
+def _energy_abr_row_at_max_weight(field: str) -> Callable[[Any], float]:
+    def extract(result: Any) -> float:
+        row = max(result["rows"], key=lambda r: float(r["energy_weight"]))
+        return float(row[field])
+
+    return extract
+
+
 #: The paper-pinned gauge registry. A ``fig2 fig13`` sweep alone
 #: evaluates six of these; the rest light up as their runners join the
 #: sweep. Targets cite the figure/table they are pinned to.
@@ -494,6 +512,53 @@ PAPER_GAUGES: List[GaugeSpec] = [
         warn=0.05,
         fail=0.20,
         extract=_fleet_max("speedtest_mmwave_dl"),
+    ),
+    GaugeSpec(
+        name="live_latency_lolp",
+        runner="live",
+        paper_ref="LL-DASH study (PAPERS.md)",
+        description="mean LoL+ live latency over mmWave walks (3 s target)",
+        unit="s",
+        target=6.8,
+        warn=0.20,
+        fail=0.45,
+        extract=_live_row("LoL+", "mean_latency_s"),
+    ),
+    GaugeSpec(
+        name="live_rate_deviation_lolp",
+        runner="live",
+        paper_ref="LL-DASH study (PAPERS.md)",
+        description="mean LoL+ playback-rate deviation from 1.0x",
+        unit="",
+        target=0.038,
+        warn=0.02,
+        fail=0.05,
+        mode="abs",
+        extract=_live_row("LoL+", "rate_deviation"),
+    ),
+    GaugeSpec(
+        name="energy_abr_saving",
+        runner="energy_abr",
+        paper_ref="energy-aware streaming study (PAPERS.md)",
+        description="radio energy saved at max energy weight vs λ=0",
+        unit="",
+        target=0.13,
+        warn=0.05,
+        fail=0.10,
+        mode="abs",
+        extract=lambda result: float(result["energy_saving_frac"]),
+    ),
+    GaugeSpec(
+        name="energy_abr_stall_floor",
+        runner="energy_abr",
+        paper_ref="energy-aware streaming study (PAPERS.md)",
+        description="stall %% at max energy weight (savings must not stall)",
+        unit="%",
+        target=0.0,
+        warn=4.0,
+        fail=8.0,
+        mode="abs",
+        extract=_energy_abr_row_at_max_weight("stall_percent"),
     ),
 ]
 

@@ -3,13 +3,22 @@
 A chunk-level DASH playback simulator plus the seven ABR algorithms the
 paper evaluates (BBA, BOLA, rate-based, FESTIVE, fastMPC, robustMPC,
 Pensieve), pluggable throughput predictors (harmonic mean, GBDT,
-ground truth), and the proposed 5G-aware interface-selection streaming
-scheme of section 5.4.
+ground truth), the proposed 5G-aware interface-selection streaming
+scheme of section 5.4, an LL-DASH/CMAF live player with LoL+/L2A/
+Stallion controllers (``repro.video.live``), and an energy-aware ABR
+coupled to the section 4 power/RRC models (``repro.video.abr.energy``).
 """
 
 from repro.video.encoding import BitrateLadder, VideoManifest, build_ladder
 from repro.video.player import PlaybackResult, Player
 from repro.video.qoe import QoEWeights, mpc_qoe, normalized_bitrate, stall_percent
+from repro.video.timeline import (
+    DOWNLOAD_TICK_S,
+    TimelineRecorder,
+    resample_to_ticks,
+    tick_durations,
+    timeline_energy_j,
+)
 from repro.video.predictors import (
     GBDTPredictor,
     HarmonicMeanPredictor,
@@ -20,12 +29,21 @@ from repro.video.abr import (
     ABRAlgorithm,
     BBA,
     BOLA,
+    EnergyAware,
     FESTIVE,
     FastMPC,
     Pensieve,
     RateBased,
     RobustMPC,
     make_abr,
+)
+from repro.video.live import (
+    LIVE_CONTROLLER_NAMES,
+    LiveManifest,
+    LivePlaybackResult,
+    LivePlayer,
+    LiveQoEWeights,
+    make_live_controller,
 )
 from repro.video.selection import InterfaceSelectionResult, StreamingInterfaceSelector
 
@@ -34,11 +52,18 @@ __all__ = [
     "BBA",
     "BOLA",
     "BitrateLadder",
+    "DOWNLOAD_TICK_S",
+    "EnergyAware",
     "FESTIVE",
     "FastMPC",
     "GBDTPredictor",
     "HarmonicMeanPredictor",
     "InterfaceSelectionResult",
+    "LIVE_CONTROLLER_NAMES",
+    "LiveManifest",
+    "LivePlaybackResult",
+    "LivePlayer",
+    "LiveQoEWeights",
     "Pensieve",
     "PlaybackResult",
     "Player",
@@ -47,11 +72,16 @@ __all__ = [
     "RobustMPC",
     "StreamingInterfaceSelector",
     "ThroughputPredictor",
+    "TimelineRecorder",
     "TruthPredictor",
     "VideoManifest",
     "build_ladder",
     "make_abr",
+    "make_live_controller",
     "mpc_qoe",
     "normalized_bitrate",
+    "resample_to_ticks",
     "stall_percent",
+    "tick_durations",
+    "timeline_energy_j",
 ]

@@ -8,6 +8,7 @@ robustMPC), and learning-based (Pensieve).
 from repro.video.abr.base import ABRAlgorithm, ABRContext
 from repro.video.abr.bba import BBA
 from repro.video.abr.bola import BOLA
+from repro.video.abr.energy import EnergyAware
 from repro.video.abr.rate import RateBased
 from repro.video.abr.festive import FESTIVE
 from repro.video.abr.mpc import FastMPC, RobustMPC
@@ -24,6 +25,7 @@ def make_abr(name: str, **kwargs) -> ABRAlgorithm:
         "fastmpc": FastMPC,
         "robustmpc": RobustMPC,
         "pensieve": Pensieve,
+        "energyaware": EnergyAware,
     }
     try:
         cls = registry[name.lower()]
@@ -42,6 +44,7 @@ __all__ = [
     "ALL_ABR_NAMES",
     "BBA",
     "BOLA",
+    "EnergyAware",
     "FESTIVE",
     "FastMPC",
     "Pensieve",

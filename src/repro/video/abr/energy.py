@@ -1,0 +1,142 @@
+"""Energy-aware ABR (ROADMAP item 3b).
+
+Couples chunk-level rate selection to the section 4.5 power model and
+the section 4.2 RRC state machine, after "Improving UE Energy
+Efficiency through Network-aware Video Streaming over 5G" (PAPERS.md):
+every candidate track is scored on its one-step linear QoE *minus*
+``energy_weight`` times the radio energy the chunk is predicted to
+cost.
+
+The energy estimate mirrors how the corrected timeline prices a real
+playback (docs/video.md):
+
+* **transfer** — the DTR curve at the predicted delivery rate,
+  integrated over the predicted download time;
+* **gap** — the idle window until the next chunk request. Within the
+  carrier's RRC inactivity timer the radio stays connected and pays
+  the DTR intercept; a gap that outlives the timer instead pays the
+  Table 2 demotion tail via :func:`repro.power.tail.tail_energy_j`
+  (only reachable for chunk lengths beyond the paper's ladder, but it
+  keeps the estimator honest for long-form scheduling).
+
+With ``energy_weight = 0`` the controller degrades to a pure one-step
+QoE maximizer, which is the baseline the energy/QoE trade-off gauges
+compare against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.power.device import get_device
+from repro.power.tail import tail_energy_j
+from repro.rrc.parameters import get_parameters
+from repro.video.abr.base import ABRAlgorithm, ABRContext, harmonic_mean
+
+
+@dataclass
+class EnergyAware(ABRAlgorithm):
+    """QoE-minus-energy chunk scheduler.
+
+    Attributes:
+        energy_weight: λ, in QoE units (Mbps) per joule. 0 disables
+            energy awareness; larger values trade bitrate for energy.
+        device_name: UE whose DTR curves price the transfer (S20U).
+        network_key: power-curve / RRC-parameter key.
+        safety: multiplicative discount on the throughput prediction.
+        window: throughput-history window for the harmonic mean.
+    """
+
+    energy_weight: float = 0.0
+    device_name: str = "S20U"
+    network_key: str = "verizon-nsa-mmwave"
+    safety: float = 0.9
+    window: int = 5
+    name: str = "energyaware"
+
+    _curve: object = field(init=False, repr=False, default=None)
+    _inactivity_s: float = field(init=False, repr=False, default=0.0)
+    _sleep_gap_energy_j: float = field(init=False, repr=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.energy_weight < 0:
+            raise ValueError("energy_weight must be non-negative")
+        if not 0 < self.safety <= 1:
+            raise ValueError("safety must be in (0, 1]")
+        self._curve = get_device(self.device_name).curve(self.network_key)
+        self._inactivity_s = get_parameters(self.network_key).inactivity_ms / 1000.0
+        # Energy of one full demotion tail (integrates the RRC schedule
+        # against Table 2); cached, it does not depend on the gap.
+        self._sleep_gap_energy_j = tail_energy_j(self.network_key)
+
+    # -- energy estimator ---------------------------------------------------
+    def transfer_energy_j(self, size_mbit: float, rate_mbps: float) -> float:
+        """DTR-curve energy of moving ``size_mbit`` at ``rate_mbps``."""
+        rate = max(rate_mbps, 1e-3)
+        download_s = size_mbit / rate
+        return self._curve.power_mw(dl_mbps=rate) * download_s / 1000.0
+
+    def gap_energy_j(self, gap_s: float) -> float:
+        """Idle energy between the chunk finishing and the next request.
+
+        Connected-intercept pricing inside the RRC inactivity timer
+        (matching how the playback timeline prices idle ticks); beyond
+        it, the connected window plus the Table 2 demotion tail.
+        """
+        if gap_s <= 0:
+            return 0.0
+        intercept_j = self._curve.power_mw(dl_mbps=0.0) / 1000.0
+        if gap_s <= self._inactivity_s:
+            return intercept_j * gap_s
+        return intercept_j * self._inactivity_s + self._sleep_gap_energy_j
+
+    # -- ABR ---------------------------------------------------------------
+    def _utility(self, ladder, track: int) -> float:
+        """Log-utility QoE term (Yin et al.'s concave variant), scaled
+        so the top track is worth its bitrate in Mbps.
+
+        Perceptual quality saturates with bitrate, so the energy
+        trade-off is graduated: the expensive top-of-ladder megabits
+        are surrendered first as ``energy_weight`` grows, instead of
+        every track flipping to the bottom at a single threshold.
+        """
+        span = math.log(ladder.top_mbps / ladder.bottom_mbps)
+        if span <= 0:
+            return ladder[track]
+        return (
+            ladder.top_mbps * math.log(ladder[track] / ladder.bottom_mbps) / span
+        )
+
+    def select(self, context: ABRContext) -> int:
+        samples = context.recent_throughput(self.window)
+        if not samples:
+            return 0
+        predicted = max(harmonic_mean(samples) * self.safety, 1e-3)
+        ladder = context.ladder
+        last_utility = self._utility(ladder, context.last_track)
+        rebuffer_penalty = ladder.top_mbps
+        best_track = 0
+        best_score = -float("inf")
+        for track in range(context.n_tracks):
+            size_mbit = context.manifest.chunk_size_mbit(context.chunk_index, track)
+            download_s = size_mbit / predicted + context.rtt_s
+            stall_s = max(0.0, download_s - context.buffer_s)
+            utility = self._utility(ladder, track)
+            # Half-weight switch penalty: a one-step greedy score with
+            # the full MPC smoothness weight makes every upward move a
+            # wash (gain == penalty) and camps on the bottom track.
+            qoe = (
+                utility
+                - rebuffer_penalty * stall_s
+                - 0.5 * abs(utility - last_utility)
+            )
+            gap_s = max(0.0, context.manifest.chunk_s - download_s)
+            energy_j = self.transfer_energy_j(size_mbit, predicted) + self.gap_energy_j(
+                gap_s
+            )
+            score = qoe - self.energy_weight * energy_j
+            if score > best_score:
+                best_score = score
+                best_track = track
+        return best_track

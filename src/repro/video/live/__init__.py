@@ -1,0 +1,41 @@
+"""LL-DASH/CMAF live streaming (ROADMAP item 3a).
+
+A chunked-transfer live player with a latency target, playback-rate
+control, and drift seeks, plus the LoL+/L2A/Stallion controllers and
+live-QoE metrics from "An Experimental Study of Low-Latency Video
+Streaming over 5G" (PAPERS.md). Shares the time-aligned download
+timeline contract with the VoD player (docs/video.md), so live
+sessions price energy through the same section 4.5 power model.
+"""
+
+from repro.video.live.controllers import (
+    L2A,
+    LIVE_CONTROLLER_NAMES,
+    LiveContext,
+    LiveController,
+    LoLP,
+    Stallion,
+    make_live_controller,
+)
+from repro.video.live.manifest import LiveManifest
+from repro.video.live.player import (
+    LivePlaybackResult,
+    LivePlayer,
+    LiveQoEWeights,
+    default_live_weights,
+)
+
+__all__ = [
+    "L2A",
+    "LIVE_CONTROLLER_NAMES",
+    "LiveContext",
+    "LiveController",
+    "LiveManifest",
+    "LivePlaybackResult",
+    "LivePlayer",
+    "LiveQoEWeights",
+    "LoLP",
+    "Stallion",
+    "default_live_weights",
+    "make_live_controller",
+]

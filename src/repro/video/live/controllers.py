@@ -1,0 +1,231 @@
+"""Live ABR controllers: LoL+, L2A-LL, Stallion.
+
+The three low-latency rate controllers evaluated by "An Experimental
+Study of Low-Latency Video Streaming over 5G" (PAPERS.md), implemented
+at the algorithmic level the dash.js rules expose:
+
+* **LoL+** — multi-feature scoring (throughput fit, projected latency,
+  rebuffer risk, switch magnitude) with a panic mode when latency or
+  buffer degrade badly; a deterministic stand-in for the paper's
+  learned SOM weighting.
+* **L2A-LL** — Learn2Adapt-LowLatency: online learning over the
+  probability simplex with a virtual queue penalizing tracks whose
+  download time exceeds the segment's real-time budget.
+* **Stallion** — sliding-window mean/standard-deviation throughput
+  estimate with a safety offset, plus a latency-triggered step-down.
+
+All controllers are deterministic given their inputs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.video.abr.base import harmonic_mean
+from repro.video.live.manifest import LiveManifest
+
+
+@dataclass
+class LiveContext:
+    """Observation handed to a live controller at a segment boundary."""
+
+    manifest: LiveManifest
+    segment_index: int
+    buffer_s: float
+    live_latency_s: float
+    latency_target_s: float
+    playback_rate: float
+    last_track: int
+    throughput_history: List[float] = field(default_factory=list)
+    rtt_s: float = 0.03
+    wall_clock_s: float = 0.0
+
+    @property
+    def ladder(self):
+        return self.manifest.ladder
+
+    @property
+    def n_tracks(self) -> int:
+        return len(self.manifest.ladder)
+
+    def recent_throughput(self, window: int = 4) -> List[float]:
+        """The last ``window`` per-segment throughput samples (Mbps)."""
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        return self.throughput_history[-window:]
+
+
+class LiveController(abc.ABC):
+    """Base class: stateless between sessions via :meth:`reset`."""
+
+    name: str = "live"
+
+    @abc.abstractmethod
+    def select(self, context: LiveContext) -> int:
+        """Return the track index for the next segment."""
+
+    def reset(self) -> None:
+        """Clear any cross-segment state before a new session."""
+
+
+@dataclass
+class LoLP(LiveController):
+    """LoL+-style weighted multi-feature scoring.
+
+    Scores every candidate track on normalized bitrate utility minus
+    projected latency overshoot, rebuffer risk, and switch magnitude;
+    drops to the bottom track in panic (latency or buffer far out of
+    band), mirroring LoL+'s QoE-driven selection under stress.
+    """
+
+    weight_bitrate: float = 1.0
+    weight_latency: float = 1.0
+    weight_rebuffer: float = 2.0
+    weight_switch: float = 0.3
+    panic_latency_factor: float = 2.0
+    window: int = 4
+    name: str = "LoL+"
+
+    def select(self, context: LiveContext) -> int:
+        ladder = context.ladder
+        samples = context.recent_throughput(self.window)
+        if not samples:
+            return 0
+        if (
+            context.live_latency_s
+            > self.panic_latency_factor * context.latency_target_s
+            or context.buffer_s < 0.5 * context.manifest.cmaf_chunk_s
+        ):
+            return 0
+        estimate = max(harmonic_mean(samples), 1e-3)
+        top = ladder.top_mbps
+        seg_s = context.manifest.segment_s
+        sizes = context.manifest.track_sizes_mbit(context.segment_index)
+        last_bitrate = ladder[context.last_track]
+        best_track = 0
+        best_score = -np.inf
+        for track in range(context.n_tracks):
+            download_s = sizes[track] / estimate + context.rtt_s
+            rebuffer_s = max(0.0, download_s - context.buffer_s)
+            projected_latency = context.live_latency_s + max(
+                0.0, download_s - seg_s
+            )
+            score = (
+                self.weight_bitrate * ladder[track] / top
+                - self.weight_latency
+                * max(0.0, projected_latency / context.latency_target_s - 1.0)
+                - self.weight_rebuffer * rebuffer_s / seg_s
+                - self.weight_switch * abs(ladder[track] - last_bitrate) / top
+            )
+            if score > best_score:
+                best_score = score
+                best_track = track
+        return best_track
+
+
+@dataclass
+class L2A(LiveController):
+    """Learn2Adapt-LL: online learning on the probability simplex.
+
+    Maintains a weight per track and a virtual queue ``Q`` that grows
+    whenever the chosen track's projected download time exceeds the
+    segment's real-time budget; each decision takes an exponentiated-
+    gradient step on ``V * utility - Q * violation`` and plays the
+    arg-max of the updated weights.
+    """
+
+    utility_weight: float = 2.0  # V: bitrate utility vs. queue stability
+    learning_rate: float = 1.0
+    window: int = 3
+    name: str = "L2A"
+
+    _weights: Optional[np.ndarray] = field(default=None, repr=False)
+    _queue: float = field(default=0.0, repr=False)
+    _last_violation: Optional[float] = field(default=None, repr=False)
+
+    def reset(self) -> None:
+        self._weights = None
+        self._queue = 0.0
+        self._last_violation = None
+
+    def select(self, context: LiveContext) -> int:
+        n = context.n_tracks
+        if self._weights is None:
+            self._weights = np.full(n, 1.0 / n)
+        samples = context.recent_throughput(self.window)
+        if not samples:
+            return 0
+        estimate = max(harmonic_mean(samples), 1e-3)
+        sizes = np.asarray(context.manifest.track_sizes_mbit(context.segment_index))
+        download_s = sizes / estimate + context.rtt_s
+        violation = download_s - context.manifest.segment_s
+        if self._last_violation is not None:
+            self._queue = max(0.0, self._queue + self._last_violation)
+        bitrates = np.asarray(context.ladder.bitrates_mbps)
+        utility = bitrates / context.ladder.top_mbps
+        gradient = self.utility_weight * utility - self._queue * violation
+        weights = self._weights * np.exp(self.learning_rate * gradient)
+        total = float(weights.sum())
+        if not np.isfinite(total) or total <= 0.0:
+            weights = np.full(n, 1.0 / n)
+            total = 1.0
+        self._weights = weights / total
+        track = int(np.argmax(self._weights))
+        self._last_violation = float(violation[track])
+        return track
+
+
+@dataclass
+class Stallion(LiveController):
+    """STALLION: sliding-window throughput/latency safety offsets.
+
+    Picks the highest track whose bitrate fits within
+    ``mean - throughput_safety * std`` of the recent per-segment
+    throughput, stepping down once the live latency breaches its own
+    safety factor over the target.
+    """
+
+    window: int = 10
+    throughput_safety: float = 1.0
+    latency_safety: float = 1.25
+    name: str = "Stallion"
+
+    def select(self, context: LiveContext) -> int:
+        samples = context.recent_throughput(self.window)
+        if not samples:
+            return 0
+        mean = float(np.mean(samples))
+        std = float(np.std(samples))
+        safe_rate = mean - self.throughput_safety * std
+        track = context.ladder.index_for_rate(max(safe_rate, 0.0))
+        if (
+            context.live_latency_s
+            > self.latency_safety * context.latency_target_s
+            and track > 0
+        ):
+            track -= 1
+        return track
+
+
+def make_live_controller(name: str, **kwargs) -> LiveController:
+    """Live-controller factory by paper name (case-insensitive)."""
+    registry = {
+        "lolp": LoLP,
+        "lol+": LoLP,
+        "l2a": L2A,
+        "stallion": Stallion,
+    }
+    try:
+        cls = registry[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown live controller {name!r}; known: {sorted(set(registry))}"
+        ) from None
+    return cls(**kwargs)
+
+
+LIVE_CONTROLLER_NAMES = ("LoL+", "L2A", "Stallion")

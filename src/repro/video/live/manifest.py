@@ -1,0 +1,91 @@
+"""LL-DASH/CMAF live manifests.
+
+Low-latency DASH serves segments that are themselves split into CMAF
+chunks delivered over HTTP chunked transfer: chunk ``j`` of segment
+``k`` leaves the encoder at ``k * segment_s + (j + 1) * cmaf_chunk_s``,
+so a player sitting at the live edge downloads at sub-segment
+granularity and is rate-limited by the *encoder*, not only the network
+("An Experimental Study of Low-Latency Video Streaming over 5G").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.video.encoding import BitrateLadder
+
+
+@dataclass
+class LiveManifest:
+    """A live CMAF presentation: ladder + segmentation + size table.
+
+    Attributes:
+        ladder: bitrate ladder (live ladders top out well below the
+            link median so real-time delivery has headroom).
+        segment_s: segment duration (LL-DASH deployments use ~1 s).
+        chunks_per_segment: CMAF chunks per segment (sub-segment
+            delivery granularity).
+        n_segments: how many segments the encoder produces.
+        vbr_sigma: log-normal per-segment size variability.
+        seed: RNG seed for the fixed size table.
+    """
+
+    ladder: BitrateLadder
+    segment_s: float = 1.0
+    chunks_per_segment: int = 5
+    n_segments: int = 180
+    vbr_sigma: float = 0.08
+    seed: int = 20240305
+    _sizes_mbit: Optional[np.ndarray] = field(init=False, default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.segment_s <= 0:
+            raise ValueError("segment_s must be positive")
+        if self.chunks_per_segment < 1:
+            raise ValueError("chunks_per_segment must be >= 1")
+        if self.n_segments < 1:
+            raise ValueError("n_segments must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        factors = np.exp(
+            rng.normal(0.0, self.vbr_sigma, size=(self.n_segments, len(self.ladder)))
+        )
+        nominal = np.array(
+            [[b * self.segment_s for b in self.ladder.bitrates_mbps]]
+            * self.n_segments
+        )
+        self._sizes_mbit = nominal * factors
+
+    @property
+    def duration_s(self) -> float:
+        return self.n_segments * self.segment_s
+
+    @property
+    def cmaf_chunk_s(self) -> float:
+        return self.segment_s / self.chunks_per_segment
+
+    def segment_size_mbit(self, segment_index: int, track: int) -> float:
+        """Size of one encoded segment in megabits."""
+        if not 0 <= segment_index < self.n_segments:
+            raise IndexError(f"segment_index {segment_index} out of range")
+        if not 0 <= track < len(self.ladder):
+            raise IndexError(f"track {track} out of range")
+        return float(self._sizes_mbit[segment_index, track])
+
+    def track_sizes_mbit(self, segment_index: int) -> List[float]:
+        """Sizes of every track of one segment (what controllers see)."""
+        return [
+            self.segment_size_mbit(segment_index, t)
+            for t in range(len(self.ladder))
+        ]
+
+    def chunk_available_at_s(self, segment_index: int, chunk_index: int) -> float:
+        """Wall-clock time the encoder finishes a CMAF chunk."""
+        if not 0 <= chunk_index < self.chunks_per_segment:
+            raise IndexError(f"chunk_index {chunk_index} out of range")
+        return (
+            segment_index * self.segment_s
+            + (chunk_index + 1) * self.cmaf_chunk_s
+        )

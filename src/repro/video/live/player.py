@@ -1,0 +1,363 @@
+"""LL-DASH/CMAF live player with latency-target playback-rate control.
+
+The live analogue of :class:`repro.video.player.Player`: the client
+chases a live edge produced in real time, downloads CMAF chunks over
+chunked transfer as the encoder emits them, adjusts its playback rate
+to hold a live-latency target (dash.js catch-up mechanism), and — when
+drift exceeds a threshold — jumps the playhead forward. It reuses the
+corrected timeline machinery of ``repro.video.timeline``, so a live
+session's energy is priced exactly like a VoD one: every wall-clock
+second is on the timeline, encoder waits and RTT as zero-rate ticks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.video.qoe import QoEWeights, mpc_qoe, normalized_bitrate, stall_percent
+from repro.video.timeline import (
+    DOWNLOAD_TICK_S,
+    TimelineRecorder,
+    tick_durations,
+)
+from repro.video.live.controllers import LiveContext, LiveController
+from repro.video.live.manifest import LiveManifest
+
+BandwidthFn = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class LiveQoEWeights:
+    """LoL+-style live QoE: the linear VoD terms plus latency and
+    playback-rate penalties.
+
+    ``QoE = sum q(R_k) - rebuffer_penalty * stall
+          - smoothness_penalty * sum |switch|
+          - latency_penalty * mean(max(latency - target, 0)) * n_segments
+          - rate_penalty * rate_deviation * n_segments``
+    """
+
+    rebuffer_penalty: float
+    smoothness_penalty: float = 1.0
+    latency_penalty: float = 0.0
+    rate_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(
+            self.rebuffer_penalty,
+            self.smoothness_penalty,
+            self.latency_penalty,
+            self.rate_penalty,
+        ) < 0:
+            raise ValueError("penalties must be non-negative")
+
+
+def default_live_weights(top_bitrate_mbps: float) -> LiveQoEWeights:
+    """Stalls cost as in the MPC convention; latency excess and
+    catch-up deviation cost a twentieth of the top bitrate per
+    segment-weighted unit, so they bend QoE without swamping it."""
+    if top_bitrate_mbps <= 0:
+        raise ValueError("top_bitrate_mbps must be positive")
+    return LiveQoEWeights(
+        rebuffer_penalty=top_bitrate_mbps,
+        latency_penalty=0.05 * top_bitrate_mbps,
+        rate_penalty=0.05 * top_bitrate_mbps,
+    )
+
+
+@dataclass
+class LivePlaybackResult:
+    """Everything the live-QoE and energy analyses need.
+
+    The ``download_rate_timeline`` obeys the same contract as VoD
+    playbacks: ``timeline.size * tick_s`` equals ``wall_clock_s`` to
+    within one tick and each entry is the duration-weighted mean
+    download rate of its tick (docs/video.md).
+    """
+
+    segment_tracks: List[int]
+    segment_bitrates_mbps: List[float]
+    stall_s: float
+    startup_s: float
+    played_s: float
+    skipped_s: float
+    latency_jumps: int
+    rebuffer_events: int
+    wall_clock_s: float
+    mean_latency_s: float
+    p95_latency_s: float
+    rate_deviation: float  # time-weighted mean |playback_rate - 1|
+    latency_series_s: np.ndarray  # live latency at each segment finish
+    download_rate_timeline: np.ndarray
+    segment_finish_times_s: List[float]
+    ladder_top_mbps: float
+    latency_target_s: float
+    tick_s: float = DOWNLOAD_TICK_S
+
+    @property
+    def stall_percent(self) -> float:
+        return stall_percent(self.stall_s, self.played_s)
+
+    @property
+    def normalized_bitrate(self) -> float:
+        return normalized_bitrate(self.segment_bitrates_mbps, self.ladder_top_mbps)
+
+    @property
+    def tick_durations_s(self) -> np.ndarray:
+        """True duration of each timeline tick (last tick is partial)."""
+        return tick_durations(
+            self.download_rate_timeline.size, self.wall_clock_s, self.tick_s
+        )
+
+    def qoe(self, weights: Optional[LiveQoEWeights] = None) -> float:
+        weights = weights or default_live_weights(self.ladder_top_mbps)
+        base = mpc_qoe(
+            self.segment_bitrates_mbps,
+            self.stall_s,
+            QoEWeights(
+                rebuffer_penalty=weights.rebuffer_penalty,
+                smoothness_penalty=weights.smoothness_penalty,
+            ),
+        )
+        n = len(self.segment_bitrates_mbps)
+        excess = np.maximum(self.latency_series_s - self.latency_target_s, 0.0)
+        latency_cost = weights.latency_penalty * float(np.mean(excess)) * n
+        rate_cost = weights.rate_penalty * self.rate_deviation * n
+        return base - latency_cost - rate_cost
+
+
+@dataclass
+class LivePlayer:
+    """Live-edge chaser with playback-rate control and drift seeks.
+
+    Attributes:
+        manifest: live CMAF manifest.
+        latency_target_s: live-latency setpoint the rate controller
+            holds (LL-DASH deployments target 2-4 s).
+        startup_buffer_s: playback begins after this much media is
+            buffered (live players start lean).
+        catchup_rate: playback-rate authority: rate stays within
+            ``1 +/- catchup_rate`` (dash.js maxCatchupPlaybackRate).
+        rate_deadband_s: latency error inside which rate snaps to 1.0.
+        min_catchup_buffer_s: never speed up with less buffer than
+            this (speeding into a stall is worse than the latency).
+        max_drift_s: latency excess over target that triggers a
+            playhead jump to re-sync (dash.js liveCatchupLatency jump).
+    """
+
+    manifest: LiveManifest
+    latency_target_s: float = 3.0
+    startup_buffer_s: float = 0.8
+    catchup_rate: float = 0.3
+    rate_deadband_s: float = 0.1
+    min_catchup_buffer_s: float = 0.5
+    max_drift_s: float = 4.0
+    tick_s: float = DOWNLOAD_TICK_S
+
+    def __post_init__(self) -> None:
+        if self.latency_target_s <= 0:
+            raise ValueError("latency_target_s must be positive")
+        if self.startup_buffer_s <= 0:
+            raise ValueError("startup_buffer_s must be positive")
+        if not 0.0 <= self.catchup_rate < 1.0:
+            raise ValueError("catchup_rate must be in [0, 1)")
+        if self.max_drift_s <= 0:
+            raise ValueError("max_drift_s must be positive")
+
+    def _playback_rate(self, latency_s: float, buffer_s: float) -> float:
+        """Proportional catch-up controller around the latency target."""
+        error = latency_s - self.latency_target_s
+        if abs(error) <= self.rate_deadband_s:
+            return 1.0
+        if error > 0 and buffer_s < self.min_catchup_buffer_s:
+            return 1.0  # don't speed into a stall
+        adjust = max(-1.0, min(1.0, error / self.latency_target_s))
+        return 1.0 + adjust * self.catchup_rate
+
+    def play(
+        self,
+        controller: LiveController,
+        bandwidth: BandwidthFn,
+        rtt_s: float = 0.03,
+    ) -> LivePlaybackResult:
+        """Chase the live edge against ``bandwidth(t) -> Mbps``."""
+        manifest = self.manifest
+        controller.reset()
+        recorder = TimelineRecorder(self.tick_s)
+
+        t = 0.0  # wall clock == encoder clock (client joins at t=0)
+        position = 0.0  # media time of the playhead
+        downloaded = 0.0  # contiguous media downloaded
+        playing = False
+        stalled = False
+        startup_s = 0.0
+        stall_s = 0.0
+        rebuffer_events = 0
+        played_s = 0.0
+        skipped_s = 0.0
+        latency_jumps = 0
+        latency_weighted = 0.0
+        latency_time = 0.0
+        rate_dev_weighted = 0.0
+        rate_dev_time = 0.0
+        tracks: List[int] = []
+        bitrates: List[float] = []
+        throughput_history: List[float] = []
+        latency_series: List[float] = []
+        segment_finish_times: List[float] = []
+        last_track = 0
+
+        def advance(dt: float, mbit: float = 0.0) -> None:
+            """Advance the wall clock; render media if playing."""
+            nonlocal t, position, stalled, stall_s, rebuffer_events
+            nonlocal played_s, latency_weighted, latency_time
+            nonlocal rate_dev_weighted, rate_dev_time
+            if dt <= 0.0:
+                return
+            recorder.add(mbit, dt)
+            if playing:
+                rate = self._playback_rate(t - position, downloaded - position)
+                need = dt * rate
+                available = downloaded - position
+                if available >= need - 1e-12:
+                    position += need
+                    played_s += need
+                    rate_dev_weighted += abs(rate - 1.0) * dt
+                    rate_dev_time += dt
+                    if stalled:
+                        stalled = False
+                else:
+                    # Buffer empties partway through the step -> stall.
+                    rendered = available / rate if rate > 0 else 0.0
+                    position += available
+                    played_s += available
+                    rate_dev_weighted += abs(rate - 1.0) * rendered
+                    rate_dev_time += rendered
+                    stall_add = dt - rendered
+                    stall_s += stall_add
+                    if not stalled and stall_add > 0:
+                        rebuffer_events += 1
+                        stalled = True
+                latency_weighted += (t + dt - position) * dt
+                latency_time += dt
+            t += dt
+
+        for segment_index in range(manifest.n_segments):
+            first_available = manifest.chunk_available_at_s(segment_index, 0)
+            if t < first_available - 1e-12:
+                advance(first_available - t)  # waiting on the encoder
+            context = LiveContext(
+                manifest=manifest,
+                segment_index=segment_index,
+                buffer_s=downloaded - position,
+                live_latency_s=t - position,
+                latency_target_s=self.latency_target_s,
+                playback_rate=self._playback_rate(
+                    t - position, downloaded - position
+                ),
+                last_track=last_track,
+                throughput_history=list(throughput_history),
+                rtt_s=rtt_s,
+                wall_clock_s=t,
+            )
+            track = controller.select(context)
+            if not 0 <= track < len(manifest.ladder):
+                raise ValueError(
+                    f"{type(controller).__name__} chose invalid track {track}"
+                )
+            segment_size = manifest.segment_size_mbit(segment_index, track)
+            chunk_mbit = segment_size / manifest.chunks_per_segment
+
+            # One request per segment: chunked transfer keeps the
+            # connection open across the segment's CMAF chunks.
+            advance(rtt_s)
+            active_download_s = 0.0
+            for chunk_index in range(manifest.chunks_per_segment):
+                available_at = manifest.chunk_available_at_s(
+                    segment_index, chunk_index
+                )
+                if t < available_at - 1e-12:
+                    advance(available_at - t)  # encoder idle mid-transfer
+                remaining_mbit = chunk_mbit
+                while remaining_mbit > 1e-9:
+                    rate = max(bandwidth(t), 1e-3)
+                    step_mbit = rate * self.tick_s
+                    consumed = min(step_mbit, remaining_mbit)
+                    tick = self.tick_s * (consumed / step_mbit)
+                    remaining_mbit -= consumed
+                    advance(tick, consumed)
+                    active_download_s += tick
+                downloaded = (
+                    segment_index * manifest.segment_s
+                    + (chunk_index + 1) * manifest.cmaf_chunk_s
+                )
+                if (
+                    not playing
+                    and downloaded - position >= self.startup_buffer_s
+                ):
+                    playing = True
+                    startup_s = t
+
+            # Per-segment throughput over *active* transfer time only:
+            # chunked-transfer idle must not dilute the estimate (the
+            # measurement problem the LL-DASH paper highlights).
+            throughput_history.append(
+                segment_size / max(active_download_s, 1e-9)
+            )
+            tracks.append(track)
+            bitrates.append(manifest.ladder[track])
+            last_track = track
+            segment_finish_times.append(t)
+            latency_series.append(t - position)
+
+            # Drift guard: jump the playhead back to the target once
+            # latency runs away (catch-up alone cannot recover).
+            if playing and (t - position) > self.latency_target_s + self.max_drift_s:
+                new_position = min(downloaded, t - self.latency_target_s)
+                if new_position > position + 1e-9:
+                    skipped_s += new_position - position
+                    position = new_position
+                    latency_jumps += 1
+
+        # Never-started edge case (stream shorter than the startup
+        # buffer): playback begins the moment the download completes.
+        if not playing:
+            playing = True
+            startup_s = t
+
+        # Drain what is buffered; the encoder has stopped, so this is
+        # zero-rate radio time under the same rate controller.
+        while downloaded - position > 1e-9:
+            rate = self._playback_rate(t - position, downloaded - position)
+            dt = min(self.tick_s, (downloaded - position) / rate)
+            advance(dt)
+
+        mean_latency = latency_weighted / latency_time if latency_time > 0 else 0.0
+        rate_deviation = (
+            rate_dev_weighted / rate_dev_time if rate_dev_time > 0 else 0.0
+        )
+        series = np.asarray(latency_series, dtype=np.float64)
+        p95_latency = float(np.percentile(series, 95)) if series.size else 0.0
+        return LivePlaybackResult(
+            segment_tracks=tracks,
+            segment_bitrates_mbps=bitrates,
+            stall_s=stall_s,
+            startup_s=startup_s,
+            played_s=played_s,
+            skipped_s=skipped_s,
+            latency_jumps=latency_jumps,
+            rebuffer_events=rebuffer_events,
+            wall_clock_s=t,
+            mean_latency_s=float(mean_latency),
+            p95_latency_s=p95_latency,
+            rate_deviation=float(rate_deviation),
+            latency_series_s=series,
+            download_rate_timeline=recorder.finish(),
+            segment_finish_times_s=segment_finish_times,
+            ladder_top_mbps=manifest.ladder.top_mbps,
+            latency_target_s=self.latency_target_s,
+            tick_s=self.tick_s,
+        )

@@ -5,12 +5,14 @@ with the standard chunk-level abstraction used by the MPC and Pensieve
 papers: chunks download sequentially against the trace bandwidth, the
 playout buffer drains in real time, and rebuffering occurs whenever it
 empties. The player records a fine-grained download-rate timeline so
-network energy can be estimated by the section 4.5 power model.
+network energy can be estimated by the section 4.5 power model; the
+timeline is **time-aligned** with the playback's wall clock (see
+``repro.video.timeline`` and docs/video.md for the contract).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -24,13 +26,26 @@ from repro.video.qoe import (
     normalized_bitrate,
     stall_percent,
 )
+from repro.video.timeline import (
+    DOWNLOAD_TICK_S,
+    TimelineRecorder,
+    tick_durations,
+)
 
 BandwidthFn = Callable[[float], float]
 
 
 @dataclass
 class PlaybackResult:
-    """Everything the section 5 analyses need from one playback."""
+    """Everything the section 5 analyses need from one playback.
+
+    ``download_rate_timeline`` is time-aligned with the wall clock:
+    ``timeline.size * DOWNLOAD_TICK_S`` equals ``wall_clock_s`` to
+    within one tick, every tick's entry is the duration-weighted mean
+    download rate inside it (zero for RTT waits, buffer-cap idling and
+    the final buffer drain), and the last tick's true duration is the
+    wall-clock remainder (``tick_durations_s``).
+    """
 
     chunk_tracks: List[int]
     chunk_bitrates_mbps: List[float]
@@ -40,24 +55,37 @@ class PlaybackResult:
     wall_clock_s: float
     download_rate_timeline: np.ndarray  # Mbps at DOWNLOAD_TICK_S steps
     rebuffer_events: int
+    ladder_top_mbps: float = 0.0
+    chunk_finish_times_s: List[float] = field(default_factory=list)
+    tick_s: float = DOWNLOAD_TICK_S
+
+    @property
+    def _top_mbps(self) -> float:
+        """Ladder-top reference; falls back for hand-built results."""
+        if self.ladder_top_mbps > 0:
+            return self.ladder_top_mbps
+        return max(self.chunk_bitrates_mbps) if self.chunk_bitrates_mbps else 1.0
 
     @property
     def normalized_bitrate(self) -> float:
-        top = max(self.chunk_bitrates_mbps) if self.chunk_bitrates_mbps else 1.0
-        # Normalisation against the *ladder* top happens in the caller;
-        # this property is a fallback for quick inspection.
-        return normalized_bitrate(self.chunk_bitrates_mbps, top)
+        # Normalised against the *ladder* top so identical ladders are
+        # comparable across playbacks regardless of the tracks chosen.
+        return normalized_bitrate(self.chunk_bitrates_mbps, self._top_mbps)
 
     @property
     def stall_percent(self) -> float:
         return stall_percent(self.stall_s, self.playback_s)
 
+    @property
+    def tick_durations_s(self) -> np.ndarray:
+        """True duration of each timeline tick (last tick is partial)."""
+        return tick_durations(
+            self.download_rate_timeline.size, self.wall_clock_s, self.tick_s
+        )
+
     def qoe(self, weights: Optional[QoEWeights] = None) -> float:
-        weights = weights or default_weights(max(self.chunk_bitrates_mbps))
+        weights = weights or default_weights(self._top_mbps)
         return mpc_qoe(self.chunk_bitrates_mbps, self.stall_s, weights)
-
-
-DOWNLOAD_TICK_S = 0.1
 
 
 @dataclass
@@ -101,7 +129,8 @@ class Player:
         tracks: List[int] = []
         bitrates: List[float] = []
         throughput_history: List[float] = []
-        download_timeline: List[float] = []
+        recorder = TimelineRecorder(DOWNLOAD_TICK_S)
+        chunk_finish_times: List[float] = []
         last_track = 0
 
         for chunk_index in range(manifest.n_chunks):
@@ -121,9 +150,11 @@ class Player:
                 )
             size_mbit = manifest.chunk_size_mbit(chunk_index, track)
 
-            # Download loop: drain bandwidth, play out the buffer.
+            # Download loop: drain bandwidth, play out the buffer. The
+            # request RTT is dead air on the radio: zero-rate ticks.
             remaining_mbit = size_mbit
             download_time = rtt_s  # request latency
+            recorder.add(0.0, rtt_s)
             buffer_s, t, stall_add, stalled, events = self._advance(
                 rtt_s, buffer_s, t, started, stalled
             )
@@ -135,9 +166,9 @@ class Player:
                 consumed = min(step_mbit, remaining_mbit)
                 tick = DOWNLOAD_TICK_S * (consumed / step_mbit)
                 remaining_mbit -= consumed
-                # Normalise by the nominal tick so that
-                # sum(timeline) * DOWNLOAD_TICK_S == total megabits.
-                download_timeline.append(consumed / DOWNLOAD_TICK_S)
+                # Partial ticks are recorded over their actual duration
+                # so the timeline stays aligned with the wall clock.
+                recorder.add(consumed, tick)
                 buffer_s, t, stall_add, stalled, events = self._advance(
                     tick, buffer_s, t, started, stalled
                 )
@@ -151,23 +182,35 @@ class Player:
             tracks.append(track)
             bitrates.append(manifest.ladder[track])
             last_track = track
+            chunk_finish_times.append(t)
 
             if not started and buffer_s >= self.startup_buffer_s:
                 started = True
                 startup_s = t
 
-            # Respect the buffer cap: idle until there is room.
+            # Respect the buffer cap: idle until there is room. The
+            # idle gap keeps its fractional remainder (no truncation).
             if buffer_s > self.max_buffer_s:
                 idle = buffer_s - self.max_buffer_s
+                recorder.add(0.0, idle)
                 buffer_s, t, stall_add, stalled, events = self._advance(
                     idle, buffer_s, t, started, stalled
                 )
                 stall_s += stall_add
                 rebuffer_events += events
-                download_timeline.extend([0.0] * int(idle / DOWNLOAD_TICK_S))
 
-        # Drain the remaining buffer to finish playback.
+        # Never-started edge case: a manifest shorter than
+        # startup_buffer_s finishes downloading before the startup
+        # threshold is reached. Playback then begins the moment the
+        # download completes, so that is the true startup time.
+        if not started:
+            started = True
+            startup_s = t
+
+        # Drain the remaining buffer to finish playback (zero-rate
+        # radio time, still priced at the connected intercept).
         playback_s = manifest.duration_s
+        recorder.add(0.0, buffer_s)
         wall_clock = t + buffer_s
         return PlaybackResult(
             chunk_tracks=tracks,
@@ -176,8 +219,10 @@ class Player:
             startup_s=startup_s,
             playback_s=playback_s,
             wall_clock_s=wall_clock,
-            download_rate_timeline=np.asarray(download_timeline),
+            download_rate_timeline=recorder.finish(),
             rebuffer_events=rebuffer_events,
+            ladder_top_mbps=manifest.ladder.top_mbps,
+            chunk_finish_times_s=chunk_finish_times,
         )
 
     @staticmethod

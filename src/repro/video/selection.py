@@ -250,27 +250,37 @@ class StreamingInterfaceSelector:
     ) -> float:
         """Price the download timeline with the device power curves.
 
-        The per-tick download rates are attributed to interfaces in
-        chunk order (ticks between chunk boundaries inherit the chunk's
-        interface); idle/stall ticks still pay the connected-radio
-        intercept, which is what makes needless 5G time expensive.
+        The timeline is time-aligned with the wall clock (see
+        ``repro.video.timeline``), so the integral runs over each
+        tick's *true* duration — the final tick carries only the
+        wall-clock remainder. Ticks are attributed to interfaces by
+        the chunk in flight when the tick ends (exact via the recorded
+        chunk finish times); ticks after the last finish — the final
+        buffer drain — inherit the last chunk's radio. Idle/RTT/drain
+        ticks still pay the connected-radio intercept, which is what
+        makes needless 5G time expensive.
         """
         curve_5g = self.device.curve(self.network_5g)
         curve_4g = self.device.curve(self.network_4g)
         timeline = playback.download_rate_timeline
         if timeline.size == 0:
             return 0.0
-        # Map ticks to chunks proportionally (download ticks dominate).
-        n_chunks = max(len(interface_per_chunk), 1)
-        ticks_per_chunk = max(1, timeline.size // n_chunks)
-        energy_mj = 0.0  # mW * s
-        for i, rate in enumerate(timeline):
-            chunk = min(i // ticks_per_chunk, n_chunks - 1)
-            on_5g = interface_per_chunk[chunk] == "5G" if interface_per_chunk else True
-            curve = curve_5g if on_5g else curve_4g
-            power_mw = curve.power_mw(dl_mbps=float(rate))
-            energy_mj += power_mw * DOWNLOAD_TICK_S
-        return energy_mj / 1000.0
+        durations = playback.tick_durations_s
+        zeros = np.zeros_like(timeline)
+        power_5g = curve_5g.power_mw_series(timeline, zeros)
+        power_4g = curve_4g.power_mw_series(timeline, zeros)
+        finishes = np.asarray(playback.chunk_finish_times_s, dtype=np.float64)
+        if interface_per_chunk and finishes.size == len(interface_per_chunk):
+            tick_ends = np.cumsum(durations)
+            chunk_idx = np.searchsorted(finishes, tick_ends - 1e-9, side="left")
+            chunk_idx = np.minimum(chunk_idx, len(interface_per_chunk) - 1)
+            on_5g = np.asarray(
+                [iface == "5G" for iface in interface_per_chunk], dtype=bool
+            )[chunk_idx]
+        else:
+            on_5g = np.ones(timeline.size, dtype=bool)
+        power_mw = np.where(on_5g, power_5g, power_4g)
+        return float(np.sum(power_mw * durations)) / 1000.0
 
 
 def evaluate_pairs(

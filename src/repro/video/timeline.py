@@ -1,0 +1,128 @@
+"""Time-aligned download timelines for the video players.
+
+The section 5 players record how fast the radio was moving bits at
+every instant of a playback so the section 4.5 power model can price
+the session. The contract (docs/video.md):
+
+* A playback is a sequence of **segments** ``(mbit, duration_s)`` —
+  download ticks carry megabits over their *actual* duration (the last
+  tick of a chunk is usually partial), while RTT waits, buffer-cap
+  idling, encoder waits (live) and the final buffer drain are zero-rate
+  segments with their full fractional duration.
+* ``resample_to_ticks`` folds the segments onto the fixed
+  ``DOWNLOAD_TICK_S`` grid. Every tick's rate is the duration-weighted
+  mean rate inside it, so for the linear DTR power curves of
+  ``repro.power.device`` the tick-wise integral is *exact*:
+  ``sum(power_mw(rate_i) * dur_i)`` equals the continuous integral.
+* Invariant, pinned by tests: ``timeline.size * DOWNLOAD_TICK_S``
+  equals ``wall_clock_s`` to within one tick (the final tick is
+  short by the wall-clock remainder), and
+  ``sum(rate_i * dur_i)`` equals the total megabits downloaded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+#: Resolution of the download-rate timeline (seconds per tick).
+DOWNLOAD_TICK_S = 0.1
+
+
+class TimelineRecorder:
+    """Accumulates ``(mbit, duration_s)`` segments during a playback."""
+
+    __slots__ = ("tick_s", "_mbits", "_durations")
+
+    def __init__(self, tick_s: float = DOWNLOAD_TICK_S) -> None:
+        if tick_s <= 0:
+            raise ValueError("tick_s must be positive")
+        self.tick_s = float(tick_s)
+        self._mbits: List[float] = []
+        self._durations: List[float] = []
+
+    def add(self, mbit: float, duration_s: float) -> None:
+        """Record ``mbit`` delivered over ``duration_s`` of wall clock."""
+        if duration_s <= 0.0:
+            return
+        self._mbits.append(float(mbit))
+        self._durations.append(float(duration_s))
+
+    @property
+    def elapsed_s(self) -> float:
+        return float(sum(self._durations))
+
+    def finish(self) -> np.ndarray:
+        """Resample onto the tick grid; returns the rate timeline."""
+        rates, _ = resample_to_ticks(self._mbits, self._durations, self.tick_s)
+        return rates
+
+
+def resample_to_ticks(
+    mbits, durations, tick_s: float = DOWNLOAD_TICK_S
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold ``(mbit, duration)`` segments onto a fixed tick grid.
+
+    Returns ``(rates_mbps, tick_durations_s)``. All ticks last
+    ``tick_s`` except the final one, which carries the wall-clock
+    remainder. Megabits are conserved exactly: the cumulative-megabit
+    curve is piecewise linear in time, so sampling it at tick edges
+    with ``np.interp`` and differencing loses nothing.
+    """
+    mbits = np.asarray(mbits, dtype=np.float64)
+    durations = np.asarray(durations, dtype=np.float64)
+    keep = durations > 0.0
+    mbits = mbits[keep]
+    durations = durations[keep]
+    total_s = float(durations.sum())
+    if total_s <= 0.0:
+        return np.zeros(0, dtype=np.float64), np.zeros(0, dtype=np.float64)
+    # Tolerate accumulated float noise (up to a microsecond of a
+    # tick): 30.00000000004 s is 300 ticks, not 301.
+    n_ticks = int(np.ceil(total_s / tick_s - 1e-6))
+    n_ticks = max(n_ticks, 1)
+    edges = np.minimum(np.arange(1, n_ticks + 1, dtype=np.float64) * tick_s, total_s)
+    time_knots = np.concatenate(([0.0], np.cumsum(durations)))
+    time_knots[-1] = total_s
+    mbit_knots = np.concatenate(([0.0], np.cumsum(mbits)))
+    cum_at_edges = np.interp(edges, time_knots, mbit_knots)
+    tick_mbits = np.diff(np.concatenate(([0.0], cum_at_edges)))
+    tick_durs = np.diff(np.concatenate(([0.0], edges)))
+    # Guard the (degenerate) zero-length final tick from float noise.
+    tick_durs = np.maximum(tick_durs, 1e-12)
+    rates = tick_mbits / tick_durs
+    return rates, tick_durs
+
+
+def tick_durations(
+    n_ticks: int, wall_clock_s: float, tick_s: float = DOWNLOAD_TICK_S
+) -> np.ndarray:
+    """True duration of each tick: full ticks plus a short final one."""
+    if n_ticks <= 0:
+        return np.zeros(0, dtype=np.float64)
+    durs = np.full(n_ticks, tick_s, dtype=np.float64)
+    last = wall_clock_s - (n_ticks - 1) * tick_s
+    durs[-1] = min(max(last, 1e-12), tick_s)
+    return durs
+
+
+def timeline_energy_j(
+    rates_mbps: np.ndarray,
+    durations_s: np.ndarray,
+    curve,
+    rsrp_dbm=None,
+) -> float:
+    """Integrate a ``RadioPowerCurve`` over a time-aligned timeline.
+
+    Exact for the linear DTR curves because each tick's rate is the
+    duration-weighted mean rate inside that tick.
+    """
+    rates = np.asarray(rates_mbps, dtype=np.float64)
+    if rates.size == 0:
+        return 0.0
+    durations = np.asarray(durations_s, dtype=np.float64)
+    if durations.shape != rates.shape:
+        raise ValueError("rates and durations must have the same shape")
+    power_mw = curve.power_mw_series(rates, np.zeros_like(rates), rsrp_dbm)
+    return float(np.sum(power_mw * durations)) / 1000.0

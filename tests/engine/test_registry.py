@@ -13,7 +13,7 @@ class TestRegistration:
             "table1", "fig2", "fig3", "fig6", "fig8", "fig9", "fig10",
             "table2", "fig11", "fig12", "fig13", "fig15", "table9",
             "fig17", "fig18", "fig19", "table6", "fig23", "fig24",
-            "fleet",
+            "fleet", "live", "energy_abr",
         }
 
     def test_campaign_and_test_runners_registered(self):

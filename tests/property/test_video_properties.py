@@ -3,10 +3,42 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from repro.traces.lumos import LumosConfig, generate_lumos_corpus
 from repro.video.abr import make_abr
 from repro.video.encoding import VideoManifest, build_ladder
-from repro.video.player import Player
+from repro.video.live import LiveManifest, LivePlayer, make_live_controller
+from repro.video.player import DOWNLOAD_TICK_S, Player
 from repro.video.qoe import normalized_bitrate, stall_percent
+
+ALL_ABRS = (
+    "bba",
+    "bola",
+    "rb",
+    "festive",
+    "fastmpc",
+    "robustmpc",
+    "pensieve",
+    "energyaware",
+)
+
+# One small walking corpus shared across examples: a 5G mmWave trace
+# (blockage craters) and a 4G one, plus synthetic constant/noisy links.
+_TRACES_5G, _TRACES_4G = generate_lumos_corpus(
+    LumosConfig(n_5g=1, n_4g=1, duration_s=200, seed=11)
+)
+
+
+def _bandwidth_fn(trace_type, seed):
+    rng = np.random.default_rng(seed)
+    if trace_type == "constant":
+        level = float(rng.uniform(20.0, 800.0))
+        return lambda t: level
+    if trace_type == "noisy":
+        noise = rng.uniform(10.0, 400.0, size=300)
+        return lambda t: float(noise[int(t) % 300])
+    if trace_type == "lumos_5g":
+        return _TRACES_5G[0].throughput_at
+    return _TRACES_4G[0].throughput_at
 
 
 @settings(max_examples=12, deadline=None)
@@ -36,6 +68,55 @@ def test_playback_invariants(abr_name, bandwidth, seed):
     assert 0.0 <= normalized_bitrate(result.chunk_bitrates_mbps, 160.0) <= 1.0
     assert 0.0 <= stall_percent(result.stall_s, result.playback_s) < 100.0
     assert result.rebuffer_events >= 0
+
+
+@settings(max_examples=24, deadline=None)
+@given(
+    abr_name=st.sampled_from(ALL_ABRS),
+    trace_type=st.sampled_from(["constant", "noisy", "lumos_5g", "lumos_4g"]),
+    seed=st.integers(0, 50),
+)
+def test_timeline_covers_wall_clock(abr_name, trace_type, seed):
+    """The pinned timeline contract (docs/video.md), for every ABR and
+    every trace type: ``timeline.size * DOWNLOAD_TICK_S`` equals
+    ``wall_clock_s`` to within one tick, the true tick durations sum to
+    the wall clock exactly, and megabits are conserved."""
+    manifest = VideoManifest(
+        ladder=build_ladder(160.0), chunk_s=4.0, n_chunks=10, seed=seed
+    )
+    result = Player(manifest).play(
+        make_abr(abr_name), _bandwidth_fn(trace_type, seed)
+    )
+    n = result.download_rate_timeline.size
+    assert abs(n * DOWNLOAD_TICK_S - result.wall_clock_s) <= DOWNLOAD_TICK_S
+    durations = result.tick_durations_s
+    assert abs(durations.sum() - result.wall_clock_s) <= 1e-6
+    downloaded = float((result.download_rate_timeline * durations).sum())
+    expected = sum(
+        manifest.chunk_size_mbit(i, t) for i, t in enumerate(result.chunk_tracks)
+    )
+    assert abs(downloaded - expected) <= 1e-6 * max(expected, 1.0)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    controller=st.sampled_from(["lolp", "l2a", "stallion"]),
+    trace_type=st.sampled_from(["constant", "noisy", "lumos_5g"]),
+    seed=st.integers(0, 50),
+)
+def test_live_timeline_covers_wall_clock(controller, trace_type, seed):
+    """The same contract holds for LL-DASH live sessions."""
+    manifest = LiveManifest(
+        ladder=build_ladder(80.0), segment_s=1.0, chunks_per_segment=5,
+        n_segments=40, seed=seed,
+    )
+    result = LivePlayer(manifest).play(
+        make_live_controller(controller), _bandwidth_fn(trace_type, seed)
+    )
+    n = result.download_rate_timeline.size
+    assert abs(n * DOWNLOAD_TICK_S - result.wall_clock_s) <= DOWNLOAD_TICK_S
+    assert abs(result.tick_durations_s.sum() - result.wall_clock_s) <= 1e-6
+    assert result.wall_clock_s >= manifest.duration_s - 1e-6
 
 
 @settings(max_examples=10, deadline=None)

@@ -1,0 +1,118 @@
+"""Tests for the energy-aware ABR (repro.video.abr.energy)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_energy_abr
+from repro.power.device import get_device
+from repro.power.tail import tail_energy_j
+from repro.rrc.parameters import get_parameters
+from repro.video.abr import make_abr
+from repro.video.abr.energy import EnergyAware
+from repro.video.encoding import VideoManifest, build_ladder
+from repro.video.player import Player
+
+
+@pytest.fixture
+def manifest():
+    return VideoManifest(
+        ladder=build_ladder(160.0), chunk_s=4.0, n_chunks=30, vbr_sigma=0.0
+    )
+
+
+class TestEnergyEstimator:
+    def test_transfer_energy_matches_curve(self):
+        abr = EnergyAware()
+        curve = get_device("S20U").curve("verizon-nsa-mmwave")
+        # 100 Mbit at 200 Mbps: 0.5 s at the 200 Mbps DTR power.
+        expected = curve.power_mw(dl_mbps=200.0) * 0.5 / 1000.0
+        assert abr.transfer_energy_j(100.0, 200.0) == pytest.approx(expected)
+
+    def test_gap_energy_within_inactivity_timer(self):
+        abr = EnergyAware()
+        curve = get_device("S20U").curve("verizon-nsa-mmwave")
+        inactivity_s = get_parameters("verizon-nsa-mmwave").inactivity_ms / 1000.0
+        gap = 0.5 * inactivity_s
+        # Connected-intercept pricing, linear in the gap.
+        intercept_j = curve.power_mw(dl_mbps=0.0) / 1000.0
+        assert abr.gap_energy_j(gap) == pytest.approx(intercept_j * gap)
+        assert abr.gap_energy_j(0.0) == 0.0
+        assert abr.gap_energy_j(-1.0) == 0.0
+
+    def test_gap_energy_beyond_timer_pays_the_tail(self):
+        abr = EnergyAware()
+        curve = get_device("S20U").curve("verizon-nsa-mmwave")
+        inactivity_s = get_parameters("verizon-nsa-mmwave").inactivity_ms / 1000.0
+        intercept_j = curve.power_mw(dl_mbps=0.0) / 1000.0
+        expected = intercept_j * inactivity_s + tail_energy_j("verizon-nsa-mmwave")
+        # Beyond the timer the estimate saturates: the radio sleeps.
+        assert abr.gap_energy_j(inactivity_s + 10.0) == pytest.approx(expected)
+        assert abr.gap_energy_j(inactivity_s + 100.0) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyAware(energy_weight=-1.0)
+        with pytest.raises(ValueError):
+            EnergyAware(safety=0.0)
+
+
+class TestSelection:
+    def test_factory(self):
+        abr = make_abr("energyaware")
+        assert isinstance(abr, EnergyAware)
+        assert abr.name == "energyaware"
+
+    def test_zero_weight_is_pure_qoe(self, manifest):
+        # λ=0 on a fat link climbs the ladder like any QoE maximizer.
+        result = Player(manifest).play(
+            EnergyAware(energy_weight=0.0), lambda t: 2000.0
+        )
+        assert result.chunk_tracks[-1] == len(manifest.ladder) - 1
+        assert result.stall_s == pytest.approx(0.0)
+
+    def test_large_weight_camps_on_the_bottom(self, manifest):
+        result = Player(manifest).play(
+            EnergyAware(energy_weight=1e6), lambda t: 2000.0
+        )
+        assert all(track == 0 for track in result.chunk_tracks)
+
+    def test_bitrate_monotone_in_weight(self, manifest):
+        # More λ never buys more bitrate (same deterministic link).
+        bitrates = []
+        for weight in (0.0, 50.0, 200.0, 1000.0):
+            result = Player(manifest).play(
+                EnergyAware(energy_weight=weight), lambda t: 400.0
+            )
+            bitrates.append(result.normalized_bitrate)
+        assert all(a >= b - 1e-9 for a, b in zip(bitrates, bitrates[1:]))
+        # ... and the trade-off is graduated, not a single cliff: the
+        # intermediate weights sit strictly between the extremes.
+        assert bitrates[0] > bitrates[1] > bitrates[-1]
+
+    def test_selects_within_ladder(self, manifest):
+        rng = np.random.default_rng(4)
+        noise = rng.uniform(20.0, 300.0, size=400)
+        result = Player(manifest).play(
+            EnergyAware(energy_weight=100.0),
+            lambda t: noise[int(t) % 400],
+        )
+        assert all(
+            0 <= track < len(manifest.ladder) for track in result.chunk_tracks
+        )
+
+
+class TestEnergyAbrExperiment:
+    def test_tradeoff_shape(self):
+        result = run_energy_abr(n_traces=3, n_chunks=25, duration_s=120, seed=2)
+        rows = result["rows"]
+        assert rows[0]["energy_weight"] == 0.0
+        # Energy falls from baseline to the largest λ ...
+        assert rows[-1]["energy_j"] < rows[0]["energy_j"]
+        # ... paid for in bitrate.
+        assert rows[-1]["normalized_bitrate"] < rows[0]["normalized_bitrate"]
+        assert result["energy_saving_frac"] > 0.0
+        assert result["bitrate_cost_frac"] > 0.0
+
+    def test_weights_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="baseline"):
+            run_energy_abr(n_traces=1, energy_weights=(10.0, 20.0))

@@ -1,0 +1,281 @@
+"""Tests for the LL-DASH live player and its controllers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import JobSpec, execute
+from repro.experiments import run_live_streaming
+from repro.experiments.export import to_jsonable
+from repro.video.encoding import build_ladder
+from repro.video.live import (
+    LIVE_CONTROLLER_NAMES,
+    LiveManifest,
+    LivePlayer,
+    LiveQoEWeights,
+    default_live_weights,
+    make_live_controller,
+)
+from repro.video.live.controllers import LiveContext, LiveController
+from repro.video.timeline import DOWNLOAD_TICK_S
+
+
+class FixedLiveTrack(LiveController):
+    """Always requests the same track."""
+
+    name = "fixed"
+
+    def __init__(self, track: int):
+        self.track = track
+
+    def select(self, context):
+        return self.track
+
+
+@pytest.fixture
+def manifest():
+    return LiveManifest(
+        ladder=build_ladder(80.0),
+        segment_s=1.0,
+        chunks_per_segment=5,
+        n_segments=60,
+        vbr_sigma=0.0,
+    )
+
+
+class TestManifest:
+    def test_validation(self):
+        ladder = build_ladder(80.0)
+        with pytest.raises(ValueError):
+            LiveManifest(ladder=ladder, segment_s=0.0)
+        with pytest.raises(ValueError):
+            LiveManifest(ladder=ladder, chunks_per_segment=0)
+        with pytest.raises(ValueError):
+            LiveManifest(ladder=ladder, n_segments=0)
+
+    def test_chunk_availability_schedule(self, manifest):
+        # Chunk j of segment k leaves the encoder at
+        # k * segment_s + (j + 1) * cmaf_chunk_s.
+        assert manifest.cmaf_chunk_s == pytest.approx(0.2)
+        assert manifest.chunk_available_at_s(0, 0) == pytest.approx(0.2)
+        assert manifest.chunk_available_at_s(0, 4) == pytest.approx(1.0)
+        assert manifest.chunk_available_at_s(3, 2) == pytest.approx(3.6)
+        with pytest.raises(IndexError):
+            manifest.chunk_available_at_s(0, 5)
+
+    def test_sizes_deterministic_and_nominal(self, manifest):
+        other = LiveManifest(
+            ladder=build_ladder(80.0),
+            segment_s=1.0,
+            chunks_per_segment=5,
+            n_segments=60,
+            vbr_sigma=0.0,
+        )
+        for k in (0, 30, 59):
+            assert manifest.track_sizes_mbit(k) == other.track_sizes_mbit(k)
+        # vbr_sigma=0: every segment is exactly bitrate * segment_s.
+        assert manifest.segment_size_mbit(7, 3) == pytest.approx(
+            manifest.ladder[3] * manifest.segment_s
+        )
+
+
+class TestLivePlayer:
+    def test_encoder_paced_on_fast_link(self, manifest):
+        # A huge link cannot outrun the encoder: the session lasts at
+        # least the presentation duration, and the radio is idle for
+        # almost all of it (mean timeline rate << link rate).
+        player = LivePlayer(manifest)
+        result = player.play(FixedLiveTrack(0), lambda t: 5000.0)
+        assert result.wall_clock_s >= manifest.duration_s
+        timeline = result.download_rate_timeline
+        assert float(np.mean(timeline)) < 0.01 * 5000.0
+        assert (timeline == 0.0).sum() >= 0.3 * timeline.size
+
+    def test_latency_held_on_constant_bandwidth(self, manifest):
+        # Plenty of bandwidth: live latency stays near the target and
+        # playback never stalls or jumps.
+        player = LivePlayer(manifest, latency_target_s=3.0)
+        result = player.play(FixedLiveTrack(2), lambda t: 500.0)
+        assert result.stall_s == pytest.approx(0.0)
+        assert result.latency_jumps == 0
+        assert result.mean_latency_s < 3.0 + 1.0
+        assert result.p95_latency_s < 3.0 + 1.5
+
+    def test_timeline_invariant(self, manifest):
+        for bandwidth in (30.0, 120.0, 1000.0):
+            result = LivePlayer(manifest).play(
+                FixedLiveTrack(1), lambda t: bandwidth
+            )
+            n = result.download_rate_timeline.size
+            assert n * DOWNLOAD_TICK_S == pytest.approx(
+                result.wall_clock_s, abs=DOWNLOAD_TICK_S
+            )
+            assert result.tick_durations_s.sum() == pytest.approx(
+                result.wall_clock_s, abs=1e-6
+            )
+
+    def test_megabits_conserved(self, manifest):
+        result = LivePlayer(manifest).play(FixedLiveTrack(2), lambda t: 300.0)
+        downloaded = float(
+            (result.download_rate_timeline * result.tick_durations_s).sum()
+        )
+        expected = sum(
+            manifest.segment_size_mbit(k, 2)
+            for k in range(manifest.n_segments)
+        )
+        assert downloaded == pytest.approx(expected, rel=1e-6)
+
+    def test_drift_triggers_latency_jump(self, manifest):
+        # A link slower than the bottom track: latency runs away and
+        # the playhead must jump (skipping media) to re-sync.
+        bottom_mbps = manifest.ladder[0]
+        player = LivePlayer(manifest, latency_target_s=3.0, max_drift_s=4.0)
+        result = player.play(
+            FixedLiveTrack(0), lambda t: bottom_mbps * 0.4
+        )
+        assert result.latency_jumps >= 1
+        assert result.skipped_s > 0.0
+
+    def test_rate_control_speeds_up_when_behind(self, manifest):
+        player = LivePlayer(manifest, latency_target_s=3.0, catchup_rate=0.3)
+        # Behind the target with buffer available: speed up.
+        assert player._playback_rate(4.5, 2.0) > 1.0
+        # Ahead of the target: slow down.
+        assert player._playback_rate(1.5, 2.0) < 1.0
+        # Inside the deadband: exactly 1.
+        assert player._playback_rate(3.05, 2.0) == 1.0
+        # Behind but the buffer is nearly dry: don't speed into a stall.
+        assert player._playback_rate(4.5, 0.2) == 1.0
+        # Authority is bounded by catchup_rate.
+        assert player._playback_rate(30.0, 10.0) == pytest.approx(1.3)
+
+    def test_never_started_stream_shorter_than_startup(self):
+        manifest = LiveManifest(
+            ladder=build_ladder(80.0),
+            segment_s=1.0,
+            chunks_per_segment=5,
+            n_segments=1,
+            vbr_sigma=0.0,
+        )
+        player = LivePlayer(manifest, startup_buffer_s=5.0)
+        result = player.play(FixedLiveTrack(0), lambda t: 500.0)
+        assert result.startup_s > 0.0
+
+    def test_invalid_track_rejected(self, manifest):
+        player = LivePlayer(manifest)
+        with pytest.raises(ValueError, match="invalid track"):
+            player.play(FixedLiveTrack(99), lambda t: 100.0)
+
+    def test_player_validation(self, manifest):
+        with pytest.raises(ValueError):
+            LivePlayer(manifest, latency_target_s=0.0)
+        with pytest.raises(ValueError):
+            LivePlayer(manifest, catchup_rate=1.0)
+        with pytest.raises(ValueError):
+            LivePlayer(manifest, max_drift_s=0.0)
+
+    def test_qoe_penalizes_latency_excess(self, manifest):
+        result = LivePlayer(manifest).play(FixedLiveTrack(1), lambda t: 40.0)
+        top = manifest.ladder.top_mbps
+        lenient = LiveQoEWeights(rebuffer_penalty=top)
+        strict = LiveQoEWeights(
+            rebuffer_penalty=top, latency_penalty=top, rate_penalty=top
+        )
+        assert result.qoe(strict) <= result.qoe(lenient)
+        assert result.qoe() == pytest.approx(
+            result.qoe(default_live_weights(top))
+        )
+        with pytest.raises(ValueError):
+            LiveQoEWeights(rebuffer_penalty=-1.0)
+
+
+class TestControllers:
+    def _context(self, manifest, throughput, latency_s=3.0, buffer_s=2.0):
+        return LiveContext(
+            manifest=manifest,
+            segment_index=5,
+            buffer_s=buffer_s,
+            live_latency_s=latency_s,
+            latency_target_s=3.0,
+            playback_rate=1.0,
+            last_track=2,
+            throughput_history=list(throughput),
+        )
+
+    def test_factory_names(self):
+        made = {
+            make_live_controller(n).name
+            for n in ("lolp", "lol+", "l2a", "stallion")
+        }
+        assert made == set(LIVE_CONTROLLER_NAMES)
+        with pytest.raises(KeyError):
+            make_live_controller("nope")
+
+    @pytest.mark.parametrize("name", ["lolp", "l2a", "stallion"])
+    def test_selections_valid_and_deterministic(self, manifest, name):
+        first = make_live_controller(name)
+        second = make_live_controller(name)
+        history = [60.0, 45.0, 80.0, 30.0, 55.0]
+        for i in range(1, len(history) + 1):
+            ctx = self._context(manifest, history[:i])
+            a, b = first.select(ctx), second.select(ctx)
+            assert a == b
+            assert 0 <= a < len(manifest.ladder)
+
+    @pytest.mark.parametrize("name", ["lolp", "l2a", "stallion"])
+    def test_cold_start_is_bottom_track(self, manifest, name):
+        controller = make_live_controller(name)
+        assert controller.select(self._context(manifest, [])) == 0
+
+    def test_lolp_panics_on_latency(self, manifest):
+        controller = make_live_controller("lolp")
+        calm = controller.select(self._context(manifest, [200.0] * 4))
+        panicked = controller.select(
+            self._context(manifest, [200.0] * 4, latency_s=9.0)
+        )
+        assert calm > 0
+        assert panicked == 0
+
+    def test_stallion_steps_down_on_latency(self, manifest):
+        controller = make_live_controller("stallion")
+        calm = controller.select(self._context(manifest, [60.0] * 6))
+        late = controller.select(
+            self._context(manifest, [60.0] * 6, latency_s=4.5)
+        )
+        assert late == calm - 1
+
+    def test_l2a_reset_clears_state(self, manifest):
+        controller = make_live_controller("l2a")
+        for i in range(4):
+            controller.select(self._context(manifest, [50.0] * (i + 1)))
+        assert controller._weights is not None
+        controller.reset()
+        assert controller._weights is None
+        assert controller._queue == 0.0
+
+
+class TestLiveExperiment:
+    def test_runner_shape(self):
+        result = run_live_streaming(n_traces=2, duration_s=60, seed=1)
+        assert [r["controller"] for r in result["rows"]] == list(
+            LIVE_CONTROLLER_NAMES
+        )
+        for row in result["rows"]:
+            assert row["energy_j"] > 0.0
+            assert row["mean_latency_s"] > 0.0
+            assert 0.0 <= row["normalized_bitrate"] <= 1.0
+            assert 0.0 <= row["stall_percent"] < 100.0
+
+    def test_live_engine_serial_equals_parallel(self):
+        # The ISSUE satellite: a live sweep through the engine is
+        # bit-identical serial vs parallel.
+        jobs = [JobSpec(runner="live", scale=0.1, label="live")]
+        serial = execute(jobs, workers=1)
+        parallel = execute(jobs, workers=2)
+        serial.raise_if_failed()
+        parallel.raise_if_failed()
+        canon = lambda r: json.dumps(
+            to_jsonable(r.outcomes[0].value), sort_keys=True
+        )
+        assert canon(serial) == canon(parallel)
