@@ -10,6 +10,7 @@ Run with ``pytest benchmarks/ --benchmark-only``.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 
@@ -24,8 +25,21 @@ def emit_json(filename: str, payload: dict) -> pathlib.Path:
 
     Used by the kernel perf-regression suite to emit
     ``BENCH_kernels.json`` (uploaded as a CI artifact and compared
-    against the checked-in baseline).
+    against the checked-in baseline). With ``$REPRO_ARCHIVE`` set the
+    payload also lands in the cross-run archive as a ``kind="bench"``
+    record, so ``repro history`` trends benchmark metrics alongside
+    sweeps (docs/observability.md).
     """
     path = pathlib.Path(__file__).resolve().parent.parent / filename
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    archive_dir = os.environ.get("REPRO_ARCHIVE")
+    if archive_dir:
+        try:
+            from repro.obs.history import RunArchive, record_from_bench
+
+            RunArchive(archive_dir).append(
+                record_from_bench(path.stem, payload)
+            )
+        except Exception as exc:  # archiving never fails a benchmark
+            print(f"warning: could not archive {path.stem}: {exc}")
     return path

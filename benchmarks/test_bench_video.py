@@ -14,11 +14,17 @@ Regenerates the two ROADMAP item 3 artifacts at full scale and emits
 
 Also pins the engine contract for the two new runners: a serial sweep
 and a parallel one are bit-identical.
+
+Fails if pipeline throughput drops below **half** the checked-in
+baseline (``benchmarks/baselines/BENCH_video_baseline.json``), the
+same gate every other bench family carries.
 """
 
 from __future__ import annotations
 
 import json
+import pathlib
+import time
 
 from conftest import emit, emit_json
 
@@ -27,6 +33,13 @@ from repro.experiments import format_table, run_energy_abr, run_live_streaming
 from repro.experiments.export import to_jsonable
 
 LATENCY_TARGET_S = 3.0
+BASELINE = (
+    pathlib.Path(__file__).resolve().parent
+    / "baselines"
+    / "BENCH_video_baseline.json"
+)
+# Throughput regresses if it drops below baseline / this factor.
+REGRESSION_FACTOR = 2.0
 
 
 def _canon(sweep_result) -> str:
@@ -35,6 +48,7 @@ def _canon(sweep_result) -> str:
 
 
 def _measure() -> dict:
+    started = time.perf_counter()
     live = run_live_streaming(latency_target_s=LATENCY_TARGET_S)
     energy = run_energy_abr()
 
@@ -46,7 +60,8 @@ def _measure() -> dict:
     assert _canon(serial) == _canon(parallel), (
         "live/energy_abr runners diverged between serial and parallel"
     )
-    return {"live": live, "energy": energy}
+    wall_s = time.perf_counter() - started
+    return {"live": live, "energy": energy, "wall_s": wall_s}
 
 
 def test_video_live_and_energy(benchmark):
@@ -111,12 +126,18 @@ def test_video_live_and_energy(benchmark):
     assert energy_rows[-1]["stall_percent"] < energy_rows[0]["stall_percent"]
     assert measured["energy"]["energy_saving_frac"] > 0.05
 
+    # Wall-clock throughput: sessions simulated per second across the
+    # whole pipeline (live table + λ sweep + both engine sweeps), the
+    # number the regression gate below watches.
+    sessions = len(live_rows) + len(energy_rows)
     results = {
         "lolp_mean_latency_s": round(by_controller["LoL+"]["mean_latency_s"], 3),
         "lolp_rate_deviation": round(by_controller["LoL+"]["rate_deviation"], 4),
         "lolp_stall_percent": round(by_controller["LoL+"]["stall_percent"], 2),
         "energy_saving_frac": round(measured["energy"]["energy_saving_frac"], 4),
         "bitrate_cost_frac": round(measured["energy"]["bitrate_cost_frac"], 4),
+        "pipeline_wall_s": round(measured["wall_s"], 3),
+        "sessions_per_s": round(sessions / measured["wall_s"], 3),
     }
     payload = {
         "latency_target_s": LATENCY_TARGET_S,
@@ -138,8 +159,19 @@ def test_video_live_and_energy(benchmark):
                 f"LoL+ mean latency: {results['lolp_mean_latency_s']:.2f} s "
                 f"(target {LATENCY_TARGET_S:.0f} s)",
                 f"energy saving at max λ: {results['energy_saving_frac']:.1%}",
+                f"pipeline: {results['sessions_per_s']:.2f} sessions/s",
                 f"written to {path.name}",
             ]
         ),
     )
     benchmark.extra_info.update(results)
+
+    # Perf-regression gate against the checked-in baseline — wall-clock
+    # throughput, so the gate is a generous 2x like the other benches.
+    baseline = json.loads(BASELINE.read_text())["results"]
+    floor = baseline["sessions_per_s"] / REGRESSION_FACTOR
+    assert results["sessions_per_s"] >= floor, (
+        f"sessions_per_s {results['sessions_per_s']:.2f} regressed below "
+        f"{floor:.2f} (baseline {baseline['sessions_per_s']} / "
+        f"{REGRESSION_FACTOR})"
+    )

@@ -16,6 +16,11 @@ Usage::
     python -m repro serve --port 8321 --data-dir .repro-serve  # job server
     python -m repro cache ls .repro-cache     # inspect an on-disk cache
     python -m repro cache gc .repro-cache --max-bytes 1000000  # LRU evict
+    python -m repro sweep fig2 fig9 --archive .repro-archive  # cross-run store
+    python -m repro compare last~1 last       # regression gate (exit 1)
+    python -m repro history --html trends.html  # sparklines + change flags
+    python -m repro watch run.jsonl           # live view of an in-flight sweep
+    python -m repro watch http://127.0.0.1:8321/v1/events?follow=1
 
 Each artifact id maps to one :mod:`repro.experiments` runner
 registered with the scenario engine (:mod:`repro.engine`); ``--scale``
@@ -40,6 +45,14 @@ gauge scoreboard — and exits 1 when any gauge fails.
 API, shared size-bounded result cache, per-tenant fairness, graceful
 drain on SIGTERM; docs/serve.md), and ``cache`` inspects or
 garbage-collects any result cache directory (LRU by mtime).
+
+``--archive`` (or ``$REPRO_ARCHIVE``) appends each sweep's run record
+to an append-only cross-run archive; ``compare`` statistically diffs
+two archived runs (bootstrap latency CIs, gauge drift, cache deltas)
+and exits 1 past thresholds, ``history`` renders trend sparklines with
+change-point flags (terminal or ``--html``), and ``watch`` tails a
+growing ledger — or a serve follow stream — as a live status panel
+(docs/observability.md).
 """
 
 from __future__ import annotations
@@ -262,6 +275,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="METERS",
         help="fleet city extent per side (default 4000)",
     )
+    sweep.add_argument(
+        "--archive",
+        metavar="DIR",
+        default=None,
+        help="append this run's record to a cross-run archive "
+        "(default: $REPRO_ARCHIVE; see 'repro compare'/'repro history')",
+    )
 
     stats = sub.add_parser(
         "stats", help="summarise an event ledger written with --events"
@@ -302,6 +322,117 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the (re-scored) gauges as an OpenMetrics "
         "textfile",
+    )
+
+    compare = sub.add_parser(
+        "compare",
+        help="statistical diff of two archived runs; exits 1 on regression",
+    )
+    compare.add_argument(
+        "run_a",
+        metavar="RUN_A",
+        help="baseline: run id, unique prefix, last[~N], or a record "
+        "JSON path",
+    )
+    compare.add_argument(
+        "run_b", metavar="RUN_B", help="candidate (same reference forms)"
+    )
+    compare.add_argument(
+        "--archive",
+        metavar="DIR",
+        default=None,
+        help="run archive to resolve references in "
+        "(default: $REPRO_ARCHIVE or .repro-archive)",
+    )
+    compare.add_argument(
+        "--p50-ratio",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help="per-runner p50 latency ratio (B/A) beyond this is a "
+        "regression (default 2.0)",
+    )
+    compare.add_argument(
+        "--cache-hit-drop",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="absolute cache hit-rate drop that counts as a regression "
+        "(default 0.25)",
+    )
+    compare.add_argument(
+        "--allow-gauge-fail",
+        action="store_true",
+        help="do not treat a gauge flipping to fail as a regression",
+    )
+    compare.add_argument(
+        "--allow-new-failures",
+        action="store_true",
+        help="do not treat failures/timeouts appearing from a clean "
+        "baseline as a regression",
+    )
+    compare.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full comparison as JSON instead of the summary",
+    )
+
+    history = sub.add_parser(
+        "history",
+        help="trend sparklines and change-point flags over the run archive",
+    )
+    history.add_argument(
+        "--archive",
+        metavar="DIR",
+        default=None,
+        help="run archive to read (default: $REPRO_ARCHIVE or "
+        ".repro-archive)",
+    )
+    history.add_argument(
+        "--limit",
+        type=int,
+        default=50,
+        metavar="N",
+        help="most recent runs to cover (default 50)",
+    )
+    history.add_argument(
+        "--html",
+        metavar="PATH.html",
+        default=None,
+        help="write a self-contained HTML trend page instead of the "
+        "terminal sparklines",
+    )
+
+    watch_cmd = sub.add_parser(
+        "watch",
+        help="live terminal view of a growing ledger or a serve "
+        "follow stream",
+    )
+    watch_cmd.add_argument(
+        "source",
+        metavar="LEDGER|URL",
+        help="events JSONL path (may not exist yet) or an http(s):// "
+        "follow URL such as serve's /v1/events?follow=1",
+    )
+    watch_cmd.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="redraw cadence (default 0.5)",
+    )
+    watch_cmd.add_argument(
+        "--once",
+        action="store_true",
+        help="render the current state once and exit",
+    )
+    watch_cmd.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop watching after this long even if the run is still "
+        "going (for CI)",
     )
 
     render = sub.add_parser("render", help="render a figure as SVG")
@@ -583,7 +714,18 @@ def _cmd_sweep(args) -> int:
         specs = artifact_jobs(
             args.artifacts, base_seed=args.seed, scale=args.scale
         )
-    tracker = ProgressTracker(stream=None if args.quiet else sys.stderr)
+    if fleet_spec is not None:
+        # Emits reducer_snapshot events into the ledger as shard
+        # partials settle, so `repro watch` shows converging fleet
+        # quantiles mid-sweep (execute() attaches the events sink).
+        from repro.fleet import FleetSnapshotTracker
+
+        tracker: ProgressTracker = FleetSnapshotTracker(
+            shards_total=len(specs),
+            stream=None if args.quiet else sys.stderr,
+        )
+    else:
+        tracker = ProgressTracker(stream=None if args.quiet else sys.stderr)
     events_sink = None
     if args.events:
         from repro.obs.events import EventLog
@@ -669,9 +811,52 @@ def _cmd_sweep(args) -> int:
     for manifest_path in _sweep_manifest_paths(args):
         path = _write_sweep_manifest(result, args, manifest_path)
         print(f"wrote {path}")
+    _archive_sweep(args, result, gauge_results, fleet_spec)
     if args.keep_going:
         return 0
     return 1 if result.failed_count or result.skipped_count else 0
+
+
+def _archive_dir(arg: Optional[str]) -> str:
+    """The archive directory for compare/history: flag, env, default."""
+    import os
+
+    return arg or os.environ.get("REPRO_ARCHIVE") or ".repro-archive"
+
+
+def _archive_sweep(args, result, gauge_results, fleet_spec) -> None:
+    """Append this sweep's record to the cross-run archive, if asked.
+
+    Archiving is opt-in (``--archive`` or ``$REPRO_ARCHIVE``) and never
+    fails the sweep: a broken archive disk prints a warning, not a
+    traceback — the results themselves already landed.
+    """
+    import os
+
+    archive_dir = args.archive or os.environ.get("REPRO_ARCHIVE")
+    if not archive_dir:
+        return
+    from repro.obs.history import RunArchive, record_from_result
+
+    label = " ".join(args.artifacts)
+    if fleet_spec is not None:
+        label = f"fleet --ues {fleet_spec.ues}"
+    try:
+        record = record_from_result(
+            result,
+            label=label,
+            gauges=gauge_results,
+            dispatch=args.dispatch,
+            backend=args.backend,
+        )
+        run_id = RunArchive(archive_dir).append(record)
+    except OSError as exc:
+        print(
+            f"warning: could not archive run in {archive_dir}: {exc}",
+            file=sys.stderr,
+        )
+        return
+    print(f"archived {run_id} in {archive_dir}")
 
 
 def _load_gauge_overrides(path):
@@ -991,6 +1176,107 @@ def _cmd_report(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_compare(args) -> int:
+    import json
+    import warnings
+
+    from repro.obs.compare import (
+        CompareThresholds,
+        compare_records,
+        render_comparison,
+    )
+    from repro.obs.history import RunArchive
+
+    archive = RunArchive(_archive_dir(args.archive))
+    try:
+        # Newer-schema records compare best-effort with a warning
+        # (satellite: versioned aggregates); surface it on stderr so
+        # the comparison output itself stays machine-greppable.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            record_a = archive.resolve(args.run_a)
+            record_b = archive.resolve(args.run_b)
+            comparison = compare_records(
+                record_a,
+                record_b,
+                CompareThresholds(
+                    p50_ratio=args.p50_ratio,
+                    cache_hit_drop=args.cache_hit_drop,
+                    gauge_fail=not args.allow_gauge_fail,
+                    new_failures=not args.allow_new_failures,
+                ),
+            )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for warning in caught:
+        print(f"warning: {warning.message}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(comparison, indent=2, sort_keys=True))
+    else:
+        print(render_comparison(comparison))
+    return 0 if comparison["ok"] else 1
+
+
+def _cmd_history(args) -> int:
+    from repro.obs.history import (
+        RunArchive,
+        build_history,
+        render_history_html,
+        render_history_text,
+    )
+
+    archive = RunArchive(_archive_dir(args.archive))
+    if not archive.index_path.exists():
+        print(
+            f"error: no run archive at {archive.root} "
+            "(sweep with --archive or set $REPRO_ARCHIVE first)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        model = build_history(archive, limit=args.limit)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read archive {archive.root}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_history_html(model))
+        print(f"wrote {args.html}")
+    else:
+        print(render_history_text(model))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    import warnings
+
+    from repro.obs.watch import watch
+
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            code = watch(
+                args.source,
+                interval_s=args.interval,
+                duration_s=args.duration,
+                once=args.once,
+            )
+    except KeyboardInterrupt:
+        print(file=sys.stderr)
+        return 130
+    except OSError as exc:
+        print(f"error: cannot follow {args.source}: {exc}", file=sys.stderr)
+        return 2
+    for warning in caught:
+        print(f"warning: {warning.message}", file=sys.stderr)
+    return code
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -1003,6 +1289,12 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_stats(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "history":
+        return _cmd_history(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "cache":

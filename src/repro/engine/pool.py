@@ -1051,6 +1051,49 @@ def _run_batch_leases(
     return skipped
 
 
+def _run_summary_fields(
+    outcomes: Sequence[JobOutcome],
+    registry_: MetricsRegistry,
+    elapsed_s: float,
+    n_workers: int,
+    dispatch: str,
+    backend: Optional[str],
+    code_version: Optional[str],
+) -> Dict[str, Any]:
+    """The ``run_summary`` event payload for one finished sweep."""
+    counts = {"ok": 0, "cached": 0, "failed": 0, "skipped": 0}
+    for outcome in outcomes:
+        counts[outcome.status] = counts.get(outcome.status, 0) + 1
+    stats = registry_.as_dict()
+    counters = stats.get("counters", {})
+    runners = {
+        name[len("job."):]: {
+            key: timer[key]
+            for key in ("count", "p50_s", "p95_s", "max_s")
+            if key in timer
+        }
+        for name, timer in stats.get("timers", {}).items()
+        if name.startswith("job.")
+    }
+    total = len(outcomes)
+    return {
+        "jobs": total,
+        "ok": counts["ok"],
+        "cached": counts["cached"],
+        "failed": counts["failed"],
+        "skipped": counts["skipped"],
+        "retries": int(counters.get("retries", 0)),
+        "timeouts": int(counters.get("timeouts", 0)),
+        "cache_hit_rate": (counts["cached"] / total) if total else 0.0,
+        "elapsed_s": round(elapsed_s, 6),
+        "workers": int(n_workers),
+        "dispatch": dispatch,
+        "backend": backend,
+        "code_version": code_version,
+        "runners": runners,
+    }
+
+
 def _watchdog_budget_s(
     timeout_s: Optional[float], retries: int, backoff_s: float
 ) -> Optional[float]:
@@ -1422,10 +1465,23 @@ def execute(
         registry_.timer("sweep").observe(elapsed)
         if tracer is not None and root_span is not None:
             tracer.finish(root_span)
-        if progress is not None:
-            progress.finish()
         final = [outcome for outcome in outcomes if outcome is not None]
         assert len(final) == len(specs)
+        if events is not None:
+            # The cross-run telemetry hook: one self-contained summary
+            # event per execute() call, so an archive record (or a live
+            # `repro watch`) can be built from the ledger alone without
+            # re-deriving engine configuration. Emitted before
+            # sweep_end so that event stays the ledger's terminal
+            # progress marker.
+            events.emit(
+                "run_summary", **_run_summary_fields(
+                    final, registry_, elapsed, n_workers, dispatch,
+                    backend, version,
+                )
+            )
+        if progress is not None:
+            progress.finish()
         return SweepResult(
             outcomes=final,
             elapsed_s=elapsed,

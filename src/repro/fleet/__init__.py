@@ -23,6 +23,7 @@ from repro.fleet.spec import DEFAULT_KEY, FleetSpec
 from repro.fleet.scenario import FleetScenario
 from repro.fleet.shard import run_shard_job
 from repro.fleet.sweep import (
+    FleetSnapshotTracker,
     artifact_fleet,
     finalize_summary,
     fleet_jobs,
@@ -34,6 +35,7 @@ from repro.fleet.sweep import (
 __all__ = [
     "DEFAULT_KEY",
     "FleetScenario",
+    "FleetSnapshotTracker",
     "FleetSpec",
     "artifact_fleet",
     "finalize_summary",

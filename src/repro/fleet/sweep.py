@@ -22,8 +22,9 @@ serve API) work like any other artifact, and a sharded-parallel
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import IO, Any, Dict, List, Mapping, Optional, Sequence
 
+from repro.engine.progress import ProgressTracker
 from repro.engine.spec import JobSpec
 from repro.fleet.shard import GROUPS, run_shard_job
 from repro.fleet.spec import DEFAULT_KEY, FleetSpec
@@ -159,6 +160,97 @@ def finalize_summary(
     }
 
 
+#: Metric groups included in mid-sweep ``reducer_snapshot`` events.
+#: A subset of :data:`repro.fleet.shard.GROUPS` keeps each event a few
+#: hundred bytes even on million-UE sweeps.
+SNAPSHOT_GROUPS = ("rsrp_all", "dl_all", "power_mw")
+
+#: Percentiles carried per group in a snapshot event.
+SNAPSHOT_LEVELS = (("p5", 5.0), ("p50", 50.0), ("p95", 95.0))
+
+
+class FleetSnapshotTracker(ProgressTracker):
+    """Progress tracker that narrates converging fleet quantiles.
+
+    As each shard partial settles (completion order — workers finish
+    when they finish), its quantile sketches are merged into a running
+    partial-fleet view and a ``reducer_snapshot`` event is emitted
+    into the run ledger. Sketch merges are commutative bucket-count
+    additions, so the out-of-order incremental merge is exact: every
+    snapshot shows the true quantiles of exactly the UEs covered so
+    far, and ``repro watch`` renders them tightening toward the final
+    summary mid-sweep.
+
+    Only the sketches are merged here — :class:`StreamMoments` rides
+    on :class:`~repro.obs.reducers.PairwiseSum`, whose bit-identical
+    merge is deliberately order-sensitive, and the final summary still
+    goes through :func:`merge_partials` on the index-ordered outcomes.
+
+    ``every`` thins emission (snapshot every N settled shards; the
+    final shard always emits) so thousand-shard sweeps don't flood the
+    ledger.
+    """
+
+    def __init__(
+        self,
+        shards_total: int,
+        stream: Optional[IO[str]] = None,
+        events: Optional[Any] = None,
+        every: int = 1,
+    ) -> None:
+        super().__init__(stream=stream, events=events)
+        self.shards_total = int(shards_total)
+        self.every = max(1, int(every))
+        self.shards_done = 0
+        self.ues_covered = 0
+        self._sketches: Dict[str, QuantileSketch] = {}
+
+    def update(self, outcome: Any) -> None:
+        super().update(outcome)
+        value = getattr(outcome, "value", None)
+        if outcome.status not in ("ok", "cached"):
+            return
+        if not isinstance(value, Mapping) or "groups" not in value:
+            return
+        self.shards_done += 1
+        self.ues_covered += int(value.get("stop", 0)) - int(
+            value.get("start", 0)
+        )
+        for name in SNAPSHOT_GROUPS:
+            bundle = value["groups"].get(name)
+            if not bundle or "sketch" not in bundle:
+                continue
+            sketch = QuantileSketch.from_state(bundle["sketch"])
+            if name in self._sketches:
+                self._sketches[name].merge(sketch)
+            else:
+                self._sketches[name] = sketch
+        if self.events is None:
+            return
+        if (
+            self.shards_done % self.every == 0
+            or self.shards_done == self.shards_total
+        ):
+            self.events.emit("reducer_snapshot", **self.snapshot_fields())
+
+    def snapshot_fields(self) -> Dict[str, Any]:
+        """The ``reducer_snapshot`` payload for the current coverage."""
+        groups: Dict[str, Dict[str, Any]] = {}
+        for name, sketch in self._sketches.items():
+            entry: Dict[str, Any] = {"count": sketch.count}
+            for label, level in SNAPSHOT_LEVELS:
+                quantile = sketch.quantile(level)
+                if quantile is not None:
+                    entry[label] = round(float(quantile), 4)
+            groups[name] = entry
+        return {
+            "shards_done": self.shards_done,
+            "shards_total": self.shards_total,
+            "ues": self.ues_covered,
+            "groups": groups,
+        }
+
+
 def run_fleet(spec: FleetSpec, shards: Optional[int] = None) -> Dict[str, Any]:
     """Serial in-process fleet sweep: shard, reduce, merge, summarize."""
     partials = [
@@ -201,6 +293,9 @@ def artifact_fleet(
 
 __all__ = [
     "DEFAULT_SHARD_UES",
+    "FleetSnapshotTracker",
+    "SNAPSHOT_GROUPS",
+    "SNAPSHOT_LEVELS",
     "SUMMARY_LEVELS",
     "artifact_fleet",
     "finalize_summary",

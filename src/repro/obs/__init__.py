@@ -26,6 +26,15 @@ Four pieces, threaded through :mod:`repro.engine` and the CLI:
 * :mod:`repro.obs.reducers` — streaming, mergeable, memory-bounded
   accumulators (pairwise sums, moments, histograms, quantile
   sketches) for fleet-scale sweeps (docs/fleet.md).
+* :mod:`repro.obs.history` — the :class:`RunArchive`: an append-only
+  cross-run store every sweep/serve-drain/benchmark appends to, with
+  trend extraction and change-point flags (``repro history``).
+* :mod:`repro.obs.compare` — statistical diff of two archived runs
+  (bootstrap latency CIs, gauge drift, cache deltas) behind
+  ``repro compare``; exits non-zero past thresholds.
+* :mod:`repro.obs.watch` — live terminal tail of a growing ledger or
+  a serve follow stream (``repro watch``), including converging
+  fleet quantiles from ``reducer_snapshot`` events.
 
 ``events``, ``metrics``, and ``trace`` are stdlib-only and import
 nothing from the engine, so the engine (and the kernels) can import
@@ -39,6 +48,7 @@ from repro.obs.events import (
     EventLog,
     EventSink,
     RecordingSink,
+    iter_events,
     read_events,
 )
 from repro.obs.metrics import Counter, MetricsRegistry, Timer, percentile
@@ -69,6 +79,19 @@ _LAZY = {
     "build_report": "repro.obs.report",
     "render_html": "repro.obs.report",
     "write_report": "repro.obs.report",
+    "RunArchive": "repro.obs.history",
+    "ARCHIVE_SCHEMA": "repro.obs.history",
+    "record_from_result": "repro.obs.history",
+    "record_from_ledger": "repro.obs.history",
+    "record_from_bench": "repro.obs.history",
+    "build_history": "repro.obs.history",
+    "render_history_text": "repro.obs.history",
+    "render_history_html": "repro.obs.history",
+    "compare_records": "repro.obs.compare",
+    "render_comparison": "repro.obs.compare",
+    "CompareThresholds": "repro.obs.compare",
+    "WatchView": "repro.obs.watch",
+    "follow_events": "repro.obs.watch",
 }
 
 __all__ = [
@@ -83,6 +106,7 @@ __all__ = [
     "Tracer",
     "activate",
     "current_tracer",
+    "iter_events",
     "percentile",
     "read_events",
     "span",

@@ -1,0 +1,363 @@
+"""``repro compare``: the statistical diff between two archived runs.
+
+Given two :mod:`repro.obs.history` records (baseline ``A``, candidate
+``B``), :func:`compare_records` produces a verdict a CI gate can act
+on:
+
+* **per-runner latency ratios** — p50(B)/p50(A) with a bootstrap
+  confidence interval over the archived duration samples. The
+  bootstrap is deterministic (seeded from the runner name), so the
+  same two records always compare identically. A runner regresses
+  when its point ratio exceeds ``p50_ratio`` (default 2×); when both
+  sides archived enough samples the CI tightens the call — a ratio
+  whose CI still straddles 1.0 is reported but marked unconfirmed.
+* **gauge drift** — a gauge that flipped from pass/warn to ``fail``
+  between A and B is a regression; measured-value drift is reported
+  either way.
+* **cache-behaviour deltas** — hit-rate drop beyond
+  ``cache_hit_drop`` and newly appearing failures/timeouts.
+
+``repro compare`` exits non-zero exactly when ``regressions`` is
+non-empty (bit-identical reruns compare clean by construction: every
+ratio is 1.0 and no gauge flips). Records written by a *newer* archive
+schema are tolerated with a warning — the fields this module reads are
+append-only by convention — so old binaries can still gate against new
+archives (satellite: versioned aggregates).
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.history import ARCHIVE_SCHEMA
+from repro.obs.metrics import percentile
+from repro.obs.stats import STATS_SCHEMA
+
+#: Bootstrap resamples per runner. Enough for a stable 95% interval
+#: over <=512 archived samples, cheap enough to run in a CI gate.
+BOOTSTRAP_ROUNDS = 400
+
+#: Minimum samples per side before a CI is computed at all.
+MIN_SAMPLES_FOR_CI = 5
+
+
+@dataclass(frozen=True)
+class CompareThresholds:
+    """Knobs for when a delta becomes a *regression*.
+
+    ``p50_ratio``: candidate/baseline p50 beyond this is a latency
+    regression (default 2× — the acceptance gate from ISSUE 10).
+    ``cache_hit_drop``: absolute hit-rate drop (0..1) that counts as a
+    cache regression. ``gauge_fail``: whether a gauge flipping to
+    ``fail`` trips the gate. ``new_failures``: whether failed/timeout
+    counts rising from zero trips it.
+    """
+
+    p50_ratio: float = 2.0
+    cache_hit_drop: float = 0.25
+    gauge_fail: bool = True
+    new_failures: bool = True
+
+
+def _check_schema(record: Mapping[str, Any], which: str) -> None:
+    schema = record.get("schema")
+    if schema is not None and schema > ARCHIVE_SCHEMA:
+        warnings.warn(
+            f"run {which} was archived with schema {schema} "
+            f"(this build knows {ARCHIVE_SCHEMA}); comparing "
+            "best-effort on the shared fields",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    stats_schema = record.get("stats_schema")
+    if stats_schema is not None and stats_schema > STATS_SCHEMA:
+        warnings.warn(
+            f"run {which} carries stats schema {stats_schema} "
+            f"(this build knows {STATS_SCHEMA}); aggregate fields "
+            "may be incomplete",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def _bootstrap_ratio_ci(
+    samples_a: Sequence[float],
+    samples_b: Sequence[float],
+    rounds: int = BOOTSTRAP_ROUNDS,
+    seed: str = "",
+) -> Optional[Dict[str, float]]:
+    """95% bootstrap CI for p50(B)/p50(A); None when underpowered.
+
+    Seeded from ``seed`` (the runner name) via Python's deterministic
+    str-seeding, so re-running the comparison — any machine, any
+    PYTHONHASHSEED — reproduces the interval bit for bit.
+    """
+    if (
+        len(samples_a) < MIN_SAMPLES_FOR_CI
+        or len(samples_b) < MIN_SAMPLES_FOR_CI
+    ):
+        return None
+    rng = random.Random(f"repro.compare:{seed}")
+    ratios: List[float] = []
+    n_a, n_b = len(samples_a), len(samples_b)
+    for _ in range(rounds):
+        res_a = [samples_a[rng.randrange(n_a)] for _ in range(n_a)]
+        res_b = [samples_b[rng.randrange(n_b)] for _ in range(n_b)]
+        p50_a = percentile(res_a, 50.0)
+        if p50_a <= 0:
+            continue
+        ratios.append(percentile(res_b, 50.0) / p50_a)
+    if not ratios:
+        return None
+    return {
+        "low": round(percentile(ratios, 2.5), 4),
+        "high": round(percentile(ratios, 97.5), 4),
+    }
+
+
+def _runner_diffs(
+    record_a: Mapping[str, Any],
+    record_b: Mapping[str, Any],
+    thresholds: CompareThresholds,
+) -> Dict[str, Dict[str, Any]]:
+    runners_a = record_a.get("runners") or {}
+    runners_b = record_b.get("runners") or {}
+    diffs: Dict[str, Dict[str, Any]] = {}
+    for runner in sorted(set(runners_a) | set(runners_b)):
+        entry_a = runners_a.get(runner) or {}
+        entry_b = runners_b.get(runner) or {}
+        p50_a = entry_a.get("p50_s")
+        p50_b = entry_b.get("p50_s")
+        diff: Dict[str, Any] = {
+            "p50_a": p50_a,
+            "p50_b": p50_b,
+            "only_in": (
+                "b" if runner not in runners_a
+                else "a" if runner not in runners_b
+                else None
+            ),
+        }
+        ratio = None
+        if p50_a and p50_b and p50_a > 0:
+            ratio = p50_b / p50_a
+            diff["ratio"] = round(ratio, 4)
+            ci = _bootstrap_ratio_ci(
+                entry_a.get("samples") or [],
+                entry_b.get("samples") or [],
+                seed=runner,
+            )
+            if ci is not None:
+                diff["ci"] = ci
+            regressed = ratio > thresholds.p50_ratio
+            diff["regression"] = regressed
+            if regressed:
+                # A CI that still straddles 1.0 means the point ratio
+                # may be noise; the regression stands (the gate errs
+                # loud) but is flagged unconfirmed for the human.
+                diff["confirmed"] = ci is None or ci["low"] > 1.0
+        else:
+            diff["regression"] = False
+        diffs[runner] = diff
+    return diffs
+
+
+def _gauge_diffs(
+    record_a: Mapping[str, Any], record_b: Mapping[str, Any]
+) -> Dict[str, Dict[str, Any]]:
+    def _by_name(record: Mapping[str, Any]) -> Dict[str, Dict[str, Any]]:
+        return {
+            str(g.get("name", "?")): dict(g)
+            for g in record.get("gauges") or []
+        }
+
+    gauges_a = _by_name(record_a)
+    gauges_b = _by_name(record_b)
+    diffs: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(set(gauges_a) | set(gauges_b)):
+        entry_a = gauges_a.get(name) or {}
+        entry_b = gauges_b.get(name) or {}
+        status_a = entry_a.get("status")
+        status_b = entry_b.get("status")
+        measured_a = entry_a.get("measured")
+        measured_b = entry_b.get("measured")
+        drift = None
+        if isinstance(measured_a, (int, float)) and isinstance(
+            measured_b, (int, float)
+        ):
+            drift = round(float(measured_b) - float(measured_a), 6)
+        diffs[name] = {
+            "status_a": status_a,
+            "status_b": status_b,
+            "measured_a": measured_a,
+            "measured_b": measured_b,
+            "drift": drift,
+            "target": entry_b.get("target", entry_a.get("target")),
+            "flipped_to_fail": (
+                status_b == "fail" and status_a in ("pass", "warn")
+            ),
+        }
+    return diffs
+
+
+def compare_records(
+    record_a: Mapping[str, Any],
+    record_b: Mapping[str, Any],
+    thresholds: Optional[CompareThresholds] = None,
+) -> Dict[str, Any]:
+    """Diff two archive records; see the module doc for semantics.
+
+    Returns a plain-JSON comparison with a ``regressions`` list —
+    empty exactly when the gate should pass.
+    """
+    thresholds = thresholds or CompareThresholds()
+    _check_schema(record_a, "A")
+    _check_schema(record_b, "B")
+    overall_a = record_a.get("overall") or {}
+    overall_b = record_b.get("overall") or {}
+    runners = _runner_diffs(record_a, record_b, thresholds)
+    gauges = _gauge_diffs(record_a, record_b)
+    hit_a = float(overall_a.get("cache_hit_rate", 0.0) or 0.0)
+    hit_b = float(overall_b.get("cache_hit_rate", 0.0) or 0.0)
+    cache = {
+        "hit_rate_a": round(hit_a, 4),
+        "hit_rate_b": round(hit_b, 4),
+        "delta": round(hit_b - hit_a, 4),
+    }
+    counts = {}
+    for key in ("failed", "skipped", "retries", "timeouts", "interrupted"):
+        value_a = int(overall_a.get(key, 0) or 0)
+        value_b = int(overall_b.get(key, 0) or 0)
+        counts[key] = {"a": value_a, "b": value_b, "delta": value_b - value_a}
+
+    regressions: List[str] = []
+    for runner, diff in runners.items():
+        if diff.get("regression"):
+            ci = diff.get("ci")
+            ci_s = (
+                f" (95% CI {ci['low']:.2f}–{ci['high']:.2f})" if ci else ""
+            )
+            tag = "" if diff.get("confirmed", True) else " [unconfirmed]"
+            regressions.append(
+                f"runner {runner}: p50 {diff['p50_a']:.4f}s → "
+                f"{diff['p50_b']:.4f}s, ratio {diff['ratio']:.2f}x > "
+                f"{thresholds.p50_ratio:g}x{ci_s}{tag}"
+            )
+    if thresholds.gauge_fail:
+        for name, diff in gauges.items():
+            if diff["flipped_to_fail"]:
+                regressions.append(
+                    f"gauge {name}: {diff['status_a']} → fail "
+                    f"(measured {diff['measured_a']} → "
+                    f"{diff['measured_b']})"
+                )
+    if hit_a - hit_b > thresholds.cache_hit_drop:
+        regressions.append(
+            f"cache hit rate dropped {hit_a:.0%} → {hit_b:.0%} "
+            f"(more than {thresholds.cache_hit_drop:.0%})"
+        )
+    if thresholds.new_failures:
+        for key in ("failed", "timeouts", "interrupted"):
+            if counts[key]["a"] == 0 and counts[key]["b"] > 0:
+                regressions.append(
+                    f"{counts[key]['b']} new {key} job event(s) "
+                    "(baseline had none)"
+                )
+    return {
+        "a": {
+            "run_id": record_a.get("run_id"),
+            "label": record_a.get("label"),
+            "created": record_a.get("created"),
+        },
+        "b": {
+            "run_id": record_b.get("run_id"),
+            "label": record_b.get("label"),
+            "created": record_b.get("created"),
+        },
+        "runners": runners,
+        "gauges": gauges,
+        "cache": cache,
+        "counts": counts,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def render_comparison(comparison: Mapping[str, Any]) -> str:
+    """Terminal rendering of one :func:`compare_records` result."""
+    a, b = comparison["a"], comparison["b"]
+    lines = [
+        f"compare {a.get('run_id') or a.get('label') or 'A'} → "
+        f"{b.get('run_id') or b.get('label') or 'B'}"
+    ]
+    runners = comparison["runners"]
+    shown = {
+        name: diff
+        for name, diff in runners.items()
+        if diff.get("ratio") is not None or diff.get("only_in")
+    }
+    if shown:
+        lines.append("")
+        lines.append("runner latency (p50 B/A):")
+        for name, diff in shown.items():
+            if diff.get("only_in"):
+                lines.append(
+                    f"  {name}: only in run "
+                    f"{diff['only_in'].upper()}"
+                )
+                continue
+            ci = diff.get("ci")
+            ci_s = (
+                f"  CI [{ci['low']:.2f}, {ci['high']:.2f}]" if ci else ""
+            )
+            mark = "  << REGRESSION" if diff.get("regression") else ""
+            lines.append(
+                f"  {name}: {diff['p50_a']:.4f}s → {diff['p50_b']:.4f}s "
+                f"({diff['ratio']:.2f}x){ci_s}{mark}"
+            )
+    gauge_lines = []
+    for name, diff in comparison["gauges"].items():
+        if diff["status_a"] == diff["status_b"] and not diff.get("drift"):
+            continue
+        mark = "  << REGRESSION" if diff["flipped_to_fail"] else ""
+        drift = diff.get("drift")
+        drift_s = f" (drift {drift:+g})" if drift else ""
+        gauge_lines.append(
+            f"  {name}: {diff['status_a']} → {diff['status_b']}"
+            f"{drift_s}{mark}"
+        )
+    if gauge_lines:
+        lines.append("")
+        lines.append("gauges:")
+        lines.extend(gauge_lines)
+    cache = comparison["cache"]
+    lines.append("")
+    lines.append(
+        f"cache hit rate: {cache['hit_rate_a']:.0%} → "
+        f"{cache['hit_rate_b']:.0%} ({cache['delta']:+.0%})"
+    )
+    counts = comparison["counts"]
+    count_bits = [
+        f"{key} {entry['a']}→{entry['b']}"
+        for key, entry in counts.items()
+        if entry["delta"]
+    ]
+    if count_bits:
+        lines.append("count deltas: " + ", ".join(count_bits))
+    lines.append("")
+    if comparison["regressions"]:
+        lines.append(f"REGRESSED ({len(comparison['regressions'])}):")
+        lines.extend(f"  - {reason}" for reason in comparison["regressions"])
+    else:
+        lines.append("no regressions past thresholds")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BOOTSTRAP_ROUNDS",
+    "CompareThresholds",
+    "compare_records",
+    "render_comparison",
+]

@@ -33,7 +33,7 @@ import threading
 import time
 import warnings
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 PathLike = Union[str, Path]
 
@@ -57,6 +57,8 @@ EVENT_TYPES = frozenset(
         "span_start",
         "span_end",
         "gauge",
+        "run_summary",
+        "reducer_snapshot",
     }
 )
 
@@ -178,6 +180,45 @@ class EventLog(EventSink):
         return read_events(self.path)
 
 
+def iter_events(path: PathLike) -> "Iterator[Dict[str, Any]]":
+    """Stream a JSONL event file one event at a time.
+
+    Same contract as :func:`read_events` — a torn *final* line (writer
+    killed mid-append) is dropped with a single ``RuntimeWarning``, a
+    malformed line anywhere else raises ``ValueError`` — but events
+    are yielded as they are parsed instead of materialised into a
+    list, so a multi-gigabyte fleet ledger never lives in the parent's
+    RSS. Because a generator cannot know a line is final until it sees
+    EOF, an unparseable line is *held back* one step: if another line
+    follows, the held line was mid-file and the ledger is corrupt; if
+    EOF follows, it was the torn tail and is dropped with the warning.
+    """
+    path = Path(path)
+    with path.open("r") as handle:
+        bad_lineno: Optional[int] = None
+        for lineno, raw in enumerate(handle, start=1):
+            if bad_lineno is not None:
+                raise ValueError(
+                    f"{path}: malformed event on line {bad_lineno}"
+                ) from None
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                bad_lineno = lineno
+                continue
+            yield event
+        if bad_lineno is not None:
+            warnings.warn(
+                f"{path}: dropping torn final event on line "
+                f"{bad_lineno} (writer likely died mid-append)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+
 def read_events(path: PathLike) -> List[Dict[str, Any]]:
     """Parse a JSONL event file; a trailing partial line is skipped.
 
@@ -186,25 +227,7 @@ def read_events(path: PathLike) -> List[Dict[str, Any]]:
     ``RuntimeWarning`` naming the line, so silent data loss is never
     *silent* — rather than poisoning the whole ledger. A malformed
     line anywhere *else* is a corrupt file and raises ``ValueError``.
+    Materialises the whole ledger; prefer :func:`iter_events` when a
+    single pass is enough.
     """
-    events: List[Dict[str, Any]] = []
-    lines = Path(path).read_text().splitlines()
-    for lineno, line in enumerate(lines):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            events.append(json.loads(line))
-        except ValueError:
-            if lineno == len(lines) - 1:
-                warnings.warn(
-                    f"{path}: dropping torn final event on line "
-                    f"{lineno + 1} (writer likely died mid-append)",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                break
-            raise ValueError(
-                f"{path}: malformed event on line {lineno + 1}"
-            ) from None
-    return events
+    return list(iter_events(path))

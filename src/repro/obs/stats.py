@@ -13,8 +13,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Mapping
 
-from repro.obs.events import read_events
+from repro.obs.events import iter_events
 from repro.obs.metrics import percentile
+
+#: Version of the aggregate dict :func:`aggregate_events` returns (and
+#: ``repro stats --json`` prints). Bump on any shape change so archived
+#: aggregates stay interpretable; consumers (``repro compare``) warn on
+#: versions newer than they know rather than guessing.
+STATS_SCHEMA = 1
 
 
 def _runner_of(event: Mapping[str, Any]) -> str:
@@ -177,6 +183,7 @@ def aggregate_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
     for status in gauge_status.values():
         gauges[status] = gauges.get(status, 0) + 1
     return {
+        "schema": STATS_SCHEMA,
         "overall": overall,
         "runners": runners,
         "spans": spans,
@@ -185,7 +192,8 @@ def aggregate_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
 
 
 def aggregate_events_file(path) -> Dict[str, Any]:
-    return aggregate_events(read_events(path))
+    """Aggregate a ledger file, streaming it (never fully resident)."""
+    return aggregate_events(iter_events(path))
 
 
 def _fmt_row(cells: List[str], widths: List[int]) -> str:

@@ -1,0 +1,603 @@
+"""``repro watch``: a live terminal view over a growing run ledger.
+
+Tails an events JSONL *while it is being written* — a local file, or
+``repro serve``'s server-wide follow stream
+(``GET /v1/events?follow=1``) — and folds the events into one
+continuously redrawn status panel:
+
+* in-flight progress (done/total with a bar), elapsed, ETA, jobs/s;
+* per-runner throughput and p50 over the settled jobs so far;
+* fault/retry counters (retries, timeouts, worker crashes, cache
+  quarantines) as they happen;
+* converging **fleet quantiles** mid-sweep, from the
+  ``reducer_snapshot`` events the fleet tracker emits as shard
+  partials settle (:class:`repro.fleet.FleetSnapshotTracker`);
+* the gauge scoreboard and the engine's ``run_summary`` once the
+  sweep lands.
+
+The tailer never yields a half-written event: bytes are buffered until
+a newline, so a reader racing the writer sees only complete lines. A
+line that *completes* but does not parse (a torn write that a later
+writer appended after) is skipped with a single ``RuntimeWarning`` —
+the tail keeps going — and a trailing unterminated fragment left at
+shutdown warns the same way (the writer died mid-append).
+
+Keybindings (interactive TTY only): ``q`` quits, ``r`` forces a
+redraw. See docs/observability.md.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import warnings
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    IO,
+    Iterator,
+    Mapping,
+    Optional,
+    Union,
+)
+
+PathLike = Union[str, Path]
+
+#: Events that mark "this run is over" for the default watch loop.
+TERMINAL_EVENTS = frozenset({"run_summary", "serve_stop"})
+
+_BAR_WIDTH = 24
+
+
+class _LineAssembler:
+    """Byte buffering: complete lines out, partial writes held back."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self._buffer = ""
+        self._warned = False
+
+    def push(self, chunk: str) -> Iterator[Dict[str, Any]]:
+        """Feed raw text; yields every event completed by it."""
+        if not chunk:
+            return
+        self._buffer += chunk
+        while "\n" in self._buffer:
+            line, self._buffer = self._buffer.split("\n", 1)
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except ValueError:
+                self._warn(
+                    f"{self.source}: skipping malformed event line "
+                    "(torn write?); tail continues"
+                )
+
+    def finish(self) -> None:
+        """Call at end-of-follow: a leftover fragment is a torn tail."""
+        if self._buffer.strip():
+            self._warn(
+                f"{self.source}: dropping torn trailing event fragment "
+                "(writer likely died mid-append)"
+            )
+            self._buffer = ""
+
+    def _warn(self, message: str) -> None:
+        if self._warned:
+            return
+        self._warned = True
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def follow_events(
+    path: PathLike,
+    *,
+    poll_s: float = 0.2,
+    stop: Optional[Callable[[], bool]] = None,
+    from_start: bool = True,
+) -> Iterator[Optional[Dict[str, Any]]]:
+    """Tail a ledger file, yielding events as lines complete.
+
+    Yields ``None`` once per idle poll so the driver can redraw clocks
+    and check its own exit conditions without a second thread. The
+    file may not exist yet (a sweep about to start); the tailer waits
+    for it. ``stop()`` is checked every poll; when it returns True the
+    generator drains whatever is already on disk and returns.
+    ``from_start=False`` starts at the current end of file (attach to
+    a long-running serve ledger without replaying history).
+    """
+    path = Path(path)
+    assembler = _LineAssembler(str(path))
+    handle: Optional[IO[str]] = None
+    try:
+        while True:
+            if handle is None:
+                if path.exists():
+                    handle = path.open("r")
+                    if not from_start:
+                        handle.seek(0, 2)
+            got_data = False
+            if handle is not None:
+                chunk = handle.read()
+                if chunk:
+                    got_data = True
+                    for event in assembler.push(chunk):
+                        yield event
+            if stop is not None and stop():
+                return
+            if not got_data:
+                yield None
+                time.sleep(poll_s)
+    finally:
+        assembler.finish()
+        if handle is not None:
+            handle.close()
+
+
+def follow_url(
+    url: str,
+    *,
+    poll_s: float = 0.2,
+    stop: Optional[Callable[[], bool]] = None,
+) -> Iterator[Optional[Dict[str, Any]]]:
+    """Tail a serve follow stream (``GET /v1/events?follow=1``).
+
+    Same yield contract as :func:`follow_events` (events, with ``None``
+    heartbeats on idle). A pump thread does blocking chunked reads and
+    hands bytes over a queue — short *socket* timeouts are not usable
+    as a heartbeat because a timeout raised mid-chunk-header
+    permanently desyncs ``http.client``'s chunked decoder. The server
+    ends the stream at drain/stop, which ends the generator; ``stop()``
+    ends it from this side (the response is closed under the pump,
+    which unblocks it).
+    """
+    import http.client
+    import queue as queue_mod
+    import threading
+    import urllib.request
+
+    assembler = _LineAssembler(url)
+    response = urllib.request.urlopen(url, timeout=10.0)
+    chunks: "queue_mod.Queue[bytes]" = queue_mod.Queue()
+
+    def _pump() -> None:
+        try:
+            while True:
+                data = response.read1(65536)
+                chunks.put(data)
+                if not data:
+                    return  # server closed the stream (drain/stop)
+        except (OSError, ValueError, http.client.HTTPException):
+            # Closed under us (stop path — the socket shutdown can
+            # surface as IncompleteRead mid-chunk) or the server died;
+            # either way the stream is over.
+            chunks.put(b"")
+
+    pump = threading.Thread(target=_pump, daemon=True)
+    pump.start()
+    try:
+        while True:
+            if stop is not None and stop():
+                return
+            try:
+                chunk = chunks.get(timeout=max(poll_s, 0.01))
+            except queue_mod.Empty:
+                yield None
+                continue
+            if not chunk:
+                return
+            for event in assembler.push(chunk.decode("utf-8", "replace")):
+                yield event
+    finally:
+        assembler.finish()
+        # ``response.close()`` needs the BufferedReader lock the pump
+        # holds while blocked in ``read1`` — so shut the raw socket
+        # down first (lock-free), which makes that read return at once
+        # instead of after the full socket timeout.
+        import socket as socket_mod
+
+        sock = getattr(getattr(response, "fp", None), "raw", None)
+        sock = getattr(sock, "_sock", None)
+        if sock is not None:
+            try:
+                sock.shutdown(socket_mod.SHUT_RDWR)
+            except OSError:
+                pass
+        try:
+            response.close()
+        except OSError:
+            pass
+        pump.join(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# The live view model.
+# ---------------------------------------------------------------------------
+
+class WatchView:
+    """Folds a live event stream into a renderable status panel.
+
+    Pure state machine: :meth:`feed` one event at a time (in ledger
+    order), :meth:`render` whenever a redraw is due. Works identically
+    on a finished ledger (replay) and a growing one (tail).
+    """
+
+    def __init__(self, source: str = "") -> None:
+        self.source = source
+        self.total = 0
+        self.ok = 0
+        self.cached = 0
+        self.failed = 0
+        self.skipped = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.crashes = 0
+        self.quarantines = 0
+        self.sweeps_started = 0
+        self.sweeps_ended = 0
+        self.events_seen = 0
+        self.last_event: Optional[str] = None
+        self.first_t: Optional[float] = None
+        self.last_t: Optional[float] = None
+        self.workers: Optional[int] = None
+        self.runners: Dict[str, Dict[str, Any]] = {}
+        self.running: Dict[Any, Dict[str, Any]] = {}
+        self.snapshot: Optional[Dict[str, Any]] = None
+        self.gauges: Dict[str, str] = {}
+        self.run_summary: Optional[Dict[str, Any]] = None
+        self.serve_counts: Dict[str, int] = {}
+
+    # -- ingestion -------------------------------------------------------
+    def feed(self, event: Mapping[str, Any]) -> None:
+        self.events_seen += 1
+        kind = str(event.get("event", "?"))
+        self.last_event = kind
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            if self.first_t is None:
+                self.first_t = float(t)
+            self.last_t = float(t)
+        if kind == "sweep_start":
+            self.sweeps_started += 1
+            self.total += int(event.get("jobs", 0))
+            if event.get("workers"):
+                self.workers = int(event["workers"])
+        elif kind == "sweep_end":
+            self.sweeps_ended += 1
+        elif kind == "job_start":
+            key = (event.get("label"), event.get("index"))
+            self.running[key] = {
+                "label": str(event.get("label", "?")),
+                "t": float(event.get("t", 0.0) or 0.0),
+            }
+        elif kind == "job_end":
+            self.running.pop(
+                (event.get("label"), event.get("index")), None
+            )
+            status = str(event.get("status", "failed"))
+            bucket = self._runner(str(event.get("runner", "?")))
+            bucket["done"] += 1
+            bucket["duration_s"] += float(event.get("duration_s", 0.0))
+            bucket["durations"].append(float(event.get("duration_s", 0.0)))
+            if status == "ok":
+                self.ok += 1
+            else:
+                self.failed += 1
+                if event.get("error_type") == "WorkerCrashError":
+                    self.crashes += 1
+        elif kind == "cache_hit":
+            self.cached += 1
+            self._runner(str(event.get("runner", "?")))["cached"] += 1
+        elif kind == "job_skipped":
+            self.skipped += 1
+        elif kind == "job_retry":
+            self.retries += 1
+            self._runner(str(event.get("runner", "?")))["retries"] += 1
+        elif kind == "job_timeout":
+            self.timeouts += 1
+        elif kind == "cache_quarantine":
+            self.quarantines += 1
+        elif kind == "reducer_snapshot":
+            self.snapshot = dict(event)
+        elif kind == "gauge":
+            self.gauges[str(event.get("name", "?"))] = str(
+                event.get("status", "?")
+            )
+        elif kind == "run_summary":
+            self.run_summary = dict(event)
+        elif kind.startswith("serve_"):
+            self.serve_counts[kind] = self.serve_counts.get(kind, 0) + 1
+
+    def _runner(self, name: str) -> Dict[str, Any]:
+        if name not in self.runners:
+            self.runners[name] = {
+                "done": 0,
+                "cached": 0,
+                "retries": 0,
+                "duration_s": 0.0,
+                "durations": [],
+            }
+        return self.runners[name]
+
+    # -- derived ---------------------------------------------------------
+    @property
+    def done(self) -> int:
+        return self.ok + self.cached + self.failed + self.skipped
+
+    @property
+    def finished(self) -> bool:
+        """True once the stream says the run is over.
+
+        ``run_summary`` (or ``serve_stop``) is authoritative; matched
+        ``sweep_start``/``sweep_end`` pairs cover ledgers written
+        before the summary hook existed.
+        """
+        if self.run_summary is not None:
+            return True
+        if self.serve_counts.get("serve_stop"):
+            return True
+        return 0 < self.sweeps_started == self.sweeps_ended
+
+    @property
+    def elapsed_s(self) -> float:
+        if self.first_t is None or self.last_t is None:
+            return 0.0
+        return max(0.0, self.last_t - self.first_t)
+
+    def eta_s(self) -> Optional[float]:
+        remaining = self.total - self.done
+        if remaining <= 0 or self.done == 0 or self.elapsed_s <= 0:
+            return None
+        return remaining * self.elapsed_s / self.done
+
+    # -- rendering -------------------------------------------------------
+    def render(self) -> str:
+        lines = [f"repro watch — {self.source or 'ledger'}"]
+        total = max(self.total, self.done)
+        frac = (self.done / total) if total else 0.0
+        filled = int(round(frac * _BAR_WIDTH))
+        bar = "#" * filled + "." * (_BAR_WIDTH - filled)
+        rate = (
+            f"{self.done / self.elapsed_s:.2f} jobs/s"
+            if self.elapsed_s > 0 and self.done
+            else "— jobs/s"
+        )
+        eta = self.eta_s()
+        eta_s = (
+            "done"
+            if self.finished
+            else (f"ETA {eta:.0f}s" if eta is not None else "ETA —")
+        )
+        lines.append(
+            f"[{bar}] {self.done}/{total} jobs  "
+            f"({self.ok} ok, {self.cached} cached, {self.failed} failed"
+            + (f", {self.skipped} skipped" if self.skipped else "")
+            + f")  elapsed {self.elapsed_s:.1f}s  {eta_s}  {rate}"
+        )
+        fault_bits = [
+            f"{self.retries} retries",
+            f"{self.timeouts} timeouts",
+            f"{self.crashes} crashes",
+        ]
+        if self.quarantines:
+            fault_bits.append(f"{self.quarantines} quarantines")
+        line = "faults: " + ", ".join(fault_bits)
+        if self.workers:
+            line += f"  workers: {self.workers}"
+        if self.gauges:
+            tally: Dict[str, int] = {}
+            for status in self.gauges.values():
+                tally[status] = tally.get(status, 0) + 1
+            line += "  gauges: " + "/".join(
+                f"{count} {status}" for status, count in sorted(tally.items())
+            )
+        lines.append(line)
+        if self.running:
+            labels = [info["label"] for info in self.running.values()]
+            shown = ", ".join(labels[:4])
+            more = f" (+{len(labels) - 4} more)" if len(labels) > 4 else ""
+            lines.append(f"in flight: {shown}{more}")
+        if self.runners:
+            lines.append("runner throughput:")
+            width = max(len(name) for name in self.runners)
+            for name in sorted(self.runners):
+                bucket = self.runners[name]
+                durations = bucket["durations"]
+                p50 = ""
+                if durations:
+                    ordered = sorted(durations)
+                    p50 = f"  p50 {ordered[len(ordered) // 2]:.3f}s"
+                per_s = (
+                    f"{bucket['done'] / bucket['duration_s']:.2f}/s"
+                    if bucket["duration_s"] > 0
+                    else "—"
+                )
+                cached = (
+                    f"  {bucket['cached']} cached" if bucket["cached"] else ""
+                )
+                retried = (
+                    f"  {bucket['retries']} retries"
+                    if bucket["retries"]
+                    else ""
+                )
+                lines.append(
+                    f"  {name.ljust(width)}  {bucket['done']} done  "
+                    f"{per_s}{p50}{cached}{retried}"
+                )
+        if self.snapshot is not None:
+            snap = self.snapshot
+            lines.append(
+                "fleet quantiles ({done}/{total} shards, {ues} UEs):".format(
+                    done=snap.get("shards_done", "?"),
+                    total=snap.get("shards_total", "?"),
+                    ues=snap.get("ues", "?"),
+                )
+            )
+            for name, stats in (snap.get("groups") or {}).items():
+                bits = "  ".join(
+                    f"{level} {stats[level]:.2f}"
+                    for level in ("p5", "p50", "p95")
+                    if isinstance(stats.get(level), (int, float))
+                )
+                count = stats.get("count")
+                count_s = f"  (n={count})" if count else ""
+                lines.append(f"  {name}: {bits}{count_s}")
+        if self.serve_counts:
+            bits = ", ".join(
+                f"{count} {kind[len('serve_'):]}"
+                for kind, count in sorted(self.serve_counts.items())
+            )
+            lines.append(f"serve: {bits}")
+        if self.run_summary is not None:
+            summary = self.run_summary
+            lines.append(
+                "run summary: {jobs} jobs in {elapsed:.2f}s "
+                "(workers {workers}, dispatch {dispatch})".format(
+                    jobs=summary.get("jobs", "?"),
+                    elapsed=float(summary.get("elapsed_s", 0.0) or 0.0),
+                    workers=summary.get("workers", "?"),
+                    dispatch=summary.get("dispatch", "?"),
+                )
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The interactive driver behind ``repro watch``.
+# ---------------------------------------------------------------------------
+
+class _KeyPoller:
+    """Non-blocking single-key reads from a TTY stdin; no-op otherwise."""
+
+    def __init__(self) -> None:
+        self._active = False
+        self._fd: Optional[int] = None
+        self._saved: Any = None
+
+    def __enter__(self) -> "_KeyPoller":
+        try:
+            import termios
+            import tty
+
+            if sys.stdin.isatty():
+                self._fd = sys.stdin.fileno()
+                self._saved = termios.tcgetattr(self._fd)
+                tty.setcbreak(self._fd)
+                self._active = True
+        except (ImportError, OSError, ValueError):
+            self._active = False
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._active and self._fd is not None:
+            import termios
+
+            termios.tcsetattr(self._fd, termios.TCSADRAIN, self._saved)
+        self._active = False
+
+    def poll(self) -> Optional[str]:
+        if not self._active:
+            return None
+        import select
+
+        ready, _, _ = select.select([sys.stdin], [], [], 0)
+        if ready:
+            return sys.stdin.read(1)
+        return None
+
+
+def watch(
+    source: str,
+    *,
+    out: Optional[IO[str]] = None,
+    interval_s: float = 0.5,
+    duration_s: Optional[float] = None,
+    once: bool = False,
+    linger_s: float = 1.0,
+) -> int:
+    """Drive the live view until the run finishes (or ``q``).
+
+    ``source`` is a ledger path or an ``http(s)://`` follow URL. With
+    a TTY the panel redraws in place; otherwise one snapshot is
+    printed when the run finishes (plus the final state on exit), so
+    piping into a file stays readable. ``once`` renders the current
+    state and returns immediately; ``duration_s`` bounds the whole
+    watch (for CI). After the terminal event the tail lingers
+    ``linger_s`` to catch trailing gauge events, then stops.
+    """
+    stream = out if out is not None else sys.stdout
+    view = WatchView(source=source)
+    started = time.monotonic()
+    finished_at: Optional[float] = None
+    stop_requested = False
+
+    def _stop() -> bool:
+        if stop_requested:
+            return True
+        if once:
+            return True
+        if duration_s is not None and time.monotonic() - started > duration_s:
+            return True
+        if finished_at is not None:
+            return time.monotonic() - finished_at > linger_s
+        return False
+
+    if source.startswith(("http://", "https://")):
+        events = follow_url(source, poll_s=interval_s / 2, stop=_stop)
+    else:
+        events = follow_events(source, poll_s=interval_s / 2, stop=_stop)
+
+    is_tty = hasattr(stream, "isatty") and stream.isatty()
+    last_draw = 0.0
+    drawn_lines = 0
+
+    def _draw(force: bool = False) -> None:
+        nonlocal last_draw, drawn_lines
+        now = time.monotonic()
+        if not force and now - last_draw < interval_s:
+            return
+        last_draw = now
+        panel = view.render()
+        if is_tty:
+            if drawn_lines:
+                stream.write(f"\x1b[{drawn_lines}F\x1b[J")
+            stream.write(panel + "\n")
+            drawn_lines = panel.count("\n") + 1
+        stream.flush() if hasattr(stream, "flush") else None
+
+    with _KeyPoller() as keys:
+        for event in events:
+            key = keys.poll()
+            if key == "q":
+                stop_requested = True
+            elif key == "r":
+                _draw(force=True)
+            if event is not None:
+                view.feed(event)
+                if view.finished and finished_at is None:
+                    finished_at = time.monotonic()
+            if is_tty:
+                _draw()
+    # Final (or only, when not a TTY) snapshot.
+    if is_tty:
+        _draw(force=True)
+    else:
+        panel = view.render()
+        stream.write(panel + "\n")
+        if hasattr(stream, "flush"):
+            stream.flush()
+    return 0
+
+
+__all__ = [
+    "TERMINAL_EVENTS",
+    "WatchView",
+    "follow_events",
+    "follow_url",
+    "watch",
+]

@@ -8,6 +8,7 @@ Everything the job server persists lives under one ``data_dir``::
       jobs/<id>/        per-job run ledger + manifest
       server-events.jsonl   server lifecycle ledger (serve_* events)
       jobs.jsonl        submission journal (restart replay)
+      archive/          cross-run RunArchive; one record per drain
 
 The layout is deliberately plain files: a drained server's state is
 inspectable with ``repro stats``/``repro cache ls`` and a restarted
@@ -100,6 +101,10 @@ class ServeConfig:
     @property
     def journal_path(self) -> Path:
         return self.root / "jobs.jsonl"
+
+    @property
+    def archive_dir(self) -> Path:
+        return self.root / "archive"
 
     def job_dir(self, job_id: str) -> Path:
         return self.jobs_dir / job_id

@@ -20,6 +20,10 @@ Routes::
     GET  /v1/jobs/<id>/events      the job's run ledger (JSONL);
                                    ?follow=1 streams chunked until the
                                    job settles (SSE-style tail)
+    GET  /v1/events                the server-wide ledger (JSONL);
+                                   ?follow=1 tails every job's events
+                                   live until drain/stop (what
+                                   ``repro watch URL`` consumes)
     GET  /v1/artifacts/<digest>    raw content-addressed blob
     POST /v1/drain                 stop admissions, settle, report
 
@@ -126,6 +130,7 @@ class ServeHTTP:
         self.core = core
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = None  # asyncio.Event, created on the loop
+        self._active_tails = 0
         self.port: Optional[int] = None
 
     # -- lifecycle -------------------------------------------------------
@@ -154,6 +159,17 @@ class ServeHTTP:
             await asyncio.get_running_loop().run_in_executor(
                 None, self.core.close
             )
+            # In-flight follow streams need a couple more polls to see
+            # the ledger's final bytes (serve_stop) and send their
+            # chunked terminator; don't kill the loop under them.
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 5.0
+            while self._active_tails and loop.time() < deadline:
+                await asyncio.sleep(0.05)
+            # One more tick so the drained connection handlers can run
+            # writer.wait_closed() before the loop is torn down (else
+            # their sockets leak past the loop as destroyed tasks).
+            await asyncio.sleep(0.1)
 
     def request_shutdown(self) -> None:
         if self._shutdown is not None:
@@ -237,6 +253,14 @@ class ServeHTTP:
         elif path == "/v1/gauges" and method == "GET":
             writer.write(
                 _json_response(200, {"gauges": core.gauge_board()})
+            )
+        elif path == "/v1/events" and method == "GET":
+            follow = query.get("follow") in ("1", "true", "yes")
+            await self._tail_chunked(
+                writer,
+                lambda: str(core.config.ledger_path),
+                follow,
+                lambda: core.closed,
             )
         elif path == "/v1/drain" and method == "POST":
             settled = await asyncio.get_running_loop().run_in_executor(
@@ -330,12 +354,23 @@ class ServeHTTP:
             raise HttpError(404, f"no job subresource {sub!r}")
 
     async def _stream_events(self, record, follow, writer) -> None:
-        """Send the job ledger as chunked JSONL; ``follow`` tails it.
+        """Send the job ledger as chunked JSONL; ``follow`` tails it."""
+        await self._tail_chunked(
+            writer,
+            lambda: record.events_path,
+            follow,
+            lambda: record.terminal,
+        )
+
+    async def _tail_chunked(self, writer, path_fn, follow, done_fn) -> None:
+        """Chunked-JSONL tail of a ledger file until ``done_fn()``.
 
         The existing EventLog file *is* the wire format — each chunk
         carries whatever complete bytes have landed since the last
-        poll, and the stream ends when the job settles (or right away
-        without ``follow``).
+        poll, and the stream ends when ``done_fn`` says the writer is
+        finished (job settled, server stopped) — or right away without
+        ``follow``. Serves both the per-job tail and the server-wide
+        ``/v1/events`` follow stream.
         """
         head = (
             "HTTP/1.1 200 OK\r\n"
@@ -347,28 +382,33 @@ class ServeHTTP:
         writer.write(head.encode("latin-1"))
         await writer.drain()
         pos = 0
-        while True:
-            data = b""
-            if record.events_path is not None:
-                try:
-                    with open(record.events_path, "rb") as handle:
-                        handle.seek(pos)
-                        data = handle.read()
-                except OSError:
-                    data = b""
-            if data:
-                pos += len(data)
-                writer.write(
-                    f"{len(data):x}\r\n".encode() + data + b"\r\n"
-                )
-                await writer.drain()
-            if not follow or record.terminal:
-                if record.terminal and data:
-                    continue  # one more sweep for late-flushed lines
-                break
-            await asyncio.sleep(0.05)
-        writer.write(b"0\r\n\r\n")
-        await writer.drain()
+        self._active_tails += 1
+        try:
+            while True:
+                data = b""
+                path = path_fn()
+                if path is not None:
+                    try:
+                        with open(path, "rb") as handle:
+                            handle.seek(pos)
+                            data = handle.read()
+                    except OSError:
+                        data = b""
+                if data:
+                    pos += len(data)
+                    writer.write(
+                        f"{len(data):x}\r\n".encode() + data + b"\r\n"
+                    )
+                    await writer.drain()
+                if not follow or done_fn():
+                    if done_fn() and data:
+                        continue  # one more sweep for late-flushed lines
+                    break
+                await asyncio.sleep(0.05)
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        finally:
+            self._active_tails -= 1
 
 
 class ServerHandle:

@@ -127,6 +127,8 @@ class ServeServer:
         self._started_at = time.monotonic()
         self._state_lock = threading.Lock()
         self._drained = False
+        self._close_started = False
+        self._closed = False
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> int:
@@ -192,10 +194,48 @@ class ServeServer:
         return settled
 
     def close(self) -> None:
+        with self._state_lock:
+            if self._close_started:
+                return
+            self._close_started = True
         self.drain()
         self.ledger.emit("serve_stop", uptime_s=round(self.uptime_s, 3))
         self.jobs.close()
         self.ledger.close()
+        # Only now is the ledger final: flip `closed` (the follow
+        # stream's termination signal) and archive the whole run.
+        with self._state_lock:
+            self._closed = True
+        self._archive_run()
+
+    def _archive_run(self) -> None:
+        """Append this server run's record to the data-dir archive.
+
+        One streaming pass over the (now-closed) server ledger folds
+        every job's engine events into a single ``kind="serve"``
+        record, so drained server runs land in the same cross-run
+        timeline as CLI sweeps (``repro history --archive
+        <data_dir>/archive``). Best-effort: a broken archive never
+        blocks shutdown.
+        """
+        import warnings
+
+        from repro.obs.history import RunArchive, record_from_ledger
+
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                record = record_from_ledger(
+                    self.config.ledger_path,
+                    label=f"serve {self.config.root}",
+                    kind="serve",
+                    extra={"jobs_by_state": self.jobs.counts_by_state()},
+                )
+            RunArchive(self.config.archive_dir).append(record)
+        except (OSError, ValueError) as exc:
+            warnings.warn(
+                f"could not archive serve run: {exc}", RuntimeWarning
+            )
 
     @property
     def uptime_s(self) -> float:
@@ -205,6 +245,12 @@ class ServeServer:
     def draining(self) -> bool:
         with self._state_lock:
             return self._drained
+
+    @property
+    def closed(self) -> bool:
+        """True once the server ledger is final (nothing more appends)."""
+        with self._state_lock:
+            return self._closed
 
     # -- admission -------------------------------------------------------
     def submit(self, payload: Any) -> JobRecord:

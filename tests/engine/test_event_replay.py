@@ -96,8 +96,10 @@ class TestReplayOrdering:
         kinds = [e["event"] for e in read_events(ledger)]
         assert kinds[0] == "sweep_start"
         assert kinds[-1] == "sweep_end"
-        # The sweep-root span closes after every job has settled.
-        assert kinds[-2] == "span_end"
+        # The run summary lands just before the terminal sweep_end,
+        # and the sweep-root span closes after every job has settled.
+        assert kinds[-2] == "run_summary"
+        assert kinds[-3] == "span_end"
 
     def test_worker_span_ids_are_namespaced_per_job(self, tmp_path):
         ledger = tmp_path / "L.jsonl"

@@ -253,12 +253,13 @@ class TestEvents:
             "job_start",
             "job_retry",
             "job_end",
+            "run_summary",
             "sweep_end",
         ]
         # Tracing rides the sink by default: the sweep root span plus
         # the job's replayed spans (job + one span per attempt).
         assert kinds.count("span_start") == kinds.count("span_end") == 4
-        assert kinds[-2:] == ["span_end", "sweep_end"]
+        assert kinds[-3:] == ["span_end", "run_summary", "sweep_end"]
 
     def test_no_sink_attaches_nothing(self):
         result = execute(_echo_jobs(2))

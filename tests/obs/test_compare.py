@@ -1,0 +1,212 @@
+"""Tests for repro.obs.compare: the cross-run regression sentinel."""
+
+import copy
+
+import pytest
+
+from repro.obs.compare import (
+    CompareThresholds,
+    _bootstrap_ratio_ci,
+    compare_records,
+    render_comparison,
+)
+from repro.obs.history import ARCHIVE_SCHEMA
+
+
+def _record(p50=0.1, samples=None, gauges=(), cache_hit=0.0, failed=0):
+    samples = samples if samples is not None else [p50] * 8
+    return {
+        "schema": ARCHIVE_SCHEMA,
+        "run_id": "r",
+        "label": "sweep",
+        "overall": {
+            "jobs": 10,
+            "ok": 10 - failed,
+            "cached": 0,
+            "failed": failed,
+            "skipped": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "elapsed_s": 1.0,
+            "cache_hit_rate": cache_hit,
+        },
+        "runners": {
+            "fig2": {
+                "jobs": 10,
+                "ok": 10,
+                "cached": 0,
+                "failed": 0,
+                "skipped": 0,
+                "p50_s": p50,
+                "p95_s": p50 * 1.2,
+                "max_s": p50 * 1.5,
+                "cache_hit_rate": 0.0,
+                "samples": samples,
+            }
+        },
+        "gauges": [dict(g) for g in gauges],
+    }
+
+
+class TestIdentity:
+    def test_identical_records_compare_clean(self):
+        record = _record()
+        comparison = compare_records(record, copy.deepcopy(record))
+        assert comparison["ok"] is True
+        assert comparison["regressions"] == []
+        assert comparison["runners"]["fig2"]["ratio"] == pytest.approx(1.0)
+        assert "no regressions" in render_comparison(comparison)
+
+    def test_comparison_is_deterministic(self):
+        a = _record(samples=[0.1, 0.11, 0.09, 0.1, 0.12, 0.1, 0.1, 0.13])
+        b = _record(samples=[0.2, 0.21, 0.19, 0.2, 0.22, 0.2, 0.2, 0.23])
+        first = compare_records(a, b)
+        second = compare_records(
+            copy.deepcopy(a), copy.deepcopy(b)
+        )
+        assert first == second  # bootstrap CIs are seed-pinned
+
+
+class TestLatencyGate:
+    def test_p50_regression_past_2x_trips(self):
+        comparison = compare_records(_record(p50=0.1), _record(p50=0.25))
+        assert comparison["ok"] is False
+        assert any("ratio" in r for r in comparison["regressions"])
+        assert "<< REGRESSION" in render_comparison(comparison)
+
+    def test_p50_within_2x_passes(self):
+        comparison = compare_records(_record(p50=0.1), _record(p50=0.15))
+        assert comparison["ok"] is True
+
+    def test_threshold_is_tunable(self):
+        thresholds = CompareThresholds(p50_ratio=1.2)
+        comparison = compare_records(
+            _record(p50=0.1), _record(p50=0.15), thresholds
+        )
+        assert comparison["ok"] is False
+
+    def test_ci_confirms_a_clear_regression(self):
+        a = _record(p50=0.1, samples=[0.1 + 0.001 * i for i in range(20)])
+        b = _record(p50=0.3, samples=[0.3 + 0.001 * i for i in range(20)])
+        comparison = compare_records(a, b)
+        diff = comparison["runners"]["fig2"]
+        assert diff["regression"] is True
+        assert diff["confirmed"] is True
+        assert diff["ci"]["low"] > 1.0
+
+    def test_underpowered_samples_have_no_ci(self):
+        a = _record(samples=[0.1, 0.1])
+        b = _record(p50=0.5, samples=[0.5, 0.5])
+        diff = compare_records(a, b)["runners"]["fig2"]
+        assert "ci" not in diff
+        assert diff["regression"] is True  # point ratio still gates
+
+    def test_bootstrap_ci_brackets_the_true_ratio(self):
+        ci = _bootstrap_ratio_ci(
+            [0.1 + 0.002 * i for i in range(30)],
+            [0.2 + 0.002 * i for i in range(30)],
+            seed="fig2",
+        )
+        assert ci is not None
+        assert ci["low"] <= 2.0 / 1.05
+        assert ci["high"] >= 2.0 / 1.3
+
+
+class TestGaugeGate:
+    def test_gauge_flip_to_fail_trips(self):
+        a = _record(gauges=[{"name": "g", "status": "pass", "measured": 1.0}])
+        b = _record(gauges=[{"name": "g", "status": "fail", "measured": 9.0}])
+        comparison = compare_records(a, b)
+        assert comparison["ok"] is False
+        assert comparison["gauges"]["g"]["flipped_to_fail"] is True
+        assert comparison["gauges"]["g"]["drift"] == pytest.approx(8.0)
+
+    def test_gauge_already_failing_does_not_trip(self):
+        a = _record(gauges=[{"name": "g", "status": "fail", "measured": 9.0}])
+        b = _record(gauges=[{"name": "g", "status": "fail", "measured": 9.0}])
+        assert compare_records(a, b)["ok"] is True
+
+    def test_gauge_gate_can_be_disabled(self):
+        a = _record(gauges=[{"name": "g", "status": "pass", "measured": 1.0}])
+        b = _record(gauges=[{"name": "g", "status": "fail", "measured": 9.0}])
+        thresholds = CompareThresholds(gauge_fail=False)
+        assert compare_records(a, b, thresholds)["ok"] is True
+
+
+class TestCacheAndCounts:
+    def test_cache_hit_rate_drop_trips(self):
+        comparison = compare_records(
+            _record(cache_hit=0.8), _record(cache_hit=0.2)
+        )
+        assert comparison["ok"] is False
+        assert any("cache hit" in r for r in comparison["regressions"])
+
+    def test_new_failures_from_clean_baseline_trip(self):
+        comparison = compare_records(_record(), _record(failed=2))
+        assert comparison["ok"] is False
+        assert any("failed" in r for r in comparison["regressions"])
+
+    def test_existing_failures_do_not_trip(self):
+        assert compare_records(_record(failed=1), _record(failed=2))["ok"]
+
+
+class TestSchemaTolerance:
+    def test_newer_schema_warns_but_compares(self):
+        newer = dict(_record(), schema=ARCHIVE_SCHEMA + 1)
+        with pytest.warns(RuntimeWarning, match="schema"):
+            comparison = compare_records(newer, _record())
+        assert comparison["ok"] is True
+
+    def test_newer_stats_schema_warns(self):
+        newer = dict(_record(), stats_schema=99)
+        with pytest.warns(RuntimeWarning, match="stats schema"):
+            compare_records(_record(), newer)
+
+
+class TestCompareCli:
+    def test_cli_exits_0_identical_and_1_on_regression(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        from repro.cli import main
+
+        base = tmp_path / "a.json"
+        base.write_text(json.dumps(_record()))
+        same = tmp_path / "b.json"
+        same.write_text(json.dumps(_record()))
+        slow = tmp_path / "c.json"
+        slow.write_text(json.dumps(_record(p50=0.5)))
+        archive = str(tmp_path / "arch")
+        assert main(
+            ["compare", str(base), str(same), "--archive", archive]
+        ) == 0
+        assert main(
+            ["compare", str(base), str(slow), "--archive", archive]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+
+    def test_cli_bad_reference_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["compare", "last", "last",
+             "--archive", str(tmp_path / "empty")]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        record = tmp_path / "r.json"
+        record.write_text(json.dumps(_record()))
+        assert main(
+            ["compare", str(record), str(record), "--json",
+             "--archive", str(tmp_path / "arch")]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True

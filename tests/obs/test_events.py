@@ -9,6 +9,7 @@ from repro.obs.events import (
     EventLog,
     EventSink,
     RecordingSink,
+    iter_events,
     read_events,
 )
 
@@ -46,6 +47,8 @@ class TestEventSink:
             "span_start",
             "span_end",
             "gauge",
+            "run_summary",
+            "reducer_snapshot",
         }
 
 
@@ -118,3 +121,40 @@ class TestReadEvents:
         path = tmp_path / "blank.jsonl"
         path.write_text('{"event":"sweep_start"}\n\n{"event":"sweep_end"}\n')
         assert len(read_events(path)) == 2
+
+
+class TestIterEvents:
+    """The streaming reader: same semantics as read_events, lazily."""
+
+    def test_is_a_lazy_generator(self, tmp_path):
+        path = tmp_path / "big.jsonl"
+        path.write_text(
+            "".join(f'{{"event":"job_end","seq":{i}}}\n' for i in range(100))
+        )
+        stream = iter_events(path)
+        assert next(stream)["seq"] == 0
+        assert next(stream)["seq"] == 1
+        stream.close()  # early close must not warn or raise
+
+    def test_torn_final_line_warns_after_yielding_prefix(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"event":"job_end","seq":1}\n{"event":"job_e')
+        stream = iter_events(path)
+        assert next(stream)["seq"] == 1
+        with pytest.warns(RuntimeWarning, match="torn final event"):
+            assert list(stream) == []
+
+    def test_mid_file_corruption_raises_at_the_bad_line(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(
+            '{"event":"job_end","seq":1}\nnot json\n{"event":"job_end"}\n'
+        )
+        stream = iter_events(path)
+        assert next(stream)["seq"] == 1
+        with pytest.raises(ValueError, match="line 2"):
+            next(stream)
+
+    def test_read_events_matches_iter_events(self, tmp_path):
+        path = tmp_path / "both.jsonl"
+        path.write_text('{"event":"sweep_start"}\n{"event":"sweep_end"}\n')
+        assert read_events(path) == list(iter_events(path))

@@ -52,6 +52,16 @@ class TestAggregate:
         assert aggregate["overall"]["jobs"] == 0
         assert aggregate["runners"] == {}
 
+    def test_aggregate_carries_schema_version(self):
+        from repro.obs.stats import STATS_SCHEMA
+
+        assert aggregate_events(_synthetic_events())["schema"] == STATS_SCHEMA
+        assert aggregate_events([])["schema"] == STATS_SCHEMA
+
+    def test_accepts_any_iterable_not_just_lists(self):
+        streamed = aggregate_events(iter(_synthetic_events()))
+        assert streamed == aggregate_events(_synthetic_events())
+
 
 class TestRender:
     def test_render_mentions_latency_and_hit_rate(self):
@@ -139,6 +149,19 @@ class TestCliStats:
 
         assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_stats_json_output_is_versioned(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.obs.stats import STATS_SCHEMA
+
+        log = EventLog(tmp_path / "e.jsonl")
+        execute([JobSpec(runner="test.echo", kwargs={"x": 1})], events=log)
+        log.close()
+        assert main(["stats", str(tmp_path / "e.jsonl"), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == STATS_SCHEMA
 
 
 class TestTornLedgerReconciliation:

@@ -33,10 +33,21 @@ VOLATILE_FIELDS = {
 
 
 def _normalize(events):
-    return [
-        {k: v for k, v in event.items() if k not in VOLATILE_FIELDS}
-        for event in events
-    ]
+    normalized = []
+    for event in events:
+        scrubbed = {
+            k: v for k, v in event.items() if k not in VOLATILE_FIELDS
+        }
+        if event.get("event") == "run_summary":
+            # The summary nests per-runner wall-clock timers and a
+            # throughput figure; counts must still match. code_version
+            # is transport identity: serve pins a code hash, the CLI
+            # only carries one when asked to.
+            scrubbed.pop("runners", None)
+            scrubbed.pop("jobs_per_s", None)
+            scrubbed.pop("code_version", None)
+        normalized.append(scrubbed)
+    return normalized
 
 
 def _run_cli_sweep(tmp_path):
